@@ -1,0 +1,77 @@
+#ifndef TCOB_BENCH_BENCH_COMMON_H_
+#define TCOB_BENCH_BENCH_COMMON_H_
+
+#include <map>
+#include <memory>
+#include <string>
+
+#include "common/temp_dir.h"
+#include "db/database.h"
+#include "workload/bench_util.h"
+#include "workload/company.h"
+
+namespace tcob {
+namespace bench {
+
+/// A fully built company database plus its handles, kept alive and
+/// shared across benchmark iterations so the (expensive) load phase is
+/// paid once per configuration.
+struct BenchDb {
+  std::unique_ptr<TempDir> dir;
+  std::unique_ptr<Database> db;
+  CompanyHandles handles;
+};
+
+/// Cache key for one configuration.
+inline std::string ConfigKey(StorageStrategy strategy,
+                             const CompanyConfig& config, bool version_index,
+                             size_t pool_pages) {
+  return std::string(StorageStrategyName(strategy)) + "/" +
+         std::to_string(config.depts) + "x" +
+         std::to_string(config.emps_per_dept) + "x" +
+         std::to_string(config.projs_per_emp) + "/v" +
+         std::to_string(config.versions_per_atom) + "/idx" +
+         std::to_string(version_index) + "/pool" +
+         std::to_string(pool_pages);
+}
+
+/// Builds (or returns the cached) company database for a configuration.
+inline BenchDb* GetCompanyDb(StorageStrategy strategy,
+                             const CompanyConfig& config,
+                             bool version_index = true,
+                             size_t pool_pages = 1024) {
+  static std::map<std::string, std::unique_ptr<BenchDb>>* cache =
+      new std::map<std::string, std::unique_ptr<BenchDb>>();
+  std::string key = ConfigKey(strategy, config, version_index, pool_pages);
+  auto it = cache->find(key);
+  if (it != cache->end()) return it->second.get();
+
+  auto bench_db = std::make_unique<BenchDb>();
+  bench_db->dir = std::make_unique<TempDir>();
+  DatabaseOptions options;
+  options.strategy = strategy;
+  options.buffer_pool_pages = pool_pages;
+  options.store.separated_version_index = version_index;
+  auto db = Database::Open(bench_db->dir->path() + "/db", options);
+  BenchCheck(db.status(), "open database");
+  bench_db->db = std::move(db).value();
+  auto handles = BuildCompany(bench_db->db.get(), config);
+  BenchCheck(handles.status(), "build company workload");
+  bench_db->handles = std::move(handles).value();
+  BenchCheck(bench_db->db->Checkpoint(), "checkpoint");
+  BenchDb* out = bench_db.get();
+  (*cache)[key] = std::move(bench_db);
+  return out;
+}
+
+/// Timestamp in the middle of version round `round` (0-based) of a
+/// company database built with `config`.
+inline Timestamp RoundTime(const CompanyConfig& config, uint32_t round) {
+  return config.base + static_cast<Timestamp>(round) * config.stride +
+         config.stride / 2;
+}
+
+}  // namespace bench
+}  // namespace tcob
+
+#endif  // TCOB_BENCH_BENCH_COMMON_H_

@@ -1,0 +1,58 @@
+// Figure 8 (reconstructed): molecule history reconstruction cost.
+//
+// Query: the full evolution (HISTORY) of one 3-level DeptMol molecule
+// (1 dept + 10 emps + 10 projects), with employee histories of
+// {1, 4, 16, 64} versions. Cold cache per reconstruction. `states`
+// reports the number of maximal constant molecule states produced.
+//
+// Expected shape: integrated is the cheapest at long histories (one
+// cluster fetch yields an atom's whole history); separated pays a chain
+// walk per atom; snapshot pays an index probe + record fetch per
+// version. All strategies are roughly linear in the version count.
+
+#include <benchmark/benchmark.h>
+
+#include "bench_common.h"
+#include "mad/materializer.h"
+
+namespace tcob {
+namespace bench {
+namespace {
+
+void BM_MoleculeHistory(benchmark::State& state) {
+  StorageStrategy strategy = static_cast<StorageStrategy>(state.range(0));
+  CompanyConfig config;
+  config.depts = 5;
+  config.emps_per_dept = 10;
+  config.versions_per_atom = static_cast<uint32_t>(state.range(1));
+  BenchDb* bench_db = GetCompanyDb(strategy, config);
+  Database* db = bench_db->db.get();
+  const MoleculeTypeDef* mol =
+      db->catalog().GetMoleculeType(bench_db->handles.dept_mol).value();
+  AtomId root = bench_db->handles.depts[0];
+
+  size_t states = 0;
+  for (auto _ : state) {
+    state.PauseTiming();
+    BenchCheck(db->pool()->Reset(), "cold cache");
+    state.ResumeTiming();
+    Materializer mat = db->materializer();
+    auto history = mat.History(*mol, root, Interval::All());
+    BenchCheck(history.status(), "history");
+    states = history.value().states.size();
+    benchmark::DoNotOptimize(states);
+  }
+  state.counters["states"] = static_cast<double>(states);
+  state.SetLabel(StorageStrategyName(strategy));
+}
+
+BENCHMARK(BM_MoleculeHistory)
+    ->ArgNames({"strategy", "versions"})
+    ->ArgsProduct({{0, 1, 2}, {1, 4, 16, 64}})
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace bench
+}  // namespace tcob
+
+BENCHMARK_MAIN();

@@ -1,0 +1,65 @@
+// Figure 9 (reconstructed): interval (VALID IN) query cost vs window
+// width.
+//
+// Employees carry 32 versions spanning the database lifetime; the query
+// reconstructs the molecule states of one department overlapping a
+// window covering {1, 5, 10, 25, 50, 100} percent of the lifetime,
+// anchored at the current end (the common "recent history" pattern).
+//
+// Expected shape: cost grows with the window width and converges to the
+// full HISTORY cost (Fig. 8) at 100%; the strategy ordering matches
+// Fig. 8 for wide windows and Fig. 5/6 for narrow ones.
+
+#include <benchmark/benchmark.h>
+
+#include "bench_common.h"
+#include "mad/materializer.h"
+
+namespace tcob {
+namespace bench {
+namespace {
+
+void BM_IntervalQuery(benchmark::State& state) {
+  StorageStrategy strategy = static_cast<StorageStrategy>(state.range(0));
+  int percent = static_cast<int>(state.range(1));
+  CompanyConfig config;
+  config.depts = 5;
+  config.emps_per_dept = 10;
+  config.versions_per_atom = 32;
+  BenchDb* bench_db = GetCompanyDb(strategy, config);
+  Database* db = bench_db->db.get();
+  const MoleculeTypeDef* mol =
+      db->catalog().GetMoleculeType(bench_db->handles.dept_mol).value();
+  AtomId root = bench_db->handles.depts[0];
+
+  Timestamp span = bench_db->handles.last_time - bench_db->handles.first_time;
+  Timestamp width = std::max<Timestamp>(1, span * percent / 100);
+  Interval window(bench_db->handles.last_time - width,
+                  bench_db->handles.last_time);
+
+  size_t states = 0;
+  for (auto _ : state) {
+    state.PauseTiming();
+    BenchCheck(db->pool()->Reset(), "cold cache");
+    state.ResumeTiming();
+    Materializer mat = db->materializer();
+    auto history = mat.History(*mol, root, window);
+    BenchCheck(history.status(), "interval query");
+    states = history.value().states.size();
+    benchmark::DoNotOptimize(states);
+  }
+  state.counters["states"] = static_cast<double>(states);
+  state.counters["window"] = static_cast<double>(width);
+  state.SetLabel(StorageStrategyName(strategy));
+}
+
+BENCHMARK(BM_IntervalQuery)
+    ->ArgNames({"strategy", "percent"})
+    ->ArgsProduct({{0, 1, 2}, {1, 5, 10, 25, 50, 100}})
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace bench
+}  // namespace tcob
+
+BENCHMARK_MAIN();

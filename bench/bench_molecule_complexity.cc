@@ -1,0 +1,57 @@
+// Figure 7 (reconstructed): time-slice cost vs molecule complexity.
+//
+// One department molecule with fan-out (employees per department) swept
+// over {1..64}, each employee on one project (3-level molecule, size =
+// 1 + 2*fanout atoms), employees carrying 8 versions. The query
+// materializes a single molecule as of NOW on a cold cache.
+//
+// Expected shape: all strategies are linear in molecule size; the
+// vertical ordering from Fig. 5 (separated < snapshot < integrated at
+// this history length) is preserved at every fan-out.
+
+#include <benchmark/benchmark.h>
+
+#include "bench_common.h"
+#include "mad/materializer.h"
+
+namespace tcob {
+namespace bench {
+namespace {
+
+void BM_MoleculeComplexity(benchmark::State& state) {
+  StorageStrategy strategy = static_cast<StorageStrategy>(state.range(0));
+  CompanyConfig config;
+  config.depts = 5;
+  config.emps_per_dept = static_cast<size_t>(state.range(1));
+  config.versions_per_atom = 8;
+  BenchDb* bench_db = GetCompanyDb(strategy, config);
+  Database* db = bench_db->db.get();
+  const MoleculeTypeDef* mol =
+      db->catalog().GetMoleculeType(bench_db->handles.dept_mol).value();
+  AtomId root = bench_db->handles.depts[0];
+
+  size_t atoms = 0;
+  for (auto _ : state) {
+    state.PauseTiming();
+    BenchCheck(db->pool()->Reset(), "cold cache");
+    state.ResumeTiming();
+    Materializer mat = db->materializer();
+    auto molecule = mat.MaterializeAsOf(*mol, root, db->Now());
+    BenchCheck(molecule.status(), "materialize");
+    atoms = molecule.value().AtomCount();
+    benchmark::DoNotOptimize(atoms);
+  }
+  state.counters["molecule_atoms"] = static_cast<double>(atoms);
+  state.SetLabel(StorageStrategyName(strategy));
+}
+
+BENCHMARK(BM_MoleculeComplexity)
+    ->ArgNames({"strategy", "fanout"})
+    ->ArgsProduct({{0, 1, 2}, {1, 2, 4, 8, 16, 32, 64}})
+    ->Unit(benchmark::kMicrosecond);
+
+}  // namespace
+}  // namespace bench
+}  // namespace tcob
+
+BENCHMARK_MAIN();

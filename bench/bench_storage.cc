@@ -1,0 +1,59 @@
+// Table 1 (reconstructed): storage consumption per physical design.
+//
+// Company database: 10 departments x 10 employees x 1 project, with
+// versions/atom in {1, 4, 16, 64}. Reported counters per configuration:
+//   pages            total pages across heaps and indexes
+//   bytes_per_ver    bytes of storage per stored atom version
+//   versions         number of employee versions in the database
+//
+// Expected shape: snapshot >> integrated ~ separated in bytes/version at
+// long histories (snapshot repeats the whole record and an index entry
+// per version); separated pays a small chain-pointer overhead.
+
+#include <benchmark/benchmark.h>
+
+#include "bench_common.h"
+
+namespace tcob {
+namespace bench {
+namespace {
+
+void BM_StorageConsumption(benchmark::State& state) {
+  StorageStrategy strategy = static_cast<StorageStrategy>(state.range(0));
+  CompanyConfig config;
+  config.depts = 10;
+  config.emps_per_dept = 10;
+  config.versions_per_atom = static_cast<uint32_t>(state.range(1));
+  BenchDb* bench_db = GetCompanyDb(strategy, config);
+
+  StoreSpaceStats stats;
+  for (auto _ : state) {
+    auto space = bench_db->db->store()->SpaceStats();
+    BenchCheck(space.status(), "space stats");
+    stats = space.value();
+    benchmark::DoNotOptimize(stats.total_bytes);
+  }
+  // Employee versions dominate; projects and departments mostly have 1.
+  uint64_t versions =
+      static_cast<uint64_t>(bench_db->handles.emps.size()) *
+      config.versions_per_atom;
+  state.counters["pages"] =
+      static_cast<double>(stats.heap_pages + stats.index_pages);
+  state.counters["heap_pages"] = static_cast<double>(stats.heap_pages);
+  state.counters["index_pages"] = static_cast<double>(stats.index_pages);
+  state.counters["bytes_per_ver"] =
+      static_cast<double>(stats.total_bytes) / static_cast<double>(versions);
+  state.counters["versions"] = static_cast<double>(versions);
+  state.SetLabel(StorageStrategyName(strategy));
+}
+
+BENCHMARK(BM_StorageConsumption)
+    ->ArgNames({"strategy", "versions"})
+    ->ArgsProduct({{0, 1, 2}, {1, 4, 16, 64}})
+    ->Unit(benchmark::kMicrosecond);
+
+}  // namespace
+}  // namespace bench
+}  // namespace tcob
+
+BENCHMARK_MAIN();

@@ -1,0 +1,84 @@
+// Figure 13 (extension): temporal vacuuming ablation.
+//
+// A company database accumulates 64 versions/atom; we measure (a) the
+// live version count, and (b) the cost of a current time slice and of a
+// recent-window history query, before and after vacuuming everything
+// older than the last quarter of the lifetime. Per strategy.
+//
+// Expected shape: vacuuming collapses snapshot's and integrated's
+// current-slice cost toward separated's (their penalty is exactly the
+// dead-version ballast the vacuum removes); separated, already flat,
+// barely moves. Recent-window queries are unaffected for all three
+// (their data survives the cutoff).
+
+#include <benchmark/benchmark.h>
+
+#include "bench_common.h"
+#include "mad/materializer.h"
+
+namespace tcob {
+namespace bench {
+namespace {
+
+double TimeCurrentSlice(Database* db, const MoleculeTypeDef* mol) {
+  BenchCheck(db->pool()->Reset(), "cold cache");
+  WallTimer timer;
+  Materializer mat = db->materializer();
+  BenchCheck(mat.AllMoleculesAsOf(*mol, db->Now(),
+                                  [](Molecule m) {
+                                    benchmark::DoNotOptimize(m.AtomCount());
+                                    return Result<bool>(true);
+                                  }),
+             "current slice");
+  return timer.ElapsedMicros();
+}
+
+void BM_VacuumEffect(benchmark::State& state) {
+  StorageStrategy strategy = static_cast<StorageStrategy>(state.range(0));
+  bool vacuumed = state.range(1) != 0;
+  CompanyConfig config;
+  config.depts = 10;
+  config.emps_per_dept = 10;
+  config.versions_per_atom = 64;
+  // Dedicated database per (strategy, vacuumed) cell: vary the pool-size
+  // slot of the cache key by one page to separate the two variants
+  // without changing any other knob.
+  BenchDb* bench_db =
+      GetCompanyDb(strategy, config, true, vacuumed ? 1025 : 1024);
+  Database* db = bench_db->db.get();
+  const MoleculeTypeDef* mol =
+      db->catalog().GetMoleculeType(bench_db->handles.dept_mol).value();
+
+  if (vacuumed) {
+    // Cut away the oldest three quarters of the history (idempotent:
+    // later iterations remove 0).
+    Timestamp cutoff = bench_db->handles.first_time +
+                       (bench_db->handles.last_time -
+                        bench_db->handles.first_time) *
+                           3 / 4;
+    auto removed = db->VacuumBefore(cutoff);
+    BenchCheck(removed.status(), "vacuum");
+  }
+
+  for (auto _ : state) {
+    double micros = TimeCurrentSlice(db, mol);
+    benchmark::DoNotOptimize(micros);
+  }
+  auto space = db->store()->SpaceStats();
+  BenchCheck(space.status(), "space stats");
+  state.counters["heap_pages"] = static_cast<double>(space->heap_pages);
+  state.counters["index_pages"] = static_cast<double>(space->index_pages);
+  state.SetLabel(std::string(StorageStrategyName(strategy)) +
+                 (vacuumed ? "/vacuumed" : "/full_history"));
+}
+
+BENCHMARK(BM_VacuumEffect)
+    ->ArgNames({"strategy", "vacuumed"})
+    ->ArgsProduct({{0, 1, 2}, {0, 1}})
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace bench
+}  // namespace tcob
+
+BENCHMARK_MAIN();

@@ -1,0 +1,174 @@
+// Company history: the classic temporal-database motivating scenario.
+//
+// An HR database tracks departments, employees and projects as they
+// evolve: hires, raises, transfers between departments, project
+// (re)assignments, and a resignation. The example then answers the
+// questions a personnel department actually asks:
+//   * who worked where at a given date,
+//   * how did a department's composition evolve,
+//   * reconstruct an employee's salary history,
+//   * which employees were affected by a reorganization window.
+//
+// This example drives the *programmatic* API (db->InsertAtom etc.)
+// rather than MQL text, showing the embedded-library usage style.
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "common/temp_dir.h"
+#include "db/database.h"
+#include "mad/materializer.h"
+
+using namespace tcob;  // NOLINT: example brevity
+
+namespace {
+
+void Check(const Status& status, const char* what) {
+  if (!status.ok()) {
+    fprintf(stderr, "%s failed: %s\n", what, status.ToString().c_str());
+    exit(1);
+  }
+}
+
+template <typename T>
+T Must(Result<T> result, const char* what) {
+  if (!result.ok()) {
+    fprintf(stderr, "%s failed: %s\n", what, result.status().ToString().c_str());
+    exit(1);
+  }
+  return std::move(result).value();
+}
+
+void Show(Database* db, const std::string& mql) {
+  printf("mql> %s\n", mql.c_str());
+  auto r = db->Execute(mql);
+  Check(r.status(), "query");
+  printf("%s\n", r.value().ToString().c_str());
+}
+
+}  // namespace
+
+int main() {
+  TempDir dir;
+  auto db = Must(Database::Open(dir.path() + "/db", {}), "open");
+
+  // ---- schema ----
+  Must(db->CreateAtomType("Dept", {{"name", AttrType::kString},
+                                   {"budget", AttrType::kInt}}),
+       "create Dept");
+  Must(db->CreateAtomType("Emp", {{"name", AttrType::kString},
+                                  {"salary", AttrType::kInt},
+                                  {"title", AttrType::kString}}),
+       "create Emp");
+  Must(db->CreateAtomType("Proj", {{"title", AttrType::kString}}),
+       "create Proj");
+  Must(db->CreateLinkType("WorksIn", "Dept", "Emp"), "create WorksIn");
+  Must(db->CreateLinkType("AssignedTo", "Emp", "Proj"), "create AssignedTo");
+  Must(db->CreateMoleculeType(
+           "DeptMol", "Dept", {{"WorksIn", true}, {"AssignedTo", true}}),
+       "create DeptMol");
+  // A second complex-object view over the same network: the employee
+  // dossier (employee + department via the *backward* link + projects).
+  Must(db->CreateMoleculeType(
+           "EmpDossier", "Emp", {{"WorksIn", false}, {"AssignedTo", true}}),
+       "create EmpDossier");
+
+  // ---- timeline (chronons are days since 0) ----
+  // Day 100: the company forms. Two departments, three employees.
+  AtomId rnd = Must(db->InsertAtom("Dept",
+                                   {{"name", Value::String("R&D")},
+                                    {"budget", Value::Int(1000)}},
+                                   100),
+                    "insert R&D");
+  AtomId sales = Must(db->InsertAtom("Dept",
+                                     {{"name", Value::String("Sales")},
+                                      {"budget", Value::Int(400)}},
+                                     100),
+                      "insert Sales");
+  AtomId ada = Must(db->InsertAtom("Emp",
+                                   {{"name", Value::String("ada")},
+                                    {"salary", Value::Int(120)},
+                                    {"title", Value::String("engineer")}},
+                                   100),
+                    "hire ada");
+  AtomId bob = Must(db->InsertAtom("Emp",
+                                   {{"name", Value::String("bob")},
+                                    {"salary", Value::Int(90)},
+                                    {"title", Value::String("analyst")}},
+                                   100),
+                    "hire bob");
+  AtomId eve = Must(db->InsertAtom("Emp",
+                                   {{"name", Value::String("eve")},
+                                    {"salary", Value::Int(150)},
+                                    {"title", Value::String("manager")}},
+                                   100),
+                    "hire eve");
+  AtomId compiler = Must(
+      db->InsertAtom("Proj", {{"title", Value::String("compiler")}}, 100),
+      "create compiler project");
+  Check(db->Connect("WorksIn", rnd, ada, 100), "ada joins R&D");
+  Check(db->Connect("WorksIn", rnd, bob, 100), "bob joins R&D");
+  Check(db->Connect("WorksIn", sales, eve, 100), "eve joins Sales");
+  Check(db->Connect("AssignedTo", ada, compiler, 100), "ada on compiler");
+
+  // Day 130: ada gets a raise and a new title.
+  Check(db->UpdateAtom("Emp", ada,
+                       {{"salary", Value::Int(160)},
+                        {"title", Value::String("senior engineer")}},
+                       130),
+        "ada raise");
+
+  // Day 150: reorganization — bob transfers from R&D to Sales, and is
+  // assigned to the compiler project anyway (matrix organization).
+  Check(db->Disconnect("WorksIn", rnd, bob, 150), "bob leaves R&D");
+  Check(db->Connect("WorksIn", sales, bob, 150), "bob joins Sales");
+  Check(db->Connect("AssignedTo", bob, compiler, 150), "bob on compiler");
+
+  // Day 180: eve resigns.
+  Check(db->Disconnect("WorksIn", sales, eve, 180), "eve unlinked");
+  Check(db->DeleteAtom("Emp", eve, 180), "eve resigns");
+
+  // Day 200: budgets are adjusted.
+  Check(db->UpdateAtom("Dept", rnd, {{"budget", Value::Int(1500)}}, 200),
+        "R&D budget");
+  db->SetNow(210);
+
+  // ---- the questions ----
+  printf("== Who worked where on day 120? ==\n");
+  Show(db.get(), "SELECT Dept.name, Emp.name FROM DeptMol VALID AT 120");
+
+  printf("== ... and on day 160, after the reorganization? ==\n");
+  Show(db.get(), "SELECT Dept.name, Emp.name FROM DeptMol VALID AT 160");
+
+  printf("== Evolution of the Sales department ==\n");
+  Show(db.get(),
+       "SELECT Emp.name FROM DeptMol WHERE Dept.name = 'Sales' HISTORY");
+
+  printf("== ada's full dossier history (salary and title over time) ==\n");
+  Show(db.get(),
+       "SELECT Emp.salary, Emp.title FROM EmpDossier "
+       "WHERE Emp.name = 'ada' HISTORY");
+
+  printf("== Who was affected during the reorganization window? ==\n");
+  Show(db.get(),
+       "SELECT Dept.name, Emp.name FROM DeptMol VALID IN [145, 155)");
+
+  printf("== Temporal predicate: who was employed on day 175 "
+         "but not today? ==\n");
+  Show(db.get(),
+       "SELECT Emp.name FROM EmpDossier "
+       "WHERE VALID(Emp) CONTAINS 175 AND NOT VALID(Emp) CONTAINS NOW "
+       "HISTORY");
+
+  // ---- programmatic molecule access ----
+  printf("== Programmatic: R&D molecule as of day 120 vs day 160 ==\n");
+  Materializer mat = db->materializer();
+  const MoleculeTypeDef* dept_mol =
+      Must(db->catalog().GetMoleculeTypeByName("DeptMol"), "lookup DeptMol");
+  for (Timestamp day : {Timestamp{120}, Timestamp{160}}) {
+    Molecule m = Must(mat.MaterializeAsOf(*dept_mol, rnd, day), "materialize");
+    printf("day %ld: R&D molecule has %zu atoms, %zu links\n",
+           static_cast<long>(day), m.AtomCount(), m.edges.size());
+  }
+  return 0;
+}

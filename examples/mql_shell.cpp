@@ -1,0 +1,123 @@
+// Interactive MQL shell over a TCOB database.
+//
+// Usage:
+//   mql_shell [db-directory]          (default: ./tcob-shell-db)
+//
+// Type MQL statements terminated by ';'. Meta commands:
+//   .help        show a cheat sheet
+//   .checkpoint  flush everything and truncate the WAL
+//   .now [t]     show or set the valid-time clock
+//   .strategy    show the storage strategy
+//   .quit        exit
+//
+// The database persists: restart the shell with the same directory and
+// your schema and history are still there (WAL recovery included).
+
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+#include "db/database.h"
+
+using namespace tcob;  // NOLINT: example brevity
+
+namespace {
+
+constexpr char kHelp[] = R"(MQL cheat sheet
+  CREATE ATOM_TYPE Emp (name STRING, salary INT);
+  CREATE LINK DeptEmp FROM Dept TO Emp;
+  CREATE MOLECULE_TYPE DeptMol ROOT Dept EDGES (DeptEmp FORWARD);
+  INSERT ATOM Emp (name='ada', salary=100) VALID FROM 10;
+  UPDATE ATOM Emp 3 SET salary=200 VALID FROM 20;
+  DELETE ATOM Emp 3 VALID FROM 30;
+  CONNECT DeptEmp FROM 1 TO 3 VALID FROM 10;
+  DISCONNECT DeptEmp FROM 1 TO 3 VALID FROM 30;
+  SELECT ALL FROM DeptMol VALID AT 15;
+  SELECT Emp.name FROM DeptMol WHERE Emp.salary > 150 VALID AT NOW;
+  SELECT ALL FROM DeptMol VALID IN [10, 30);
+  SELECT Emp.salary FROM DeptMol HISTORY;
+  SELECT ALL FROM Dept VIA DeptEmp, EmpProj VALID AT NOW;  -- inline molecule
+  SELECT COUNT(*), AVG(Emp.salary) FROM DeptMol GROUP BY ROOT VALID AT NOW;
+  CREATE INDEX idx_salary ON Emp (salary);
+  EXPLAIN SELECT ALL FROM DeptMol WHERE Emp.salary = 5 VALID AT 9;
+  VACUUM BEFORE 100;
+  SHOW CATALOG;
+  SHOW STATS;
+Attribute types: BOOL INT DOUBLE STRING TIMESTAMP ID
+Temporal predicates: OVERLAPS CONTAINS BEFORE MEETS DURING, VALID(Type),
+BEGIN(...), END(...), interval literals [a, b), NOW.
+Aggregates: COUNT(*) COUNT/SUM/AVG/MIN/MAX(Type.attr), GROUP BY ROOT.
+)";
+
+bool HandleMeta(Database* db, const std::string& line) {
+  if (line == ".help") {
+    fputs(kHelp, stdout);
+  } else if (line == ".checkpoint") {
+    Status s = db->Checkpoint();
+    printf("%s\n", s.ok() ? "checkpointed" : s.ToString().c_str());
+  } else if (line.rfind(".now", 0) == 0) {
+    std::string arg = line.size() > 4 ? line.substr(5) : "";
+    if (!arg.empty()) db->SetNow(strtoll(arg.c_str(), nullptr, 10));
+    printf("now = %s\n", TimestampToString(db->Now()).c_str());
+  } else if (line == ".strategy") {
+    printf("%s\n", StorageStrategyName(db->options().strategy));
+  } else {
+    printf("unknown meta command; try .help\n");
+  }
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string dir = argc > 1 ? argv[1] : "./tcob-shell-db";
+  auto opened = Database::Open(dir, {});
+  if (!opened.ok()) {
+    fprintf(stderr, "cannot open %s: %s\n", dir.c_str(),
+            opened.status().ToString().c_str());
+    return 1;
+  }
+  std::unique_ptr<Database> db = std::move(opened).value();
+  printf("tcob shell — database at %s (strategy: %s). "
+         ".help for help, .quit to exit.\n",
+         dir.c_str(), StorageStrategyName(db->options().strategy));
+
+  std::string buffer;
+  char line[4096];
+  for (;;) {
+    fputs(buffer.empty() ? "mql> " : "...> ", stdout);
+    fflush(stdout);
+    if (!fgets(line, sizeof(line), stdin)) break;
+    std::string text(line);
+    // Trim trailing whitespace.
+    while (!text.empty() && isspace(static_cast<unsigned char>(text.back()))) {
+      text.pop_back();
+    }
+    if (buffer.empty()) {
+      // Leading whitespace trim for meta detection.
+      size_t start = text.find_first_not_of(" \t");
+      if (start == std::string::npos) continue;
+      std::string trimmed = text.substr(start);
+      if (trimmed == ".quit" || trimmed == ".exit") break;
+      if (!trimmed.empty() && trimmed[0] == '.') {
+        HandleMeta(db.get(), trimmed);
+        continue;
+      }
+    }
+    buffer += text;
+    if (buffer.empty()) continue;
+    if (buffer.back() != ';') {
+      buffer += ' ';
+      continue;  // statement continues on the next line
+    }
+    auto result = db->Execute(buffer);
+    buffer.clear();
+    if (!result.ok()) {
+      printf("error: %s\n", result.status().ToString().c_str());
+      continue;
+    }
+    printf("%s\n", result.value().ToString().c_str());
+  }
+  printf("bye\n");
+  return 0;
+}

@@ -1,0 +1,392 @@
+#include "catalog/catalog.h"
+
+#include <cstdio>
+#include <set>
+
+#include "common/coding.h"
+
+namespace tcob {
+
+Result<TypeId> Catalog::CreateAtomType(const std::string& name,
+                                       std::vector<AttributeDef> attributes) {
+  if (name.empty()) return Status::InvalidArgument("atom type name empty");
+  if (attributes.empty()) {
+    return Status::InvalidArgument("atom type needs at least one attribute");
+  }
+  if (GetAtomTypeByName(name).ok()) {
+    return Status::AlreadyExists("atom type exists: " + name);
+  }
+  std::set<std::string> seen;
+  for (const AttributeDef& a : attributes) {
+    if (a.name.empty()) {
+      return Status::InvalidArgument("attribute name empty in " + name);
+    }
+    if (!seen.insert(a.name).second) {
+      return Status::InvalidArgument("duplicate attribute " + a.name +
+                                     " in " + name);
+    }
+  }
+  AtomTypeDef def;
+  def.id = next_type_id_++;
+  def.name = name;
+  def.attributes = std::move(attributes);
+  TypeId id = def.id;
+  atom_types_[id] = std::move(def);
+  return id;
+}
+
+Result<LinkTypeId> Catalog::CreateLinkType(const std::string& name,
+                                           TypeId from_type, TypeId to_type) {
+  if (name.empty()) return Status::InvalidArgument("link type name empty");
+  if (GetLinkTypeByName(name).ok()) {
+    return Status::AlreadyExists("link type exists: " + name);
+  }
+  TCOB_RETURN_NOT_OK(GetAtomType(from_type).status());
+  TCOB_RETURN_NOT_OK(GetAtomType(to_type).status());
+  LinkTypeDef def;
+  def.id = next_type_id_++;
+  def.name = name;
+  def.from_type = from_type;
+  def.to_type = to_type;
+  LinkTypeId id = def.id;
+  link_types_[id] = std::move(def);
+  return id;
+}
+
+Result<MoleculeTypeId> Catalog::CreateMoleculeType(
+    const std::string& name, TypeId root_type,
+    std::vector<MoleculeEdge> edges) {
+  if (name.empty()) return Status::InvalidArgument("molecule type name empty");
+  if (GetMoleculeTypeByName(name).ok()) {
+    return Status::AlreadyExists("molecule type exists: " + name);
+  }
+  TCOB_RETURN_NOT_OK(GetAtomType(root_type).status());
+  // Connectedness: every edge must leave a type already reached.
+  std::set<TypeId> reached = {root_type};
+  for (const MoleculeEdge& e : edges) {
+    TCOB_ASSIGN_OR_RETURN(const LinkTypeDef* link, GetLinkType(e.link));
+    TypeId source = e.forward ? link->from_type : link->to_type;
+    TypeId target = e.forward ? link->to_type : link->from_type;
+    if (reached.count(source) == 0) {
+      return Status::InvalidArgument(
+          "molecule type " + name + " is disconnected: edge over link '" +
+          link->name + "' leaves unreached type");
+    }
+    reached.insert(target);
+  }
+  MoleculeTypeDef def;
+  def.id = next_type_id_++;
+  def.name = name;
+  def.root_type = root_type;
+  def.edges = std::move(edges);
+  MoleculeTypeId id = def.id;
+  molecule_types_[id] = std::move(def);
+  return id;
+}
+
+Result<IndexId> Catalog::CreateAttrIndex(const std::string& name,
+                                         TypeId atom_type,
+                                         const std::string& attr_name) {
+  if (name.empty()) return Status::InvalidArgument("index name empty");
+  if (GetAttrIndexByName(name).ok()) {
+    return Status::AlreadyExists("index exists: " + name);
+  }
+  TCOB_ASSIGN_OR_RETURN(const AtomTypeDef* type, GetAtomType(atom_type));
+  int pos = type->AttrIndex(attr_name);
+  if (pos < 0) {
+    return Status::InvalidArgument("no attribute " + attr_name + " in " +
+                                   type->name);
+  }
+  // One index per attribute is enough (duplicates would be redundant).
+  for (const auto& [id, def] : attr_indexes_) {
+    if (def.atom_type == atom_type &&
+        def.attr_pos == static_cast<uint32_t>(pos)) {
+      return Status::AlreadyExists("attribute " + type->name + "." +
+                                   attr_name + " is already indexed by " +
+                                   def.name);
+    }
+  }
+  AttrIndexDef def;
+  def.id = next_type_id_++;
+  def.name = name;
+  def.atom_type = atom_type;
+  def.attr_pos = static_cast<uint32_t>(pos);
+  IndexId id = def.id;
+  attr_indexes_[id] = std::move(def);
+  return id;
+}
+
+Result<const AttrIndexDef*> Catalog::GetAttrIndex(IndexId id) const {
+  auto it = attr_indexes_.find(id);
+  if (it == attr_indexes_.end()) {
+    return Status::NotFound("index id " + std::to_string(id));
+  }
+  return &it->second;
+}
+
+Result<const AttrIndexDef*> Catalog::GetAttrIndexByName(
+    const std::string& name) const {
+  for (const auto& [id, def] : attr_indexes_) {
+    if (def.name == name) return &def;
+  }
+  return Status::NotFound("index " + name);
+}
+
+std::vector<const AttrIndexDef*> Catalog::AttrIndexesOf(TypeId type) const {
+  std::vector<const AttrIndexDef*> out;
+  for (const auto& [id, def] : attr_indexes_) {
+    if (def.atom_type == type) out.push_back(&def);
+  }
+  return out;
+}
+
+std::vector<const AttrIndexDef*> Catalog::AttrIndexes() const {
+  std::vector<const AttrIndexDef*> out;
+  for (const auto& [id, def] : attr_indexes_) out.push_back(&def);
+  return out;
+}
+
+Result<const AtomTypeDef*> Catalog::GetAtomType(TypeId id) const {
+  auto it = atom_types_.find(id);
+  if (it == atom_types_.end()) {
+    return Status::NotFound("atom type id " + std::to_string(id));
+  }
+  return &it->second;
+}
+
+Result<const AtomTypeDef*> Catalog::GetAtomTypeByName(
+    const std::string& name) const {
+  for (const auto& [id, def] : atom_types_) {
+    if (def.name == name) return &def;
+  }
+  return Status::NotFound("atom type " + name);
+}
+
+Result<const LinkTypeDef*> Catalog::GetLinkType(LinkTypeId id) const {
+  auto it = link_types_.find(id);
+  if (it == link_types_.end()) {
+    return Status::NotFound("link type id " + std::to_string(id));
+  }
+  return &it->second;
+}
+
+Result<const LinkTypeDef*> Catalog::GetLinkTypeByName(
+    const std::string& name) const {
+  for (const auto& [id, def] : link_types_) {
+    if (def.name == name) return &def;
+  }
+  return Status::NotFound("link type " + name);
+}
+
+Result<const MoleculeTypeDef*> Catalog::GetMoleculeType(
+    MoleculeTypeId id) const {
+  auto it = molecule_types_.find(id);
+  if (it == molecule_types_.end()) {
+    return Status::NotFound("molecule type id " + std::to_string(id));
+  }
+  return &it->second;
+}
+
+Result<const MoleculeTypeDef*> Catalog::GetMoleculeTypeByName(
+    const std::string& name) const {
+  for (const auto& [id, def] : molecule_types_) {
+    if (def.name == name) return &def;
+  }
+  return Status::NotFound("molecule type " + name);
+}
+
+std::vector<const AtomTypeDef*> Catalog::AtomTypes() const {
+  std::vector<const AtomTypeDef*> out;
+  for (const auto& [id, def] : atom_types_) out.push_back(&def);
+  return out;
+}
+
+std::vector<const LinkTypeDef*> Catalog::LinkTypes() const {
+  std::vector<const LinkTypeDef*> out;
+  for (const auto& [id, def] : link_types_) out.push_back(&def);
+  return out;
+}
+
+std::vector<const MoleculeTypeDef*> Catalog::MoleculeTypes() const {
+  std::vector<const MoleculeTypeDef*> out;
+  for (const auto& [id, def] : molecule_types_) out.push_back(&def);
+  return out;
+}
+
+std::vector<const LinkTypeDef*> Catalog::LinksOf(TypeId type) const {
+  std::vector<const LinkTypeDef*> out;
+  for (const auto& [id, def] : link_types_) {
+    if (def.from_type == type || def.to_type == type) out.push_back(&def);
+  }
+  return out;
+}
+
+namespace {
+constexpr uint32_t kCatalogMagic = 0x54434254;  // "TCBT"
+constexpr uint32_t kCatalogVersion = 2;  // v2 added attribute indexes
+}  // namespace
+
+std::string Catalog::Serialize() const {
+  std::string out;
+  PutFixed32(&out, kCatalogMagic);
+  PutFixed32(&out, kCatalogVersion);
+  PutVarint32(&out, next_type_id_);
+  PutVarint64(&out, next_atom_id_);
+  PutVarint32(&out, static_cast<uint32_t>(atom_types_.size()));
+  for (const auto& [id, def] : atom_types_) {
+    PutVarint32(&out, def.id);
+    PutLengthPrefixed(&out, def.name);
+    PutVarint32(&out, static_cast<uint32_t>(def.attributes.size()));
+    for (const AttributeDef& a : def.attributes) {
+      PutLengthPrefixed(&out, a.name);
+      out.push_back(static_cast<char>(a.type));
+    }
+  }
+  PutVarint32(&out, static_cast<uint32_t>(link_types_.size()));
+  for (const auto& [id, def] : link_types_) {
+    PutVarint32(&out, def.id);
+    PutLengthPrefixed(&out, def.name);
+    PutVarint32(&out, def.from_type);
+    PutVarint32(&out, def.to_type);
+  }
+  PutVarint32(&out, static_cast<uint32_t>(molecule_types_.size()));
+  for (const auto& [id, def] : molecule_types_) {
+    PutVarint32(&out, def.id);
+    PutLengthPrefixed(&out, def.name);
+    PutVarint32(&out, def.root_type);
+    PutVarint32(&out, static_cast<uint32_t>(def.edges.size()));
+    for (const MoleculeEdge& e : def.edges) {
+      PutVarint32(&out, e.link);
+      out.push_back(e.forward ? 1 : 0);
+    }
+  }
+  PutVarint32(&out, static_cast<uint32_t>(attr_indexes_.size()));
+  for (const auto& [id, def] : attr_indexes_) {
+    PutVarint32(&out, def.id);
+    PutLengthPrefixed(&out, def.name);
+    PutVarint32(&out, def.atom_type);
+    PutVarint32(&out, def.attr_pos);
+  }
+  return out;
+}
+
+Result<Catalog> Catalog::Deserialize(Slice input) {
+  Catalog cat;
+  uint32_t magic, version;
+  TCOB_RETURN_NOT_OK(GetFixed32(&input, &magic));
+  if (magic != kCatalogMagic) return Status::Corruption("catalog magic");
+  TCOB_RETURN_NOT_OK(GetFixed32(&input, &version));
+  if (version < 1 || version > kCatalogVersion) {
+    return Status::Corruption("catalog version " + std::to_string(version));
+  }
+  TCOB_RETURN_NOT_OK(GetVarint32(&input, &cat.next_type_id_));
+  uint64_t next_atom;
+  TCOB_RETURN_NOT_OK(GetVarint64(&input, &next_atom));
+  cat.next_atom_id_ = next_atom;
+
+  uint32_t n_atom;
+  TCOB_RETURN_NOT_OK(GetVarint32(&input, &n_atom));
+  for (uint32_t i = 0; i < n_atom; ++i) {
+    AtomTypeDef def;
+    TCOB_RETURN_NOT_OK(GetVarint32(&input, &def.id));
+    Slice name;
+    TCOB_RETURN_NOT_OK(GetLengthPrefixed(&input, &name));
+    def.name = name.ToString();
+    uint32_t n_attrs;
+    TCOB_RETURN_NOT_OK(GetVarint32(&input, &n_attrs));
+    for (uint32_t a = 0; a < n_attrs; ++a) {
+      AttributeDef attr;
+      Slice attr_name;
+      TCOB_RETURN_NOT_OK(GetLengthPrefixed(&input, &attr_name));
+      attr.name = attr_name.ToString();
+      if (input.empty()) return Status::Corruption("catalog truncated");
+      attr.type = static_cast<AttrType>(input[0]);
+      input.RemovePrefix(1);
+      def.attributes.push_back(std::move(attr));
+    }
+    cat.atom_types_[def.id] = std::move(def);
+  }
+
+  uint32_t n_link;
+  TCOB_RETURN_NOT_OK(GetVarint32(&input, &n_link));
+  for (uint32_t i = 0; i < n_link; ++i) {
+    LinkTypeDef def;
+    TCOB_RETURN_NOT_OK(GetVarint32(&input, &def.id));
+    Slice name;
+    TCOB_RETURN_NOT_OK(GetLengthPrefixed(&input, &name));
+    def.name = name.ToString();
+    TCOB_RETURN_NOT_OK(GetVarint32(&input, &def.from_type));
+    TCOB_RETURN_NOT_OK(GetVarint32(&input, &def.to_type));
+    cat.link_types_[def.id] = std::move(def);
+  }
+
+  uint32_t n_mol;
+  TCOB_RETURN_NOT_OK(GetVarint32(&input, &n_mol));
+  for (uint32_t i = 0; i < n_mol; ++i) {
+    MoleculeTypeDef def;
+    TCOB_RETURN_NOT_OK(GetVarint32(&input, &def.id));
+    Slice name;
+    TCOB_RETURN_NOT_OK(GetLengthPrefixed(&input, &name));
+    def.name = name.ToString();
+    TCOB_RETURN_NOT_OK(GetVarint32(&input, &def.root_type));
+    uint32_t n_edges;
+    TCOB_RETURN_NOT_OK(GetVarint32(&input, &n_edges));
+    for (uint32_t e = 0; e < n_edges; ++e) {
+      MoleculeEdge edge;
+      TCOB_RETURN_NOT_OK(GetVarint32(&input, &edge.link));
+      if (input.empty()) return Status::Corruption("catalog truncated");
+      edge.forward = input[0] != 0;
+      input.RemovePrefix(1);
+      def.edges.push_back(edge);
+    }
+    cat.molecule_types_[def.id] = std::move(def);
+  }
+
+  if (version >= 2) {
+    uint32_t n_idx;
+    TCOB_RETURN_NOT_OK(GetVarint32(&input, &n_idx));
+    for (uint32_t i = 0; i < n_idx; ++i) {
+      AttrIndexDef def;
+      TCOB_RETURN_NOT_OK(GetVarint32(&input, &def.id));
+      Slice name;
+      TCOB_RETURN_NOT_OK(GetLengthPrefixed(&input, &name));
+      def.name = name.ToString();
+      TCOB_RETURN_NOT_OK(GetVarint32(&input, &def.atom_type));
+      TCOB_RETURN_NOT_OK(GetVarint32(&input, &def.attr_pos));
+      cat.attr_indexes_[def.id] = std::move(def);
+    }
+  }
+  return cat;
+}
+
+Status Catalog::SaveToFile(const std::string& path) const {
+  std::string bytes = Serialize();
+  std::string tmp = path + ".tmp";
+  FILE* f = fopen(tmp.c_str(), "wb");
+  if (!f) return Status::IOError("open " + tmp);
+  size_t written = fwrite(bytes.data(), 1, bytes.size(), f);
+  if (written != bytes.size()) {
+    fclose(f);
+    return Status::IOError("short write to " + tmp);
+  }
+  if (fflush(f) != 0 || fclose(f) != 0) {
+    return Status::IOError("flush/close " + tmp);
+  }
+  if (rename(tmp.c_str(), path.c_str()) != 0) {
+    return Status::IOError("rename " + tmp + " -> " + path);
+  }
+  return Status::OK();
+}
+
+Result<Catalog> Catalog::LoadFromFile(const std::string& path) {
+  FILE* f = fopen(path.c_str(), "rb");
+  if (!f) return Status::NotFound("catalog file " + path);
+  std::string bytes;
+  char buf[4096];
+  size_t n;
+  while ((n = fread(buf, 1, sizeof(buf), f)) > 0) bytes.append(buf, n);
+  fclose(f);
+  return Deserialize(Slice(bytes));
+}
+
+}  // namespace tcob

@@ -1,0 +1,102 @@
+#ifndef TCOB_CATALOG_CATALOG_H_
+#define TCOB_CATALOG_CATALOG_H_
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "catalog/schema.h"
+#include "common/result.h"
+#include "common/slice.h"
+
+namespace tcob {
+
+/// The schema registry of a database: atom types, link types, molecule
+/// types, plus the atom-surrogate sequence.
+///
+/// Names are unique per kind. The catalog is an in-memory structure with
+/// explicit binary (de)serialization; the Database persists it atomically
+/// on every DDL and at checkpoints.
+class Catalog {
+ public:
+  Catalog() = default;
+
+  // ---- DDL ----
+
+  /// Registers a new atom type; name must be fresh, attributes non-empty
+  /// with unique names.
+  Result<TypeId> CreateAtomType(const std::string& name,
+                                std::vector<AttributeDef> attributes);
+
+  /// Registers a link type between two existing atom types.
+  Result<LinkTypeId> CreateLinkType(const std::string& name, TypeId from_type,
+                                    TypeId to_type);
+
+  /// Registers a molecule type; validates that every edge attaches to a
+  /// type already reachable from the root (connectedness).
+  Result<MoleculeTypeId> CreateMoleculeType(const std::string& name,
+                                            TypeId root_type,
+                                            std::vector<MoleculeEdge> edges);
+
+  /// Registers a secondary index over `atom_type`'s attribute
+  /// `attr_name`.
+  Result<IndexId> CreateAttrIndex(const std::string& name, TypeId atom_type,
+                                  const std::string& attr_name);
+
+  // ---- lookups ----
+
+  Result<const AtomTypeDef*> GetAtomType(TypeId id) const;
+  Result<const AtomTypeDef*> GetAtomTypeByName(const std::string& name) const;
+  Result<const LinkTypeDef*> GetLinkType(LinkTypeId id) const;
+  Result<const LinkTypeDef*> GetLinkTypeByName(const std::string& name) const;
+  Result<const MoleculeTypeDef*> GetMoleculeType(MoleculeTypeId id) const;
+  Result<const MoleculeTypeDef*> GetMoleculeTypeByName(
+      const std::string& name) const;
+
+  std::vector<const AtomTypeDef*> AtomTypes() const;
+  std::vector<const LinkTypeDef*> LinkTypes() const;
+  std::vector<const MoleculeTypeDef*> MoleculeTypes() const;
+
+  /// All link types incident to atom type `type` (either side).
+  std::vector<const LinkTypeDef*> LinksOf(TypeId type) const;
+
+  Result<const AttrIndexDef*> GetAttrIndex(IndexId id) const;
+  Result<const AttrIndexDef*> GetAttrIndexByName(const std::string& name) const;
+  /// All secondary indexes over atom type `type`.
+  std::vector<const AttrIndexDef*> AttrIndexesOf(TypeId type) const;
+  std::vector<const AttrIndexDef*> AttrIndexes() const;
+
+  /// Next fresh atom surrogate (persisted with the catalog).
+  AtomId NextAtomId() { return next_atom_id_++; }
+  /// Highest surrogate handed out so far (for recovery bookkeeping).
+  AtomId CurrentAtomIdWatermark() const { return next_atom_id_; }
+  /// Raises the sequence so future ids do not collide (used by recovery).
+  void AdvanceAtomIdWatermark(AtomId at_least) {
+    if (at_least > next_atom_id_) next_atom_id_ = at_least;
+  }
+
+  // ---- persistence ----
+
+  /// Serializes the full catalog to bytes.
+  std::string Serialize() const;
+  /// Rebuilds a catalog from Serialize() output.
+  static Result<Catalog> Deserialize(Slice input);
+
+  /// Atomic save to `path` (write temp + rename).
+  Status SaveToFile(const std::string& path) const;
+  /// Loads from `path`; NotFound if the file does not exist.
+  static Result<Catalog> LoadFromFile(const std::string& path);
+
+ private:
+  std::map<TypeId, AtomTypeDef> atom_types_;
+  std::map<LinkTypeId, LinkTypeDef> link_types_;
+  std::map<MoleculeTypeId, MoleculeTypeDef> molecule_types_;
+  std::map<IndexId, AttrIndexDef> attr_indexes_;
+  uint32_t next_type_id_ = 1;
+  AtomId next_atom_id_ = 1;
+};
+
+}  // namespace tcob
+
+#endif  // TCOB_CATALOG_CATALOG_H_

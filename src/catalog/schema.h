@@ -1,0 +1,103 @@
+#ifndef TCOB_CATALOG_SCHEMA_H_
+#define TCOB_CATALOG_SCHEMA_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "record/value.h"
+
+namespace tcob {
+
+using TypeId = uint32_t;
+using LinkTypeId = uint32_t;
+using MoleculeTypeId = uint32_t;
+inline constexpr uint32_t kInvalidTypeId = 0;
+
+/// One attribute of an atom type.
+struct AttributeDef {
+  std::string name;
+  AttrType type = AttrType::kString;
+};
+
+/// An atom type: the record schema of the model's elementary objects.
+///
+/// Atoms are the nodes of the database network. Every atom carries a
+/// system-assigned surrogate (AtomId); the listed attributes are the
+/// user-visible, *time-varying* state.
+struct AtomTypeDef {
+  TypeId id = kInvalidTypeId;
+  std::string name;
+  std::vector<AttributeDef> attributes;
+
+  /// Index of attribute `attr_name`, or -1.
+  int AttrIndex(const std::string& attr_name) const {
+    for (size_t i = 0; i < attributes.size(); ++i) {
+      if (attributes[i].name == attr_name) return static_cast<int>(i);
+    }
+    return -1;
+  }
+
+  std::vector<AttrType> AttrTypes() const {
+    std::vector<AttrType> out;
+    out.reserve(attributes.size());
+    for (const AttributeDef& a : attributes) out.push_back(a.type);
+    return out;
+  }
+};
+
+/// A bidirectional link type between two atom types.
+///
+/// Links are first-class and symmetric in the model: a link type declared
+/// from Dept to Emp can be traversed in either direction. Individual
+/// connections are themselves versioned over valid time (an employee is
+/// linked to a department *during* an interval).
+struct LinkTypeDef {
+  LinkTypeId id = kInvalidTypeId;
+  std::string name;
+  TypeId from_type = kInvalidTypeId;
+  TypeId to_type = kInvalidTypeId;
+};
+
+/// One traversal step of a molecule type definition.
+///
+/// `forward` traverses the link from its from_type side to its to_type
+/// side; false traverses against the declaration.
+struct MoleculeEdge {
+  LinkTypeId link = kInvalidTypeId;
+  bool forward = true;
+};
+
+/// A molecule type: a rooted, connected subgraph of the type network.
+///
+/// Molecules are the model's dynamically defined complex objects. A
+/// molecule type names a root atom type and an ordered list of edges;
+/// each edge must attach to a type already reachable from the root, so
+/// the definition is connected by construction. Materializing a molecule
+/// means: take a root atom, traverse the edges breadth-first collecting
+/// the connected atoms (at one instant, or across time).
+struct MoleculeTypeDef {
+  MoleculeTypeId id = kInvalidTypeId;
+  std::string name;
+  TypeId root_type = kInvalidTypeId;
+  std::vector<MoleculeEdge> edges;
+};
+
+using IndexId = uint32_t;
+
+/// A secondary index over one attribute of an atom type.
+///
+/// Entries are *version-grained*: every atom version contributes one
+/// entry keyed (value, atom, begin) carrying the version's end, so the
+/// index answers value-range lookups AS OF any instant, not only now.
+/// NULL attribute values are not indexed.
+struct AttrIndexDef {
+  IndexId id = kInvalidTypeId;
+  std::string name;
+  TypeId atom_type = kInvalidTypeId;
+  uint32_t attr_pos = 0;  // position in the atom type's attribute list
+};
+
+}  // namespace tcob
+
+#endif  // TCOB_CATALOG_SCHEMA_H_

@@ -1,0 +1,68 @@
+#ifndef TCOB_COMMON_CODING_H_
+#define TCOB_COMMON_CODING_H_
+
+#include <cstdint>
+#include <string>
+
+#include "common/result.h"
+#include "common/slice.h"
+
+namespace tcob {
+
+// Little-endian fixed-width encodings plus LEB128-style varints, and
+// memcmp-orderable big-endian "comparable" encodings for index keys.
+// All Get* functions consume from a Slice and fail with Corruption on
+// underflow rather than reading out of bounds.
+
+void PutFixed16(std::string* dst, uint16_t v);
+void PutFixed32(std::string* dst, uint32_t v);
+void PutFixed64(std::string* dst, uint64_t v);
+
+void EncodeFixed16(char* buf, uint16_t v);
+void EncodeFixed32(char* buf, uint32_t v);
+void EncodeFixed64(char* buf, uint64_t v);
+
+uint16_t DecodeFixed16(const char* buf);
+uint32_t DecodeFixed32(const char* buf);
+uint64_t DecodeFixed64(const char* buf);
+
+Status GetFixed16(Slice* input, uint16_t* v);
+Status GetFixed32(Slice* input, uint32_t* v);
+Status GetFixed64(Slice* input, uint64_t* v);
+
+/// Varint encodings (unsigned LEB128; signed via zigzag).
+void PutVarint32(std::string* dst, uint32_t v);
+void PutVarint64(std::string* dst, uint64_t v);
+void PutVarsint64(std::string* dst, int64_t v);
+Status GetVarint32(Slice* input, uint32_t* v);
+Status GetVarint64(Slice* input, uint64_t* v);
+Status GetVarsint64(Slice* input, int64_t* v);
+
+/// Length-prefixed byte string.
+void PutLengthPrefixed(std::string* dst, const Slice& value);
+Status GetLengthPrefixed(Slice* input, Slice* value);
+
+/// Double as raw IEEE-754 bits (little endian).
+void PutDouble(std::string* dst, double v);
+Status GetDouble(Slice* input, double* v);
+
+// ---- memcmp-orderable key encodings (big endian, order preserving) ----
+
+/// Unsigned 64-bit, big endian: byte order == numeric order.
+void PutComparableU64(std::string* dst, uint64_t v);
+uint64_t DecodeComparableU64(const char* buf);
+
+/// Signed 64-bit with flipped sign bit so byte order == numeric order.
+void PutComparableI64(std::string* dst, int64_t v);
+int64_t DecodeComparableI64(const char* buf);
+
+/// IEEE-754 double mapped to a memcmp-orderable 64-bit pattern.
+void PutComparableDouble(std::string* dst, double v);
+double DecodeComparableDouble(const char* buf);
+
+/// Number of bytes PutVarint64 would emit for v.
+int VarintLength(uint64_t v);
+
+}  // namespace tcob
+
+#endif  // TCOB_COMMON_CODING_H_

@@ -1,0 +1,28 @@
+#ifndef TCOB_COMMON_HASH_H_
+#define TCOB_COMMON_HASH_H_
+
+#include <cstdint>
+#include <cstddef>
+
+namespace tcob {
+
+/// FNV-1a 64-bit hash; used for WAL framing checksums and hash tables.
+inline uint64_t Fnv1a64(const void* data, size_t len,
+                        uint64_t seed = 0xcbf29ce484222325ull) {
+  const unsigned char* p = static_cast<const unsigned char*>(data);
+  uint64_t h = seed;
+  for (size_t i = 0; i < len; ++i) {
+    h ^= p[i];
+    h *= 0x100000001b3ull;
+  }
+  return h;
+}
+
+inline uint32_t Checksum32(const void* data, size_t len) {
+  uint64_t h = Fnv1a64(data, len);
+  return static_cast<uint32_t>(h ^ (h >> 32));
+}
+
+}  // namespace tcob
+
+#endif  // TCOB_COMMON_HASH_H_

@@ -1,0 +1,60 @@
+#ifndef TCOB_COMMON_LOGGING_H_
+#define TCOB_COMMON_LOGGING_H_
+
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+#include <string>
+
+namespace tcob {
+
+enum class LogLevel : int { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3 };
+
+/// Process-wide minimum level; messages below it are dropped.
+void SetLogLevel(LogLevel level);
+LogLevel GetLogLevel();
+
+/// Writes one formatted line to stderr if `level` passes the filter.
+void LogMessage(LogLevel level, const char* file, int line,
+                const std::string& msg);
+
+namespace internal {
+
+/// Stream-style collector used by the TCOB_LOG macro.
+class LogStream {
+ public:
+  LogStream(LogLevel level, const char* file, int line)
+      : level_(level), file_(file), line_(line) {}
+  ~LogStream() { LogMessage(level_, file_, line_, ss_.str()); }
+
+  template <typename T>
+  LogStream& operator<<(const T& v) {
+    ss_ << v;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  const char* file_;
+  int line_;
+  std::ostringstream ss_;
+};
+
+}  // namespace internal
+}  // namespace tcob
+
+#define TCOB_LOG(level) \
+  ::tcob::internal::LogStream(::tcob::LogLevel::level, __FILE__, __LINE__)
+
+/// Fatal invariant violation: log and abort. Used only for programming
+/// errors (broken internal invariants), never for expected failures.
+#define TCOB_CHECK(cond)                                                  \
+  do {                                                                    \
+    if (!(cond)) {                                                        \
+      ::tcob::LogMessage(::tcob::LogLevel::kError, __FILE__, __LINE__,    \
+                         "CHECK failed: " #cond);                         \
+      std::abort();                                                       \
+    }                                                                     \
+  } while (false)
+
+#endif  // TCOB_COMMON_LOGGING_H_

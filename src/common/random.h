@@ -1,0 +1,80 @@
+#ifndef TCOB_COMMON_RANDOM_H_
+#define TCOB_COMMON_RANDOM_H_
+
+#include <cstdint>
+#include <string>
+
+namespace tcob {
+
+/// Deterministic xorshift128+ PRNG for workloads and tests.
+///
+/// Not cryptographic; chosen for reproducibility across platforms so that
+/// benchmark workloads are identical run to run.
+class Random {
+ public:
+  explicit Random(uint64_t seed) {
+    s0_ = seed ? seed : 0x9e3779b97f4a7c15ull;
+    s1_ = SplitMix(&s0_);
+    s0_ = SplitMix(&s1_);
+  }
+
+  uint64_t Next() {
+    uint64_t x = s0_;
+    const uint64_t y = s1_;
+    s0_ = y;
+    x ^= x << 23;
+    s1_ = x ^ y ^ (x >> 17) ^ (y >> 26);
+    return s1_ + y;
+  }
+
+  /// Uniform in [0, n). n must be > 0.
+  uint64_t Uniform(uint64_t n) { return Next() % n; }
+
+  /// Uniform in [lo, hi]. Requires lo <= hi.
+  int64_t UniformRange(int64_t lo, int64_t hi) {
+    return lo + static_cast<int64_t>(Uniform(static_cast<uint64_t>(hi - lo) + 1));
+  }
+
+  /// True with probability p (clamped to [0,1]).
+  bool Bernoulli(double p) {
+    if (p <= 0) return false;
+    if (p >= 1) return true;
+    return NextDouble() < p;
+  }
+
+  /// Uniform double in [0, 1).
+  double NextDouble() {
+    return static_cast<double>(Next() >> 11) * (1.0 / 9007199254740992.0);
+  }
+
+  /// Random lowercase ASCII string of length n.
+  std::string NextString(size_t n) {
+    std::string s(n, 'a');
+    for (size_t i = 0; i < n; ++i) {
+      s[i] = static_cast<char>('a' + Uniform(26));
+    }
+    return s;
+  }
+
+  /// Zipf-ish skewed pick in [0, n): lower indices more likely.
+  uint64_t Skewed(uint64_t n) {
+    uint64_t shift = Uniform(64);
+    uint64_t v = Next() >> shift;
+    return n ? v % n : 0;
+  }
+
+ private:
+  static uint64_t SplitMix(uint64_t* state) {
+    uint64_t z = (*state += 0x9e3779b97f4a7c15ull);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+    return z ^ (z >> 31);
+  }
+
+  uint64_t s0_;
+  uint64_t s1_;
+};
+
+}  // namespace tcob
+
+#endif  // TCOB_COMMON_RANDOM_H_

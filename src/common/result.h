@@ -1,0 +1,82 @@
+#ifndef TCOB_COMMON_RESULT_H_
+#define TCOB_COMMON_RESULT_H_
+
+#include <cassert>
+#include <optional>
+#include <utility>
+
+#include "common/status.h"
+
+namespace tcob {
+
+/// Either a value of type T or a non-OK Status explaining why the value
+/// could not be produced. Mirrors arrow::Result / absl::StatusOr.
+///
+/// Usage:
+///   Result<int> Parse(...);
+///   TCOB_ASSIGN_OR_RETURN(int v, Parse(...));
+template <typename T>
+class Result {
+ public:
+  /// Implicit construction from a value (the common success path).
+  Result(T value) : value_(std::move(value)) {}  // NOLINT(runtime/explicit)
+  /// Implicit construction from a non-OK Status (the error path).
+  Result(Status status) : status_(std::move(status)) {  // NOLINT
+    assert(!status_.ok() && "Result(Status) requires a non-OK status");
+  }
+
+  Result(const Result&) = default;
+  Result& operator=(const Result&) = default;
+  Result(Result&&) noexcept = default;
+  Result& operator=(Result&&) noexcept = default;
+
+  bool ok() const { return value_.has_value(); }
+  const Status& status() const { return status_; }
+
+  /// Requires ok().
+  T& value() & {
+    assert(ok());
+    return *value_;
+  }
+  const T& value() const& {
+    assert(ok());
+    return *value_;
+  }
+  T&& value() && {
+    assert(ok());
+    return std::move(*value_);
+  }
+
+  T& operator*() { return value(); }
+  const T& operator*() const { return value(); }
+  T* operator->() { return &value(); }
+  const T* operator->() const { return &value(); }
+
+  /// Returns the value, or `fallback` if this Result holds an error.
+  T ValueOr(T fallback) const {
+    return ok() ? *value_ : std::move(fallback);
+  }
+
+ private:
+  Status status_;
+  std::optional<T> value_;
+};
+
+// Internal helpers for TCOB_ASSIGN_OR_RETURN.
+#define TCOB_CONCAT_IMPL_(x, y) x##y
+#define TCOB_CONCAT_(x, y) TCOB_CONCAT_IMPL_(x, y)
+
+/// Evaluates `rexpr` (a Result<T>); on error returns the Status, otherwise
+/// binds the value to `lhs` (which may include a type declaration).
+#define TCOB_ASSIGN_OR_RETURN(lhs, rexpr)                       \
+  TCOB_ASSIGN_OR_RETURN_IMPL_(                                  \
+      TCOB_CONCAT_(_tcob_result_, __LINE__), lhs, rexpr)
+
+#define TCOB_ASSIGN_OR_RETURN_IMPL_(tmp, lhs, rexpr) \
+  auto tmp = (rexpr);                                \
+  if (!tmp.ok()) return tmp.status();                \
+  lhs = std::move(tmp).value()
+
+}  // namespace tcob
+
+#endif  // TCOB_COMMON_RESULT_H_

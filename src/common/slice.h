@@ -1,0 +1,78 @@
+#ifndef TCOB_COMMON_SLICE_H_
+#define TCOB_COMMON_SLICE_H_
+
+#include <cstddef>
+#include <cstring>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace tcob {
+
+/// A non-owning view over a contiguous byte range.
+///
+/// Like rocksdb::Slice: cheap to copy, never owns memory. The referenced
+/// bytes must outlive the Slice.
+class Slice {
+ public:
+  Slice() : data_(nullptr), size_(0) {}
+  Slice(const char* data, size_t size) : data_(data), size_(size) {}
+  Slice(const uint8_t* data, size_t size)
+      : data_(reinterpret_cast<const char*>(data)), size_(size) {}
+  Slice(const std::string& s) : data_(s.data()), size_(s.size()) {}  // NOLINT
+  Slice(std::string_view s) : data_(s.data()), size_(s.size()) {}    // NOLINT
+  Slice(const char* s) : data_(s), size_(s ? strlen(s) : 0) {}       // NOLINT
+  Slice(const std::vector<uint8_t>& v)                               // NOLINT
+      : data_(reinterpret_cast<const char*>(v.data())), size_(v.size()) {}
+
+  const char* data() const { return data_; }
+  const uint8_t* udata() const {
+    return reinterpret_cast<const uint8_t*>(data_);
+  }
+  size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+
+  char operator[](size_t i) const { return data_[i]; }
+
+  /// Drops the first n bytes (n must be <= size()).
+  void RemovePrefix(size_t n) {
+    data_ += n;
+    size_ -= n;
+  }
+
+  std::string ToString() const { return std::string(data_, size_); }
+  std::string_view ToView() const { return std::string_view(data_, size_); }
+
+  /// Three-way lexicographic byte comparison (<0, 0, >0).
+  int compare(const Slice& other) const {
+    const size_t min_len = size_ < other.size_ ? size_ : other.size_;
+    int r = min_len == 0 ? 0 : memcmp(data_, other.data_, min_len);
+    if (r == 0) {
+      if (size_ < other.size_) return -1;
+      if (size_ > other.size_) return 1;
+    }
+    return r;
+  }
+
+  bool starts_with(const Slice& prefix) const {
+    return size_ >= prefix.size_ &&
+           memcmp(data_, prefix.data_, prefix.size_) == 0;
+  }
+
+ private:
+  const char* data_;
+  size_t size_;
+};
+
+inline bool operator==(const Slice& a, const Slice& b) {
+  return a.size() == b.size() &&
+         (a.size() == 0 || memcmp(a.data(), b.data(), a.size()) == 0);
+}
+inline bool operator!=(const Slice& a, const Slice& b) { return !(a == b); }
+inline bool operator<(const Slice& a, const Slice& b) {
+  return a.compare(b) < 0;
+}
+
+}  // namespace tcob
+
+#endif  // TCOB_COMMON_SLICE_H_

@@ -1,0 +1,54 @@
+#include "common/temp_dir.h"
+
+#include <dirent.h>
+#include <stdlib.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <cstring>
+#include <string>
+#include <vector>
+
+namespace tcob {
+
+namespace {
+
+void RemoveRecursively(const std::string& path) {
+  DIR* dir = opendir(path.c_str());
+  if (dir == nullptr) {
+    unlink(path.c_str());
+    return;
+  }
+  struct dirent* entry;
+  while ((entry = readdir(dir)) != nullptr) {
+    if (strcmp(entry->d_name, ".") == 0 || strcmp(entry->d_name, "..") == 0) {
+      continue;
+    }
+    std::string child = path + "/" + entry->d_name;
+    struct stat st;
+    if (lstat(child.c_str(), &st) == 0 && S_ISDIR(st.st_mode)) {
+      RemoveRecursively(child);
+    } else {
+      unlink(child.c_str());
+    }
+  }
+  closedir(dir);
+  rmdir(path.c_str());
+}
+
+}  // namespace
+
+TempDir::TempDir() {
+  const char* base = getenv("TMPDIR");
+  std::string tmpl = std::string(base ? base : "/tmp") + "/tcob-XXXXXX";
+  std::vector<char> buf(tmpl.begin(), tmpl.end());
+  buf.push_back('\0');
+  char* made = mkdtemp(buf.data());
+  if (made != nullptr) path_ = made;
+}
+
+TempDir::~TempDir() {
+  if (!path_.empty()) RemoveRecursively(path_);
+}
+
+}  // namespace tcob

@@ -1,0 +1,28 @@
+#ifndef TCOB_COMMON_TEMP_DIR_H_
+#define TCOB_COMMON_TEMP_DIR_H_
+
+#include <string>
+
+namespace tcob {
+
+/// RAII temporary directory under TMPDIR (or /tmp): created on
+/// construction, removed recursively on destruction. Used by tests,
+/// benchmarks and examples to host throwaway databases.
+class TempDir {
+ public:
+  TempDir();
+  ~TempDir();
+
+  TempDir(const TempDir&) = delete;
+  TempDir& operator=(const TempDir&) = delete;
+
+  /// Absolute path; empty if creation failed.
+  const std::string& path() const { return path_; }
+
+ private:
+  std::string path_;
+};
+
+}  // namespace tcob
+
+#endif  // TCOB_COMMON_TEMP_DIR_H_

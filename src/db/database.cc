@@ -1,0 +1,643 @@
+#include "db/database.h"
+
+#include <cstdio>
+
+#include "common/coding.h"
+#include "common/logging.h"
+#include "query/executor.h"
+#include "query/planner.h"
+#include "query/parser.h"
+#include "wal/log_record.h"
+
+namespace tcob {
+
+Result<std::unique_ptr<Database>> Database::Open(
+    const std::string& dir, const DatabaseOptions& options) {
+  std::unique_ptr<Database> db(new Database(dir, options));
+  TCOB_RETURN_NOT_OK(db->Init());
+  return db;
+}
+
+Database::~Database() {
+  Status s = Flush();
+  if (!s.ok()) {
+    TCOB_LOG(kError) << "flush on close failed: " << s.ToString();
+  }
+  s = SaveClock();
+  if (!s.ok()) {
+    TCOB_LOG(kError) << "clock save on close failed: " << s.ToString();
+  }
+}
+
+Status Database::Init() {
+  TCOB_ASSIGN_OR_RETURN(disk_, DiskManager::Open(dir_));
+  pool_ = std::make_unique<BufferPool>(disk_.get(), options_.buffer_pool_pages);
+  Result<Catalog> loaded = Catalog::LoadFromFile(dir_ + "/catalog.tcob");
+  if (loaded.ok()) {
+    catalog_ = std::move(loaded).value();
+  } else if (!loaded.status().IsNotFound()) {
+    return loaded.status();
+  }
+  store_ = MakeTemporalStore(options_.strategy, pool_.get(),
+                             std::string(StorageStrategyName(
+                                 options_.strategy)),
+                             options_.store);
+  links_ = std::make_unique<LinkStore>(pool_.get(), "links");
+  attr_indexes_ = std::make_unique<AttrIndexManager>(pool_.get(), &catalog_);
+  TCOB_ASSIGN_OR_RETURN(wal_, WriteAheadLog::Open(dir_ + "/wal.log"));
+  TCOB_RETURN_NOT_OK(LoadClock());
+  return Recover();
+}
+
+Status Database::Recover() {
+  auto schema_lookup =
+      [this](TypeId type) -> Result<std::vector<AttrType>> {
+    TCOB_ASSIGN_OR_RETURN(const AtomTypeDef* def, catalog_.GetAtomType(type));
+    return def->AttrTypes();
+  };
+  uint64_t replayed = 0;
+  Status replay = wal_->ReadAll([&](const Slice& payload) -> Result<bool> {
+    TCOB_ASSIGN_OR_RETURN(WalOp op, WalOp::Decode(payload, schema_lookup));
+    if (op.type == WalOpType::kCommit ||
+        op.type == WalOpType::kCheckpoint) {
+      return true;
+    }
+    TCOB_RETURN_NOT_OK(ApplyOp(op));
+    ObserveTimestamp(op.valid_from);
+    ++replayed;
+    return true;
+  });
+  TCOB_RETURN_NOT_OK(replay);
+  if (replayed > 0) {
+    TCOB_LOG(kInfo) << "recovered " << replayed << " WAL operations";
+  }
+  return Status::OK();
+}
+
+Status Database::ApplyOp(const WalOp& op) {
+  switch (op.type) {
+    case WalOpType::kInsertAtom: {
+      TCOB_ASSIGN_OR_RETURN(const AtomTypeDef* type,
+                            catalog_.GetAtomType(op.atom_type));
+      catalog_.AdvanceAtomIdWatermark(op.atom_id + 1);
+      TCOB_RETURN_NOT_OK(
+          store_->Insert(*type, op.atom_id, op.attrs, op.valid_from));
+      if (attr_indexes_->HasIndexes(type->id)) {
+        TCOB_RETURN_NOT_OK(attr_indexes_->OnInsert(*type, op.atom_id,
+                                                   op.attrs, op.valid_from));
+      }
+      return Status::OK();
+    }
+    case WalOpType::kUpdateAtom: {
+      TCOB_ASSIGN_OR_RETURN(const AtomTypeDef* type,
+                            catalog_.GetAtomType(op.atom_type));
+      // Capture the version being closed before the store mutates it
+      // (index maintenance needs its value and begin; under WAL replay
+      // the lookup still finds it because it is already closed at
+      // valid_from).
+      std::optional<AtomVersion> old_version;
+      if (attr_indexes_->HasIndexes(type->id)) {
+        TCOB_ASSIGN_OR_RETURN(
+            old_version,
+            store_->GetAsOf(*type, op.atom_id, op.valid_from - 1));
+      }
+      TCOB_RETURN_NOT_OK(
+          store_->Update(*type, op.atom_id, op.attrs, op.valid_from));
+      if (old_version.has_value()) {
+        TCOB_RETURN_NOT_OK(attr_indexes_->OnUpdate(
+            *type, op.atom_id, *old_version, op.attrs, op.valid_from));
+      }
+      return Status::OK();
+    }
+    case WalOpType::kDeleteAtom: {
+      TCOB_ASSIGN_OR_RETURN(const AtomTypeDef* type,
+                            catalog_.GetAtomType(op.atom_type));
+      std::optional<AtomVersion> old_version;
+      if (attr_indexes_->HasIndexes(type->id)) {
+        TCOB_ASSIGN_OR_RETURN(
+            old_version,
+            store_->GetAsOf(*type, op.atom_id, op.valid_from - 1));
+      }
+      TCOB_RETURN_NOT_OK(store_->Delete(*type, op.atom_id, op.valid_from));
+      if (old_version.has_value()) {
+        TCOB_RETURN_NOT_OK(attr_indexes_->OnDelete(*type, op.atom_id,
+                                                   *old_version,
+                                                   op.valid_from));
+      }
+      return Status::OK();
+    }
+    case WalOpType::kConnect: {
+      TCOB_ASSIGN_OR_RETURN(const LinkTypeDef* link,
+                            catalog_.GetLinkType(op.link_type));
+      return links_->Connect(*link, op.from_id, op.to_id, op.valid_from);
+    }
+    case WalOpType::kDisconnect: {
+      TCOB_ASSIGN_OR_RETURN(const LinkTypeDef* link,
+                            catalog_.GetLinkType(op.link_type));
+      return links_->Disconnect(*link, op.from_id, op.to_id, op.valid_from);
+    }
+    case WalOpType::kCommit:
+    case WalOpType::kCheckpoint:
+      return Status::OK();
+  }
+  return Status::Internal("unhandled wal op");
+}
+
+Status Database::LogAndApply(const WalOp& op) {
+  std::vector<AttrType> schema;
+  if (op.type == WalOpType::kInsertAtom ||
+      op.type == WalOpType::kUpdateAtom) {
+    TCOB_ASSIGN_OR_RETURN(const AtomTypeDef* def,
+                          catalog_.GetAtomType(op.atom_type));
+    schema = def->AttrTypes();
+  }
+  std::string payload;
+  TCOB_RETURN_NOT_OK(op.Encode(schema, &payload));
+  TCOB_RETURN_NOT_OK(wal_->Append(payload));
+  if (options_.sync_wal) TCOB_RETURN_NOT_OK(wal_->Sync());
+  Status applied = ApplyOp(op);
+  if (applied.ok()) ObserveTimestamp(op.valid_from);
+  return applied;
+}
+
+// ---- transactions ----
+
+Transaction Database::Begin() { return Transaction(this, next_txn_id_++); }
+
+Status Database::CommitOps(uint64_t txn_id, const std::vector<WalOp>& ops) {
+  // Phase 1: log everything, ending with the commit record.
+  for (const WalOp& op : ops) {
+    std::vector<AttrType> schema;
+    if (op.type == WalOpType::kInsertAtom ||
+        op.type == WalOpType::kUpdateAtom) {
+      TCOB_ASSIGN_OR_RETURN(const AtomTypeDef* def,
+                            catalog_.GetAtomType(op.atom_type));
+      schema = def->AttrTypes();
+    }
+    std::string payload;
+    TCOB_RETURN_NOT_OK(op.Encode(schema, &payload));
+    TCOB_RETURN_NOT_OK(wal_->Append(payload));
+  }
+  WalOp commit;
+  commit.type = WalOpType::kCommit;
+  commit.txn_id = txn_id;
+  std::string payload;
+  TCOB_RETURN_NOT_OK(commit.Encode({}, &payload));
+  TCOB_RETURN_NOT_OK(wal_->Append(payload));
+  if (options_.sync_wal) TCOB_RETURN_NOT_OK(wal_->Sync());
+  // Phase 2: apply. Validation at buffering time plus single-threaded
+  // execution guarantee success; a failure here is an internal bug (the
+  // WAL already has the operations, so recovery would reapply them).
+  for (const WalOp& op : ops) {
+    Status applied = ApplyOp(op);
+    if (!applied.ok()) {
+      return Status::Internal("transaction apply failed after logging: " +
+                              applied.ToString());
+    }
+    ObserveTimestamp(op.valid_from);
+  }
+  return Status::OK();
+}
+
+// ---- DDL ----
+
+Result<TypeId> Database::CreateAtomType(const std::string& name,
+                                        std::vector<AttributeDef> attributes) {
+  TCOB_ASSIGN_OR_RETURN(TypeId id,
+                        catalog_.CreateAtomType(name, std::move(attributes)));
+  TCOB_RETURN_NOT_OK(catalog_.SaveToFile(dir_ + "/catalog.tcob"));
+  return id;
+}
+
+Result<LinkTypeId> Database::CreateLinkType(const std::string& name,
+                                            const std::string& from_type,
+                                            const std::string& to_type) {
+  TCOB_ASSIGN_OR_RETURN(const AtomTypeDef* from,
+                        catalog_.GetAtomTypeByName(from_type));
+  TCOB_ASSIGN_OR_RETURN(const AtomTypeDef* to,
+                        catalog_.GetAtomTypeByName(to_type));
+  TCOB_ASSIGN_OR_RETURN(LinkTypeId id,
+                        catalog_.CreateLinkType(name, from->id, to->id));
+  TCOB_RETURN_NOT_OK(catalog_.SaveToFile(dir_ + "/catalog.tcob"));
+  return id;
+}
+
+Result<MoleculeTypeId> Database::CreateMoleculeType(
+    const std::string& name, const std::string& root_type,
+    const std::vector<std::pair<std::string, bool>>& edges) {
+  TCOB_ASSIGN_OR_RETURN(const AtomTypeDef* root,
+                        catalog_.GetAtomTypeByName(root_type));
+  std::vector<MoleculeEdge> resolved;
+  for (const auto& [link_name, forward] : edges) {
+    TCOB_ASSIGN_OR_RETURN(const LinkTypeDef* link,
+                          catalog_.GetLinkTypeByName(link_name));
+    resolved.push_back(MoleculeEdge{link->id, forward});
+  }
+  TCOB_ASSIGN_OR_RETURN(
+      MoleculeTypeId id,
+      catalog_.CreateMoleculeType(name, root->id, std::move(resolved)));
+  TCOB_RETURN_NOT_OK(catalog_.SaveToFile(dir_ + "/catalog.tcob"));
+  return id;
+}
+
+Result<IndexId> Database::CreateAttrIndex(const std::string& name,
+                                          const std::string& type_name,
+                                          const std::string& attr_name) {
+  TCOB_ASSIGN_OR_RETURN(const AtomTypeDef* type,
+                        catalog_.GetAtomTypeByName(type_name));
+  TCOB_ASSIGN_OR_RETURN(IndexId id,
+                        catalog_.CreateAttrIndex(name, type->id, attr_name));
+  TCOB_RETURN_NOT_OK(catalog_.SaveToFile(dir_ + "/catalog.tcob"));
+  TCOB_ASSIGN_OR_RETURN(const AttrIndexDef* def, catalog_.GetAttrIndex(id));
+  TCOB_RETURN_NOT_OK(attr_indexes_->Backfill(*def, *type, *store_));
+  return id;
+}
+
+// ---- value handling ----
+
+Result<Value> Database::Coerce(const Value& v, AttrType target) {
+  if (v.is_null()) return Value::Null(target);
+  if (v.type() == target) return v;
+  if (v.type() == AttrType::kInt) {
+    switch (target) {
+      case AttrType::kDouble:
+        return Value::Double(static_cast<double>(v.AsInt()));
+      case AttrType::kTimestamp:
+        return Value::Time(v.AsInt());
+      case AttrType::kId:
+        return Value::Id(static_cast<AtomId>(v.AsInt()));
+      default:
+        break;
+    }
+  }
+  return Status::TypeError(std::string("cannot assign ") +
+                           AttrTypeName(v.type()) + " to " +
+                           AttrTypeName(target));
+}
+
+Result<std::vector<Value>> Database::ResolveAssignmentsFor(
+    const AtomTypeDef& type,
+    const std::vector<std::pair<std::string, Value>>& assignments,
+    const std::vector<Value>* base) {
+  std::vector<Value> out;
+  out.reserve(type.attributes.size());
+  if (base != nullptr) {
+    out = *base;
+  } else {
+    for (const AttributeDef& attr : type.attributes) {
+      out.push_back(Value::Null(attr.type));
+    }
+  }
+  for (const auto& [name, value] : assignments) {
+    int idx = type.AttrIndex(name);
+    if (idx < 0) {
+      return Status::InvalidArgument("unknown attribute " + type.name + "." +
+                                     name);
+    }
+    TCOB_ASSIGN_OR_RETURN(out[idx],
+                          Coerce(value, type.attributes[idx].type));
+  }
+  return out;
+}
+
+// ---- DML ----
+
+Result<AtomId> Database::InsertAtom(
+    const std::string& type_name,
+    const std::vector<std::pair<std::string, Value>>& assignments,
+    Timestamp from) {
+  TCOB_ASSIGN_OR_RETURN(const AtomTypeDef* type,
+                        catalog_.GetAtomTypeByName(type_name));
+  TCOB_ASSIGN_OR_RETURN(std::vector<Value> values,
+                        ResolveAssignmentsFor(*type, assignments, nullptr));
+  return InsertAtomValues(type_name, std::move(values), from);
+}
+
+Result<AtomId> Database::InsertAtomValues(const std::string& type_name,
+                                          std::vector<Value> values,
+                                          Timestamp from) {
+  TCOB_ASSIGN_OR_RETURN(const AtomTypeDef* type,
+                        catalog_.GetAtomTypeByName(type_name));
+  WalOp op;
+  op.type = WalOpType::kInsertAtom;
+  op.atom_id = catalog_.NextAtomId();
+  op.atom_type = type->id;
+  op.valid_from = from;
+  op.attrs = std::move(values);
+  TCOB_RETURN_NOT_OK(LogAndApply(op));
+  return op.atom_id;
+}
+
+Status Database::UpdateAtom(
+    const std::string& type_name, AtomId id,
+    const std::vector<std::pair<std::string, Value>>& assignments,
+    Timestamp from) {
+  TCOB_ASSIGN_OR_RETURN(const AtomTypeDef* type,
+                        catalog_.GetAtomTypeByName(type_name));
+  // Carry unchanged attributes over from the version being replaced.
+  TCOB_ASSIGN_OR_RETURN(std::optional<AtomVersion> current,
+                        store_->GetAsOf(*type, id, from - 1));
+  if (!current.has_value()) {
+    return Status::InvalidArgument("atom " + std::to_string(id) +
+                                   " has no version just before " +
+                                   TimestampToString(from));
+  }
+  TCOB_ASSIGN_OR_RETURN(
+      std::vector<Value> values,
+      ResolveAssignmentsFor(*type, assignments, &current->attrs));
+  return UpdateAtomValues(type_name, id, std::move(values), from);
+}
+
+Status Database::UpdateAtomValues(const std::string& type_name, AtomId id,
+                                  std::vector<Value> values, Timestamp from) {
+  TCOB_ASSIGN_OR_RETURN(const AtomTypeDef* type,
+                        catalog_.GetAtomTypeByName(type_name));
+  WalOp op;
+  op.type = WalOpType::kUpdateAtom;
+  op.atom_id = id;
+  op.atom_type = type->id;
+  op.valid_from = from;
+  op.attrs = std::move(values);
+  return LogAndApply(op);
+}
+
+Status Database::DeleteAtom(const std::string& type_name, AtomId id,
+                            Timestamp from) {
+  TCOB_ASSIGN_OR_RETURN(const AtomTypeDef* type,
+                        catalog_.GetAtomTypeByName(type_name));
+  WalOp op;
+  op.type = WalOpType::kDeleteAtom;
+  op.atom_id = id;
+  op.atom_type = type->id;
+  op.valid_from = from;
+  return LogAndApply(op);
+}
+
+Status Database::Connect(const std::string& link_name, AtomId from_id,
+                         AtomId to_id, Timestamp at) {
+  TCOB_ASSIGN_OR_RETURN(const LinkTypeDef* link,
+                        catalog_.GetLinkTypeByName(link_name));
+  WalOp op;
+  op.type = WalOpType::kConnect;
+  op.link_type = link->id;
+  op.from_id = from_id;
+  op.to_id = to_id;
+  op.valid_from = at;
+  return LogAndApply(op);
+}
+
+Status Database::Disconnect(const std::string& link_name, AtomId from_id,
+                            AtomId to_id, Timestamp at) {
+  TCOB_ASSIGN_OR_RETURN(const LinkTypeDef* link,
+                        catalog_.GetLinkTypeByName(link_name));
+  WalOp op;
+  op.type = WalOpType::kDisconnect;
+  op.link_type = link->id;
+  op.from_id = from_id;
+  op.to_id = to_id;
+  op.valid_from = at;
+  return LogAndApply(op);
+}
+
+// ---- queries ----
+
+Result<ResultSet> Database::Execute(const std::string& mql) {
+  TCOB_ASSIGN_OR_RETURN(Statement stmt, Parser::Parse(mql));
+  return ExecuteStatement(stmt);
+}
+
+Result<std::vector<ResultSet>> Database::ExecuteScript(
+    const std::string& mql) {
+  TCOB_ASSIGN_OR_RETURN(std::vector<Statement> stmts,
+                        Parser::ParseScript(mql));
+  std::vector<ResultSet> out;
+  out.reserve(stmts.size());
+  for (const Statement& stmt : stmts) {
+    TCOB_ASSIGN_OR_RETURN(ResultSet result, ExecuteStatement(stmt));
+    out.push_back(std::move(result));
+  }
+  return out;
+}
+
+Result<ResultSet> Database::ExecuteStatement(const Statement& stmt) {
+  using R = Result<ResultSet>;
+  return std::visit(
+      [&](const auto& s) -> R {
+        using T = std::decay_t<decltype(s)>;
+        ResultSet out;
+        if constexpr (std::is_same_v<T, SelectStmt>) {
+          Materializer mat(&catalog_, store_.get(), links_.get());
+          SelectExecutor exec(&catalog_, &mat, now_, attr_indexes_.get());
+          return exec.Execute(s);
+        } else if constexpr (std::is_same_v<T, ExplainStmt>) {
+          Materializer mat(&catalog_, store_.get(), links_.get());
+          SelectExecutor exec(&catalog_, &mat, now_, attr_indexes_.get());
+          return exec.Explain(s.select);
+        } else if constexpr (std::is_same_v<T, CreateIndexStmt>) {
+          TCOB_ASSIGN_OR_RETURN(
+              IndexId id, CreateAttrIndex(s.name, s.type_name, s.attr_name));
+          out.message = "created index " + s.name + " (id " +
+                        std::to_string(id) + ")";
+          return out;
+        } else if constexpr (std::is_same_v<T, CreateAtomTypeStmt>) {
+          std::vector<AttributeDef> attrs;
+          for (const auto& [name, type] : s.attributes) {
+            attrs.push_back(AttributeDef{name, type});
+          }
+          TCOB_ASSIGN_OR_RETURN(TypeId id,
+                                CreateAtomType(s.name, std::move(attrs)));
+          out.message = "created atom type " + s.name + " (id " +
+                        std::to_string(id) + ")";
+          return out;
+        } else if constexpr (std::is_same_v<T, CreateLinkStmt>) {
+          TCOB_ASSIGN_OR_RETURN(
+              LinkTypeId id, CreateLinkType(s.name, s.from_type, s.to_type));
+          out.message = "created link type " + s.name + " (id " +
+                        std::to_string(id) + ")";
+          return out;
+        } else if constexpr (std::is_same_v<T, CreateMoleculeTypeStmt>) {
+          TCOB_ASSIGN_OR_RETURN(
+              MoleculeTypeId id,
+              CreateMoleculeType(s.name, s.root_type, s.edges));
+          out.message = "created molecule type " + s.name + " (id " +
+                        std::to_string(id) + ")";
+          return out;
+        } else if constexpr (std::is_same_v<T, InsertStmt>) {
+          Timestamp from = s.from.is_now ? now_ : s.from.at;
+          TCOB_ASSIGN_OR_RETURN(AtomId id,
+                                InsertAtom(s.type_name, s.assignments, from));
+          out.inserted_id = id;
+          out.message = "inserted atom #" + std::to_string(id) +
+                        " valid from " + TimestampToString(from);
+          return out;
+        } else if constexpr (std::is_same_v<T, UpdateStmt>) {
+          Timestamp from = s.from.is_now ? now_ : s.from.at;
+          TCOB_RETURN_NOT_OK(
+              UpdateAtom(s.type_name, s.atom_id, s.assignments, from));
+          out.message = "updated atom #" + std::to_string(s.atom_id) +
+                        " valid from " + TimestampToString(from);
+          return out;
+        } else if constexpr (std::is_same_v<T, DeleteStmt>) {
+          Timestamp from = s.from.is_now ? now_ : s.from.at;
+          TCOB_RETURN_NOT_OK(DeleteAtom(s.type_name, s.atom_id, from));
+          out.message = "deleted atom #" + std::to_string(s.atom_id) +
+                        " valid from " + TimestampToString(from);
+          return out;
+        } else if constexpr (std::is_same_v<T, ConnectStmt>) {
+          Timestamp at = s.from.is_now ? now_ : s.from.at;
+          TCOB_RETURN_NOT_OK(Connect(s.link_name, s.from_id, s.to_id, at));
+          out.message = "connected";
+          return out;
+        } else if constexpr (std::is_same_v<T, DisconnectStmt>) {
+          Timestamp at = s.from.is_now ? now_ : s.from.at;
+          TCOB_RETURN_NOT_OK(
+              Disconnect(s.link_name, s.from_id, s.to_id, at));
+          out.message = "disconnected";
+          return out;
+        } else if constexpr (std::is_same_v<T, ShowStatsStmt>) {
+          out.columns = {"METRIC", "VALUE"};
+          auto add = [&out](const std::string& metric, int64_t value) {
+            out.rows.push_back(
+                {Value::String(metric), Value::Int(value)});
+          };
+          add("clock_now", now_);
+          add("strategy",
+              static_cast<int64_t>(options_.strategy));
+          out.rows.back()[1] =
+              Value::String(StorageStrategyName(options_.strategy));
+          TCOB_ASSIGN_OR_RETURN(StoreSpaceStats space, store_->SpaceStats());
+          add("store_heap_pages", static_cast<int64_t>(space.heap_pages));
+          add("store_index_pages", static_cast<int64_t>(space.index_pages));
+          add("store_total_bytes", static_cast<int64_t>(space.total_bytes));
+          TCOB_ASSIGN_OR_RETURN(uint64_t link_pages, links_->TotalPages());
+          add("link_pages", static_cast<int64_t>(link_pages));
+          TCOB_ASSIGN_OR_RETURN(uint64_t idx_pages,
+                                attr_indexes_->TotalPages());
+          add("attr_index_pages", static_cast<int64_t>(idx_pages));
+          const BufferPoolStats& pool = pool_->stats();
+          add("pool_capacity_pages", static_cast<int64_t>(pool_->capacity()));
+          add("pool_fetches", static_cast<int64_t>(pool.fetches));
+          add("pool_hits", static_cast<int64_t>(pool.hits));
+          add("pool_evictions", static_cast<int64_t>(pool.evictions));
+          const DiskStats& disk = disk_->stats();
+          add("disk_reads", static_cast<int64_t>(disk.reads));
+          add("disk_writes", static_cast<int64_t>(disk.writes));
+          TCOB_ASSIGN_OR_RETURN(uint64_t wal_bytes, wal_->SizeBytes());
+          add("wal_bytes", static_cast<int64_t>(wal_bytes));
+          return out;
+        } else if constexpr (std::is_same_v<T, VacuumStmt>) {
+          TCOB_ASSIGN_OR_RETURN(uint64_t removed, VacuumBefore(s.before));
+          out.message = "vacuumed " + std::to_string(removed) +
+                        " version(s) before " + TimestampToString(s.before);
+          return out;
+        } else if constexpr (std::is_same_v<T, ShowCatalogStmt>) {
+          out.columns = {"KIND", "NAME", "DETAIL"};
+          for (const AtomTypeDef* t : catalog_.AtomTypes()) {
+            std::string detail;
+            for (size_t i = 0; i < t->attributes.size(); ++i) {
+              if (i) detail += ", ";
+              detail += t->attributes[i].name + " " +
+                        AttrTypeName(t->attributes[i].type);
+            }
+            out.rows.push_back({Value::String("ATOM_TYPE"),
+                                Value::String(t->name),
+                                Value::String(detail)});
+          }
+          for (const LinkTypeDef* l : catalog_.LinkTypes()) {
+            const AtomTypeDef* from = nullptr;
+            const AtomTypeDef* to = nullptr;
+            Result<const AtomTypeDef*> rf = catalog_.GetAtomType(l->from_type);
+            Result<const AtomTypeDef*> rt = catalog_.GetAtomType(l->to_type);
+            if (rf.ok()) from = rf.value();
+            if (rt.ok()) to = rt.value();
+            out.rows.push_back(
+                {Value::String("LINK"), Value::String(l->name),
+                 Value::String((from ? from->name : "?") + " -> " +
+                               (to ? to->name : "?"))});
+          }
+          for (const AttrIndexDef* idx : catalog_.AttrIndexes()) {
+            Result<const AtomTypeDef*> t = catalog_.GetAtomType(idx->atom_type);
+            std::string detail = "?";
+            if (t.ok()) {
+              detail = t.value()->name + "." +
+                       t.value()->attributes[idx->attr_pos].name;
+            }
+            out.rows.push_back({Value::String("INDEX"),
+                                Value::String(idx->name),
+                                Value::String(detail)});
+          }
+          for (const MoleculeTypeDef* m : catalog_.MoleculeTypes()) {
+            Result<const AtomTypeDef*> root =
+                catalog_.GetAtomType(m->root_type);
+            out.rows.push_back(
+                {Value::String("MOLECULE_TYPE"), Value::String(m->name),
+                 Value::String("root " +
+                               (root.ok() ? root.value()->name : "?") + ", " +
+                               std::to_string(m->edges.size()) + " edge(s)")});
+          }
+          return out;
+        } else {
+          return Status::NotSupported("unhandled statement kind");
+        }
+      },
+      stmt);
+}
+
+// ---- maintenance ----
+
+Result<uint64_t> Database::VacuumBefore(Timestamp cutoff) {
+  // The WAL may reference pre-cutoff versions (idempotency markers), so
+  // flush + truncate it before touching the stores.
+  TCOB_RETURN_NOT_OK(Checkpoint());
+  uint64_t removed = 0;
+  for (const AtomTypeDef* type : catalog_.AtomTypes()) {
+    TCOB_ASSIGN_OR_RETURN(uint64_t n, store_->VacuumBefore(*type, cutoff));
+    removed += n;
+  }
+  for (const LinkTypeDef* link : catalog_.LinkTypes()) {
+    TCOB_RETURN_NOT_OK(links_->VacuumBefore(*link, cutoff).status());
+  }
+  TCOB_RETURN_NOT_OK(attr_indexes_->VacuumBefore(cutoff).status());
+  TCOB_RETURN_NOT_OK(Checkpoint());
+  return removed;
+}
+
+// ---- durability ----
+
+Status Database::Checkpoint() {
+  TCOB_RETURN_NOT_OK(pool_->FlushAll());
+  TCOB_RETURN_NOT_OK(disk_->SyncAll());
+  TCOB_RETURN_NOT_OK(catalog_.SaveToFile(dir_ + "/catalog.tcob"));
+  TCOB_RETURN_NOT_OK(SaveClock());
+  return wal_->Truncate();
+}
+
+Status Database::Flush() {
+  TCOB_RETURN_NOT_OK(pool_->FlushAll());
+  return catalog_.SaveToFile(dir_ + "/catalog.tcob");
+}
+
+Status Database::SaveClock() const {
+  std::string bytes;
+  PutFixed64(&bytes, static_cast<uint64_t>(now_));
+  std::string path = dir_ + "/clock.tcob";
+  FILE* f = fopen(path.c_str(), "wb");
+  if (!f) return Status::IOError("open " + path);
+  size_t n = fwrite(bytes.data(), 1, bytes.size(), f);
+  fclose(f);
+  if (n != bytes.size()) return Status::IOError("short write " + path);
+  return Status::OK();
+}
+
+Status Database::LoadClock() {
+  std::string path = dir_ + "/clock.tcob";
+  FILE* f = fopen(path.c_str(), "rb");
+  if (!f) return Status::OK();  // fresh database
+  char buf[8];
+  size_t n = fread(buf, 1, sizeof(buf), f);
+  fclose(f);
+  if (n == 8) now_ = static_cast<Timestamp>(DecodeFixed64(buf));
+  return Status::OK();
+}
+
+}  // namespace tcob

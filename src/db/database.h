@@ -1,0 +1,229 @@
+#ifndef TCOB_DB_DATABASE_H_
+#define TCOB_DB_DATABASE_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "catalog/catalog.h"
+#include "common/result.h"
+#include "db/transaction.h"
+#include "index/attr_index.h"
+#include "mad/link_store.h"
+#include "mad/materializer.h"
+#include "query/ast.h"
+#include "query/result_set.h"
+#include "storage/buffer_pool.h"
+#include "storage/disk_manager.h"
+#include "tstore/store_factory.h"
+#include "wal/log_record.h"
+#include "wal/wal.h"
+
+namespace tcob {
+
+/// Open-time configuration of a TCOB database.
+struct DatabaseOptions {
+  /// Physical design for atom histories (the paper's central knob).
+  StorageStrategy strategy = StorageStrategy::kSeparated;
+  /// Buffer pool capacity in pages.
+  size_t buffer_pool_pages = 1024;
+  /// Store tuning (version index toggle etc.).
+  StoreOptions store;
+  /// fdatasync the WAL after every auto-committed statement.
+  bool sync_wal = false;
+};
+
+/// The public face of the temporal complex-object database.
+///
+/// A Database owns one directory of files: the catalog, the WAL, and the
+/// files of the chosen storage strategy. All DML is valid-time stamped;
+/// every mutation is WAL-logged before being applied, and Open replays
+/// the log tail after a crash. Execution is single-threaded (one thread
+/// per Database instance).
+///
+/// Typical use:
+///   TCOB_ASSIGN_OR_RETURN(auto db, Database::Open("/data/hr", {}));
+///   db->Execute("CREATE ATOM_TYPE Emp (name STRING, salary INT)");
+///   db->Execute("INSERT ATOM Emp (name='ada', salary=10) VALID FROM 5");
+///   db->Execute("SELECT ALL FROM EmpMol VALID AT 7");
+class Database {
+ public:
+  /// Opens (creating if needed) the database in `dir`, replaying any WAL
+  /// tail left by a crash.
+  static Result<std::unique_ptr<Database>> Open(const std::string& dir,
+                                                const DatabaseOptions& options);
+
+  ~Database();
+
+  Database(const Database&) = delete;
+  Database& operator=(const Database&) = delete;
+
+  // ---- DDL (persisted immediately) ----
+
+  Result<TypeId> CreateAtomType(const std::string& name,
+                                std::vector<AttributeDef> attributes);
+  Result<LinkTypeId> CreateLinkType(const std::string& name,
+                                    const std::string& from_type,
+                                    const std::string& to_type);
+  Result<MoleculeTypeId> CreateMoleculeType(
+      const std::string& name, const std::string& root_type,
+      const std::vector<std::pair<std::string, bool>>& edges);
+
+  /// Creates a secondary index over `type_name`.`attr_name` and
+  /// backfills it from the existing atom versions.
+  Result<IndexId> CreateAttrIndex(const std::string& name,
+                                  const std::string& type_name,
+                                  const std::string& attr_name);
+
+  // ---- the valid-time clock ----
+
+  /// The database's NOW (a chronon). DML stamped "VALID FROM NOW" uses it
+  /// and then advances it by one; explicit stamps pull it forward to
+  /// stay monotone.
+  Timestamp Now() const { return now_; }
+  void SetNow(Timestamp t) { now_ = t; }
+
+  // ---- transactions ----
+
+  /// Starts an explicit transaction (see transaction.h). Only one
+  /// transaction should be open at a time (single-threaded execution
+  /// model); interleaving auto-commit DML with an open transaction is
+  /// allowed but the transaction validated against the state at
+  /// buffering time.
+  Transaction Begin();
+
+  // ---- DML (auto-commit: WAL append, then apply) ----
+
+  /// Inserts a new atom; unlisted attributes are NULL. Returns its id.
+  Result<AtomId> InsertAtom(
+      const std::string& type_name,
+      const std::vector<std::pair<std::string, Value>>& assignments,
+      Timestamp from);
+
+  /// Positional variant (all attributes, schema order).
+  Result<AtomId> InsertAtomValues(const std::string& type_name,
+                                  std::vector<Value> values, Timestamp from);
+
+  /// Partial update: listed attributes change, the rest carry over.
+  Status UpdateAtom(const std::string& type_name, AtomId id,
+                    const std::vector<std::pair<std::string, Value>>&
+                        assignments,
+                    Timestamp from);
+
+  /// Positional variant (all attributes, schema order).
+  Status UpdateAtomValues(const std::string& type_name, AtomId id,
+                          std::vector<Value> values, Timestamp from);
+
+  Status DeleteAtom(const std::string& type_name, AtomId id, Timestamp from);
+
+  Status Connect(const std::string& link_name, AtomId from_id, AtomId to_id,
+                 Timestamp at);
+  Status Disconnect(const std::string& link_name, AtomId from_id,
+                    AtomId to_id, Timestamp at);
+
+  // ---- queries ----
+
+  /// Parses and executes one MQL statement.
+  Result<ResultSet> Execute(const std::string& mql);
+
+  /// Parses and executes a ';'-separated MQL script, stopping at the
+  /// first error; returns one ResultSet per executed statement.
+  Result<std::vector<ResultSet>> ExecuteScript(const std::string& mql);
+
+  /// Executes a pre-parsed statement.
+  Result<ResultSet> ExecuteStatement(const Statement& stmt);
+
+  // ---- maintenance ----
+
+  /// Temporal vacuuming: physically removes every atom version, link
+  /// interval and index entry that ended at or before `cutoff`.
+  /// Time-slice and history queries at instants >= cutoff are
+  /// unaffected; queries before the cutoff lose their data (that is the
+  /// point). Wrapped in checkpoints so the WAL never references
+  /// vacuumed state. Returns the number of atom versions removed.
+  Result<uint64_t> VacuumBefore(Timestamp cutoff);
+
+  // ---- durability ----
+
+  /// Flushes all state and truncates the WAL.
+  Status Checkpoint();
+
+  /// Flushes dirty pages (without truncating the WAL).
+  Status Flush();
+
+  // ---- introspection (benchmarks, tests) ----
+
+  const Catalog& catalog() const { return catalog_; }
+  TemporalAtomStore* store() { return store_.get(); }
+  const TemporalAtomStore* store() const { return store_.get(); }
+  LinkStore* links() { return links_.get(); }
+  BufferPool* pool() { return pool_.get(); }
+  DiskManager* disk() { return disk_.get(); }
+  WriteAheadLog* wal() { return wal_.get(); }
+  AttrIndexManager* attr_indexes() { return attr_indexes_.get(); }
+  Materializer materializer() const {
+    return Materializer(&catalog_, store_.get(), links_.get());
+  }
+  const DatabaseOptions& options() const { return options_; }
+
+  /// Coerces + positions named assignments against a type's schema;
+  /// `base` supplies carried-over values for partial updates (nullptr
+  /// means unlisted attributes become NULL). Shared with Transaction.
+  static Result<std::vector<Value>> ResolveAssignmentsFor(
+      const AtomTypeDef& type,
+      const std::vector<std::pair<std::string, Value>>& assignments,
+      const std::vector<Value>* base);
+
+ private:
+  friend class Transaction;
+  // Dump/restore needs the logical-apply path and catalog installation.
+  friend Status ExportDump(Database* db, const std::string& path);
+  friend Status ImportDump(Database* db, const std::string& path);
+
+  Database(std::string dir, DatabaseOptions options)
+      : dir_(std::move(dir)), options_(options) {}
+
+  /// Hands out a fresh atom surrogate (used by Transaction buffering).
+  AtomId AllocateAtomId() { return catalog_.NextAtomId(); }
+
+  /// Transaction commit path: logs all `ops` plus a commit record (one
+  /// sync when configured), then applies them.
+  Status CommitOps(uint64_t txn_id, const std::vector<WalOp>& ops);
+
+  Status Init();
+  Status Recover();
+
+  /// Applies one logical operation to the stores (DML path and replay).
+  Status ApplyOp(const WalOp& op);
+
+  /// Appends `op` to the WAL (syncing if configured), then applies it.
+  Status LogAndApply(const WalOp& op);
+
+  Status SaveClock() const;
+  Status LoadClock();
+
+  /// Coerces a literal to the attribute's declared type (int -> double /
+  /// timestamp / id promotions; NULL re-typing).
+  static Result<Value> Coerce(const Value& v, AttrType target);
+
+  /// Bumps the clock past `from` so NOW stays monotone.
+  void ObserveTimestamp(Timestamp from) {
+    if (from >= now_) now_ = from + 1;
+  }
+
+  std::string dir_;
+  DatabaseOptions options_;
+  Catalog catalog_;
+  std::unique_ptr<DiskManager> disk_;
+  std::unique_ptr<BufferPool> pool_;
+  std::unique_ptr<TemporalAtomStore> store_;
+  std::unique_ptr<LinkStore> links_;
+  std::unique_ptr<AttrIndexManager> attr_indexes_;
+  std::unique_ptr<WriteAheadLog> wal_;
+  Timestamp now_ = 1;
+  uint64_t next_txn_id_ = 1;
+};
+
+}  // namespace tcob
+
+#endif  // TCOB_DB_DATABASE_H_

@@ -1,0 +1,214 @@
+#include "db/dump.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <map>
+
+#include "common/coding.h"
+#include "db/database.h"
+
+namespace tcob {
+
+namespace {
+
+constexpr uint32_t kDumpMagic = 0x54434244;  // "TCBD"
+constexpr uint32_t kDumpVersion = 1;
+
+Status WriteAll(const std::string& path, const std::string& bytes) {
+  std::string tmp = path + ".tmp";
+  FILE* f = fopen(tmp.c_str(), "wb");
+  if (!f) return Status::IOError("open " + tmp);
+  size_t n = fwrite(bytes.data(), 1, bytes.size(), f);
+  if (n != bytes.size() || fflush(f) != 0) {
+    fclose(f);
+    return Status::IOError("write " + tmp);
+  }
+  fclose(f);
+  if (rename(tmp.c_str(), path.c_str()) != 0) {
+    return Status::IOError("rename " + tmp);
+  }
+  return Status::OK();
+}
+
+Result<std::string> ReadAll(const std::string& path) {
+  FILE* f = fopen(path.c_str(), "rb");
+  if (!f) return Status::NotFound("dump file " + path);
+  std::string bytes;
+  char buf[1 << 16];
+  size_t n;
+  while ((n = fread(buf, 1, sizeof(buf), f)) > 0) bytes.append(buf, n);
+  fclose(f);
+  return bytes;
+}
+
+}  // namespace
+
+Status ExportDump(Database* db, const std::string& path) {
+  std::string out;
+  PutFixed32(&out, kDumpMagic);
+  PutFixed32(&out, kDumpVersion);
+  PutLengthPrefixed(&out, db->catalog_.Serialize());
+  PutVarsint64(&out, db->now_);
+
+  // Atom versions, grouped by type.
+  std::vector<const AtomTypeDef*> types = db->catalog_.AtomTypes();
+  PutVarint32(&out, static_cast<uint32_t>(types.size()));
+  for (const AtomTypeDef* type : types) {
+    PutVarint32(&out, type->id);
+    std::vector<AttrType> schema = type->AttrTypes();
+    std::string versions;
+    uint64_t count = 0;
+    TCOB_RETURN_NOT_OK(db->store_->ScanVersions(
+        *type, Interval::All(), [&](const AtomVersion& v) -> Result<bool> {
+          TCOB_RETURN_NOT_OK(EncodeAtomVersion(schema, v, &versions));
+          ++count;
+          return true;
+        }));
+    PutVarint64(&out, count);
+    out += versions;
+  }
+
+  // Link intervals, grouped by link type.
+  std::vector<const LinkTypeDef*> links = db->catalog_.LinkTypes();
+  PutVarint32(&out, static_cast<uint32_t>(links.size()));
+  for (const LinkTypeDef* link : links) {
+    PutVarint32(&out, link->id);
+    std::string records;
+    uint64_t count = 0;
+    TCOB_RETURN_NOT_OK(db->links_->ForEachLink(
+        *link,
+        [&](AtomId from, AtomId to, const Interval& valid) -> Result<bool> {
+          PutVarint64(&records, from);
+          PutVarint64(&records, to);
+          PutVarsint64(&records, valid.begin);
+          PutVarsint64(&records, valid.end);
+          ++count;
+          return true;
+        }));
+    PutVarint64(&out, count);
+    out += records;
+  }
+  return WriteAll(path, out);
+}
+
+Status ImportDump(Database* db, const std::string& path) {
+  if (!db->catalog_.AtomTypes().empty()) {
+    return Status::InvalidArgument(
+        "import target must be an empty database");
+  }
+  TCOB_ASSIGN_OR_RETURN(std::string bytes, ReadAll(path));
+  Slice in(bytes);
+  uint32_t magic, version;
+  TCOB_RETURN_NOT_OK(GetFixed32(&in, &magic));
+  if (magic != kDumpMagic) return Status::Corruption("dump magic");
+  TCOB_RETURN_NOT_OK(GetFixed32(&in, &version));
+  if (version != kDumpVersion) {
+    return Status::Corruption("dump version " + std::to_string(version));
+  }
+  Slice catalog_bytes;
+  TCOB_RETURN_NOT_OK(GetLengthPrefixed(&in, &catalog_bytes));
+  TCOB_ASSIGN_OR_RETURN(db->catalog_, Catalog::Deserialize(catalog_bytes));
+  TCOB_RETURN_NOT_OK(db->catalog_.SaveToFile(db->dir_ + "/catalog.tcob"));
+  Timestamp clock;
+  TCOB_RETURN_NOT_OK(GetVarsint64(&in, &clock));
+
+  // Atom histories: regroup per atom, sort, and replay as logical ops so
+  // WAL, indexes and watermarks are all maintained.
+  uint32_t n_types;
+  TCOB_RETURN_NOT_OK(GetVarint32(&in, &n_types));
+  for (uint32_t s = 0; s < n_types; ++s) {
+    uint32_t type_id;
+    TCOB_RETURN_NOT_OK(GetVarint32(&in, &type_id));
+    TCOB_ASSIGN_OR_RETURN(const AtomTypeDef* type,
+                          db->catalog_.GetAtomType(type_id));
+    std::vector<AttrType> schema = type->AttrTypes();
+    uint64_t count;
+    TCOB_RETURN_NOT_OK(GetVarint64(&in, &count));
+    std::map<AtomId, std::vector<AtomVersion>> by_atom;
+    for (uint64_t i = 0; i < count; ++i) {
+      TCOB_ASSIGN_OR_RETURN(AtomVersion v, DecodeAtomVersion(schema, &in));
+      by_atom[v.id].push_back(std::move(v));
+    }
+    for (auto& [id, versions] : by_atom) {
+      std::sort(versions.begin(), versions.end(),
+                [](const AtomVersion& a, const AtomVersion& b) {
+                  return a.valid.begin < b.valid.begin;
+                });
+      Timestamp prev_end = kMinTimestamp;
+      for (size_t i = 0; i < versions.size(); ++i) {
+        const AtomVersion& v = versions[i];
+        WalOp op;
+        op.atom_id = id;
+        op.atom_type = type_id;
+        op.attrs = v.attrs;
+        if (i == 0 || v.valid.begin != prev_end) {
+          if (i > 0) {
+            // Gap: the previous version was closed by a delete.
+            WalOp del;
+            del.type = WalOpType::kDeleteAtom;
+            del.atom_id = id;
+            del.atom_type = type_id;
+            del.valid_from = prev_end;
+            TCOB_RETURN_NOT_OK(db->LogAndApply(del));
+          }
+          op.type = WalOpType::kInsertAtom;
+        } else {
+          op.type = WalOpType::kUpdateAtom;
+        }
+        op.valid_from = v.valid.begin;
+        TCOB_RETURN_NOT_OK(db->LogAndApply(op));
+        prev_end = v.valid.end;
+      }
+      if (!versions.back().valid.open_ended()) {
+        WalOp del;
+        del.type = WalOpType::kDeleteAtom;
+        del.atom_id = id;
+        del.atom_type = type_id;
+        del.valid_from = versions.back().valid.end;
+        TCOB_RETURN_NOT_OK(db->LogAndApply(del));
+      }
+    }
+  }
+
+  // Link intervals, per pair in time order.
+  uint32_t n_links;
+  TCOB_RETURN_NOT_OK(GetVarint32(&in, &n_links));
+  for (uint32_t s = 0; s < n_links; ++s) {
+    uint32_t link_id;
+    TCOB_RETURN_NOT_OK(GetVarint32(&in, &link_id));
+    uint64_t count;
+    TCOB_RETURN_NOT_OK(GetVarint64(&in, &count));
+    std::map<std::pair<AtomId, AtomId>, std::vector<Interval>> by_pair;
+    for (uint64_t i = 0; i < count; ++i) {
+      uint64_t from, to;
+      Interval valid;
+      TCOB_RETURN_NOT_OK(GetVarint64(&in, &from));
+      TCOB_RETURN_NOT_OK(GetVarint64(&in, &to));
+      TCOB_RETURN_NOT_OK(GetVarsint64(&in, &valid.begin));
+      TCOB_RETURN_NOT_OK(GetVarsint64(&in, &valid.end));
+      by_pair[{from, to}].push_back(valid);
+    }
+    for (auto& [pair, intervals] : by_pair) {
+      std::sort(intervals.begin(), intervals.end());
+      for (const Interval& valid : intervals) {
+        WalOp op;
+        op.type = WalOpType::kConnect;
+        op.link_type = link_id;
+        op.from_id = pair.first;
+        op.to_id = pair.second;
+        op.valid_from = valid.begin;
+        TCOB_RETURN_NOT_OK(db->LogAndApply(op));
+        if (!valid.open_ended()) {
+          op.type = WalOpType::kDisconnect;
+          op.valid_from = valid.end;
+          TCOB_RETURN_NOT_OK(db->LogAndApply(op));
+        }
+      }
+    }
+  }
+
+  db->now_ = clock;
+  return db->Checkpoint();
+}
+
+}  // namespace tcob

@@ -1,0 +1,32 @@
+#ifndef TCOB_DB_DUMP_H_
+#define TCOB_DB_DUMP_H_
+
+#include <string>
+
+#include "common/result.h"
+
+namespace tcob {
+
+class Database;
+
+/// Portable full-database dump / restore.
+///
+/// The dump file carries the catalog, the valid-time clock, every atom
+/// version of every type, and every link interval — enough to rebuild a
+/// bit-equivalent *logical* database under **any** storage strategy.
+/// This doubles as the strategy-migration tool:
+///
+///   auto src = Database::Open(dir_a, {.strategy = kSnapshot}).value();
+///   ExportDump(src.get(), "/tmp/db.tcobdump");
+///   auto dst = Database::Open(dir_b, {.strategy = kSeparated}).value();
+///   ImportDump(dst.get(), "/tmp/db.tcobdump");
+///
+/// Import replays the dump through the normal logical-operation path, so
+/// WAL logging, attribute-index maintenance and id-watermark bookkeeping
+/// all apply; the target database must be empty (fresh directory).
+Status ExportDump(Database* db, const std::string& path);
+Status ImportDump(Database* db, const std::string& path);
+
+}  // namespace tcob
+
+#endif  // TCOB_DB_DUMP_H_

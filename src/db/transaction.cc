@@ -1,0 +1,237 @@
+#include "db/transaction.h"
+
+#include "common/logging.h"
+#include "db/database.h"
+
+namespace tcob {
+
+Transaction::~Transaction() {
+  if (active_) Abort();
+}
+
+void Transaction::Abort() {
+  ops_.clear();
+  atoms_.clear();
+  links_.clear();
+  active_ = false;
+}
+
+Result<Transaction::AtomOverlay*> Transaction::OverlayFor(
+    const std::string& type_name, AtomId id, Timestamp as_of) {
+  auto it = atoms_.find(id);
+  if (it != atoms_.end()) return &it->second;
+  TCOB_ASSIGN_OR_RETURN(const AtomTypeDef* type,
+                        db_->catalog().GetAtomTypeByName(type_name));
+  AtomOverlay overlay;
+  overlay.type = type->id;
+  Result<std::vector<AtomVersion>> versions =
+      db_->store()->GetVersions(*type, id, Interval::All());
+  if (versions.ok() && !versions.value().empty()) {
+    const AtomVersion& last = versions.value().back();
+    overlay.exists = true;
+    overlay.live = last.valid.open_ended();
+    overlay.live_begin = last.valid.begin;
+    overlay.last_end = last.valid.open_ended() ? kMinTimestamp
+                                               : last.valid.end;
+    overlay.attrs = last.attrs;
+  } else if (!versions.ok() && !versions.status().IsNotFound()) {
+    return versions.status();
+  }
+  (void)as_of;
+  auto [pos, inserted] = atoms_.emplace(id, std::move(overlay));
+  (void)inserted;
+  return &pos->second;
+}
+
+Result<Transaction::LinkOverlay*> Transaction::LinkOverlayFor(
+    const std::string& link_name, LinkTypeId link_id, AtomId from, AtomId to,
+    Timestamp as_of) {
+  (void)as_of;
+  auto key = std::make_tuple(link_id, from, to);
+  auto it = links_.find(key);
+  if (it != links_.end()) return &it->second;
+  TCOB_ASSIGN_OR_RETURN(const LinkTypeDef* link,
+                        db_->catalog().GetLinkTypeByName(link_name));
+  LinkOverlay overlay;
+  overlay.initialized_from_store = true;
+  TCOB_ASSIGN_OR_RETURN(
+      auto spans, db_->links()->NeighborsIn(*link, from, /*forward=*/true,
+                                            Interval::All()));
+  for (const auto& [other, valid] : spans) {
+    if (other != to) continue;
+    if (valid.open_ended()) {
+      overlay.open = true;
+      overlay.open_begin = valid.begin;
+    } else if (valid.end > overlay.last_end) {
+      overlay.last_end = valid.end;
+    }
+  }
+  auto [pos, inserted] = links_.emplace(key, overlay);
+  (void)inserted;
+  return &pos->second;
+}
+
+Result<AtomId> Transaction::InsertAtom(
+    const std::string& type_name,
+    const std::vector<std::pair<std::string, Value>>& assignments,
+    Timestamp from) {
+  if (!active_) return Status::InvalidArgument("transaction not active");
+  TCOB_ASSIGN_OR_RETURN(const AtomTypeDef* type,
+                        db_->catalog().GetAtomTypeByName(type_name));
+  TCOB_ASSIGN_OR_RETURN(
+      std::vector<Value> values,
+      Database::ResolveAssignmentsFor(*type, assignments, nullptr));
+  AtomId id = db_->AllocateAtomId();
+  AtomOverlay overlay;
+  overlay.type = type->id;
+  overlay.exists = true;
+  overlay.live = true;
+  overlay.live_begin = from;
+  overlay.attrs = values;
+  atoms_[id] = std::move(overlay);
+
+  WalOp op;
+  op.type = WalOpType::kInsertAtom;
+  op.txn_id = txn_id_;
+  op.atom_id = id;
+  op.atom_type = type->id;
+  op.valid_from = from;
+  op.attrs = std::move(values);
+  ops_.push_back(std::move(op));
+  return id;
+}
+
+Status Transaction::UpdateAtom(
+    const std::string& type_name, AtomId id,
+    const std::vector<std::pair<std::string, Value>>& assignments,
+    Timestamp from) {
+  if (!active_) return Status::InvalidArgument("transaction not active");
+  TCOB_ASSIGN_OR_RETURN(const AtomTypeDef* type,
+                        db_->catalog().GetAtomTypeByName(type_name));
+  TCOB_ASSIGN_OR_RETURN(AtomOverlay * overlay,
+                        OverlayFor(type_name, id, from));
+  if (!overlay->exists) {
+    return Status::NotFound("update of unknown atom " + std::to_string(id));
+  }
+  if (!overlay->live) {
+    return Status::InvalidArgument("update of a dead atom");
+  }
+  if (from <= overlay->live_begin) {
+    return Status::InvalidArgument(
+        "update must be after the live version's begin");
+  }
+  TCOB_ASSIGN_OR_RETURN(std::vector<Value> values,
+                        Database::ResolveAssignmentsFor(*type, assignments,
+                                                        &overlay->attrs));
+  overlay->live_begin = from;
+  overlay->attrs = values;
+
+  WalOp op;
+  op.type = WalOpType::kUpdateAtom;
+  op.txn_id = txn_id_;
+  op.atom_id = id;
+  op.atom_type = type->id;
+  op.valid_from = from;
+  op.attrs = std::move(values);
+  ops_.push_back(std::move(op));
+  return Status::OK();
+}
+
+Status Transaction::DeleteAtom(const std::string& type_name, AtomId id,
+                               Timestamp from) {
+  if (!active_) return Status::InvalidArgument("transaction not active");
+  TCOB_ASSIGN_OR_RETURN(const AtomTypeDef* type,
+                        db_->catalog().GetAtomTypeByName(type_name));
+  TCOB_ASSIGN_OR_RETURN(AtomOverlay * overlay,
+                        OverlayFor(type_name, id, from));
+  if (!overlay->exists) {
+    return Status::NotFound("delete of unknown atom " + std::to_string(id));
+  }
+  if (!overlay->live) {
+    return Status::InvalidArgument("delete of a dead atom");
+  }
+  if (from <= overlay->live_begin) {
+    return Status::InvalidArgument(
+        "delete must be after the live version's begin");
+  }
+  overlay->live = false;
+  overlay->last_end = from;
+
+  WalOp op;
+  op.type = WalOpType::kDeleteAtom;
+  op.txn_id = txn_id_;
+  op.atom_id = id;
+  op.atom_type = type->id;
+  op.valid_from = from;
+  ops_.push_back(std::move(op));
+  return Status::OK();
+}
+
+Status Transaction::Connect(const std::string& link_name, AtomId from_id,
+                            AtomId to_id, Timestamp at) {
+  if (!active_) return Status::InvalidArgument("transaction not active");
+  TCOB_ASSIGN_OR_RETURN(const LinkTypeDef* link,
+                        db_->catalog().GetLinkTypeByName(link_name));
+  TCOB_ASSIGN_OR_RETURN(
+      LinkOverlay * overlay,
+      LinkOverlayFor(link_name, link->id, from_id, to_id, at));
+  if (overlay->open) {
+    return Status::AlreadyExists("link already connected");
+  }
+  if (at < overlay->last_end) {
+    return Status::InvalidArgument(
+        "connect overlaps a previous connection interval");
+  }
+  overlay->open = true;
+  overlay->open_begin = at;
+
+  WalOp op;
+  op.type = WalOpType::kConnect;
+  op.txn_id = txn_id_;
+  op.link_type = link->id;
+  op.from_id = from_id;
+  op.to_id = to_id;
+  op.valid_from = at;
+  ops_.push_back(std::move(op));
+  return Status::OK();
+}
+
+Status Transaction::Disconnect(const std::string& link_name, AtomId from_id,
+                               AtomId to_id, Timestamp at) {
+  if (!active_) return Status::InvalidArgument("transaction not active");
+  TCOB_ASSIGN_OR_RETURN(const LinkTypeDef* link,
+                        db_->catalog().GetLinkTypeByName(link_name));
+  TCOB_ASSIGN_OR_RETURN(
+      LinkOverlay * overlay,
+      LinkOverlayFor(link_name, link->id, from_id, to_id, at));
+  if (!overlay->open) {
+    return Status::NotFound("no open connection to disconnect");
+  }
+  if (at <= overlay->open_begin) {
+    return Status::InvalidArgument("disconnect before the connection began");
+  }
+  overlay->open = false;
+  overlay->last_end = at;
+
+  WalOp op;
+  op.type = WalOpType::kDisconnect;
+  op.txn_id = txn_id_;
+  op.link_type = link->id;
+  op.from_id = from_id;
+  op.to_id = to_id;
+  op.valid_from = at;
+  ops_.push_back(std::move(op));
+  return Status::OK();
+}
+
+Status Transaction::Commit() {
+  if (!active_) return Status::InvalidArgument("transaction not active");
+  Status committed = db_->CommitOps(txn_id_, ops_);
+  active_ = false;
+  ops_.clear();
+  atoms_.clear();
+  links_.clear();
+  return committed;
+}
+
+}  // namespace tcob

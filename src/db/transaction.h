@@ -1,0 +1,113 @@
+#ifndef TCOB_DB_TRANSACTION_H_
+#define TCOB_DB_TRANSACTION_H_
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "record/value.h"
+#include "time/timestamp.h"
+#include "wal/log_record.h"
+
+namespace tcob {
+
+class Database;
+
+/// An explicit multi-statement transaction.
+///
+/// Operations are validated eagerly (against the committed state plus
+/// this transaction's own pending effects) and buffered; nothing touches
+/// the stores or the WAL until Commit. Commit appends every operation
+/// plus a commit record to the WAL in one batch (one fsync when
+/// configured) and then applies the operations — which cannot fail,
+/// because validation already held and the Database is single-threaded.
+/// Abort simply discards the buffer.
+///
+/// Reads through the Database during an open transaction see the
+/// *committed* state only (the buffer is not visible to queries).
+///
+/// Usage:
+///   Transaction txn = db->Begin();
+///   TCOB_ASSIGN_OR_RETURN(AtomId id, txn.InsertAtom("Emp", {...}, t));
+///   TCOB_RETURN_NOT_OK(txn.Connect("DeptEmp", dept, id, t));
+///   TCOB_RETURN_NOT_OK(txn.Commit());
+class Transaction {
+ public:
+  ~Transaction();
+
+  Transaction(const Transaction&) = delete;
+  Transaction& operator=(const Transaction&) = delete;
+  Transaction(Transaction&&) noexcept = default;
+
+  /// Buffers an insert; returns the atom id the insert will create.
+  Result<AtomId> InsertAtom(
+      const std::string& type_name,
+      const std::vector<std::pair<std::string, Value>>& assignments,
+      Timestamp from);
+
+  /// Buffers a partial update (unlisted attributes carry over, seeing
+  /// this transaction's own pending updates).
+  Status UpdateAtom(const std::string& type_name, AtomId id,
+                    const std::vector<std::pair<std::string, Value>>&
+                        assignments,
+                    Timestamp from);
+
+  Status DeleteAtom(const std::string& type_name, AtomId id, Timestamp from);
+
+  Status Connect(const std::string& link_name, AtomId from_id, AtomId to_id,
+                 Timestamp at);
+  Status Disconnect(const std::string& link_name, AtomId from_id,
+                    AtomId to_id, Timestamp at);
+
+  /// Logs and applies the buffered operations atomically.
+  Status Commit();
+
+  /// Discards the buffered operations.
+  void Abort();
+
+  bool active() const { return active_; }
+  size_t pending_ops() const { return ops_.size(); }
+  uint64_t id() const { return txn_id_; }
+
+ private:
+  friend class Database;
+  Transaction(Database* db, uint64_t txn_id) : db_(db), txn_id_(txn_id) {}
+
+  /// Pending per-atom view: what the atom will look like if this
+  /// transaction commits. Lazily initialized from the committed state.
+  struct AtomOverlay {
+    bool exists = false;  // has any version (committed or pending)
+    bool live = false;
+    Timestamp live_begin = kMinTimestamp;
+    Timestamp last_end = kMinTimestamp;  // end of newest closed version
+    TypeId type = kInvalidTypeId;
+    std::vector<Value> attrs;  // of the live version
+  };
+
+  /// Pending link-pair view.
+  struct LinkOverlay {
+    bool open = false;
+    Timestamp open_begin = kMinTimestamp;
+    Timestamp last_end = kMinTimestamp;
+    bool initialized_from_store = false;
+  };
+
+  Result<AtomOverlay*> OverlayFor(const std::string& type_name, AtomId id,
+                                  Timestamp as_of);
+  Result<LinkOverlay*> LinkOverlayFor(const std::string& link_name,
+                                      LinkTypeId link_id, AtomId from,
+                                      AtomId to, Timestamp as_of);
+
+  Database* db_;
+  uint64_t txn_id_;
+  bool active_ = true;
+  std::vector<WalOp> ops_;
+  std::map<AtomId, AtomOverlay> atoms_;
+  std::map<std::tuple<LinkTypeId, AtomId, AtomId>, LinkOverlay> links_;
+};
+
+}  // namespace tcob
+
+#endif  // TCOB_DB_TRANSACTION_H_

@@ -1,0 +1,111 @@
+#ifndef TCOB_INDEX_BTREE_H_
+#define TCOB_INDEX_BTREE_H_
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "common/slice.h"
+#include "storage/buffer_pool.h"
+#include "storage/page.h"
+
+namespace tcob {
+
+/// Disk-resident B+-tree mapping variable-length byte keys (memcmp order)
+/// to 64-bit payloads.
+///
+/// Used for every index in TCOB: atom-id → RID directories, version
+/// directories, and secondary attribute indexes (via the order-preserving
+/// encodings in common/coding.h).
+///
+/// Node pages are (de)serialized whole: each page holds one sorted node.
+/// Splits propagate upward; deletion is lazy (no rebalancing — vacated
+/// space is reused by later inserts, matching the workload pattern of the
+/// modeled system where histories only grow).
+class BTree {
+ public:
+  /// Opens (formatting if empty) the tree stored in file `name`.
+  static Result<std::unique_ptr<BTree>> Open(BufferPool* pool,
+                                             const std::string& name);
+
+  /// Inserts or overwrites `key`.
+  Status Put(const Slice& key, uint64_t value);
+
+  /// Point lookup; NotFound if absent.
+  Result<uint64_t> Get(const Slice& key) const;
+
+  /// Removes `key`; NotFound if absent.
+  Status Delete(const Slice& key);
+
+  /// Calls fn(key, value) for every entry with lower <= key < upper
+  /// (empty `upper` == unbounded), in key order; stops early when fn
+  /// returns false.
+  Status Scan(const Slice& lower, const Slice& upper,
+              const std::function<Result<bool>(const Slice&, uint64_t)>& fn)
+      const;
+
+  /// Calls fn for every entry whose key starts with `prefix`, in order.
+  Status ScanPrefix(
+      const Slice& prefix,
+      const std::function<Result<bool>(const Slice&, uint64_t)>& fn) const;
+
+  /// Greatest entry with key <= target (floor); NotFound when none.
+  Result<std::pair<std::string, uint64_t>> Floor(const Slice& target) const;
+
+  /// Number of live entries.
+  uint64_t Size() const { return entry_count_; }
+
+  /// Tree height (1 == root is a leaf).
+  Result<uint32_t> Height() const;
+
+  FileId file_id() const { return file_; }
+
+ private:
+  BTree(BufferPool* pool, FileId file) : pool_(pool), file_(file) {}
+
+  // In-memory image of one node page.
+  struct Node {
+    bool is_leaf = true;
+    PageNo next_leaf = kInvalidPageNo;
+    std::vector<std::string> keys;
+    // Leaves: values[i] pairs with keys[i].
+    // Internal: children.size() == keys.size() + 1; keys[i] is the lowest
+    // key reachable under children[i + 1].
+    std::vector<uint64_t> values;
+    std::vector<PageNo> children;
+  };
+
+  Status LoadOrFormat(const std::string& name);
+  Status SaveMeta();
+  Result<Node> ReadNode(PageNo page) const;
+  Status WriteNode(PageNo page, const Node& node);
+  Result<PageNo> AllocNode();
+  static size_t NodeSize(const Node& node);
+  static int LowerBound(const Node& node, const Slice& key);
+
+  struct SplitResult {
+    bool split = false;
+    std::string sep_key;    // lowest key of the new right sibling
+    PageNo right_page = kInvalidPageNo;
+  };
+
+  /// Recursive insert; reports a split of `page` to the caller.
+  Result<SplitResult> InsertRec(PageNo page, const Slice& key, uint64_t value,
+                                bool* replaced);
+
+  /// Descends to the leaf that may contain `key`.
+  Result<PageNo> FindLeaf(const Slice& key) const;
+
+  BufferPool* pool_;
+  FileId file_;
+  PageNo root_ = kInvalidPageNo;
+  uint64_t entry_count_ = 0;
+};
+
+}  // namespace tcob
+
+#endif  // TCOB_INDEX_BTREE_H_

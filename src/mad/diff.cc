@@ -1,0 +1,55 @@
+#include "mad/diff.h"
+
+#include <algorithm>
+
+namespace tcob {
+
+MoleculeDiff DiffMolecules(const Molecule& before, const Molecule& after) {
+  MoleculeDiff diff;
+  // Atoms: both maps iterate in id order, so a merge walk suffices.
+  auto bit = before.atoms.begin();
+  auto ait = after.atoms.begin();
+  while (bit != before.atoms.end() || ait != after.atoms.end()) {
+    if (ait == after.atoms.end() ||
+        (bit != before.atoms.end() && bit->first < ait->first)) {
+      diff.removed_atoms.push_back(bit->first);
+      ++bit;
+    } else if (bit == before.atoms.end() || ait->first < bit->first) {
+      diff.added_atoms.push_back(ait->first);
+      ++ait;
+    } else {
+      if (bit->second.version_no != ait->second.version_no) {
+        diff.changed_atoms.push_back({bit->first, bit->second.version_no,
+                                      ait->second.version_no});
+      }
+      ++bit;
+      ++ait;
+    }
+  }
+  // Edges: both vectors are sorted (materializer invariant).
+  std::set_difference(before.edges.begin(), before.edges.end(),
+                      after.edges.begin(), after.edges.end(),
+                      std::back_inserter(diff.removed_edges));
+  std::set_difference(after.edges.begin(), after.edges.end(),
+                      before.edges.begin(), before.edges.end(),
+                      std::back_inserter(diff.added_edges));
+  return diff;
+}
+
+std::string MoleculeDiff::Summary() const {
+  if (empty()) return "no changes";
+  std::string out;
+  auto append = [&out](size_t n, const char* what) {
+    if (n == 0) return;
+    if (!out.empty()) out += ", ";
+    out += std::to_string(n) + " " + what;
+  };
+  append(added_atoms.size(), "atom(s) added");
+  append(removed_atoms.size(), "atom(s) removed");
+  append(changed_atoms.size(), "atom(s) changed");
+  append(added_edges.size(), "link(s) added");
+  append(removed_edges.size(), "link(s) removed");
+  return out;
+}
+
+}  // namespace tcob

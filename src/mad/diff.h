@@ -1,0 +1,47 @@
+#ifndef TCOB_MAD_DIFF_H_
+#define TCOB_MAD_DIFF_H_
+
+#include <string>
+#include <vector>
+
+#include "mad/molecule.h"
+
+namespace tcob {
+
+/// Structural + version delta between two states of a molecule.
+///
+/// The classic design-management question — "what changed between
+/// release A and release B?" — answered at the complex-object level:
+/// which atoms entered or left the molecule, which were modified
+/// (different version), and which links appeared or disappeared.
+struct MoleculeDiff {
+  std::vector<AtomId> added_atoms;
+  std::vector<AtomId> removed_atoms;
+  /// Atoms present in both states but with different version numbers.
+  struct ChangedAtom {
+    AtomId id = kInvalidAtomId;
+    uint32_t old_version = 0;
+    uint32_t new_version = 0;
+  };
+  std::vector<ChangedAtom> changed_atoms;
+  std::vector<MoleculeEdgeInstance> added_edges;
+  std::vector<MoleculeEdgeInstance> removed_edges;
+
+  bool empty() const {
+    return added_atoms.empty() && removed_atoms.empty() &&
+           changed_atoms.empty() && added_edges.empty() &&
+           removed_edges.empty();
+  }
+
+  /// Human-readable summary ("+2 atoms, -1 atom, 3 changed, +1 link").
+  std::string Summary() const;
+};
+
+/// Computes the delta from `before` to `after`. Both molecules should
+/// share the same root (typically two time slices of one object), but
+/// the function works for any pair.
+MoleculeDiff DiffMolecules(const Molecule& before, const Molecule& after);
+
+}  // namespace tcob
+
+#endif  // TCOB_MAD_DIFF_H_

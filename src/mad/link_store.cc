@@ -1,0 +1,205 @@
+#include "mad/link_store.h"
+
+#include <algorithm>
+
+#include "common/coding.h"
+
+namespace tcob {
+
+void LinkStore::EncodeLink(AtomId from, AtomId to, const Interval& valid,
+                           std::string* dst) {
+  PutVarint64(dst, from);
+  PutVarint64(dst, to);
+  PutVarsint64(dst, valid.begin);
+  PutVarsint64(dst, valid.end);
+}
+
+Result<LinkStore::LinkState*> LinkStore::StateOf(LinkTypeId link) const {
+  auto it = links_.find(link);
+  if (it != links_.end()) return &it->second;
+  LinkState state;
+  TCOB_ASSIGN_OR_RETURN(
+      state.heap,
+      HeapFile::Open(pool_, prefix_ + "_link_" + std::to_string(link)));
+  // Rebuild the adjacency index from the heap.
+  Status scan = state.heap->Scan(
+      [&state](const Rid& rid, const Slice& rec) -> Result<bool> {
+        Slice in(rec);
+        uint64_t from, to;
+        Interval valid;
+        TCOB_RETURN_NOT_OK(GetVarint64(&in, &from));
+        TCOB_RETURN_NOT_OK(GetVarint64(&in, &to));
+        TCOB_RETURN_NOT_OK(GetVarsint64(&in, &valid.begin));
+        TCOB_RETURN_NOT_OK(GetVarsint64(&in, &valid.end));
+        state.fwd[from].push_back(LinkEntry{to, valid, rid});
+        state.rev[to].push_back(LinkEntry{from, valid, rid});
+        return true;
+      });
+  TCOB_RETURN_NOT_OK(scan);
+  auto [pos, inserted] = links_.emplace(link, std::move(state));
+  (void)inserted;
+  return &pos->second;
+}
+
+Status LinkStore::Connect(const LinkTypeDef& link, AtomId from, AtomId to,
+                          Timestamp at) {
+  TCOB_ASSIGN_OR_RETURN(LinkState * state, StateOf(link.id));
+  // Reject double-connect; accept idempotent replay.
+  auto it = state->fwd.find(from);
+  if (it != state->fwd.end()) {
+    for (const LinkEntry& e : it->second) {
+      if (e.other != to) continue;
+      if (e.valid.open_ended()) {
+        if (e.valid.begin == at) return Status::OK();  // idempotent
+        return Status::AlreadyExists("link already connected");
+      }
+      if (at < e.valid.end) {
+        return Status::InvalidArgument(
+            "connect overlaps a previous connection interval");
+      }
+    }
+  }
+  Interval valid(at, kForever);
+  std::string rec;
+  EncodeLink(from, to, valid, &rec);
+  TCOB_ASSIGN_OR_RETURN(Rid rid, state->heap->Insert(rec));
+  state->fwd[from].push_back(LinkEntry{to, valid, rid});
+  state->rev[to].push_back(LinkEntry{from, valid, rid});
+  return Status::OK();
+}
+
+Status LinkStore::Disconnect(const LinkTypeDef& link, AtomId from, AtomId to,
+                             Timestamp at) {
+  TCOB_ASSIGN_OR_RETURN(LinkState * state, StateOf(link.id));
+  auto it = state->fwd.find(from);
+  if (it == state->fwd.end()) {
+    return Status::NotFound("no connection to disconnect");
+  }
+  for (LinkEntry& e : it->second) {
+    if (e.other != to) continue;
+    if (!e.valid.open_ended()) {
+      if (e.valid.end == at) return Status::OK();  // idempotent
+      continue;
+    }
+    if (at <= e.valid.begin) {
+      return Status::InvalidArgument(
+          "disconnect before the connection began");
+    }
+    Interval closed(e.valid.begin, at);
+    std::string rec;
+    EncodeLink(from, to, closed, &rec);
+    TCOB_ASSIGN_OR_RETURN(Rid new_rid, state->heap->Update(e.rid, rec));
+    e.valid = closed;
+    Rid old_rid = e.rid;
+    e.rid = new_rid;
+    // Mirror in the reverse index.
+    auto rit = state->rev.find(to);
+    if (rit != state->rev.end()) {
+      for (LinkEntry& r : rit->second) {
+        if (r.other == from && r.rid == old_rid) {
+          r.valid = closed;
+          r.rid = new_rid;
+          break;
+        }
+      }
+    }
+    return Status::OK();
+  }
+  return Status::NotFound("no open connection to disconnect");
+}
+
+Result<std::vector<AtomId>> LinkStore::NeighborsAsOf(const LinkTypeDef& link,
+                                                     AtomId atom, bool forward,
+                                                     Timestamp t) const {
+  TCOB_ASSIGN_OR_RETURN(LinkState * state, StateOf(link.id));
+  const auto& index = forward ? state->fwd : state->rev;
+  std::vector<AtomId> out;
+  auto it = index.find(atom);
+  if (it == index.end()) return out;
+  for (const LinkEntry& e : it->second) {
+    if (e.valid.Contains(t)) out.push_back(e.other);
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+Result<std::vector<std::pair<AtomId, Interval>>> LinkStore::NeighborsIn(
+    const LinkTypeDef& link, AtomId atom, bool forward,
+    const Interval& window) const {
+  TCOB_ASSIGN_OR_RETURN(LinkState * state, StateOf(link.id));
+  const auto& index = forward ? state->fwd : state->rev;
+  std::vector<std::pair<AtomId, Interval>> out;
+  auto it = index.find(atom);
+  if (it == index.end()) return out;
+  for (const LinkEntry& e : it->second) {
+    if (e.valid.Overlaps(window)) out.emplace_back(e.other, e.valid);
+  }
+  std::sort(out.begin(), out.end(),
+            [](const auto& a, const auto& b) {
+              return a.first != b.first ? a.first < b.first
+                                        : a.second < b.second;
+            });
+  return out;
+}
+
+Status LinkStore::ForEachLink(
+    const LinkTypeDef& link,
+    const std::function<Result<bool>(AtomId, AtomId, const Interval&)>& fn)
+    const {
+  TCOB_ASSIGN_OR_RETURN(LinkState * state, StateOf(link.id));
+  for (const auto& [from, entries] : state->fwd) {
+    for (const LinkEntry& e : entries) {
+      TCOB_ASSIGN_OR_RETURN(bool keep_going, fn(from, e.other, e.valid));
+      if (!keep_going) return Status::OK();
+    }
+  }
+  return Status::OK();
+}
+
+Result<uint64_t> LinkStore::VacuumBefore(const LinkTypeDef& link,
+                                         Timestamp cutoff) {
+  TCOB_ASSIGN_OR_RETURN(LinkState * state, StateOf(link.id));
+  uint64_t removed = 0;
+  // Delete the heap records of closed-before-cutoff intervals, then
+  // prune both in-memory adjacency maps.
+  for (auto& [from, entries] : state->fwd) {
+    (void)from;
+    for (const LinkEntry& e : entries) {
+      if (e.valid.end <= cutoff) {
+        TCOB_RETURN_NOT_OK(state->heap->Delete(e.rid));
+        ++removed;
+      }
+    }
+  }
+  auto prune = [cutoff](std::unordered_map<AtomId, std::vector<LinkEntry>>*
+                            index) {
+    for (auto it = index->begin(); it != index->end();) {
+      auto& entries = it->second;
+      entries.erase(std::remove_if(entries.begin(), entries.end(),
+                                   [cutoff](const LinkEntry& e) {
+                                     return e.valid.end <= cutoff;
+                                   }),
+                    entries.end());
+      if (entries.empty()) {
+        it = index->erase(it);
+      } else {
+        ++it;
+      }
+    }
+  };
+  prune(&state->fwd);
+  prune(&state->rev);
+  return removed;
+}
+
+Result<uint64_t> LinkStore::TotalPages() const {
+  uint64_t pages = 0;
+  for (const auto& [id, state] : links_) {
+    (void)id;
+    TCOB_ASSIGN_OR_RETURN(HeapFileStats stats, state.heap->Stats());
+    pages += stats.total_pages;
+  }
+  return pages;
+}
+
+}  // namespace tcob

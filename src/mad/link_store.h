@@ -1,0 +1,94 @@
+#ifndef TCOB_MAD_LINK_STORE_H_
+#define TCOB_MAD_LINK_STORE_H_
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "catalog/schema.h"
+#include "common/result.h"
+#include "record/value.h"
+#include "storage/heap_file.h"
+#include "time/interval.h"
+
+namespace tcob {
+
+/// One connection instance: partner atom + validity + storage location.
+struct LinkEntry {
+  AtomId other = kInvalidAtomId;
+  Interval valid;
+  Rid rid;  // record in the link heap (internal)
+};
+
+/// Persistent store of versioned link instances.
+///
+/// A connection between two atoms is itself a temporal fact: it holds
+/// during an interval, can be severed, and re-established later. The
+/// store keeps one heap file per link type (records of
+/// [from][to][begin][end]) plus an in-memory adjacency index in both
+/// directions, rebuilt on open.
+///
+/// Mutations follow the same valid-time contract as atoms and are
+/// idempotent under WAL replay.
+class LinkStore {
+ public:
+  LinkStore(BufferPool* pool, std::string file_prefix)
+      : pool_(pool), prefix_(std::move(file_prefix)) {}
+
+  /// Establishes `from` -> `to` starting at `at` (open-ended).
+  Status Connect(const LinkTypeDef& link, AtomId from, AtomId to,
+                 Timestamp at);
+
+  /// Severs the open connection `from` -> `to` at `at`.
+  Status Disconnect(const LinkTypeDef& link, AtomId from, AtomId to,
+                    Timestamp at);
+
+  /// Partners of `atom` over `link` valid at `t`. `forward` means `atom`
+  /// is on the link's from-side.
+  Result<std::vector<AtomId>> NeighborsAsOf(const LinkTypeDef& link,
+                                            AtomId atom, bool forward,
+                                            Timestamp t) const;
+
+  /// Partner/validity pairs of `atom` over `link` overlapping `window`.
+  Result<std::vector<std::pair<AtomId, Interval>>> NeighborsIn(
+      const LinkTypeDef& link, AtomId atom, bool forward,
+      const Interval& window) const;
+
+  /// Streams every connection interval of `link` (order unspecified).
+  Status ForEachLink(
+      const LinkTypeDef& link,
+      const std::function<Result<bool>(AtomId, AtomId, const Interval&)>& fn)
+      const;
+
+  /// Total pages across all link heaps.
+  Result<uint64_t> TotalPages() const;
+
+  /// Temporal vacuuming: removes every connection interval ending at or
+  /// before `cutoff`. Returns the number of link records removed.
+  Result<uint64_t> VacuumBefore(const LinkTypeDef& link, Timestamp cutoff);
+
+  Status Flush() { return pool_->FlushAll(); }
+
+ private:
+  struct LinkState {
+    std::unique_ptr<HeapFile> heap;
+    std::unordered_map<AtomId, std::vector<LinkEntry>> fwd;
+    std::unordered_map<AtomId, std::vector<LinkEntry>> rev;
+  };
+
+  Result<LinkState*> StateOf(LinkTypeId link) const;
+
+  static void EncodeLink(AtomId from, AtomId to, const Interval& valid,
+                         std::string* dst);
+
+  BufferPool* pool_;
+  std::string prefix_;
+  mutable std::map<LinkTypeId, LinkState> links_;
+};
+
+}  // namespace tcob
+
+#endif  // TCOB_MAD_LINK_STORE_H_

@@ -1,0 +1,217 @@
+#include "mad/materializer.h"
+
+#include <algorithm>
+#include <set>
+
+namespace tcob {
+
+Result<const AtomTypeDef*> Materializer::AtomTypeOf(TypeId id) const {
+  return catalog_->GetAtomType(id);
+}
+
+Result<Molecule> Materializer::MaterializeAsOf(const MoleculeTypeDef& type,
+                                               AtomId root,
+                                               Timestamp t) const {
+  TCOB_ASSIGN_OR_RETURN(const AtomTypeDef* root_type,
+                        AtomTypeOf(type.root_type));
+  TCOB_ASSIGN_OR_RETURN(std::optional<AtomVersion> root_version,
+                        store_->GetAsOf(*root_type, root, t));
+  if (!root_version.has_value()) {
+    return Status::NotFound("root atom " + std::to_string(root) +
+                            " not valid at " + TimestampToString(t));
+  }
+
+  Molecule mol;
+  mol.type = type.id;
+  mol.root = root;
+  mol.atoms[root] = std::move(*root_version);
+  std::map<AtomId, TypeId> atom_types = {{root, type.root_type}};
+
+  // Fixpoint over the edge list: keep sweeping until no edge adds atoms
+  // or edges (cyclic type graphs converge because both sets only grow).
+  std::set<std::tuple<LinkTypeId, AtomId, AtomId>> edge_set;
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (const MoleculeEdge& edge : type.edges) {
+      TCOB_ASSIGN_OR_RETURN(const LinkTypeDef* link,
+                            catalog_->GetLinkType(edge.link));
+      TypeId source_type = edge.forward ? link->from_type : link->to_type;
+      TypeId target_type = edge.forward ? link->to_type : link->from_type;
+      TCOB_ASSIGN_OR_RETURN(const AtomTypeDef* target_def,
+                            AtomTypeOf(target_type));
+      // Snapshot the current source atoms (the map mutates inside).
+      std::vector<AtomId> sources;
+      for (const auto& [id, tid] : atom_types) {
+        if (tid == source_type) sources.push_back(id);
+      }
+      for (AtomId source : sources) {
+        TCOB_ASSIGN_OR_RETURN(
+            std::vector<AtomId> partners,
+            links_->NeighborsAsOf(*link, source, edge.forward, t));
+        for (AtomId partner : partners) {
+          AtomId from = edge.forward ? source : partner;
+          AtomId to = edge.forward ? partner : source;
+          auto key = std::make_tuple(link->id, from, to);
+          if (mol.atoms.count(partner) == 0) {
+            TCOB_ASSIGN_OR_RETURN(
+                std::optional<AtomVersion> v,
+                store_->GetAsOf(*target_def, partner, t));
+            if (!v.has_value()) continue;  // dangling link; skip partner
+            mol.atoms[partner] = std::move(*v);
+            atom_types[partner] = target_type;
+            changed = true;
+          }
+          if (edge_set.insert(key).second) {
+            mol.edges.push_back(MoleculeEdgeInstance{link->id, from, to});
+            changed = true;
+          }
+        }
+      }
+    }
+  }
+  std::sort(mol.edges.begin(), mol.edges.end());
+  return mol;
+}
+
+Status Materializer::AllMoleculesAsOf(
+    const MoleculeTypeDef& type, Timestamp t,
+    const std::function<Result<bool>(Molecule)>& fn) const {
+  TCOB_ASSIGN_OR_RETURN(const AtomTypeDef* root_type,
+                        AtomTypeOf(type.root_type));
+  return store_->ScanAsOf(
+      *root_type, t, [&](const AtomVersion& root) -> Result<bool> {
+        TCOB_ASSIGN_OR_RETURN(Molecule mol,
+                              MaterializeAsOf(type, root.id, t));
+        return fn(std::move(mol));
+      });
+}
+
+Result<Materializer::ReachableSet> Materializer::DiscoverReachable(
+    const MoleculeTypeDef& type, AtomId root, const Interval& window) const {
+  ReachableSet reach;
+  reach.atoms[root] = type.root_type;
+  std::set<std::tuple<LinkTypeId, AtomId, AtomId, Timestamp>> seen_links;
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (const MoleculeEdge& edge : type.edges) {
+      TCOB_ASSIGN_OR_RETURN(const LinkTypeDef* link,
+                            catalog_->GetLinkType(edge.link));
+      TypeId source_type = edge.forward ? link->from_type : link->to_type;
+      TypeId target_type = edge.forward ? link->to_type : link->from_type;
+      std::vector<AtomId> sources;
+      for (const auto& [id, tid] : reach.atoms) {
+        if (tid == source_type) sources.push_back(id);
+      }
+      for (AtomId source : sources) {
+        TCOB_ASSIGN_OR_RETURN(
+            auto partners,
+            links_->NeighborsIn(*link, source, edge.forward, window));
+        for (const auto& [partner, valid] : partners) {
+          AtomId from = edge.forward ? source : partner;
+          AtomId to = edge.forward ? partner : source;
+          auto key = std::make_tuple(link->id, from, to, valid.begin);
+          if (seen_links.insert(key).second) {
+            reach.links.emplace_back(link->id, from, to, valid);
+            changed = true;
+          }
+          if (reach.atoms.count(partner) == 0) {
+            reach.atoms[partner] = target_type;
+            changed = true;
+          }
+        }
+      }
+    }
+  }
+  return reach;
+}
+
+Result<MoleculeHistory> Materializer::History(const MoleculeTypeDef& type,
+                                              AtomId root,
+                                              const Interval& window) const {
+  if (window.empty()) {
+    return Status::InvalidArgument("empty history window");
+  }
+  TCOB_ASSIGN_OR_RETURN(ReachableSet reach,
+                        DiscoverReachable(type, root, window));
+
+  // Change points: version boundaries of every reachable atom plus link
+  // validity boundaries, clipped to the window.
+  std::set<Timestamp> boundaries = {window.begin};
+  for (const auto& [atom_id, type_id] : reach.atoms) {
+    TCOB_ASSIGN_OR_RETURN(const AtomTypeDef* atom_type, AtomTypeOf(type_id));
+    Result<std::vector<AtomVersion>> versions =
+        store_->GetVersions(*atom_type, atom_id, window);
+    if (!versions.ok()) {
+      if (versions.status().IsNotFound()) continue;
+      return versions.status();
+    }
+    for (const AtomVersion& v : versions.value()) {
+      if (v.valid.begin > window.begin && v.valid.begin < window.end) {
+        boundaries.insert(v.valid.begin);
+      }
+      if (!v.valid.open_ended() && v.valid.end > window.begin &&
+          v.valid.end < window.end) {
+        boundaries.insert(v.valid.end);
+      }
+    }
+  }
+  for (const auto& [link_id, from, to, valid] : reach.links) {
+    (void)link_id;
+    (void)from;
+    (void)to;
+    if (valid.begin > window.begin && valid.begin < window.end) {
+      boundaries.insert(valid.begin);
+    }
+    if (!valid.open_ended() && valid.end > window.begin &&
+        valid.end < window.end) {
+      boundaries.insert(valid.end);
+    }
+  }
+
+  // Elementary intervals between consecutive boundaries.
+  std::vector<Timestamp> points(boundaries.begin(), boundaries.end());
+  points.push_back(window.end);
+
+  MoleculeHistory history;
+  history.root = root;
+  for (size_t i = 0; i + 1 < points.size(); ++i) {
+    Interval piece(points[i], points[i + 1]);
+    Result<Molecule> mol = MaterializeAsOf(type, root, piece.begin);
+    if (!mol.ok()) {
+      if (mol.status().IsNotFound()) continue;  // root dead: gap
+      return mol.status();
+    }
+    if (!history.states.empty() &&
+        history.states.back().valid.Meets(piece) &&
+        history.states.back().molecule.SameState(mol.value())) {
+      history.states.back().valid.end = piece.end;  // coalesce
+    } else {
+      history.states.push_back(MoleculeState{piece, std::move(mol).value()});
+    }
+  }
+  return history;
+}
+
+Status Materializer::AllHistories(
+    const MoleculeTypeDef& type, const Interval& window,
+    const std::function<Result<bool>(MoleculeHistory)>& fn) const {
+  TCOB_ASSIGN_OR_RETURN(const AtomTypeDef* root_type,
+                        AtomTypeOf(type.root_type));
+  std::set<AtomId> roots;
+  TCOB_RETURN_NOT_OK(store_->ScanVersions(
+      *root_type, window, [&](const AtomVersion& v) -> Result<bool> {
+        roots.insert(v.id);
+        return true;
+      }));
+  for (AtomId root : roots) {
+    TCOB_ASSIGN_OR_RETURN(MoleculeHistory h, History(type, root, window));
+    if (h.states.empty()) continue;
+    TCOB_ASSIGN_OR_RETURN(bool keep_going, fn(std::move(h)));
+    if (!keep_going) break;
+  }
+  return Status::OK();
+}
+
+}  // namespace tcob

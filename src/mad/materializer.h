@@ -1,0 +1,75 @@
+#ifndef TCOB_MAD_MATERIALIZER_H_
+#define TCOB_MAD_MATERIALIZER_H_
+
+#include <functional>
+#include <vector>
+
+#include "catalog/catalog.h"
+#include "mad/link_store.h"
+#include "mad/molecule.h"
+#include "tstore/temporal_store.h"
+
+namespace tcob {
+
+/// Builds molecules out of the atom and link networks — the dynamic
+/// complex-object construction at the heart of the model.
+///
+/// Materialization is a breadth-first fixpoint over the molecule type's
+/// edge list: starting from the root atom, every edge is traversed from
+/// every already-collected atom of its source type, adding the partners
+/// that are valid at the query instant. Cyclic type graphs terminate
+/// because the atom set grows monotonically.
+class Materializer {
+ public:
+  Materializer(const Catalog* catalog, const TemporalAtomStore* store,
+               const LinkStore* links)
+      : catalog_(catalog), store_(store), links_(links) {}
+
+  /// The molecule rooted at `root` as of instant `t`. NotFound if the
+  /// root atom does not exist or is not valid at `t`.
+  Result<Molecule> MaterializeAsOf(const MoleculeTypeDef& type, AtomId root,
+                                   Timestamp t) const;
+
+  /// Streams every molecule of `type` valid at `t` (one per live root).
+  Status AllMoleculesAsOf(
+      const MoleculeTypeDef& type, Timestamp t,
+      const std::function<Result<bool>(Molecule)>& fn) const;
+
+  /// The piecewise-constant evolution of the molecule rooted at `root`
+  /// across `window`: change points are the union of the version
+  /// boundaries of every atom ever reachable in the window and of every
+  /// link among them. Adjacent identical states are coalesced; intervals
+  /// where the root is dead appear as gaps.
+  Result<MoleculeHistory> History(const MoleculeTypeDef& type, AtomId root,
+                                  const Interval& window) const;
+
+  /// Streams the histories of all molecules of `type` whose root exists
+  /// at some point in `window`.
+  Status AllHistories(
+      const MoleculeTypeDef& type, const Interval& window,
+      const std::function<Result<bool>(MoleculeHistory)>& fn) const;
+
+ private:
+  /// Atom-type lookup for every type reachable by `type`'s edges.
+  Result<const AtomTypeDef*> AtomTypeOf(TypeId id) const;
+
+  /// Fixpoint discovery of all atoms ever reachable from `root` within
+  /// `window`, together with the link instances among them.
+  struct ReachableSet {
+    // atom id -> its type
+    std::map<AtomId, TypeId> atoms;
+    // every link instance (with validity) encountered during discovery
+    std::vector<std::tuple<LinkTypeId, AtomId, AtomId, Interval>> links;
+  };
+  Result<ReachableSet> DiscoverReachable(const MoleculeTypeDef& type,
+                                         AtomId root,
+                                         const Interval& window) const;
+
+  const Catalog* catalog_;
+  const TemporalAtomStore* store_;
+  const LinkStore* links_;
+};
+
+}  // namespace tcob
+
+#endif  // TCOB_MAD_MATERIALIZER_H_

@@ -1,0 +1,77 @@
+#ifndef TCOB_MAD_MOLECULE_H_
+#define TCOB_MAD_MOLECULE_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "catalog/schema.h"
+#include "tstore/temporal_store.h"
+
+namespace tcob {
+
+/// One link instance inside a materialized molecule.
+struct MoleculeEdgeInstance {
+  LinkTypeId link = kInvalidTypeId;
+  AtomId from = kInvalidAtomId;
+  AtomId to = kInvalidAtomId;
+};
+
+inline bool operator==(const MoleculeEdgeInstance& a,
+                       const MoleculeEdgeInstance& b) {
+  return a.link == b.link && a.from == b.from && a.to == b.to;
+}
+inline bool operator<(const MoleculeEdgeInstance& a,
+                      const MoleculeEdgeInstance& b) {
+  if (a.link != b.link) return a.link < b.link;
+  if (a.from != b.from) return a.from < b.from;
+  return a.to < b.to;
+}
+
+/// A materialized complex object: the connected atom sub-network rooted
+/// at `root`, as of one instant.
+struct Molecule {
+  MoleculeTypeId type = kInvalidTypeId;
+  AtomId root = kInvalidAtomId;
+  /// Atom versions keyed by atom id (deterministic iteration order).
+  std::map<AtomId, AtomVersion> atoms;
+  /// Link instances among the atoms, sorted.
+  std::vector<MoleculeEdgeInstance> edges;
+
+  size_t AtomCount() const { return atoms.size(); }
+
+  /// Structural + version equality: same atoms (id and version number),
+  /// same edges. Used to coalesce adjacent molecule-history states.
+  bool SameState(const Molecule& other) const {
+    if (root != other.root || atoms.size() != other.atoms.size() ||
+        edges != other.edges) {
+      return false;
+    }
+    auto it = atoms.begin();
+    auto jt = other.atoms.begin();
+    for (; it != atoms.end(); ++it, ++jt) {
+      if (it->first != jt->first ||
+          it->second.version_no != jt->second.version_no) {
+        return false;
+      }
+    }
+    return true;
+  }
+};
+
+/// One piece of a molecule history: the molecule's state during `valid`.
+struct MoleculeState {
+  Interval valid;
+  Molecule molecule;
+};
+
+/// The full evolution of one molecule across a query window: a sequence
+/// of maximal constant states (gaps mean the root did not exist).
+struct MoleculeHistory {
+  AtomId root = kInvalidAtomId;
+  std::vector<MoleculeState> states;
+};
+
+}  // namespace tcob
+
+#endif  // TCOB_MAD_MOLECULE_H_

@@ -1,0 +1,242 @@
+#ifndef TCOB_QUERY_AST_H_
+#define TCOB_QUERY_AST_H_
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "record/value.h"
+#include "time/interval.h"
+
+namespace tcob {
+
+/// Reference to an attribute of an atom type: "Emp.salary".
+struct AttrRef {
+  std::string type_name;
+  std::string attr_name;
+
+  std::string ToString() const { return type_name + "." + attr_name; }
+};
+
+// ---- expressions ----
+
+enum class BinaryOp {
+  kEq,
+  kNe,
+  kLt,
+  kLe,
+  kGt,
+  kGe,
+  kAnd,
+  kOr,
+  // Interval predicates (Allen-style).
+  kOverlaps,
+  kContains,
+  kBefore,
+  kMeets,
+  kDuring,
+};
+
+enum class UnaryOp { kNot };
+
+const char* BinaryOpName(BinaryOp op);
+
+struct Expr;
+using ExprPtr = std::unique_ptr<Expr>;
+
+/// A scalar literal in the query text.
+struct LiteralExpr {
+  Value value = Value::Null(AttrType::kString);
+};
+
+/// An interval literal "[a, b)"; NOW and open ends handled at parse time.
+struct IntervalExpr {
+  Interval interval;
+  bool end_is_now = false;    // "[a, NOW)"
+  bool begin_is_now = false;  // "[NOW, b)"
+};
+
+/// Reference to an attribute of some atom type in the molecule.
+struct AttrRefExpr {
+  AttrRef ref;
+};
+
+/// VALID(TypeName): the validity interval of the bound atom version.
+struct ValidOfExpr {
+  std::string type_name;
+};
+
+/// BEGIN(x) / END(x) of an interval expression.
+struct BoundaryExpr {
+  bool is_begin = true;
+  ExprPtr operand;
+};
+
+/// NOW: the database clock, resolved at evaluation time.
+struct NowExpr {};
+
+struct BinaryExpr {
+  BinaryOp op;
+  ExprPtr left;
+  ExprPtr right;
+};
+
+struct UnaryExpr {
+  UnaryOp op;
+  ExprPtr operand;
+};
+
+/// The expression node: a tagged union over the node kinds.
+struct Expr {
+  std::variant<LiteralExpr, IntervalExpr, AttrRefExpr, ValidOfExpr,
+               BoundaryExpr, BinaryExpr, UnaryExpr, NowExpr>
+      node;
+};
+
+// ---- statements ----
+
+/// How a SELECT binds time.
+enum class TemporalMode {
+  kAsOf,     // VALID AT <ts> (default: VALID AT NOW)
+  kWindow,   // VALID IN [a, b): states overlapping the window
+  kHistory,  // HISTORY: full evolution over the whole time axis
+};
+
+/// Aggregate functions over the projected binding rows.
+enum class AggFn { kCount, kSum, kAvg, kMin, kMax };
+
+const char* AggFnName(AggFn fn);
+
+/// One aggregate in a SELECT list: COUNT(*) or FN(Type.attr).
+struct AggSpec {
+  AggFn fn = AggFn::kCount;
+  bool star = false;  // COUNT(*)
+  AttrRef ref;        // meaningful unless star
+
+  std::string ToString() const {
+    return std::string(AggFnName(fn)) + "(" +
+           (star ? "*" : ref.ToString()) + ")";
+  }
+};
+
+struct SelectStmt {
+  bool select_all = false;
+  std::vector<AttrRef> projection;
+  /// Ad-hoc molecule definition: "FROM <Root> VIA <link> [BACKWARD],...".
+  /// When inline_root is non-empty, molecule_type is unused and the
+  /// executor materializes against this unregistered definition — the
+  /// model's "dynamically defined complex objects" in their purest form.
+  std::string inline_root;
+  std::vector<std::pair<std::string, bool>> inline_edges;
+  /// Non-empty == aggregate query (select_all/projection must be empty).
+  /// Aggregates fold over the rows the equivalent projection query would
+  /// produce: one row per qualifying binding (per state, for window and
+  /// history modes). COUNT(*) therefore counts qualifying molecules (or
+  /// molecule states).
+  std::vector<AggSpec> aggregates;
+  /// GROUP BY ROOT: fold the aggregates per molecule (one result row per
+  /// root) instead of across the whole result. Requires aggregates.
+  bool group_by_root = false;
+  std::string molecule_type;
+  ExprPtr where;  // may be null
+
+  /// ORDER BY: sort the result rows by a projected column ("Type.attr"
+  /// spelling) or by ROOT. Empty == storage order (unspecified).
+  std::string order_by;  // "ROOT" or "Type.attr"
+  bool order_desc = false;
+
+  TemporalMode mode = TemporalMode::kAsOf;
+  bool at_now = true;       // kAsOf: VALID AT NOW
+  Timestamp at = 0;         // kAsOf with explicit instant
+  Interval window;          // kWindow
+  bool window_end_now = false;
+};
+
+struct CreateAtomTypeStmt {
+  std::string name;
+  std::vector<std::pair<std::string, AttrType>> attributes;
+};
+
+struct CreateLinkStmt {
+  std::string name;
+  std::string from_type;
+  std::string to_type;
+};
+
+struct CreateMoleculeTypeStmt {
+  std::string name;
+  std::string root_type;
+  std::vector<std::pair<std::string, bool>> edges;  // (link name, forward)
+};
+
+/// A DML valid-time anchor: explicit chronon or NOW.
+struct ValidFrom {
+  bool is_now = true;
+  Timestamp at = 0;
+};
+
+struct InsertStmt {
+  std::string type_name;
+  std::vector<std::pair<std::string, Value>> assignments;
+  ValidFrom from;
+};
+
+struct UpdateStmt {
+  std::string type_name;
+  AtomId atom_id = kInvalidAtomId;
+  std::vector<std::pair<std::string, Value>> assignments;
+  ValidFrom from;
+};
+
+struct DeleteStmt {
+  std::string type_name;
+  AtomId atom_id = kInvalidAtomId;
+  ValidFrom from;
+};
+
+struct ConnectStmt {
+  std::string link_name;
+  AtomId from_id = kInvalidAtomId;
+  AtomId to_id = kInvalidAtomId;
+  ValidFrom from;
+};
+
+struct DisconnectStmt {
+  std::string link_name;
+  AtomId from_id = kInvalidAtomId;
+  AtomId to_id = kInvalidAtomId;
+  ValidFrom from;
+};
+
+struct CreateIndexStmt {
+  std::string name;
+  std::string type_name;
+  std::string attr_name;
+};
+
+/// EXPLAIN SELECT ...: reports the chosen access path without executing.
+struct ExplainStmt {
+  SelectStmt select;
+};
+
+struct ShowCatalogStmt {};
+
+/// SHOW STATS: storage and buffer-pool statistics.
+struct ShowStatsStmt {};
+
+/// VACUUM BEFORE <t>: purge all history ending at or before t.
+struct VacuumStmt {
+  Timestamp before = 0;
+};
+
+using Statement =
+    std::variant<SelectStmt, CreateAtomTypeStmt, CreateLinkStmt,
+                 CreateMoleculeTypeStmt, CreateIndexStmt, InsertStmt,
+                 UpdateStmt, DeleteStmt, ConnectStmt, DisconnectStmt,
+                 ExplainStmt, ShowCatalogStmt, ShowStatsStmt, VacuumStmt>;
+
+}  // namespace tcob
+
+#endif  // TCOB_QUERY_AST_H_

@@ -1,0 +1,82 @@
+#ifndef TCOB_QUERY_EXECUTOR_H_
+#define TCOB_QUERY_EXECUTOR_H_
+
+#include "catalog/catalog.h"
+#include "common/result.h"
+#include "index/attr_index.h"
+#include "mad/materializer.h"
+#include "query/ast.h"
+#include "query/result_set.h"
+
+namespace tcob {
+
+/// Executes SELECT statements against the molecule engine.
+///
+/// Row shapes:
+///  * `SELECT ALL`: one row per atom of each qualifying molecule —
+///    columns ROOT, ATOM, TYPE, ATTRS (+ VALID_FROM/VALID_TO of the
+///    molecule state for window/history queries).
+///  * projection list: one row per qualifying binding of the projected
+///    atom types — columns ROOT, <Type.attr>... (+ the state interval for
+///    window/history queries).
+///
+/// Temporal semantics:
+///  * `VALID AT t` materializes each molecule as of t,
+///  * `VALID IN [a,b)` / `HISTORY` enumerate each molecule's maximal
+///    constant states overlapping the window; the WHERE predicate is
+///    evaluated per state.
+class SelectExecutor {
+ public:
+  /// `indexes` may be null (no secondary-index access paths then).
+  SelectExecutor(const Catalog* catalog, const Materializer* materializer,
+                 Timestamp now, const AttrIndexManager* indexes = nullptr)
+      : catalog_(catalog),
+        materializer_(materializer),
+        now_(now),
+        indexes_(indexes) {}
+
+  Result<ResultSet> Execute(const SelectStmt& stmt) const;
+
+  /// EXPLAIN: reports the access path and temporal mode without
+  /// executing.
+  Result<ResultSet> Explain(const SelectStmt& stmt) const;
+
+ private:
+  /// Emits the rows of one molecule state into `out`. `select_all` and
+  /// `projection` are the *effective* row shape (aggregate queries run
+  /// with their referenced attributes as a hidden projection).
+  Status EmitMolecule(const SelectStmt& stmt, bool select_all,
+                      const std::vector<AttrRef>& projection,
+                      const Molecule& molecule, const Interval* state_valid,
+                      ResultSet* out) const;
+
+  /// Folds the hidden-projection rows of an aggregate query into the
+  /// single result row.
+  Result<ResultSet> FoldAggregates(const SelectStmt& stmt,
+                                   const std::vector<AttrRef>& projection,
+                                   bool windowed,
+                                   const ResultSet& rows) const;
+
+  /// Folds one aggregation group (row indices into `rows`) into
+  /// `result_row`.
+  Status FoldGroup(const SelectStmt& stmt,
+                   const std::vector<AttrRef>& projection, size_t base,
+                   const ResultSet& rows, const std::vector<size_t>& group,
+                   std::vector<Value>* result_row) const;
+
+  /// Renders "name=value, ..." for an atom's attributes.
+  Result<std::string> RenderAttrs(const AtomVersion& v) const;
+
+  /// Resolves the named molecule type, or builds the ad-hoc definition
+  /// of a "FROM <Root> VIA ..." clause (validating connectedness).
+  Result<MoleculeTypeDef> ResolveMoleculeType(const SelectStmt& stmt) const;
+
+  const Catalog* catalog_;
+  const Materializer* materializer_;
+  Timestamp now_;
+  const AttrIndexManager* indexes_;
+};
+
+}  // namespace tcob
+
+#endif  // TCOB_QUERY_EXECUTOR_H_

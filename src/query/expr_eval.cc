@@ -1,0 +1,287 @@
+#include "query/expr_eval.h"
+
+#include <algorithm>
+
+namespace tcob {
+
+namespace {
+
+constexpr size_t kMaxBindings = 100000;
+
+bool IsInterval(const EvalValue& v) {
+  return std::holds_alternative<Interval>(v);
+}
+
+Result<Interval> AsInterval(const EvalValue& v) {
+  if (IsInterval(v)) return std::get<Interval>(v);
+  const Value& value = std::get<Value>(v);
+  if (value.type() == AttrType::kTimestamp && !value.is_null()) {
+    return Interval::At(value.AsTime());
+  }
+  if (value.type() == AttrType::kInt && !value.is_null()) {
+    return Interval::At(value.AsInt());
+  }
+  return Status::TypeError("expected an interval value");
+}
+
+}  // namespace
+
+void ExprEvaluator::CollectTypes(const Expr& expr,
+                                 std::set<std::string>* out) {
+  std::visit(
+      [out](const auto& node) {
+        using T = std::decay_t<decltype(node)>;
+        if constexpr (std::is_same_v<T, AttrRefExpr>) {
+          out->insert(node.ref.type_name);
+        } else if constexpr (std::is_same_v<T, ValidOfExpr>) {
+          out->insert(node.type_name);
+        } else if constexpr (std::is_same_v<T, BoundaryExpr>) {
+          CollectTypes(*node.operand, out);
+        } else if constexpr (std::is_same_v<T, BinaryExpr>) {
+          CollectTypes(*node.left, out);
+          CollectTypes(*node.right, out);
+        } else if constexpr (std::is_same_v<T, UnaryExpr>) {
+          CollectTypes(*node.operand, out);
+        }
+      },
+      expr.node);
+}
+
+Result<std::vector<Binding>> ExprEvaluator::EnumerateBindings(
+    const Molecule& molecule, const std::set<std::string>& type_names) const {
+  // Resolve each referenced type name and collect its atoms.
+  std::vector<std::string> names(type_names.begin(), type_names.end());
+  std::vector<std::vector<const AtomVersion*>> domains;
+  for (const std::string& name : names) {
+    TCOB_ASSIGN_OR_RETURN(const AtomTypeDef* def,
+                          catalog_->GetAtomTypeByName(name));
+    std::vector<const AtomVersion*> atoms;
+    for (const auto& [id, version] : molecule.atoms) {
+      (void)id;
+      if (version.type == def->id) atoms.push_back(&version);
+    }
+    if (atoms.empty()) return std::vector<Binding>{};  // unsatisfiable
+    domains.push_back(std::move(atoms));
+  }
+  // Cartesian product.
+  std::vector<Binding> bindings;
+  bindings.emplace_back();
+  for (size_t d = 0; d < domains.size(); ++d) {
+    std::vector<Binding> next;
+    next.reserve(bindings.size() * domains[d].size());
+    for (const Binding& partial : bindings) {
+      for (const AtomVersion* atom : domains[d]) {
+        if (next.size() >= kMaxBindings) {
+          return Status::ResourceExhausted(
+              "predicate binding space too large");
+        }
+        Binding b = partial;
+        b.atoms[names[d]] = atom;
+        next.push_back(std::move(b));
+      }
+    }
+    bindings = std::move(next);
+  }
+  return bindings;
+}
+
+Result<EvalValue> ExprEvaluator::Eval(const Expr& expr,
+                                      const Binding& binding) const {
+  using R = Result<EvalValue>;
+  return std::visit(
+      [&](const auto& node) -> R {
+        using T = std::decay_t<decltype(node)>;
+        if constexpr (std::is_same_v<T, LiteralExpr>) {
+          return EvalValue(node.value);
+        } else if constexpr (std::is_same_v<T, IntervalExpr>) {
+          Interval iv = node.interval;
+          if (node.begin_is_now) iv.begin = now_;
+          if (node.end_is_now) iv.end = now_;
+          return EvalValue(iv);
+        } else if constexpr (std::is_same_v<T, NowExpr>) {
+          return EvalValue(Value::Time(now_));
+        } else if constexpr (std::is_same_v<T, AttrRefExpr>) {
+          auto it = binding.atoms.find(node.ref.type_name);
+          if (it == binding.atoms.end()) {
+            return Status::Internal("unbound type " + node.ref.type_name);
+          }
+          TCOB_ASSIGN_OR_RETURN(
+              const AtomTypeDef* def,
+              catalog_->GetAtomTypeByName(node.ref.type_name));
+          int idx = def->AttrIndex(node.ref.attr_name);
+          if (idx < 0) {
+            return Status::InvalidArgument("unknown attribute " +
+                                           node.ref.ToString());
+          }
+          return EvalValue(it->second->attrs[idx]);
+        } else if constexpr (std::is_same_v<T, ValidOfExpr>) {
+          auto it = binding.atoms.find(node.type_name);
+          if (it == binding.atoms.end()) {
+            return Status::Internal("unbound type " + node.type_name);
+          }
+          return EvalValue(it->second->valid);
+        } else if constexpr (std::is_same_v<T, BoundaryExpr>) {
+          TCOB_ASSIGN_OR_RETURN(EvalValue operand,
+                                Eval(*node.operand, binding));
+          TCOB_ASSIGN_OR_RETURN(Interval iv, AsInterval(operand));
+          return EvalValue(
+              Value::Time(node.is_begin ? iv.begin : iv.end));
+        } else if constexpr (std::is_same_v<T, UnaryExpr>) {
+          TCOB_ASSIGN_OR_RETURN(bool b, EvalBool(*node.operand, binding));
+          return EvalValue(Value::Bool(!b));
+        } else if constexpr (std::is_same_v<T, BinaryExpr>) {
+          return EvalBinary(node, binding);
+        } else {
+          return Status::Internal("unhandled expression node");
+        }
+      },
+      expr.node);
+}
+
+Result<EvalValue> ExprEvaluator::EvalBinary(const BinaryExpr& expr,
+                                            const Binding& binding) const {
+  // Short-circuit logical operators.
+  if (expr.op == BinaryOp::kAnd || expr.op == BinaryOp::kOr) {
+    TCOB_ASSIGN_OR_RETURN(bool left, EvalBool(*expr.left, binding));
+    if (expr.op == BinaryOp::kAnd && !left) {
+      return EvalValue(Value::Bool(false));
+    }
+    if (expr.op == BinaryOp::kOr && left) {
+      return EvalValue(Value::Bool(true));
+    }
+    TCOB_ASSIGN_OR_RETURN(bool right, EvalBool(*expr.right, binding));
+    return EvalValue(Value::Bool(right));
+  }
+
+  TCOB_ASSIGN_OR_RETURN(EvalValue left, Eval(*expr.left, binding));
+  TCOB_ASSIGN_OR_RETURN(EvalValue right, Eval(*expr.right, binding));
+
+  // Interval predicates.
+  switch (expr.op) {
+    case BinaryOp::kOverlaps:
+    case BinaryOp::kContains:
+    case BinaryOp::kBefore:
+    case BinaryOp::kMeets:
+    case BinaryOp::kDuring: {
+      TCOB_ASSIGN_OR_RETURN(Interval a, AsInterval(left));
+      // CONTAINS accepts an instant on the right.
+      if (expr.op == BinaryOp::kContains && !IsInterval(right)) {
+        const Value& v = std::get<Value>(right);
+        if (!v.is_null() && (v.type() == AttrType::kTimestamp ||
+                             v.type() == AttrType::kInt)) {
+          Timestamp t =
+              v.type() == AttrType::kTimestamp ? v.AsTime() : v.AsInt();
+          return EvalValue(Value::Bool(a.Contains(t)));
+        }
+      }
+      TCOB_ASSIGN_OR_RETURN(Interval b, AsInterval(right));
+      bool result = false;
+      switch (expr.op) {
+        case BinaryOp::kOverlaps:
+          result = a.Overlaps(b);
+          break;
+        case BinaryOp::kContains:
+          result = a.Contains(b);
+          break;
+        case BinaryOp::kBefore:
+          result = a.Before(b);
+          break;
+        case BinaryOp::kMeets:
+          result = a.Meets(b);
+          break;
+        case BinaryOp::kDuring:
+          result = a.During(b);
+          break;
+        default:
+          break;
+      }
+      return EvalValue(Value::Bool(result));
+    }
+    default:
+      break;
+  }
+
+  // Scalar comparisons. Intervals support = / != as well.
+  if (IsInterval(left) || IsInterval(right)) {
+    if (expr.op == BinaryOp::kEq || expr.op == BinaryOp::kNe) {
+      TCOB_ASSIGN_OR_RETURN(Interval a, AsInterval(left));
+      TCOB_ASSIGN_OR_RETURN(Interval b, AsInterval(right));
+      bool eq = a == b;
+      return EvalValue(Value::Bool(expr.op == BinaryOp::kEq ? eq : !eq));
+    }
+    return Status::TypeError("intervals only support =, != and the "
+                             "temporal predicates");
+  }
+
+  const Value& a = std::get<Value>(left);
+  const Value& b = std::get<Value>(right);
+  // Predicates over NULL are false (the model predates 3VL; see value.h).
+  if (a.is_null() || b.is_null()) {
+    if (expr.op == BinaryOp::kEq) {
+      return EvalValue(Value::Bool(a.is_null() && b.is_null()));
+    }
+    if (expr.op == BinaryOp::kNe) {
+      return EvalValue(Value::Bool(a.is_null() != b.is_null()));
+    }
+    return EvalValue(Value::Bool(false));
+  }
+  TCOB_ASSIGN_OR_RETURN(int cmp, a.Compare(b));
+  bool result = false;
+  switch (expr.op) {
+    case BinaryOp::kEq:
+      result = cmp == 0;
+      break;
+    case BinaryOp::kNe:
+      result = cmp != 0;
+      break;
+    case BinaryOp::kLt:
+      result = cmp < 0;
+      break;
+    case BinaryOp::kLe:
+      result = cmp <= 0;
+      break;
+    case BinaryOp::kGt:
+      result = cmp > 0;
+      break;
+    case BinaryOp::kGe:
+      result = cmp >= 0;
+      break;
+    default:
+      return Status::Internal("unhandled binary op");
+  }
+  return EvalValue(Value::Bool(result));
+}
+
+Result<bool> ExprEvaluator::EvalBool(const Expr& expr,
+                                     const Binding& binding) const {
+  TCOB_ASSIGN_OR_RETURN(EvalValue v, Eval(expr, binding));
+  if (IsInterval(v)) {
+    return Status::TypeError("interval used as a boolean");
+  }
+  const Value& value = std::get<Value>(v);
+  if (value.is_null()) return false;
+  if (value.type() != AttrType::kBool) {
+    return Status::TypeError("non-boolean predicate");
+  }
+  return value.AsBool();
+}
+
+Result<bool> ExprEvaluator::Satisfies(const Expr& expr,
+                                      const Molecule& molecule) const {
+  std::set<std::string> types;
+  CollectTypes(expr, &types);
+  TCOB_ASSIGN_OR_RETURN(std::vector<Binding> bindings,
+                        EnumerateBindings(molecule, types));
+  if (types.empty()) {
+    // No atom references: evaluate once with an empty binding.
+    Binding empty;
+    return EvalBool(expr, empty);
+  }
+  for (const Binding& b : bindings) {
+    TCOB_ASSIGN_OR_RETURN(bool ok, EvalBool(expr, b));
+    if (ok) return true;
+  }
+  return false;
+}
+
+}  // namespace tcob

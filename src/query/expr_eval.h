@@ -1,0 +1,67 @@
+#ifndef TCOB_QUERY_EXPR_EVAL_H_
+#define TCOB_QUERY_EXPR_EVAL_H_
+
+#include <map>
+#include <set>
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "catalog/catalog.h"
+#include "mad/molecule.h"
+#include "query/ast.h"
+
+namespace tcob {
+
+/// A runtime expression value: a scalar or an interval.
+using EvalValue = std::variant<Value, Interval>;
+
+/// One way of binding the atom-type names referenced by an expression to
+/// concrete atoms of a molecule.
+struct Binding {
+  std::map<std::string, const AtomVersion*> atoms;
+};
+
+/// Evaluates MQL expressions against molecule bindings.
+///
+/// Quantification follows the molecule query language's existential
+/// reading: a molecule satisfies a predicate iff *some* assignment of its
+/// atoms to the referenced type names satisfies it. EnumerateBindings
+/// produces those assignments (the cartesian product over the referenced
+/// types, capped to guard against degenerate molecules).
+class ExprEvaluator {
+ public:
+  ExprEvaluator(const Catalog* catalog, Timestamp now)
+      : catalog_(catalog), now_(now) {}
+
+  /// Type names referenced by attr refs / VALID() in `expr`.
+  static void CollectTypes(const Expr& expr, std::set<std::string>* out);
+
+  /// All bindings of `type_names` to atoms of `molecule`. Empty result
+  /// means some referenced type has no atom in this molecule.
+  Result<std::vector<Binding>> EnumerateBindings(
+      const Molecule& molecule,
+      const std::set<std::string>& type_names) const;
+
+  /// Full evaluation under one binding.
+  Result<EvalValue> Eval(const Expr& expr, const Binding& binding) const;
+
+  /// Boolean evaluation (TypeError if the expression is not boolean).
+  Result<bool> EvalBool(const Expr& expr, const Binding& binding) const;
+
+  /// Existential satisfaction: does any binding make `expr` true?
+  Result<bool> Satisfies(const Expr& expr, const Molecule& molecule) const;
+
+  Timestamp now() const { return now_; }
+
+ private:
+  Result<EvalValue> EvalBinary(const BinaryExpr& expr,
+                               const Binding& binding) const;
+
+  const Catalog* catalog_;
+  Timestamp now_;
+};
+
+}  // namespace tcob
+
+#endif  // TCOB_QUERY_EXPR_EVAL_H_

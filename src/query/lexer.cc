@@ -1,0 +1,280 @@
+#include "query/lexer.h"
+
+#include <cctype>
+#include <cstdlib>
+#include <map>
+
+namespace tcob {
+
+const char* TokenTypeName(TokenType t) {
+  switch (t) {
+    case TokenType::kIdent:
+      return "identifier";
+    case TokenType::kInt:
+      return "integer";
+    case TokenType::kFloat:
+      return "float";
+    case TokenType::kString:
+      return "string";
+    case TokenType::kLParen:
+      return "'('";
+    case TokenType::kRParen:
+      return "')'";
+    case TokenType::kLBracket:
+      return "'['";
+    case TokenType::kComma:
+      return "','";
+    case TokenType::kDot:
+      return "'.'";
+    case TokenType::kSemicolon:
+      return "';'";
+    case TokenType::kEq:
+      return "'='";
+    case TokenType::kNe:
+      return "'!='";
+    case TokenType::kLt:
+      return "'<'";
+    case TokenType::kLe:
+      return "'<='";
+    case TokenType::kGt:
+      return "'>'";
+    case TokenType::kGe:
+      return "'>='";
+    case TokenType::kEof:
+      return "end of input";
+    default:
+      return "keyword";
+  }
+}
+
+namespace {
+
+const std::map<std::string, TokenType>& Keywords() {
+  static const auto* kKeywords = new std::map<std::string, TokenType>{
+      {"SELECT", TokenType::kSelect},
+      {"ALL", TokenType::kAll},
+      {"FROM", TokenType::kFrom},
+      {"WHERE", TokenType::kWhere},
+      {"VALID", TokenType::kValid},
+      {"AT", TokenType::kAt},
+      {"IN", TokenType::kIn},
+      {"HISTORY", TokenType::kHistory},
+      {"AND", TokenType::kAnd},
+      {"OR", TokenType::kOr},
+      {"NOT", TokenType::kNot},
+      {"TRUE", TokenType::kTrue},
+      {"FALSE", TokenType::kFalse},
+      {"NOW", TokenType::kNow},
+      {"NULL", TokenType::kNull},
+      {"OVERLAPS", TokenType::kOverlaps},
+      {"CONTAINS", TokenType::kContains},
+      {"BEFORE", TokenType::kBefore},
+      {"MEETS", TokenType::kMeets},
+      {"DURING", TokenType::kDuring},
+      {"BEGIN", TokenType::kBegin},
+      {"END", TokenType::kEnd},
+      {"CREATE", TokenType::kCreate},
+      {"ATOM_TYPE", TokenType::kAtomType},
+      {"LINK", TokenType::kLink},
+      {"MOLECULE_TYPE", TokenType::kMoleculeType},
+      {"ROOT", TokenType::kRoot},
+      {"EDGES", TokenType::kEdges},
+      {"FORWARD", TokenType::kForward},
+      {"BACKWARD", TokenType::kBackward},
+      {"TO", TokenType::kTo},
+      {"INSERT", TokenType::kInsert},
+      {"ATOM", TokenType::kAtom},
+      {"UPDATE", TokenType::kUpdate},
+      {"DELETE", TokenType::kDelete},
+      {"CONNECT", TokenType::kConnect},
+      {"DISCONNECT", TokenType::kDisconnect},
+      {"SET", TokenType::kSet},
+      {"SHOW", TokenType::kShow},
+      {"CATALOG", TokenType::kCatalog},
+      {"INDEX", TokenType::kIndex},
+      {"ON", TokenType::kOn},
+      {"EXPLAIN", TokenType::kExplain},
+      {"VACUUM", TokenType::kVacuum},
+      {"COUNT", TokenType::kCount},
+      {"SUM", TokenType::kSum},
+      {"AVG", TokenType::kAvg},
+      {"MIN", TokenType::kMin},
+      {"MAX", TokenType::kMax},
+      {"STATS", TokenType::kStats},
+      {"GROUP", TokenType::kGroup},
+      {"BY", TokenType::kBy},
+      {"VIA", TokenType::kVia},
+      {"ORDER", TokenType::kOrder},
+      {"DESC", TokenType::kDesc},
+      {"ASC", TokenType::kAsc},
+  };
+  return *kKeywords;
+}
+
+std::string ToUpper(const std::string& s) {
+  std::string out = s;
+  for (char& c : out) c = static_cast<char>(toupper(c));
+  return out;
+}
+
+}  // namespace
+
+Result<std::vector<Token>> Tokenize(const std::string& input) {
+  std::vector<Token> tokens;
+  size_t i = 0;
+  const size_t n = input.size();
+  auto error = [&](const std::string& msg) {
+    return Status::ParseError(msg + " at offset " + std::to_string(i));
+  };
+  while (i < n) {
+    char c = input[i];
+    if (isspace(static_cast<unsigned char>(c))) {
+      ++i;
+      continue;
+    }
+    // Comments.
+    if (c == '-' && i + 1 < n && input[i + 1] == '-') {
+      while (i < n && input[i] != '\n') ++i;
+      continue;
+    }
+    Token tok;
+    tok.offset = i;
+    switch (c) {
+      case '(':
+        tok.type = TokenType::kLParen;
+        ++i;
+        break;
+      case ')':
+        tok.type = TokenType::kRParen;
+        ++i;
+        break;
+      case '[':
+        tok.type = TokenType::kLBracket;
+        ++i;
+        break;
+      case ',':
+        tok.type = TokenType::kComma;
+        ++i;
+        break;
+      case '.':
+        tok.type = TokenType::kDot;
+        ++i;
+        break;
+      case ';':
+        tok.type = TokenType::kSemicolon;
+        ++i;
+        break;
+      case '*':
+        tok.type = TokenType::kStar;
+        ++i;
+        break;
+      case '=':
+        tok.type = TokenType::kEq;
+        ++i;
+        break;
+      case '!':
+        if (i + 1 < n && input[i + 1] == '=') {
+          tok.type = TokenType::kNe;
+          i += 2;
+        } else {
+          return error("unexpected '!'");
+        }
+        break;
+      case '<':
+        if (i + 1 < n && input[i + 1] == '=') {
+          tok.type = TokenType::kLe;
+          i += 2;
+        } else if (i + 1 < n && input[i + 1] == '>') {
+          tok.type = TokenType::kNe;
+          i += 2;
+        } else {
+          tok.type = TokenType::kLt;
+          ++i;
+        }
+        break;
+      case '>':
+        if (i + 1 < n && input[i + 1] == '=') {
+          tok.type = TokenType::kGe;
+          i += 2;
+        } else {
+          tok.type = TokenType::kGt;
+          ++i;
+        }
+        break;
+      case '\'': {
+        // String literal; '' escapes a quote.
+        ++i;
+        std::string text;
+        bool closed = false;
+        while (i < n) {
+          if (input[i] == '\'') {
+            if (i + 1 < n && input[i + 1] == '\'') {
+              text.push_back('\'');
+              i += 2;
+            } else {
+              ++i;
+              closed = true;
+              break;
+            }
+          } else {
+            text.push_back(input[i++]);
+          }
+        }
+        if (!closed) return error("unterminated string literal");
+        tok.type = TokenType::kString;
+        tok.text = std::move(text);
+        break;
+      }
+      default: {
+        if (isdigit(static_cast<unsigned char>(c)) ||
+            (c == '-' && i + 1 < n &&
+             isdigit(static_cast<unsigned char>(input[i + 1])))) {
+          size_t start = i;
+          if (c == '-') ++i;
+          while (i < n && isdigit(static_cast<unsigned char>(input[i]))) ++i;
+          bool is_float = false;
+          if (i < n && input[i] == '.' && i + 1 < n &&
+              isdigit(static_cast<unsigned char>(input[i + 1]))) {
+            is_float = true;
+            ++i;
+            while (i < n && isdigit(static_cast<unsigned char>(input[i]))) {
+              ++i;
+            }
+          }
+          std::string num = input.substr(start, i - start);
+          if (is_float) {
+            tok.type = TokenType::kFloat;
+            tok.float_value = strtod(num.c_str(), nullptr);
+          } else {
+            tok.type = TokenType::kInt;
+            tok.int_value = strtoll(num.c_str(), nullptr, 10);
+          }
+        } else if (isalpha(static_cast<unsigned char>(c)) || c == '_') {
+          size_t start = i;
+          while (i < n && (isalnum(static_cast<unsigned char>(input[i])) ||
+                           input[i] == '_')) {
+            ++i;
+          }
+          std::string word = input.substr(start, i - start);
+          auto kw = Keywords().find(ToUpper(word));
+          if (kw != Keywords().end()) {
+            tok.type = kw->second;
+          } else {
+            tok.type = TokenType::kIdent;
+          }
+          tok.text = std::move(word);
+        } else {
+          return error(std::string("unexpected character '") + c + "'");
+        }
+      }
+    }
+    tokens.push_back(std::move(tok));
+  }
+  Token eof;
+  eof.type = TokenType::kEof;
+  eof.offset = n;
+  tokens.push_back(eof);
+  return tokens;
+}
+
+}  // namespace tcob

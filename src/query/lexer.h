@@ -1,0 +1,21 @@
+#ifndef TCOB_QUERY_LEXER_H_
+#define TCOB_QUERY_LEXER_H_
+
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "query/token.h"
+
+namespace tcob {
+
+/// Tokenizes one MQL statement string.
+///
+/// Keywords are case-insensitive; identifiers keep their case. String
+/// literals use single quotes with '' as the escape. `--` starts a
+/// comment to end of line.
+Result<std::vector<Token>> Tokenize(const std::string& input);
+
+}  // namespace tcob
+
+#endif  // TCOB_QUERY_LEXER_H_

@@ -1,0 +1,642 @@
+#include "query/parser.h"
+
+#include "query/lexer.h"
+
+namespace tcob {
+
+const char* AggFnName(AggFn fn) {
+  switch (fn) {
+    case AggFn::kCount:
+      return "COUNT";
+    case AggFn::kSum:
+      return "SUM";
+    case AggFn::kAvg:
+      return "AVG";
+    case AggFn::kMin:
+      return "MIN";
+    case AggFn::kMax:
+      return "MAX";
+  }
+  return "?";
+}
+
+const char* BinaryOpName(BinaryOp op) {
+  switch (op) {
+    case BinaryOp::kEq:
+      return "=";
+    case BinaryOp::kNe:
+      return "!=";
+    case BinaryOp::kLt:
+      return "<";
+    case BinaryOp::kLe:
+      return "<=";
+    case BinaryOp::kGt:
+      return ">";
+    case BinaryOp::kGe:
+      return ">=";
+    case BinaryOp::kAnd:
+      return "AND";
+    case BinaryOp::kOr:
+      return "OR";
+    case BinaryOp::kOverlaps:
+      return "OVERLAPS";
+    case BinaryOp::kContains:
+      return "CONTAINS";
+    case BinaryOp::kBefore:
+      return "BEFORE";
+    case BinaryOp::kMeets:
+      return "MEETS";
+    case BinaryOp::kDuring:
+      return "DURING";
+  }
+  return "?";
+}
+
+Status Parser::ErrorHere(const std::string& msg) const {
+  return Status::ParseError(msg + " (near offset " +
+                            std::to_string(Peek().offset) + ", got " +
+                            TokenTypeName(Peek().type) +
+                            (Peek().text.empty() ? "" : " '" + Peek().text +
+                                                            "'") +
+                            ")");
+}
+
+Status Parser::Expect(TokenType t, const char* context) {
+  if (Match(t)) return Status::OK();
+  return ErrorHere(std::string("expected ") + TokenTypeName(t) + " in " +
+                   context);
+}
+
+Result<Statement> Parser::Parse(const std::string& input) {
+  TCOB_ASSIGN_OR_RETURN(std::vector<Token> tokens, Tokenize(input));
+  Parser parser(std::move(tokens));
+  TCOB_ASSIGN_OR_RETURN(Statement stmt, parser.ParseStatement());
+  parser.Match(TokenType::kSemicolon);
+  if (!parser.Peek().Is(TokenType::kEof)) {
+    return parser.ErrorHere("trailing input after statement");
+  }
+  return stmt;
+}
+
+Result<std::vector<Statement>> Parser::ParseScript(const std::string& input) {
+  TCOB_ASSIGN_OR_RETURN(std::vector<Token> tokens, Tokenize(input));
+  Parser parser(std::move(tokens));
+  std::vector<Statement> out;
+  while (!parser.Peek().Is(TokenType::kEof)) {
+    if (parser.Match(TokenType::kSemicolon)) continue;
+    TCOB_ASSIGN_OR_RETURN(Statement stmt, parser.ParseStatement());
+    out.push_back(std::move(stmt));
+  }
+  return out;
+}
+
+Result<Statement> Parser::ParseStatement() {
+  switch (Peek().type) {
+    case TokenType::kSelect:
+      return ParseSelect();
+    case TokenType::kCreate:
+      return ParseCreate();
+    case TokenType::kInsert:
+      return ParseInsert();
+    case TokenType::kUpdate:
+      return ParseUpdate();
+    case TokenType::kDelete:
+      return ParseDelete();
+    case TokenType::kConnect:
+      return ParseConnect(true);
+    case TokenType::kDisconnect:
+      return ParseConnect(false);
+    case TokenType::kShow: {
+      Advance();
+      if (Match(TokenType::kStats)) return Statement(ShowStatsStmt{});
+      TCOB_RETURN_NOT_OK(Expect(TokenType::kCatalog, "SHOW"));
+      return Statement(ShowCatalogStmt{});
+    }
+    case TokenType::kVacuum: {
+      Advance();
+      TCOB_RETURN_NOT_OK(Expect(TokenType::kBefore, "VACUUM"));
+      if (!Peek().Is(TokenType::kInt)) {
+        return ErrorHere("expected a chronon number after VACUUM BEFORE");
+      }
+      VacuumStmt stmt;
+      stmt.before = Advance().int_value;
+      return Statement(stmt);
+    }
+    case TokenType::kExplain: {
+      Advance();
+      if (!Peek().Is(TokenType::kSelect)) {
+        return ErrorHere("EXPLAIN supports SELECT statements only");
+      }
+      TCOB_ASSIGN_OR_RETURN(Statement inner, ParseSelect());
+      ExplainStmt explain;
+      explain.select = std::move(std::get<SelectStmt>(inner));
+      return Statement(std::move(explain));
+    }
+    default:
+      return ErrorHere("expected a statement");
+  }
+}
+
+Result<std::pair<Timestamp, bool>> Parser::ParseInstant() {
+  if (Match(TokenType::kNow)) return std::make_pair(Timestamp(0), true);
+  if (Peek().Is(TokenType::kInt)) {
+    Timestamp t = Advance().int_value;
+    return std::make_pair(t, false);
+  }
+  return ErrorHere("expected a chronon number or NOW");
+}
+
+Result<Statement> Parser::ParseSelect() {
+  Advance();  // SELECT
+  SelectStmt stmt;
+  auto agg_fn_of = [](TokenType t) -> std::optional<AggFn> {
+    switch (t) {
+      case TokenType::kCount:
+        return AggFn::kCount;
+      case TokenType::kSum:
+        return AggFn::kSum;
+      case TokenType::kAvg:
+        return AggFn::kAvg;
+      case TokenType::kMin:
+        return AggFn::kMin;
+      case TokenType::kMax:
+        return AggFn::kMax;
+      default:
+        return std::nullopt;
+    }
+  };
+  if (Match(TokenType::kAll)) {
+    stmt.select_all = true;
+  } else if (agg_fn_of(Peek().type).has_value()) {
+    do {
+      std::optional<AggFn> fn = agg_fn_of(Peek().type);
+      if (!fn.has_value()) {
+        return ErrorHere("aggregates cannot be mixed with plain columns");
+      }
+      Advance();
+      AggSpec agg;
+      agg.fn = *fn;
+      TCOB_RETURN_NOT_OK(Expect(TokenType::kLParen, "aggregate"));
+      if (Match(TokenType::kStar)) {
+        if (agg.fn != AggFn::kCount) {
+          return ErrorHere("only COUNT accepts *");
+        }
+        agg.star = true;
+      } else {
+        if (!Peek().Is(TokenType::kIdent)) {
+          return ErrorHere("expected Type.attr in aggregate");
+        }
+        agg.ref.type_name = Advance().text;
+        TCOB_RETURN_NOT_OK(Expect(TokenType::kDot, "aggregate"));
+        if (!Peek().Is(TokenType::kIdent)) {
+          return ErrorHere("expected attribute name after '.'");
+        }
+        agg.ref.attr_name = Advance().text;
+      }
+      TCOB_RETURN_NOT_OK(Expect(TokenType::kRParen, "aggregate"));
+      stmt.aggregates.push_back(std::move(agg));
+    } while (Match(TokenType::kComma));
+  } else {
+    do {
+      if (!Peek().Is(TokenType::kIdent)) {
+        return ErrorHere("expected Type.attr in projection");
+      }
+      AttrRef ref;
+      ref.type_name = Advance().text;
+      TCOB_RETURN_NOT_OK(Expect(TokenType::kDot, "projection"));
+      if (!Peek().Is(TokenType::kIdent)) {
+        return ErrorHere("expected attribute name after '.'");
+      }
+      ref.attr_name = Advance().text;
+      stmt.projection.push_back(std::move(ref));
+    } while (Match(TokenType::kComma));
+  }
+  TCOB_RETURN_NOT_OK(Expect(TokenType::kFrom, "SELECT"));
+  if (!Peek().Is(TokenType::kIdent)) {
+    return ErrorHere("expected molecule type name after FROM");
+  }
+  stmt.molecule_type = Advance().text;
+  if (Match(TokenType::kVia)) {
+    // Inline molecule definition: the FROM name is the root atom type.
+    stmt.inline_root = std::move(stmt.molecule_type);
+    stmt.molecule_type.clear();
+    do {
+      if (!Peek().Is(TokenType::kIdent)) {
+        return ErrorHere("expected link name after VIA");
+      }
+      std::string link = Advance().text;
+      bool forward = true;
+      if (Match(TokenType::kBackward)) {
+        forward = false;
+      } else {
+        Match(TokenType::kForward);
+      }
+      stmt.inline_edges.emplace_back(std::move(link), forward);
+    } while (Match(TokenType::kComma));
+  }
+  if (Match(TokenType::kWhere)) {
+    TCOB_ASSIGN_OR_RETURN(stmt.where, ParseExpr());
+  }
+  if (Match(TokenType::kGroup)) {
+    TCOB_RETURN_NOT_OK(Expect(TokenType::kBy, "GROUP BY"));
+    TCOB_RETURN_NOT_OK(Expect(TokenType::kRoot, "GROUP BY"));
+    if (stmt.aggregates.empty()) {
+      return ErrorHere("GROUP BY ROOT requires an aggregate select list");
+    }
+    stmt.group_by_root = true;
+  }
+  if (Match(TokenType::kOrder)) {
+    TCOB_RETURN_NOT_OK(Expect(TokenType::kBy, "ORDER BY"));
+    if (Match(TokenType::kRoot)) {
+      stmt.order_by = "ROOT";
+    } else {
+      if (!Peek().Is(TokenType::kIdent)) {
+        return ErrorHere("expected ROOT or Type.attr after ORDER BY");
+      }
+      stmt.order_by = Advance().text;
+      TCOB_RETURN_NOT_OK(Expect(TokenType::kDot, "ORDER BY"));
+      if (!Peek().Is(TokenType::kIdent)) {
+        return ErrorHere("expected attribute name after '.'");
+      }
+      stmt.order_by += "." + Advance().text;
+    }
+    if (Match(TokenType::kDesc)) {
+      stmt.order_desc = true;
+    } else {
+      Match(TokenType::kAsc);
+    }
+  }
+  if (Match(TokenType::kValid)) {
+    if (Match(TokenType::kAt)) {
+      stmt.mode = TemporalMode::kAsOf;
+      TCOB_ASSIGN_OR_RETURN(auto instant, ParseInstant());
+      stmt.at = instant.first;
+      stmt.at_now = instant.second;
+    } else if (Match(TokenType::kIn)) {
+      stmt.mode = TemporalMode::kWindow;
+      bool begin_now = false, end_now = false;
+      TCOB_ASSIGN_OR_RETURN(stmt.window,
+                            ParseIntervalLiteral(&begin_now, &end_now));
+      if (begin_now) {
+        return ErrorHere("VALID IN window cannot begin at NOW");
+      }
+      stmt.window_end_now = end_now;
+    } else {
+      return ErrorHere("expected AT or IN after VALID");
+    }
+  } else if (Match(TokenType::kHistory)) {
+    stmt.mode = TemporalMode::kHistory;
+  }
+  return Statement(std::move(stmt));
+}
+
+Result<Statement> Parser::ParseCreate() {
+  Advance();  // CREATE
+  if (Match(TokenType::kAtomType)) {
+    CreateAtomTypeStmt stmt;
+    if (!Peek().Is(TokenType::kIdent)) return ErrorHere("expected type name");
+    stmt.name = Advance().text;
+    TCOB_RETURN_NOT_OK(Expect(TokenType::kLParen, "CREATE ATOM_TYPE"));
+    do {
+      if (!Peek().Is(TokenType::kIdent)) {
+        return ErrorHere("expected attribute name");
+      }
+      std::string attr = Advance().text;
+      if (!Peek().Is(TokenType::kIdent)) {
+        return ErrorHere("expected attribute type");
+      }
+      std::string type_name = Advance().text;
+      for (char& c : type_name) c = static_cast<char>(toupper(c));
+      TCOB_ASSIGN_OR_RETURN(AttrType type, AttrTypeFromName(type_name));
+      stmt.attributes.emplace_back(std::move(attr), type);
+    } while (Match(TokenType::kComma));
+    TCOB_RETURN_NOT_OK(Expect(TokenType::kRParen, "CREATE ATOM_TYPE"));
+    return Statement(std::move(stmt));
+  }
+  if (Match(TokenType::kLink)) {
+    CreateLinkStmt stmt;
+    if (!Peek().Is(TokenType::kIdent)) return ErrorHere("expected link name");
+    stmt.name = Advance().text;
+    TCOB_RETURN_NOT_OK(Expect(TokenType::kFrom, "CREATE LINK"));
+    if (!Peek().Is(TokenType::kIdent)) return ErrorHere("expected from-type");
+    stmt.from_type = Advance().text;
+    TCOB_RETURN_NOT_OK(Expect(TokenType::kTo, "CREATE LINK"));
+    if (!Peek().Is(TokenType::kIdent)) return ErrorHere("expected to-type");
+    stmt.to_type = Advance().text;
+    return Statement(std::move(stmt));
+  }
+  if (Match(TokenType::kMoleculeType)) {
+    CreateMoleculeTypeStmt stmt;
+    if (!Peek().Is(TokenType::kIdent)) {
+      return ErrorHere("expected molecule type name");
+    }
+    stmt.name = Advance().text;
+    TCOB_RETURN_NOT_OK(Expect(TokenType::kRoot, "CREATE MOLECULE_TYPE"));
+    if (!Peek().Is(TokenType::kIdent)) return ErrorHere("expected root type");
+    stmt.root_type = Advance().text;
+    if (Match(TokenType::kEdges)) {
+      TCOB_RETURN_NOT_OK(Expect(TokenType::kLParen, "EDGES"));
+      do {
+        if (!Peek().Is(TokenType::kIdent)) {
+          return ErrorHere("expected link name in EDGES");
+        }
+        std::string link = Advance().text;
+        bool forward = true;
+        if (Match(TokenType::kBackward)) {
+          forward = false;
+        } else {
+          Match(TokenType::kForward);
+        }
+        stmt.edges.emplace_back(std::move(link), forward);
+      } while (Match(TokenType::kComma));
+      TCOB_RETURN_NOT_OK(Expect(TokenType::kRParen, "EDGES"));
+    }
+    return Statement(std::move(stmt));
+  }
+  if (Match(TokenType::kIndex)) {
+    CreateIndexStmt stmt;
+    if (!Peek().Is(TokenType::kIdent)) return ErrorHere("expected index name");
+    stmt.name = Advance().text;
+    TCOB_RETURN_NOT_OK(Expect(TokenType::kOn, "CREATE INDEX"));
+    if (!Peek().Is(TokenType::kIdent)) return ErrorHere("expected atom type");
+    stmt.type_name = Advance().text;
+    TCOB_RETURN_NOT_OK(Expect(TokenType::kLParen, "CREATE INDEX"));
+    if (!Peek().Is(TokenType::kIdent)) {
+      return ErrorHere("expected attribute name");
+    }
+    stmt.attr_name = Advance().text;
+    TCOB_RETURN_NOT_OK(Expect(TokenType::kRParen, "CREATE INDEX"));
+    return Statement(std::move(stmt));
+  }
+  return ErrorHere(
+      "expected ATOM_TYPE, LINK, MOLECULE_TYPE or INDEX after CREATE");
+}
+
+Result<Value> Parser::ParseLiteralValue() {
+  const Token& tok = Peek();
+  switch (tok.type) {
+    case TokenType::kInt:
+      Advance();
+      return Value::Int(tok.int_value);
+    case TokenType::kFloat:
+      Advance();
+      return Value::Double(tok.float_value);
+    case TokenType::kString:
+      Advance();
+      return Value::String(tok.text);
+    case TokenType::kTrue:
+      Advance();
+      return Value::Bool(true);
+    case TokenType::kFalse:
+      Advance();
+      return Value::Bool(false);
+    case TokenType::kNull:
+      Advance();
+      // Placeholder type; the executor re-types NULLs per target attr.
+      return Value::Null(AttrType::kString);
+    default:
+      return ErrorHere("expected a literal value");
+  }
+}
+
+Result<std::vector<std::pair<std::string, Value>>> Parser::ParseAssignments() {
+  std::vector<std::pair<std::string, Value>> out;
+  do {
+    if (!Peek().Is(TokenType::kIdent)) {
+      return ErrorHere("expected attribute name");
+    }
+    std::string attr = Advance().text;
+    TCOB_RETURN_NOT_OK(Expect(TokenType::kEq, "assignment"));
+    TCOB_ASSIGN_OR_RETURN(Value v, ParseLiteralValue());
+    out.emplace_back(std::move(attr), std::move(v));
+  } while (Match(TokenType::kComma));
+  return out;
+}
+
+Result<ValidFrom> Parser::ParseValidFrom() {
+  ValidFrom from;
+  if (Match(TokenType::kValid)) {
+    TCOB_RETURN_NOT_OK(Expect(TokenType::kFrom, "VALID FROM"));
+    TCOB_ASSIGN_OR_RETURN(auto instant, ParseInstant());
+    from.at = instant.first;
+    from.is_now = instant.second;
+  }
+  return from;
+}
+
+Result<Statement> Parser::ParseInsert() {
+  Advance();  // INSERT
+  TCOB_RETURN_NOT_OK(Expect(TokenType::kAtom, "INSERT"));
+  InsertStmt stmt;
+  if (!Peek().Is(TokenType::kIdent)) return ErrorHere("expected atom type");
+  stmt.type_name = Advance().text;
+  TCOB_RETURN_NOT_OK(Expect(TokenType::kLParen, "INSERT ATOM"));
+  TCOB_ASSIGN_OR_RETURN(stmt.assignments, ParseAssignments());
+  TCOB_RETURN_NOT_OK(Expect(TokenType::kRParen, "INSERT ATOM"));
+  TCOB_ASSIGN_OR_RETURN(stmt.from, ParseValidFrom());
+  return Statement(std::move(stmt));
+}
+
+Result<Statement> Parser::ParseUpdate() {
+  Advance();  // UPDATE
+  TCOB_RETURN_NOT_OK(Expect(TokenType::kAtom, "UPDATE"));
+  UpdateStmt stmt;
+  if (!Peek().Is(TokenType::kIdent)) return ErrorHere("expected atom type");
+  stmt.type_name = Advance().text;
+  if (!Peek().Is(TokenType::kInt)) return ErrorHere("expected atom id");
+  stmt.atom_id = static_cast<AtomId>(Advance().int_value);
+  TCOB_RETURN_NOT_OK(Expect(TokenType::kSet, "UPDATE ATOM"));
+  TCOB_ASSIGN_OR_RETURN(stmt.assignments, ParseAssignments());
+  TCOB_ASSIGN_OR_RETURN(stmt.from, ParseValidFrom());
+  return Statement(std::move(stmt));
+}
+
+Result<Statement> Parser::ParseDelete() {
+  Advance();  // DELETE
+  TCOB_RETURN_NOT_OK(Expect(TokenType::kAtom, "DELETE"));
+  DeleteStmt stmt;
+  if (!Peek().Is(TokenType::kIdent)) return ErrorHere("expected atom type");
+  stmt.type_name = Advance().text;
+  if (!Peek().Is(TokenType::kInt)) return ErrorHere("expected atom id");
+  stmt.atom_id = static_cast<AtomId>(Advance().int_value);
+  TCOB_ASSIGN_OR_RETURN(stmt.from, ParseValidFrom());
+  return Statement(std::move(stmt));
+}
+
+Result<Statement> Parser::ParseConnect(bool connect) {
+  Advance();  // CONNECT / DISCONNECT
+  std::string link_name;
+  if (!Peek().Is(TokenType::kIdent)) return ErrorHere("expected link name");
+  link_name = Advance().text;
+  TCOB_RETURN_NOT_OK(Expect(TokenType::kFrom, "CONNECT"));
+  if (!Peek().Is(TokenType::kInt)) return ErrorHere("expected from atom id");
+  AtomId from_id = static_cast<AtomId>(Advance().int_value);
+  TCOB_RETURN_NOT_OK(Expect(TokenType::kTo, "CONNECT"));
+  if (!Peek().Is(TokenType::kInt)) return ErrorHere("expected to atom id");
+  AtomId to_id = static_cast<AtomId>(Advance().int_value);
+  TCOB_ASSIGN_OR_RETURN(ValidFrom from, ParseValidFrom());
+  if (connect) {
+    return Statement(ConnectStmt{link_name, from_id, to_id, from});
+  }
+  return Statement(DisconnectStmt{link_name, from_id, to_id, from});
+}
+
+// ---- expressions ----
+
+Result<ExprPtr> Parser::ParseExpr() { return ParseOr(); }
+
+Result<ExprPtr> Parser::ParseOr() {
+  TCOB_ASSIGN_OR_RETURN(ExprPtr left, ParseAnd());
+  while (Match(TokenType::kOr)) {
+    TCOB_ASSIGN_OR_RETURN(ExprPtr right, ParseAnd());
+    auto expr = std::make_unique<Expr>();
+    expr->node = BinaryExpr{BinaryOp::kOr, std::move(left), std::move(right)};
+    left = std::move(expr);
+  }
+  return left;
+}
+
+Result<ExprPtr> Parser::ParseAnd() {
+  TCOB_ASSIGN_OR_RETURN(ExprPtr left, ParseNot());
+  while (Match(TokenType::kAnd)) {
+    TCOB_ASSIGN_OR_RETURN(ExprPtr right, ParseNot());
+    auto expr = std::make_unique<Expr>();
+    expr->node = BinaryExpr{BinaryOp::kAnd, std::move(left), std::move(right)};
+    left = std::move(expr);
+  }
+  return left;
+}
+
+Result<ExprPtr> Parser::ParseNot() {
+  if (Match(TokenType::kNot)) {
+    TCOB_ASSIGN_OR_RETURN(ExprPtr operand, ParseNot());
+    auto expr = std::make_unique<Expr>();
+    expr->node = UnaryExpr{UnaryOp::kNot, std::move(operand)};
+    return expr;
+  }
+  return ParseComparison();
+}
+
+Result<ExprPtr> Parser::ParseComparison() {
+  TCOB_ASSIGN_OR_RETURN(ExprPtr left, ParsePrimary());
+  BinaryOp op;
+  switch (Peek().type) {
+    case TokenType::kEq:
+      op = BinaryOp::kEq;
+      break;
+    case TokenType::kNe:
+      op = BinaryOp::kNe;
+      break;
+    case TokenType::kLt:
+      op = BinaryOp::kLt;
+      break;
+    case TokenType::kLe:
+      op = BinaryOp::kLe;
+      break;
+    case TokenType::kGt:
+      op = BinaryOp::kGt;
+      break;
+    case TokenType::kGe:
+      op = BinaryOp::kGe;
+      break;
+    case TokenType::kOverlaps:
+      op = BinaryOp::kOverlaps;
+      break;
+    case TokenType::kContains:
+      op = BinaryOp::kContains;
+      break;
+    case TokenType::kBefore:
+      op = BinaryOp::kBefore;
+      break;
+    case TokenType::kMeets:
+      op = BinaryOp::kMeets;
+      break;
+    case TokenType::kDuring:
+      op = BinaryOp::kDuring;
+      break;
+    default:
+      return left;  // bare primary (e.g. a boolean attribute)
+  }
+  Advance();
+  TCOB_ASSIGN_OR_RETURN(ExprPtr right, ParsePrimary());
+  auto expr = std::make_unique<Expr>();
+  expr->node = BinaryExpr{op, std::move(left), std::move(right)};
+  return expr;
+}
+
+Result<Interval> Parser::ParseIntervalLiteral(bool* begin_now,
+                                              bool* end_now) {
+  TCOB_RETURN_NOT_OK(Expect(TokenType::kLBracket, "interval literal"));
+  TCOB_ASSIGN_OR_RETURN(auto begin, ParseInstant());
+  TCOB_RETURN_NOT_OK(Expect(TokenType::kComma, "interval literal"));
+  TCOB_ASSIGN_OR_RETURN(auto end, ParseInstant());
+  TCOB_RETURN_NOT_OK(Expect(TokenType::kRParen, "interval literal"));
+  *begin_now = begin.second;
+  *end_now = end.second;
+  return Interval(begin.first, end.first);
+}
+
+Result<ExprPtr> Parser::ParsePrimary() {
+  auto expr = std::make_unique<Expr>();
+  switch (Peek().type) {
+    case TokenType::kLParen: {
+      Advance();
+      TCOB_ASSIGN_OR_RETURN(ExprPtr inner, ParseExpr());
+      TCOB_RETURN_NOT_OK(Expect(TokenType::kRParen, "parenthesized expr"));
+      return inner;
+    }
+    case TokenType::kLBracket: {
+      IntervalExpr iv;
+      TCOB_ASSIGN_OR_RETURN(
+          iv.interval, ParseIntervalLiteral(&iv.begin_is_now, &iv.end_is_now));
+      expr->node = std::move(iv);
+      return expr;
+    }
+    case TokenType::kValid: {
+      Advance();
+      TCOB_RETURN_NOT_OK(Expect(TokenType::kLParen, "VALID()"));
+      if (!Peek().Is(TokenType::kIdent)) {
+        return ErrorHere("expected atom type name in VALID()");
+      }
+      ValidOfExpr v;
+      v.type_name = Advance().text;
+      TCOB_RETURN_NOT_OK(Expect(TokenType::kRParen, "VALID()"));
+      expr->node = std::move(v);
+      return expr;
+    }
+    case TokenType::kBegin:
+    case TokenType::kEnd: {
+      BoundaryExpr b;
+      b.is_begin = Peek().Is(TokenType::kBegin);
+      Advance();
+      TCOB_RETURN_NOT_OK(Expect(TokenType::kLParen, "BEGIN/END"));
+      TCOB_ASSIGN_OR_RETURN(b.operand, ParsePrimary());
+      TCOB_RETURN_NOT_OK(Expect(TokenType::kRParen, "BEGIN/END"));
+      expr->node = std::move(b);
+      return expr;
+    }
+    case TokenType::kNow: {
+      Advance();
+      expr->node = NowExpr{};
+      return expr;
+    }
+    case TokenType::kIdent: {
+      AttrRefExpr a;
+      a.ref.type_name = Advance().text;
+      TCOB_RETURN_NOT_OK(Expect(TokenType::kDot, "attribute reference"));
+      if (!Peek().Is(TokenType::kIdent)) {
+        return ErrorHere("expected attribute name after '.'");
+      }
+      a.ref.attr_name = Advance().text;
+      expr->node = std::move(a);
+      return expr;
+    }
+    default: {
+      TCOB_ASSIGN_OR_RETURN(Value v, ParseLiteralValue());
+      expr->node = LiteralExpr{std::move(v)};
+      return expr;
+    }
+  }
+}
+
+}  // namespace tcob

@@ -1,0 +1,65 @@
+#ifndef TCOB_QUERY_PARSER_H_
+#define TCOB_QUERY_PARSER_H_
+
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "query/ast.h"
+#include "query/token.h"
+
+namespace tcob {
+
+/// Recursive-descent parser for MQL (the temporal molecule query
+/// language). One call parses one statement; trailing semicolons are
+/// accepted.
+class Parser {
+ public:
+  /// Parses a single statement.
+  static Result<Statement> Parse(const std::string& input);
+
+  /// Parses a ';'-separated script into a statement list.
+  static Result<std::vector<Statement>> ParseScript(const std::string& input);
+
+ private:
+  explicit Parser(std::vector<Token> tokens) : tokens_(std::move(tokens)) {}
+
+  const Token& Peek() const { return tokens_[pos_]; }
+  const Token& Advance() { return tokens_[pos_++]; }
+  bool Match(TokenType t) {
+    if (Peek().Is(t)) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+  Status Expect(TokenType t, const char* context);
+  Status ErrorHere(const std::string& msg) const;
+
+  Result<Statement> ParseStatement();
+  Result<Statement> ParseSelect();
+  Result<Statement> ParseCreate();
+  Result<Statement> ParseInsert();
+  Result<Statement> ParseUpdate();
+  Result<Statement> ParseDelete();
+  Result<Statement> ParseConnect(bool connect);
+  Result<ValidFrom> ParseValidFrom();
+  Result<std::vector<std::pair<std::string, Value>>> ParseAssignments();
+  Result<Value> ParseLiteralValue();
+  Result<std::pair<Timestamp, bool>> ParseInstant();  // (value, is_now)
+
+  Result<ExprPtr> ParseExpr();
+  Result<ExprPtr> ParseOr();
+  Result<ExprPtr> ParseAnd();
+  Result<ExprPtr> ParseNot();
+  Result<ExprPtr> ParseComparison();
+  Result<ExprPtr> ParsePrimary();
+  Result<Interval> ParseIntervalLiteral(bool* begin_now, bool* end_now);
+
+  std::vector<Token> tokens_;
+  size_t pos_ = 0;
+};
+
+}  // namespace tcob
+
+#endif  // TCOB_QUERY_PARSER_H_

@@ -1,0 +1,197 @@
+#include "query/planner.h"
+
+#include <vector>
+
+namespace tcob {
+
+namespace {
+
+/// Collects the leaves of the top-level AND tree.
+void CollectConjuncts(const Expr& expr, std::vector<const Expr*>* out) {
+  if (const auto* binary = std::get_if<BinaryExpr>(&expr.node)) {
+    if (binary->op == BinaryOp::kAnd) {
+      CollectConjuncts(*binary->left, out);
+      CollectConjuncts(*binary->right, out);
+      return;
+    }
+  }
+  out->push_back(&expr);
+}
+
+/// Mirrors a comparison operator (for literal-on-the-left conjuncts).
+BinaryOp Mirror(BinaryOp op) {
+  switch (op) {
+    case BinaryOp::kLt:
+      return BinaryOp::kGt;
+    case BinaryOp::kLe:
+      return BinaryOp::kGe;
+    case BinaryOp::kGt:
+      return BinaryOp::kLt;
+    case BinaryOp::kGe:
+      return BinaryOp::kLe;
+    default:
+      return op;
+  }
+}
+
+/// Tries to read `expr` as `<type_name>.<attr> <cmp> <literal>`.
+struct IndexableConjunct {
+  std::string attr;
+  BinaryOp op;
+  Value literal = Value::Null(AttrType::kString);
+};
+
+bool MatchConjunct(const Expr& expr, const std::string& type_name,
+                   IndexableConjunct* out) {
+  const auto* binary = std::get_if<BinaryExpr>(&expr.node);
+  if (binary == nullptr) return false;
+  switch (binary->op) {
+    case BinaryOp::kEq:
+    case BinaryOp::kLt:
+    case BinaryOp::kLe:
+    case BinaryOp::kGt:
+    case BinaryOp::kGe:
+      break;
+    default:
+      return false;
+  }
+  const auto* attr_left = std::get_if<AttrRefExpr>(&binary->left->node);
+  const auto* lit_right = std::get_if<LiteralExpr>(&binary->right->node);
+  if (attr_left != nullptr && lit_right != nullptr &&
+      attr_left->ref.type_name == type_name) {
+    out->attr = attr_left->ref.attr_name;
+    out->op = binary->op;
+    out->literal = lit_right->value;
+    return true;
+  }
+  const auto* lit_left = std::get_if<LiteralExpr>(&binary->left->node);
+  const auto* attr_right = std::get_if<AttrRefExpr>(&binary->right->node);
+  if (lit_left != nullptr && attr_right != nullptr &&
+      attr_right->ref.type_name == type_name) {
+    out->attr = attr_right->ref.attr_name;
+    out->op = Mirror(binary->op);
+    out->literal = lit_left->value;
+    return true;
+  }
+  return false;
+}
+
+/// Coerces an MQL literal to the indexed attribute's type so the
+/// comparable encoding matches the index entries. Returns false when the
+/// literal cannot represent the attribute type (index unusable).
+bool CoerceLiteral(const Value& literal, AttrType target, Value* out) {
+  if (literal.is_null()) return false;  // NULLs are not indexed
+  if (literal.type() == target) {
+    *out = literal;
+    return true;
+  }
+  if (literal.type() == AttrType::kInt) {
+    switch (target) {
+      case AttrType::kDouble:
+        *out = Value::Double(static_cast<double>(literal.AsInt()));
+        return true;
+      case AttrType::kTimestamp:
+        *out = Value::Time(literal.AsInt());
+        return true;
+      case AttrType::kId:
+        *out = Value::Id(static_cast<AtomId>(literal.AsInt()));
+        return true;
+      default:
+        return false;
+    }
+  }
+  return false;
+}
+
+}  // namespace
+
+RootAccessPath PlanRootAccess(const SelectStmt& stmt, const Catalog& catalog,
+                              const MoleculeTypeDef& molecule_type) {
+  RootAccessPath path;
+  Result<const AtomTypeDef*> root = catalog.GetAtomType(molecule_type.root_type);
+  const std::string root_name = root.ok() ? root.value()->name : "?";
+  path.description = "full scan of root type " + root_name;
+  if (stmt.mode != TemporalMode::kAsOf || stmt.where == nullptr ||
+      !root.ok()) {
+    return path;
+  }
+  std::vector<const Expr*> conjuncts;
+  CollectConjuncts(*stmt.where, &conjuncts);
+  for (const Expr* conjunct : conjuncts) {
+    IndexableConjunct match;
+    if (!MatchConjunct(*conjunct, root_name, &match)) continue;
+    int attr_pos = root.value()->AttrIndex(match.attr);
+    if (attr_pos < 0) continue;
+    const AttrIndexDef* index = nullptr;
+    for (const AttrIndexDef* def : catalog.AttrIndexesOf(root.value()->id)) {
+      if (def->attr_pos == static_cast<uint32_t>(attr_pos)) {
+        index = def;
+        break;
+      }
+    }
+    if (index == nullptr) continue;
+    // Intersect the ranges of *all* conjuncts over this attribute
+    // (">= 500 AND < 550" becomes one tight scan).
+    ValueRange range;
+    bool usable = false;
+    for (const Expr* other : conjuncts) {
+      IndexableConjunct bound;
+      if (!MatchConjunct(*other, root_name, &bound) ||
+          bound.attr != match.attr) {
+        continue;
+      }
+      Value coerced = Value::Null(AttrType::kString);
+      if (!CoerceLiteral(bound.literal,
+                         root.value()->attributes[attr_pos].type, &coerced)) {
+        continue;
+      }
+      usable = true;
+      auto tighten_lower = [&](const Value& v, bool inclusive) {
+        if (!range.lower.has_value() ||
+            v.Compare(*range.lower).ValueOr(0) > 0 ||
+            (v.Equals(*range.lower) && !inclusive)) {
+          range.lower = v;
+          range.lower_inclusive = inclusive;
+        }
+      };
+      auto tighten_upper = [&](const Value& v, bool inclusive) {
+        if (!range.upper.has_value() ||
+            v.Compare(*range.upper).ValueOr(0) < 0 ||
+            (v.Equals(*range.upper) && !inclusive)) {
+          range.upper = v;
+          range.upper_inclusive = inclusive;
+        }
+      };
+      switch (bound.op) {
+        case BinaryOp::kEq:
+          tighten_lower(coerced, true);
+          tighten_upper(coerced, true);
+          break;
+        case BinaryOp::kLt:
+          tighten_upper(coerced, false);
+          break;
+        case BinaryOp::kLe:
+          tighten_upper(coerced, true);
+          break;
+        case BinaryOp::kGt:
+          tighten_lower(coerced, false);
+          break;
+        case BinaryOp::kGe:
+          tighten_lower(coerced, true);
+          break;
+        default:
+          break;
+      }
+    }
+    if (!usable) continue;
+    path.use_index = true;
+    path.index = index->id;
+    path.range = std::move(range);
+    path.description = "index scan " + index->name + " on " + root_name +
+                       "." + match.attr + " range " + path.range.ToString();
+    return path;
+  }
+  return path;
+}
+
+}  // namespace tcob

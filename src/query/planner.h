@@ -1,0 +1,35 @@
+#ifndef TCOB_QUERY_PLANNER_H_
+#define TCOB_QUERY_PLANNER_H_
+
+#include <string>
+
+#include "catalog/catalog.h"
+#include "index/attr_index.h"
+#include "query/ast.h"
+
+namespace tcob {
+
+/// How the executor finds the root atoms of a SELECT.
+struct RootAccessPath {
+  bool use_index = false;
+  IndexId index = kInvalidTypeId;
+  ValueRange range;
+  /// Human-readable plan line (EXPLAIN output).
+  std::string description;
+};
+
+/// Chooses the root access path for `stmt`.
+///
+/// An attribute index is used when all of the following hold: the query
+/// is a time slice (VALID AT), the WHERE clause contains a top-level
+/// AND-conjunct of the form `<RootType>.<attr> <cmp> <literal>` (either
+/// operand order), and that attribute is indexed. The index acts as a
+/// pre-filter: the full predicate is still evaluated on each molecule.
+/// Window/history queries always scan (their qualifying states span
+/// many instants).
+RootAccessPath PlanRootAccess(const SelectStmt& stmt, const Catalog& catalog,
+                              const MoleculeTypeDef& molecule_type);
+
+}  // namespace tcob
+
+#endif  // TCOB_QUERY_PLANNER_H_

@@ -1,0 +1,56 @@
+#include "query/result_set.h"
+
+#include <algorithm>
+
+namespace tcob {
+
+std::string ResultSet::ToString() const {
+  if (columns.empty()) {
+    return message.empty() ? std::string("OK") : message;
+  }
+  std::vector<size_t> widths(columns.size());
+  std::vector<std::vector<std::string>> cells;
+  cells.reserve(rows.size());
+  for (size_t c = 0; c < columns.size(); ++c) {
+    widths[c] = columns[c].size();
+  }
+  for (const auto& row : rows) {
+    std::vector<std::string> line;
+    line.reserve(row.size());
+    for (size_t c = 0; c < row.size(); ++c) {
+      std::string s = row[c].ToString();
+      if (c < widths.size()) widths[c] = std::max(widths[c], s.size());
+      line.push_back(std::move(s));
+    }
+    cells.push_back(std::move(line));
+  }
+  std::string out;
+  auto append_row = [&](const std::vector<std::string>& line) {
+    out += "|";
+    for (size_t c = 0; c < columns.size(); ++c) {
+      out += " ";
+      const std::string& s = c < line.size() ? line[c] : "";
+      out += s;
+      out.append(widths[c] - s.size(), ' ');
+      out += " |";
+    }
+    out += "\n";
+  };
+  std::string sep = "+";
+  for (size_t c = 0; c < columns.size(); ++c) {
+    sep.append(widths[c] + 2, '-');
+    sep += "+";
+  }
+  sep += "\n";
+  out += sep;
+  append_row(columns);
+  out += sep;
+  for (const auto& line : cells) append_row(line);
+  out += sep;
+  out += std::to_string(rows.size()) + " row(s)";
+  if (!message.empty()) out += "  -- " + message;
+  out += "\n";
+  return out;
+}
+
+}  // namespace tcob

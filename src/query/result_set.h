@@ -1,0 +1,29 @@
+#ifndef TCOB_QUERY_RESULT_SET_H_
+#define TCOB_QUERY_RESULT_SET_H_
+
+#include <string>
+#include <vector>
+
+#include "record/value.h"
+
+namespace tcob {
+
+/// Tabular result of one statement.
+///
+/// SELECTs fill columns/rows; DDL and DML fill `message` (and DML sets
+/// `inserted_id` for INSERT ATOM).
+struct ResultSet {
+  std::vector<std::string> columns;
+  std::vector<std::vector<Value>> rows;
+  std::string message;
+  AtomId inserted_id = kInvalidAtomId;
+
+  size_t RowCount() const { return rows.size(); }
+
+  /// Renders an aligned ASCII table (or the message for non-queries).
+  std::string ToString() const;
+};
+
+}  // namespace tcob
+
+#endif  // TCOB_QUERY_RESULT_SET_H_

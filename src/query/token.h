@@ -1,0 +1,106 @@
+#ifndef TCOB_QUERY_TOKEN_H_
+#define TCOB_QUERY_TOKEN_H_
+
+#include <cstdint>
+#include <string>
+
+namespace tcob {
+
+enum class TokenType {
+  // literals / identifiers
+  kIdent,
+  kInt,
+  kFloat,
+  kString,
+  // punctuation
+  kLParen,
+  kRParen,
+  kLBracket,
+  kComma,
+  kDot,
+  kSemicolon,
+  // operators
+  kEq,
+  kNe,
+  kLt,
+  kLe,
+  kGt,
+  kGe,
+  // keywords (uppercased identifiers)
+  kSelect,
+  kAll,
+  kFrom,
+  kWhere,
+  kValid,
+  kAt,
+  kIn,
+  kHistory,
+  kAnd,
+  kOr,
+  kNot,
+  kTrue,
+  kFalse,
+  kNow,
+  kNull,
+  kOverlaps,
+  kContains,
+  kBefore,
+  kMeets,
+  kDuring,
+  kBegin,
+  kEnd,
+  kCreate,
+  kAtomType,
+  kLink,
+  kMoleculeType,
+  kRoot,
+  kEdges,
+  kForward,
+  kBackward,
+  kTo,
+  kInsert,
+  kAtom,
+  kUpdate,
+  kDelete,
+  kConnect,
+  kDisconnect,
+  kSet,
+  kShow,
+  kCatalog,
+  kIndex,
+  kOn,
+  kExplain,
+  kVacuum,
+  kCount,
+  kSum,
+  kAvg,
+  kMin,
+  kMax,
+  kStar,
+  kStats,
+  kGroup,
+  kBy,
+  kVia,
+  kOrder,
+  kDesc,
+  kAsc,
+  // end of input
+  kEof,
+};
+
+const char* TokenTypeName(TokenType t);
+
+/// One lexical token with its source position (for error messages).
+struct Token {
+  TokenType type = TokenType::kEof;
+  std::string text;     // identifier spelling / string contents
+  int64_t int_value = 0;
+  double float_value = 0.0;
+  size_t offset = 0;    // byte offset in the query text
+
+  bool Is(TokenType t) const { return type == t; }
+};
+
+}  // namespace tcob
+
+#endif  // TCOB_QUERY_TOKEN_H_

@@ -1,0 +1,110 @@
+#include "record/record_codec.h"
+
+#include "common/coding.h"
+
+namespace tcob {
+
+Status EncodeValues(const std::vector<AttrType>& schema,
+                    const std::vector<Value>& values, std::string* dst) {
+  if (schema.size() != values.size()) {
+    return Status::InvalidArgument(
+        "record arity mismatch: schema has " + std::to_string(schema.size()) +
+        " attributes, got " + std::to_string(values.size()) + " values");
+  }
+  const size_t bitmap_bytes = (schema.size() + 7) / 8;
+  const size_t bitmap_off = dst->size();
+  dst->append(bitmap_bytes, '\0');
+  for (size_t i = 0; i < schema.size(); ++i) {
+    const Value& v = values[i];
+    if (v.type() != schema[i]) {
+      return Status::TypeError(std::string("attribute ") + std::to_string(i) +
+                               ": expected " + AttrTypeName(schema[i]) +
+                               ", got " + AttrTypeName(v.type()));
+    }
+    if (v.is_null()) {
+      (*dst)[bitmap_off + i / 8] |= static_cast<char>(1u << (i % 8));
+      continue;
+    }
+    switch (schema[i]) {
+      case AttrType::kBool:
+        dst->push_back(v.AsBool() ? 1 : 0);
+        break;
+      case AttrType::kInt:
+        PutVarsint64(dst, v.AsInt());
+        break;
+      case AttrType::kDouble:
+        PutDouble(dst, v.AsDouble());
+        break;
+      case AttrType::kString:
+        PutLengthPrefixed(dst, v.AsString());
+        break;
+      case AttrType::kTimestamp:
+        PutVarsint64(dst, v.AsTime());
+        break;
+      case AttrType::kId:
+        PutVarint64(dst, v.AsId());
+        break;
+    }
+  }
+  return Status::OK();
+}
+
+Result<std::vector<Value>> DecodeValues(const std::vector<AttrType>& schema,
+                                        Slice* input) {
+  const size_t bitmap_bytes = (schema.size() + 7) / 8;
+  if (input->size() < bitmap_bytes) {
+    return Status::Corruption("record shorter than its null bitmap");
+  }
+  const char* bitmap = input->data();
+  input->RemovePrefix(bitmap_bytes);
+  std::vector<Value> out;
+  out.reserve(schema.size());
+  for (size_t i = 0; i < schema.size(); ++i) {
+    const bool is_null = (bitmap[i / 8] >> (i % 8)) & 1;
+    if (is_null) {
+      out.push_back(Value::Null(schema[i]));
+      continue;
+    }
+    switch (schema[i]) {
+      case AttrType::kBool: {
+        if (input->empty()) return Status::Corruption("bool underflow");
+        out.push_back(Value::Bool((*input)[0] != 0));
+        input->RemovePrefix(1);
+        break;
+      }
+      case AttrType::kInt: {
+        int64_t v;
+        TCOB_RETURN_NOT_OK(GetVarsint64(input, &v));
+        out.push_back(Value::Int(v));
+        break;
+      }
+      case AttrType::kDouble: {
+        double v;
+        TCOB_RETURN_NOT_OK(GetDouble(input, &v));
+        out.push_back(Value::Double(v));
+        break;
+      }
+      case AttrType::kString: {
+        Slice s;
+        TCOB_RETURN_NOT_OK(GetLengthPrefixed(input, &s));
+        out.push_back(Value::String(s.ToString()));
+        break;
+      }
+      case AttrType::kTimestamp: {
+        int64_t v;
+        TCOB_RETURN_NOT_OK(GetVarsint64(input, &v));
+        out.push_back(Value::Time(v));
+        break;
+      }
+      case AttrType::kId: {
+        uint64_t v;
+        TCOB_RETURN_NOT_OK(GetVarint64(input, &v));
+        out.push_back(Value::Id(v));
+        break;
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace tcob

@@ -1,0 +1,37 @@
+#ifndef TCOB_RECORD_RECORD_CODEC_H_
+#define TCOB_RECORD_RECORD_CODEC_H_
+
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "common/slice.h"
+#include "record/value.h"
+
+namespace tcob {
+
+/// Schema-driven binary record format.
+///
+/// Layout: a null bitmap of ceil(n/8) bytes (bit i set == attribute i is
+/// NULL), followed by the non-null attribute payloads in schema order:
+///   BOOL       1 byte
+///   INT        zigzag varint
+///   DOUBLE     8-byte IEEE-754 LE
+///   STRING     varint length + bytes
+///   TIMESTAMP  zigzag varint
+///   ID         varint
+/// The schema itself is not stored per record; the catalog supplies it.
+
+/// Appends the encoded record to *dst. `values` must match `schema`
+/// position by position (type mismatch is an InvalidArgument error).
+Status EncodeValues(const std::vector<AttrType>& schema,
+                    const std::vector<Value>& values, std::string* dst);
+
+/// Decodes a record previously produced by EncodeValues with `schema`.
+/// Consumes from *input, leaving any trailing bytes.
+Result<std::vector<Value>> DecodeValues(const std::vector<AttrType>& schema,
+                                        Slice* input);
+
+}  // namespace tcob
+
+#endif  // TCOB_RECORD_RECORD_CODEC_H_

@@ -1,0 +1,100 @@
+#ifndef TCOB_RECORD_VALUE_H_
+#define TCOB_RECORD_VALUE_H_
+
+#include <cstdint>
+#include <string>
+#include <variant>
+
+#include "common/result.h"
+#include "time/timestamp.h"
+
+namespace tcob {
+
+/// Attribute data types of the temporal complex-object model.
+enum class AttrType : uint8_t {
+  kBool = 0,
+  kInt = 1,
+  kDouble = 2,
+  kString = 3,
+  kTimestamp = 4,  // a valid-time instant stored as data
+  kId = 5,         // reference to an atom (surrogate identifier)
+};
+
+const char* AttrTypeName(AttrType t);
+Result<AttrType> AttrTypeFromName(const std::string& name);
+
+/// Globally unique atom surrogate.
+using AtomId = uint64_t;
+inline constexpr AtomId kInvalidAtomId = 0;
+
+/// A typed attribute value, possibly NULL.
+///
+/// NULL is typed: a null Value still knows which AttrType column it
+/// belongs to, so comparisons stay well-defined (NULLs sort first and
+/// compare equal only to NULLs, SQL-style three-valued logic is *not*
+/// used — the model predates it and the query engine treats predicates
+/// over NULL as false).
+class Value {
+ public:
+  /// Null of the given type.
+  explicit Value(AttrType type) : type_(type), null_(true) {}
+
+  static Value Bool(bool v) { return Value(AttrType::kBool, Payload(v)); }
+  static Value Int(int64_t v) { return Value(AttrType::kInt, Payload(v)); }
+  static Value Double(double v) { return Value(AttrType::kDouble, Payload(v)); }
+  static Value String(std::string v) {
+    return Value(AttrType::kString, Payload(std::move(v)));
+  }
+  static Value Time(Timestamp v) {
+    Value out(AttrType::kTimestamp, Payload(static_cast<int64_t>(v)));
+    return out;
+  }
+  static Value Id(AtomId v) {
+    Value out(AttrType::kId, Payload(static_cast<int64_t>(v)));
+    return out;
+  }
+  static Value Null(AttrType type) { return Value(type); }
+
+  AttrType type() const { return type_; }
+  bool is_null() const { return null_; }
+
+  // Typed accessors; callers must check type() (and is_null()) first.
+  bool AsBool() const { return std::get<bool>(payload_); }
+  int64_t AsInt() const { return std::get<int64_t>(payload_); }
+  double AsDouble() const { return std::get<double>(payload_); }
+  const std::string& AsString() const { return std::get<std::string>(payload_); }
+  Timestamp AsTime() const { return std::get<int64_t>(payload_); }
+  AtomId AsId() const { return static_cast<AtomId>(std::get<int64_t>(payload_)); }
+
+  /// Numeric view for arithmetic/comparison across kInt/kDouble.
+  double NumericValue() const {
+    return type_ == AttrType::kDouble ? AsDouble()
+                                      : static_cast<double>(AsInt());
+  }
+
+  /// Three-way comparison. Requires comparable types (identical, or both
+  /// numeric). NULL < any non-NULL; NULL == NULL.
+  Result<int> Compare(const Value& other) const;
+
+  /// Strict equality (type-aware; numeric cross-type compares by value).
+  bool Equals(const Value& other) const;
+
+  std::string ToString() const;
+
+ private:
+  using Payload = std::variant<bool, int64_t, double, std::string>;
+
+  Value(AttrType type, Payload payload)
+      : type_(type), null_(false), payload_(std::move(payload)) {}
+
+  AttrType type_;
+  bool null_;
+  Payload payload_;
+};
+
+inline bool operator==(const Value& a, const Value& b) { return a.Equals(b); }
+inline bool operator!=(const Value& a, const Value& b) { return !(a == b); }
+
+}  // namespace tcob
+
+#endif  // TCOB_RECORD_VALUE_H_

@@ -1,0 +1,142 @@
+#include "storage/buffer_pool.h"
+
+#include <cstring>
+
+#include "common/logging.h"
+
+namespace tcob {
+
+BufferPool::BufferPool(DiskManager* disk, size_t capacity)
+    : disk_(disk), capacity_(capacity == 0 ? 1 : capacity) {
+  frames_.reserve(capacity_);
+}
+
+BufferPool::~BufferPool() {
+  Status s = FlushAll();
+  if (!s.ok()) {
+    TCOB_LOG(kError) << "BufferPool flush on destruction failed: "
+                     << s.ToString();
+  }
+}
+
+Result<Page*> BufferPool::FetchPage(FileId file, PageNo page_no) {
+  ++stats_.fetches;
+  auto it = table_.find(Key(file, page_no));
+  if (it != table_.end()) {
+    ++stats_.hits;
+    Page* page = it->second;
+    ++page->pin_count;
+    TouchLru(page);
+    return page;
+  }
+  ++stats_.misses;
+  TCOB_ASSIGN_OR_RETURN(Page * page, AcquireFrame());
+  TCOB_RETURN_NOT_OK(disk_->ReadPage(file, page_no, page->data));
+  page->file_id = file;
+  page->page_no = page_no;
+  page->pin_count = 1;
+  page->dirty = false;
+  table_[Key(file, page_no)] = page;
+  TouchLru(page);
+  return page;
+}
+
+Result<Page*> BufferPool::NewPage(FileId file) {
+  TCOB_ASSIGN_OR_RETURN(PageNo page_no, disk_->AllocatePage(file));
+  TCOB_ASSIGN_OR_RETURN(Page * page, AcquireFrame());
+  memset(page->data, 0, kPageSize);
+  page->file_id = file;
+  page->page_no = page_no;
+  page->pin_count = 1;
+  page->dirty = true;
+  table_[Key(file, page_no)] = page;
+  TouchLru(page);
+  return page;
+}
+
+void BufferPool::Unpin(Page* page, bool dirty) {
+  TCOB_CHECK(page->pin_count > 0);
+  --page->pin_count;
+  if (dirty) page->dirty = true;
+}
+
+Status BufferPool::FlushPage(FileId file, PageNo page_no) {
+  auto it = table_.find(Key(file, page_no));
+  if (it == table_.end()) return Status::OK();
+  Page* page = it->second;
+  if (page->dirty) {
+    TCOB_RETURN_NOT_OK(disk_->WritePage(file, page_no, page->data));
+    page->dirty = false;
+  }
+  return Status::OK();
+}
+
+Status BufferPool::FlushAll() {
+  for (auto& [key, page] : table_) {
+    (void)key;
+    if (page->dirty) {
+      TCOB_RETURN_NOT_OK(
+          disk_->WritePage(page->file_id, page->page_no, page->data));
+      page->dirty = false;
+    }
+  }
+  return Status::OK();
+}
+
+Status BufferPool::Reset() {
+  for (auto& [key, page] : table_) {
+    (void)key;
+    if (page->pin_count != 0) {
+      return Status::Internal("BufferPool::Reset with pinned pages");
+    }
+    if (page->dirty) {
+      TCOB_RETURN_NOT_OK(
+          disk_->WritePage(page->file_id, page->page_no, page->data));
+      page->dirty = false;
+    }
+    free_frames_.push_back(page);
+  }
+  table_.clear();
+  lru_.clear();
+  lru_pos_.clear();
+  return Status::OK();
+}
+
+Result<Page*> BufferPool::AcquireFrame() {
+  if (!free_frames_.empty()) {
+    Page* page = free_frames_.back();
+    free_frames_.pop_back();
+    return page;
+  }
+  if (frames_.size() < capacity_) {
+    frames_.push_back(std::make_unique<Page>());
+    return frames_.back().get();
+  }
+  // Evict the least recently used unpinned page.
+  for (auto it = lru_.rbegin(); it != lru_.rend(); ++it) {
+    Page* victim = *it;
+    if (victim->pin_count > 0) continue;
+    if (victim->dirty) {
+      TCOB_RETURN_NOT_OK(
+          disk_->WritePage(victim->file_id, victim->page_no, victim->data));
+      ++stats_.dirty_writebacks;
+    }
+    table_.erase(Key(victim->file_id, victim->page_no));
+    lru_.erase(lru_pos_[victim]);
+    lru_pos_.erase(victim);
+    ++stats_.evictions;
+    return victim;
+  }
+  return Status::ResourceExhausted(
+      "buffer pool exhausted: all " + std::to_string(capacity_) +
+      " frames pinned");
+}
+
+void BufferPool::TouchLru(Page* page) {
+  auto pos = lru_pos_.find(page);
+  if (pos != lru_pos_.end()) lru_.erase(pos->second);
+  lru_.push_front(page);
+  lru_pos_[page] = lru_.begin();
+}
+
+}  // namespace tcob

@@ -1,0 +1,138 @@
+#ifndef TCOB_STORAGE_BUFFER_POOL_H_
+#define TCOB_STORAGE_BUFFER_POOL_H_
+
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "common/result.h"
+#include "storage/disk_manager.h"
+#include "storage/page.h"
+
+namespace tcob {
+
+/// Cumulative buffer-pool counters (monotonic since construction).
+struct BufferPoolStats {
+  uint64_t fetches = 0;
+  uint64_t hits = 0;
+  uint64_t misses = 0;
+  uint64_t evictions = 0;
+  uint64_t dirty_writebacks = 0;
+
+  double HitRate() const {
+    return fetches ? static_cast<double>(hits) / fetches : 0.0;
+  }
+};
+
+/// Fixed-capacity page cache with LRU replacement and pin counting.
+///
+/// One pool serves every file of the database, so eviction pressure is
+/// shared between heap files and indexes exactly as in the modeled system.
+/// Single-threaded by design (one Database == one thread); pins protect
+/// against eviction during multi-step operations, not against concurrency.
+class BufferPool {
+ public:
+  /// `capacity` is the number of page frames held in memory.
+  BufferPool(DiskManager* disk, size_t capacity);
+  ~BufferPool();
+
+  BufferPool(const BufferPool&) = delete;
+  BufferPool& operator=(const BufferPool&) = delete;
+
+  /// Returns the frame for (file, page_no), pinned. Reads from disk on
+  /// miss; may evict an unpinned LRU frame (writing it back if dirty).
+  Result<Page*> FetchPage(FileId file, PageNo page_no);
+
+  /// Allocates a fresh page in `file` and returns its pinned, zeroed frame.
+  Result<Page*> NewPage(FileId file);
+
+  /// Releases one pin; marks the frame dirty if `dirty`.
+  void Unpin(Page* page, bool dirty);
+
+  /// Writes back a specific dirty page (leaves it cached).
+  Status FlushPage(FileId file, PageNo page_no);
+
+  /// Writes back every dirty frame (leaves them cached).
+  Status FlushAll();
+
+  /// Drops every frame (must all be unpinned); dirty frames are written.
+  Status Reset();
+
+  size_t capacity() const { return capacity_; }
+  const BufferPoolStats& stats() const { return stats_; }
+  void ResetStats() { stats_ = BufferPoolStats(); }
+  DiskManager* disk() const { return disk_; }
+
+ private:
+  static uint64_t Key(FileId file, PageNo page_no) {
+    return (static_cast<uint64_t>(file) << 32) | page_no;
+  }
+
+  /// Finds a frame to (re)use: a free one, or evicts the LRU unpinned one.
+  Result<Page*> AcquireFrame();
+
+  void TouchLru(Page* page);
+
+  DiskManager* disk_;
+  size_t capacity_;
+  std::vector<std::unique_ptr<Page>> frames_;
+  std::unordered_map<uint64_t, Page*> table_;
+  // LRU list: front = most recently used. Only unpinned pages are eligible
+  // for eviction, but all cached pages stay in the list for simplicity.
+  std::list<Page*> lru_;
+  std::unordered_map<Page*, std::list<Page*>::iterator> lru_pos_;
+  std::vector<Page*> free_frames_;
+  BufferPoolStats stats_;
+};
+
+/// RAII pin guard: unpins on scope exit.
+class PageGuard {
+ public:
+  PageGuard() : pool_(nullptr), page_(nullptr), dirty_(false) {}
+  PageGuard(BufferPool* pool, Page* page)
+      : pool_(pool), page_(page), dirty_(false) {}
+  ~PageGuard() { Release(); }
+
+  PageGuard(const PageGuard&) = delete;
+  PageGuard& operator=(const PageGuard&) = delete;
+  PageGuard(PageGuard&& o) noexcept
+      : pool_(o.pool_), page_(o.page_), dirty_(o.dirty_) {
+    o.pool_ = nullptr;
+    o.page_ = nullptr;
+  }
+  PageGuard& operator=(PageGuard&& o) noexcept {
+    if (this != &o) {
+      Release();
+      pool_ = o.pool_;
+      page_ = o.page_;
+      dirty_ = o.dirty_;
+      o.pool_ = nullptr;
+      o.page_ = nullptr;
+    }
+    return *this;
+  }
+
+  Page* get() const { return page_; }
+  Page* operator->() const { return page_; }
+  char* data() const { return page_->data; }
+  void MarkDirty() { dirty_ = true; }
+
+  void Release() {
+    if (pool_ && page_) {
+      pool_->Unpin(page_, dirty_);
+      pool_ = nullptr;
+      page_ = nullptr;
+    }
+  }
+
+ private:
+  BufferPool* pool_;
+  Page* page_;
+  bool dirty_;
+};
+
+}  // namespace tcob
+
+#endif  // TCOB_STORAGE_BUFFER_POOL_H_

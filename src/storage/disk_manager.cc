@@ -1,0 +1,122 @@
+#include "storage/disk_manager.h"
+
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <sys/types.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <memory>
+
+namespace tcob {
+
+namespace {
+
+Status Errno(const std::string& op, const std::string& path) {
+  return Status::IOError(op + " " + path + ": " + strerror(errno));
+}
+
+}  // namespace
+
+Result<std::unique_ptr<DiskManager>> DiskManager::Open(
+    const std::string& dir) {
+  struct stat st;
+  if (stat(dir.c_str(), &st) != 0) {
+    if (mkdir(dir.c_str(), 0755) != 0) {
+      return Errno("mkdir", dir);
+    }
+  } else if (!S_ISDIR(st.st_mode)) {
+    return Status::InvalidArgument(dir + " exists and is not a directory");
+  }
+  return std::unique_ptr<DiskManager>(new DiskManager(dir));
+}
+
+DiskManager::~DiskManager() {
+  for (OpenFileState& f : files_) {
+    if (f.fd >= 0) close(f.fd);
+  }
+}
+
+Result<FileId> DiskManager::OpenFile(const std::string& name) {
+  for (size_t i = 0; i < files_.size(); ++i) {
+    if (files_[i].path == name) return static_cast<FileId>(i);
+  }
+  std::string path = dir_ + "/" + name;
+  int fd = open(path.c_str(), O_RDWR | O_CREAT, 0644);
+  if (fd < 0) return Errno("open", path);
+  off_t size = lseek(fd, 0, SEEK_END);
+  if (size < 0) {
+    close(fd);
+    return Errno("lseek", path);
+  }
+  OpenFileState state;
+  state.path = name;
+  state.fd = fd;
+  state.num_pages = static_cast<PageNo>(size / kPageSize);
+  files_.push_back(state);
+  return static_cast<FileId>(files_.size() - 1);
+}
+
+Status DiskManager::ReadPage(FileId file, PageNo page_no, char* buf) {
+  if (file >= files_.size()) return Status::InvalidArgument("bad file id");
+  const OpenFileState& f = files_[file];
+  if (page_no >= f.num_pages) {
+    return Status::OutOfRange("read past end of " + f.path + ": page " +
+                              std::to_string(page_no));
+  }
+  ssize_t n = pread(f.fd, buf, kPageSize,
+                    static_cast<off_t>(page_no) * kPageSize);
+  if (n != static_cast<ssize_t>(kPageSize)) return Errno("pread", f.path);
+  ++stats_.reads;
+  return Status::OK();
+}
+
+Status DiskManager::WritePage(FileId file, PageNo page_no, const char* buf) {
+  if (file >= files_.size()) return Status::InvalidArgument("bad file id");
+  const OpenFileState& f = files_[file];
+  if (page_no >= f.num_pages) {
+    return Status::OutOfRange("write past end of " + f.path);
+  }
+  ssize_t n = pwrite(f.fd, buf, kPageSize,
+                     static_cast<off_t>(page_no) * kPageSize);
+  if (n != static_cast<ssize_t>(kPageSize)) return Errno("pwrite", f.path);
+  ++stats_.writes;
+  return Status::OK();
+}
+
+Result<PageNo> DiskManager::AllocatePage(FileId file) {
+  if (file >= files_.size()) return Status::InvalidArgument("bad file id");
+  OpenFileState& f = files_[file];
+  PageNo page_no = f.num_pages;
+  char zeros[kPageSize];
+  memset(zeros, 0, sizeof(zeros));
+  ssize_t n = pwrite(f.fd, zeros, kPageSize,
+                     static_cast<off_t>(page_no) * kPageSize);
+  if (n != static_cast<ssize_t>(kPageSize)) return Errno("extend", f.path);
+  ++f.num_pages;
+  ++stats_.allocations;
+  return page_no;
+}
+
+Result<PageNo> DiskManager::NumPages(FileId file) {
+  if (file >= files_.size()) return Status::InvalidArgument("bad file id");
+  return files_[file].num_pages;
+}
+
+Status DiskManager::SyncAll() {
+  for (const OpenFileState& f : files_) {
+    if (f.fd >= 0 && fsync(f.fd) != 0) return Errno("fsync", f.path);
+  }
+  return Status::OK();
+}
+
+Status DiskManager::Truncate(FileId file) {
+  if (file >= files_.size()) return Status::InvalidArgument("bad file id");
+  OpenFileState& f = files_[file];
+  if (ftruncate(f.fd, 0) != 0) return Errno("ftruncate", f.path);
+  f.num_pages = 0;
+  return Status::OK();
+}
+
+}  // namespace tcob

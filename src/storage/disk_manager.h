@@ -1,0 +1,79 @@
+#ifndef TCOB_STORAGE_DISK_MANAGER_H_
+#define TCOB_STORAGE_DISK_MANAGER_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "common/status.h"
+#include "storage/page.h"
+
+namespace tcob {
+
+/// Cumulative physical I/O counters (monotonic since open).
+struct DiskStats {
+  uint64_t reads = 0;
+  uint64_t writes = 0;
+  uint64_t allocations = 0;
+};
+
+/// Owns the database's files and performs page-granular physical I/O.
+///
+/// Each file is a flat array of kPageSize pages addressed by PageNo.
+/// All I/O goes through here so that benchmarks can observe exact read /
+/// write counts. Not thread-safe (one Database == one thread).
+class DiskManager {
+ public:
+  /// Creates a manager rooted at directory `dir` (created if missing).
+  static Result<std::unique_ptr<DiskManager>> Open(const std::string& dir);
+
+  ~DiskManager();
+
+  DiskManager(const DiskManager&) = delete;
+  DiskManager& operator=(const DiskManager&) = delete;
+
+  /// Opens (creating if necessary) `name` under the root directory.
+  Result<FileId> OpenFile(const std::string& name);
+
+  /// Reads page `page_no` of `file` into `buf` (kPageSize bytes).
+  Status ReadPage(FileId file, PageNo page_no, char* buf);
+
+  /// Writes `buf` (kPageSize bytes) to page `page_no` of `file`.
+  Status WritePage(FileId file, PageNo page_no, const char* buf);
+
+  /// Extends `file` by one zeroed page and returns its number.
+  Result<PageNo> AllocatePage(FileId file);
+
+  /// Number of pages currently in `file`.
+  Result<PageNo> NumPages(FileId file);
+
+  /// fsyncs every open file.
+  Status SyncAll();
+
+  /// Truncates `file` to zero pages (used by WAL checkpointing).
+  Status Truncate(FileId file);
+
+  const DiskStats& stats() const { return stats_; }
+  void ResetStats() { stats_ = DiskStats(); }
+
+  const std::string& dir() const { return dir_; }
+
+ private:
+  explicit DiskManager(std::string dir) : dir_(std::move(dir)) {}
+
+  struct OpenFileState {
+    std::string path;
+    int fd = -1;
+    PageNo num_pages = 0;
+  };
+
+  std::string dir_;
+  std::vector<OpenFileState> files_;
+  DiskStats stats_;
+};
+
+}  // namespace tcob
+
+#endif  // TCOB_STORAGE_DISK_MANAGER_H_

@@ -1,0 +1,375 @@
+#include "storage/heap_file.h"
+
+#include <algorithm>
+#include <cstring>
+#include <memory>
+
+#include "common/coding.h"
+#include "storage/slotted_page.h"
+
+namespace tcob {
+
+namespace {
+
+// Record kinds inside a slot.
+constexpr char kKindInline = 0;
+constexpr char kKindOverflowStub = 1;
+
+// Overflow page: [type:1][pad:1][len:2][next:4][payload...].
+constexpr uint32_t kOverflowHeader = 8;
+constexpr uint32_t kOverflowCapacity = kPageSize - kOverflowHeader;
+
+// Meta page field offsets.
+constexpr uint32_t kMetaMagicOff = 8;
+constexpr uint32_t kMetaFirstDataOff = 12;
+constexpr uint32_t kMetaLastDataOff = 16;
+constexpr uint32_t kMetaFreeOverflowOff = 20;
+constexpr uint32_t kMetaRecordCountOff = 24;
+constexpr uint32_t kHeapMagic = 0x54434f42;  // "TCOB"
+
+// A data page is listed as "open" while it has at least this much room.
+constexpr uint32_t kOpenThreshold = 128;
+
+}  // namespace
+
+Result<std::unique_ptr<HeapFile>> HeapFile::Open(BufferPool* pool,
+                                                 const std::string& name) {
+  TCOB_ASSIGN_OR_RETURN(FileId file, pool->disk()->OpenFile(name));
+  std::unique_ptr<HeapFile> heap(new HeapFile(pool, file));
+  TCOB_RETURN_NOT_OK(heap->LoadOrFormat());
+  return heap;
+}
+
+Status HeapFile::LoadOrFormat() {
+  TCOB_ASSIGN_OR_RETURN(PageNo pages, pool_->disk()->NumPages(file_));
+  if (pages == 0) {
+    TCOB_ASSIGN_OR_RETURN(Page * meta, pool_->NewPage(file_));
+    PageGuard guard(pool_, meta);
+    memset(meta->data, 0, kPageSize);
+    meta->data[0] = static_cast<char>(PageType::kMeta);
+    EncodeFixed32(meta->data + kMetaMagicOff, kHeapMagic);
+    EncodeFixed32(meta->data + kMetaFirstDataOff, kInvalidPageNo);
+    EncodeFixed32(meta->data + kMetaLastDataOff, kInvalidPageNo);
+    EncodeFixed32(meta->data + kMetaFreeOverflowOff, kInvalidPageNo);
+    EncodeFixed64(meta->data + kMetaRecordCountOff, 0);
+    guard.MarkDirty();
+    return Status::OK();
+  }
+  TCOB_ASSIGN_OR_RETURN(Page * meta, pool_->FetchPage(file_, 0));
+  PageGuard guard(pool_, meta);
+  if (DecodeFixed32(meta->data + kMetaMagicOff) != kHeapMagic) {
+    return Status::Corruption("heap file meta page magic mismatch");
+  }
+  first_data_page_ = DecodeFixed32(meta->data + kMetaFirstDataOff);
+  last_data_page_ = DecodeFixed32(meta->data + kMetaLastDataOff);
+  free_overflow_head_ = DecodeFixed32(meta->data + kMetaFreeOverflowOff);
+  record_count_ = DecodeFixed64(meta->data + kMetaRecordCountOff);
+  // Rebuild the open-page hints by walking the data chain.
+  PageNo cur = first_data_page_;
+  while (cur != kInvalidPageNo) {
+    TCOB_ASSIGN_OR_RETURN(Page * p, pool_->FetchPage(file_, cur));
+    PageGuard g(pool_, p);
+    SlottedPage sp(p->data);
+    if (sp.FreeSpaceAfterCompaction() >= kOpenThreshold) {
+      open_pages_.push_back(cur);
+    }
+    cur = sp.next_page();
+  }
+  return Status::OK();
+}
+
+Status HeapFile::SaveMeta() {
+  TCOB_ASSIGN_OR_RETURN(Page * meta, pool_->FetchPage(file_, 0));
+  PageGuard guard(pool_, meta);
+  EncodeFixed32(meta->data + kMetaFirstDataOff, first_data_page_);
+  EncodeFixed32(meta->data + kMetaLastDataOff, last_data_page_);
+  EncodeFixed32(meta->data + kMetaFreeOverflowOff, free_overflow_head_);
+  EncodeFixed64(meta->data + kMetaRecordCountOff, record_count_);
+  guard.MarkDirty();
+  return Status::OK();
+}
+
+Result<Rid> HeapFile::Insert(const Slice& record) {
+  std::string slot_bytes;
+  if (record.size() <= kInlineLimit) {
+    slot_bytes.push_back(kKindInline);
+    slot_bytes.append(record.data(), record.size());
+  } else {
+    TCOB_ASSIGN_OR_RETURN(PageNo first, WriteOverflowChain(record));
+    slot_bytes.push_back(kKindOverflowStub);
+    PutFixed32(&slot_bytes, first);
+    PutFixed32(&slot_bytes, static_cast<uint32_t>(record.size()));
+  }
+  TCOB_ASSIGN_OR_RETURN(Rid rid, InsertStub(slot_bytes));
+  ++record_count_;
+  TCOB_RETURN_NOT_OK(SaveMeta());
+  return rid;
+}
+
+Result<Rid> HeapFile::InsertStub(const Slice& stub_bytes) {
+  // Try hinted open pages, newest hint first.
+  while (!open_pages_.empty()) {
+    PageNo pno = open_pages_.back();
+    TCOB_ASSIGN_OR_RETURN(Page * p, pool_->FetchPage(file_, pno));
+    PageGuard guard(pool_, p);
+    SlottedPage sp(p->data);
+    Result<uint16_t> slot = sp.Insert(stub_bytes);
+    if (slot.ok()) {
+      guard.MarkDirty();
+      if (sp.FreeSpaceAfterCompaction() < kOpenThreshold) {
+        open_pages_.pop_back();
+      }
+      return Rid(pno, slot.value());
+    }
+    if (slot.status().code() != StatusCode::kResourceExhausted) {
+      return slot.status();
+    }
+    open_pages_.pop_back();
+  }
+  // Grow the file with a fresh data page.
+  TCOB_ASSIGN_OR_RETURN(Page * p, pool_->NewPage(file_));
+  PageGuard guard(pool_, p);
+  SlottedPage::Init(p->data, PageType::kData);
+  SlottedPage sp(p->data);
+  TCOB_ASSIGN_OR_RETURN(uint16_t slot, sp.Insert(stub_bytes));
+  guard.MarkDirty();
+  PageNo pno = p->page_no;
+  if (last_data_page_ == kInvalidPageNo) {
+    first_data_page_ = last_data_page_ = pno;
+  } else {
+    TCOB_ASSIGN_OR_RETURN(Page * prev, pool_->FetchPage(file_, last_data_page_));
+    PageGuard prev_guard(pool_, prev);
+    SlottedPage(prev->data).set_next_page(pno);
+    prev_guard.MarkDirty();
+    last_data_page_ = pno;
+  }
+  open_pages_.push_back(pno);
+  return Rid(pno, slot);
+}
+
+Result<std::string> HeapFile::MaterializeRecord(const Slice& raw) const {
+  if (raw.empty()) return Status::Corruption("empty heap record");
+  if (raw[0] == kKindInline) {
+    return std::string(raw.data() + 1, raw.size() - 1);
+  }
+  if (raw[0] == kKindOverflowStub) {
+    if (raw.size() != 9) return Status::Corruption("bad overflow stub size");
+    PageNo first = DecodeFixed32(raw.data() + 1);
+    uint32_t total = DecodeFixed32(raw.data() + 5);
+    return ReadOverflowChain(first, total);
+  }
+  return Status::Corruption("unknown heap record kind");
+}
+
+Result<std::string> HeapFile::Get(const Rid& rid) const {
+  TCOB_ASSIGN_OR_RETURN(Page * p, pool_->FetchPage(file_, rid.page_no));
+  PageGuard guard(pool_, p);
+  SlottedPage sp(p->data);
+  if (sp.type() != PageType::kData) {
+    return Status::Corruption("rid does not point at a data page");
+  }
+  TCOB_ASSIGN_OR_RETURN(Slice raw, sp.Get(rid.slot));
+  return MaterializeRecord(raw);
+}
+
+Result<Rid> HeapFile::Update(const Rid& rid, const Slice& record) {
+  TCOB_ASSIGN_OR_RETURN(Page * p, pool_->FetchPage(file_, rid.page_no));
+  PageGuard guard(pool_, p);
+  SlottedPage sp(p->data);
+  TCOB_ASSIGN_OR_RETURN(Slice raw, sp.Get(rid.slot));
+  // Free a previous overflow chain, if any, before rewriting.
+  PageNo old_chain = kInvalidPageNo;
+  if (raw[0] == kKindOverflowStub) {
+    old_chain = DecodeFixed32(raw.data() + 1);
+  }
+
+  std::string slot_bytes;
+  if (record.size() <= kInlineLimit) {
+    slot_bytes.push_back(kKindInline);
+    slot_bytes.append(record.data(), record.size());
+  } else {
+    TCOB_ASSIGN_OR_RETURN(PageNo first, WriteOverflowChain(record));
+    slot_bytes.push_back(kKindOverflowStub);
+    PutFixed32(&slot_bytes, first);
+    PutFixed32(&slot_bytes, static_cast<uint32_t>(record.size()));
+  }
+
+  Status in_place = sp.Update(rid.slot, slot_bytes);
+  Rid result = rid;
+  if (in_place.ok()) {
+    guard.MarkDirty();
+  } else if (in_place.code() == StatusCode::kResourceExhausted) {
+    // Relocate: drop the slot here, insert elsewhere.
+    TCOB_RETURN_NOT_OK(sp.Delete(rid.slot));
+    guard.MarkDirty();
+    if (std::find(open_pages_.begin(), open_pages_.end(), rid.page_no) ==
+        open_pages_.end()) {
+      open_pages_.push_back(rid.page_no);
+    }
+    guard.Release();
+    TCOB_ASSIGN_OR_RETURN(result, InsertStub(slot_bytes));
+  } else {
+    return in_place;
+  }
+  if (old_chain != kInvalidPageNo) {
+    TCOB_RETURN_NOT_OK(FreeOverflowChain(old_chain));
+  }
+  TCOB_RETURN_NOT_OK(SaveMeta());
+  return result;
+}
+
+Status HeapFile::Delete(const Rid& rid) {
+  TCOB_ASSIGN_OR_RETURN(Page * p, pool_->FetchPage(file_, rid.page_no));
+  PageGuard guard(pool_, p);
+  SlottedPage sp(p->data);
+  TCOB_ASSIGN_OR_RETURN(Slice raw, sp.Get(rid.slot));
+  PageNo chain = kInvalidPageNo;
+  if (raw[0] == kKindOverflowStub) chain = DecodeFixed32(raw.data() + 1);
+  TCOB_RETURN_NOT_OK(sp.Delete(rid.slot));
+  guard.MarkDirty();
+  guard.Release();
+  if (std::find(open_pages_.begin(), open_pages_.end(), rid.page_no) ==
+      open_pages_.end()) {
+    open_pages_.push_back(rid.page_no);
+  }
+  if (chain != kInvalidPageNo) TCOB_RETURN_NOT_OK(FreeOverflowChain(chain));
+  --record_count_;
+  return SaveMeta();
+}
+
+Status HeapFile::Scan(
+    const std::function<Result<bool>(const Rid&, const Slice&)>& fn) const {
+  PageNo cur = first_data_page_;
+  while (cur != kInvalidPageNo) {
+    TCOB_ASSIGN_OR_RETURN(Page * p, pool_->FetchPage(file_, cur));
+    PageGuard guard(pool_, p);
+    SlottedPage sp(p->data);
+    uint16_t n = sp.slot_count();
+    bool keep_going = true;
+    for (uint16_t s = 0; s < n && keep_going; ++s) {
+      Result<Slice> raw = sp.Get(s);
+      if (!raw.ok()) {
+        if (raw.status().IsNotFound()) continue;  // vacant slot
+        return raw.status();
+      }
+      TCOB_ASSIGN_OR_RETURN(std::string rec, MaterializeRecord(raw.value()));
+      TCOB_ASSIGN_OR_RETURN(keep_going, fn(Rid(cur, s), Slice(rec)));
+    }
+    if (!keep_going) return Status::OK();
+    cur = sp.next_page();
+  }
+  return Status::OK();
+}
+
+Result<PageNo> HeapFile::AllocOverflowPage() {
+  if (free_overflow_head_ != kInvalidPageNo) {
+    PageNo pno = free_overflow_head_;
+    TCOB_ASSIGN_OR_RETURN(Page * p, pool_->FetchPage(file_, pno));
+    PageGuard guard(pool_, p);
+    free_overflow_head_ = DecodeFixed32(p->data + 4);
+    return pno;
+  }
+  TCOB_ASSIGN_OR_RETURN(Page * p, pool_->NewPage(file_));
+  PageGuard guard(pool_, p);
+  return p->page_no;
+}
+
+Result<PageNo> HeapFile::WriteOverflowChain(const Slice& record) {
+  // Allocate and fill chunks front to back.
+  PageNo first = kInvalidPageNo;
+  PageNo prev = kInvalidPageNo;
+  size_t off = 0;
+  while (off < record.size() || first == kInvalidPageNo) {
+    size_t chunk = std::min<size_t>(kOverflowCapacity, record.size() - off);
+    TCOB_ASSIGN_OR_RETURN(PageNo pno, AllocOverflowPage());
+    TCOB_ASSIGN_OR_RETURN(Page * p, pool_->FetchPage(file_, pno));
+    PageGuard guard(pool_, p);
+    memset(p->data, 0, kOverflowHeader);
+    p->data[0] = static_cast<char>(PageType::kOverflow);
+    EncodeFixed16(p->data + 2, static_cast<uint16_t>(chunk));
+    EncodeFixed32(p->data + 4, kInvalidPageNo);
+    memcpy(p->data + kOverflowHeader, record.data() + off, chunk);
+    guard.MarkDirty();
+    guard.Release();
+    if (prev != kInvalidPageNo) {
+      TCOB_ASSIGN_OR_RETURN(Page * pp, pool_->FetchPage(file_, prev));
+      PageGuard pg(pool_, pp);
+      EncodeFixed32(pp->data + 4, pno);
+      pg.MarkDirty();
+    } else {
+      first = pno;
+    }
+    prev = pno;
+    off += chunk;
+    if (record.size() == 0) break;
+  }
+  return first;
+}
+
+Status HeapFile::FreeOverflowChain(PageNo first) {
+  PageNo cur = first;
+  while (cur != kInvalidPageNo) {
+    TCOB_ASSIGN_OR_RETURN(Page * p, pool_->FetchPage(file_, cur));
+    PageGuard guard(pool_, p);
+    if (static_cast<PageType>(static_cast<uint8_t>(p->data[0])) !=
+        PageType::kOverflow) {
+      return Status::Corruption("free of a non-overflow page");
+    }
+    PageNo next = DecodeFixed32(p->data + 4);
+    p->data[0] = static_cast<char>(PageType::kFree);
+    EncodeFixed32(p->data + 4, free_overflow_head_);
+    guard.MarkDirty();
+    free_overflow_head_ = cur;
+    cur = next;
+  }
+  return Status::OK();
+}
+
+Result<std::string> HeapFile::ReadOverflowChain(PageNo first,
+                                                uint32_t total_len) const {
+  std::string out;
+  out.reserve(total_len);
+  PageNo cur = first;
+  while (cur != kInvalidPageNo && out.size() < total_len) {
+    TCOB_ASSIGN_OR_RETURN(Page * p, pool_->FetchPage(file_, cur));
+    PageGuard guard(pool_, p);
+    if (static_cast<PageType>(static_cast<uint8_t>(p->data[0])) !=
+        PageType::kOverflow) {
+      return Status::Corruption("broken overflow chain");
+    }
+    uint16_t len = DecodeFixed16(p->data + 2);
+    out.append(p->data + kOverflowHeader, len);
+    cur = DecodeFixed32(p->data + 4);
+  }
+  if (out.size() != total_len) {
+    return Status::Corruption("overflow chain length mismatch");
+  }
+  return out;
+}
+
+Result<HeapFileStats> HeapFile::Stats() const {
+  HeapFileStats stats;
+  stats.record_count = record_count_;
+  TCOB_ASSIGN_OR_RETURN(stats.total_pages, pool_->disk()->NumPages(file_));
+  PageNo cur = first_data_page_;
+  while (cur != kInvalidPageNo) {
+    TCOB_ASSIGN_OR_RETURN(Page * p, pool_->FetchPage(file_, cur));
+    PageGuard guard(pool_, p);
+    ++stats.data_pages;
+    cur = SlottedPage(p->data).next_page();
+  }
+  // Everything that is neither meta, data, nor on the free list is overflow.
+  uint64_t free_pages = 0;
+  cur = free_overflow_head_;
+  while (cur != kInvalidPageNo) {
+    TCOB_ASSIGN_OR_RETURN(Page * p, pool_->FetchPage(file_, cur));
+    PageGuard guard(pool_, p);
+    ++free_pages;
+    cur = DecodeFixed32(p->data + 4);
+  }
+  stats.overflow_pages =
+      stats.total_pages - 1 - stats.data_pages - free_pages;
+  return stats;
+}
+
+}  // namespace tcob

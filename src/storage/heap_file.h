@@ -1,0 +1,92 @@
+#ifndef TCOB_STORAGE_HEAP_FILE_H_
+#define TCOB_STORAGE_HEAP_FILE_H_
+
+#include <cstdint>
+#include <memory>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "common/slice.h"
+#include "storage/buffer_pool.h"
+#include "storage/page.h"
+
+namespace tcob {
+
+/// Space accounting for one heap file.
+struct HeapFileStats {
+  uint64_t record_count = 0;
+  uint64_t data_pages = 0;
+  uint64_t overflow_pages = 0;
+  uint64_t total_pages = 0;  // including meta and free pages
+};
+
+/// An unordered record file over the buffer pool.
+///
+/// Records are addressed by Rid (page, slot) and may exceed the page size:
+/// long records spill into a chain of dedicated overflow pages, reachable
+/// from a small stub stored in the slotted page. Updates that no longer
+/// fit relocate the record and return the new Rid; callers (indexes,
+/// version chains) are responsible for repointing.
+///
+/// File layout: page 0 is the meta page (chain heads); data pages form a
+/// singly linked chain; overflow pages are chained per record; freed
+/// overflow pages are kept on a free list for reuse.
+class HeapFile {
+ public:
+  /// Opens (and formats, if empty) heap file `name` through `pool`.
+  static Result<std::unique_ptr<HeapFile>> Open(BufferPool* pool,
+                                                const std::string& name);
+
+  /// Appends a record, returns its Rid.
+  Result<Rid> Insert(const Slice& record);
+
+  /// Reads the full record bytes at `rid`.
+  Result<std::string> Get(const Rid& rid) const;
+
+  /// Replaces the record at `rid`; returns the (possibly new) Rid.
+  Result<Rid> Update(const Rid& rid, const Slice& record);
+
+  /// Deletes the record, releasing any overflow chain.
+  Status Delete(const Rid& rid);
+
+  /// Calls fn(rid, record_bytes) for every record, in page order.
+  /// Stops early if fn returns false.
+  Status Scan(
+      const std::function<Result<bool>(const Rid&, const Slice&)>& fn) const;
+
+  Result<HeapFileStats> Stats() const;
+
+  FileId file_id() const { return file_; }
+  BufferPool* pool() const { return pool_; }
+
+ private:
+  HeapFile(BufferPool* pool, FileId file) : pool_(pool), file_(file) {}
+
+  Status LoadOrFormat();
+  Status SaveMeta();
+
+  /// Size above which a record is stored out-of-line.
+  static constexpr uint32_t kInlineLimit = 1024;
+
+  Result<Rid> InsertStub(const Slice& stub_bytes);
+  Result<PageNo> WriteOverflowChain(const Slice& record);
+  Status FreeOverflowChain(PageNo first);
+  Result<std::string> ReadOverflowChain(PageNo first, uint32_t total_len) const;
+  Result<std::string> MaterializeRecord(const Slice& raw) const;
+  Result<PageNo> AllocOverflowPage();
+
+  BufferPool* pool_;
+  FileId file_;
+  PageNo first_data_page_ = kInvalidPageNo;
+  PageNo last_data_page_ = kInvalidPageNo;
+  PageNo free_overflow_head_ = kInvalidPageNo;
+  uint64_t record_count_ = 0;
+  // Data pages that likely have room, most-recent first (bounded size).
+  std::vector<PageNo> open_pages_;
+};
+
+}  // namespace tcob
+
+#endif  // TCOB_STORAGE_HEAP_FILE_H_

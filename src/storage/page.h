@@ -1,0 +1,58 @@
+#ifndef TCOB_STORAGE_PAGE_H_
+#define TCOB_STORAGE_PAGE_H_
+
+#include <cstdint>
+
+namespace tcob {
+
+/// Size of every on-disk page in bytes.
+inline constexpr uint32_t kPageSize = 4096;
+
+/// Page number within a single file.
+using PageNo = uint32_t;
+inline constexpr PageNo kInvalidPageNo = 0xFFFFFFFFu;
+
+/// Handle to an open file managed by the DiskManager.
+using FileId = uint16_t;
+inline constexpr FileId kInvalidFileId = 0xFFFFu;
+
+/// A buffer-pool frame: one page's worth of bytes plus bookkeeping.
+///
+/// Frames are owned by the BufferPool; callers receive pinned pointers and
+/// must Unpin when done. TCOB's execution model is single-threaded per
+/// Database, so frames carry no latch.
+struct Page {
+  FileId file_id = kInvalidFileId;
+  PageNo page_no = kInvalidPageNo;
+  int pin_count = 0;
+  bool dirty = false;
+  char data[kPageSize];
+};
+
+/// Record identifier within one heap file: page number + slot index.
+struct Rid {
+  PageNo page_no = kInvalidPageNo;
+  uint16_t slot = 0;
+
+  Rid() = default;
+  Rid(PageNo p, uint16_t s) : page_no(p), slot(s) {}
+
+  bool valid() const { return page_no != kInvalidPageNo; }
+
+  /// Packs into 48 significant bits; used as B+-tree payload.
+  uint64_t Pack() const {
+    return (static_cast<uint64_t>(page_no) << 16) | slot;
+  }
+  static Rid Unpack(uint64_t v) {
+    return Rid(static_cast<PageNo>(v >> 16), static_cast<uint16_t>(v & 0xffff));
+  }
+};
+
+inline bool operator==(const Rid& a, const Rid& b) {
+  return a.page_no == b.page_no && a.slot == b.slot;
+}
+inline bool operator!=(const Rid& a, const Rid& b) { return !(a == b); }
+
+}  // namespace tcob
+
+#endif  // TCOB_STORAGE_PAGE_H_

@@ -1,0 +1,189 @@
+#include "storage/slotted_page.h"
+
+#include <cstring>
+#include <vector>
+
+#include "common/coding.h"
+
+namespace tcob {
+
+void SlottedPage::Init(char* data, PageType type) {
+  memset(data, 0, kPageSize);
+  data[0] = static_cast<char>(type);
+  SlottedPage page(data);
+  page.set_free_ptr(static_cast<uint16_t>(kPageSize));
+  page.set_slot_count(0);
+  page.set_live_count(0);
+  page.set_next_page(kInvalidPageNo);
+}
+
+PageType SlottedPage::type() const {
+  return static_cast<PageType>(static_cast<uint8_t>(data_[0]));
+}
+
+uint16_t SlottedPage::slot_count() const { return DecodeFixed16(data_ + 2); }
+uint16_t SlottedPage::free_ptr() const { return DecodeFixed16(data_ + 4); }
+uint16_t SlottedPage::live_count() const { return DecodeFixed16(data_ + 6); }
+PageNo SlottedPage::next_page() const { return DecodeFixed32(data_ + 8); }
+
+void SlottedPage::set_slot_count(uint16_t v) { EncodeFixed16(data_ + 2, v); }
+void SlottedPage::set_free_ptr(uint16_t v) { EncodeFixed16(data_ + 4, v); }
+void SlottedPage::set_live_count(uint16_t v) { EncodeFixed16(data_ + 6, v); }
+void SlottedPage::set_next_page(PageNo next) { EncodeFixed32(data_ + 8, next); }
+
+void SlottedPage::ReadSlot(uint16_t slot, uint16_t* offset,
+                           uint16_t* length) const {
+  const char* p = data_ + kHeaderSize + slot * kSlotSize;
+  *offset = DecodeFixed16(p);
+  *length = DecodeFixed16(p + 2);
+}
+
+void SlottedPage::WriteSlot(uint16_t slot, uint16_t offset, uint16_t length) {
+  char* p = data_ + kHeaderSize + slot * kSlotSize;
+  EncodeFixed16(p, offset);
+  EncodeFixed16(p + 2, length);
+}
+
+uint32_t SlottedPage::FreeSpace() const {
+  uint32_t dir_end = kHeaderSize + slot_count() * kSlotSize;
+  uint32_t gap = free_ptr() - dir_end;
+  // Reserve room for one new slot entry unless a vacant slot exists.
+  uint16_t n = slot_count();
+  for (uint16_t s = 0; s < n; ++s) {
+    uint16_t off, len;
+    ReadSlot(s, &off, &len);
+    if (off == 0) return gap;  // vacant slot reusable, full gap available
+  }
+  return gap >= kSlotSize ? gap - kSlotSize : 0;
+}
+
+uint32_t SlottedPage::FreeSpaceAfterCompaction() const {
+  uint32_t used = 0;
+  uint16_t n = slot_count();
+  bool has_vacant = false;
+  for (uint16_t s = 0; s < n; ++s) {
+    uint16_t off, len;
+    ReadSlot(s, &off, &len);
+    if (off == 0) {
+      has_vacant = true;
+    } else {
+      used += len;
+    }
+  }
+  uint32_t dir_end = kHeaderSize + n * kSlotSize;
+  uint32_t gap = kPageSize - dir_end - used;
+  if (has_vacant) return gap;
+  return gap >= kSlotSize ? gap - kSlotSize : 0;
+}
+
+void SlottedPage::Compact() {
+  struct LiveRec {
+    uint16_t slot;
+    uint16_t len;
+    std::string bytes;
+  };
+  std::vector<LiveRec> live;
+  uint16_t n = slot_count();
+  for (uint16_t s = 0; s < n; ++s) {
+    uint16_t off, len;
+    ReadSlot(s, &off, &len);
+    if (off == 0) continue;
+    live.push_back({s, len, std::string(data_ + off, len)});
+  }
+  uint16_t cursor = static_cast<uint16_t>(kPageSize);
+  for (const LiveRec& rec : live) {
+    cursor = static_cast<uint16_t>(cursor - rec.len);
+    memcpy(data_ + cursor, rec.bytes.data(), rec.len);
+    WriteSlot(rec.slot, cursor, rec.len);
+  }
+  set_free_ptr(cursor);
+}
+
+Result<uint16_t> SlottedPage::Insert(const Slice& record) {
+  if (record.size() > kMaxRecordSize) {
+    return Status::InvalidArgument("record too large for a page: " +
+                                   std::to_string(record.size()));
+  }
+  uint16_t n = slot_count();
+  // Prefer reusing a vacant slot.
+  uint16_t target = n;
+  for (uint16_t s = 0; s < n; ++s) {
+    uint16_t off, len;
+    ReadSlot(s, &off, &len);
+    if (off == 0) {
+      target = s;
+      break;
+    }
+  }
+  uint32_t need = static_cast<uint32_t>(record.size()) +
+                  (target == n ? kSlotSize : 0);
+  uint32_t dir_end = kHeaderSize + n * kSlotSize;
+  if (free_ptr() - dir_end < need) {
+    // FreeSpaceAfterCompaction already reserves a slot entry when no
+    // vacant slot exists, so compare against the bare record size.
+    if (FreeSpaceAfterCompaction() < record.size()) {
+      return Status::ResourceExhausted("page full");
+    }
+    Compact();
+    if (free_ptr() - dir_end < need) {
+      return Status::ResourceExhausted("page full after compaction");
+    }
+  }
+  uint16_t new_free = static_cast<uint16_t>(free_ptr() - record.size());
+  memcpy(data_ + new_free, record.data(), record.size());
+  set_free_ptr(new_free);
+  if (target == n) set_slot_count(static_cast<uint16_t>(n + 1));
+  WriteSlot(target, new_free, static_cast<uint16_t>(record.size()));
+  set_live_count(static_cast<uint16_t>(live_count() + 1));
+  return target;
+}
+
+Result<Slice> SlottedPage::Get(uint16_t slot) const {
+  if (slot >= slot_count()) {
+    return Status::NotFound("slot out of range: " + std::to_string(slot));
+  }
+  uint16_t off, len;
+  ReadSlot(slot, &off, &len);
+  if (off == 0) return Status::NotFound("slot is vacant");
+  return Slice(data_ + off, len);
+}
+
+Status SlottedPage::Delete(uint16_t slot) {
+  if (slot >= slot_count()) {
+    return Status::NotFound("slot out of range");
+  }
+  uint16_t off, len;
+  ReadSlot(slot, &off, &len);
+  if (off == 0) return Status::NotFound("slot already vacant");
+  WriteSlot(slot, 0, 0);
+  set_live_count(static_cast<uint16_t>(live_count() - 1));
+  return Status::OK();
+}
+
+Status SlottedPage::Update(uint16_t slot, const Slice& record) {
+  if (slot >= slot_count()) return Status::NotFound("slot out of range");
+  uint16_t off, len;
+  ReadSlot(slot, &off, &len);
+  if (off == 0) return Status::NotFound("slot is vacant");
+  if (record.size() <= len) {
+    // Shrinking in place: keep the original offset, waste the tail until
+    // the next compaction.
+    memcpy(data_ + off, record.data(), record.size());
+    WriteSlot(slot, off, static_cast<uint16_t>(record.size()));
+    return Status::OK();
+  }
+  // Try to grow: free the old bytes logically, compact, re-place.
+  uint32_t reclaimable = FreeSpaceAfterCompaction() + len;
+  if (reclaimable < record.size()) {
+    return Status::ResourceExhausted("record does not fit after growth");
+  }
+  WriteSlot(slot, 0, 0);
+  Compact();
+  uint16_t new_free = static_cast<uint16_t>(free_ptr() - record.size());
+  memcpy(data_ + new_free, record.data(), record.size());
+  set_free_ptr(new_free);
+  WriteSlot(slot, new_free, static_cast<uint16_t>(record.size()));
+  return Status::OK();
+}
+
+}  // namespace tcob

@@ -1,0 +1,102 @@
+#ifndef TCOB_STORAGE_SLOTTED_PAGE_H_
+#define TCOB_STORAGE_SLOTTED_PAGE_H_
+
+#include <cstdint>
+
+#include "common/result.h"
+#include "common/slice.h"
+#include "storage/page.h"
+
+namespace tcob {
+
+/// Discriminates what a page is used for (first byte of every page).
+enum class PageType : uint8_t {
+  kFree = 0,
+  kData = 1,      // slotted record page
+  kOverflow = 2,  // continuation page of a long record
+  kMeta = 3,      // per-file metadata page
+  kIndex = 4,     // B+-tree node
+};
+
+/// View over a classic slotted record page.
+///
+/// Layout: a 12-byte header, a slot directory growing forward, and record
+/// bytes growing backward from the end of the page:
+///
+///   [type:1][flags:1][slot_count:2][free_ptr:2][live_count:2][next:4]
+///   [slot 0][slot 1]...                     ...[rec k]..[rec 1][rec 0]
+///
+/// Each 4-byte slot holds {offset:2, length:2}; offset 0 marks a vacant
+/// slot (record offsets are always >= the header size, so 0 is safe).
+/// The view does not own the page bytes; the caller keeps the frame pinned.
+class SlottedPage {
+ public:
+  static constexpr uint32_t kHeaderSize = 12;
+  static constexpr uint32_t kSlotSize = 4;
+  /// Largest record Insert can ever accept (empty page, one slot).
+  static constexpr uint32_t kMaxRecordSize =
+      kPageSize - kHeaderSize - kSlotSize;
+
+  explicit SlottedPage(char* data) : data_(data) {}
+
+  /// Formats `data` as an empty slotted page of the given type.
+  static void Init(char* data, PageType type);
+
+  PageType type() const;
+  uint16_t slot_count() const;
+  uint16_t live_count() const;
+  PageNo next_page() const;
+  void set_next_page(PageNo next);
+
+  /// Bytes available for one more record (including a new slot if no
+  /// vacant one exists). Considers only the contiguous gap; call
+  /// FreeSpaceAfterCompaction for the reclaimable total.
+  uint32_t FreeSpace() const;
+  uint32_t FreeSpaceAfterCompaction() const;
+
+  /// Inserts a record; compacts first if fragmentation alone blocks it.
+  /// Fails with ResourceExhausted if it cannot fit.
+  Result<uint16_t> Insert(const Slice& record);
+
+  /// Returns the record bytes of a live slot (view into the page).
+  Result<Slice> Get(uint16_t slot) const;
+
+  /// Marks the slot vacant. Its bytes are reclaimed by later compaction.
+  Status Delete(uint16_t slot);
+
+  /// Replaces the record in `slot`. Succeeds in place when the new record
+  /// is not larger, or via compaction when total free space suffices;
+  /// fails with ResourceExhausted otherwise (caller relocates).
+  Status Update(uint16_t slot, const Slice& record);
+
+  /// Invokes fn(slot, record) for every live slot.
+  template <typename Fn>
+  Status ForEach(Fn fn) const {
+    uint16_t n = slot_count();
+    for (uint16_t s = 0; s < n; ++s) {
+      uint16_t off, len;
+      ReadSlot(s, &off, &len);
+      if (off == 0) continue;
+      Status st = fn(s, Slice(data_ + off, len));
+      if (!st.ok()) return st;
+    }
+    return Status::OK();
+  }
+
+ private:
+  void ReadSlot(uint16_t slot, uint16_t* offset, uint16_t* length) const;
+  void WriteSlot(uint16_t slot, uint16_t offset, uint16_t length);
+  uint16_t free_ptr() const;
+  void set_free_ptr(uint16_t v);
+  void set_slot_count(uint16_t v);
+  void set_live_count(uint16_t v);
+
+  /// Rewrites the record area contiguously, preserving slot numbers.
+  void Compact();
+
+  char* data_;
+};
+
+}  // namespace tcob
+
+#endif  // TCOB_STORAGE_SLOTTED_PAGE_H_

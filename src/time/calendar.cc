@@ -1,0 +1,169 @@
+#include "time/calendar.h"
+
+#include <cstdio>
+
+namespace tcob {
+
+const char* GranularityName(Granularity g) {
+  switch (g) {
+    case Granularity::kDay:
+      return "day";
+    case Granularity::kHour:
+      return "hour";
+    case Granularity::kMinute:
+      return "minute";
+    case Granularity::kSecond:
+      return "second";
+  }
+  return "?";
+}
+
+bool operator==(const CivilDate& a, const CivilDate& b) {
+  return a.year == b.year && a.month == b.month && a.day == b.day;
+}
+
+bool operator==(const CivilTime& a, const CivilTime& b) {
+  return a.date == b.date && a.hour == b.hour && a.minute == b.minute &&
+         a.second == b.second;
+}
+
+int64_t DaysFromCivil(const CivilDate& date) {
+  // Howard Hinnant, "chrono-Compatible Low-Level Date Algorithms".
+  int64_t y = date.year;
+  const int64_t m = date.month;
+  const int64_t d = date.day;
+  y -= m <= 2;
+  const int64_t era = (y >= 0 ? y : y - 399) / 400;
+  const int64_t yoe = y - era * 400;                           // [0, 399]
+  const int64_t doy = (153 * (m + (m > 2 ? -3 : 9)) + 2) / 5 + d - 1;
+  const int64_t doe = yoe * 365 + yoe / 4 - yoe / 100 + doy;   // [0,146096]
+  return era * 146097 + doe - 719468;
+}
+
+CivilDate CivilFromDays(int64_t days) {
+  int64_t z = days + 719468;
+  const int64_t era = (z >= 0 ? z : z - 146096) / 146097;
+  const int64_t doe = z - era * 146097;                        // [0,146096]
+  const int64_t yoe =
+      (doe - doe / 1460 + doe / 36524 - doe / 146096) / 365;   // [0, 399]
+  const int64_t y = yoe + era * 400;
+  const int64_t doy = doe - (365 * yoe + yoe / 4 - yoe / 100);  // [0, 365]
+  const int64_t mp = (5 * doy + 2) / 153;                       // [0, 11]
+  const int64_t d = doy - (153 * mp + 2) / 5 + 1;               // [1, 31]
+  const int64_t m = mp + (mp < 10 ? 3 : -9);                    // [1, 12]
+  CivilDate out;
+  out.year = static_cast<int>(y + (m <= 2));
+  out.month = static_cast<int>(m);
+  out.day = static_cast<int>(d);
+  return out;
+}
+
+bool IsValidDate(const CivilDate& date) {
+  if (date.month < 1 || date.month > 12) return false;
+  if (date.day < 1) return false;
+  static const int kDays[] = {31, 28, 31, 30, 31, 30, 31, 31, 30, 31, 30, 31};
+  int max_day = kDays[date.month - 1];
+  const bool leap = (date.year % 4 == 0 && date.year % 100 != 0) ||
+                    date.year % 400 == 0;
+  if (date.month == 2 && leap) max_day = 29;
+  return date.day <= max_day;
+}
+
+int64_t Calendar::UnitsPerDay() const {
+  switch (granularity_) {
+    case Granularity::kDay:
+      return 1;
+    case Granularity::kHour:
+      return 24;
+    case Granularity::kMinute:
+      return 24 * 60;
+    case Granularity::kSecond:
+      return 24 * 60 * 60;
+  }
+  return 1;
+}
+
+Timestamp Calendar::FromDate(const CivilDate& date) const {
+  return DaysFromCivil(date) * UnitsPerDay();
+}
+
+Timestamp Calendar::FromCivil(const CivilTime& time) const {
+  Timestamp base = FromDate(time.date);
+  switch (granularity_) {
+    case Granularity::kDay:
+      return base;
+    case Granularity::kHour:
+      return base + time.hour;
+    case Granularity::kMinute:
+      return base + time.hour * 60 + time.minute;
+    case Granularity::kSecond:
+      return base + time.hour * 3600 + time.minute * 60 + time.second;
+  }
+  return base;
+}
+
+CivilTime Calendar::ToCivil(Timestamp t) const {
+  const int64_t per_day = UnitsPerDay();
+  int64_t days = t / per_day;
+  int64_t rem = t % per_day;
+  if (rem < 0) {
+    rem += per_day;
+    --days;
+  }
+  CivilTime out;
+  out.date = CivilFromDays(days);
+  switch (granularity_) {
+    case Granularity::kDay:
+      break;
+    case Granularity::kHour:
+      out.hour = static_cast<int>(rem);
+      break;
+    case Granularity::kMinute:
+      out.hour = static_cast<int>(rem / 60);
+      out.minute = static_cast<int>(rem % 60);
+      break;
+    case Granularity::kSecond:
+      out.hour = static_cast<int>(rem / 3600);
+      out.minute = static_cast<int>((rem / 60) % 60);
+      out.second = static_cast<int>(rem % 60);
+      break;
+  }
+  return out;
+}
+
+Result<Timestamp> Calendar::Parse(const std::string& text) const {
+  CivilTime time;
+  int matched =
+      sscanf(text.c_str(), "%d-%d-%d %d:%d:%d", &time.date.year,
+             &time.date.month, &time.date.day, &time.hour, &time.minute,
+             &time.second);
+  if (matched != 3 && matched != 6) {
+    return Status::ParseError("expected YYYY-MM-DD[ HH:MM:SS]: " + text);
+  }
+  if (!IsValidDate(time.date)) {
+    return Status::InvalidArgument("invalid calendar date: " + text);
+  }
+  if (matched == 6 &&
+      (time.hour < 0 || time.hour > 23 || time.minute < 0 ||
+       time.minute > 59 || time.second < 0 || time.second > 59)) {
+    return Status::InvalidArgument("invalid time of day: " + text);
+  }
+  return FromCivil(time);
+}
+
+std::string Calendar::Format(Timestamp t) const {
+  if (t == kForever) return "forever";
+  CivilTime time = ToCivil(t);
+  char buf[40];
+  if (granularity_ == Granularity::kDay) {
+    snprintf(buf, sizeof(buf), "%04d-%02d-%02d", time.date.year,
+             time.date.month, time.date.day);
+  } else {
+    snprintf(buf, sizeof(buf), "%04d-%02d-%02d %02d:%02d:%02d",
+             time.date.year, time.date.month, time.date.day, time.hour,
+             time.minute, time.second);
+  }
+  return buf;
+}
+
+}  // namespace tcob

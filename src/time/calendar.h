@@ -1,0 +1,89 @@
+#ifndef TCOB_TIME_CALENDAR_H_
+#define TCOB_TIME_CALENDAR_H_
+
+#include <cstdint>
+#include <string>
+
+#include "common/result.h"
+#include "time/timestamp.h"
+
+namespace tcob {
+
+/// What one chronon means on the calendar.
+enum class Granularity {
+  kDay,
+  kHour,
+  kMinute,
+  kSecond,
+};
+
+const char* GranularityName(Granularity g);
+
+/// A proleptic-Gregorian calendar date.
+struct CivilDate {
+  int year = 1970;
+  int month = 1;  // 1..12
+  int day = 1;    // 1..31
+};
+
+/// Date plus time-of-day.
+struct CivilTime {
+  CivilDate date;
+  int hour = 0;
+  int minute = 0;
+  int second = 0;
+};
+
+bool operator==(const CivilDate& a, const CivilDate& b);
+bool operator==(const CivilTime& a, const CivilTime& b);
+
+/// Days since the Unix epoch (1970-01-01) for a civil date; negative
+/// before the epoch. Howard Hinnant's days_from_civil algorithm.
+int64_t DaysFromCivil(const CivilDate& date);
+/// Inverse of DaysFromCivil.
+CivilDate CivilFromDays(int64_t days);
+
+/// True for 1..12 / valid day-of-month (leap years handled).
+bool IsValidDate(const CivilDate& date);
+
+/// Maps between the abstract chronon axis and calendar datetimes.
+///
+/// The temporal model is defined over abstract chronons; applications
+/// pick a granularity and an epoch. A Calendar instance makes that
+/// mapping explicit so databases can store "2024-03-01" as a chronon
+/// and render query results back as dates.
+///
+/// Chronon 0 == the Unix epoch at the chosen granularity; dates before
+/// 1970 map to negative numbers and are clamped to kMinTimestamp = 0
+/// by Clamp() helpers (the model's axis starts at 0), so pick an epoch
+/// granularity appropriate for your data.
+class Calendar {
+ public:
+  explicit Calendar(Granularity granularity = Granularity::kDay)
+      : granularity_(granularity) {}
+
+  Granularity granularity() const { return granularity_; }
+
+  /// Chronon of midnight at `date`.
+  Timestamp FromDate(const CivilDate& date) const;
+  /// Chronon of the civil datetime (time-of-day ignored at kDay).
+  Timestamp FromCivil(const CivilTime& time) const;
+  /// Civil datetime of chronon `t`.
+  CivilTime ToCivil(Timestamp t) const;
+
+  /// Parses "YYYY-MM-DD" or "YYYY-MM-DD HH:MM:SS".
+  Result<Timestamp> Parse(const std::string& text) const;
+  /// Renders `t` ("YYYY-MM-DD" at kDay, full datetime otherwise);
+  /// kForever renders as "forever".
+  std::string Format(Timestamp t) const;
+
+ private:
+  /// Chronons per day at this granularity.
+  int64_t UnitsPerDay() const;
+
+  Granularity granularity_;
+};
+
+}  // namespace tcob
+
+#endif  // TCOB_TIME_CALENDAR_H_

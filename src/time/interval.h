@@ -1,0 +1,108 @@
+#ifndef TCOB_TIME_INTERVAL_H_
+#define TCOB_TIME_INTERVAL_H_
+
+#include <string>
+
+#include "time/timestamp.h"
+
+namespace tcob {
+
+/// A half-open valid-time interval [begin, end).
+///
+/// All version timestamps in TCOB are expressed as such intervals; an
+/// open-ended ("until changed") version has end == kForever. The empty
+/// interval is represented canonically as begin == end.
+struct Interval {
+  Timestamp begin = kMinTimestamp;
+  Timestamp end = kForever;
+
+  Interval() = default;
+  Interval(Timestamp b, Timestamp e) : begin(b), end(e) {}
+
+  /// [kMinTimestamp, kForever) — the whole time axis.
+  static Interval All() { return Interval(kMinTimestamp, kForever); }
+  /// The single-chronon interval [t, t+1).
+  static Interval At(Timestamp t) { return Interval(t, t + 1); }
+  /// Canonical empty interval.
+  static Interval Empty() { return Interval(0, 0); }
+
+  bool empty() const { return begin >= end; }
+  bool open_ended() const { return end == kForever; }
+
+  /// Number of chronons covered (kForever-bounded intervals report a
+  /// saturated length).
+  Timestamp length() const { return empty() ? 0 : end - begin; }
+
+  bool Contains(Timestamp t) const { return t >= begin && t < end; }
+  bool Contains(const Interval& o) const {
+    return !o.empty() && o.begin >= begin && o.end <= end;
+  }
+  bool Overlaps(const Interval& o) const {
+    return !empty() && !o.empty() && begin < o.end && o.begin < end;
+  }
+  /// True if this interval ends exactly where `o` begins.
+  bool Meets(const Interval& o) const { return !empty() && end == o.begin; }
+  /// Strictly before with a gap or meeting: all of *this < all of o.
+  bool Before(const Interval& o) const { return !empty() && end <= o.begin; }
+  bool After(const Interval& o) const { return o.Before(*this); }
+  /// Allen's "during": properly inside o.
+  bool During(const Interval& o) const {
+    return !empty() && begin > o.begin && end < o.end;
+  }
+  /// Adjacent or overlapping (union would be a single interval).
+  bool Mergeable(const Interval& o) const {
+    return !empty() && !o.empty() && begin <= o.end && o.begin <= end;
+  }
+
+  Interval Intersect(const Interval& o) const {
+    Timestamp b = begin > o.begin ? begin : o.begin;
+    Timestamp e = end < o.end ? end : o.end;
+    return b < e ? Interval(b, e) : Empty();
+  }
+
+  /// Union of mergeable intervals; requires Mergeable(o).
+  Interval Merge(const Interval& o) const {
+    return Interval(begin < o.begin ? begin : o.begin,
+                    end > o.end ? end : o.end);
+  }
+
+  /// "[b, e)" with kForever rendered as "forever".
+  std::string ToString() const;
+};
+
+inline bool operator==(const Interval& a, const Interval& b) {
+  return (a.empty() && b.empty()) || (a.begin == b.begin && a.end == b.end);
+}
+inline bool operator!=(const Interval& a, const Interval& b) {
+  return !(a == b);
+}
+/// Orders by begin, then end; used for sorting version lists.
+inline bool operator<(const Interval& a, const Interval& b) {
+  return a.begin != b.begin ? a.begin < b.begin : a.end < b.end;
+}
+
+/// The thirteen Allen relations between non-empty intervals.
+enum class AllenRelation {
+  kBefore,
+  kMeets,
+  kOverlaps,
+  kStarts,
+  kDuring,
+  kFinishes,
+  kEquals,
+  kFinishedBy,
+  kContains,
+  kStartedBy,
+  kOverlappedBy,
+  kMetBy,
+  kAfter,
+};
+
+/// Classifies the relation of `a` to `b`. Both must be non-empty.
+AllenRelation ClassifyAllen(const Interval& a, const Interval& b);
+
+const char* AllenRelationName(AllenRelation r);
+
+}  // namespace tcob
+
+#endif  // TCOB_TIME_INTERVAL_H_

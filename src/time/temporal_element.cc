@@ -1,0 +1,121 @@
+#include "time/temporal_element.h"
+
+#include <algorithm>
+
+namespace tcob {
+
+void TemporalElement::Add(const Interval& iv) {
+  if (iv.empty()) return;
+  // Find the run of existing intervals mergeable with iv, replace the run
+  // with the merged interval. intervals_ stays sorted and canonical.
+  std::vector<Interval> out;
+  out.reserve(intervals_.size() + 1);
+  Interval merged = iv;
+  size_t i = 0;
+  // Keep everything strictly before (non-adjacent to) iv.
+  while (i < intervals_.size() && intervals_[i].end < merged.begin) {
+    out.push_back(intervals_[i++]);
+  }
+  // Merge the overlapping/adjacent run.
+  while (i < intervals_.size() && intervals_[i].begin <= merged.end) {
+    merged = merged.Merge(intervals_[i++]);
+  }
+  out.push_back(merged);
+  while (i < intervals_.size()) out.push_back(intervals_[i++]);
+  intervals_ = std::move(out);
+}
+
+void TemporalElement::Subtract(const Interval& iv) {
+  if (iv.empty() || intervals_.empty()) return;
+  std::vector<Interval> out;
+  out.reserve(intervals_.size() + 1);
+  for (const Interval& cur : intervals_) {
+    if (!cur.Overlaps(iv)) {
+      out.push_back(cur);
+      continue;
+    }
+    if (cur.begin < iv.begin) out.emplace_back(cur.begin, iv.begin);
+    if (cur.end > iv.end) out.emplace_back(iv.end, cur.end);
+  }
+  intervals_ = std::move(out);
+}
+
+TemporalElement TemporalElement::Union(const TemporalElement& o) const {
+  TemporalElement result = *this;
+  for (const Interval& iv : o.intervals_) result.Add(iv);
+  return result;
+}
+
+TemporalElement TemporalElement::Intersect(const TemporalElement& o) const {
+  TemporalElement result;
+  // Two-pointer sweep over the sorted interval lists.
+  size_t i = 0, j = 0;
+  while (i < intervals_.size() && j < o.intervals_.size()) {
+    Interval x = intervals_[i].Intersect(o.intervals_[j]);
+    if (!x.empty()) result.intervals_.push_back(x);
+    if (intervals_[i].end < o.intervals_[j].end) {
+      ++i;
+    } else {
+      ++j;
+    }
+  }
+  return result;
+}
+
+TemporalElement TemporalElement::Difference(const TemporalElement& o) const {
+  TemporalElement result = *this;
+  for (const Interval& iv : o.intervals_) result.Subtract(iv);
+  return result;
+}
+
+TemporalElement TemporalElement::Complement() const {
+  TemporalElement result;
+  Timestamp cursor = kMinTimestamp;
+  for (const Interval& iv : intervals_) {
+    if (cursor < iv.begin) result.intervals_.emplace_back(cursor, iv.begin);
+    cursor = iv.end;
+  }
+  if (cursor < kForever) result.intervals_.emplace_back(cursor, kForever);
+  return result;
+}
+
+bool TemporalElement::Contains(Timestamp t) const {
+  // Binary search for the first interval with end > t.
+  auto it = std::upper_bound(
+      intervals_.begin(), intervals_.end(), t,
+      [](Timestamp v, const Interval& iv) { return v < iv.end; });
+  return it != intervals_.end() && it->Contains(t);
+}
+
+bool TemporalElement::Overlaps(const Interval& iv) const {
+  if (iv.empty()) return false;
+  auto it = std::upper_bound(
+      intervals_.begin(), intervals_.end(), iv.begin,
+      [](Timestamp v, const Interval& cur) { return v < cur.end; });
+  return it != intervals_.end() && it->Overlaps(iv);
+}
+
+Timestamp TemporalElement::Duration() const {
+  Timestamp total = 0;
+  for (const Interval& iv : intervals_) {
+    if (iv.open_ended()) return kForever;
+    total += iv.length();
+  }
+  return total;
+}
+
+std::string TemporalElement::ToString() const {
+  std::string out = "{";
+  for (size_t i = 0; i < intervals_.size(); ++i) {
+    if (i) out += " ";
+    out += intervals_[i].ToString();
+  }
+  out += "}";
+  return out;
+}
+
+bool operator==(const TemporalElement& a, const TemporalElement& b) {
+  return a.intervals() == b.intervals();
+}
+
+}  // namespace tcob

@@ -1,0 +1,66 @@
+#ifndef TCOB_TIME_TEMPORAL_ELEMENT_H_
+#define TCOB_TIME_TEMPORAL_ELEMENT_H_
+
+#include <string>
+#include <vector>
+
+#include "time/interval.h"
+
+namespace tcob {
+
+/// A temporal element: a finite union of disjoint, non-adjacent,
+/// non-empty intervals kept in canonical sorted order.
+///
+/// Temporal elements are the closure of intervals under union,
+/// intersection and difference; they appear as the validity of derived
+/// facts (e.g. "the period during which employee e worked in department d"
+/// may be a union of several intervals).
+class TemporalElement {
+ public:
+  TemporalElement() = default;
+  explicit TemporalElement(const Interval& iv) { Add(iv); }
+
+  /// Adds an interval, merging with any mergeable neighbors.
+  void Add(const Interval& iv);
+
+  /// Removes an interval from the covered set.
+  void Subtract(const Interval& iv);
+
+  /// Set union / intersection / difference.
+  TemporalElement Union(const TemporalElement& o) const;
+  TemporalElement Intersect(const TemporalElement& o) const;
+  TemporalElement Difference(const TemporalElement& o) const;
+
+  /// Complement relative to the whole time axis.
+  TemporalElement Complement() const;
+
+  bool Contains(Timestamp t) const;
+  bool Overlaps(const Interval& iv) const;
+  bool empty() const { return intervals_.empty(); }
+
+  /// Total number of chronons covered (saturates on open-ended sets).
+  Timestamp Duration() const;
+
+  /// Earliest instant covered; requires !empty().
+  Timestamp Min() const { return intervals_.front().begin; }
+  /// Exclusive upper bound of coverage; requires !empty().
+  Timestamp Max() const { return intervals_.back().end; }
+
+  const std::vector<Interval>& intervals() const { return intervals_; }
+  size_t size() const { return intervals_.size(); }
+
+  /// "{[a,b) [c,d) ...}".
+  std::string ToString() const;
+
+ private:
+  std::vector<Interval> intervals_;  // sorted, disjoint, non-adjacent
+};
+
+bool operator==(const TemporalElement& a, const TemporalElement& b);
+inline bool operator!=(const TemporalElement& a, const TemporalElement& b) {
+  return !(a == b);
+}
+
+}  // namespace tcob
+
+#endif  // TCOB_TIME_TEMPORAL_ELEMENT_H_

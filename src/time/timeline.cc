@@ -1,0 +1,96 @@
+#include "time/timeline.h"
+
+#include <algorithm>
+
+namespace tcob {
+
+Status VersionTimeline::Append(const Interval& valid, uint64_t payload) {
+  if (valid.empty()) {
+    return Status::InvalidArgument("timeline entry interval is empty");
+  }
+  if (!entries_.empty()) {
+    const Interval& last = entries_.back().valid;
+    if (last.open_ended()) {
+      return Status::InvalidArgument(
+          "cannot append after an open-ended timeline entry; close it first");
+    }
+    if (valid.begin < last.end) {
+      return Status::InvalidArgument("timeline entries must not overlap: " +
+                                     valid.ToString() + " vs " +
+                                     last.ToString());
+    }
+  }
+  entries_.push_back({valid, payload});
+  return Status::OK();
+}
+
+Status VersionTimeline::CloseLast(Timestamp at) {
+  if (entries_.empty()) {
+    return Status::InvalidArgument("timeline is empty");
+  }
+  Interval& last = entries_.back().valid;
+  if (!last.open_ended()) {
+    return Status::InvalidArgument("last timeline entry is already closed");
+  }
+  if (at <= last.begin) {
+    return Status::InvalidArgument(
+        "close point must be after the last entry's begin");
+  }
+  last.end = at;
+  return Status::OK();
+}
+
+std::optional<uint64_t> VersionTimeline::AsOf(Timestamp t) const {
+  // First entry with valid.end > t; it contains t iff its begin <= t.
+  auto it = std::upper_bound(
+      entries_.begin(), entries_.end(), t,
+      [](Timestamp v, const TimelineEntry& e) { return v < e.valid.end; });
+  if (it != entries_.end() && it->valid.Contains(t)) return it->payload;
+  return std::nullopt;
+}
+
+std::vector<TimelineEntry> VersionTimeline::Overlapping(
+    const Interval& window) const {
+  std::vector<TimelineEntry> out;
+  if (window.empty()) return out;
+  auto it = std::upper_bound(
+      entries_.begin(), entries_.end(), window.begin,
+      [](Timestamp v, const TimelineEntry& e) { return v < e.valid.end; });
+  for (; it != entries_.end() && it->valid.begin < window.end; ++it) {
+    out.push_back(*it);
+  }
+  return out;
+}
+
+TemporalElement VersionTimeline::Lifespan() const {
+  TemporalElement span;
+  for (const TimelineEntry& e : entries_) span.Add(e.valid);
+  return span;
+}
+
+std::vector<Timestamp> VersionTimeline::BoundariesIn(
+    const Interval& window) const {
+  std::vector<Timestamp> out;
+  for (const TimelineEntry& e : Overlapping(window)) {
+    if (e.valid.begin >= window.begin) out.push_back(e.valid.begin);
+    if (!e.valid.open_ended() && e.valid.end < window.end) {
+      out.push_back(e.valid.end);
+    }
+  }
+  std::sort(out.begin(), out.end());
+  out.erase(std::unique(out.begin(), out.end()), out.end());
+  return out;
+}
+
+std::string VersionTimeline::ToString() const {
+  std::string out = "timeline[";
+  for (size_t i = 0; i < entries_.size(); ++i) {
+    if (i) out += " ";
+    out += entries_[i].valid.ToString() + "->" +
+           std::to_string(entries_[i].payload);
+  }
+  out += "]";
+  return out;
+}
+
+}  // namespace tcob

@@ -1,0 +1,73 @@
+#ifndef TCOB_TIME_TIMELINE_H_
+#define TCOB_TIME_TIMELINE_H_
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "time/interval.h"
+#include "time/temporal_element.h"
+
+namespace tcob {
+
+/// One entry of a VersionTimeline: a validity interval tagged with an
+/// opaque payload handle (version number, RID, vector index — caller's
+/// choice).
+struct TimelineEntry {
+  Interval valid;
+  uint64_t payload = 0;
+};
+
+/// The time-ordered history of one object: a sequence of non-overlapping
+/// validity intervals, each naming a payload (version).
+///
+/// Intervals are kept sorted by begin. Gaps are legal — they represent
+/// periods during which the object did not exist (logically deleted and
+/// later re-inserted). Overlap is an invariant violation and is rejected.
+class VersionTimeline {
+ public:
+  VersionTimeline() = default;
+
+  /// Appends an entry; its interval must begin at or after the end of the
+  /// last entry (histories are built in chronological order).
+  Status Append(const Interval& valid, uint64_t payload);
+
+  /// Truncates the (open-ended) last entry to end at `at`. Fails unless a
+  /// last entry exists, is open-ended and begins before `at`.
+  Status CloseLast(Timestamp at);
+
+  /// Payload valid at instant t, if any.
+  std::optional<uint64_t> AsOf(Timestamp t) const;
+
+  /// All entries whose validity overlaps `window`, in time order.
+  std::vector<TimelineEntry> Overlapping(const Interval& window) const;
+
+  /// The union of all validity intervals (the object's lifespan).
+  TemporalElement Lifespan() const;
+
+  /// All distinct interval boundaries (begins and finite ends) inside
+  /// `window`, plus window.begin itself if the timeline is live there.
+  /// Used to derive molecule-level change points.
+  std::vector<Timestamp> BoundariesIn(const Interval& window) const;
+
+  bool empty() const { return entries_.empty(); }
+  size_t size() const { return entries_.size(); }
+  const std::vector<TimelineEntry>& entries() const { return entries_; }
+  const TimelineEntry& back() const { return entries_.back(); }
+
+  /// True if the newest entry is open-ended (object currently alive).
+  bool IsLive() const {
+    return !entries_.empty() && entries_.back().valid.open_ended();
+  }
+
+  std::string ToString() const;
+
+ private:
+  std::vector<TimelineEntry> entries_;  // sorted by valid.begin, disjoint
+};
+
+}  // namespace tcob
+
+#endif  // TCOB_TIME_TIMELINE_H_

@@ -1,0 +1,29 @@
+#ifndef TCOB_TIME_TIMESTAMP_H_
+#define TCOB_TIME_TIMESTAMP_H_
+
+#include <cstdint>
+#include <limits>
+#include <string>
+
+namespace tcob {
+
+/// A valid-time instant, measured in discrete chronons.
+///
+/// The temporal complex-object model is defined over a discrete, totally
+/// ordered time axis. A chronon is the indivisible unit; applications map
+/// it to whatever granularity they need (days, seconds, ...). Two
+/// distinguished values bound the axis:
+///  * kMinTimestamp — the beginning of time,
+///  * kForever      — the special "until changed" upper bound (exclusive);
+///    an open-ended version is valid in [begin, kForever).
+using Timestamp = int64_t;
+
+inline constexpr Timestamp kMinTimestamp = 0;
+inline constexpr Timestamp kForever = std::numeric_limits<int64_t>::max();
+
+/// Renders t as a decimal chronon count, or "forever" for kForever.
+std::string TimestampToString(Timestamp t);
+
+}  // namespace tcob
+
+#endif  // TCOB_TIME_TIMESTAMP_H_

@@ -1,0 +1,287 @@
+#include "tstore/integrated_store.h"
+
+#include "common/coding.h"
+#include "record/record_codec.h"
+
+namespace tcob {
+
+Result<IntegratedStore::TypeState*> IntegratedStore::StateOf(
+    TypeId type) const {
+  auto it = types_.find(type);
+  if (it != types_.end()) return &it->second;
+  TypeState state;
+  TCOB_ASSIGN_OR_RETURN(
+      state.heap,
+      HeapFile::Open(pool_, prefix_ + "_heap_" + std::to_string(type)));
+  TCOB_ASSIGN_OR_RETURN(
+      state.index,
+      BTree::Open(pool_, prefix_ + "_idx_" + std::to_string(type)));
+  auto [pos, inserted] = types_.emplace(type, std::move(state));
+  (void)inserted;
+  return &pos->second;
+}
+
+Status IntegratedStore::EncodeCluster(const std::vector<AttrType>& schema,
+                                      AtomId id, TypeId type,
+                                      const std::vector<AtomVersion>& versions,
+                                      std::string* dst) {
+  PutVarint64(dst, id);
+  PutVarint32(dst, type);
+  PutVarint32(dst, static_cast<uint32_t>(versions.size()));
+  for (const AtomVersion& v : versions) {
+    PutVarint32(dst, v.version_no);
+    PutVarsint64(dst, v.valid.begin);
+    PutVarsint64(dst, v.valid.end);
+    TCOB_RETURN_NOT_OK(EncodeValues(schema, v.attrs, dst));
+  }
+  return Status::OK();
+}
+
+Result<std::vector<AtomVersion>> IntegratedStore::DecodeCluster(
+    const std::vector<AttrType>& schema, Slice input) {
+  uint64_t id;
+  uint32_t type, count;
+  TCOB_RETURN_NOT_OK(GetVarint64(&input, &id));
+  TCOB_RETURN_NOT_OK(GetVarint32(&input, &type));
+  TCOB_RETURN_NOT_OK(GetVarint32(&input, &count));
+  std::vector<AtomVersion> versions;
+  versions.reserve(count);
+  for (uint32_t i = 0; i < count; ++i) {
+    AtomVersion v;
+    v.id = id;
+    v.type = type;
+    TCOB_RETURN_NOT_OK(GetVarint32(&input, &v.version_no));
+    TCOB_RETURN_NOT_OK(GetVarsint64(&input, &v.valid.begin));
+    TCOB_RETURN_NOT_OK(GetVarsint64(&input, &v.valid.end));
+    TCOB_ASSIGN_OR_RETURN(v.attrs, DecodeValues(schema, &input));
+    versions.push_back(std::move(v));
+  }
+  return versions;
+}
+
+Result<std::vector<AtomVersion>> IntegratedStore::LoadCluster(
+    const AtomTypeDef& type, AtomId id, Rid* rid_out) const {
+  TCOB_ASSIGN_OR_RETURN(TypeState * state, StateOf(type.id));
+  std::string key;
+  PutComparableU64(&key, id);
+  Result<uint64_t> packed = state->index->Get(key);
+  if (!packed.ok()) {
+    return Status::NotFound("atom " + std::to_string(id));
+  }
+  Rid rid = Rid::Unpack(packed.value());
+  if (rid_out) *rid_out = rid;
+  TCOB_ASSIGN_OR_RETURN(std::string rec, state->heap->Get(rid));
+  return DecodeCluster(type.AttrTypes(), Slice(rec));
+}
+
+Status IntegratedStore::StoreCluster(const AtomTypeDef& type, AtomId id,
+                                     const Rid& rid,
+                                     const std::vector<AtomVersion>& versions) {
+  TCOB_ASSIGN_OR_RETURN(TypeState * state, StateOf(type.id));
+  std::string rec;
+  TCOB_RETURN_NOT_OK(
+      EncodeCluster(type.AttrTypes(), id, type.id, versions, &rec));
+  TCOB_ASSIGN_OR_RETURN(Rid new_rid, state->heap->Update(rid, rec));
+  if (new_rid != rid) {
+    std::string key;
+    PutComparableU64(&key, id);
+    TCOB_RETURN_NOT_OK(state->index->Put(key, new_rid.Pack()));
+  }
+  return Status::OK();
+}
+
+Status IntegratedStore::Insert(const AtomTypeDef& type, AtomId id,
+                               std::vector<Value> attrs, Timestamp from) {
+  TCOB_ASSIGN_OR_RETURN(TypeState * state, StateOf(type.id));
+  Rid rid;
+  Result<std::vector<AtomVersion>> existing = LoadCluster(type, id, &rid);
+  if (existing.ok()) {
+    std::vector<AtomVersion>& versions = existing.value();
+    // Idempotent replay: a version starting at `from` means this insert
+    // was already applied.
+    for (const AtomVersion& v : versions) {
+      if (v.valid.begin == from) return Status::OK();
+    }
+    const AtomVersion& last = versions.back();
+    if (last.valid.open_ended()) {
+      return Status::AlreadyExists("atom " + std::to_string(id) +
+                                   " already live");
+    }
+    if (from < last.valid.end) {
+      return Status::InvalidArgument("re-insert before previous deletion");
+    }
+    versions.push_back(AtomVersion{id, type.id, last.version_no + 1,
+                                   Interval(from, kForever),
+                                   std::move(attrs)});
+    return StoreCluster(type, id, rid, versions);
+  }
+  std::vector<AtomVersion> versions = {AtomVersion{
+      id, type.id, 1, Interval(from, kForever), std::move(attrs)}};
+  std::string rec;
+  TCOB_RETURN_NOT_OK(
+      EncodeCluster(type.AttrTypes(), id, type.id, versions, &rec));
+  TCOB_ASSIGN_OR_RETURN(Rid new_rid, state->heap->Insert(rec));
+  std::string key;
+  PutComparableU64(&key, id);
+  return state->index->Put(key, new_rid.Pack());
+}
+
+Status IntegratedStore::Update(const AtomTypeDef& type, AtomId id,
+                               std::vector<Value> attrs, Timestamp from) {
+  Rid rid;
+  TCOB_ASSIGN_OR_RETURN(std::vector<AtomVersion> versions,
+                        LoadCluster(type, id, &rid));
+  AtomVersion& current = versions.back();
+  // Idempotent replay: see SnapshotStore::Update.
+  for (const AtomVersion& v : versions) {
+    if (v.valid.begin == from && v.version_no > 1) return Status::OK();
+  }
+  if (!current.valid.open_ended()) {
+    return Status::InvalidArgument("update of a dead atom");
+  }
+  if (current.valid.begin == from) {
+    return Status::InvalidArgument(
+        "update at the exact begin of the current version");
+  }
+  if (from < current.valid.begin) {
+    return Status::InvalidArgument("retroactive update not supported");
+  }
+  current.valid.end = from;
+  versions.push_back(AtomVersion{id, type.id, current.version_no + 1,
+                                 Interval(from, kForever), std::move(attrs)});
+  return StoreCluster(type, id, rid, versions);
+}
+
+Status IntegratedStore::Delete(const AtomTypeDef& type, AtomId id,
+                               Timestamp from) {
+  Rid rid;
+  TCOB_ASSIGN_OR_RETURN(std::vector<AtomVersion> versions,
+                        LoadCluster(type, id, &rid));
+  AtomVersion& current = versions.back();
+  // Idempotent replay: see SnapshotStore::Delete.
+  bool ends_at_from = false, begins_at_from = false;
+  for (const AtomVersion& v : versions) {
+    if (v.valid.end == from) ends_at_from = true;
+    if (v.valid.begin == from) begins_at_from = true;
+  }
+  if (ends_at_from && !begins_at_from) return Status::OK();
+  if (!current.valid.open_ended()) {
+    return Status::InvalidArgument("delete of a dead atom");
+  }
+  if (from <= current.valid.begin) {
+    return Status::InvalidArgument("delete before the current version began");
+  }
+  current.valid.end = from;
+  return StoreCluster(type, id, rid, versions);
+}
+
+Result<std::optional<AtomVersion>> IntegratedStore::GetAsOf(
+    const AtomTypeDef& type, AtomId id, Timestamp t) const {
+  TCOB_ASSIGN_OR_RETURN(std::vector<AtomVersion> versions,
+                        LoadCluster(type, id, nullptr));
+  for (const AtomVersion& v : versions) {
+    if (v.valid.Contains(t)) return std::optional<AtomVersion>(v);
+  }
+  return std::optional<AtomVersion>();
+}
+
+Result<std::vector<AtomVersion>> IntegratedStore::GetVersions(
+    const AtomTypeDef& type, AtomId id, const Interval& window) const {
+  TCOB_ASSIGN_OR_RETURN(std::vector<AtomVersion> versions,
+                        LoadCluster(type, id, nullptr));
+  std::vector<AtomVersion> out;
+  for (AtomVersion& v : versions) {
+    if (v.valid.Overlaps(window)) out.push_back(std::move(v));
+  }
+  return out;
+}
+
+Status IntegratedStore::ScanAsOf(const AtomTypeDef& type, Timestamp t,
+                                 const VersionCallback& fn) const {
+  return ScanVersions(type, Interval::At(t), fn);
+}
+
+Status IntegratedStore::ScanVersions(const AtomTypeDef& type,
+                                     const Interval& window,
+                                     const VersionCallback& fn) const {
+  TCOB_ASSIGN_OR_RETURN(TypeState * state, StateOf(type.id));
+  std::vector<AttrType> schema = type.AttrTypes();
+  return state->heap->Scan(
+      [&](const Rid& rid, const Slice& rec) -> Result<bool> {
+        (void)rid;
+        TCOB_ASSIGN_OR_RETURN(std::vector<AtomVersion> versions,
+                              DecodeCluster(schema, rec));
+        for (const AtomVersion& v : versions) {
+          if (!v.valid.Overlaps(window)) continue;
+          TCOB_ASSIGN_OR_RETURN(bool keep_going, fn(v));
+          if (!keep_going) return false;
+        }
+        return true;
+      });
+}
+
+Result<StoreSpaceStats> IntegratedStore::SpaceStats() const {
+  StoreSpaceStats stats;
+  for (const auto& [type_id, state] : types_) {
+    (void)type_id;
+    TCOB_ASSIGN_OR_RETURN(HeapFileStats heap, state.heap->Stats());
+    TCOB_ASSIGN_OR_RETURN(PageNo index_pages,
+                          pool_->disk()->NumPages(state.index->file_id()));
+    stats.heap_pages += heap.total_pages;
+    stats.index_pages += index_pages;
+    stats.atom_count += heap.record_count;
+  }
+  stats.total_bytes = (stats.heap_pages + stats.index_pages) * kPageSize;
+  return stats;
+}
+
+Status IntegratedStore::Flush() { return pool_->FlushAll(); }
+
+}  // namespace tcob
+
+namespace tcob {
+
+Result<uint64_t> IntegratedStore::VacuumBefore(const AtomTypeDef& type,
+                                               Timestamp cutoff) {
+  TCOB_ASSIGN_OR_RETURN(TypeState * state, StateOf(type.id));
+  // Collect the atoms first (mutating clusters while scanning the heap
+  // could revisit relocated records).
+  std::vector<AtomId> atoms;
+  {
+    std::vector<AttrType> schema = type.AttrTypes();
+    TCOB_RETURN_NOT_OK(state->heap->Scan(
+        [&](const Rid&, const Slice& rec) -> Result<bool> {
+          Slice in(rec);
+          uint64_t id;
+          TCOB_RETURN_NOT_OK(GetVarint64(&in, &id));
+          atoms.push_back(id);
+          return true;
+        }));
+  }
+  uint64_t removed = 0;
+  for (AtomId id : atoms) {
+    Rid rid;
+    TCOB_ASSIGN_OR_RETURN(std::vector<AtomVersion> versions,
+                          LoadCluster(type, id, &rid));
+    std::vector<AtomVersion> kept;
+    for (AtomVersion& v : versions) {
+      if (v.valid.end <= cutoff) {
+        ++removed;
+      } else {
+        kept.push_back(std::move(v));
+      }
+    }
+    if (kept.size() == versions.size()) continue;
+    std::string key;
+    PutComparableU64(&key, id);
+    if (kept.empty()) {
+      TCOB_RETURN_NOT_OK(state->heap->Delete(rid));
+      TCOB_RETURN_NOT_OK(state->index->Delete(key));
+    } else {
+      TCOB_RETURN_NOT_OK(StoreCluster(type, id, rid, kept));
+    }
+  }
+  return removed;
+}
+
+}  // namespace tcob

@@ -1,0 +1,513 @@
+#include "tstore/separated_store.h"
+
+#include <algorithm>
+
+#include "common/coding.h"
+#include "record/record_codec.h"
+
+namespace tcob {
+
+std::string SeparatedStore::VersionKey(AtomId id, Timestamp begin) {
+  std::string key;
+  PutComparableU64(&key, id);
+  PutComparableI64(&key, begin);
+  return key;
+}
+
+Result<SeparatedStore::TypeState*> SeparatedStore::StateOf(
+    TypeId type) const {
+  auto it = types_.find(type);
+  if (it != types_.end()) return &it->second;
+  TypeState state;
+  const std::string t = std::to_string(type);
+  TCOB_ASSIGN_OR_RETURN(state.current,
+                        HeapFile::Open(pool_, prefix_ + "_cur_" + t));
+  TCOB_ASSIGN_OR_RETURN(state.history,
+                        HeapFile::Open(pool_, prefix_ + "_hist_" + t));
+  TCOB_ASSIGN_OR_RETURN(state.current_index,
+                        BTree::Open(pool_, prefix_ + "_cidx_" + t));
+  if (options_.separated_version_index) {
+    TCOB_ASSIGN_OR_RETURN(state.version_index,
+                          BTree::Open(pool_, prefix_ + "_vidx_" + t));
+  }
+  auto [pos, inserted] = types_.emplace(type, std::move(state));
+  (void)inserted;
+  return &pos->second;
+}
+
+Status SeparatedStore::EncodeCurrent(const std::vector<AttrType>& schema,
+                                     const CurrentRecord& rec, AtomId id,
+                                     TypeId type, std::string* dst) {
+  (void)type;
+  dst->push_back(rec.has_live ? 1 : 0);
+  PutVarint64(dst, id);
+  if (rec.has_live) {
+    PutVarint32(dst, rec.live.version_no);
+    PutVarsint64(dst, rec.live.valid.begin);
+    TCOB_RETURN_NOT_OK(EncodeValues(schema, rec.live.attrs, dst));
+  }
+  PutVarint32(dst, rec.last_version_no);
+  PutVarsint64(dst, rec.last_end);
+  PutVarint64(dst, rec.chain_head.Pack());
+  PutVarint32(dst, rec.chain_len);
+  return Status::OK();
+}
+
+Result<SeparatedStore::CurrentRecord> SeparatedStore::DecodeCurrent(
+    const std::vector<AttrType>& schema, AtomId id, TypeId type,
+    Slice input) {
+  CurrentRecord rec;
+  if (input.empty()) return Status::Corruption("empty current record");
+  rec.has_live = input[0] != 0;
+  input.RemovePrefix(1);
+  uint64_t stored_id;
+  TCOB_RETURN_NOT_OK(GetVarint64(&input, &stored_id));
+  if (stored_id != id) {
+    return Status::Corruption("current record id mismatch");
+  }
+  if (rec.has_live) {
+    rec.live.id = id;
+    rec.live.type = type;
+    TCOB_RETURN_NOT_OK(GetVarint32(&input, &rec.live.version_no));
+    TCOB_RETURN_NOT_OK(GetVarsint64(&input, &rec.live.valid.begin));
+    rec.live.valid.end = kForever;
+    TCOB_ASSIGN_OR_RETURN(rec.live.attrs, DecodeValues(schema, &input));
+  }
+  TCOB_RETURN_NOT_OK(GetVarint32(&input, &rec.last_version_no));
+  TCOB_RETURN_NOT_OK(GetVarsint64(&input, &rec.last_end));
+  uint64_t packed;
+  TCOB_RETURN_NOT_OK(GetVarint64(&input, &packed));
+  rec.chain_head = Rid::Unpack(packed);
+  TCOB_RETURN_NOT_OK(GetVarint32(&input, &rec.chain_len));
+  return rec;
+}
+
+Status SeparatedStore::EncodeHistory(const std::vector<AttrType>& schema,
+                                     const AtomVersion& v, const Rid& prev,
+                                     std::string* dst) {
+  TCOB_RETURN_NOT_OK(EncodeAtomVersion(schema, v, dst));
+  PutVarint64(dst, prev.Pack());
+  return Status::OK();
+}
+
+Result<std::pair<AtomVersion, Rid>> SeparatedStore::DecodeHistory(
+    const std::vector<AttrType>& schema, Slice input) {
+  TCOB_ASSIGN_OR_RETURN(AtomVersion v, DecodeAtomVersion(schema, &input));
+  uint64_t packed;
+  TCOB_RETURN_NOT_OK(GetVarint64(&input, &packed));
+  return std::make_pair(std::move(v), Rid::Unpack(packed));
+}
+
+Result<SeparatedStore::CurrentRecord> SeparatedStore::LoadCurrent(
+    const AtomTypeDef& type, AtomId id, Rid* rid_out) const {
+  TCOB_ASSIGN_OR_RETURN(TypeState * state, StateOf(type.id));
+  std::string key;
+  PutComparableU64(&key, id);
+  Result<uint64_t> packed = state->current_index->Get(key);
+  if (!packed.ok()) return Status::NotFound("atom " + std::to_string(id));
+  Rid rid = Rid::Unpack(packed.value());
+  if (rid_out) *rid_out = rid;
+  TCOB_ASSIGN_OR_RETURN(std::string rec, state->current->Get(rid));
+  return DecodeCurrent(type.AttrTypes(), id, type.id, Slice(rec));
+}
+
+Status SeparatedStore::StoreCurrent(const AtomTypeDef& type, AtomId id,
+                                    const Rid& rid,
+                                    const CurrentRecord& rec) {
+  TCOB_ASSIGN_OR_RETURN(TypeState * state, StateOf(type.id));
+  std::string bytes;
+  TCOB_RETURN_NOT_OK(EncodeCurrent(type.AttrTypes(), rec, id, type.id, &bytes));
+  TCOB_ASSIGN_OR_RETURN(Rid new_rid, state->current->Update(rid, bytes));
+  if (new_rid != rid) {
+    std::string key;
+    PutComparableU64(&key, id);
+    TCOB_RETURN_NOT_OK(state->current_index->Put(key, new_rid.Pack()));
+  }
+  return Status::OK();
+}
+
+Result<Rid> SeparatedStore::AppendHistory(const AtomTypeDef& type,
+                                          const AtomVersion& closed,
+                                          const Rid& prev) {
+  TCOB_ASSIGN_OR_RETURN(TypeState * state, StateOf(type.id));
+  std::string bytes;
+  TCOB_RETURN_NOT_OK(EncodeHistory(type.AttrTypes(), closed, prev, &bytes));
+  TCOB_ASSIGN_OR_RETURN(Rid rid, state->history->Insert(bytes));
+  if (state->version_index) {
+    TCOB_RETURN_NOT_OK(state->version_index->Put(
+        VersionKey(closed.id, closed.valid.begin), rid.Pack()));
+  }
+  return rid;
+}
+
+Status SeparatedStore::Insert(const AtomTypeDef& type, AtomId id,
+                              std::vector<Value> attrs, Timestamp from) {
+  TCOB_ASSIGN_OR_RETURN(TypeState * state, StateOf(type.id));
+  Rid rid;
+  Result<CurrentRecord> existing = LoadCurrent(type, id, &rid);
+  if (existing.ok()) {
+    CurrentRecord& rec = existing.value();
+    // Idempotent replay: a version starting at `from` means this insert
+    // was already applied.
+    TCOB_ASSIGN_OR_RETURN(ReplayMarkers markers,
+                          ScanMarkers(type, rec, from));
+    if (markers.begins_at) return Status::OK();
+    if (rec.has_live) {
+      return Status::AlreadyExists("atom " + std::to_string(id) +
+                                   " already live");
+    }
+    if (from < rec.last_end) {
+      return Status::InvalidArgument("re-insert before previous deletion");
+    }
+    rec.has_live = true;
+    rec.live = AtomVersion{id, type.id, rec.last_version_no + 1,
+                           Interval(from, kForever), std::move(attrs)};
+    rec.last_version_no = rec.live.version_no;
+    return StoreCurrent(type, id, rid, rec);
+  }
+  CurrentRecord rec;
+  rec.has_live = true;
+  rec.live = AtomVersion{id, type.id, 1, Interval(from, kForever),
+                         std::move(attrs)};
+  rec.last_version_no = 1;
+  std::string bytes;
+  TCOB_RETURN_NOT_OK(EncodeCurrent(type.AttrTypes(), rec, id, type.id, &bytes));
+  TCOB_ASSIGN_OR_RETURN(Rid new_rid, state->current->Insert(bytes));
+  std::string key;
+  PutComparableU64(&key, id);
+  return state->current_index->Put(key, new_rid.Pack());
+}
+
+Status SeparatedStore::Update(const AtomTypeDef& type, AtomId id,
+                              std::vector<Value> attrs, Timestamp from) {
+  Rid rid;
+  TCOB_ASSIGN_OR_RETURN(CurrentRecord rec, LoadCurrent(type, id, &rid));
+  // Idempotent replay: a successor version starting at `from` already
+  // exists (version 1 can only come from Insert, so exclude a live v1).
+  TCOB_ASSIGN_OR_RETURN(ReplayMarkers markers, ScanMarkers(type, rec, from));
+  if (markers.begins_at &&
+      !(rec.has_live && rec.live.valid.begin == from &&
+        rec.live.version_no == 1 && rec.chain_len == 0)) {
+    return Status::OK();
+  }
+  if (!rec.has_live) {
+    return Status::InvalidArgument("update of a dead atom");
+  }
+  if (rec.live.valid.begin == from) {
+    return Status::InvalidArgument(
+        "update at the exact begin of the current version");
+  }
+  if (from < rec.live.valid.begin) {
+    return Status::InvalidArgument("retroactive update not supported");
+  }
+  AtomVersion closed = rec.live;
+  closed.valid.end = from;
+  TCOB_ASSIGN_OR_RETURN(Rid new_head,
+                        AppendHistory(type, closed, rec.chain_head));
+  rec.chain_head = new_head;
+  ++rec.chain_len;
+  rec.last_end = from;
+  rec.live = AtomVersion{id, type.id, closed.version_no + 1,
+                         Interval(from, kForever), std::move(attrs)};
+  rec.last_version_no = rec.live.version_no;
+  return StoreCurrent(type, id, rid, rec);
+}
+
+Status SeparatedStore::Delete(const AtomTypeDef& type, AtomId id,
+                              Timestamp from) {
+  Rid rid;
+  TCOB_ASSIGN_OR_RETURN(CurrentRecord rec, LoadCurrent(type, id, &rid));
+  // Idempotent replay: a version ending at `from` with no successor
+  // starting there means this delete was already applied.
+  TCOB_ASSIGN_OR_RETURN(ReplayMarkers markers, ScanMarkers(type, rec, from));
+  if (markers.ends_at && !markers.begins_at) return Status::OK();
+  if (!rec.has_live) {
+    return Status::InvalidArgument("delete of a dead atom");
+  }
+  if (from <= rec.live.valid.begin) {
+    return Status::InvalidArgument("delete before the current version began");
+  }
+  AtomVersion closed = rec.live;
+  closed.valid.end = from;
+  TCOB_ASSIGN_OR_RETURN(Rid new_head,
+                        AppendHistory(type, closed, rec.chain_head));
+  rec.chain_head = new_head;
+  ++rec.chain_len;
+  rec.last_end = from;
+  rec.has_live = false;
+  rec.live = AtomVersion{};
+  return StoreCurrent(type, id, rid, rec);
+}
+
+Result<std::optional<AtomVersion>> SeparatedStore::FindPast(
+    const AtomTypeDef& type, AtomId id, const CurrentRecord& cur,
+    Timestamp t) const {
+  TCOB_ASSIGN_OR_RETURN(TypeState * state, StateOf(type.id));
+  std::vector<AttrType> schema = type.AttrTypes();
+  if (state->version_index) {
+    Result<std::pair<std::string, uint64_t>> floor =
+        state->version_index->Floor(VersionKey(id, t));
+    if (!floor.ok()) {
+      if (floor.status().IsNotFound()) return std::optional<AtomVersion>();
+      return floor.status();
+    }
+    // The floor entry must belong to the same atom.
+    std::string prefix;
+    PutComparableU64(&prefix, id);
+    if (!Slice(floor.value().first).starts_with(prefix)) {
+      return std::optional<AtomVersion>();
+    }
+    TCOB_ASSIGN_OR_RETURN(std::string rec,
+                          state->history->Get(Rid::Unpack(floor->second)));
+    ++chain_hops_;
+    TCOB_ASSIGN_OR_RETURN(auto decoded, DecodeHistory(schema, Slice(rec)));
+    if (decoded.first.valid.Contains(t)) {
+      return std::optional<AtomVersion>(std::move(decoded.first));
+    }
+    return std::optional<AtomVersion>();  // gap (deleted period)
+  }
+  // Chain walk newest-to-oldest until version.begin <= t.
+  Rid rid = cur.chain_head;
+  while (rid.valid()) {
+    TCOB_ASSIGN_OR_RETURN(std::string rec, state->history->Get(rid));
+    ++chain_hops_;
+    TCOB_ASSIGN_OR_RETURN(auto decoded, DecodeHistory(schema, Slice(rec)));
+    if (decoded.first.valid.begin <= t) {
+      if (decoded.first.valid.Contains(t)) {
+        return std::optional<AtomVersion>(std::move(decoded.first));
+      }
+      return std::optional<AtomVersion>();  // gap
+    }
+    rid = decoded.second;
+  }
+  return std::optional<AtomVersion>();
+}
+
+Result<std::vector<AtomVersion>> SeparatedStore::CollectPast(
+    const AtomTypeDef& type, const CurrentRecord& cur,
+    const Interval& window) const {
+  TCOB_ASSIGN_OR_RETURN(TypeState * state, StateOf(type.id));
+  std::vector<AttrType> schema = type.AttrTypes();
+  std::vector<AtomVersion> newest_first;
+  Rid rid = cur.chain_head;
+  while (rid.valid()) {
+    TCOB_ASSIGN_OR_RETURN(std::string rec, state->history->Get(rid));
+    ++chain_hops_;
+    TCOB_ASSIGN_OR_RETURN(auto decoded, DecodeHistory(schema, Slice(rec)));
+    if (decoded.first.valid.end <= window.begin) break;  // older than window
+    if (decoded.first.valid.Overlaps(window)) {
+      newest_first.push_back(std::move(decoded.first));
+    }
+    rid = decoded.second;
+  }
+  std::reverse(newest_first.begin(), newest_first.end());
+  return newest_first;
+}
+
+Result<SeparatedStore::ReplayMarkers> SeparatedStore::ScanMarkers(
+    const AtomTypeDef& type, const CurrentRecord& cur, Timestamp at) const {
+  ReplayMarkers markers;
+  if (cur.has_live && cur.live.valid.begin == at) markers.begins_at = true;
+  TCOB_ASSIGN_OR_RETURN(TypeState * state, StateOf(type.id));
+  std::vector<AttrType> schema = type.AttrTypes();
+  Rid rid = cur.chain_head;
+  while (rid.valid()) {
+    TCOB_ASSIGN_OR_RETURN(std::string rec, state->history->Get(rid));
+    TCOB_ASSIGN_OR_RETURN(auto decoded, DecodeHistory(schema, Slice(rec)));
+    if (decoded.first.valid.begin == at) markers.begins_at = true;
+    if (decoded.first.valid.end == at) markers.ends_at = true;
+    rid = decoded.second;
+  }
+  return markers;
+}
+
+Result<std::optional<AtomVersion>> SeparatedStore::GetAsOf(
+    const AtomTypeDef& type, AtomId id, Timestamp t) const {
+  TCOB_ASSIGN_OR_RETURN(CurrentRecord rec, LoadCurrent(type, id, nullptr));
+  if (rec.has_live && rec.live.valid.Contains(t)) {
+    return std::optional<AtomVersion>(rec.live);
+  }
+  if (rec.has_live && t >= rec.live.valid.begin) {
+    return std::optional<AtomVersion>();  // future of a live atom: live wins
+  }
+  if (!rec.has_live && t >= rec.last_end) {
+    return std::optional<AtomVersion>();  // after deletion
+  }
+  return FindPast(type, id, rec, t);
+}
+
+Result<std::vector<AtomVersion>> SeparatedStore::GetVersions(
+    const AtomTypeDef& type, AtomId id, const Interval& window) const {
+  TCOB_ASSIGN_OR_RETURN(CurrentRecord rec, LoadCurrent(type, id, nullptr));
+  TCOB_ASSIGN_OR_RETURN(std::vector<AtomVersion> out,
+                        CollectPast(type, rec, window));
+  if (rec.has_live && rec.live.valid.Overlaps(window)) {
+    out.push_back(rec.live);
+  }
+  return out;
+}
+
+Status SeparatedStore::ScanAsOf(const AtomTypeDef& type, Timestamp t,
+                                const VersionCallback& fn) const {
+  TCOB_ASSIGN_OR_RETURN(TypeState * state, StateOf(type.id));
+  std::vector<AttrType> schema = type.AttrTypes();
+  return state->current->Scan(
+      [&](const Rid& rid, const Slice& raw) -> Result<bool> {
+        (void)rid;
+        Slice peek(raw);
+        if (peek.empty()) return Status::Corruption("empty current record");
+        // Decode enough to learn the atom id.
+        bool has_live = peek[0] != 0;
+        peek.RemovePrefix(1);
+        uint64_t id;
+        TCOB_RETURN_NOT_OK(GetVarint64(&peek, &id));
+        (void)has_live;
+        TCOB_ASSIGN_OR_RETURN(
+            CurrentRecord rec,
+            DecodeCurrent(schema, id, type.id, raw));
+        if (rec.has_live && rec.live.valid.Contains(t)) {
+          return fn(rec.live);
+        }
+        if ((rec.has_live && t < rec.live.valid.begin) ||
+            (!rec.has_live && t < rec.last_end)) {
+          TCOB_ASSIGN_OR_RETURN(std::optional<AtomVersion> past,
+                                FindPast(type, id, rec, t));
+          if (past.has_value()) return fn(*past);
+        }
+        return true;
+      });
+}
+
+Status SeparatedStore::ScanVersions(const AtomTypeDef& type,
+                                    const Interval& window,
+                                    const VersionCallback& fn) const {
+  TCOB_ASSIGN_OR_RETURN(TypeState * state, StateOf(type.id));
+  std::vector<AttrType> schema = type.AttrTypes();
+  return state->current->Scan(
+      [&](const Rid& rid, const Slice& raw) -> Result<bool> {
+        (void)rid;
+        Slice peek(raw);
+        if (peek.empty()) return Status::Corruption("empty current record");
+        peek.RemovePrefix(1);
+        uint64_t id;
+        TCOB_RETURN_NOT_OK(GetVarint64(&peek, &id));
+        TCOB_ASSIGN_OR_RETURN(CurrentRecord rec,
+                              DecodeCurrent(schema, id, type.id, raw));
+        TCOB_ASSIGN_OR_RETURN(std::vector<AtomVersion> past,
+                              CollectPast(type, rec, window));
+        for (const AtomVersion& v : past) {
+          TCOB_ASSIGN_OR_RETURN(bool keep_going, fn(v));
+          if (!keep_going) return false;
+        }
+        if (rec.has_live && rec.live.valid.Overlaps(window)) {
+          return fn(rec.live);
+        }
+        return true;
+      });
+}
+
+Result<StoreSpaceStats> SeparatedStore::SpaceStats() const {
+  StoreSpaceStats stats;
+  for (const auto& [type_id, state] : types_) {
+    (void)type_id;
+    TCOB_ASSIGN_OR_RETURN(HeapFileStats cur, state.current->Stats());
+    TCOB_ASSIGN_OR_RETURN(HeapFileStats hist, state.history->Stats());
+    stats.heap_pages += cur.total_pages + hist.total_pages;
+    TCOB_ASSIGN_OR_RETURN(
+        PageNo cidx_pages,
+        pool_->disk()->NumPages(state.current_index->file_id()));
+    stats.index_pages += cidx_pages;
+    if (state.version_index) {
+      TCOB_ASSIGN_OR_RETURN(
+          PageNo vidx_pages,
+          pool_->disk()->NumPages(state.version_index->file_id()));
+      stats.index_pages += vidx_pages;
+    }
+    stats.atom_count += cur.record_count;
+    stats.version_count += cur.record_count + hist.record_count;
+  }
+  stats.total_bytes = (stats.heap_pages + stats.index_pages) * kPageSize;
+  return stats;
+}
+
+Status SeparatedStore::Flush() { return pool_->FlushAll(); }
+
+}  // namespace tcob
+
+namespace tcob {
+
+Result<uint64_t> SeparatedStore::VacuumBefore(const AtomTypeDef& type,
+                                              Timestamp cutoff) {
+  TCOB_ASSIGN_OR_RETURN(TypeState * state, StateOf(type.id));
+  std::vector<AttrType> schema = type.AttrTypes();
+  // Snapshot the current-store entries first (we mutate while iterating
+  // otherwise).
+  std::vector<std::pair<Rid, AtomId>> atoms;
+  TCOB_RETURN_NOT_OK(state->current->Scan(
+      [&](const Rid& rid, const Slice& raw) -> Result<bool> {
+        Slice peek(raw);
+        if (peek.empty()) return Status::Corruption("empty current record");
+        peek.RemovePrefix(1);
+        uint64_t id;
+        TCOB_RETURN_NOT_OK(GetVarint64(&peek, &id));
+        atoms.emplace_back(rid, id);
+        return true;
+      }));
+
+  uint64_t removed = 0;
+  for (const auto& [rid, id] : atoms) {
+    TCOB_ASSIGN_OR_RETURN(std::string raw, state->current->Get(rid));
+    TCOB_ASSIGN_OR_RETURN(CurrentRecord rec,
+                          DecodeCurrent(schema, id, type.id, Slice(raw)));
+    // Materialize the chain newest-to-oldest.
+    std::vector<std::pair<Rid, AtomVersion>> chain;
+    Rid r = rec.chain_head;
+    while (r.valid()) {
+      TCOB_ASSIGN_OR_RETURN(std::string hrec, state->history->Get(r));
+      TCOB_ASSIGN_OR_RETURN(auto decoded, DecodeHistory(schema, Slice(hrec)));
+      chain.emplace_back(r, std::move(decoded.first));
+      r = decoded.second;
+    }
+    // Version ends decrease going older, so the drop set is a suffix.
+    size_t cut = chain.size();
+    for (size_t i = 0; i < chain.size(); ++i) {
+      if (chain[i].second.valid.end <= cutoff) {
+        cut = i;
+        break;
+      }
+    }
+    if (cut == chain.size()) continue;  // nothing to vacuum for this atom
+    // Remove the dropped suffix (records + version-index entries).
+    for (size_t i = cut; i < chain.size(); ++i) {
+      TCOB_RETURN_NOT_OK(state->history->Delete(chain[i].first));
+      if (state->version_index) {
+        TCOB_RETURN_NOT_OK(state->version_index->Delete(
+            VersionKey(id, chain[i].second.valid.begin)));
+      }
+      ++removed;
+    }
+    // Rebuild the kept prefix oldest-first so the chain pointers are
+    // fresh (avoids in-place pointer surgery on variable-size records).
+    for (size_t i = 0; i < cut; ++i) {
+      TCOB_RETURN_NOT_OK(state->history->Delete(chain[i].first));
+    }
+    Rid prev;  // invalid
+    for (size_t i = cut; i-- > 0;) {
+      TCOB_ASSIGN_OR_RETURN(prev, AppendHistory(type, chain[i].second, prev));
+    }
+    rec.chain_head = prev;
+    rec.chain_len = static_cast<uint32_t>(cut);
+    if (!rec.has_live && cut == 0) {
+      // The whole atom predates the cutoff: forget it entirely.
+      TCOB_RETURN_NOT_OK(state->current->Delete(rid));
+      std::string key;
+      PutComparableU64(&key, id);
+      TCOB_RETURN_NOT_OK(state->current_index->Delete(key));
+      continue;
+    }
+    TCOB_RETURN_NOT_OK(StoreCurrent(type, id, rid, rec));
+  }
+  return removed;
+}
+
+}  // namespace tcob

@@ -1,0 +1,306 @@
+#include "tstore/snapshot_store.h"
+
+#include <algorithm>
+
+#include "common/coding.h"
+
+namespace tcob {
+
+std::string SnapshotStore::VersionKey(AtomId id, uint32_t version_no) {
+  std::string key;
+  PutComparableU64(&key, id);
+  PutComparableU64(&key, version_no);
+  return key;
+}
+
+Result<SnapshotStore::TypeState*> SnapshotStore::StateOf(TypeId type) const {
+  auto it = types_.find(type);
+  if (it != types_.end()) return &it->second;
+  TypeState state;
+  TCOB_ASSIGN_OR_RETURN(
+      state.heap,
+      HeapFile::Open(pool_, prefix_ + "_heap_" + std::to_string(type)));
+  TCOB_ASSIGN_OR_RETURN(
+      state.index,
+      BTree::Open(pool_, prefix_ + "_vidx_" + std::to_string(type)));
+  auto [pos, inserted] = types_.emplace(type, std::move(state));
+  (void)inserted;
+  return &pos->second;
+}
+
+Result<std::vector<AtomVersion>> SnapshotStore::AllVersions(
+    const AtomTypeDef& type, AtomId id) const {
+  TCOB_ASSIGN_OR_RETURN(TypeState * state, StateOf(type.id));
+  std::vector<AtomVersion> versions;
+  std::string prefix;
+  PutComparableU64(&prefix, id);
+  std::vector<AttrType> schema = type.AttrTypes();
+  Status scan = state->index->ScanPrefix(
+      prefix, [&](const Slice& key, uint64_t packed) -> Result<bool> {
+        (void)key;
+        TCOB_ASSIGN_OR_RETURN(std::string rec,
+                              state->heap->Get(Rid::Unpack(packed)));
+        Slice in(rec);
+        TCOB_ASSIGN_OR_RETURN(AtomVersion v, DecodeAtomVersion(schema, &in));
+        versions.push_back(std::move(v));
+        return true;
+      });
+  TCOB_RETURN_NOT_OK(scan);
+  return versions;
+}
+
+
+Result<std::optional<AtomVersion>> SnapshotStore::NewestVersion(
+    const AtomTypeDef& type, AtomId id, Rid* rid_out) const {
+  TCOB_ASSIGN_OR_RETURN(TypeState * state, StateOf(type.id));
+  Result<std::pair<std::string, uint64_t>> floor =
+      state->index->Floor(VersionKey(id, UINT32_MAX));
+  if (!floor.ok()) {
+    if (floor.status().IsNotFound()) return std::optional<AtomVersion>();
+    return floor.status();
+  }
+  std::string prefix;
+  PutComparableU64(&prefix, id);
+  if (!Slice(floor->first).starts_with(prefix)) {
+    return std::optional<AtomVersion>();
+  }
+  Rid rid = Rid::Unpack(floor->second);
+  if (rid_out) *rid_out = rid;
+  TCOB_ASSIGN_OR_RETURN(std::string rec, state->heap->Get(rid));
+  Slice in(rec);
+  std::vector<AttrType> schema = type.AttrTypes();
+  TCOB_ASSIGN_OR_RETURN(AtomVersion v, DecodeAtomVersion(schema, &in));
+  return std::optional<AtomVersion>(std::move(v));
+}
+
+Status SnapshotStore::Insert(const AtomTypeDef& type, AtomId id,
+                             std::vector<Value> attrs, Timestamp from) {
+  TCOB_ASSIGN_OR_RETURN(TypeState * state, StateOf(type.id));
+  TCOB_ASSIGN_OR_RETURN(std::optional<AtomVersion> newest,
+                        NewestVersion(type, id, nullptr));
+  uint32_t version_no = 1;
+  if (newest.has_value()) {
+    // Idempotent replay: the newest version starting at `from` means
+    // this insert was already applied.
+    if (newest->valid.begin == from) return Status::OK();
+    if (from < newest->valid.begin) {
+      // Replay of an insert older than the newest version: confirm
+      // against the full history (rare path; only on WAL replay).
+      TCOB_ASSIGN_OR_RETURN(std::vector<AtomVersion> all,
+                            AllVersions(type, id));
+      for (const AtomVersion& v : all) {
+        if (v.valid.begin == from) return Status::OK();
+      }
+      return newest->valid.open_ended()
+                 ? Status::AlreadyExists("atom " + std::to_string(id) +
+                                         " already live")
+                 : Status::InvalidArgument(
+                       "re-insert before previous deletion");
+    }
+    if (newest->valid.open_ended()) {
+      return Status::AlreadyExists("atom " + std::to_string(id) +
+                                   " already live");
+    }
+    if (from < newest->valid.end) {
+      return Status::InvalidArgument("re-insert before previous deletion");
+    }
+    version_no = newest->version_no + 1;
+  }
+  AtomVersion v{id, type.id, version_no, Interval(from, kForever),
+                std::move(attrs)};
+  std::string rec;
+  std::vector<AttrType> schema = type.AttrTypes();
+  TCOB_RETURN_NOT_OK(EncodeAtomVersion(schema, v, &rec));
+  TCOB_ASSIGN_OR_RETURN(Rid rid, state->heap->Insert(rec));
+  return state->index->Put(VersionKey(id, version_no), rid.Pack());
+}
+
+Status SnapshotStore::Update(const AtomTypeDef& type, AtomId id,
+                             std::vector<Value> attrs, Timestamp from) {
+  TCOB_ASSIGN_OR_RETURN(TypeState * state, StateOf(type.id));
+  Rid newest_rid;
+  TCOB_ASSIGN_OR_RETURN(std::optional<AtomVersion> newest,
+                        NewestVersion(type, id, &newest_rid));
+  if (!newest.has_value()) {
+    return Status::NotFound("update of unknown atom " + std::to_string(id));
+  }
+  std::vector<AttrType> schema = type.AttrTypes();
+  // Idempotent replay: the successor this update would create exists.
+  if (newest->valid.begin == from && newest->version_no > 1) {
+    return Status::OK();
+  }
+  if (from < newest->valid.begin) {
+    // Either a replay of an older update, or a retroactive update.
+    TCOB_ASSIGN_OR_RETURN(std::vector<AtomVersion> all,
+                          AllVersions(type, id));
+    for (const AtomVersion& v : all) {
+      if (v.valid.begin == from && v.version_no > 1) return Status::OK();
+    }
+    return Status::InvalidArgument("retroactive update not supported");
+  }
+  if (!newest->valid.open_ended()) {
+    return Status::InvalidArgument("update of a dead atom");
+  }
+  if (newest->valid.begin == from) {
+    return Status::InvalidArgument(
+        "update at the exact begin of the current version");
+  }
+  // Close the current version in place.
+  AtomVersion closed = *newest;
+  closed.valid.end = from;
+  std::string closed_rec;
+  TCOB_RETURN_NOT_OK(EncodeAtomVersion(schema, closed, &closed_rec));
+  TCOB_ASSIGN_OR_RETURN(Rid new_rid,
+                        state->heap->Update(newest_rid, closed_rec));
+  if (new_rid != newest_rid) {
+    TCOB_RETURN_NOT_OK(
+        state->index->Put(VersionKey(id, closed.version_no), new_rid.Pack()));
+  }
+  // Append the successor version.
+  AtomVersion next{id, type.id, closed.version_no + 1,
+                   Interval(from, kForever), std::move(attrs)};
+  std::string next_rec;
+  TCOB_RETURN_NOT_OK(EncodeAtomVersion(schema, next, &next_rec));
+  TCOB_ASSIGN_OR_RETURN(Rid rid, state->heap->Insert(next_rec));
+  return state->index->Put(VersionKey(id, next.version_no), rid.Pack());
+}
+
+Status SnapshotStore::Delete(const AtomTypeDef& type, AtomId id,
+                             Timestamp from) {
+  TCOB_ASSIGN_OR_RETURN(TypeState * state, StateOf(type.id));
+  Rid newest_rid;
+  TCOB_ASSIGN_OR_RETURN(std::optional<AtomVersion> newest,
+                        NewestVersion(type, id, &newest_rid));
+  if (!newest.has_value()) {
+    return Status::NotFound("delete of unknown atom " + std::to_string(id));
+  }
+  // Idempotent replay: the newest version already ends at `from` (a
+  // successor starting there would itself be the newest version).
+  if (!newest->valid.open_ended() && newest->valid.end == from) {
+    return Status::OK();
+  }
+  if (from <= newest->valid.begin) {
+    // Either the replay of an older delete (the atom has a gap at
+    // `from`), or an invalid early delete.
+    TCOB_ASSIGN_OR_RETURN(std::vector<AtomVersion> all,
+                          AllVersions(type, id));
+    bool ends_at = false, begins_at = false;
+    for (const AtomVersion& v : all) {
+      if (v.valid.end == from) ends_at = true;
+      if (v.valid.begin == from) begins_at = true;
+    }
+    if (ends_at && !begins_at) return Status::OK();
+    return Status::InvalidArgument("delete before the current version began");
+  }
+  if (!newest->valid.open_ended()) {
+    return Status::InvalidArgument("delete of a dead atom");
+  }
+  AtomVersion closed = *newest;
+  closed.valid.end = from;
+  std::vector<AttrType> schema = type.AttrTypes();
+  std::string rec;
+  TCOB_RETURN_NOT_OK(EncodeAtomVersion(schema, closed, &rec));
+  TCOB_ASSIGN_OR_RETURN(Rid new_rid, state->heap->Update(newest_rid, rec));
+  if (new_rid != newest_rid) {
+    TCOB_RETURN_NOT_OK(
+        state->index->Put(VersionKey(id, closed.version_no), new_rid.Pack()));
+  }
+  return Status::OK();
+}
+
+Result<std::optional<AtomVersion>> SnapshotStore::GetAsOf(
+    const AtomTypeDef& type, AtomId id, Timestamp t) const {
+  TCOB_ASSIGN_OR_RETURN(std::vector<AtomVersion> versions,
+                        AllVersions(type, id));
+  if (versions.empty()) {
+    return Status::NotFound("atom " + std::to_string(id));
+  }
+  for (const AtomVersion& v : versions) {
+    if (v.valid.Contains(t)) return std::optional<AtomVersion>(v);
+  }
+  return std::optional<AtomVersion>();
+}
+
+Result<std::vector<AtomVersion>> SnapshotStore::GetVersions(
+    const AtomTypeDef& type, AtomId id, const Interval& window) const {
+  TCOB_ASSIGN_OR_RETURN(std::vector<AtomVersion> versions,
+                        AllVersions(type, id));
+  if (versions.empty()) {
+    return Status::NotFound("atom " + std::to_string(id));
+  }
+  std::vector<AtomVersion> out;
+  for (AtomVersion& v : versions) {
+    if (v.valid.Overlaps(window)) out.push_back(std::move(v));
+  }
+  return out;
+}
+
+Status SnapshotStore::ScanAsOf(const AtomTypeDef& type, Timestamp t,
+                               const VersionCallback& fn) const {
+  return ScanVersions(type, Interval::At(t), fn);
+}
+
+Status SnapshotStore::ScanVersions(const AtomTypeDef& type,
+                                   const Interval& window,
+                                   const VersionCallback& fn) const {
+  TCOB_ASSIGN_OR_RETURN(TypeState * state, StateOf(type.id));
+  std::vector<AttrType> schema = type.AttrTypes();
+  return state->heap->Scan(
+      [&](const Rid& rid, const Slice& rec) -> Result<bool> {
+        (void)rid;
+        Slice in(rec);
+        TCOB_ASSIGN_OR_RETURN(AtomVersion v, DecodeAtomVersion(schema, &in));
+        if (!v.valid.Overlaps(window)) return true;
+        return fn(v);
+      });
+}
+
+Result<StoreSpaceStats> SnapshotStore::SpaceStats() const {
+  StoreSpaceStats stats;
+  for (const auto& [type_id, state] : types_) {
+    (void)type_id;
+    TCOB_ASSIGN_OR_RETURN(HeapFileStats heap, state.heap->Stats());
+    TCOB_ASSIGN_OR_RETURN(PageNo index_pages,
+                          pool_->disk()->NumPages(state.index->file_id()));
+    stats.heap_pages += heap.total_pages;
+    stats.index_pages += index_pages;
+    stats.version_count += heap.record_count;
+  }
+  stats.total_bytes = (stats.heap_pages + stats.index_pages) * kPageSize;
+  return stats;
+}
+
+Status SnapshotStore::Flush() { return pool_->FlushAll(); }
+
+}  // namespace tcob
+
+namespace tcob {
+
+Result<uint64_t> SnapshotStore::VacuumBefore(const AtomTypeDef& type,
+                                             Timestamp cutoff) {
+  TCOB_ASSIGN_OR_RETURN(TypeState * state, StateOf(type.id));
+  std::vector<AttrType> schema = type.AttrTypes();
+  struct Victim {
+    Rid rid;
+    AtomId id;
+    uint32_t version_no;
+  };
+  std::vector<Victim> victims;
+  TCOB_RETURN_NOT_OK(state->heap->Scan(
+      [&](const Rid& rid, const Slice& rec) -> Result<bool> {
+        Slice in(rec);
+        TCOB_ASSIGN_OR_RETURN(AtomVersion v, DecodeAtomVersion(schema, &in));
+        if (v.valid.end <= cutoff) {
+          victims.push_back({rid, v.id, v.version_no});
+        }
+        return true;
+      }));
+  for (const Victim& victim : victims) {
+    TCOB_RETURN_NOT_OK(state->heap->Delete(victim.rid));
+    TCOB_RETURN_NOT_OK(
+        state->index->Delete(VersionKey(victim.id, victim.version_no)));
+  }
+  return static_cast<uint64_t>(victims.size());
+}
+
+}  // namespace tcob

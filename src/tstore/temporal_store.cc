@@ -1,0 +1,64 @@
+#include "tstore/temporal_store.h"
+
+#include <algorithm>
+
+#include "common/coding.h"
+#include "record/record_codec.h"
+
+namespace tcob {
+
+const char* StorageStrategyName(StorageStrategy s) {
+  switch (s) {
+    case StorageStrategy::kSnapshot:
+      return "snapshot";
+    case StorageStrategy::kIntegrated:
+      return "integrated";
+    case StorageStrategy::kSeparated:
+      return "separated";
+  }
+  return "?";
+}
+
+Result<StorageStrategy> StorageStrategyFromName(const std::string& name) {
+  if (name == "snapshot") return StorageStrategy::kSnapshot;
+  if (name == "integrated") return StorageStrategy::kIntegrated;
+  if (name == "separated") return StorageStrategy::kSeparated;
+  return Status::InvalidArgument("unknown storage strategy: " + name);
+}
+
+Status EncodeAtomVersion(const std::vector<AttrType>& schema,
+                         const AtomVersion& v, std::string* dst) {
+  PutVarint64(dst, v.id);
+  PutVarint32(dst, v.type);
+  PutVarint32(dst, v.version_no);
+  PutVarsint64(dst, v.valid.begin);
+  PutVarsint64(dst, v.valid.end);
+  return EncodeValues(schema, v.attrs, dst);
+}
+
+Result<AtomVersion> DecodeAtomVersion(const std::vector<AttrType>& schema,
+                                      Slice* input) {
+  AtomVersion v;
+  TCOB_RETURN_NOT_OK(GetVarint64(input, &v.id));
+  TCOB_RETURN_NOT_OK(GetVarint32(input, &v.type));
+  TCOB_RETURN_NOT_OK(GetVarint32(input, &v.version_no));
+  TCOB_RETURN_NOT_OK(GetVarsint64(input, &v.valid.begin));
+  TCOB_RETURN_NOT_OK(GetVarsint64(input, &v.valid.end));
+  TCOB_ASSIGN_OR_RETURN(v.attrs, DecodeValues(schema, input));
+  return v;
+}
+
+Result<VersionTimeline> TimelineOf(const std::vector<AtomVersion>& versions) {
+  std::vector<size_t> order(versions.size());
+  for (size_t i = 0; i < order.size(); ++i) order[i] = i;
+  std::sort(order.begin(), order.end(), [&](size_t a, size_t b) {
+    return versions[a].valid.begin < versions[b].valid.begin;
+  });
+  VersionTimeline timeline;
+  for (size_t idx : order) {
+    TCOB_RETURN_NOT_OK(timeline.Append(versions[idx].valid, idx));
+  }
+  return timeline;
+}
+
+}  // namespace tcob

@@ -1,0 +1,137 @@
+#ifndef TCOB_TSTORE_TEMPORAL_STORE_H_
+#define TCOB_TSTORE_TEMPORAL_STORE_H_
+
+#include <functional>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "catalog/schema.h"
+#include "common/result.h"
+#include "common/slice.h"
+#include "record/value.h"
+#include "time/interval.h"
+#include "time/timeline.h"
+
+namespace tcob {
+
+/// One state of an atom: its attribute values stamped with the interval
+/// during which they were valid.
+struct AtomVersion {
+  AtomId id = kInvalidAtomId;
+  TypeId type = kInvalidTypeId;
+  uint32_t version_no = 0;  // 1-based, per atom, monotonically increasing
+  Interval valid;
+  std::vector<Value> attrs;
+};
+
+/// Physical design alternatives for atom histories (the paper's subject).
+enum class StorageStrategy {
+  /// Baseline: every version is an independent full record in one heap;
+  /// time selection scans an atom's versions linearly.
+  kSnapshot,
+  /// All versions of an atom clustered into one growing record ("version
+  /// cluster"), spilling to overflow pages as the history grows.
+  kIntegrated,
+  /// Current store (exactly the live versions) + append-only history
+  /// store with newest-to-oldest version chains.
+  kSeparated,
+};
+
+const char* StorageStrategyName(StorageStrategy s);
+Result<StorageStrategy> StorageStrategyFromName(const std::string& name);
+
+/// Tuning knobs shared by the store implementations.
+struct StoreOptions {
+  /// kSeparated only: maintain a persistent (atom, begin) -> history-RID
+  /// directory so past time slices use a logarithmic lookup instead of
+  /// walking the version chain. Fig. 10 ablates this.
+  bool separated_version_index = true;
+};
+
+/// Space accounting of one store (all atom types).
+struct StoreSpaceStats {
+  uint64_t heap_pages = 0;
+  uint64_t index_pages = 0;
+  uint64_t total_bytes = 0;
+  uint64_t atom_count = 0;
+  uint64_t version_count = 0;
+};
+
+/// Storage-strategy-independent interface over versioned atoms.
+///
+/// Mutation contract (shared by all implementations):
+///  * Insert creates version 1 valid in [from, forever).
+///  * Update closes the current version at `from` and opens a successor
+///    valid in [from, forever). `from` must be strictly after the current
+///    version's begin.
+///  * Delete closes the current version at `from`, leaving the atom with
+///    no live version (it may be re-inserted later, resuming its history).
+///
+/// All three mutations are idempotent with respect to WAL replay: an
+/// operation whose effects are already present reports OK without
+/// changing anything.
+class TemporalAtomStore {
+ public:
+  using VersionCallback =
+      std::function<Result<bool>(const AtomVersion&)>;
+
+  virtual ~TemporalAtomStore() = default;
+
+  virtual StorageStrategy strategy() const = 0;
+
+  virtual Status Insert(const AtomTypeDef& type, AtomId id,
+                        std::vector<Value> attrs, Timestamp from) = 0;
+  virtual Status Update(const AtomTypeDef& type, AtomId id,
+                        std::vector<Value> attrs, Timestamp from) = 0;
+  virtual Status Delete(const AtomTypeDef& type, AtomId id,
+                        Timestamp from) = 0;
+
+  /// The version of atom `id` valid at `t`, or nullopt if the atom did
+  /// not exist then. NotFound only if the atom was never inserted.
+  virtual Result<std::optional<AtomVersion>> GetAsOf(const AtomTypeDef& type,
+                                                     AtomId id,
+                                                     Timestamp t) const = 0;
+
+  /// All versions of `id` overlapping `window`, in time order.
+  virtual Result<std::vector<AtomVersion>> GetVersions(
+      const AtomTypeDef& type, AtomId id, const Interval& window) const = 0;
+
+  /// Streams the version of *every* atom of `type` valid at `t`.
+  virtual Status ScanAsOf(const AtomTypeDef& type, Timestamp t,
+                          const VersionCallback& fn) const = 0;
+
+  /// Streams every version of every atom of `type` overlapping `window`.
+  virtual Status ScanVersions(const AtomTypeDef& type, const Interval& window,
+                              const VersionCallback& fn) const = 0;
+
+  virtual Result<StoreSpaceStats> SpaceStats() const = 0;
+
+  /// Flushes all store state through the buffer pool to disk.
+  virtual Status Flush() = 0;
+
+  /// Temporal vacuuming: physically removes every version whose validity
+  /// ends at or before `cutoff` (versions overlapping the cutoff stay).
+  /// Returns the number of versions removed. Vacuuming is a physical
+  /// reorganization, not a logged operation — the Database wraps it in
+  /// checkpoints so WAL replay never observes a vacuumed store.
+  virtual Result<uint64_t> VacuumBefore(const AtomTypeDef& type,
+                                        Timestamp cutoff) = 0;
+};
+
+// ---- shared record codecs ----
+
+/// Full per-version record: [id][type][version_no][begin][end][attrs].
+Status EncodeAtomVersion(const std::vector<AttrType>& schema,
+                         const AtomVersion& v, std::string* dst);
+Result<AtomVersion> DecodeAtomVersion(const std::vector<AttrType>& schema,
+                                      Slice* input);
+
+/// Builds a VersionTimeline (payload = index) over a version list sorted
+/// by begin. Fails on overlapping versions.
+Result<VersionTimeline> TimelineOf(const std::vector<AtomVersion>& versions);
+
+}  // namespace tcob
+
+#endif  // TCOB_TSTORE_TEMPORAL_STORE_H_

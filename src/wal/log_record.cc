@@ -1,0 +1,98 @@
+#include "wal/log_record.h"
+
+#include "common/coding.h"
+#include "record/record_codec.h"
+
+namespace tcob {
+
+const char* WalOpTypeName(WalOpType t) {
+  switch (t) {
+    case WalOpType::kInsertAtom:
+      return "INSERT_ATOM";
+    case WalOpType::kUpdateAtom:
+      return "UPDATE_ATOM";
+    case WalOpType::kDeleteAtom:
+      return "DELETE_ATOM";
+    case WalOpType::kConnect:
+      return "CONNECT";
+    case WalOpType::kDisconnect:
+      return "DISCONNECT";
+    case WalOpType::kCommit:
+      return "COMMIT";
+    case WalOpType::kCheckpoint:
+      return "CHECKPOINT";
+  }
+  return "?";
+}
+
+Status WalOp::Encode(const std::vector<AttrType>& schema,
+                     std::string* dst) const {
+  dst->push_back(static_cast<char>(type));
+  PutVarint64(dst, txn_id);
+  switch (type) {
+    case WalOpType::kInsertAtom:
+    case WalOpType::kUpdateAtom:
+      PutVarint64(dst, atom_id);
+      PutVarint32(dst, atom_type);
+      PutVarsint64(dst, valid_from);
+      TCOB_RETURN_NOT_OK(EncodeValues(schema, attrs, dst));
+      break;
+    case WalOpType::kDeleteAtom:
+      PutVarint64(dst, atom_id);
+      PutVarint32(dst, atom_type);
+      PutVarsint64(dst, valid_from);
+      break;
+    case WalOpType::kConnect:
+    case WalOpType::kDisconnect:
+      PutVarint32(dst, link_type);
+      PutVarint64(dst, from_id);
+      PutVarint64(dst, to_id);
+      PutVarsint64(dst, valid_from);
+      break;
+    case WalOpType::kCommit:
+    case WalOpType::kCheckpoint:
+      break;
+  }
+  return Status::OK();
+}
+
+Result<WalOp> WalOp::Decode(
+    Slice input,
+    const std::function<Result<std::vector<AttrType>>(TypeId)>&
+        schema_lookup) {
+  if (input.empty()) return Status::Corruption("empty wal op");
+  WalOp op;
+  op.type = static_cast<WalOpType>(input[0]);
+  input.RemovePrefix(1);
+  TCOB_RETURN_NOT_OK(GetVarint64(&input, &op.txn_id));
+  switch (op.type) {
+    case WalOpType::kInsertAtom:
+    case WalOpType::kUpdateAtom: {
+      TCOB_RETURN_NOT_OK(GetVarint64(&input, &op.atom_id));
+      TCOB_RETURN_NOT_OK(GetVarint32(&input, &op.atom_type));
+      TCOB_RETURN_NOT_OK(GetVarsint64(&input, &op.valid_from));
+      TCOB_ASSIGN_OR_RETURN(std::vector<AttrType> schema,
+                            schema_lookup(op.atom_type));
+      TCOB_ASSIGN_OR_RETURN(op.attrs, DecodeValues(schema, &input));
+      break;
+    }
+    case WalOpType::kDeleteAtom:
+      TCOB_RETURN_NOT_OK(GetVarint64(&input, &op.atom_id));
+      TCOB_RETURN_NOT_OK(GetVarint32(&input, &op.atom_type));
+      TCOB_RETURN_NOT_OK(GetVarsint64(&input, &op.valid_from));
+      break;
+    case WalOpType::kConnect:
+    case WalOpType::kDisconnect:
+      TCOB_RETURN_NOT_OK(GetVarint32(&input, &op.link_type));
+      TCOB_RETURN_NOT_OK(GetVarint64(&input, &op.from_id));
+      TCOB_RETURN_NOT_OK(GetVarint64(&input, &op.to_id));
+      TCOB_RETURN_NOT_OK(GetVarsint64(&input, &op.valid_from));
+      break;
+    case WalOpType::kCommit:
+    case WalOpType::kCheckpoint:
+      break;
+  }
+  return op;
+}
+
+}  // namespace tcob

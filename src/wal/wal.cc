@@ -1,0 +1,101 @@
+#include "wal/wal.h"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <vector>
+
+#include "common/coding.h"
+#include "common/hash.h"
+
+namespace tcob {
+
+namespace {
+
+Status Errno(const std::string& op, const std::string& path) {
+  return Status::IOError(op + " " + path + ": " + strerror(errno));
+}
+
+constexpr uint32_t kFrameHeader = 8;  // len + crc
+constexpr uint32_t kMaxFrame = 64u << 20;
+
+}  // namespace
+
+Result<std::unique_ptr<WriteAheadLog>> WriteAheadLog::Open(
+    const std::string& path) {
+  std::unique_ptr<WriteAheadLog> wal(new WriteAheadLog(path));
+  wal->fd_ = open(path.c_str(), O_RDWR | O_CREAT | O_APPEND, 0644);
+  if (wal->fd_ < 0) return Errno("open", path);
+  return wal;
+}
+
+WriteAheadLog::~WriteAheadLog() {
+  if (fd_ >= 0) close(fd_);
+}
+
+Status WriteAheadLog::Append(const Slice& payload) {
+  std::string frame;
+  frame.reserve(kFrameHeader + payload.size());
+  PutFixed32(&frame, static_cast<uint32_t>(payload.size()));
+  PutFixed32(&frame, Checksum32(payload.data(), payload.size()));
+  frame.append(payload.data(), payload.size());
+  ssize_t n = write(fd_, frame.data(), frame.size());
+  if (n != static_cast<ssize_t>(frame.size())) return Errno("write", path_);
+  ++appended_;
+  return Status::OK();
+}
+
+Status WriteAheadLog::Sync() {
+  if (fdatasync(fd_) != 0) return Errno("fdatasync", path_);
+  return Status::OK();
+}
+
+Status WriteAheadLog::ReadAll(
+    const std::function<Result<bool>(const Slice&)>& fn) const {
+  off_t size = lseek(fd_, 0, SEEK_END);
+  if (size < 0) return Errno("lseek", path_);
+  off_t pos = 0;
+  std::vector<char> buf;
+  while (pos + static_cast<off_t>(kFrameHeader) <= size) {
+    char header[kFrameHeader];
+    if (pread(fd_, header, kFrameHeader, pos) !=
+        static_cast<ssize_t>(kFrameHeader)) {
+      return Errno("pread header", path_);
+    }
+    uint32_t len = DecodeFixed32(header);
+    uint32_t crc = DecodeFixed32(header + 4);
+    if (len > kMaxFrame ||
+        pos + static_cast<off_t>(kFrameHeader) + len > size) {
+      break;  // torn tail
+    }
+    buf.resize(len);
+    if (len > 0 &&
+        pread(fd_, buf.data(), len, pos + kFrameHeader) !=
+            static_cast<ssize_t>(len)) {
+      return Errno("pread payload", path_);
+    }
+    if (Checksum32(buf.data(), len) != crc) {
+      break;  // corrupt tail
+    }
+    TCOB_ASSIGN_OR_RETURN(bool keep_going, fn(Slice(buf.data(), len)));
+    if (!keep_going) return Status::OK();
+    pos += kFrameHeader + len;
+  }
+  return Status::OK();
+}
+
+Status WriteAheadLog::Truncate() {
+  if (ftruncate(fd_, 0) != 0) return Errno("ftruncate", path_);
+  if (lseek(fd_, 0, SEEK_SET) < 0) return Errno("lseek", path_);
+  return Status::OK();
+}
+
+Result<uint64_t> WriteAheadLog::SizeBytes() const {
+  off_t size = lseek(fd_, 0, SEEK_END);
+  if (size < 0) return Errno("lseek", path_);
+  return static_cast<uint64_t>(size);
+}
+
+}  // namespace tcob

@@ -1,0 +1,61 @@
+#ifndef TCOB_WAL_WAL_H_
+#define TCOB_WAL_WAL_H_
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+
+#include "common/result.h"
+#include "common/slice.h"
+
+namespace tcob {
+
+/// Append-only write-ahead log with checksummed framing.
+///
+/// Frame layout: [len:4][crc32:4][payload bytes]. Readers stop cleanly at
+/// the first torn or corrupt frame (a crash mid-append loses only the
+/// unfinished tail). Payload interpretation is the caller's business
+/// (TCOB stores encoded WalOps).
+class WriteAheadLog {
+ public:
+  /// Opens (creating if absent) the log at `path`.
+  static Result<std::unique_ptr<WriteAheadLog>> Open(const std::string& path);
+
+  ~WriteAheadLog();
+
+  WriteAheadLog(const WriteAheadLog&) = delete;
+  WriteAheadLog& operator=(const WriteAheadLog&) = delete;
+
+  /// Appends one framed record (buffered in the OS; call Sync for
+  /// durability).
+  Status Append(const Slice& payload);
+
+  /// fdatasyncs the log.
+  Status Sync();
+
+  /// Replays every intact record from the beginning, in order.
+  /// fn returns false to stop early. A torn tail terminates the scan
+  /// silently (that is the expected crash artifact).
+  Status ReadAll(const std::function<Result<bool>(const Slice&)>& fn) const;
+
+  /// Discards all content (after a checkpoint made it redundant).
+  Status Truncate();
+
+  /// Bytes currently in the log.
+  Result<uint64_t> SizeBytes() const;
+
+  /// Number of Append calls since open.
+  uint64_t appended_records() const { return appended_; }
+
+ private:
+  explicit WriteAheadLog(std::string path) : path_(std::move(path)) {}
+
+  std::string path_;
+  int fd_ = -1;
+  uint64_t appended_ = 0;
+};
+
+}  // namespace tcob
+
+#endif  // TCOB_WAL_WAL_H_

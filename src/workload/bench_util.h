@@ -1,0 +1,44 @@
+#ifndef TCOB_WORKLOAD_BENCH_UTIL_H_
+#define TCOB_WORKLOAD_BENCH_UTIL_H_
+
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+
+#include "common/status.h"
+
+namespace tcob {
+
+/// Monotonic wall-clock stopwatch for benchmark harnesses.
+class WallTimer {
+ public:
+  WallTimer() : start_(Clock::now()) {}
+
+  void Reset() { start_ = Clock::now(); }
+
+  double ElapsedMicros() const {
+    return std::chrono::duration<double, std::micro>(Clock::now() - start_)
+        .count();
+  }
+  double ElapsedMillis() const { return ElapsedMicros() / 1000.0; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+/// Aborts the benchmark with a readable message on an unexpected error.
+/// Benchmarks intentionally crash on setup failure rather than reporting
+/// skewed numbers.
+inline void BenchCheck(const Status& status, const char* what) {
+  if (!status.ok()) {
+    fprintf(stderr, "benchmark setup failed (%s): %s\n", what,
+            status.ToString().c_str());
+    abort();
+  }
+}
+
+}  // namespace tcob
+
+#endif  // TCOB_WORKLOAD_BENCH_UTIL_H_

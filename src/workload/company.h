@@ -1,0 +1,55 @@
+#ifndef TCOB_WORKLOAD_COMPANY_H_
+#define TCOB_WORKLOAD_COMPANY_H_
+
+#include <vector>
+
+#include "common/result.h"
+#include "db/database.h"
+
+namespace tcob {
+
+/// Parameters of the synthetic company database.
+///
+/// The schema is the classic complex-object example (departments with
+/// employees working on projects) used throughout the MAD-model papers:
+///
+///   Dept(name STRING, budget INT)
+///     --DeptEmp-->  Emp(name STRING, salary INT, rank INT)
+///     --EmpProj-->  Proj(title STRING, budget INT)
+///
+/// plus the molecule type DeptMol = Dept -DeptEmp-> Emp -EmpProj-> Proj.
+///
+/// History generation: all atoms are inserted at `base`; then
+/// `versions_per_atom - 1` update rounds run at base + k*stride, each
+/// updating every employee's salary (and, with probability
+/// dept_update_prob, a department's budget). Employees therefore end up
+/// with exactly `versions_per_atom` versions.
+struct CompanyConfig {
+  size_t depts = 10;
+  size_t emps_per_dept = 10;
+  size_t projs_per_emp = 1;
+  uint32_t versions_per_atom = 8;
+  Timestamp base = 10;
+  Timestamp stride = 10;
+  double dept_update_prob = 0.1;
+  uint64_t seed = 42;
+};
+
+/// Ids and times produced by BuildCompany, for use by queries/benches.
+struct CompanyHandles {
+  std::vector<AtomId> depts;
+  std::vector<AtomId> emps;
+  std::vector<AtomId> projs;
+  MoleculeTypeId dept_mol = kInvalidTypeId;
+  /// Instant at which all atoms exist in their first version.
+  Timestamp first_time = 0;
+  /// Instant after the last update round (the "current" world).
+  Timestamp last_time = 0;
+};
+
+/// Creates schema + data in an (empty) database.
+Result<CompanyHandles> BuildCompany(Database* db, const CompanyConfig& config);
+
+}  // namespace tcob
+
+#endif  // TCOB_WORKLOAD_COMPANY_H_

@@ -1,0 +1,191 @@
+#include <gtest/gtest.h>
+
+#include "common/temp_dir.h"
+#include "db/database.h"
+
+namespace tcob {
+namespace {
+
+class AggregateTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    auto db = Database::Open(dir_.path() + "/db", {});
+    ASSERT_TRUE(db.ok()) << db.status().ToString();
+    db_ = std::move(db).value();
+    Run("CREATE ATOM_TYPE Dept (name STRING, budget INT)");
+    Run("CREATE ATOM_TYPE Emp (name STRING, salary INT)");
+    Run("CREATE LINK DeptEmp FROM Dept TO Emp");
+    Run("CREATE MOLECULE_TYPE DeptMol ROOT Dept EDGES (DeptEmp FORWARD)");
+    // Two departments: R&D {100, 200, 300}, Sales {1000}.
+    AtomId rnd =
+        Run("INSERT ATOM Dept (name='R&D', budget=50) VALID FROM 10")
+            .inserted_id;
+    AtomId sales =
+        Run("INSERT ATOM Dept (name='Sales', budget=60) VALID FROM 10")
+            .inserted_id;
+    int i = 0;
+    for (int64_t salary : {100, 200, 300}) {
+      AtomId emp = Run("INSERT ATOM Emp (name='r" + std::to_string(i++) +
+                       "', salary=" + std::to_string(salary) +
+                       ") VALID FROM 10")
+                       .inserted_id;
+      Run("CONNECT DeptEmp FROM " + std::to_string(rnd) + " TO " +
+          std::to_string(emp) + " VALID FROM 10");
+      emps_.push_back(emp);
+    }
+    AtomId seller =
+        Run("INSERT ATOM Emp (name='s', salary=1000) VALID FROM 10")
+            .inserted_id;
+    Run("CONNECT DeptEmp FROM " + std::to_string(sales) + " TO " +
+        std::to_string(seller) + " VALID FROM 10");
+    emps_.push_back(seller);
+    db_->SetNow(50);
+  }
+
+  ResultSet Run(const std::string& mql) {
+    auto r = db_->Execute(mql);
+    EXPECT_TRUE(r.ok()) << mql << ": " << r.status().ToString();
+    return r.ok() ? std::move(r).value() : ResultSet{};
+  }
+
+  TempDir dir_;
+  std::unique_ptr<Database> db_;
+  std::vector<AtomId> emps_;
+};
+
+TEST_F(AggregateTest, CountStarCountsMolecules) {
+  ResultSet r = Run("SELECT COUNT(*) FROM DeptMol VALID AT NOW");
+  ASSERT_EQ(r.RowCount(), 1u);
+  EXPECT_EQ(r.columns[0], "COUNT(*)");
+  EXPECT_EQ(r.rows[0][0].AsInt(), 2);
+  // With a predicate: only the department with a high earner.
+  r = Run("SELECT COUNT(*) FROM DeptMol WHERE Emp.salary > 500 VALID AT NOW");
+  EXPECT_EQ(r.rows[0][0].AsInt(), 1);
+}
+
+TEST_F(AggregateTest, SumAvgMinMaxOverEmployees) {
+  ResultSet r = Run(
+      "SELECT COUNT(Emp.salary), SUM(Emp.salary), AVG(Emp.salary), "
+      "MIN(Emp.salary), MAX(Emp.salary) FROM DeptMol VALID AT NOW");
+  ASSERT_EQ(r.RowCount(), 1u);
+  EXPECT_EQ(r.rows[0][0].AsInt(), 4);
+  EXPECT_DOUBLE_EQ(r.rows[0][1].AsDouble(), 1600.0);
+  EXPECT_DOUBLE_EQ(r.rows[0][2].AsDouble(), 400.0);
+  EXPECT_EQ(r.rows[0][3].AsInt(), 100);
+  EXPECT_EQ(r.rows[0][4].AsInt(), 1000);
+}
+
+TEST_F(AggregateTest, PredicateFiltersAggregateInput) {
+  ResultSet r = Run(
+      "SELECT SUM(Emp.salary) FROM DeptMol WHERE Dept.name = 'R&D' "
+      "VALID AT NOW");
+  EXPECT_DOUBLE_EQ(r.rows[0][0].AsDouble(), 600.0);
+}
+
+TEST_F(AggregateTest, AggregatesSeeTimeSlices) {
+  Run("UPDATE ATOM Emp " + std::to_string(emps_[0]) +
+      " SET salary=900 VALID FROM 30");
+  ResultSet before =
+      Run("SELECT MAX(Emp.salary) FROM DeptMol WHERE Dept.name = 'R&D' "
+          "VALID AT 20");
+  ResultSet after =
+      Run("SELECT MAX(Emp.salary) FROM DeptMol WHERE Dept.name = 'R&D' "
+          "VALID AT 40");
+  EXPECT_EQ(before.rows[0][0].AsInt(), 300);
+  EXPECT_EQ(after.rows[0][0].AsInt(), 900);
+}
+
+TEST_F(AggregateTest, HistoryAggregatesFoldAcrossStates) {
+  Run("UPDATE ATOM Emp " + std::to_string(emps_[3]) +
+      " SET salary=2000 VALID FROM 30");
+  // Sales molecule has two states; COUNT(*) over HISTORY counts states
+  // across molecules: R&D (1 state) + Sales (2 states) = 3.
+  ResultSet r = Run("SELECT COUNT(*) FROM DeptMol HISTORY");
+  EXPECT_EQ(r.rows[0][0].AsInt(), 3);
+  // MAX over the full history sees the peak salary.
+  r = Run("SELECT MAX(Emp.salary) FROM DeptMol HISTORY");
+  EXPECT_EQ(r.rows[0][0].AsInt(), 2000);
+}
+
+TEST_F(AggregateTest, EmptyInputYieldsNullAndZero) {
+  ResultSet r = Run(
+      "SELECT COUNT(*), COUNT(Emp.salary), SUM(Emp.salary), MIN(Emp.name) "
+      "FROM DeptMol WHERE Emp.salary > 99999 VALID AT NOW");
+  EXPECT_EQ(r.rows[0][0].AsInt(), 0);
+  EXPECT_EQ(r.rows[0][1].AsInt(), 0);
+  EXPECT_TRUE(r.rows[0][2].is_null());
+  EXPECT_TRUE(r.rows[0][3].is_null());
+}
+
+TEST_F(AggregateTest, MinMaxOnStrings) {
+  ResultSet r = Run(
+      "SELECT MIN(Dept.name), MAX(Dept.name) FROM DeptMol VALID AT NOW");
+  EXPECT_EQ(r.rows[0][0].AsString(), "R&D");
+  EXPECT_EQ(r.rows[0][1].AsString(), "Sales");
+}
+
+TEST_F(AggregateTest, NullsSkipped) {
+  AtomId ghost =
+      Run("INSERT ATOM Emp (name='ghost') VALID FROM 10").inserted_id;
+  (void)ghost;  // salary is NULL; unconnected, so not in any molecule —
+  // connect it to make it visible.
+  ResultSet depts = Run("SELECT COUNT(*) FROM DeptMol VALID AT NOW");
+  EXPECT_EQ(depts.rows[0][0].AsInt(), 2);
+}
+
+TEST_F(AggregateTest, GroupByRootFoldsPerMolecule) {
+  ResultSet r = Run(
+      "SELECT COUNT(Emp.salary), SUM(Emp.salary) FROM DeptMol "
+      "GROUP BY ROOT VALID AT NOW");
+  ASSERT_EQ(r.RowCount(), 2u);
+  ASSERT_EQ(r.columns.size(), 3u);
+  EXPECT_EQ(r.columns[0], "ROOT");
+  // Groups come out in root-id order: R&D first, Sales second.
+  EXPECT_EQ(r.rows[0][1].AsInt(), 3);
+  EXPECT_DOUBLE_EQ(r.rows[0][2].AsDouble(), 600.0);
+  EXPECT_EQ(r.rows[1][1].AsInt(), 1);
+  EXPECT_DOUBLE_EQ(r.rows[1][2].AsDouble(), 1000.0);
+}
+
+TEST_F(AggregateTest, GroupByRootWithPredicate) {
+  ResultSet r = Run(
+      "SELECT MAX(Emp.salary) FROM DeptMol WHERE Emp.salary >= 200 "
+      "GROUP BY ROOT VALID AT NOW");
+  // Both departments have an employee >= 200.
+  ASSERT_EQ(r.RowCount(), 2u);
+  EXPECT_EQ(r.rows[0][1].AsInt(), 300);
+  EXPECT_EQ(r.rows[1][1].AsInt(), 1000);
+}
+
+TEST_F(AggregateTest, GroupByRootOverHistory) {
+  Run("UPDATE ATOM Emp " + std::to_string(emps_[3]) +
+      " SET salary=5000 VALID FROM 30");
+  ResultSet r =
+      Run("SELECT MAX(Emp.salary) FROM DeptMol GROUP BY ROOT HISTORY");
+  ASSERT_EQ(r.RowCount(), 2u);
+  EXPECT_EQ(r.rows[0][1].AsInt(), 300);   // R&D unchanged
+  EXPECT_EQ(r.rows[1][1].AsInt(), 5000);  // Sales peak across states
+}
+
+TEST_F(AggregateTest, GroupByRequiresAggregates) {
+  EXPECT_TRUE(db_->Execute("SELECT Emp.name FROM DeptMol GROUP BY ROOT")
+                  .status()
+                  .IsParseError());
+  EXPECT_TRUE(db_->Execute("SELECT ALL FROM DeptMol GROUP BY ROOT")
+                  .status()
+                  .IsParseError());
+}
+
+TEST_F(AggregateTest, Errors) {
+  EXPECT_TRUE(db_->Execute("SELECT SUM(Dept.name) FROM DeptMol VALID AT NOW")
+                  .status()
+                  .IsTypeError());
+  EXPECT_TRUE(db_->Execute("SELECT SUM(*) FROM DeptMol").status()
+                  .IsParseError());
+  EXPECT_TRUE(db_->Execute("SELECT COUNT(*), Emp.name FROM DeptMol")
+                  .status()
+                  .IsParseError());
+}
+
+}  // namespace
+}  // namespace tcob

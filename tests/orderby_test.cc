@@ -1,0 +1,94 @@
+#include <gtest/gtest.h>
+
+#include "common/temp_dir.h"
+#include "db/database.h"
+
+namespace tcob {
+namespace {
+
+class OrderByTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    auto db = Database::Open(dir_.path() + "/db", {});
+    ASSERT_TRUE(db.ok());
+    db_ = std::move(db).value();
+    Run("CREATE ATOM_TYPE Dept (name STRING, budget INT)");
+    Run("CREATE ATOM_TYPE Emp (name STRING, salary INT)");
+    Run("CREATE LINK DeptEmp FROM Dept TO Emp");
+    Run("CREATE MOLECULE_TYPE DeptMol ROOT Dept EDGES (DeptEmp FORWARD)");
+    AtomId dept =
+        Run("INSERT ATOM Dept (name='D', budget=1) VALID FROM 10").inserted_id;
+    for (auto [name, salary] : std::initializer_list<std::pair<const char*,
+                                                               int>>{
+             {"carol", 300}, {"alice", 100}, {"bob", 200}}) {
+      AtomId emp = Run("INSERT ATOM Emp (name='" + std::string(name) +
+                       "', salary=" + std::to_string(salary) +
+                       ") VALID FROM 10")
+                       .inserted_id;
+      Run("CONNECT DeptEmp FROM " + std::to_string(dept) + " TO " +
+          std::to_string(emp) + " VALID FROM 10");
+    }
+    db_->SetNow(50);
+  }
+
+  ResultSet Run(const std::string& mql) {
+    auto r = db_->Execute(mql);
+    EXPECT_TRUE(r.ok()) << mql << ": " << r.status().ToString();
+    return r.ok() ? std::move(r).value() : ResultSet{};
+  }
+
+  TempDir dir_;
+  std::unique_ptr<Database> db_;
+};
+
+TEST_F(OrderByTest, AscendingByInt) {
+  ResultSet r = Run(
+      "SELECT Emp.name, Emp.salary FROM DeptMol "
+      "ORDER BY Emp.salary VALID AT NOW");
+  ASSERT_EQ(r.RowCount(), 3u);
+  EXPECT_EQ(r.rows[0][1].AsString(), "alice");
+  EXPECT_EQ(r.rows[1][1].AsString(), "bob");
+  EXPECT_EQ(r.rows[2][1].AsString(), "carol");
+}
+
+TEST_F(OrderByTest, DescendingByString) {
+  ResultSet r = Run(
+      "SELECT Emp.name FROM DeptMol ORDER BY Emp.name DESC VALID AT NOW");
+  ASSERT_EQ(r.RowCount(), 3u);
+  EXPECT_EQ(r.rows[0][1].AsString(), "carol");
+  EXPECT_EQ(r.rows[2][1].AsString(), "alice");
+}
+
+TEST_F(OrderByTest, OrderByRootOnAllQueries) {
+  ResultSet r = Run("SELECT ALL FROM DeptMol ORDER BY ROOT VALID AT NOW");
+  ASSERT_EQ(r.RowCount(), 4u);
+  for (size_t i = 1; i < r.rows.size(); ++i) {
+    EXPECT_LE(r.rows[i - 1][0].AsId(), r.rows[i][0].AsId());
+  }
+}
+
+TEST_F(OrderByTest, WorksWithHistoryMode) {
+  ResultSet r = Run(
+      "SELECT Emp.salary FROM DeptMol ORDER BY Emp.salary DESC HISTORY");
+  ASSERT_EQ(r.RowCount(), 3u);
+  EXPECT_EQ(r.rows[0][3].AsInt(), 300);
+}
+
+TEST_F(OrderByTest, UnprojectedColumnRejected) {
+  EXPECT_TRUE(db_->Execute("SELECT Emp.name FROM DeptMol "
+                           "ORDER BY Emp.salary VALID AT NOW")
+                  .status()
+                  .IsInvalidArgument());
+}
+
+TEST_F(OrderByTest, ParserErrors) {
+  EXPECT_TRUE(db_->Execute("SELECT Emp.name FROM DeptMol ORDER Emp.name")
+                  .status()
+                  .IsParseError());
+  EXPECT_TRUE(db_->Execute("SELECT Emp.name FROM DeptMol ORDER BY 5")
+                  .status()
+                  .IsParseError());
+}
+
+}  // namespace
+}  // namespace tcob

@@ -1,0 +1,233 @@
+#include "query/parser.h"
+
+#include <gtest/gtest.h>
+
+#include "query/lexer.h"
+
+namespace tcob {
+namespace {
+
+TEST(LexerTest, TokenizesOperatorsAndLiterals) {
+  auto tokens = Tokenize("a.b >= 12 AND s = 'it''s' [3, NOW)").value();
+  ASSERT_GE(tokens.size(), 12u);
+  EXPECT_EQ(tokens[0].type, TokenType::kIdent);
+  EXPECT_EQ(tokens[1].type, TokenType::kDot);
+  EXPECT_EQ(tokens[3].type, TokenType::kGe);
+  EXPECT_EQ(tokens[4].int_value, 12);
+  EXPECT_EQ(tokens[5].type, TokenType::kAnd);
+  EXPECT_EQ(tokens[8].text, "it's");
+  EXPECT_EQ(tokens[9].type, TokenType::kLBracket);
+  EXPECT_EQ(tokens[11].type, TokenType::kComma);
+  EXPECT_EQ(tokens.back().type, TokenType::kEof);
+}
+
+TEST(LexerTest, KeywordsCaseInsensitive) {
+  auto tokens = Tokenize("select Select SELECT").value();
+  EXPECT_EQ(tokens[0].type, TokenType::kSelect);
+  EXPECT_EQ(tokens[1].type, TokenType::kSelect);
+  EXPECT_EQ(tokens[2].type, TokenType::kSelect);
+}
+
+TEST(LexerTest, CommentsSkipped) {
+  auto tokens = Tokenize("SELECT -- comment\nALL").value();
+  EXPECT_EQ(tokens[0].type, TokenType::kSelect);
+  EXPECT_EQ(tokens[1].type, TokenType::kAll);
+}
+
+TEST(LexerTest, NegativeNumbersAndFloats) {
+  auto tokens = Tokenize("-5 3.25 -0.5").value();
+  EXPECT_EQ(tokens[0].int_value, -5);
+  EXPECT_DOUBLE_EQ(tokens[1].float_value, 3.25);
+  EXPECT_DOUBLE_EQ(tokens[2].float_value, -0.5);
+}
+
+TEST(LexerTest, Errors) {
+  EXPECT_TRUE(Tokenize("'unterminated").status().IsParseError());
+  EXPECT_TRUE(Tokenize("a ! b").status().IsParseError());
+  EXPECT_TRUE(Tokenize("@").status().IsParseError());
+}
+
+TEST(ParserTest, SelectAllDefaults) {
+  Statement stmt = Parser::Parse("SELECT ALL FROM DeptMol").value();
+  const auto& sel = std::get<SelectStmt>(stmt);
+  EXPECT_TRUE(sel.select_all);
+  EXPECT_EQ(sel.molecule_type, "DeptMol");
+  EXPECT_EQ(sel.mode, TemporalMode::kAsOf);
+  EXPECT_TRUE(sel.at_now);
+  EXPECT_EQ(sel.where, nullptr);
+}
+
+TEST(ParserTest, SelectProjectionAndAt) {
+  Statement stmt =
+      Parser::Parse("SELECT Dept.name, Emp.salary FROM DeptMol VALID AT 17")
+          .value();
+  const auto& sel = std::get<SelectStmt>(stmt);
+  ASSERT_EQ(sel.projection.size(), 2u);
+  EXPECT_EQ(sel.projection[0].ToString(), "Dept.name");
+  EXPECT_EQ(sel.projection[1].ToString(), "Emp.salary");
+  EXPECT_FALSE(sel.at_now);
+  EXPECT_EQ(sel.at, 17);
+}
+
+TEST(ParserTest, SelectWindowAndHistory) {
+  Statement w =
+      Parser::Parse("SELECT ALL FROM DeptMol VALID IN [5, 20)").value();
+  const auto& sw = std::get<SelectStmt>(w);
+  EXPECT_EQ(sw.mode, TemporalMode::kWindow);
+  EXPECT_EQ(sw.window, Interval(5, 20));
+
+  Statement wn =
+      Parser::Parse("SELECT ALL FROM DeptMol VALID IN [5, NOW)").value();
+  EXPECT_TRUE(std::get<SelectStmt>(wn).window_end_now);
+
+  Statement h = Parser::Parse("SELECT ALL FROM DeptMol HISTORY").value();
+  EXPECT_EQ(std::get<SelectStmt>(h).mode, TemporalMode::kHistory);
+}
+
+TEST(ParserTest, SelectWherePrecedence) {
+  Statement stmt =
+      Parser::Parse(
+          "SELECT ALL FROM M WHERE a.x = 1 OR b.y = 2 AND NOT c.z = 3")
+          .value();
+  const auto& sel = std::get<SelectStmt>(stmt);
+  ASSERT_NE(sel.where, nullptr);
+  // Top node must be OR (AND binds tighter).
+  const auto* top = std::get_if<BinaryExpr>(&sel.where->node);
+  ASSERT_NE(top, nullptr);
+  EXPECT_EQ(top->op, BinaryOp::kOr);
+  const auto* right = std::get_if<BinaryExpr>(&top->right->node);
+  ASSERT_NE(right, nullptr);
+  EXPECT_EQ(right->op, BinaryOp::kAnd);
+  EXPECT_NE(std::get_if<UnaryExpr>(&right->right->node), nullptr);
+}
+
+TEST(ParserTest, TemporalPredicates) {
+  Statement stmt =
+      Parser::Parse(
+          "SELECT ALL FROM M WHERE VALID(Emp) OVERLAPS [5, 10) AND "
+          "BEGIN(VALID(Emp)) >= 5")
+          .value();
+  const auto& sel = std::get<SelectStmt>(stmt);
+  ASSERT_NE(sel.where, nullptr);
+  const auto* top = std::get_if<BinaryExpr>(&sel.where->node);
+  ASSERT_NE(top, nullptr);
+  EXPECT_EQ(top->op, BinaryOp::kAnd);
+  const auto* left = std::get_if<BinaryExpr>(&top->left->node);
+  ASSERT_NE(left, nullptr);
+  EXPECT_EQ(left->op, BinaryOp::kOverlaps);
+  EXPECT_NE(std::get_if<ValidOfExpr>(&left->left->node), nullptr);
+  EXPECT_NE(std::get_if<IntervalExpr>(&left->right->node), nullptr);
+}
+
+TEST(ParserTest, CreateAtomType) {
+  Statement stmt =
+      Parser::Parse("CREATE ATOM_TYPE Emp (name STRING, salary INT)")
+          .value();
+  const auto& s = std::get<CreateAtomTypeStmt>(stmt);
+  EXPECT_EQ(s.name, "Emp");
+  ASSERT_EQ(s.attributes.size(), 2u);
+  EXPECT_EQ(s.attributes[0].first, "name");
+  EXPECT_EQ(s.attributes[0].second, AttrType::kString);
+  EXPECT_EQ(s.attributes[1].second, AttrType::kInt);
+}
+
+TEST(ParserTest, CreateLinkAndMolecule) {
+  Statement link =
+      Parser::Parse("CREATE LINK DeptEmp FROM Dept TO Emp").value();
+  const auto& l = std::get<CreateLinkStmt>(link);
+  EXPECT_EQ(l.name, "DeptEmp");
+  EXPECT_EQ(l.from_type, "Dept");
+  EXPECT_EQ(l.to_type, "Emp");
+
+  Statement mol = Parser::Parse(
+                      "CREATE MOLECULE_TYPE DeptMol ROOT Dept EDGES "
+                      "(DeptEmp FORWARD, EmpProj, LeadBy BACKWARD)")
+                      .value();
+  const auto& m = std::get<CreateMoleculeTypeStmt>(mol);
+  EXPECT_EQ(m.root_type, "Dept");
+  ASSERT_EQ(m.edges.size(), 3u);
+  EXPECT_TRUE(m.edges[0].second);
+  EXPECT_TRUE(m.edges[1].second);   // default forward
+  EXPECT_FALSE(m.edges[2].second);  // backward
+}
+
+TEST(ParserTest, DmlStatements) {
+  Statement ins =
+      Parser::Parse(
+          "INSERT ATOM Emp (name='bob', salary=100) VALID FROM 5")
+          .value();
+  const auto& i = std::get<InsertStmt>(ins);
+  EXPECT_EQ(i.type_name, "Emp");
+  ASSERT_EQ(i.assignments.size(), 2u);
+  EXPECT_EQ(i.assignments[0].second.AsString(), "bob");
+  EXPECT_FALSE(i.from.is_now);
+  EXPECT_EQ(i.from.at, 5);
+
+  Statement ins_now =
+      Parser::Parse("INSERT ATOM Emp (name='x')").value();
+  EXPECT_TRUE(std::get<InsertStmt>(ins_now).from.is_now);
+
+  Statement upd =
+      Parser::Parse("UPDATE ATOM Emp 42 SET salary=120 VALID FROM 9")
+          .value();
+  const auto& u = std::get<UpdateStmt>(upd);
+  EXPECT_EQ(u.atom_id, 42u);
+  EXPECT_EQ(u.assignments[0].second.AsInt(), 120);
+
+  Statement del = Parser::Parse("DELETE ATOM Emp 42 VALID FROM 12").value();
+  EXPECT_EQ(std::get<DeleteStmt>(del).atom_id, 42u);
+
+  Statement con =
+      Parser::Parse("CONNECT DeptEmp FROM 3 TO 42 VALID FROM 5").value();
+  const auto& c = std::get<ConnectStmt>(con);
+  EXPECT_EQ(c.link_name, "DeptEmp");
+  EXPECT_EQ(c.from_id, 3u);
+  EXPECT_EQ(c.to_id, 42u);
+
+  Statement dis =
+      Parser::Parse("DISCONNECT DeptEmp FROM 3 TO 42 VALID FROM 9").value();
+  EXPECT_EQ(std::get<DisconnectStmt>(dis).to_id, 42u);
+}
+
+TEST(ParserTest, NullLiteralInAssignment) {
+  Statement ins =
+      Parser::Parse("INSERT ATOM Emp (name=NULL, salary=1)").value();
+  EXPECT_TRUE(std::get<InsertStmt>(ins).assignments[0].second.is_null());
+}
+
+TEST(ParserTest, ShowCatalog) {
+  Statement stmt = Parser::Parse("SHOW CATALOG").value();
+  EXPECT_TRUE(std::holds_alternative<ShowCatalogStmt>(stmt));
+}
+
+TEST(ParserTest, ScriptSplitsStatements) {
+  auto stmts = Parser::ParseScript(
+                   "CREATE ATOM_TYPE A (x INT); "
+                   "INSERT ATOM A (x=1) VALID FROM 2;\n"
+                   "SELECT ALL FROM M;")
+                   .value();
+  ASSERT_EQ(stmts.size(), 3u);
+  EXPECT_TRUE(std::holds_alternative<CreateAtomTypeStmt>(stmts[0]));
+  EXPECT_TRUE(std::holds_alternative<InsertStmt>(stmts[1]));
+  EXPECT_TRUE(std::holds_alternative<SelectStmt>(stmts[2]));
+}
+
+TEST(ParserTest, ErrorsAreParseErrors) {
+  EXPECT_TRUE(Parser::Parse("SELECT").status().IsParseError());
+  EXPECT_TRUE(Parser::Parse("SELECT ALL FROM").status().IsParseError());
+  EXPECT_TRUE(Parser::Parse("SELECT ALL M").status().IsParseError());
+  EXPECT_TRUE(
+      Parser::Parse("SELECT ALL FROM M VALID").status().IsParseError());
+  EXPECT_TRUE(Parser::Parse("CREATE ATOM_TYPE X (a BLOB)")
+                  .status()
+                  .IsInvalidArgument());
+  EXPECT_TRUE(Parser::Parse("INSERT Emp (x=1)").status().IsParseError());
+  EXPECT_TRUE(
+      Parser::Parse("SELECT ALL FROM M extra").status().IsParseError());
+  EXPECT_TRUE(Parser::Parse("SELECT ALL FROM M VALID IN [NOW, 5)")
+                  .status()
+                  .IsParseError());
+}
+
+}  // namespace
+}  // namespace tcob

@@ -1,0 +1,162 @@
+#include "query/planner.h"
+
+#include <gtest/gtest.h>
+
+#include "query/parser.h"
+
+namespace tcob {
+namespace {
+
+class PlannerTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dept_ = catalog_.CreateAtomType("Dept", {{"name", AttrType::kString},
+                                             {"budget", AttrType::kInt},
+                                             {"score", AttrType::kDouble}})
+                .value();
+    emp_ = catalog_.CreateAtomType("Emp", {{"name", AttrType::kString},
+                                           {"salary", AttrType::kInt}})
+               .value();
+    link_ = catalog_.CreateLinkType("DeptEmp", dept_, emp_).value();
+    mol_ = catalog_.CreateMoleculeType("DeptMol", dept_, {{link_, true}})
+               .value();
+    budget_idx_ =
+        catalog_.CreateAttrIndex("idx_budget", dept_, "budget").value();
+  }
+
+  RootAccessPath Plan(const std::string& query) {
+    Statement stmt = Parser::Parse(query).value();
+    const SelectStmt& select = std::get<SelectStmt>(stmt);
+    return PlanRootAccess(select, catalog_,
+                          *catalog_.GetMoleculeType(mol_).value());
+  }
+
+  Catalog catalog_;
+  TypeId dept_, emp_;
+  LinkTypeId link_;
+  MoleculeTypeId mol_;
+  IndexId budget_idx_;
+};
+
+TEST_F(PlannerTest, EqualityUsesIndex) {
+  RootAccessPath path =
+      Plan("SELECT ALL FROM DeptMol WHERE Dept.budget = 5 VALID AT 3");
+  ASSERT_TRUE(path.use_index);
+  EXPECT_EQ(path.index, budget_idx_);
+  ASSERT_TRUE(path.range.lower.has_value());
+  ASSERT_TRUE(path.range.upper.has_value());
+  EXPECT_TRUE(path.range.lower_inclusive);
+  EXPECT_TRUE(path.range.upper_inclusive);
+  EXPECT_EQ(path.range.lower->AsInt(), 5);
+}
+
+TEST_F(PlannerTest, RangeOperators) {
+  RootAccessPath lt =
+      Plan("SELECT ALL FROM DeptMol WHERE Dept.budget < 5 VALID AT 3");
+  ASSERT_TRUE(lt.use_index);
+  EXPECT_FALSE(lt.range.lower.has_value());
+  EXPECT_FALSE(lt.range.upper_inclusive);
+
+  RootAccessPath ge =
+      Plan("SELECT ALL FROM DeptMol WHERE Dept.budget >= 5 VALID AT 3");
+  ASSERT_TRUE(ge.use_index);
+  EXPECT_TRUE(ge.range.lower_inclusive);
+  EXPECT_FALSE(ge.range.upper.has_value());
+}
+
+TEST_F(PlannerTest, MirroredLiteralOnTheLeft) {
+  // "5 < Dept.budget" is "Dept.budget > 5".
+  RootAccessPath path =
+      Plan("SELECT ALL FROM DeptMol WHERE 5 < Dept.budget VALID AT 3");
+  ASSERT_TRUE(path.use_index);
+  ASSERT_TRUE(path.range.lower.has_value());
+  EXPECT_FALSE(path.range.lower_inclusive);
+  EXPECT_EQ(path.range.lower->AsInt(), 5);
+}
+
+TEST_F(PlannerTest, ConjunctExtractedFromAndTree) {
+  RootAccessPath path = Plan(
+      "SELECT ALL FROM DeptMol WHERE Emp.salary > 1 AND "
+      "(Dept.budget = 7 AND Dept.name != 'x') VALID AT 3");
+  ASSERT_TRUE(path.use_index);
+  EXPECT_EQ(path.range.lower->AsInt(), 7);
+}
+
+TEST_F(PlannerTest, ConjunctRangesIntersect) {
+  RootAccessPath path = Plan(
+      "SELECT ALL FROM DeptMol WHERE Dept.budget >= 500 AND "
+      "Dept.budget < 550 VALID AT 3");
+  ASSERT_TRUE(path.use_index);
+  ASSERT_TRUE(path.range.lower.has_value());
+  ASSERT_TRUE(path.range.upper.has_value());
+  EXPECT_EQ(path.range.lower->AsInt(), 500);
+  EXPECT_TRUE(path.range.lower_inclusive);
+  EXPECT_EQ(path.range.upper->AsInt(), 550);
+  EXPECT_FALSE(path.range.upper_inclusive);
+  // Redundant bounds keep the tightest one.
+  RootAccessPath tight = Plan(
+      "SELECT ALL FROM DeptMol WHERE Dept.budget > 1 AND Dept.budget > 10 "
+      "AND Dept.budget <= 10 VALID AT 3");
+  ASSERT_TRUE(tight.use_index);
+  EXPECT_EQ(tight.range.lower->AsInt(), 10);
+  EXPECT_FALSE(tight.range.lower_inclusive);
+  EXPECT_EQ(tight.range.upper->AsInt(), 10);
+  EXPECT_TRUE(tight.range.upper_inclusive);
+}
+
+TEST_F(PlannerTest, DisjunctionCannotUseIndex) {
+  RootAccessPath path = Plan(
+      "SELECT ALL FROM DeptMol WHERE Dept.budget = 7 OR Dept.name = 'x' "
+      "VALID AT 3");
+  EXPECT_FALSE(path.use_index);
+  EXPECT_NE(path.description.find("full scan"), std::string::npos);
+}
+
+TEST_F(PlannerTest, NonRootAndUnindexedAttrsScan) {
+  EXPECT_FALSE(
+      Plan("SELECT ALL FROM DeptMol WHERE Emp.salary = 1 VALID AT 3")
+          .use_index);
+  EXPECT_FALSE(
+      Plan("SELECT ALL FROM DeptMol WHERE Dept.name = 'a' VALID AT 3")
+          .use_index);
+}
+
+TEST_F(PlannerTest, WindowAndHistoryModesScan) {
+  EXPECT_FALSE(
+      Plan("SELECT ALL FROM DeptMol WHERE Dept.budget = 5 VALID IN [1, 9)")
+          .use_index);
+  EXPECT_FALSE(Plan("SELECT ALL FROM DeptMol WHERE Dept.budget = 5 HISTORY")
+                   .use_index);
+}
+
+TEST_F(PlannerTest, IntLiteralCoercedToDoubleAttr) {
+  catalog_.CreateAttrIndex("idx_score", dept_, "score").value();
+  RootAccessPath path =
+      Plan("SELECT ALL FROM DeptMol WHERE Dept.score > 3 VALID AT 3");
+  ASSERT_TRUE(path.use_index);
+  EXPECT_EQ(path.range.lower->type(), AttrType::kDouble);
+  EXPECT_DOUBLE_EQ(path.range.lower->AsDouble(), 3.0);
+}
+
+TEST_F(PlannerTest, IncompatibleLiteralFallsBack) {
+  // A string literal against the INT index is unusable.
+  RootAccessPath path =
+      Plan("SELECT ALL FROM DeptMol WHERE Dept.budget = 'x' VALID AT 3");
+  EXPECT_FALSE(path.use_index);
+}
+
+TEST_F(PlannerTest, NoWhereClauseScans) {
+  RootAccessPath path = Plan("SELECT ALL FROM DeptMol VALID AT 3");
+  EXPECT_FALSE(path.use_index);
+}
+
+TEST_F(PlannerTest, DescriptionNamesIndexAndRange) {
+  RootAccessPath path =
+      Plan("SELECT ALL FROM DeptMol WHERE Dept.budget <= 9 VALID AT 3");
+  EXPECT_NE(path.description.find("idx_budget"), std::string::npos);
+  EXPECT_NE(path.description.find("Dept.budget"), std::string::npos);
+  EXPECT_NE(path.description.find("9"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace tcob

@@ -1,0 +1,180 @@
+#include "storage/slotted_page.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <vector>
+
+#include "common/random.h"
+
+namespace tcob {
+namespace {
+
+class SlottedPageTest : public ::testing::Test {
+ protected:
+  void SetUp() override { SlottedPage::Init(data_, PageType::kData); }
+
+  char data_[kPageSize];
+};
+
+TEST_F(SlottedPageTest, InitState) {
+  SlottedPage page(data_);
+  EXPECT_EQ(page.type(), PageType::kData);
+  EXPECT_EQ(page.slot_count(), 0);
+  EXPECT_EQ(page.live_count(), 0);
+  EXPECT_EQ(page.next_page(), kInvalidPageNo);
+  EXPECT_GT(page.FreeSpace(), 4000u);
+}
+
+TEST_F(SlottedPageTest, InsertGetRoundTrip) {
+  SlottedPage page(data_);
+  auto slot = page.Insert(Slice("hello world"));
+  ASSERT_TRUE(slot.ok());
+  auto rec = page.Get(slot.value());
+  ASSERT_TRUE(rec.ok());
+  EXPECT_EQ(rec.value().ToString(), "hello world");
+}
+
+TEST_F(SlottedPageTest, MultipleInserts) {
+  SlottedPage page(data_);
+  std::vector<uint16_t> slots;
+  for (int i = 0; i < 50; ++i) {
+    auto slot = page.Insert(Slice("record-" + std::to_string(i)));
+    ASSERT_TRUE(slot.ok());
+    slots.push_back(slot.value());
+  }
+  EXPECT_EQ(page.live_count(), 50);
+  for (int i = 0; i < 50; ++i) {
+    EXPECT_EQ(page.Get(slots[i]).value().ToString(),
+              "record-" + std::to_string(i));
+  }
+}
+
+TEST_F(SlottedPageTest, DeleteAndSlotReuse) {
+  SlottedPage page(data_);
+  uint16_t s0 = page.Insert(Slice("aaa")).value();
+  uint16_t s1 = page.Insert(Slice("bbb")).value();
+  ASSERT_TRUE(page.Delete(s0).ok());
+  EXPECT_TRUE(page.Get(s0).status().IsNotFound());
+  EXPECT_EQ(page.live_count(), 1);
+  // New insert reuses the vacant slot.
+  uint16_t s2 = page.Insert(Slice("ccc")).value();
+  EXPECT_EQ(s2, s0);
+  EXPECT_EQ(page.Get(s1).value().ToString(), "bbb");
+  EXPECT_EQ(page.Get(s2).value().ToString(), "ccc");
+}
+
+TEST_F(SlottedPageTest, DeleteErrors) {
+  SlottedPage page(data_);
+  EXPECT_TRUE(page.Delete(0).IsNotFound());
+  uint16_t s = page.Insert(Slice("x")).value();
+  ASSERT_TRUE(page.Delete(s).ok());
+  EXPECT_TRUE(page.Delete(s).IsNotFound());
+}
+
+TEST_F(SlottedPageTest, UpdateInPlaceShrink) {
+  SlottedPage page(data_);
+  uint16_t s = page.Insert(Slice("a long record body")).value();
+  ASSERT_TRUE(page.Update(s, Slice("tiny")).ok());
+  EXPECT_EQ(page.Get(s).value().ToString(), "tiny");
+}
+
+TEST_F(SlottedPageTest, UpdateGrowViaCompaction) {
+  SlottedPage page(data_);
+  uint16_t s = page.Insert(Slice("small")).value();
+  page.Insert(Slice("other")).value();
+  std::string big(1000, 'z');
+  ASSERT_TRUE(page.Update(s, Slice(big)).ok());
+  EXPECT_EQ(page.Get(s).value().ToString(), big);
+}
+
+TEST_F(SlottedPageTest, FillUntilFull) {
+  SlottedPage page(data_);
+  std::string rec(100, 'r');
+  int inserted = 0;
+  for (;;) {
+    auto slot = page.Insert(Slice(rec));
+    if (!slot.ok()) {
+      EXPECT_EQ(slot.status().code(), StatusCode::kResourceExhausted);
+      break;
+    }
+    ++inserted;
+    ASSERT_LT(inserted, 100);  // must terminate
+  }
+  // ~ (4096-12) / 104 records fit.
+  EXPECT_GE(inserted, 35);
+}
+
+TEST_F(SlottedPageTest, MaxRecordSizeFits) {
+  SlottedPage page(data_);
+  std::string rec(SlottedPage::kMaxRecordSize, 'm');
+  auto slot = page.Insert(Slice(rec));
+  ASSERT_TRUE(slot.ok());
+  EXPECT_EQ(page.Get(slot.value()).value().size(),
+            SlottedPage::kMaxRecordSize);
+  EXPECT_TRUE(page.Insert(Slice(rec + "x")).status().IsInvalidArgument());
+}
+
+TEST_F(SlottedPageTest, CompactionReclaimsDeletedSpace) {
+  SlottedPage page(data_);
+  std::string rec(500, 'a');
+  std::vector<uint16_t> slots;
+  for (int i = 0; i < 8; ++i) slots.push_back(page.Insert(Slice(rec)).value());
+  // Page is nearly full; delete every other record.
+  for (int i = 0; i < 8; i += 2) ASSERT_TRUE(page.Delete(slots[i]).ok());
+  // A 1500-byte record only fits after compaction.
+  std::string big(1500, 'b');
+  auto slot = page.Insert(Slice(big));
+  ASSERT_TRUE(slot.ok()) << slot.status().ToString();
+  EXPECT_EQ(page.Get(slot.value()).value().ToString(), big);
+  // Survivors intact.
+  for (int i = 1; i < 8; i += 2) {
+    EXPECT_EQ(page.Get(slots[i]).value().ToString(), rec);
+  }
+}
+
+TEST_F(SlottedPageTest, NextPageChain) {
+  SlottedPage page(data_);
+  page.set_next_page(42);
+  EXPECT_EQ(page.next_page(), 42u);
+}
+
+// Randomized differential test against a std::map reference.
+TEST_F(SlottedPageTest, RandomizedAgainstReference) {
+  SlottedPage page(data_);
+  Random rng(123);
+  std::map<uint16_t, std::string> reference;
+  for (int step = 0; step < 3000; ++step) {
+    int action = static_cast<int>(rng.Uniform(10));
+    if (action < 5) {  // insert
+      std::string rec = rng.NextString(1 + rng.Uniform(200));
+      auto slot = page.Insert(Slice(rec));
+      if (slot.ok()) {
+        ASSERT_EQ(reference.count(slot.value()), 0u);
+        reference[slot.value()] = rec;
+      }
+    } else if (action < 8 && !reference.empty()) {  // delete
+      auto it = reference.begin();
+      std::advance(it, rng.Uniform(reference.size()));
+      ASSERT_TRUE(page.Delete(it->first).ok());
+      reference.erase(it);
+    } else if (!reference.empty()) {  // update
+      auto it = reference.begin();
+      std::advance(it, rng.Uniform(reference.size()));
+      std::string rec = rng.NextString(1 + rng.Uniform(300));
+      Status s = page.Update(it->first, Slice(rec));
+      if (s.ok()) it->second = rec;
+    }
+    if (step % 500 == 0) {
+      for (const auto& [slot, expected] : reference) {
+        auto got = page.Get(slot);
+        ASSERT_TRUE(got.ok());
+        ASSERT_EQ(got.value().ToString(), expected);
+      }
+      ASSERT_EQ(page.live_count(), reference.size());
+    }
+  }
+}
+
+}  // namespace
+}  // namespace tcob

@@ -1,0 +1,127 @@
+#include "time/temporal_element.h"
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+
+namespace tcob {
+namespace {
+
+TEST(TemporalElementTest, AddMergesAdjacent) {
+  TemporalElement e;
+  e.Add(Interval(0, 5));
+  e.Add(Interval(5, 10));
+  ASSERT_EQ(e.size(), 1u);
+  EXPECT_EQ(e.intervals()[0], Interval(0, 10));
+}
+
+TEST(TemporalElementTest, AddKeepsGaps) {
+  TemporalElement e;
+  e.Add(Interval(0, 5));
+  e.Add(Interval(7, 10));
+  ASSERT_EQ(e.size(), 2u);
+  EXPECT_TRUE(e.Contains(4));
+  EXPECT_FALSE(e.Contains(5));
+  EXPECT_FALSE(e.Contains(6));
+  EXPECT_TRUE(e.Contains(7));
+}
+
+TEST(TemporalElementTest, AddBridgesGap) {
+  TemporalElement e;
+  e.Add(Interval(0, 5));
+  e.Add(Interval(7, 10));
+  e.Add(Interval(4, 8));
+  ASSERT_EQ(e.size(), 1u);
+  EXPECT_EQ(e.intervals()[0], Interval(0, 10));
+}
+
+TEST(TemporalElementTest, AddOutOfOrder) {
+  TemporalElement e;
+  e.Add(Interval(20, 30));
+  e.Add(Interval(0, 5));
+  e.Add(Interval(10, 15));
+  ASSERT_EQ(e.size(), 3u);
+  EXPECT_EQ(e.intervals()[0], Interval(0, 5));
+  EXPECT_EQ(e.intervals()[2], Interval(20, 30));
+}
+
+TEST(TemporalElementTest, SubtractSplits) {
+  TemporalElement e(Interval(0, 10));
+  e.Subtract(Interval(3, 6));
+  ASSERT_EQ(e.size(), 2u);
+  EXPECT_EQ(e.intervals()[0], Interval(0, 3));
+  EXPECT_EQ(e.intervals()[1], Interval(6, 10));
+}
+
+TEST(TemporalElementTest, SubtractAll) {
+  TemporalElement e(Interval(2, 8));
+  e.Subtract(Interval(0, 10));
+  EXPECT_TRUE(e.empty());
+}
+
+TEST(TemporalElementTest, IntersectTwoSets) {
+  TemporalElement a;
+  a.Add(Interval(0, 10));
+  a.Add(Interval(20, 30));
+  TemporalElement b;
+  b.Add(Interval(5, 25));
+  TemporalElement x = a.Intersect(b);
+  ASSERT_EQ(x.size(), 2u);
+  EXPECT_EQ(x.intervals()[0], Interval(5, 10));
+  EXPECT_EQ(x.intervals()[1], Interval(20, 25));
+}
+
+TEST(TemporalElementTest, ComplementRoundTrip) {
+  TemporalElement e;
+  e.Add(Interval(5, 10));
+  e.Add(Interval(20, kForever));
+  TemporalElement c = e.Complement();
+  ASSERT_EQ(c.size(), 2u);
+  EXPECT_EQ(c.intervals()[0], Interval(kMinTimestamp, 5));
+  EXPECT_EQ(c.intervals()[1], Interval(10, 20));
+  EXPECT_EQ(c.Complement(), e);
+}
+
+TEST(TemporalElementTest, Duration) {
+  TemporalElement e;
+  e.Add(Interval(0, 5));
+  e.Add(Interval(10, 15));
+  EXPECT_EQ(e.Duration(), 10);
+  e.Add(Interval(100, kForever));
+  EXPECT_EQ(e.Duration(), kForever);
+}
+
+// Property: for random sets A, B and instants t:
+//   t in (A union B)      <=> t in A or t in B
+//   t in (A intersect B)  <=> t in A and t in B
+//   t in (A minus B)      <=> t in A and not t in B
+TEST(TemporalElementPropertyTest, SetAlgebraPointwise) {
+  Random rng(99);
+  for (int trial = 0; trial < 50; ++trial) {
+    TemporalElement a, b;
+    for (int i = 0; i < 8; ++i) {
+      Timestamp s = static_cast<Timestamp>(rng.Uniform(100));
+      a.Add(Interval(s, s + 1 + static_cast<Timestamp>(rng.Uniform(10))));
+      Timestamp s2 = static_cast<Timestamp>(rng.Uniform(100));
+      b.Add(Interval(s2, s2 + 1 + static_cast<Timestamp>(rng.Uniform(10))));
+    }
+    TemporalElement u = a.Union(b);
+    TemporalElement x = a.Intersect(b);
+    TemporalElement d = a.Difference(b);
+    for (Timestamp t = 0; t < 120; ++t) {
+      bool in_a = a.Contains(t), in_b = b.Contains(t);
+      EXPECT_EQ(u.Contains(t), in_a || in_b) << "t=" << t;
+      EXPECT_EQ(x.Contains(t), in_a && in_b) << "t=" << t;
+      EXPECT_EQ(d.Contains(t), in_a && !in_b) << "t=" << t;
+    }
+    // Canonical form invariants: sorted, disjoint, non-adjacent.
+    for (const TemporalElement* e : {&u, &x, &d}) {
+      for (size_t i = 0; i + 1 < e->intervals().size(); ++i) {
+        EXPECT_LT(e->intervals()[i].end, e->intervals()[i + 1].begin);
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace tcob

@@ -1,0 +1,94 @@
+#include "time/timeline.h"
+
+#include <gtest/gtest.h>
+
+namespace tcob {
+namespace {
+
+TEST(TimelineTest, AppendAndAsOf) {
+  VersionTimeline tl;
+  ASSERT_TRUE(tl.Append(Interval(0, 10), 1).ok());
+  ASSERT_TRUE(tl.Append(Interval(10, 20), 2).ok());
+  ASSERT_TRUE(tl.Append(Interval(25, kForever), 3).ok());
+  EXPECT_EQ(tl.AsOf(0).value(), 1u);
+  EXPECT_EQ(tl.AsOf(9).value(), 1u);
+  EXPECT_EQ(tl.AsOf(10).value(), 2u);
+  EXPECT_FALSE(tl.AsOf(22).has_value());  // gap (deleted period)
+  EXPECT_EQ(tl.AsOf(25).value(), 3u);
+  EXPECT_EQ(tl.AsOf(1'000'000).value(), 3u);
+  EXPECT_TRUE(tl.IsLive());
+}
+
+TEST(TimelineTest, RejectsOverlap) {
+  VersionTimeline tl;
+  ASSERT_TRUE(tl.Append(Interval(0, 10), 1).ok());
+  EXPECT_TRUE(tl.Append(Interval(5, 15), 2).IsInvalidArgument());
+  EXPECT_TRUE(tl.Append(Interval(3, 4), 2).IsInvalidArgument());
+}
+
+TEST(TimelineTest, RejectsAppendAfterOpenEnded) {
+  VersionTimeline tl;
+  ASSERT_TRUE(tl.Append(Interval(0, kForever), 1).ok());
+  EXPECT_TRUE(tl.Append(Interval(10, 20), 2).IsInvalidArgument());
+}
+
+TEST(TimelineTest, CloseLast) {
+  VersionTimeline tl;
+  ASSERT_TRUE(tl.Append(Interval(0, kForever), 1).ok());
+  ASSERT_TRUE(tl.CloseLast(7).ok());
+  EXPECT_FALSE(tl.IsLive());
+  EXPECT_EQ(tl.back().valid, Interval(0, 7));
+  ASSERT_TRUE(tl.Append(Interval(7, kForever), 2).ok());
+  EXPECT_EQ(tl.AsOf(7).value(), 2u);
+}
+
+TEST(TimelineTest, CloseLastErrors) {
+  VersionTimeline tl;
+  EXPECT_TRUE(tl.CloseLast(5).IsInvalidArgument());  // empty
+  ASSERT_TRUE(tl.Append(Interval(3, 9), 1).ok());
+  EXPECT_TRUE(tl.CloseLast(5).IsInvalidArgument());  // already closed
+  VersionTimeline tl2;
+  ASSERT_TRUE(tl2.Append(Interval(3, kForever), 1).ok());
+  EXPECT_TRUE(tl2.CloseLast(3).IsInvalidArgument());  // at begin
+}
+
+TEST(TimelineTest, Overlapping) {
+  VersionTimeline tl;
+  ASSERT_TRUE(tl.Append(Interval(0, 10), 1).ok());
+  ASSERT_TRUE(tl.Append(Interval(10, 20), 2).ok());
+  ASSERT_TRUE(tl.Append(Interval(20, 30), 3).ok());
+  auto hits = tl.Overlapping(Interval(5, 25));
+  ASSERT_EQ(hits.size(), 3u);
+  hits = tl.Overlapping(Interval(10, 20));
+  ASSERT_EQ(hits.size(), 1u);
+  EXPECT_EQ(hits[0].payload, 2u);
+  EXPECT_TRUE(tl.Overlapping(Interval(30, 40)).empty());
+  EXPECT_TRUE(tl.Overlapping(Interval::Empty()).empty());
+}
+
+TEST(TimelineTest, LifespanMergesContiguous) {
+  VersionTimeline tl;
+  ASSERT_TRUE(tl.Append(Interval(0, 10), 1).ok());
+  ASSERT_TRUE(tl.Append(Interval(10, 20), 2).ok());
+  ASSERT_TRUE(tl.Append(Interval(30, 40), 3).ok());
+  TemporalElement span = tl.Lifespan();
+  ASSERT_EQ(span.size(), 2u);
+  EXPECT_EQ(span.intervals()[0], Interval(0, 20));
+  EXPECT_EQ(span.intervals()[1], Interval(30, 40));
+}
+
+TEST(TimelineTest, BoundariesIn) {
+  VersionTimeline tl;
+  ASSERT_TRUE(tl.Append(Interval(0, 10), 1).ok());
+  ASSERT_TRUE(tl.Append(Interval(10, 20), 2).ok());
+  ASSERT_TRUE(tl.Append(Interval(25, kForever), 3).ok());
+  auto b = tl.BoundariesIn(Interval(5, 30));
+  // begins >= 5: 10, 25; finite ends < 30: 10, 20 -> {10, 20, 25}
+  ASSERT_EQ(b.size(), 3u);
+  EXPECT_EQ(b[0], 10);
+  EXPECT_EQ(b[1], 20);
+  EXPECT_EQ(b[2], 25);
+}
+
+}  // namespace
+}  // namespace tcob

@@ -1,0 +1,188 @@
+#include <gtest/gtest.h>
+
+#include "common/temp_dir.h"
+#include "db/database.h"
+#include "query/parser.h"
+
+namespace tcob {
+namespace {
+
+class VacuumTest : public ::testing::TestWithParam<StorageStrategy> {
+ protected:
+  void SetUp() override {
+    DatabaseOptions options;
+    options.strategy = GetParam();
+    auto db = Database::Open(dir_.path() + "/db", options);
+    ASSERT_TRUE(db.ok()) << db.status().ToString();
+    db_ = std::move(db).value();
+    Run("CREATE ATOM_TYPE Dept (name STRING, budget INT)");
+    Run("CREATE ATOM_TYPE Emp (name STRING, salary INT)");
+    Run("CREATE LINK DeptEmp FROM Dept TO Emp");
+    Run("CREATE MOLECULE_TYPE DeptMol ROOT Dept EDGES (DeptEmp FORWARD)");
+  }
+
+  ResultSet Run(const std::string& mql) {
+    auto r = db_->Execute(mql);
+    EXPECT_TRUE(r.ok()) << mql << ": " << r.status().ToString();
+    return r.ok() ? std::move(r).value() : ResultSet{};
+  }
+
+  /// One dept with an emp updated at t = 10, 20, ..., 100.
+  void PopulateHistory() {
+    dept_ = Run("INSERT ATOM Dept (name='R&D', budget=1) VALID FROM 10")
+                .inserted_id;
+    emp_ = Run("INSERT ATOM Emp (name='ada', salary=10) VALID FROM 10")
+               .inserted_id;
+    Run("CONNECT DeptEmp FROM " + std::to_string(dept_) + " TO " +
+        std::to_string(emp_) + " VALID FROM 10");
+    for (Timestamp t = 20; t <= 100; t += 10) {
+      Run("UPDATE ATOM Emp " + std::to_string(emp_) + " SET salary=" +
+          std::to_string(t) + " VALID FROM " + std::to_string(t));
+    }
+    db_->SetNow(150);
+  }
+
+  TempDir dir_;
+  std::unique_ptr<Database> db_;
+  AtomId dept_ = kInvalidAtomId;
+  AtomId emp_ = kInvalidAtomId;
+};
+
+TEST_P(VacuumTest, RemovesOnlyPreCutoffVersions) {
+  PopulateHistory();
+  const AtomTypeDef* emp_type = db_->catalog().GetAtomTypeByName("Emp").value();
+  ASSERT_EQ(db_->store()->GetVersions(*emp_type, emp_, Interval::All())
+                .value()
+                .size(),
+            10u);
+  // Versions: [10,20) ... [90,100), [100,inf). Cutoff 50 removes the
+  // four versions ending at 20, 30, 40, 50.
+  auto removed = db_->VacuumBefore(50);
+  ASSERT_TRUE(removed.ok()) << removed.status().ToString();
+  EXPECT_EQ(removed.value(), 4u);
+  auto versions =
+      db_->store()->GetVersions(*emp_type, emp_, Interval::All()).value();
+  ASSERT_EQ(versions.size(), 6u);
+  EXPECT_EQ(versions.front().valid, Interval(50, 60));
+  EXPECT_EQ(versions.back().valid, Interval(100, kForever));
+  // Queries after the cutoff are intact.
+  EXPECT_EQ(Run("SELECT Emp.salary FROM DeptMol VALID AT 75").rows[0][1]
+                .AsInt(),
+            70);
+  EXPECT_EQ(Run("SELECT ALL FROM DeptMol VALID AT NOW").RowCount(), 2u);
+  // Queries before the cutoff now find no employee version.
+  EXPECT_EQ(Run("SELECT Emp.salary FROM DeptMol VALID AT 25").RowCount(),
+            0u);
+}
+
+TEST_P(VacuumTest, MqlVacuumStatement) {
+  PopulateHistory();
+  ResultSet r = Run("VACUUM BEFORE 50");
+  EXPECT_NE(r.message.find("vacuumed 4"), std::string::npos) << r.message;
+  // Idempotent: nothing more to remove.
+  r = Run("VACUUM BEFORE 50");
+  EXPECT_NE(r.message.find("vacuumed 0"), std::string::npos) << r.message;
+}
+
+TEST_P(VacuumTest, FullyDeadAtomsDisappear) {
+  PopulateHistory();
+  AtomId doomed =
+      Run("INSERT ATOM Emp (name='gone', salary=1) VALID FROM 10")
+          .inserted_id;
+  Run("DELETE ATOM Emp " + std::to_string(doomed) + " VALID FROM 30");
+  ASSERT_TRUE(db_->VacuumBefore(40).ok());
+  const AtomTypeDef* emp_type = db_->catalog().GetAtomTypeByName("Emp").value();
+  auto versions = db_->store()->GetVersions(*emp_type, doomed, Interval::All());
+  // Either the atom is entirely forgotten or it reports no versions.
+  if (versions.ok()) {
+    EXPECT_TRUE(versions.value().empty());
+  } else {
+    EXPECT_TRUE(versions.status().IsNotFound());
+  }
+  // Surviving atoms unaffected.
+  EXPECT_EQ(Run("SELECT ALL FROM DeptMol VALID AT NOW").RowCount(), 2u);
+}
+
+TEST_P(VacuumTest, LinksAndIndexesVacuumedToo) {
+  PopulateHistory();
+  // A link that ended long ago.
+  AtomId temp =
+      Run("INSERT ATOM Emp (name='temp', salary=1) VALID FROM 10")
+          .inserted_id;
+  Run("CONNECT DeptEmp FROM " + std::to_string(dept_) + " TO " +
+      std::to_string(temp) + " VALID FROM 10");
+  Run("DISCONNECT DeptEmp FROM " + std::to_string(dept_) + " TO " +
+      std::to_string(temp) + " VALID FROM 30");
+  Run("DELETE ATOM Emp " + std::to_string(temp) + " VALID FROM 30");
+  // And an attribute index over the employee salary history.
+  Run("CREATE INDEX idx_salary ON Emp (salary)");
+
+  ASSERT_TRUE(db_->VacuumBefore(50).ok());
+
+  // The dead link interval is gone: even a pre-cutoff slice shows no
+  // connection (its data was vacuumed).
+  const LinkTypeDef* link = db_->catalog().GetLinkTypeByName("DeptEmp").value();
+  auto spans =
+      db_->links()->NeighborsIn(*link, dept_, true, Interval::All()).value();
+  ASSERT_EQ(spans.size(), 1u);  // only the living emp's link remains
+  EXPECT_EQ(spans[0].first, emp_);
+
+  // Index entries for vacuumed versions are gone; surviving ones work.
+  const AttrIndexDef* idx =
+      db_->catalog().GetAttrIndexByName("idx_salary").value();
+  ValueRange all;
+  auto pre = db_->attr_indexes()->LookupAsOf(*idx, all, 25).value();
+  EXPECT_TRUE(pre.empty());
+  auto post = db_->attr_indexes()->LookupAsOf(*idx, all, 75).value();
+  EXPECT_EQ(post.size(), 1u);
+}
+
+TEST_P(VacuumTest, ReclaimsSpace) {
+  PopulateHistory();
+  // Blow the history up a bit to make the space delta visible.
+  for (Timestamp t = 110; t <= 400; t += 1) {
+    Run("UPDATE ATOM Emp " + std::to_string(emp_) + " SET salary=" +
+        std::to_string(t) + " VALID FROM " + std::to_string(t));
+  }
+  auto before = db_->store()->SpaceStats().value();
+  ASSERT_TRUE(db_->VacuumBefore(395).ok());
+  auto after = db_->store()->SpaceStats().value();
+  // Heap files never shrink (freed space is reused), but live version
+  // count must have dropped dramatically.
+  const AtomTypeDef* emp_type = db_->catalog().GetAtomTypeByName("Emp").value();
+  auto versions =
+      db_->store()->GetVersions(*emp_type, emp_, Interval::All()).value();
+  EXPECT_LE(versions.size(), 7u);
+  EXPECT_LE(after.heap_pages, before.heap_pages);
+}
+
+TEST_P(VacuumTest, DatabaseUsableAfterVacuumAndReopen) {
+  PopulateHistory();
+  ASSERT_TRUE(db_->VacuumBefore(50).ok());
+  // Continue writing after the vacuum.
+  Run("UPDATE ATOM Emp " + std::to_string(emp_) +
+      " SET salary=999 VALID FROM 200");
+  DatabaseOptions options;
+  options.strategy = GetParam();
+  db_.reset();
+  db_ = Database::Open(dir_.path() + "/db", options).value();
+  EXPECT_EQ(Run("SELECT Emp.salary FROM DeptMol VALID AT 250").rows[0][1]
+                .AsInt(),
+            999);
+  const AtomTypeDef* emp_type = db_->catalog().GetAtomTypeByName("Emp").value();
+  EXPECT_EQ(db_->store()->GetVersions(*emp_type, emp_, Interval::All())
+                .value()
+                .size(),
+            7u);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllStrategies, VacuumTest,
+                         ::testing::Values(StorageStrategy::kSnapshot,
+                                           StorageStrategy::kIntegrated,
+                                           StorageStrategy::kSeparated),
+                         [](const auto& info) {
+                           return StorageStrategyName(info.param);
+                         });
+
+}  // namespace
+}  // namespace tcob

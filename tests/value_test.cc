@@ -1,0 +1,152 @@
+#include "record/value.h"
+
+#include <gtest/gtest.h>
+
+#include "record/record_codec.h"
+
+namespace tcob {
+namespace {
+
+TEST(ValueTest, ConstructorsAndAccessors) {
+  EXPECT_EQ(Value::Bool(true).AsBool(), true);
+  EXPECT_EQ(Value::Int(-5).AsInt(), -5);
+  EXPECT_EQ(Value::Double(2.5).AsDouble(), 2.5);
+  EXPECT_EQ(Value::String("hi").AsString(), "hi");
+  EXPECT_EQ(Value::Time(42).AsTime(), 42);
+  EXPECT_EQ(Value::Id(7).AsId(), 7u);
+  EXPECT_TRUE(Value::Null(AttrType::kInt).is_null());
+  EXPECT_EQ(Value::Null(AttrType::kInt).type(), AttrType::kInt);
+}
+
+TEST(ValueTest, CompareSameType) {
+  EXPECT_LT(Value::Int(1).Compare(Value::Int(2)).value(), 0);
+  EXPECT_EQ(Value::Int(2).Compare(Value::Int(2)).value(), 0);
+  EXPECT_GT(Value::String("b").Compare(Value::String("a")).value(), 0);
+  EXPECT_LT(Value::Bool(false).Compare(Value::Bool(true)).value(), 0);
+  EXPECT_LT(Value::Time(1).Compare(Value::Time(2)).value(), 0);
+}
+
+TEST(ValueTest, CompareNumericCrossType) {
+  EXPECT_EQ(Value::Int(2).Compare(Value::Double(2.0)).value(), 0);
+  EXPECT_LT(Value::Int(2).Compare(Value::Double(2.5)).value(), 0);
+  EXPECT_GT(Value::Double(3.0).Compare(Value::Int(2)).value(), 0);
+}
+
+TEST(ValueTest, CompareIncompatibleTypesFails) {
+  EXPECT_TRUE(Value::Int(1).Compare(Value::String("1")).status().IsTypeError());
+  EXPECT_TRUE(
+      Value::Bool(true).Compare(Value::Int(1)).status().IsTypeError());
+}
+
+TEST(ValueTest, NullOrdering) {
+  Value null_int = Value::Null(AttrType::kInt);
+  EXPECT_LT(null_int.Compare(Value::Int(-100)).value(), 0);
+  EXPECT_EQ(null_int.Compare(Value::Null(AttrType::kInt)).value(), 0);
+  EXPECT_TRUE(null_int.Equals(Value::Null(AttrType::kInt)));
+  EXPECT_FALSE(null_int.Equals(Value::Int(0)));
+}
+
+TEST(ValueTest, ToStringFormats) {
+  EXPECT_EQ(Value::Int(5).ToString(), "5");
+  EXPECT_EQ(Value::String("x").ToString(), "'x'");
+  EXPECT_EQ(Value::Bool(true).ToString(), "true");
+  EXPECT_EQ(Value::Null(AttrType::kInt).ToString(), "NULL");
+  EXPECT_EQ(Value::Id(9).ToString(), "#9");
+  EXPECT_EQ(Value::Time(3).ToString(), "t3");
+}
+
+TEST(ValueTest, AttrTypeNames) {
+  for (AttrType t : {AttrType::kBool, AttrType::kInt, AttrType::kDouble,
+                     AttrType::kString, AttrType::kTimestamp, AttrType::kId}) {
+    EXPECT_EQ(AttrTypeFromName(AttrTypeName(t)).value(), t);
+  }
+  EXPECT_TRUE(AttrTypeFromName("BLOB").status().IsInvalidArgument());
+}
+
+class RecordCodecTest : public ::testing::Test {
+ protected:
+  std::vector<AttrType> schema_ = {AttrType::kString, AttrType::kInt,
+                                   AttrType::kDouble, AttrType::kBool,
+                                   AttrType::kTimestamp, AttrType::kId};
+};
+
+TEST_F(RecordCodecTest, RoundTripAllTypes) {
+  std::vector<Value> values = {Value::String("ada"), Value::Int(-42),
+                               Value::Double(3.25),  Value::Bool(true),
+                               Value::Time(99),      Value::Id(1234)};
+  std::string buf;
+  ASSERT_TRUE(EncodeValues(schema_, values, &buf).ok());
+  Slice in(buf);
+  auto decoded = DecodeValues(schema_, &in);
+  ASSERT_TRUE(decoded.ok());
+  ASSERT_EQ(decoded.value().size(), values.size());
+  for (size_t i = 0; i < values.size(); ++i) {
+    EXPECT_TRUE(decoded.value()[i].Equals(values[i])) << i;
+  }
+  EXPECT_TRUE(in.empty());
+}
+
+TEST_F(RecordCodecTest, RoundTripWithNulls) {
+  std::vector<Value> values = {Value::Null(AttrType::kString),
+                               Value::Int(7),
+                               Value::Null(AttrType::kDouble),
+                               Value::Null(AttrType::kBool),
+                               Value::Time(1),
+                               Value::Null(AttrType::kId)};
+  std::string buf;
+  ASSERT_TRUE(EncodeValues(schema_, values, &buf).ok());
+  Slice in(buf);
+  auto decoded = DecodeValues(schema_, &in);
+  ASSERT_TRUE(decoded.ok());
+  for (size_t i = 0; i < values.size(); ++i) {
+    EXPECT_EQ(decoded.value()[i].is_null(), values[i].is_null()) << i;
+    EXPECT_EQ(decoded.value()[i].type(), schema_[i]) << i;
+    EXPECT_TRUE(decoded.value()[i].Equals(values[i])) << i;
+  }
+}
+
+TEST_F(RecordCodecTest, ArityMismatchRejected) {
+  std::string buf;
+  EXPECT_TRUE(EncodeValues(schema_, {Value::Int(1)}, &buf)
+                  .IsInvalidArgument());
+}
+
+TEST_F(RecordCodecTest, TypeMismatchRejected) {
+  std::vector<Value> values = {Value::Int(1),       Value::Int(2),
+                               Value::Double(3),    Value::Bool(true),
+                               Value::Time(5),      Value::Id(6)};
+  std::string buf;
+  EXPECT_TRUE(EncodeValues(schema_, values, &buf).IsTypeError());
+}
+
+TEST_F(RecordCodecTest, TruncatedRecordRejected) {
+  std::vector<Value> values = {Value::String("xyz"), Value::Int(1),
+                               Value::Double(2),     Value::Bool(false),
+                               Value::Time(3),       Value::Id(4)};
+  std::string buf;
+  ASSERT_TRUE(EncodeValues(schema_, values, &buf).ok());
+  for (size_t cut = 0; cut < buf.size(); ++cut) {
+    std::string partial = buf.substr(0, cut);
+    Slice in(partial);
+    auto decoded = DecodeValues(schema_, &in);
+    EXPECT_FALSE(decoded.ok()) << "cut at " << cut;
+  }
+}
+
+TEST_F(RecordCodecTest, MultipleRecordsConcatenated) {
+  std::vector<AttrType> schema = {AttrType::kInt};
+  std::string buf;
+  for (int i = 0; i < 10; ++i) {
+    ASSERT_TRUE(EncodeValues(schema, {Value::Int(i)}, &buf).ok());
+  }
+  Slice in(buf);
+  for (int i = 0; i < 10; ++i) {
+    auto decoded = DecodeValues(schema, &in);
+    ASSERT_TRUE(decoded.ok());
+    EXPECT_EQ(decoded.value()[0].AsInt(), i);
+  }
+  EXPECT_TRUE(in.empty());
+}
+
+}  // namespace
+}  // namespace tcob
