@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_attr_index.dir/bench_attr_index.cc.o"
+  "CMakeFiles/bench_attr_index.dir/bench_attr_index.cc.o.d"
+  "bench_attr_index"
+  "bench_attr_index.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_attr_index.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

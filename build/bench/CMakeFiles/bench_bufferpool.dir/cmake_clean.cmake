@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_bufferpool.dir/bench_bufferpool.cc.o"
+  "CMakeFiles/bench_bufferpool.dir/bench_bufferpool.cc.o.d"
+  "bench_bufferpool"
+  "bench_bufferpool.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_bufferpool.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

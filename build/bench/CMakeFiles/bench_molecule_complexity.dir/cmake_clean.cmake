@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_molecule_complexity.dir/bench_molecule_complexity.cc.o"
+  "CMakeFiles/bench_molecule_complexity.dir/bench_molecule_complexity.cc.o.d"
+  "bench_molecule_complexity"
+  "bench_molecule_complexity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_molecule_complexity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_timeslice_current.dir/bench_timeslice_current.cc.o"
+  "CMakeFiles/bench_timeslice_current.dir/bench_timeslice_current.cc.o.d"
+  "bench_timeslice_current"
+  "bench_timeslice_current.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_timeslice_current.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

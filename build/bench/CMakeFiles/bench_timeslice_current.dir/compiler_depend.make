@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for bench_timeslice_current.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_timeslice_past.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_vacuum.dir/bench_vacuum.cc.o"
+  "CMakeFiles/bench_vacuum.dir/bench_vacuum.cc.o.d"
+  "bench_vacuum"
+  "bench_vacuum.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_vacuum.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_version_index.dir/bench_version_index.cc.o"
+  "CMakeFiles/bench_version_index.dir/bench_version_index.cc.o.d"
+  "bench_version_index"
+  "bench_version_index.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_version_index.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

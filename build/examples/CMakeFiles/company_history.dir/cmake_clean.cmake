@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/company_history.dir/company_history.cpp.o"
+  "CMakeFiles/company_history.dir/company_history.cpp.o.d"
+  "company_history"
+  "company_history.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/company_history.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/migrate_strategy.dir/migrate_strategy.cpp.o"
+  "CMakeFiles/migrate_strategy.dir/migrate_strategy.cpp.o.d"
+  "migrate_strategy"
+  "migrate_strategy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/migrate_strategy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

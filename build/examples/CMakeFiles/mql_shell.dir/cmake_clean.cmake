@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mql_shell.dir/mql_shell.cpp.o"
+  "CMakeFiles/mql_shell.dir/mql_shell.cpp.o.d"
+  "mql_shell"
+  "mql_shell.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mql_shell.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

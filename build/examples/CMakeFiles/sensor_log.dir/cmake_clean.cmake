@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sensor_log.dir/sensor_log.cpp.o"
+  "CMakeFiles/sensor_log.dir/sensor_log.cpp.o.d"
+  "sensor_log"
+  "sensor_log.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sensor_log.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

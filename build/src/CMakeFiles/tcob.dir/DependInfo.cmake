@@ -1,0 +1,55 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/catalog/catalog.cc" "src/CMakeFiles/tcob.dir/catalog/catalog.cc.o" "gcc" "src/CMakeFiles/tcob.dir/catalog/catalog.cc.o.d"
+  "/root/repo/src/common/coding.cc" "src/CMakeFiles/tcob.dir/common/coding.cc.o" "gcc" "src/CMakeFiles/tcob.dir/common/coding.cc.o.d"
+  "/root/repo/src/common/logging.cc" "src/CMakeFiles/tcob.dir/common/logging.cc.o" "gcc" "src/CMakeFiles/tcob.dir/common/logging.cc.o.d"
+  "/root/repo/src/common/status.cc" "src/CMakeFiles/tcob.dir/common/status.cc.o" "gcc" "src/CMakeFiles/tcob.dir/common/status.cc.o.d"
+  "/root/repo/src/common/temp_dir.cc" "src/CMakeFiles/tcob.dir/common/temp_dir.cc.o" "gcc" "src/CMakeFiles/tcob.dir/common/temp_dir.cc.o.d"
+  "/root/repo/src/db/database.cc" "src/CMakeFiles/tcob.dir/db/database.cc.o" "gcc" "src/CMakeFiles/tcob.dir/db/database.cc.o.d"
+  "/root/repo/src/db/dump.cc" "src/CMakeFiles/tcob.dir/db/dump.cc.o" "gcc" "src/CMakeFiles/tcob.dir/db/dump.cc.o.d"
+  "/root/repo/src/db/transaction.cc" "src/CMakeFiles/tcob.dir/db/transaction.cc.o" "gcc" "src/CMakeFiles/tcob.dir/db/transaction.cc.o.d"
+  "/root/repo/src/index/attr_index.cc" "src/CMakeFiles/tcob.dir/index/attr_index.cc.o" "gcc" "src/CMakeFiles/tcob.dir/index/attr_index.cc.o.d"
+  "/root/repo/src/index/btree.cc" "src/CMakeFiles/tcob.dir/index/btree.cc.o" "gcc" "src/CMakeFiles/tcob.dir/index/btree.cc.o.d"
+  "/root/repo/src/mad/diff.cc" "src/CMakeFiles/tcob.dir/mad/diff.cc.o" "gcc" "src/CMakeFiles/tcob.dir/mad/diff.cc.o.d"
+  "/root/repo/src/mad/link_store.cc" "src/CMakeFiles/tcob.dir/mad/link_store.cc.o" "gcc" "src/CMakeFiles/tcob.dir/mad/link_store.cc.o.d"
+  "/root/repo/src/mad/materializer.cc" "src/CMakeFiles/tcob.dir/mad/materializer.cc.o" "gcc" "src/CMakeFiles/tcob.dir/mad/materializer.cc.o.d"
+  "/root/repo/src/query/executor.cc" "src/CMakeFiles/tcob.dir/query/executor.cc.o" "gcc" "src/CMakeFiles/tcob.dir/query/executor.cc.o.d"
+  "/root/repo/src/query/expr_eval.cc" "src/CMakeFiles/tcob.dir/query/expr_eval.cc.o" "gcc" "src/CMakeFiles/tcob.dir/query/expr_eval.cc.o.d"
+  "/root/repo/src/query/lexer.cc" "src/CMakeFiles/tcob.dir/query/lexer.cc.o" "gcc" "src/CMakeFiles/tcob.dir/query/lexer.cc.o.d"
+  "/root/repo/src/query/parser.cc" "src/CMakeFiles/tcob.dir/query/parser.cc.o" "gcc" "src/CMakeFiles/tcob.dir/query/parser.cc.o.d"
+  "/root/repo/src/query/planner.cc" "src/CMakeFiles/tcob.dir/query/planner.cc.o" "gcc" "src/CMakeFiles/tcob.dir/query/planner.cc.o.d"
+  "/root/repo/src/query/result_set.cc" "src/CMakeFiles/tcob.dir/query/result_set.cc.o" "gcc" "src/CMakeFiles/tcob.dir/query/result_set.cc.o.d"
+  "/root/repo/src/record/record_codec.cc" "src/CMakeFiles/tcob.dir/record/record_codec.cc.o" "gcc" "src/CMakeFiles/tcob.dir/record/record_codec.cc.o.d"
+  "/root/repo/src/record/value.cc" "src/CMakeFiles/tcob.dir/record/value.cc.o" "gcc" "src/CMakeFiles/tcob.dir/record/value.cc.o.d"
+  "/root/repo/src/storage/buffer_pool.cc" "src/CMakeFiles/tcob.dir/storage/buffer_pool.cc.o" "gcc" "src/CMakeFiles/tcob.dir/storage/buffer_pool.cc.o.d"
+  "/root/repo/src/storage/disk_manager.cc" "src/CMakeFiles/tcob.dir/storage/disk_manager.cc.o" "gcc" "src/CMakeFiles/tcob.dir/storage/disk_manager.cc.o.d"
+  "/root/repo/src/storage/heap_file.cc" "src/CMakeFiles/tcob.dir/storage/heap_file.cc.o" "gcc" "src/CMakeFiles/tcob.dir/storage/heap_file.cc.o.d"
+  "/root/repo/src/storage/slotted_page.cc" "src/CMakeFiles/tcob.dir/storage/slotted_page.cc.o" "gcc" "src/CMakeFiles/tcob.dir/storage/slotted_page.cc.o.d"
+  "/root/repo/src/time/calendar.cc" "src/CMakeFiles/tcob.dir/time/calendar.cc.o" "gcc" "src/CMakeFiles/tcob.dir/time/calendar.cc.o.d"
+  "/root/repo/src/time/interval.cc" "src/CMakeFiles/tcob.dir/time/interval.cc.o" "gcc" "src/CMakeFiles/tcob.dir/time/interval.cc.o.d"
+  "/root/repo/src/time/temporal_element.cc" "src/CMakeFiles/tcob.dir/time/temporal_element.cc.o" "gcc" "src/CMakeFiles/tcob.dir/time/temporal_element.cc.o.d"
+  "/root/repo/src/time/timeline.cc" "src/CMakeFiles/tcob.dir/time/timeline.cc.o" "gcc" "src/CMakeFiles/tcob.dir/time/timeline.cc.o.d"
+  "/root/repo/src/tstore/integrated_store.cc" "src/CMakeFiles/tcob.dir/tstore/integrated_store.cc.o" "gcc" "src/CMakeFiles/tcob.dir/tstore/integrated_store.cc.o.d"
+  "/root/repo/src/tstore/separated_store.cc" "src/CMakeFiles/tcob.dir/tstore/separated_store.cc.o" "gcc" "src/CMakeFiles/tcob.dir/tstore/separated_store.cc.o.d"
+  "/root/repo/src/tstore/snapshot_store.cc" "src/CMakeFiles/tcob.dir/tstore/snapshot_store.cc.o" "gcc" "src/CMakeFiles/tcob.dir/tstore/snapshot_store.cc.o.d"
+  "/root/repo/src/tstore/store_factory.cc" "src/CMakeFiles/tcob.dir/tstore/store_factory.cc.o" "gcc" "src/CMakeFiles/tcob.dir/tstore/store_factory.cc.o.d"
+  "/root/repo/src/tstore/temporal_store.cc" "src/CMakeFiles/tcob.dir/tstore/temporal_store.cc.o" "gcc" "src/CMakeFiles/tcob.dir/tstore/temporal_store.cc.o.d"
+  "/root/repo/src/wal/log_record.cc" "src/CMakeFiles/tcob.dir/wal/log_record.cc.o" "gcc" "src/CMakeFiles/tcob.dir/wal/log_record.cc.o.d"
+  "/root/repo/src/wal/wal.cc" "src/CMakeFiles/tcob.dir/wal/wal.cc.o" "gcc" "src/CMakeFiles/tcob.dir/wal/wal.cc.o.d"
+  "/root/repo/src/workload/company.cc" "src/CMakeFiles/tcob.dir/workload/company.cc.o" "gcc" "src/CMakeFiles/tcob.dir/workload/company.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

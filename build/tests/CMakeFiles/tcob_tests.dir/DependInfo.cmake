@@ -1,0 +1,51 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/aggregate_test.cc" "tests/CMakeFiles/tcob_tests.dir/aggregate_test.cc.o" "gcc" "tests/CMakeFiles/tcob_tests.dir/aggregate_test.cc.o.d"
+  "/root/repo/tests/attr_index_test.cc" "tests/CMakeFiles/tcob_tests.dir/attr_index_test.cc.o" "gcc" "tests/CMakeFiles/tcob_tests.dir/attr_index_test.cc.o.d"
+  "/root/repo/tests/btree_test.cc" "tests/CMakeFiles/tcob_tests.dir/btree_test.cc.o" "gcc" "tests/CMakeFiles/tcob_tests.dir/btree_test.cc.o.d"
+  "/root/repo/tests/buffer_pool_test.cc" "tests/CMakeFiles/tcob_tests.dir/buffer_pool_test.cc.o" "gcc" "tests/CMakeFiles/tcob_tests.dir/buffer_pool_test.cc.o.d"
+  "/root/repo/tests/calendar_test.cc" "tests/CMakeFiles/tcob_tests.dir/calendar_test.cc.o" "gcc" "tests/CMakeFiles/tcob_tests.dir/calendar_test.cc.o.d"
+  "/root/repo/tests/catalog_test.cc" "tests/CMakeFiles/tcob_tests.dir/catalog_test.cc.o" "gcc" "tests/CMakeFiles/tcob_tests.dir/catalog_test.cc.o.d"
+  "/root/repo/tests/coding_test.cc" "tests/CMakeFiles/tcob_tests.dir/coding_test.cc.o" "gcc" "tests/CMakeFiles/tcob_tests.dir/coding_test.cc.o.d"
+  "/root/repo/tests/common_test.cc" "tests/CMakeFiles/tcob_tests.dir/common_test.cc.o" "gcc" "tests/CMakeFiles/tcob_tests.dir/common_test.cc.o.d"
+  "/root/repo/tests/crash_recovery_test.cc" "tests/CMakeFiles/tcob_tests.dir/crash_recovery_test.cc.o" "gcc" "tests/CMakeFiles/tcob_tests.dir/crash_recovery_test.cc.o.d"
+  "/root/repo/tests/database_test.cc" "tests/CMakeFiles/tcob_tests.dir/database_test.cc.o" "gcc" "tests/CMakeFiles/tcob_tests.dir/database_test.cc.o.d"
+  "/root/repo/tests/diff_test.cc" "tests/CMakeFiles/tcob_tests.dir/diff_test.cc.o" "gcc" "tests/CMakeFiles/tcob_tests.dir/diff_test.cc.o.d"
+  "/root/repo/tests/dump_test.cc" "tests/CMakeFiles/tcob_tests.dir/dump_test.cc.o" "gcc" "tests/CMakeFiles/tcob_tests.dir/dump_test.cc.o.d"
+  "/root/repo/tests/executor_test.cc" "tests/CMakeFiles/tcob_tests.dir/executor_test.cc.o" "gcc" "tests/CMakeFiles/tcob_tests.dir/executor_test.cc.o.d"
+  "/root/repo/tests/expr_eval_test.cc" "tests/CMakeFiles/tcob_tests.dir/expr_eval_test.cc.o" "gcc" "tests/CMakeFiles/tcob_tests.dir/expr_eval_test.cc.o.d"
+  "/root/repo/tests/heap_file_test.cc" "tests/CMakeFiles/tcob_tests.dir/heap_file_test.cc.o" "gcc" "tests/CMakeFiles/tcob_tests.dir/heap_file_test.cc.o.d"
+  "/root/repo/tests/inline_molecule_test.cc" "tests/CMakeFiles/tcob_tests.dir/inline_molecule_test.cc.o" "gcc" "tests/CMakeFiles/tcob_tests.dir/inline_molecule_test.cc.o.d"
+  "/root/repo/tests/integration_test.cc" "tests/CMakeFiles/tcob_tests.dir/integration_test.cc.o" "gcc" "tests/CMakeFiles/tcob_tests.dir/integration_test.cc.o.d"
+  "/root/repo/tests/interval_test.cc" "tests/CMakeFiles/tcob_tests.dir/interval_test.cc.o" "gcc" "tests/CMakeFiles/tcob_tests.dir/interval_test.cc.o.d"
+  "/root/repo/tests/link_store_test.cc" "tests/CMakeFiles/tcob_tests.dir/link_store_test.cc.o" "gcc" "tests/CMakeFiles/tcob_tests.dir/link_store_test.cc.o.d"
+  "/root/repo/tests/materializer_test.cc" "tests/CMakeFiles/tcob_tests.dir/materializer_test.cc.o" "gcc" "tests/CMakeFiles/tcob_tests.dir/materializer_test.cc.o.d"
+  "/root/repo/tests/orderby_test.cc" "tests/CMakeFiles/tcob_tests.dir/orderby_test.cc.o" "gcc" "tests/CMakeFiles/tcob_tests.dir/orderby_test.cc.o.d"
+  "/root/repo/tests/parser_test.cc" "tests/CMakeFiles/tcob_tests.dir/parser_test.cc.o" "gcc" "tests/CMakeFiles/tcob_tests.dir/parser_test.cc.o.d"
+  "/root/repo/tests/planner_test.cc" "tests/CMakeFiles/tcob_tests.dir/planner_test.cc.o" "gcc" "tests/CMakeFiles/tcob_tests.dir/planner_test.cc.o.d"
+  "/root/repo/tests/slotted_page_test.cc" "tests/CMakeFiles/tcob_tests.dir/slotted_page_test.cc.o" "gcc" "tests/CMakeFiles/tcob_tests.dir/slotted_page_test.cc.o.d"
+  "/root/repo/tests/temporal_element_test.cc" "tests/CMakeFiles/tcob_tests.dir/temporal_element_test.cc.o" "gcc" "tests/CMakeFiles/tcob_tests.dir/temporal_element_test.cc.o.d"
+  "/root/repo/tests/timeline_test.cc" "tests/CMakeFiles/tcob_tests.dir/timeline_test.cc.o" "gcc" "tests/CMakeFiles/tcob_tests.dir/timeline_test.cc.o.d"
+  "/root/repo/tests/transaction_test.cc" "tests/CMakeFiles/tcob_tests.dir/transaction_test.cc.o" "gcc" "tests/CMakeFiles/tcob_tests.dir/transaction_test.cc.o.d"
+  "/root/repo/tests/tstore_test.cc" "tests/CMakeFiles/tcob_tests.dir/tstore_test.cc.o" "gcc" "tests/CMakeFiles/tcob_tests.dir/tstore_test.cc.o.d"
+  "/root/repo/tests/vacuum_test.cc" "tests/CMakeFiles/tcob_tests.dir/vacuum_test.cc.o" "gcc" "tests/CMakeFiles/tcob_tests.dir/vacuum_test.cc.o.d"
+  "/root/repo/tests/value_test.cc" "tests/CMakeFiles/tcob_tests.dir/value_test.cc.o" "gcc" "tests/CMakeFiles/tcob_tests.dir/value_test.cc.o.d"
+  "/root/repo/tests/wal_test.cc" "tests/CMakeFiles/tcob_tests.dir/wal_test.cc.o" "gcc" "tests/CMakeFiles/tcob_tests.dir/wal_test.cc.o.d"
+  "/root/repo/tests/workload_test.cc" "tests/CMakeFiles/tcob_tests.dir/workload_test.cc.o" "gcc" "tests/CMakeFiles/tcob_tests.dir/workload_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/tcob.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")
