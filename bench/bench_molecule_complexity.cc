@@ -31,17 +31,21 @@ void BM_MoleculeComplexity(benchmark::State& state) {
   AtomId root = bench_db->handles.depts[0];
 
   size_t atoms = 0;
+  uint64_t store_accesses = 0;
   for (auto _ : state) {
     state.PauseTiming();
     BenchCheck(db->pool()->Reset(), "cold cache");
+    db->store()->ResetAccessStats();
     state.ResumeTiming();
     Materializer mat = db->materializer();
     auto molecule = mat.MaterializeAsOf(*mol, root, db->Now());
     BenchCheck(molecule.status(), "materialize");
     atoms = molecule.value().AtomCount();
     benchmark::DoNotOptimize(atoms);
+    store_accesses = db->store()->access_stats().Total();
   }
   state.counters["molecule_atoms"] = static_cast<double>(atoms);
+  state.counters["store_accesses"] = static_cast<double>(store_accesses);
   state.SetLabel(StorageStrategyName(strategy));
 }
 

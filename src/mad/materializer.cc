@@ -12,10 +12,28 @@ Result<const AtomTypeDef*> Materializer::AtomTypeOf(TypeId id) const {
 Result<Molecule> Materializer::MaterializeAsOf(const MoleculeTypeDef& type,
                                                AtomId root,
                                                Timestamp t) const {
+  return MaterializeAsOfImpl(type, root, t, nullptr);
+}
+
+Result<Molecule> Materializer::MaterializeAsOf(const MoleculeTypeDef& type,
+                                               AtomId root, Timestamp t,
+                                               VersionCache* cache) const {
+  return MaterializeAsOfImpl(type, root, t, cache);
+}
+
+Result<Molecule> Materializer::MaterializeAsOfImpl(const MoleculeTypeDef& type,
+                                                   AtomId root, Timestamp t,
+                                                   VersionCache* cache) const {
   TCOB_ASSIGN_OR_RETURN(const AtomTypeDef* root_type,
                         AtomTypeOf(type.root_type));
-  TCOB_ASSIGN_OR_RETURN(std::optional<AtomVersion> root_version,
-                        store_->GetAsOf(*root_type, root, t));
+  std::optional<AtomVersion> root_version;
+  if (cache != nullptr) {
+    TCOB_ASSIGN_OR_RETURN(const AtomVersion* v,
+                          cache->AsOf(*root_type, root, t));
+    if (v != nullptr) root_version = *v;
+  } else {
+    TCOB_ASSIGN_OR_RETURN(root_version, store_->GetAsOf(*root_type, root, t));
+  }
   if (!root_version.has_value()) {
     return Status::NotFound("root atom " + std::to_string(root) +
                             " not valid at " + TimestampToString(t));
@@ -46,17 +64,28 @@ Result<Molecule> Materializer::MaterializeAsOf(const MoleculeTypeDef& type,
         if (tid == source_type) sources.push_back(id);
       }
       for (AtomId source : sources) {
-        TCOB_ASSIGN_OR_RETURN(
-            std::vector<AtomId> partners,
-            links_->NeighborsAsOf(*link, source, edge.forward, t));
+        std::vector<AtomId> partners;
+        if (cache != nullptr) {
+          TCOB_ASSIGN_OR_RETURN(
+              partners, cache->NeighborsAsOf(*link, source, edge.forward, t));
+        } else {
+          TCOB_ASSIGN_OR_RETURN(
+              partners, links_->NeighborsAsOf(*link, source, edge.forward, t));
+        }
         for (AtomId partner : partners) {
           AtomId from = edge.forward ? source : partner;
           AtomId to = edge.forward ? partner : source;
           auto key = std::make_tuple(link->id, from, to);
           if (mol.atoms.count(partner) == 0) {
-            TCOB_ASSIGN_OR_RETURN(
-                std::optional<AtomVersion> v,
-                store_->GetAsOf(*target_def, partner, t));
+            std::optional<AtomVersion> v;
+            if (cache != nullptr) {
+              TCOB_ASSIGN_OR_RETURN(const AtomVersion* pv,
+                                    cache->AsOf(*target_def, partner, t));
+              if (pv != nullptr) v = *pv;
+            } else {
+              TCOB_ASSIGN_OR_RETURN(v,
+                                    store_->GetAsOf(*target_def, partner, t));
+            }
             if (!v.has_value()) continue;  // dangling link; skip partner
             mol.atoms[partner] = std::move(*v);
             atom_types[partner] = target_type;
@@ -79,16 +108,22 @@ Status Materializer::AllMoleculesAsOf(
     const std::function<Result<bool>(Molecule)>& fn) const {
   TCOB_ASSIGN_OR_RETURN(const AtomTypeDef* root_type,
                         AtomTypeOf(type.root_type));
-  return store_->ScanAsOf(
+  // One cache for the whole scan: a sub-object shared by many molecules
+  // (a department referenced by every employee) is fetched once.
+  VersionCache cache = NewCache(Interval::At(t));
+  Status out = store_->ScanAsOf(
       *root_type, t, [&](const AtomVersion& root) -> Result<bool> {
-        TCOB_ASSIGN_OR_RETURN(Molecule mol,
-                              MaterializeAsOf(type, root.id, t));
+        TCOB_ASSIGN_OR_RETURN(
+            Molecule mol, MaterializeAsOfImpl(type, root.id, t, &cache));
         return fn(std::move(mol));
       });
+  cache_stats_ += cache.stats();
+  return out;
 }
 
 Result<Materializer::ReachableSet> Materializer::DiscoverReachable(
-    const MoleculeTypeDef& type, AtomId root, const Interval& window) const {
+    const MoleculeTypeDef& type, AtomId root, const Interval& window,
+    VersionCache* cache) const {
   ReachableSet reach;
   reach.atoms[root] = type.root_type;
   std::set<std::tuple<LinkTypeId, AtomId, AtomId, Timestamp>> seen_links;
@@ -105,10 +140,20 @@ Result<Materializer::ReachableSet> Materializer::DiscoverReachable(
         if (tid == source_type) sources.push_back(id);
       }
       for (AtomId source : sources) {
-        TCOB_ASSIGN_OR_RETURN(
-            auto partners,
-            links_->NeighborsIn(*link, source, edge.forward, window));
-        for (const auto& [partner, valid] : partners) {
+        std::vector<std::pair<AtomId, Interval>> direct;
+        const std::vector<std::pair<AtomId, Interval>>* partners;
+        if (cache != nullptr) {
+          TCOB_ASSIGN_OR_RETURN(partners,
+                                cache->Neighbors(*link, source, edge.forward));
+        } else {
+          TCOB_ASSIGN_OR_RETURN(
+              direct, links_->NeighborsIn(*link, source, edge.forward,
+                                          window));
+          partners = &direct;
+        }
+        for (const auto& [partner, valid] : *partners) {
+          // The cache may be pinned over a wider window; stay exact.
+          if (!valid.Overlaps(window)) continue;
           AtomId from = edge.forward ? source : partner;
           AtomId to = edge.forward ? partner : source;
           auto key = std::make_tuple(link->id, from, to, valid.begin);
@@ -130,14 +175,210 @@ Result<Materializer::ReachableSet> Materializer::DiscoverReachable(
 Result<MoleculeHistory> Materializer::History(const MoleculeTypeDef& type,
                                               AtomId root,
                                               const Interval& window) const {
+  VersionCache cache = NewCache(window);
+  Result<MoleculeHistory> out = HistorySweep(type, root, window, &cache);
+  cache_stats_ += cache.stats();
+  return out;
+}
+
+Result<MoleculeHistory> Materializer::History(const MoleculeTypeDef& type,
+                                              AtomId root,
+                                              const Interval& window,
+                                              VersionCache* cache) const {
+  return HistorySweep(type, root, window, cache);
+}
+
+Result<MoleculeHistory> Materializer::HistorySweep(
+    const MoleculeTypeDef& type, AtomId root, const Interval& window,
+    VersionCache* cache) const {
   if (window.empty()) {
     return Status::InvalidArgument("empty history window");
   }
   TCOB_ASSIGN_OR_RETURN(ReachableSet reach,
-                        DiscoverReachable(type, root, window));
+                        DiscoverReachable(type, root, window, cache));
+
+  // Pin every reachable atom exactly once. Boundary derivation and the
+  // whole sweep below run against these pinned version lists — no store
+  // access happens past this point.
+  std::map<AtomId, const VersionCache::AtomEntry*> pinned;
+  for (const auto& [atom_id, type_id] : reach.atoms) {
+    TCOB_ASSIGN_OR_RETURN(const AtomTypeDef* atom_type, AtomTypeOf(type_id));
+    TCOB_ASSIGN_OR_RETURN(const VersionCache::AtomEntry* entry,
+                          cache->Pin(*atom_type, atom_id));
+    pinned[atom_id] = entry;
+  }
+
+  // Change points inside the window, each classified: a version swap
+  // (one version ending exactly where the next begins) keeps liveness
+  // and connectivity intact, so the sweep patches the previous state in
+  // place; births, deaths and link boundaries are structural and re-run
+  // the in-memory fixpoint.
+  struct Delta {
+    std::vector<AtomId> swaps;
+    bool structural = false;
+  };
+  std::map<Timestamp, Delta> deltas;
+  auto mark_structural = [&](Timestamp t) {
+    if (t > window.begin && t < window.end) deltas[t].structural = true;
+  };
+  for (const auto& [atom_id, entry] : pinned) {
+    if (!entry->found) continue;
+    const std::vector<AtomVersion>& versions = entry->versions;
+    for (size_t i = 0; i < versions.size(); ++i) {
+      const Interval& valid = versions[i].valid;
+      bool swap_in = i > 0 && versions[i - 1].valid.end == valid.begin;
+      if (valid.begin > window.begin && valid.begin < window.end) {
+        if (swap_in) {
+          deltas[valid.begin].swaps.push_back(atom_id);
+        } else {
+          mark_structural(valid.begin);  // (re)birth
+        }
+      }
+      bool swap_out =
+          i + 1 < versions.size() && versions[i + 1].valid.begin == valid.end;
+      if (!valid.open_ended() && !swap_out) {
+        mark_structural(valid.end);  // death
+      }
+    }
+  }
+  for (const auto& [link_id, from, to, valid] : reach.links) {
+    (void)link_id;
+    (void)from;
+    (void)to;
+    mark_structural(valid.begin);
+    if (!valid.open_ended()) mark_structural(valid.end);
+  }
+
+  // Elementary intervals between consecutive boundaries.
+  std::vector<Timestamp> points;
+  points.reserve(deltas.size() + 2);
+  points.push_back(window.begin);
+  for (const auto& [t, delta] : deltas) {
+    (void)delta;
+    points.push_back(t);
+  }
+  points.push_back(window.end);
+
+  // Adjacency over the discovered link instances, indexed per side so
+  // the fixpoint below never touches the link store again.
+  struct AdjInstance {
+    AtomId from;
+    AtomId to;
+    Interval valid;
+  };
+  std::map<std::pair<LinkTypeId, AtomId>, std::vector<AdjInstance>> fwd, rev;
+  for (const auto& [link_id, from, to, valid] : reach.links) {
+    fwd[{link_id, from}].push_back({from, to, valid});
+    rev[{link_id, to}].push_back({from, to, valid});
+  }
+
+  // In-memory fixpoint: same traversal as MaterializeAsOf, but against
+  // the pinned timelines and the adjacency index. nullopt = gap (root —
+  // or a linked partner record — absent, mirroring the store path).
+  auto state_at = [&](Timestamp t) -> Result<std::optional<Molecule>> {
+    const VersionCache::AtomEntry* root_entry = pinned.at(root);
+    std::optional<uint64_t> root_idx;
+    if (root_entry->found) root_idx = root_entry->timeline.AsOf(t);
+    if (!root_idx.has_value()) return std::optional<Molecule>();
+    Molecule mol;
+    mol.type = type.id;
+    mol.root = root;
+    mol.atoms[root] = root_entry->versions[*root_idx];
+    std::map<AtomId, TypeId> atom_types = {{root, type.root_type}};
+    std::set<std::tuple<LinkTypeId, AtomId, AtomId>> edge_set;
+    bool changed = true;
+    while (changed) {
+      changed = false;
+      for (const MoleculeEdge& edge : type.edges) {
+        TCOB_ASSIGN_OR_RETURN(const LinkTypeDef* link,
+                              catalog_->GetLinkType(edge.link));
+        TypeId source_type = edge.forward ? link->from_type : link->to_type;
+        TypeId target_type = edge.forward ? link->to_type : link->from_type;
+        std::vector<AtomId> sources;
+        for (const auto& [id, tid] : atom_types) {
+          if (tid == source_type) sources.push_back(id);
+        }
+        const auto& adj = edge.forward ? fwd : rev;
+        for (AtomId source : sources) {
+          auto adj_it = adj.find({link->id, source});
+          if (adj_it == adj.end()) continue;
+          for (const AdjInstance& inst : adj_it->second) {
+            if (!inst.valid.Contains(t)) continue;
+            AtomId partner = edge.forward ? inst.to : inst.from;
+            auto key = std::make_tuple(link->id, inst.from, inst.to);
+            if (mol.atoms.count(partner) == 0) {
+              const VersionCache::AtomEntry* p = pinned.at(partner);
+              if (!p->found) {
+                // A link to a never-inserted atom surfaces as NotFound
+                // on the store path, which History() renders as a gap.
+                return std::optional<Molecule>();
+              }
+              std::optional<uint64_t> idx = p->timeline.AsOf(t);
+              if (!idx.has_value()) continue;  // dangling link; skip partner
+              mol.atoms[partner] = p->versions[*idx];
+              atom_types[partner] = target_type;
+              changed = true;
+            }
+            if (edge_set.insert(key).second) {
+              mol.edges.push_back(
+                  MoleculeEdgeInstance{link->id, inst.from, inst.to});
+              changed = true;
+            }
+          }
+        }
+      }
+    }
+    std::sort(mol.edges.begin(), mol.edges.end());
+    return std::optional<Molecule>(std::move(mol));
+  };
+
+  MoleculeHistory history;
+  history.root = root;
+  std::optional<Molecule> prev;
+  for (size_t i = 0; i + 1 < points.size(); ++i) {
+    Interval piece(points[i], points[i + 1]);
+    std::optional<Molecule> cur;
+    const Delta* delta =
+        i == 0 ? nullptr : &deltas.find(points[i])->second;
+    if (delta != nullptr && !delta->structural && prev.has_value()) {
+      // Version-swap-only boundary: patch the changed members in place.
+      cur = prev;
+      for (AtomId atom_id : delta->swaps) {
+        auto member = cur->atoms.find(atom_id);
+        if (member == cur->atoms.end()) continue;  // not a member here
+        const VersionCache::AtomEntry* entry = pinned.at(atom_id);
+        std::optional<uint64_t> idx = entry->timeline.AsOf(piece.begin);
+        // A swap guarantees a successor version starting at this instant.
+        member->second = entry->versions[*idx];
+      }
+    } else {
+      TCOB_ASSIGN_OR_RETURN(cur, state_at(piece.begin));
+    }
+    if (cur.has_value()) {
+      if (!history.states.empty() &&
+          history.states.back().valid.Meets(piece) &&
+          history.states.back().molecule.SameState(*cur)) {
+        history.states.back().valid.end = piece.end;  // coalesce
+      } else {
+        history.states.push_back(MoleculeState{piece, *cur});
+      }
+    }
+    prev = std::move(cur);
+  }
+  return history;
+}
+
+Result<MoleculeHistory> Materializer::NaiveHistory(
+    const MoleculeTypeDef& type, AtomId root, const Interval& window) const {
+  if (window.empty()) {
+    return Status::InvalidArgument("empty history window");
+  }
+  TCOB_ASSIGN_OR_RETURN(ReachableSet reach,
+                        DiscoverReachable(type, root, window, nullptr));
 
   // Change points: version boundaries of every reachable atom plus link
-  // validity boundaries, clipped to the window.
+  // validity boundaries, clipped to the window. Note the re-fetch: the
+  // sweep path derives these from the cached version lists instead.
   std::set<Timestamp> boundaries = {window.begin};
   for (const auto& [atom_id, type_id] : reach.atoms) {
     TCOB_ASSIGN_OR_RETURN(const AtomTypeDef* atom_type, AtomTypeOf(type_id));
@@ -178,7 +419,8 @@ Result<MoleculeHistory> Materializer::History(const MoleculeTypeDef& type,
   history.root = root;
   for (size_t i = 0; i + 1 < points.size(); ++i) {
     Interval piece(points[i], points[i + 1]);
-    Result<Molecule> mol = MaterializeAsOf(type, root, piece.begin);
+    Result<Molecule> mol = MaterializeAsOfImpl(type, root, piece.begin,
+                                               nullptr);
     if (!mol.ok()) {
       if (mol.status().IsNotFound()) continue;  // root dead: gap
       return mol.status();
@@ -205,13 +447,26 @@ Status Materializer::AllHistories(
         roots.insert(v.id);
         return true;
       }));
+  // One cache across every history: molecules sharing sub-objects pin
+  // each atom once for the whole statement.
+  VersionCache cache = NewCache(window);
+  Status out = Status::OK();
   for (AtomId root : roots) {
-    TCOB_ASSIGN_OR_RETURN(MoleculeHistory h, History(type, root, window));
-    if (h.states.empty()) continue;
-    TCOB_ASSIGN_OR_RETURN(bool keep_going, fn(std::move(h)));
-    if (!keep_going) break;
+    Result<MoleculeHistory> h = HistorySweep(type, root, window, &cache);
+    if (!h.ok()) {
+      out = h.status();
+      break;
+    }
+    if (h.value().states.empty()) continue;
+    Result<bool> keep_going = fn(std::move(h).value());
+    if (!keep_going.ok()) {
+      out = keep_going.status();
+      break;
+    }
+    if (!keep_going.value()) break;
   }
-  return Status::OK();
+  cache_stats_ += cache.stats();
+  return out;
 }
 
 }  // namespace tcob

@@ -7,6 +7,7 @@
 #include "catalog/catalog.h"
 #include "mad/link_store.h"
 #include "mad/molecule.h"
+#include "mad/version_cache.h"
 #include "tstore/temporal_store.h"
 
 namespace tcob {
@@ -19,18 +20,40 @@ namespace tcob {
 /// every already-collected atom of its source type, adding the partners
 /// that are valid at the query instant. Cyclic type graphs terminate
 /// because the atom set grows monotonically.
+///
+/// History and time-slice operators run against a query-scoped
+/// VersionCache: each reachable atom's decoded version list is pinned
+/// once, and History() sweeps the precomputed timelines instead of
+/// re-materializing from the store at every change point (which costs
+/// O(change points x atoms) store accesses — see NaiveHistory, kept as
+/// the reference implementation).
 class Materializer {
  public:
   Materializer(const Catalog* catalog, const TemporalAtomStore* store,
                const LinkStore* links)
       : catalog_(catalog), store_(store), links_(links) {}
 
+  /// A cache bound to this materializer's stores, for callers that span
+  /// one query over several operator invocations (e.g. the executor's
+  /// per-root index path).
+  VersionCache NewCache(const Interval& window = Interval::All()) const {
+    return VersionCache(store_, links_, window);
+  }
+
   /// The molecule rooted at `root` as of instant `t`. NotFound if the
   /// root atom does not exist or is not valid at `t`.
   Result<Molecule> MaterializeAsOf(const MoleculeTypeDef& type, AtomId root,
                                    Timestamp t) const;
 
+  /// Cache-routed variant: atom and link probes go through `cache`
+  /// (whose window must contain `t`), so molecules sharing sub-objects
+  /// within one query decode each atom's versions only once.
+  Result<Molecule> MaterializeAsOf(const MoleculeTypeDef& type, AtomId root,
+                                   Timestamp t, VersionCache* cache) const;
+
   /// Streams every molecule of `type` valid at `t` (one per live root).
+  /// All molecules share one query-scoped cache, so sub-objects
+  /// referenced by many roots are fetched once.
   Status AllMoleculesAsOf(
       const MoleculeTypeDef& type, Timestamp t,
       const std::function<Result<bool>(Molecule)>& fn) const;
@@ -40,14 +63,44 @@ class Materializer {
   /// boundaries of every atom ever reachable in the window and of every
   /// link among them. Adjacent identical states are coalesced; intervals
   /// where the root is dead appear as gaps.
+  ///
+  /// Incremental processing: every reachable atom is pinned into a
+  /// query-scoped cache once, then the boundaries are swept over the
+  /// precomputed timelines — version-only change points patch the
+  /// previous state in place, structural ones (link or liveness changes)
+  /// re-run the in-memory fixpoint. No store access happens after the
+  /// pinning phase.
   Result<MoleculeHistory> History(const MoleculeTypeDef& type, AtomId root,
                                   const Interval& window) const;
 
+  /// Same, against a caller-provided cache (window must contain
+  /// `window`); lets one statement share pinned atoms across molecules.
+  Result<MoleculeHistory> History(const MoleculeTypeDef& type, AtomId root,
+                                  const Interval& window,
+                                  VersionCache* cache) const;
+
+  /// Reference implementation of History(): re-materializes the molecule
+  /// from the store at every elementary interval. Kept for differential
+  /// testing and as the baseline the benchmarks compare against.
+  Result<MoleculeHistory> NaiveHistory(const MoleculeTypeDef& type,
+                                       AtomId root,
+                                       const Interval& window) const;
+
   /// Streams the histories of all molecules of `type` whose root exists
-  /// at some point in `window`.
+  /// at some point in `window`. All histories share one cache.
   Status AllHistories(
       const MoleculeTypeDef& type, const Interval& window,
       const std::function<Result<bool>(MoleculeHistory)>& fn) const;
+
+  /// Cumulative stats of the caches this materializer created internally
+  /// (one per History / AllMoleculesAsOf / AllHistories call). Caches
+  /// passed in by callers are accounted by the caller (or merged in via
+  /// AccumulateCacheStats).
+  const VersionCacheStats& cache_stats() const { return cache_stats_; }
+  void ResetCacheStats() const { cache_stats_ = VersionCacheStats(); }
+  void AccumulateCacheStats(const VersionCacheStats& s) const {
+    cache_stats_ += s;
+  }
 
  private:
   /// Atom-type lookup for every type reachable by `type`'s edges.
@@ -61,13 +114,26 @@ class Materializer {
     // every link instance (with validity) encountered during discovery
     std::vector<std::tuple<LinkTypeId, AtomId, AtomId, Interval>> links;
   };
+  /// `cache` may be null (direct link-store access).
   Result<ReachableSet> DiscoverReachable(const MoleculeTypeDef& type,
-                                         AtomId root,
-                                         const Interval& window) const;
+                                         AtomId root, const Interval& window,
+                                         VersionCache* cache) const;
+
+  /// Shared fixpoint of both MaterializeAsOf overloads; `cache` may be
+  /// null (direct store access).
+  Result<Molecule> MaterializeAsOfImpl(const MoleculeTypeDef& type,
+                                       AtomId root, Timestamp t,
+                                       VersionCache* cache) const;
+
+  /// The incremental sweep behind both History overloads.
+  Result<MoleculeHistory> HistorySweep(const MoleculeTypeDef& type,
+                                       AtomId root, const Interval& window,
+                                       VersionCache* cache) const;
 
   const Catalog* catalog_;
   const TemporalAtomStore* store_;
   const LinkStore* links_;
+  mutable VersionCacheStats cache_stats_;
 };
 
 }  // namespace tcob

@@ -1,0 +1,68 @@
+#include "mad/version_cache.h"
+
+namespace tcob {
+
+Result<const VersionCache::AtomEntry*> VersionCache::Pin(
+    const AtomTypeDef& type, AtomId id) {
+  AtomKey key(type.id, id);
+  auto it = atoms_.find(key);
+  if (it != atoms_.end()) {
+    ++stats_.atom_hits;
+    return &it->second;
+  }
+  ++stats_.atom_misses;
+  AtomEntry entry;
+  Result<std::vector<AtomVersion>> versions =
+      store_->GetVersions(type, id, window_);
+  if (!versions.ok()) {
+    if (!versions.status().IsNotFound()) return versions.status();
+    // Never inserted: pin the negative result too, so repeated probes of
+    // a dangling reference stay free.
+  } else {
+    entry.found = true;
+    entry.versions = std::move(versions).value();
+    TCOB_ASSIGN_OR_RETURN(entry.timeline, TimelineOf(entry.versions));
+  }
+  auto [pos, inserted] = atoms_.emplace(key, std::move(entry));
+  (void)inserted;
+  return &pos->second;
+}
+
+Result<const AtomVersion*> VersionCache::AsOf(const AtomTypeDef& type,
+                                              AtomId id, Timestamp t) {
+  TCOB_ASSIGN_OR_RETURN(const AtomEntry* entry, Pin(type, id));
+  if (!entry->found) {
+    return Status::NotFound("atom " + std::to_string(id));
+  }
+  std::optional<uint64_t> idx = entry->timeline.AsOf(t);
+  if (!idx.has_value()) return static_cast<const AtomVersion*>(nullptr);
+  return &entry->versions[static_cast<size_t>(*idx)];
+}
+
+Result<const std::vector<std::pair<AtomId, Interval>>*>
+VersionCache::Neighbors(const LinkTypeDef& link, AtomId atom, bool forward) {
+  LinkKey key(link.id, atom, forward);
+  auto it = neighbors_.find(key);
+  if (it != neighbors_.end()) {
+    ++stats_.link_hits;
+    return &it->second;
+  }
+  ++stats_.link_misses;
+  TCOB_ASSIGN_OR_RETURN(auto partners,
+                        links_->NeighborsIn(link, atom, forward, window_));
+  auto [pos, inserted] = neighbors_.emplace(key, std::move(partners));
+  (void)inserted;
+  return &pos->second;
+}
+
+Result<std::vector<AtomId>> VersionCache::NeighborsAsOf(
+    const LinkTypeDef& link, AtomId atom, bool forward, Timestamp t) {
+  TCOB_ASSIGN_OR_RETURN(const auto* pinned, Neighbors(link, atom, forward));
+  std::vector<AtomId> out;
+  for (const auto& [partner, valid] : *pinned) {
+    if (valid.Contains(t)) out.push_back(partner);
+  }
+  return out;
+}
+
+}  // namespace tcob

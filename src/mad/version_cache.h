@@ -1,0 +1,112 @@
+#ifndef TCOB_MAD_VERSION_CACHE_H_
+#define TCOB_MAD_VERSION_CACHE_H_
+
+#include <map>
+#include <tuple>
+#include <utility>
+#include <vector>
+
+#include "mad/link_store.h"
+#include "tstore/temporal_store.h"
+
+namespace tcob {
+
+/// Counters of one query-scoped VersionCache (the query-layer analogue of
+/// BufferPoolStats one level below). A hit answers a temporal probe from
+/// decoded in-memory versions; a miss costs one TemporalAtomStore /
+/// LinkStore round-trip that pins the object's whole history slice.
+struct VersionCacheStats {
+  uint64_t atom_hits = 0;
+  uint64_t atom_misses = 0;
+  uint64_t link_hits = 0;
+  uint64_t link_misses = 0;
+
+  double AtomHitRate() const {
+    uint64_t probes = atom_hits + atom_misses;
+    return probes ? static_cast<double>(atom_hits) / probes : 0.0;
+  }
+  double HitRate() const {
+    uint64_t probes = atom_hits + atom_misses + link_hits + link_misses;
+    return probes ? static_cast<double>(atom_hits + link_hits) / probes : 0.0;
+  }
+
+  VersionCacheStats& operator+=(const VersionCacheStats& o) {
+    atom_hits += o.atom_hits;
+    atom_misses += o.atom_misses;
+    link_hits += o.link_hits;
+    link_misses += o.link_misses;
+    return *this;
+  }
+};
+
+/// Query-scoped cache of decoded atom version lists and link adjacency.
+///
+/// The history and time-slice operators probe the same atoms at many
+/// instants (every elementary interval of a molecule history, every
+/// molecule sharing a sub-object). Going to the TemporalAtomStore for
+/// each probe re-pays index probes, page fetches and record decodes per
+/// instant — O(change points x atoms) store accesses for one history.
+/// A VersionCache pins each touched atom's version list (clipped to the
+/// cache window) plus a VersionTimeline over it exactly once; every
+/// later probe is an in-memory binary search.
+///
+/// The cache is *query-scoped*: it snapshots validity as of its first
+/// touch and must not outlive the statement it serves (mutations behind
+/// its back are not observed — single-threaded execution makes this safe
+/// within one statement).
+class VersionCache {
+ public:
+  /// One pinned atom: its versions overlapping window(), in time order,
+  /// and the timeline over them (payload = index into `versions`).
+  struct AtomEntry {
+    bool found = false;  // false: the atom was never inserted
+    std::vector<AtomVersion> versions;
+    VersionTimeline timeline;
+  };
+
+  /// `window` bounds the pinned history slice; probes outside it would
+  /// silently miss versions, so keep it at least as wide as the query.
+  VersionCache(const TemporalAtomStore* store, const LinkStore* links,
+               const Interval& window = Interval::All())
+      : store_(store), links_(links), window_(window) {}
+
+  const Interval& window() const { return window_; }
+
+  /// The pinned entry of `id`, fetching it from the store on first touch
+  /// (one GetVersions round-trip, never more).
+  Result<const AtomEntry*> Pin(const AtomTypeDef& type, AtomId id);
+
+  /// The version of `id` valid at `t`, mirroring the contract of
+  /// TemporalAtomStore::GetAsOf: nullptr if the atom was dead at `t`,
+  /// NotFound if it was never inserted. `t` must lie inside window().
+  Result<const AtomVersion*> AsOf(const AtomTypeDef& type, AtomId id,
+                                  Timestamp t);
+
+  /// Partner/validity pairs of `atom` over `link` overlapping window(),
+  /// pinned on first touch (one LinkStore::NeighborsIn round-trip).
+  Result<const std::vector<std::pair<AtomId, Interval>>*> Neighbors(
+      const LinkTypeDef& link, AtomId atom, bool forward);
+
+  /// Partners of `atom` valid at `t` (filters the pinned list; same
+  /// result as LinkStore::NeighborsAsOf for `t` inside window()).
+  Result<std::vector<AtomId>> NeighborsAsOf(const LinkTypeDef& link,
+                                            AtomId atom, bool forward,
+                                            Timestamp t);
+
+  const VersionCacheStats& stats() const { return stats_; }
+
+ private:
+  using AtomKey = std::pair<TypeId, AtomId>;
+  using LinkKey = std::tuple<LinkTypeId, AtomId, bool>;
+
+  const TemporalAtomStore* store_;
+  const LinkStore* links_;
+  Interval window_;
+  std::map<AtomKey, AtomEntry> atoms_;
+  std::map<LinkKey, std::vector<std::pair<AtomId, Interval>>> neighbors_;
+  VersionCacheStats stats_;
+};
+
+}  // namespace tcob
+
+#endif  // TCOB_MAD_VERSION_CACHE_H_

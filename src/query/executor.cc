@@ -345,9 +345,12 @@ Result<ResultSet> SelectExecutor::Execute(const SelectStmt& stmt) const {
                             catalog_->GetAttrIndex(path.index));
       TCOB_ASSIGN_OR_RETURN(std::vector<AtomId> roots,
                             indexes_->LookupAsOf(*index, path.range, t));
+      // Query-scoped cache: molecules of different roots share pinned
+      // sub-objects instead of re-fetching them per root.
+      VersionCache cache = materializer_->NewCache(Interval::At(t));
       for (AtomId root : roots) {
         Result<Molecule> mol =
-            materializer_->MaterializeAsOf(*mol_type, root, t);
+            materializer_->MaterializeAsOf(*mol_type, root, t, &cache);
         if (!mol.ok()) {
           // The index is version-grained; a root listed there is valid at
           // t, so NotFound cannot happen — but stay defensive.
@@ -357,6 +360,7 @@ Result<ResultSet> SelectExecutor::Execute(const SelectStmt& stmt) const {
         TCOB_RETURN_NOT_OK(EmitMolecule(stmt, select_all, projection,
                                         mol.value(), nullptr, &out));
       }
+      materializer_->AccumulateCacheStats(cache.stats());
       out.message = path.description;
     } else {
       TCOB_RETURN_NOT_OK(materializer_->AllMoleculesAsOf(

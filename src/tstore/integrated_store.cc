@@ -175,7 +175,7 @@ Status IntegratedStore::Delete(const AtomTypeDef& type, AtomId id,
   return StoreCluster(type, id, rid, versions);
 }
 
-Result<std::optional<AtomVersion>> IntegratedStore::GetAsOf(
+Result<std::optional<AtomVersion>> IntegratedStore::DoGetAsOf(
     const AtomTypeDef& type, AtomId id, Timestamp t) const {
   TCOB_ASSIGN_OR_RETURN(std::vector<AtomVersion> versions,
                         LoadCluster(type, id, nullptr));
@@ -185,7 +185,7 @@ Result<std::optional<AtomVersion>> IntegratedStore::GetAsOf(
   return std::optional<AtomVersion>();
 }
 
-Result<std::vector<AtomVersion>> IntegratedStore::GetVersions(
+Result<std::vector<AtomVersion>> IntegratedStore::DoGetVersions(
     const AtomTypeDef& type, AtomId id, const Interval& window) const {
   TCOB_ASSIGN_OR_RETURN(std::vector<AtomVersion> versions,
                         LoadCluster(type, id, nullptr));
@@ -196,12 +196,12 @@ Result<std::vector<AtomVersion>> IntegratedStore::GetVersions(
   return out;
 }
 
-Status IntegratedStore::ScanAsOf(const AtomTypeDef& type, Timestamp t,
+Status IntegratedStore::DoScanAsOf(const AtomTypeDef& type, Timestamp t,
                                  const VersionCallback& fn) const {
-  return ScanVersions(type, Interval::At(t), fn);
+  return DoScanVersions(type, Interval::At(t), fn);
 }
 
-Status IntegratedStore::ScanVersions(const AtomTypeDef& type,
+Status IntegratedStore::DoScanVersions(const AtomTypeDef& type,
                                      const Interval& window,
                                      const VersionCallback& fn) const {
   TCOB_ASSIGN_OR_RETURN(TypeState * state, StateOf(type.id));

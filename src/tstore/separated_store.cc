@@ -321,7 +321,7 @@ Result<SeparatedStore::ReplayMarkers> SeparatedStore::ScanMarkers(
   return markers;
 }
 
-Result<std::optional<AtomVersion>> SeparatedStore::GetAsOf(
+Result<std::optional<AtomVersion>> SeparatedStore::DoGetAsOf(
     const AtomTypeDef& type, AtomId id, Timestamp t) const {
   TCOB_ASSIGN_OR_RETURN(CurrentRecord rec, LoadCurrent(type, id, nullptr));
   if (rec.has_live && rec.live.valid.Contains(t)) {
@@ -336,7 +336,7 @@ Result<std::optional<AtomVersion>> SeparatedStore::GetAsOf(
   return FindPast(type, id, rec, t);
 }
 
-Result<std::vector<AtomVersion>> SeparatedStore::GetVersions(
+Result<std::vector<AtomVersion>> SeparatedStore::DoGetVersions(
     const AtomTypeDef& type, AtomId id, const Interval& window) const {
   TCOB_ASSIGN_OR_RETURN(CurrentRecord rec, LoadCurrent(type, id, nullptr));
   TCOB_ASSIGN_OR_RETURN(std::vector<AtomVersion> out,
@@ -347,7 +347,7 @@ Result<std::vector<AtomVersion>> SeparatedStore::GetVersions(
   return out;
 }
 
-Status SeparatedStore::ScanAsOf(const AtomTypeDef& type, Timestamp t,
+Status SeparatedStore::DoScanAsOf(const AtomTypeDef& type, Timestamp t,
                                 const VersionCallback& fn) const {
   TCOB_ASSIGN_OR_RETURN(TypeState * state, StateOf(type.id));
   std::vector<AttrType> schema = type.AttrTypes();
@@ -378,7 +378,7 @@ Status SeparatedStore::ScanAsOf(const AtomTypeDef& type, Timestamp t,
       });
 }
 
-Status SeparatedStore::ScanVersions(const AtomTypeDef& type,
+Status SeparatedStore::DoScanVersions(const AtomTypeDef& type,
                                     const Interval& window,
                                     const VersionCallback& fn) const {
   TCOB_ASSIGN_OR_RETURN(TypeState * state, StateOf(type.id));

@@ -41,16 +41,6 @@ class SeparatedStore : public TemporalAtomStore {
                 Timestamp from) override;
   Status Delete(const AtomTypeDef& type, AtomId id, Timestamp from) override;
 
-  Result<std::optional<AtomVersion>> GetAsOf(const AtomTypeDef& type,
-                                             AtomId id,
-                                             Timestamp t) const override;
-  Result<std::vector<AtomVersion>> GetVersions(
-      const AtomTypeDef& type, AtomId id,
-      const Interval& window) const override;
-  Status ScanAsOf(const AtomTypeDef& type, Timestamp t,
-                  const VersionCallback& fn) const override;
-  Status ScanVersions(const AtomTypeDef& type, const Interval& window,
-                      const VersionCallback& fn) const override;
   Result<StoreSpaceStats> SpaceStats() const override;
   Status Flush() override;
   Result<uint64_t> VacuumBefore(const AtomTypeDef& type,
@@ -59,6 +49,18 @@ class SeparatedStore : public TemporalAtomStore {
   /// Cumulative count of history-chain records visited (benchmark probe
   /// for Fig. 6 / Fig. 10).
   uint64_t chain_hops() const { return chain_hops_; }
+
+ protected:
+  Result<std::optional<AtomVersion>> DoGetAsOf(const AtomTypeDef& type,
+                                               AtomId id,
+                                               Timestamp t) const override;
+  Result<std::vector<AtomVersion>> DoGetVersions(
+      const AtomTypeDef& type, AtomId id,
+      const Interval& window) const override;
+  Status DoScanAsOf(const AtomTypeDef& type, Timestamp t,
+                    const VersionCallback& fn) const override;
+  Status DoScanVersions(const AtomTypeDef& type, const Interval& window,
+                        const VersionCallback& fn) const override;
 
  private:
   struct TypeState {

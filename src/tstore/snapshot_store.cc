@@ -208,7 +208,7 @@ Status SnapshotStore::Delete(const AtomTypeDef& type, AtomId id,
   return Status::OK();
 }
 
-Result<std::optional<AtomVersion>> SnapshotStore::GetAsOf(
+Result<std::optional<AtomVersion>> SnapshotStore::DoGetAsOf(
     const AtomTypeDef& type, AtomId id, Timestamp t) const {
   TCOB_ASSIGN_OR_RETURN(std::vector<AtomVersion> versions,
                         AllVersions(type, id));
@@ -221,7 +221,7 @@ Result<std::optional<AtomVersion>> SnapshotStore::GetAsOf(
   return std::optional<AtomVersion>();
 }
 
-Result<std::vector<AtomVersion>> SnapshotStore::GetVersions(
+Result<std::vector<AtomVersion>> SnapshotStore::DoGetVersions(
     const AtomTypeDef& type, AtomId id, const Interval& window) const {
   TCOB_ASSIGN_OR_RETURN(std::vector<AtomVersion> versions,
                         AllVersions(type, id));
@@ -235,12 +235,12 @@ Result<std::vector<AtomVersion>> SnapshotStore::GetVersions(
   return out;
 }
 
-Status SnapshotStore::ScanAsOf(const AtomTypeDef& type, Timestamp t,
+Status SnapshotStore::DoScanAsOf(const AtomTypeDef& type, Timestamp t,
                                const VersionCallback& fn) const {
-  return ScanVersions(type, Interval::At(t), fn);
+  return DoScanVersions(type, Interval::At(t), fn);
 }
 
-Status SnapshotStore::ScanVersions(const AtomTypeDef& type,
+Status SnapshotStore::DoScanVersions(const AtomTypeDef& type,
                                    const Interval& window,
                                    const VersionCallback& fn) const {
   TCOB_ASSIGN_OR_RETURN(TypeState * state, StateOf(type.id));

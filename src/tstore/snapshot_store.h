@@ -37,20 +37,22 @@ class SnapshotStore : public TemporalAtomStore {
                 Timestamp from) override;
   Status Delete(const AtomTypeDef& type, AtomId id, Timestamp from) override;
 
-  Result<std::optional<AtomVersion>> GetAsOf(const AtomTypeDef& type,
-                                             AtomId id,
-                                             Timestamp t) const override;
-  Result<std::vector<AtomVersion>> GetVersions(
-      const AtomTypeDef& type, AtomId id,
-      const Interval& window) const override;
-  Status ScanAsOf(const AtomTypeDef& type, Timestamp t,
-                  const VersionCallback& fn) const override;
-  Status ScanVersions(const AtomTypeDef& type, const Interval& window,
-                      const VersionCallback& fn) const override;
   Result<StoreSpaceStats> SpaceStats() const override;
   Status Flush() override;
   Result<uint64_t> VacuumBefore(const AtomTypeDef& type,
                                 Timestamp cutoff) override;
+
+ protected:
+  Result<std::optional<AtomVersion>> DoGetAsOf(const AtomTypeDef& type,
+                                               AtomId id,
+                                               Timestamp t) const override;
+  Result<std::vector<AtomVersion>> DoGetVersions(
+      const AtomTypeDef& type, AtomId id,
+      const Interval& window) const override;
+  Status DoScanAsOf(const AtomTypeDef& type, Timestamp t,
+                    const VersionCallback& fn) const override;
+  Status DoScanVersions(const AtomTypeDef& type, const Interval& window,
+                        const VersionCallback& fn) const override;
 
  private:
   struct TypeState {

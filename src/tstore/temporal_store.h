@@ -59,6 +59,21 @@ struct StoreSpaceStats {
   uint64_t version_count = 0;
 };
 
+/// Logical read-access accounting of one store (monotonic counters, like
+/// BufferPoolStats). Each counted call is one storage round-trip — index
+/// probes, page fetches, record decodes — so query-layer caches aim to
+/// minimize exactly these numbers.
+struct StoreAccessStats {
+  uint64_t get_as_of = 0;
+  uint64_t get_versions = 0;
+  uint64_t scan_as_of = 0;
+  uint64_t scan_versions = 0;
+
+  uint64_t Total() const {
+    return get_as_of + get_versions + scan_as_of + scan_versions;
+  }
+};
+
 /// Storage-strategy-independent interface over versioned atoms.
 ///
 /// Mutation contract (shared by all implementations):
@@ -90,21 +105,39 @@ class TemporalAtomStore {
 
   /// The version of atom `id` valid at `t`, or nullopt if the atom did
   /// not exist then. NotFound only if the atom was never inserted.
-  virtual Result<std::optional<AtomVersion>> GetAsOf(const AtomTypeDef& type,
-                                                     AtomId id,
-                                                     Timestamp t) const = 0;
+  Result<std::optional<AtomVersion>> GetAsOf(const AtomTypeDef& type,
+                                             AtomId id, Timestamp t) const {
+    ++access_stats_.get_as_of;
+    return DoGetAsOf(type, id, t);
+  }
 
   /// All versions of `id` overlapping `window`, in time order.
-  virtual Result<std::vector<AtomVersion>> GetVersions(
-      const AtomTypeDef& type, AtomId id, const Interval& window) const = 0;
+  Result<std::vector<AtomVersion>> GetVersions(const AtomTypeDef& type,
+                                               AtomId id,
+                                               const Interval& window) const {
+    ++access_stats_.get_versions;
+    return DoGetVersions(type, id, window);
+  }
 
   /// Streams the version of *every* atom of `type` valid at `t`.
-  virtual Status ScanAsOf(const AtomTypeDef& type, Timestamp t,
-                          const VersionCallback& fn) const = 0;
+  Status ScanAsOf(const AtomTypeDef& type, Timestamp t,
+                  const VersionCallback& fn) const {
+    ++access_stats_.scan_as_of;
+    return DoScanAsOf(type, t, fn);
+  }
 
   /// Streams every version of every atom of `type` overlapping `window`.
-  virtual Status ScanVersions(const AtomTypeDef& type, const Interval& window,
-                              const VersionCallback& fn) const = 0;
+  Status ScanVersions(const AtomTypeDef& type, const Interval& window,
+                      const VersionCallback& fn) const {
+    ++access_stats_.scan_versions;
+    return DoScanVersions(type, window, fn);
+  }
+
+  /// Cumulative read-access counters (see StoreAccessStats). The counters
+  /// are bookkeeping, not state — resetting them is a const operation so
+  /// benchmarks can meter individual query phases against a const store.
+  const StoreAccessStats& access_stats() const { return access_stats_; }
+  void ResetAccessStats() const { access_stats_ = StoreAccessStats(); }
 
   virtual Result<StoreSpaceStats> SpaceStats() const = 0;
 
@@ -118,6 +151,22 @@ class TemporalAtomStore {
   /// checkpoints so WAL replay never observes a vacuumed store.
   virtual Result<uint64_t> VacuumBefore(const AtomTypeDef& type,
                                         Timestamp cutoff) = 0;
+
+ protected:
+  /// Strategy-specific read paths behind the counting wrappers above.
+  virtual Result<std::optional<AtomVersion>> DoGetAsOf(const AtomTypeDef& type,
+                                                       AtomId id,
+                                                       Timestamp t) const = 0;
+  virtual Result<std::vector<AtomVersion>> DoGetVersions(
+      const AtomTypeDef& type, AtomId id, const Interval& window) const = 0;
+  virtual Status DoScanAsOf(const AtomTypeDef& type, Timestamp t,
+                            const VersionCallback& fn) const = 0;
+  virtual Status DoScanVersions(const AtomTypeDef& type,
+                                const Interval& window,
+                                const VersionCallback& fn) const = 0;
+
+ private:
+  mutable StoreAccessStats access_stats_;
 };
 
 // ---- shared record codecs ----

@@ -236,6 +236,188 @@ TEST_P(MaterializerTest, SharedSubobjectAppearsInBothMolecules) {
   EXPECT_TRUE(m5.atoms.count(4));  // proj via shared emp
 }
 
+/// Field-by-field equality of two histories (stricter than SameState,
+/// which only compares version numbers): validity pieces, every atom
+/// version including attribute payloads, and the sorted edge lists.
+void ExpectIdenticalHistories(const MoleculeHistory& got,
+                              const MoleculeHistory& want) {
+  EXPECT_EQ(got.root, want.root);
+  ASSERT_EQ(got.states.size(), want.states.size());
+  for (size_t i = 0; i < got.states.size(); ++i) {
+    SCOPED_TRACE("state " + std::to_string(i));
+    EXPECT_EQ(got.states[i].valid, want.states[i].valid);
+    const Molecule& g = got.states[i].molecule;
+    const Molecule& w = want.states[i].molecule;
+    EXPECT_EQ(g.type, w.type);
+    EXPECT_EQ(g.root, w.root);
+    EXPECT_TRUE(g.edges == w.edges);
+    ASSERT_EQ(g.atoms.size(), w.atoms.size());
+    auto gi = g.atoms.begin();
+    auto wi = w.atoms.begin();
+    for (; gi != g.atoms.end(); ++gi, ++wi) {
+      SCOPED_TRACE("atom " + std::to_string(wi->first));
+      EXPECT_EQ(gi->first, wi->first);
+      EXPECT_EQ(gi->second.id, wi->second.id);
+      EXPECT_EQ(gi->second.type, wi->second.type);
+      EXPECT_EQ(gi->second.version_no, wi->second.version_no);
+      EXPECT_EQ(gi->second.valid, wi->second.valid);
+      ASSERT_EQ(gi->second.attrs.size(), wi->second.attrs.size());
+      for (size_t k = 0; k < gi->second.attrs.size(); ++k) {
+        EXPECT_TRUE(gi->second.attrs[k].Equals(wi->second.attrs[k]));
+      }
+    }
+  }
+}
+
+TEST_P(MaterializerTest, IncrementalHistoryMatchesNaiveUnderChurn) {
+  BuildSmallNetwork();
+  // Version churn, link churn, inner-atom death/rebirth, root
+  // death/rebirth — every delta class the sweep distinguishes.
+  ASSERT_TRUE(store_->Update(EmpT(), 2,
+                             {Value::String("ada"), Value::Int(120)}, 15)
+                  .ok());
+  ASSERT_TRUE(links_->Disconnect(DE(), 1, 3, 20).ok());
+  ASSERT_TRUE(store_->Update(DeptT(), 1,
+                             {Value::String("R&D"), Value::Int(600)}, 25)
+                  .ok());
+  ASSERT_TRUE(links_->Connect(DE(), 1, 3, 28).ok());
+  ASSERT_TRUE(store_->Delete(EmpT(), 3, 30).ok());
+  ASSERT_TRUE(store_->Update(EmpT(), 2,
+                             {Value::String("ada"), Value::Int(140)}, 35)
+                  .ok());
+  ASSERT_TRUE(store_->Insert(EmpT(), 3,
+                             {Value::String("bob"), Value::Int(95)}, 40)
+                  .ok());
+  ASSERT_TRUE(links_->Disconnect(EP(), 2, 4, 45).ok());
+  ASSERT_TRUE(store_->Delete(DeptT(), 1, 50).ok());
+  ASSERT_TRUE(store_->Insert(DeptT(), 1,
+                             {Value::String("R&D2"), Value::Int(50)}, 55)
+                  .ok());
+  ASSERT_TRUE(store_->Update(EmpT(), 2,
+                             {Value::String("ada"), Value::Int(160)}, 60)
+                  .ok());
+
+  for (const Interval& window :
+       {Interval(10, 70), Interval::All(), Interval(1, 70), Interval(12, 33),
+        Interval(31, 49), Interval(51, 53), Interval(26, 27)}) {
+    SCOPED_TRACE("window [" + std::to_string(window.begin) + "," +
+                 std::to_string(window.end) + ")");
+    auto incremental = mat_->History(Mol(), 1, window);
+    auto naive = mat_->NaiveHistory(Mol(), 1, window);
+    ASSERT_EQ(incremental.ok(), naive.ok());
+    if (!incremental.ok()) continue;
+    ExpectIdenticalHistories(incremental.value(), naive.value());
+  }
+}
+
+TEST_P(MaterializerTest, CyclicMoleculeTypeHistoryMatchesNaive) {
+  // Dept -> Emp -> Dept -> ... : the backward DeptEmp edge makes the
+  // type graph cyclic; discovery and the sweep must still terminate and
+  // agree with the naive path.
+  MoleculeTypeId cyc =
+      catalog_
+          .CreateMoleculeType("CycleMol", dept_,
+                              {{dept_emp_, true},
+                               {dept_emp_, false},
+                               {emp_proj_, true}})
+          .value();
+  const MoleculeTypeDef& cyc_def = *catalog_.GetMoleculeType(cyc).value();
+  BuildSmallNetwork();
+  // Dept #5 shares emp #2, so the cycle pulls a second department (and
+  // its own churn) into dept #1's molecule.
+  ASSERT_TRUE(store_->Insert(DeptT(), 5,
+                             {Value::String("Sales"), Value::Int(300)}, 10)
+                  .ok());
+  ASSERT_TRUE(links_->Connect(DE(), 5, 2, 10).ok());
+  ASSERT_TRUE(store_->Update(DeptT(), 5,
+                             {Value::String("Sales"), Value::Int(350)}, 22)
+                  .ok());
+  ASSERT_TRUE(links_->Disconnect(DE(), 5, 2, 33).ok());
+
+  MoleculeHistory h = mat_->History(cyc_def, 1, Interval(10, 40)).value();
+  ASSERT_FALSE(h.states.empty());
+  // Before the disconnect, dept #5 is reachable via the shared employee.
+  EXPECT_TRUE(h.states.front().molecule.atoms.count(5));
+  EXPECT_FALSE(h.states.back().molecule.atoms.count(5));
+  ExpectIdenticalHistories(
+      h, mat_->NaiveHistory(cyc_def, 1, Interval(10, 40)).value());
+}
+
+TEST_P(MaterializerTest, InnerAtomDeathShrinksRootDeathGaps) {
+  BuildSmallNetwork();
+  // Inner atom #3 dies at 25 while root #1 lives: the molecule shrinks
+  // but its history stays contiguous.
+  ASSERT_TRUE(store_->Delete(EmpT(), 3, 25).ok());
+  // Root dies at 40 and returns at 55: that is a gap.
+  ASSERT_TRUE(store_->Delete(DeptT(), 1, 40).ok());
+  ASSERT_TRUE(store_->Insert(DeptT(), 1,
+                             {Value::String("R&D2"), Value::Int(80)}, 55)
+                  .ok());
+
+  MoleculeHistory h = mat_->History(Mol(), 1, Interval(10, 70)).value();
+  ASSERT_EQ(h.states.size(), 3u);
+  // Shrink: [10,25) has emp #3, [25,40) does not, no gap between them.
+  EXPECT_EQ(h.states[0].valid, Interval(10, 25));
+  EXPECT_TRUE(h.states[0].molecule.atoms.count(3));
+  EXPECT_EQ(h.states[1].valid, Interval(25, 40));
+  EXPECT_FALSE(h.states[1].molecule.atoms.count(3));
+  EXPECT_TRUE(h.states[0].valid.Meets(h.states[1].valid));
+  // Gap: the root's death interval [40,55) yields no state at all.
+  EXPECT_EQ(h.states[2].valid, Interval(55, 70));
+  EXPECT_FALSE(h.states[1].valid.Meets(h.states[2].valid));
+
+  ExpectIdenticalHistories(
+      h, mat_->NaiveHistory(Mol(), 1, Interval(10, 70)).value());
+}
+
+TEST_P(MaterializerTest, IncrementalHistoryUsesFewerStoreAccesses) {
+  BuildSmallNetwork();
+  // A deep history: 12 updates on emp #2 produce 12 change points.
+  for (int i = 0; i < 12; ++i) {
+    ASSERT_TRUE(store_->Update(EmpT(), 2,
+                               {Value::String("ada"), Value::Int(100 + i)},
+                               20 + i)
+                    .ok());
+  }
+  const Interval window(10, 60);
+
+  store_->ResetAccessStats();
+  MoleculeHistory inc = mat_->History(Mol(), 1, window).value();
+  const uint64_t incremental_accesses = store_->access_stats().Total();
+
+  store_->ResetAccessStats();
+  MoleculeHistory naive = mat_->NaiveHistory(Mol(), 1, window).value();
+  const uint64_t naive_accesses = store_->access_stats().Total();
+
+  ExpectIdenticalHistories(inc, naive);
+  // The sweep pins each reachable atom once; the naive path re-fetches
+  // every atom at every elementary interval.
+  EXPECT_GE(naive_accesses, 5 * incremental_accesses)
+      << "naive=" << naive_accesses
+      << " incremental=" << incremental_accesses;
+}
+
+TEST_P(MaterializerTest, CallerProvidedCacheIsSharedAcrossHistories) {
+  BuildSmallNetwork();
+  ASSERT_TRUE(store_->Insert(DeptT(), 5,
+                             {Value::String("Sales"), Value::Int(300)}, 10)
+                  .ok());
+  ASSERT_TRUE(links_->Connect(DE(), 5, 2, 10).ok());
+  const Interval window(10, 40);
+
+  VersionCache cache = mat_->NewCache(window);
+  MoleculeHistory h1 = mat_->History(Mol(), 1, window, &cache).value();
+  MoleculeHistory h5 = mat_->History(Mol(), 5, window, &cache).value();
+  EXPECT_FALSE(h1.states.empty());
+  EXPECT_FALSE(h5.states.empty());
+  // The shared employee/project were pinned by the first history, so the
+  // second one hits the cache instead of the store.
+  EXPECT_GT(cache.stats().atom_hits, 0u);
+
+  ExpectIdenticalHistories(h1, mat_->NaiveHistory(Mol(), 1, window).value());
+  ExpectIdenticalHistories(h5, mat_->NaiveHistory(Mol(), 5, window).value());
+}
+
 INSTANTIATE_TEST_SUITE_P(AllStrategies, MaterializerTest,
                          ::testing::Values(StorageStrategy::kSnapshot,
                                            StorageStrategy::kIntegrated,

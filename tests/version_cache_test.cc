@@ -1,0 +1,161 @@
+#include "mad/version_cache.h"
+
+#include <gtest/gtest.h>
+
+#include "catalog/catalog.h"
+#include "common/temp_dir.h"
+#include "tstore/store_factory.h"
+
+namespace tcob {
+namespace {
+
+/// Exercises the query-scoped cache against every storage strategy: one
+/// pinned fetch per object, hit/miss accounting, and probe results
+/// identical to the direct store paths.
+class VersionCacheTest : public ::testing::TestWithParam<StorageStrategy> {
+ protected:
+  void SetUp() override {
+    auto dm = DiskManager::Open(dir_.path() + "/db");
+    ASSERT_TRUE(dm.ok());
+    disk_ = std::move(dm).value();
+    pool_ = std::make_unique<BufferPool>(disk_.get(), 512);
+    store_ = MakeTemporalStore(GetParam(), pool_.get(), "store", {});
+    links_ = std::make_unique<LinkStore>(pool_.get(), "links");
+    emp_ = catalog_.CreateAtomType("Emp", {{"name", AttrType::kString},
+                                           {"salary", AttrType::kInt}})
+               .value();
+    emp_emp_ = catalog_.CreateLinkType("Mentor", emp_, emp_).value();
+  }
+
+  const AtomTypeDef& EmpT() { return *catalog_.GetAtomType(emp_).value(); }
+  const LinkTypeDef& Mentor() {
+    return *catalog_.GetLinkType(emp_emp_).value();
+  }
+
+  /// Emp #1 with versions [10,20), [20,30), gap, [40, forever).
+  void BuildVersionedAtom() {
+    ASSERT_TRUE(store_->Insert(EmpT(), 1,
+                               {Value::String("ada"), Value::Int(100)}, 10)
+                    .ok());
+    ASSERT_TRUE(store_->Update(EmpT(), 1,
+                               {Value::String("ada"), Value::Int(200)}, 20)
+                    .ok());
+    ASSERT_TRUE(store_->Delete(EmpT(), 1, 30).ok());
+    ASSERT_TRUE(store_->Insert(EmpT(), 1,
+                               {Value::String("ada"), Value::Int(300)}, 40)
+                    .ok());
+  }
+
+  TempDir dir_;
+  Catalog catalog_;
+  std::unique_ptr<DiskManager> disk_;
+  std::unique_ptr<BufferPool> pool_;
+  std::unique_ptr<TemporalAtomStore> store_;
+  std::unique_ptr<LinkStore> links_;
+  TypeId emp_;
+  LinkTypeId emp_emp_;
+};
+
+TEST_P(VersionCacheTest, PinFetchesEachAtomOnce) {
+  BuildVersionedAtom();
+  VersionCache cache(store_.get(), links_.get());
+  store_->ResetAccessStats();
+
+  auto first = cache.Pin(EmpT(), 1);
+  ASSERT_TRUE(first.ok());
+  EXPECT_TRUE(first.value()->found);
+  EXPECT_EQ(first.value()->versions.size(), 3u);
+  auto second = cache.Pin(EmpT(), 1);
+  ASSERT_TRUE(second.ok());
+  EXPECT_EQ(first.value(), second.value());
+
+  EXPECT_EQ(cache.stats().atom_misses, 1u);
+  EXPECT_EQ(cache.stats().atom_hits, 1u);
+  EXPECT_EQ(store_->access_stats().get_versions, 1u);
+  EXPECT_EQ(store_->access_stats().Total(), 1u);
+}
+
+TEST_P(VersionCacheTest, AsOfMatchesStoreGetAsOf) {
+  BuildVersionedAtom();
+  VersionCache cache(store_.get(), links_.get());
+  for (Timestamp t : {Timestamp(5), Timestamp(10), Timestamp(19),
+                      Timestamp(25), Timestamp(35), Timestamp(40),
+                      Timestamp(99)}) {
+    SCOPED_TRACE("t=" + std::to_string(t));
+    auto direct = store_->GetAsOf(EmpT(), 1, t);
+    ASSERT_TRUE(direct.ok());
+    auto cached = cache.AsOf(EmpT(), 1, t);
+    ASSERT_TRUE(cached.ok());
+    if (!direct.value().has_value()) {
+      EXPECT_EQ(cached.value(), nullptr);
+    } else {
+      ASSERT_NE(cached.value(), nullptr);
+      EXPECT_EQ(cached.value()->version_no, direct.value()->version_no);
+      EXPECT_EQ(cached.value()->valid, direct.value()->valid);
+      EXPECT_TRUE(cached.value()->attrs[1].Equals(direct.value()->attrs[1]));
+    }
+  }
+  // 7 probes, one atom: exactly one miss.
+  EXPECT_EQ(cache.stats().atom_misses, 1u);
+  EXPECT_EQ(cache.stats().atom_hits, 6u);
+}
+
+TEST_P(VersionCacheTest, NeverInsertedAtomIsNegativeCached) {
+  VersionCache cache(store_.get(), links_.get());
+  store_->ResetAccessStats();
+  EXPECT_TRUE(cache.AsOf(EmpT(), 99, 10).status().IsNotFound());
+  EXPECT_TRUE(cache.AsOf(EmpT(), 99, 20).status().IsNotFound());
+  // The negative result is pinned too: one store round-trip only.
+  EXPECT_EQ(store_->access_stats().Total(), 1u);
+  EXPECT_EQ(cache.stats().atom_hits, 1u);
+}
+
+TEST_P(VersionCacheTest, WindowClipsPinnedVersions) {
+  BuildVersionedAtom();
+  VersionCache cache(store_.get(), links_.get(), Interval(20, 30));
+  auto entry = cache.Pin(EmpT(), 1);
+  ASSERT_TRUE(entry.ok());
+  ASSERT_EQ(entry.value()->versions.size(), 1u);
+  EXPECT_EQ(entry.value()->versions[0].valid, Interval(20, 30));
+  auto at = cache.AsOf(EmpT(), 1, 25);
+  ASSERT_TRUE(at.ok());
+  ASSERT_NE(at.value(), nullptr);
+  EXPECT_EQ(at.value()->attrs[1].AsInt(), 200);
+}
+
+TEST_P(VersionCacheTest, NeighborsArePinnedAndFiltered) {
+  BuildVersionedAtom();
+  ASSERT_TRUE(store_->Insert(EmpT(), 2,
+                             {Value::String("bob"), Value::Int(50)}, 10)
+                  .ok());
+  ASSERT_TRUE(links_->Connect(Mentor(), 1, 2, 10).ok());
+  ASSERT_TRUE(links_->Disconnect(Mentor(), 1, 2, 25).ok());
+
+  VersionCache cache(store_.get(), links_.get());
+  auto pinned = cache.Neighbors(Mentor(), 1, true);
+  ASSERT_TRUE(pinned.ok());
+  ASSERT_EQ(pinned.value()->size(), 1u);
+  EXPECT_EQ((*pinned.value())[0].second, Interval(10, 25));
+
+  for (Timestamp t : {Timestamp(5), Timestamp(15), Timestamp(30)}) {
+    SCOPED_TRACE("t=" + std::to_string(t));
+    auto direct = links_->NeighborsAsOf(Mentor(), 1, true, t);
+    ASSERT_TRUE(direct.ok());
+    auto cached = cache.NeighborsAsOf(Mentor(), 1, true, t);
+    ASSERT_TRUE(cached.ok());
+    EXPECT_EQ(cached.value(), direct.value());
+  }
+  EXPECT_EQ(cache.stats().link_misses, 1u);
+  EXPECT_EQ(cache.stats().link_hits, 3u);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllStrategies, VersionCacheTest,
+                         ::testing::Values(StorageStrategy::kSnapshot,
+                                           StorageStrategy::kIntegrated,
+                                           StorageStrategy::kSeparated),
+                         [](const auto& info) {
+                           return StorageStrategyName(info.param);
+                         });
+
+}  // namespace
+}  // namespace tcob
