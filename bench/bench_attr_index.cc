@@ -74,4 +74,4 @@ BENCHMARK(BM_SelectiveSlice)
 }  // namespace bench
 }  // namespace tcob
 
-BENCHMARK_MAIN();
+TCOB_BENCH_MAIN();

@@ -62,4 +62,4 @@ BENCHMARK(BM_PoolSensitivity)
 }  // namespace bench
 }  // namespace tcob
 
-BENCHMARK_MAIN();
+TCOB_BENCH_MAIN();

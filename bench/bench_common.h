@@ -1,6 +1,10 @@
 #ifndef TCOB_BENCH_BENCH_COMMON_H_
 #define TCOB_BENCH_BENCH_COMMON_H_
 
+#include <benchmark/benchmark.h>
+
+#include <cstdlib>
+#include <cstring>
 #include <map>
 #include <memory>
 #include <string>
@@ -12,6 +16,40 @@
 
 namespace tcob {
 namespace bench {
+
+/// Query-path worker threads for benchmark databases (1 = serial).
+/// Set with --threads N (or TCOB_THREADS); read by GetCompanyDb.
+inline size_t& BenchThreadsRef() {
+  static size_t threads = 1;
+  return threads;
+}
+inline size_t BenchThreads() { return BenchThreadsRef(); }
+
+/// Strips TCOB-specific flags (currently --threads N / --threads=N)
+/// from argv before google-benchmark sees them; TCOB_THREADS in the
+/// environment supplies the default.
+inline void ParseBenchFlags(int* argc, char** argv) {
+  if (const char* env = std::getenv("TCOB_THREADS")) {
+    int v = std::atoi(env);
+    if (v > 0) BenchThreadsRef() = static_cast<size_t>(v);
+  }
+  int out = 1;
+  for (int i = 1; i < *argc; ++i) {
+    const char* arg = argv[i];
+    if (std::strncmp(arg, "--threads=", 10) == 0) {
+      int v = std::atoi(arg + 10);
+      if (v > 0) BenchThreadsRef() = static_cast<size_t>(v);
+      continue;
+    }
+    if (std::strcmp(arg, "--threads") == 0 && i + 1 < *argc) {
+      int v = std::atoi(argv[++i]);
+      if (v > 0) BenchThreadsRef() = static_cast<size_t>(v);
+      continue;
+    }
+    argv[out++] = argv[i];
+  }
+  *argc = out;
+}
 
 /// A fully built company database plus its handles, kept alive and
 /// shared across benchmark iterations so the (expensive) load phase is
@@ -32,7 +70,8 @@ inline std::string ConfigKey(StorageStrategy strategy,
          std::to_string(config.projs_per_emp) + "/v" +
          std::to_string(config.versions_per_atom) + "/idx" +
          std::to_string(version_index) + "/pool" +
-         std::to_string(pool_pages);
+         std::to_string(pool_pages) + "/t" +
+         std::to_string(BenchThreads());
 }
 
 /// Builds (or returns the cached) company database for a configuration.
@@ -52,6 +91,7 @@ inline BenchDb* GetCompanyDb(StorageStrategy strategy,
   options.strategy = strategy;
   options.buffer_pool_pages = pool_pages;
   options.store.separated_version_index = version_index;
+  options.parallelism = BenchThreads();
   auto db = Database::Open(bench_db->dir->path() + "/db", options);
   BenchCheck(db.status(), "open database");
   bench_db->db = std::move(db).value();
@@ -73,5 +113,24 @@ inline Timestamp RoundTime(const CompanyConfig& config, uint32_t round) {
 
 }  // namespace bench
 }  // namespace tcob
+
+/// BENCHMARK_MAIN() with TCOB flag handling: --threads is consumed
+/// before google-benchmark parses argv (it rejects unknown flags).
+#define TCOB_BENCH_MAIN()                                                 \
+  int main(int argc, char** argv) {                                       \
+    char arg0_default[] = "benchmark";                                    \
+    char* args_default = arg0_default;                                    \
+    if (!argv) {                                                          \
+      argc = 1;                                                           \
+      argv = &args_default;                                               \
+    }                                                                     \
+    ::tcob::bench::ParseBenchFlags(&argc, argv);                          \
+    ::benchmark::Initialize(&argc, argv);                                 \
+    if (::benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;   \
+    ::benchmark::RunSpecifiedBenchmarks();                                \
+    ::benchmark::Shutdown();                                              \
+    return 0;                                                             \
+  }                                                                       \
+  int main(int, char**)
 
 #endif  // TCOB_BENCH_BENCH_COMMON_H_

@@ -107,4 +107,4 @@ BENCHMARK(BM_MoleculeHistoryNaive)
 }  // namespace bench
 }  // namespace tcob
 
-BENCHMARK_MAIN();
+TCOB_BENCH_MAIN();

@@ -62,4 +62,4 @@ BENCHMARK(BM_IntervalQuery)
 }  // namespace bench
 }  // namespace tcob
 
-BENCHMARK_MAIN();
+TCOB_BENCH_MAIN();

@@ -58,4 +58,4 @@ BENCHMARK(BM_MoleculeComplexity)
 }  // namespace bench
 }  // namespace tcob
 
-BENCHMARK_MAIN();
+TCOB_BENCH_MAIN();

@@ -87,4 +87,4 @@ BENCHMARK(BM_MqlQuery)
 }  // namespace bench
 }  // namespace tcob
 
-BENCHMARK_MAIN();
+TCOB_BENCH_MAIN();

@@ -56,4 +56,4 @@ BENCHMARK(BM_StorageConsumption)
 }  // namespace bench
 }  // namespace tcob
 
-BENCHMARK_MAIN();
+TCOB_BENCH_MAIN();

@@ -64,4 +64,4 @@ BENCHMARK(BM_TimeSliceCurrent)
 }  // namespace bench
 }  // namespace tcob
 
-BENCHMARK_MAIN();
+TCOB_BENCH_MAIN();

@@ -79,4 +79,4 @@ BENCHMARK(BM_TimeSlicePast)
 }  // namespace bench
 }  // namespace tcob
 
-BENCHMARK_MAIN();
+TCOB_BENCH_MAIN();

@@ -108,4 +108,4 @@ BENCHMARK(BM_DeleteAtom)
 }  // namespace bench
 }  // namespace tcob
 
-BENCHMARK_MAIN();
+TCOB_BENCH_MAIN();

@@ -81,4 +81,4 @@ BENCHMARK(BM_VacuumEffect)
 }  // namespace bench
 }  // namespace tcob
 
-BENCHMARK_MAIN();
+TCOB_BENCH_MAIN();

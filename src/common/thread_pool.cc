@@ -1,0 +1,51 @@
+#include "common/thread_pool.h"
+
+namespace tcob {
+
+ThreadPool::ThreadPool(size_t workers) {
+  if (workers == 0) workers = 1;
+  threads_.reserve(workers);
+  for (size_t i = 0; i < workers; ++i) {
+    threads_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stop_ = true;
+  }
+  work_cv_.notify_all();
+  for (std::thread& t : threads_) t.join();
+}
+
+void ThreadPool::WorkerLoop() {
+  std::unique_lock<std::mutex> lock(mu_);
+  while (true) {
+    work_cv_.wait(lock, [this] { return stop_ || !queue_.empty(); });
+    if (queue_.empty()) {
+      if (stop_) return;
+      continue;
+    }
+    auto [task, batch] = std::move(queue_.front());
+    queue_.pop();
+    lock.unlock();
+    task();
+    lock.lock();
+    if (--batch->remaining == 0) done_cv_.notify_all();
+  }
+}
+
+void ThreadPool::RunAll(std::vector<std::function<void()>> tasks) {
+  if (tasks.empty()) return;
+  Batch batch;
+  std::unique_lock<std::mutex> lock(mu_);
+  batch.remaining = tasks.size();
+  for (std::function<void()>& task : tasks) {
+    queue_.emplace(std::move(task), &batch);
+  }
+  work_cv_.notify_all();
+  done_cv_.wait(lock, [&batch] { return batch.remaining == 0; });
+}
+
+}  // namespace tcob

@@ -1,0 +1,55 @@
+#ifndef TCOB_COMMON_THREAD_POOL_H_
+#define TCOB_COMMON_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+namespace tcob {
+
+/// Fixed-size pool of worker threads for intra-query read parallelism.
+///
+/// Deliberately minimal — no work stealing, no futures: a coordinator
+/// hands over a closed batch of tasks with RunAll() and blocks until all
+/// of them have finished. Tasks must not throw and must confine their
+/// writes to disjoint state (the materializer gives every task its own
+/// version cache and its own output slots).
+class ThreadPool {
+ public:
+  /// Spawns `workers` threads (at least 1).
+  explicit ThreadPool(size_t workers);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  size_t workers() const { return threads_.size(); }
+
+  /// Runs every task on the pool; returns when all have completed.
+  /// Concurrent RunAll calls are safe (each waits for its own batch),
+  /// but tasks of different batches share the worker threads.
+  void RunAll(std::vector<std::function<void()>> tasks);
+
+ private:
+  void WorkerLoop();
+
+  /// One submitted batch; `remaining` counts its unfinished tasks.
+  struct Batch {
+    size_t remaining = 0;
+  };
+
+  std::vector<std::thread> threads_;
+  std::mutex mu_;
+  std::condition_variable work_cv_;  // workers: "there may be a task"
+  std::condition_variable done_cv_;  // coordinators: "a batch may be done"
+  std::queue<std::pair<std::function<void()>, Batch*>> queue_;
+  bool stop_ = false;
+};
+
+}  // namespace tcob
+
+#endif  // TCOB_COMMON_THREAD_POOL_H_

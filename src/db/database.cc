@@ -1,6 +1,8 @@
 #include "db/database.h"
 
+#include <algorithm>
 #include <cstdio>
+#include <thread>
 
 #include "common/coding.h"
 #include "common/logging.h"
@@ -32,6 +34,13 @@ Database::~Database() {
 Status Database::Init() {
   TCOB_ASSIGN_OR_RETURN(disk_, DiskManager::Open(dir_));
   pool_ = std::make_unique<BufferPool>(disk_.get(), options_.buffer_pool_pages);
+  size_t workers = options_.parallelism;
+  if (workers == 0) {
+    workers = std::max<size_t>(1, std::thread::hardware_concurrency());
+  }
+  if (workers > 1) {
+    query_pool_ = std::make_unique<ThreadPool>(workers);
+  }
   Result<Catalog> loaded = Catalog::LoadFromFile(dir_ + "/catalog.tcob");
   if (loaded.ok()) {
     catalog_ = std::move(loaded).value();
@@ -426,11 +435,11 @@ Result<ResultSet> Database::ExecuteStatement(const Statement& stmt) {
         using T = std::decay_t<decltype(s)>;
         ResultSet out;
         if constexpr (std::is_same_v<T, SelectStmt>) {
-          Materializer mat(&catalog_, store_.get(), links_.get());
+          Materializer mat(&catalog_, store_.get(), links_.get(), query_pool_.get());
           SelectExecutor exec(&catalog_, &mat, now_, attr_indexes_.get());
           return exec.Execute(s);
         } else if constexpr (std::is_same_v<T, ExplainStmt>) {
-          Materializer mat(&catalog_, store_.get(), links_.get());
+          Materializer mat(&catalog_, store_.get(), links_.get(), query_pool_.get());
           SelectExecutor exec(&catalog_, &mat, now_, attr_indexes_.get());
           return exec.Explain(s.select);
         } else if constexpr (std::is_same_v<T, CreateIndexStmt>) {

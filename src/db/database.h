@@ -7,6 +7,7 @@
 
 #include "catalog/catalog.h"
 #include "common/result.h"
+#include "common/thread_pool.h"
 #include "db/transaction.h"
 #include "index/attr_index.h"
 #include "mad/link_store.h"
@@ -31,6 +32,11 @@ struct DatabaseOptions {
   StoreOptions store;
   /// fdatasync the WAL after every auto-committed statement.
   bool sync_wal = false;
+  /// Worker threads for the read path (molecule materialization fans out
+  /// across them). 0 = one per hardware thread; 1 = fully serial
+  /// execution, byte-identical to the pre-parallel code path. Writes are
+  /// single-threaded regardless.
+  size_t parallelism = 0;
 };
 
 /// The public face of the temporal complex-object database.
@@ -162,7 +168,8 @@ class Database {
   WriteAheadLog* wal() { return wal_.get(); }
   AttrIndexManager* attr_indexes() { return attr_indexes_.get(); }
   Materializer materializer() const {
-    return Materializer(&catalog_, store_.get(), links_.get());
+    return Materializer(&catalog_, store_.get(), links_.get(),
+                        query_pool_.get());
   }
   const DatabaseOptions& options() const { return options_; }
 
@@ -220,6 +227,9 @@ class Database {
   std::unique_ptr<LinkStore> links_;
   std::unique_ptr<AttrIndexManager> attr_indexes_;
   std::unique_ptr<WriteAheadLog> wal_;
+  /// Query-path worker pool; null when options_.parallelism resolves
+  /// to 1 (serial execution).
+  std::unique_ptr<ThreadPool> query_pool_;
   Timestamp now_ = 1;
   uint64_t next_txn_id_ = 1;
 };

@@ -25,6 +25,7 @@ std::string ValueRange::ToString() const {
 }
 
 Result<BTree*> AttrIndexManager::TreeOf(IndexId id) const {
+  std::lock_guard<std::mutex> lock(trees_mu_);
   auto it = trees_.find(id);
   if (it != trees_.end()) return it->second.get();
   TCOB_ASSIGN_OR_RETURN(
@@ -191,6 +192,7 @@ Result<uint64_t> AttrIndexManager::VacuumBefore(Timestamp cutoff) {
 }
 
 Result<uint64_t> AttrIndexManager::TotalPages() const {
+  std::lock_guard<std::mutex> lock(trees_mu_);
   uint64_t pages = 0;
   for (const auto& [id, tree] : trees_) {
     (void)id;

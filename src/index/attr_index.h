@@ -3,6 +3,7 @@
 
 #include <map>
 #include <memory>
+#include <mutex>
 #include <optional>
 #include <string>
 #include <vector>
@@ -87,6 +88,8 @@ class AttrIndexManager {
 
   BufferPool* pool_;
   const Catalog* catalog_;
+  // Guards lazy tree opening; the trees themselves carry their own latch.
+  mutable std::mutex trees_mu_;
   mutable std::map<IndexId, std::unique_ptr<BTree>> trees_;
 };
 

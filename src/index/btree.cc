@@ -252,6 +252,7 @@ Status BTree::Put(const Slice& key, uint64_t value) {
   if (key.size() > 1024) {
     return Status::InvalidArgument("btree key too long");
   }
+  std::unique_lock<std::shared_mutex> lock(latch_);
   bool replaced = false;
   TCOB_ASSIGN_OR_RETURN(SplitResult split,
                         InsertRec(root_, key, value, &replaced));
@@ -279,6 +280,7 @@ Result<PageNo> BTree::FindLeaf(const Slice& key) const {
 }
 
 Result<uint64_t> BTree::Get(const Slice& key) const {
+  std::shared_lock<std::shared_mutex> lock(latch_);
   TCOB_ASSIGN_OR_RETURN(PageNo leaf_page, FindLeaf(key));
   TCOB_ASSIGN_OR_RETURN(Node leaf, ReadNode(leaf_page));
   int pos = LowerBound(leaf, key);
@@ -290,6 +292,7 @@ Result<uint64_t> BTree::Get(const Slice& key) const {
 }
 
 Status BTree::Delete(const Slice& key) {
+  std::unique_lock<std::shared_mutex> lock(latch_);
   TCOB_ASSIGN_OR_RETURN(PageNo leaf_page, FindLeaf(key));
   TCOB_ASSIGN_OR_RETURN(Node leaf, ReadNode(leaf_page));
   int pos = LowerBound(leaf, key);
@@ -305,6 +308,13 @@ Status BTree::Delete(const Slice& key) {
 }
 
 Status BTree::Scan(
+    const Slice& lower, const Slice& upper,
+    const std::function<Result<bool>(const Slice&, uint64_t)>& fn) const {
+  std::shared_lock<std::shared_mutex> lock(latch_);
+  return ScanLocked(lower, upper, fn);
+}
+
+Status BTree::ScanLocked(
     const Slice& lower, const Slice& upper,
     const std::function<Result<bool>(const Slice&, uint64_t)>& fn) const {
   TCOB_ASSIGN_OR_RETURN(PageNo page, FindLeaf(lower));
@@ -334,11 +344,13 @@ Status BTree::ScanPrefix(
   if (!upper.empty()) {
     upper.back() = static_cast<char>(upper.back() + 1);
   }
-  return Scan(prefix, Slice(upper), fn);
+  std::shared_lock<std::shared_mutex> lock(latch_);
+  return ScanLocked(prefix, Slice(upper), fn);
 }
 
 Result<std::pair<std::string, uint64_t>> BTree::Floor(
     const Slice& target) const {
+  std::shared_lock<std::shared_mutex> lock(latch_);
   PageNo page = root_;
   PageNo fallback_subtree = kInvalidPageNo;
   for (;;) {
@@ -375,6 +387,7 @@ Result<std::pair<std::string, uint64_t>> BTree::Floor(
 }
 
 Result<uint32_t> BTree::Height() const {
+  std::shared_lock<std::shared_mutex> lock(latch_);
   uint32_t height = 1;
   PageNo page = root_;
   for (;;) {

@@ -5,6 +5,7 @@
 #include <functional>
 #include <memory>
 #include <optional>
+#include <shared_mutex>
 #include <string>
 #include <vector>
 
@@ -26,6 +27,11 @@ namespace tcob {
 /// Splits propagate upward; deletion is lazy (no rebalancing — vacated
 /// space is reused by later inserts, matching the workload pattern of the
 /// modeled system where histories only grow).
+///
+/// Concurrency: a tree-wide reader/writer latch. Reads (Get, Scan,
+/// Floor, ...) may run concurrently with each other; Put/Delete take the
+/// latch exclusively. Scan callbacks run under the shared latch, so they
+/// must not call back into the same tree.
 class BTree {
  public:
   /// Opens (formatting if empty) the tree stored in file `name`.
@@ -57,7 +63,10 @@ class BTree {
   Result<std::pair<std::string, uint64_t>> Floor(const Slice& target) const;
 
   /// Number of live entries.
-  uint64_t Size() const { return entry_count_; }
+  uint64_t Size() const {
+    std::shared_lock<std::shared_mutex> lock(latch_);
+    return entry_count_;
+  }
 
   /// Tree height (1 == root is a leaf).
   Result<uint32_t> Height() const;
@@ -100,8 +109,17 @@ class BTree {
   /// Descends to the leaf that may contain `key`.
   Result<PageNo> FindLeaf(const Slice& key) const;
 
+  /// Scan body, caller holds the latch (shared or exclusive).
+  Status ScanLocked(
+      const Slice& lower, const Slice& upper,
+      const std::function<Result<bool>(const Slice&, uint64_t)>& fn) const;
+
   BufferPool* pool_;
   FileId file_;
+  // Tree-wide reader/writer latch: shared for lookups and scans,
+  // exclusive for Put/Delete (writes stay single-threaded upstream, the
+  // exclusive mode just keeps concurrent readers out mid-split).
+  mutable std::shared_mutex latch_;
   PageNo root_ = kInvalidPageNo;
   uint64_t entry_count_ = 0;
 };

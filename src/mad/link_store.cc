@@ -15,6 +15,7 @@ void LinkStore::EncodeLink(AtomId from, AtomId to, const Interval& valid,
 }
 
 Result<LinkStore::LinkState*> LinkStore::StateOf(LinkTypeId link) const {
+  std::lock_guard<std::mutex> lock(links_mu_);
   auto it = links_.find(link);
   if (it != links_.end()) return &it->second;
   LinkState state;

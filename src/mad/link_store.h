@@ -4,6 +4,7 @@
 #include <functional>
 #include <map>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <unordered_map>
 #include <vector>
@@ -86,6 +87,10 @@ class LinkStore {
 
   BufferPool* pool_;
   std::string prefix_;
+  // Guards lazy LinkState creation (adjacency rebuild on first touch);
+  // map nodes are stable once created, and the adjacency index itself is
+  // only mutated by the single-threaded write path.
+  mutable std::mutex links_mu_;
   mutable std::map<LinkTypeId, LinkState> links_;
 };
 

@@ -1,6 +1,7 @@
 #include "mad/materializer.h"
 
 #include <algorithm>
+#include <optional>
 #include <set>
 
 namespace tcob {
@@ -108,6 +109,40 @@ Status Materializer::AllMoleculesAsOf(
     const std::function<Result<bool>(Molecule)>& fn) const {
   TCOB_ASSIGN_OR_RETURN(const AtomTypeDef* root_type,
                         AtomTypeOf(type.root_type));
+  if (pool_ != nullptr && pool_->workers() > 1) {
+    // Collect the qualifying roots first (in scan order — the order the
+    // serial path would emit), then fan the materialization out.
+    std::vector<AtomId> roots;
+    TCOB_RETURN_NOT_OK(store_->ScanAsOf(
+        *root_type, t, [&](const AtomVersion& root) -> Result<bool> {
+          roots.push_back(root.id);
+          return true;
+        }));
+    if (roots.size() > 1) {
+      // A scanned root is valid at t by construction, so NotFound is a
+      // real error here — propagate it like the serial loop would.
+      return ParallelMoleculesAsOf(type, roots, t,
+                                   /*skip_not_found=*/false, fn);
+    }
+    // Fall through: zero or one root gains nothing from the pool.
+    VersionCache cache = NewCache(Interval::At(t));
+    Status out = Status::OK();
+    for (AtomId root : roots) {
+      Result<Molecule> mol = MaterializeAsOfImpl(type, root, t, &cache);
+      if (!mol.ok()) {
+        out = mol.status();
+        break;
+      }
+      Result<bool> keep_going = fn(std::move(mol).value());
+      if (!keep_going.ok()) {
+        out = keep_going.status();
+        break;
+      }
+      if (!keep_going.value()) break;
+    }
+    cache_stats_ += cache.stats();
+    return out;
+  }
   // One cache for the whole scan: a sub-object shared by many molecules
   // (a department referenced by every employee) is fetched once.
   VersionCache cache = NewCache(Interval::At(t));
@@ -119,6 +154,76 @@ Status Materializer::AllMoleculesAsOf(
       });
   cache_stats_ += cache.stats();
   return out;
+}
+
+Status Materializer::MoleculesAsOf(
+    const MoleculeTypeDef& type, const std::vector<AtomId>& roots,
+    Timestamp t, const std::function<Result<bool>(Molecule)>& fn) const {
+  if (UseParallel(roots.size())) {
+    return ParallelMoleculesAsOf(type, roots, t, /*skip_not_found=*/true, fn);
+  }
+  // Query-scoped cache: molecules of different roots share pinned
+  // sub-objects instead of re-fetching them per root.
+  VersionCache cache = NewCache(Interval::At(t));
+  Status out = Status::OK();
+  for (AtomId root : roots) {
+    Result<Molecule> mol = MaterializeAsOfImpl(type, root, t, &cache);
+    if (!mol.ok()) {
+      // Candidate lists may over-approximate (index false positives).
+      if (mol.status().IsNotFound()) continue;
+      out = mol.status();
+      break;
+    }
+    Result<bool> keep_going = fn(std::move(mol).value());
+    if (!keep_going.ok()) {
+      out = keep_going.status();
+      break;
+    }
+    if (!keep_going.value()) break;
+  }
+  cache_stats_ += cache.stats();
+  return out;
+}
+
+Status Materializer::ParallelMoleculesAsOf(
+    const MoleculeTypeDef& type, const std::vector<AtomId>& roots,
+    Timestamp t, bool skip_not_found,
+    const std::function<Result<bool>(Molecule)>& fn) const {
+  const size_t n = roots.size();
+  const size_t workers = std::min(pool_->workers(), n);
+  // One private cache per worker: caches are not thread-safe, and a
+  // shared one would serialize the very lookups we are spreading out.
+  std::vector<VersionCache> caches;
+  caches.reserve(workers);
+  for (size_t w = 0; w < workers; ++w) {
+    caches.push_back(NewCache(Interval::At(t)));
+  }
+  std::vector<std::optional<Result<Molecule>>> slots(n);
+  std::vector<std::function<void()>> tasks;
+  tasks.reserve(workers);
+  for (size_t w = 0; w < workers; ++w) {
+    const size_t begin = n * w / workers;
+    const size_t end = n * (w + 1) / workers;
+    tasks.push_back([&, w, begin, end] {
+      for (size_t i = begin; i < end; ++i) {
+        slots[i] = MaterializeAsOfImpl(type, roots[i], t, &caches[w]);
+      }
+    });
+  }
+  pool_->RunAll(std::move(tasks));
+  for (VersionCache& cache : caches) cache_stats_ += cache.stats();
+  // Splice in root order; `fn` runs on this thread only. The first error
+  // in root order is reported, exactly as the serial loop would.
+  for (size_t i = 0; i < n; ++i) {
+    Result<Molecule>& mol = *slots[i];
+    if (!mol.ok()) {
+      if (skip_not_found && mol.status().IsNotFound()) continue;
+      return mol.status();
+    }
+    TCOB_ASSIGN_OR_RETURN(bool keep_going, fn(std::move(mol).value()));
+    if (!keep_going) break;
+  }
+  return Status::OK();
 }
 
 Result<Materializer::ReachableSet> Materializer::DiscoverReachable(
@@ -447,6 +552,39 @@ Status Materializer::AllHistories(
         roots.insert(v.id);
         return true;
       }));
+  if (UseParallel(roots.size())) {
+    // Fan the sweeps out: contiguous batches of roots (in sorted order —
+    // the order the serial loop visits them), a private cache per
+    // worker, results spliced back in root order.
+    const std::vector<AtomId> root_list(roots.begin(), roots.end());
+    const size_t n = root_list.size();
+    const size_t workers = std::min(pool_->workers(), n);
+    std::vector<VersionCache> caches;
+    caches.reserve(workers);
+    for (size_t w = 0; w < workers; ++w) caches.push_back(NewCache(window));
+    std::vector<std::optional<Result<MoleculeHistory>>> slots(n);
+    std::vector<std::function<void()>> tasks;
+    tasks.reserve(workers);
+    for (size_t w = 0; w < workers; ++w) {
+      const size_t begin = n * w / workers;
+      const size_t end = n * (w + 1) / workers;
+      tasks.push_back([&, w, begin, end] {
+        for (size_t i = begin; i < end; ++i) {
+          slots[i] = HistorySweep(type, root_list[i], window, &caches[w]);
+        }
+      });
+    }
+    pool_->RunAll(std::move(tasks));
+    for (VersionCache& cache : caches) cache_stats_ += cache.stats();
+    for (size_t i = 0; i < n; ++i) {
+      Result<MoleculeHistory>& h = *slots[i];
+      if (!h.ok()) return h.status();
+      if (h.value().states.empty()) continue;
+      TCOB_ASSIGN_OR_RETURN(bool keep_going, fn(std::move(h).value()));
+      if (!keep_going) break;
+    }
+    return Status::OK();
+  }
   // One cache across every history: molecules sharing sub-objects pin
   // each atom once for the whole statement.
   VersionCache cache = NewCache(window);

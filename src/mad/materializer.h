@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "catalog/catalog.h"
+#include "common/thread_pool.h"
 #include "mad/link_store.h"
 #include "mad/molecule.h"
 #include "mad/version_cache.h"
@@ -27,11 +28,18 @@ namespace tcob {
 /// re-materializing from the store at every change point (which costs
 /// O(change points x atoms) store accesses — see NaiveHistory, kept as
 /// the reference implementation).
+///
+/// With a ThreadPool, the all-roots operators fan materialization out
+/// across workers: qualifying roots are partitioned into contiguous
+/// batches, each worker builds its batch against a private query-scoped
+/// cache (read-only store access is thread-safe), and the results are
+/// spliced back in root order — output and error behavior are identical
+/// to the serial path. Without a pool the original serial code runs.
 class Materializer {
  public:
   Materializer(const Catalog* catalog, const TemporalAtomStore* store,
-               const LinkStore* links)
-      : catalog_(catalog), store_(store), links_(links) {}
+               const LinkStore* links, ThreadPool* pool = nullptr)
+      : catalog_(catalog), store_(store), links_(links), pool_(pool) {}
 
   /// A cache bound to this materializer's stores, for callers that span
   /// one query over several operator invocations (e.g. the executor's
@@ -57,6 +65,14 @@ class Materializer {
   Status AllMoleculesAsOf(
       const MoleculeTypeDef& type, Timestamp t,
       const std::function<Result<bool>(Molecule)>& fn) const;
+
+  /// Streams the molecules of the given roots (in order) as of `t`,
+  /// skipping roots not valid at `t`. The executor's index path: the
+  /// candidate list comes from a secondary index, which is
+  /// version-grained and may over-approximate.
+  Status MoleculesAsOf(const MoleculeTypeDef& type,
+                       const std::vector<AtomId>& roots, Timestamp t,
+                       const std::function<Result<bool>(Molecule)>& fn) const;
 
   /// The piecewise-constant evolution of the molecule rooted at `root`
   /// across `window`: change points are the union of the version
@@ -130,9 +146,25 @@ class Materializer {
                                        AtomId root, const Interval& window,
                                        VersionCache* cache) const;
 
+  /// Fan-out shared by the as-of operators: materializes `roots` across
+  /// the pool's workers (each with a private cache) and splices the
+  /// results back in root order, invoking `fn` serially. NotFound roots
+  /// are skipped when `skip_not_found`, propagated otherwise — matching
+  /// the respective serial loops.
+  Status ParallelMoleculesAsOf(
+      const MoleculeTypeDef& type, const std::vector<AtomId>& roots,
+      Timestamp t, bool skip_not_found,
+      const std::function<Result<bool>(Molecule)>& fn) const;
+
+  /// True when the fan-out machinery should engage for `n` roots.
+  bool UseParallel(size_t n) const {
+    return pool_ != nullptr && pool_->workers() > 1 && n > 1;
+  }
+
   const Catalog* catalog_;
   const TemporalAtomStore* store_;
   const LinkStore* links_;
+  ThreadPool* pool_;
   mutable VersionCacheStats cache_stats_;
 };
 

@@ -345,22 +345,16 @@ Result<ResultSet> SelectExecutor::Execute(const SelectStmt& stmt) const {
                             catalog_->GetAttrIndex(path.index));
       TCOB_ASSIGN_OR_RETURN(std::vector<AtomId> roots,
                             indexes_->LookupAsOf(*index, path.range, t));
-      // Query-scoped cache: molecules of different roots share pinned
-      // sub-objects instead of re-fetching them per root.
-      VersionCache cache = materializer_->NewCache(Interval::At(t));
-      for (AtomId root : roots) {
-        Result<Molecule> mol =
-            materializer_->MaterializeAsOf(*mol_type, root, t, &cache);
-        if (!mol.ok()) {
-          // The index is version-grained; a root listed there is valid at
-          // t, so NotFound cannot happen — but stay defensive.
-          if (mol.status().IsNotFound()) continue;
-          return mol.status();
-        }
-        TCOB_RETURN_NOT_OK(EmitMolecule(stmt, select_all, projection,
-                                        mol.value(), nullptr, &out));
-      }
-      materializer_->AccumulateCacheStats(cache.stats());
+      // MoleculesAsOf routes the roots through a query-scoped cache (and
+      // the thread pool, when the materializer has one); roots not valid
+      // at t are skipped — the index is version-grained, so a listed
+      // root should be valid, but stay defensive.
+      TCOB_RETURN_NOT_OK(materializer_->MoleculesAsOf(
+          *mol_type, roots, t, [&](Molecule mol) -> Result<bool> {
+            TCOB_RETURN_NOT_OK(EmitMolecule(stmt, select_all, projection,
+                                            mol, nullptr, &out));
+            return true;
+          }));
       out.message = path.description;
     } else {
       TCOB_RETURN_NOT_OK(materializer_->AllMoleculesAsOf(

@@ -1,13 +1,37 @@
 #include "storage/buffer_pool.h"
 
+#include <algorithm>
 #include <cstring>
 
 #include "common/logging.h"
 
 namespace tcob {
 
-BufferPool::BufferPool(DiskManager* disk, size_t capacity)
+namespace {
+
+/// Largest power of two <= x (x >= 1).
+size_t FloorPow2(size_t x) {
+  size_t p = 1;
+  while (p * 2 <= x) p *= 2;
+  return p;
+}
+
+constexpr size_t kDefaultShards = 16;
+
+}  // namespace
+
+BufferPool::BufferPool(DiskManager* disk, size_t capacity, size_t shards)
     : disk_(disk), capacity_(capacity == 0 ? 1 : capacity) {
+  if (shards == 0) shards = kDefaultShards;
+  // A shard without at least one frame of its own could never cache a
+  // page, so never run more shards than frames; power of two for cheap
+  // hash-to-shard mapping.
+  shards = FloorPow2(std::min(shards, capacity_));
+  shard_mask_ = shards - 1;
+  shards_.reserve(shards);
+  for (size_t i = 0; i < shards; ++i) {
+    shards_.push_back(std::make_unique<Shard>());
+  }
   frames_.reserve(capacity_);
 }
 
@@ -20,49 +44,73 @@ BufferPool::~BufferPool() {
 }
 
 Result<Page*> BufferPool::FetchPage(FileId file, PageNo page_no) {
-  ++stats_.fetches;
-  auto it = table_.find(Key(file, page_no));
-  if (it != table_.end()) {
-    ++stats_.hits;
-    Page* page = it->second;
-    ++page->pin_count;
-    TouchLru(page);
-    return page;
+  fetches_.fetch_add(1, std::memory_order_relaxed);
+  const uint64_t key = Key(file, page_no);
+  Shard& shard = ShardOf(key);
+  std::unique_lock<std::mutex> lock(shard.mu);
+  while (true) {
+    auto it = shard.table.find(key);
+    if (it != shard.table.end()) {
+      hits_.fetch_add(1, std::memory_order_relaxed);
+      Page* page = it->second;
+      ++page->pin_count;
+      TouchLru(shard, page);
+      return page;
+    }
+    TCOB_ASSIGN_OR_RETURN(Page * frame, AcquireFrame(shard, lock));
+    // AcquireFrame dropped the latch to steal: another thread may have
+    // brought the page in meanwhile, so re-run the table lookup.
+    if (frame == nullptr) continue;
+    misses_.fetch_add(1, std::memory_order_relaxed);
+    Status read = disk_->ReadPage(file, page_no, frame->data);
+    if (!read.ok()) {
+      std::lock_guard<std::mutex> arena(arena_mu_);
+      free_frames_.push_back(frame);
+      return read;
+    }
+    frame->file_id = file;
+    frame->page_no = page_no;
+    frame->pin_count = 1;
+    frame->dirty = false;
+    shard.table[key] = frame;
+    TouchLru(shard, frame);
+    return frame;
   }
-  ++stats_.misses;
-  TCOB_ASSIGN_OR_RETURN(Page * page, AcquireFrame());
-  TCOB_RETURN_NOT_OK(disk_->ReadPage(file, page_no, page->data));
-  page->file_id = file;
-  page->page_no = page_no;
-  page->pin_count = 1;
-  page->dirty = false;
-  table_[Key(file, page_no)] = page;
-  TouchLru(page);
-  return page;
 }
 
 Result<Page*> BufferPool::NewPage(FileId file) {
   TCOB_ASSIGN_OR_RETURN(PageNo page_no, disk_->AllocatePage(file));
-  TCOB_ASSIGN_OR_RETURN(Page * page, AcquireFrame());
-  memset(page->data, 0, kPageSize);
-  page->file_id = file;
-  page->page_no = page_no;
-  page->pin_count = 1;
-  page->dirty = true;
-  table_[Key(file, page_no)] = page;
-  TouchLru(page);
-  return page;
+  const uint64_t key = Key(file, page_no);
+  Shard& shard = ShardOf(key);
+  std::unique_lock<std::mutex> lock(shard.mu);
+  Page* frame = nullptr;
+  while (frame == nullptr) {
+    TCOB_ASSIGN_OR_RETURN(frame, AcquireFrame(shard, lock));
+  }
+  memset(frame->data, 0, kPageSize);
+  frame->file_id = file;
+  frame->page_no = page_no;
+  frame->pin_count = 1;
+  frame->dirty = true;
+  shard.table[key] = frame;
+  TouchLru(shard, frame);
+  return frame;
 }
 
 void BufferPool::Unpin(Page* page, bool dirty) {
+  Shard& shard = ShardOf(Key(page->file_id, page->page_no));
+  std::lock_guard<std::mutex> lock(shard.mu);
   TCOB_CHECK(page->pin_count > 0);
   --page->pin_count;
   if (dirty) page->dirty = true;
 }
 
 Status BufferPool::FlushPage(FileId file, PageNo page_no) {
-  auto it = table_.find(Key(file, page_no));
-  if (it == table_.end()) return Status::OK();
+  const uint64_t key = Key(file, page_no);
+  Shard& shard = ShardOf(key);
+  std::lock_guard<std::mutex> lock(shard.mu);
+  auto it = shard.table.find(key);
+  if (it == shard.table.end()) return Status::OK();
   Page* page = it->second;
   if (page->dirty) {
     TCOB_RETURN_NOT_OK(disk_->WritePage(file, page_no, page->data));
@@ -72,37 +120,63 @@ Status BufferPool::FlushPage(FileId file, PageNo page_no) {
 }
 
 Status BufferPool::FlushAll() {
-  for (auto& [key, page] : table_) {
-    (void)key;
-    if (page->dirty) {
-      TCOB_RETURN_NOT_OK(
-          disk_->WritePage(page->file_id, page->page_no, page->data));
-      page->dirty = false;
+  for (std::unique_ptr<Shard>& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mu);
+    for (auto& [key, page] : shard->table) {
+      (void)key;
+      if (page->dirty) {
+        TCOB_RETURN_NOT_OK(
+            disk_->WritePage(page->file_id, page->page_no, page->data));
+        page->dirty = false;
+      }
     }
   }
   return Status::OK();
 }
 
 Status BufferPool::Reset() {
-  for (auto& [key, page] : table_) {
-    (void)key;
-    if (page->pin_count != 0) {
-      return Status::Internal("BufferPool::Reset with pinned pages");
+  for (std::unique_ptr<Shard>& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mu);
+    for (auto& [key, page] : shard->table) {
+      (void)key;
+      if (page->pin_count != 0) {
+        return Status::Internal("BufferPool::Reset with pinned pages");
+      }
+      if (page->dirty) {
+        TCOB_RETURN_NOT_OK(
+            disk_->WritePage(page->file_id, page->page_no, page->data));
+        page->dirty = false;
+      }
+      std::lock_guard<std::mutex> arena(arena_mu_);
+      free_frames_.push_back(page);
     }
-    if (page->dirty) {
-      TCOB_RETURN_NOT_OK(
-          disk_->WritePage(page->file_id, page->page_no, page->data));
-      page->dirty = false;
-    }
-    free_frames_.push_back(page);
+    shard->table.clear();
+    shard->lru.clear();
+    shard->lru_pos.clear();
   }
-  table_.clear();
-  lru_.clear();
-  lru_pos_.clear();
   return Status::OK();
 }
 
-Result<Page*> BufferPool::AcquireFrame() {
+BufferPoolStats BufferPool::stats() const {
+  BufferPoolStats s;
+  s.fetches = fetches_.load(std::memory_order_relaxed);
+  s.hits = hits_.load(std::memory_order_relaxed);
+  s.misses = misses_.load(std::memory_order_relaxed);
+  s.evictions = evictions_.load(std::memory_order_relaxed);
+  s.dirty_writebacks = dirty_writebacks_.load(std::memory_order_relaxed);
+  return s;
+}
+
+void BufferPool::ResetStats() {
+  fetches_.store(0, std::memory_order_relaxed);
+  hits_.store(0, std::memory_order_relaxed);
+  misses_.store(0, std::memory_order_relaxed);
+  evictions_.store(0, std::memory_order_relaxed);
+  dirty_writebacks_.store(0, std::memory_order_relaxed);
+}
+
+Page* BufferPool::TryAcquireArenaFrame() {
+  std::lock_guard<std::mutex> arena(arena_mu_);
   if (!free_frames_.empty()) {
     Page* page = free_frames_.back();
     free_frames_.pop_back();
@@ -112,31 +186,69 @@ Result<Page*> BufferPool::AcquireFrame() {
     frames_.push_back(std::make_unique<Page>());
     return frames_.back().get();
   }
-  // Evict the least recently used unpinned page.
-  for (auto it = lru_.rbegin(); it != lru_.rend(); ++it) {
+  return nullptr;
+}
+
+Result<Page*> BufferPool::EvictFrom(Shard& shard) {
+  for (auto it = shard.lru.rbegin(); it != shard.lru.rend(); ++it) {
     Page* victim = *it;
     if (victim->pin_count > 0) continue;
     if (victim->dirty) {
       TCOB_RETURN_NOT_OK(
           disk_->WritePage(victim->file_id, victim->page_no, victim->data));
-      ++stats_.dirty_writebacks;
+      dirty_writebacks_.fetch_add(1, std::memory_order_relaxed);
     }
-    table_.erase(Key(victim->file_id, victim->page_no));
-    lru_.erase(lru_pos_[victim]);
-    lru_pos_.erase(victim);
-    ++stats_.evictions;
+    shard.table.erase(Key(victim->file_id, victim->page_no));
+    shard.lru.erase(shard.lru_pos[victim]);
+    shard.lru_pos.erase(victim);
+    evictions_.fetch_add(1, std::memory_order_relaxed);
     return victim;
   }
-  return Status::ResourceExhausted(
-      "buffer pool exhausted: all " + std::to_string(capacity_) +
-      " frames pinned");
+  return nullptr;
 }
 
-void BufferPool::TouchLru(Page* page) {
-  auto pos = lru_pos_.find(page);
-  if (pos != lru_pos_.end()) lru_.erase(pos->second);
-  lru_.push_front(page);
-  lru_pos_[page] = lru_.begin();
+Result<Page*> BufferPool::AcquireFrame(Shard& shard,
+                                       std::unique_lock<std::mutex>& lock) {
+  if (Page* frame = TryAcquireArenaFrame()) return frame;
+  TCOB_ASSIGN_OR_RETURN(Page * own, EvictFrom(shard));
+  if (own != nullptr) return own;
+  // Own shard fully pinned: steal an unpinned frame from a sibling.
+  // Latch discipline — release our latch first so that at most one shard
+  // latch is ever held; the freed frame goes through the arena and the
+  // caller re-checks its table after we re-latch.
+  lock.unlock();
+  bool stole = false;
+  Status steal_error = Status::OK();
+  for (std::unique_ptr<Shard>& other : shards_) {
+    if (other.get() == &shard) continue;
+    std::lock_guard<std::mutex> other_lock(other->mu);
+    Result<Page*> victim = EvictFrom(*other);
+    if (!victim.ok()) {
+      steal_error = victim.status();
+      break;
+    }
+    if (victim.value() != nullptr) {
+      std::lock_guard<std::mutex> arena(arena_mu_);
+      free_frames_.push_back(victim.value());
+      stole = true;
+      break;
+    }
+  }
+  lock.lock();
+  TCOB_RETURN_NOT_OK(steal_error);
+  if (!stole) {
+    return Status::ResourceExhausted(
+        "buffer pool exhausted: all " + std::to_string(capacity_) +
+        " frames pinned");
+  }
+  return nullptr;  // retry: arena now has a frame (unless raced away)
+}
+
+void BufferPool::TouchLru(Shard& shard, Page* page) {
+  auto pos = shard.lru_pos.find(page);
+  if (pos != shard.lru_pos.end()) shard.lru.erase(pos->second);
+  shard.lru.push_front(page);
+  shard.lru_pos[page] = shard.lru.begin();
 }
 
 }  // namespace tcob

@@ -1,9 +1,11 @@
 #ifndef TCOB_STORAGE_BUFFER_POOL_H_
 #define TCOB_STORAGE_BUFFER_POOL_H_
 
+#include <atomic>
 #include <cstdint>
 #include <list>
 #include <memory>
+#include <mutex>
 #include <unordered_map>
 #include <vector>
 
@@ -26,16 +28,27 @@ struct BufferPoolStats {
   }
 };
 
-/// Fixed-capacity page cache with LRU replacement and pin counting.
+/// Fixed-capacity page cache with LRU replacement and pin counting,
+/// organized as independently latched shards keyed by hash(file, page).
 ///
 /// One pool serves every file of the database, so eviction pressure is
-/// shared between heap files and indexes exactly as in the modeled system.
-/// Single-threaded by design (one Database == one thread); pins protect
-/// against eviction during multi-step operations, not against concurrency.
+/// shared between heap files and indexes exactly as in the modeled
+/// system. The read path (FetchPage / Unpin) is thread-safe: each shard
+/// owns its page table and LRU list behind one mutex, frames come from a
+/// shared arena, and counters are atomic. Latch discipline: at most one
+/// shard latch is held at a time; the arena latch nests strictly inside
+/// a shard latch (shard -> arena, never shard -> shard). A shard under
+/// memory pressure evicts from its own LRU first and steals an unpinned
+/// frame from a sibling shard only after releasing its own latch.
+///
+/// Pins protect frames against eviction during multi-step operations;
+/// page *contents* carry no latch — writers remain single-threaded by
+/// design, only readers run concurrently.
 class BufferPool {
  public:
-  /// `capacity` is the number of page frames held in memory.
-  BufferPool(DiskManager* disk, size_t capacity);
+  /// `capacity` is the number of page frames held in memory; `shards` is
+  /// the number of latched partitions (0 = default, clamped to capacity).
+  BufferPool(DiskManager* disk, size_t capacity, size_t shards = 0);
   ~BufferPool();
 
   BufferPool(const BufferPool&) = delete;
@@ -61,8 +74,9 @@ class BufferPool {
   Status Reset();
 
   size_t capacity() const { return capacity_; }
-  const BufferPoolStats& stats() const { return stats_; }
-  void ResetStats() { stats_ = BufferPoolStats(); }
+  size_t shard_count() const { return shards_.size(); }
+  BufferPoolStats stats() const;
+  void ResetStats();
   DiskManager* disk() const { return disk_; }
 
  private:
@@ -70,21 +84,56 @@ class BufferPool {
     return (static_cast<uint64_t>(file) << 32) | page_no;
   }
 
-  /// Finds a frame to (re)use: a free one, or evicts the LRU unpinned one.
-  Result<Page*> AcquireFrame();
+  /// One latched partition of the page table.
+  struct Shard {
+    std::mutex mu;
+    std::unordered_map<uint64_t, Page*> table;
+    // LRU list: front = most recently used. Only unpinned pages are
+    // eligible for eviction, but all cached pages stay in the list.
+    std::list<Page*> lru;
+    std::unordered_map<Page*, std::list<Page*>::iterator> lru_pos;
+  };
 
-  void TouchLru(Page* page);
+  Shard& ShardOf(uint64_t key) {
+    // Fibonacci multiplicative mix so consecutive page numbers spread;
+    // shard count is a power of two, so the mask selects uniformly.
+    return *shards_[((key * 0x9E3779B97F4A7C15ull) >> 32) & shard_mask_];
+  }
+
+  /// Pops a frame from the shared arena (free list or fresh allocation),
+  /// or nullptr when the pool is at capacity.
+  Page* TryAcquireArenaFrame();
+
+  /// Evicts the LRU unpinned page of `shard` (latch must be held),
+  /// writing it back if dirty. Returns the freed frame, or nullptr when
+  /// every cached page of the shard is pinned.
+  Result<Page*> EvictFrom(Shard& shard);
+
+  /// Full frame-acquisition protocol for `shard` (latch held on entry
+  /// and on return): arena, own-shard eviction, then stealing from
+  /// sibling shards (which drops and re-takes `lock`, so the caller must
+  /// re-check its page table). Returns nullptr after a steal round that
+  /// freed a frame into the arena; ResourceExhausted when no unpinned
+  /// frame exists anywhere.
+  Result<Page*> AcquireFrame(Shard& shard, std::unique_lock<std::mutex>& lock);
+
+  void TouchLru(Shard& shard, Page* page);
 
   DiskManager* disk_;
   size_t capacity_;
+  uint64_t shard_mask_;  // shard count - 1 (count is a power of two)
+  std::vector<std::unique_ptr<Shard>> shards_;
+
+  // Frame arena, shared by all shards.
+  std::mutex arena_mu_;
   std::vector<std::unique_ptr<Page>> frames_;
-  std::unordered_map<uint64_t, Page*> table_;
-  // LRU list: front = most recently used. Only unpinned pages are eligible
-  // for eviction, but all cached pages stay in the list for simplicity.
-  std::list<Page*> lru_;
-  std::unordered_map<Page*, std::list<Page*>::iterator> lru_pos_;
   std::vector<Page*> free_frames_;
-  BufferPoolStats stats_;
+
+  std::atomic<uint64_t> fetches_{0};
+  std::atomic<uint64_t> hits_{0};
+  std::atomic<uint64_t> misses_{0};
+  std::atomic<uint64_t> evictions_{0};
+  std::atomic<uint64_t> dirty_writebacks_{0};
 };
 
 /// RAII pin guard: unpins on scope exit.
@@ -101,6 +150,7 @@ class PageGuard {
       : pool_(o.pool_), page_(o.page_), dirty_(o.dirty_) {
     o.pool_ = nullptr;
     o.page_ = nullptr;
+    o.dirty_ = false;
   }
   PageGuard& operator=(PageGuard&& o) noexcept {
     if (this != &o) {
@@ -110,6 +160,7 @@ class PageGuard {
       dirty_ = o.dirty_;
       o.pool_ = nullptr;
       o.page_ = nullptr;
+      o.dirty_ = false;
     }
     return *this;
   }
@@ -118,12 +169,14 @@ class PageGuard {
   Page* operator->() const { return page_; }
   char* data() const { return page_->data; }
   void MarkDirty() { dirty_ = true; }
+  bool dirty() const { return dirty_; }
 
   void Release() {
     if (pool_ && page_) {
       pool_->Unpin(page_, dirty_);
       pool_ = nullptr;
       page_ = nullptr;
+      dirty_ = false;
     }
   }
 

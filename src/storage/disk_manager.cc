@@ -8,6 +8,7 @@
 #include <cerrno>
 #include <cstring>
 #include <memory>
+#include <mutex>
 
 namespace tcob {
 
@@ -39,6 +40,7 @@ DiskManager::~DiskManager() {
 }
 
 Result<FileId> DiskManager::OpenFile(const std::string& name) {
+  std::unique_lock<std::shared_mutex> lock(files_mu_);
   for (size_t i = 0; i < files_.size(); ++i) {
     if (files_[i].path == name) return static_cast<FileId>(i);
   }
@@ -59,6 +61,7 @@ Result<FileId> DiskManager::OpenFile(const std::string& name) {
 }
 
 Status DiskManager::ReadPage(FileId file, PageNo page_no, char* buf) {
+  std::shared_lock<std::shared_mutex> lock(files_mu_);
   if (file >= files_.size()) return Status::InvalidArgument("bad file id");
   const OpenFileState& f = files_[file];
   if (page_no >= f.num_pages) {
@@ -68,11 +71,12 @@ Status DiskManager::ReadPage(FileId file, PageNo page_no, char* buf) {
   ssize_t n = pread(f.fd, buf, kPageSize,
                     static_cast<off_t>(page_no) * kPageSize);
   if (n != static_cast<ssize_t>(kPageSize)) return Errno("pread", f.path);
-  ++stats_.reads;
+  reads_.fetch_add(1, std::memory_order_relaxed);
   return Status::OK();
 }
 
 Status DiskManager::WritePage(FileId file, PageNo page_no, const char* buf) {
+  std::shared_lock<std::shared_mutex> lock(files_mu_);
   if (file >= files_.size()) return Status::InvalidArgument("bad file id");
   const OpenFileState& f = files_[file];
   if (page_no >= f.num_pages) {
@@ -81,11 +85,12 @@ Status DiskManager::WritePage(FileId file, PageNo page_no, const char* buf) {
   ssize_t n = pwrite(f.fd, buf, kPageSize,
                      static_cast<off_t>(page_no) * kPageSize);
   if (n != static_cast<ssize_t>(kPageSize)) return Errno("pwrite", f.path);
-  ++stats_.writes;
+  writes_.fetch_add(1, std::memory_order_relaxed);
   return Status::OK();
 }
 
 Result<PageNo> DiskManager::AllocatePage(FileId file) {
+  std::unique_lock<std::shared_mutex> lock(files_mu_);
   if (file >= files_.size()) return Status::InvalidArgument("bad file id");
   OpenFileState& f = files_[file];
   PageNo page_no = f.num_pages;
@@ -95,16 +100,18 @@ Result<PageNo> DiskManager::AllocatePage(FileId file) {
                      static_cast<off_t>(page_no) * kPageSize);
   if (n != static_cast<ssize_t>(kPageSize)) return Errno("extend", f.path);
   ++f.num_pages;
-  ++stats_.allocations;
+  allocations_.fetch_add(1, std::memory_order_relaxed);
   return page_no;
 }
 
 Result<PageNo> DiskManager::NumPages(FileId file) {
+  std::shared_lock<std::shared_mutex> lock(files_mu_);
   if (file >= files_.size()) return Status::InvalidArgument("bad file id");
   return files_[file].num_pages;
 }
 
 Status DiskManager::SyncAll() {
+  std::shared_lock<std::shared_mutex> lock(files_mu_);
   for (const OpenFileState& f : files_) {
     if (f.fd >= 0 && fsync(f.fd) != 0) return Errno("fsync", f.path);
   }
@@ -112,6 +119,7 @@ Status DiskManager::SyncAll() {
 }
 
 Status DiskManager::Truncate(FileId file) {
+  std::unique_lock<std::shared_mutex> lock(files_mu_);
   if (file >= files_.size()) return Status::InvalidArgument("bad file id");
   OpenFileState& f = files_[file];
   if (ftruncate(f.fd, 0) != 0) return Errno("ftruncate", f.path);

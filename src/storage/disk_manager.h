@@ -1,8 +1,10 @@
 #ifndef TCOB_STORAGE_DISK_MANAGER_H_
 #define TCOB_STORAGE_DISK_MANAGER_H_
 
+#include <atomic>
 #include <cstdint>
 #include <memory>
+#include <shared_mutex>
 #include <string>
 #include <vector>
 
@@ -23,7 +25,10 @@ struct DiskStats {
 ///
 /// Each file is a flat array of kPageSize pages addressed by PageNo.
 /// All I/O goes through here so that benchmarks can observe exact read /
-/// write counts. Not thread-safe (one Database == one thread).
+/// write counts. Reads are thread-safe (positional pread under a shared
+/// lock on the file table); operations that change file metadata —
+/// OpenFile, AllocatePage, Truncate — take the exclusive lock and are
+/// driven by the single-threaded write path.
 class DiskManager {
  public:
   /// Creates a manager rooted at directory `dir` (created if missing).
@@ -55,8 +60,18 @@ class DiskManager {
   /// Truncates `file` to zero pages (used by WAL checkpointing).
   Status Truncate(FileId file);
 
-  const DiskStats& stats() const { return stats_; }
-  void ResetStats() { stats_ = DiskStats(); }
+  DiskStats stats() const {
+    DiskStats s;
+    s.reads = reads_.load(std::memory_order_relaxed);
+    s.writes = writes_.load(std::memory_order_relaxed);
+    s.allocations = allocations_.load(std::memory_order_relaxed);
+    return s;
+  }
+  void ResetStats() {
+    reads_.store(0, std::memory_order_relaxed);
+    writes_.store(0, std::memory_order_relaxed);
+    allocations_.store(0, std::memory_order_relaxed);
+  }
 
   const std::string& dir() const { return dir_; }
 
@@ -70,8 +85,13 @@ class DiskManager {
   };
 
   std::string dir_;
+  // Guards files_ (growth on OpenFile, num_pages on Allocate/Truncate);
+  // page reads hold it shared around the positional pread.
+  mutable std::shared_mutex files_mu_;
   std::vector<OpenFileState> files_;
-  DiskStats stats_;
+  std::atomic<uint64_t> reads_{0};
+  std::atomic<uint64_t> writes_{0};
+  std::atomic<uint64_t> allocations_{0};
 };
 
 }  // namespace tcob

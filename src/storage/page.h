@@ -19,8 +19,9 @@ inline constexpr FileId kInvalidFileId = 0xFFFFu;
 /// A buffer-pool frame: one page's worth of bytes plus bookkeeping.
 ///
 /// Frames are owned by the BufferPool; callers receive pinned pointers and
-/// must Unpin when done. TCOB's execution model is single-threaded per
-/// Database, so frames carry no latch.
+/// must Unpin when done. The pin/dirty bookkeeping is guarded by the
+/// owning pool shard's latch; page *contents* carry no latch — only
+/// readers run concurrently (writes stay single-threaded per Database).
 struct Page {
   FileId file_id = kInvalidFileId;
   PageNo page_no = kInvalidPageNo;

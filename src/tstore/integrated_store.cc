@@ -7,6 +7,7 @@ namespace tcob {
 
 Result<IntegratedStore::TypeState*> IntegratedStore::StateOf(
     TypeId type) const {
+  std::lock_guard<std::mutex> lock(types_mu_);
   auto it = types_.find(type);
   if (it != types_.end()) return &it->second;
   TypeState state;

@@ -3,6 +3,7 @@
 
 #include <map>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -80,6 +81,8 @@ class IntegratedStore : public TemporalAtomStore {
 
   BufferPool* pool_;
   std::string prefix_;
+  // Guards lazy TypeState creation (map nodes are stable once created).
+  mutable std::mutex types_mu_;
   mutable std::map<TypeId, TypeState> types_;
 };
 

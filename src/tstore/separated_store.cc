@@ -16,6 +16,7 @@ std::string SeparatedStore::VersionKey(AtomId id, Timestamp begin) {
 
 Result<SeparatedStore::TypeState*> SeparatedStore::StateOf(
     TypeId type) const {
+  std::lock_guard<std::mutex> lock(types_mu_);
   auto it = types_.find(type);
   if (it != types_.end()) return &it->second;
   TypeState state;

@@ -1,8 +1,10 @@
 #ifndef TCOB_TSTORE_SEPARATED_STORE_H_
 #define TCOB_TSTORE_SEPARATED_STORE_H_
 
+#include <atomic>
 #include <map>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -48,7 +50,9 @@ class SeparatedStore : public TemporalAtomStore {
 
   /// Cumulative count of history-chain records visited (benchmark probe
   /// for Fig. 6 / Fig. 10).
-  uint64_t chain_hops() const { return chain_hops_; }
+  uint64_t chain_hops() const {
+    return chain_hops_.load(std::memory_order_relaxed);
+  }
 
  protected:
   Result<std::optional<AtomVersion>> DoGetAsOf(const AtomTypeDef& type,
@@ -133,8 +137,11 @@ class SeparatedStore : public TemporalAtomStore {
   BufferPool* pool_;
   std::string prefix_;
   StoreOptions options_;
+  // Guards lazy TypeState creation; map nodes are stable once created, so
+  // concurrent readers only contend on first touch of a type.
+  mutable std::mutex types_mu_;
   mutable std::map<TypeId, TypeState> types_;
-  mutable uint64_t chain_hops_ = 0;
+  mutable std::atomic<uint64_t> chain_hops_{0};
 };
 
 }  // namespace tcob

@@ -14,6 +14,7 @@ std::string SnapshotStore::VersionKey(AtomId id, uint32_t version_no) {
 }
 
 Result<SnapshotStore::TypeState*> SnapshotStore::StateOf(TypeId type) const {
+  std::lock_guard<std::mutex> lock(types_mu_);
   auto it = types_.find(type);
   if (it != types_.end()) return &it->second;
   TypeState state;

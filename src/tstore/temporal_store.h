@@ -1,6 +1,7 @@
 #ifndef TCOB_TSTORE_TEMPORAL_STORE_H_
 #define TCOB_TSTORE_TEMPORAL_STORE_H_
 
+#include <atomic>
 #include <functional>
 #include <memory>
 #include <optional>
@@ -107,7 +108,7 @@ class TemporalAtomStore {
   /// not exist then. NotFound only if the atom was never inserted.
   Result<std::optional<AtomVersion>> GetAsOf(const AtomTypeDef& type,
                                              AtomId id, Timestamp t) const {
-    ++access_stats_.get_as_of;
+    get_as_of_.fetch_add(1, std::memory_order_relaxed);
     return DoGetAsOf(type, id, t);
   }
 
@@ -115,29 +116,43 @@ class TemporalAtomStore {
   Result<std::vector<AtomVersion>> GetVersions(const AtomTypeDef& type,
                                                AtomId id,
                                                const Interval& window) const {
-    ++access_stats_.get_versions;
+    get_versions_.fetch_add(1, std::memory_order_relaxed);
     return DoGetVersions(type, id, window);
   }
 
   /// Streams the version of *every* atom of `type` valid at `t`.
   Status ScanAsOf(const AtomTypeDef& type, Timestamp t,
                   const VersionCallback& fn) const {
-    ++access_stats_.scan_as_of;
+    scan_as_of_.fetch_add(1, std::memory_order_relaxed);
     return DoScanAsOf(type, t, fn);
   }
 
   /// Streams every version of every atom of `type` overlapping `window`.
   Status ScanVersions(const AtomTypeDef& type, const Interval& window,
                       const VersionCallback& fn) const {
-    ++access_stats_.scan_versions;
+    scan_versions_.fetch_add(1, std::memory_order_relaxed);
     return DoScanVersions(type, window, fn);
   }
 
-  /// Cumulative read-access counters (see StoreAccessStats). The counters
-  /// are bookkeeping, not state — resetting them is a const operation so
-  /// benchmarks can meter individual query phases against a const store.
-  const StoreAccessStats& access_stats() const { return access_stats_; }
-  void ResetAccessStats() const { access_stats_ = StoreAccessStats(); }
+  /// Snapshot of the cumulative read-access counters (see
+  /// StoreAccessStats). The counters are bookkeeping, not state: they are
+  /// relaxed atomics incremented by concurrent readers, and resetting
+  /// them is a const operation so benchmarks can meter individual query
+  /// phases against a const store — safely even while readers run.
+  StoreAccessStats access_stats() const {
+    StoreAccessStats s;
+    s.get_as_of = get_as_of_.load(std::memory_order_relaxed);
+    s.get_versions = get_versions_.load(std::memory_order_relaxed);
+    s.scan_as_of = scan_as_of_.load(std::memory_order_relaxed);
+    s.scan_versions = scan_versions_.load(std::memory_order_relaxed);
+    return s;
+  }
+  void ResetAccessStats() const {
+    get_as_of_.store(0, std::memory_order_relaxed);
+    get_versions_.store(0, std::memory_order_relaxed);
+    scan_as_of_.store(0, std::memory_order_relaxed);
+    scan_versions_.store(0, std::memory_order_relaxed);
+  }
 
   virtual Result<StoreSpaceStats> SpaceStats() const = 0;
 
@@ -166,7 +181,10 @@ class TemporalAtomStore {
                                 const VersionCallback& fn) const = 0;
 
  private:
-  mutable StoreAccessStats access_stats_;
+  mutable std::atomic<uint64_t> get_as_of_{0};
+  mutable std::atomic<uint64_t> get_versions_{0};
+  mutable std::atomic<uint64_t> scan_as_of_{0};
+  mutable std::atomic<uint64_t> scan_versions_{0};
 };
 
 // ---- shared record codecs ----

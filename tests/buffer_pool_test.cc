@@ -123,6 +123,55 @@ TEST_F(BufferPoolTest, PageGuardUnpinsOnScopeExit) {
   EXPECT_EQ(raw->pin_count, 0);
 }
 
+TEST_F(BufferPoolTest, PageGuardMoveTransfersPinAndDirty) {
+  BufferPool pool(disk_.get(), 8);
+  Page* raw = pool.NewPage(file_).value();
+  PageGuard a(&pool, raw);
+  a.MarkDirty();
+  PageGuard b(std::move(a));
+  // The moved-from guard is inert: no page, no pending dirty bit.
+  EXPECT_EQ(a.get(), nullptr);
+  EXPECT_FALSE(a.dirty());
+  EXPECT_EQ(b.get(), raw);
+  EXPECT_TRUE(b.dirty());
+  EXPECT_EQ(raw->pin_count, 1);
+  b.Release();
+  EXPECT_EQ(raw->pin_count, 0);
+}
+
+TEST_F(BufferPoolTest, PageGuardMoveAssignReleasesOldAndResetsSource) {
+  BufferPool pool(disk_.get(), 8);
+  Page* first = pool.NewPage(file_).value();
+  Page* second = pool.NewPage(file_).value();
+  PageGuard a(&pool, first);
+  PageGuard b(&pool, second);
+  b.MarkDirty();
+  a = std::move(b);
+  // `first` was released by the assignment; `second` moved into `a`.
+  EXPECT_EQ(first->pin_count, 0);
+  EXPECT_EQ(second->pin_count, 1);
+  EXPECT_EQ(a.get(), second);
+  EXPECT_TRUE(a.dirty());
+  EXPECT_EQ(b.get(), nullptr);
+  EXPECT_FALSE(b.dirty());
+  // Reusing the moved-from guard must not resurrect the old dirty bit.
+  Page* third = pool.NewPage(file_).value();
+  b = PageGuard(&pool, third);
+  EXPECT_FALSE(b.dirty());
+}
+
+TEST_F(BufferPoolTest, PageGuardDoubleReleaseIsIdempotent) {
+  BufferPool pool(disk_.get(), 8);
+  Page* raw = pool.NewPage(file_).value();
+  PageGuard guard(&pool, raw);
+  guard.MarkDirty();
+  guard.Release();
+  EXPECT_EQ(raw->pin_count, 0);
+  EXPECT_FALSE(guard.dirty());
+  guard.Release();  // second release: no-op, no double unpin
+  EXPECT_EQ(raw->pin_count, 0);
+}
+
 TEST_F(BufferPoolTest, ReadPastEndFails) {
   BufferPool pool(disk_.get(), 8);
   auto r = pool.FetchPage(file_, 999);

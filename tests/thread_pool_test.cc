@@ -1,0 +1,87 @@
+#include "common/thread_pool.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <mutex>
+#include <set>
+#include <thread>
+#include <vector>
+
+namespace tcob {
+namespace {
+
+TEST(ThreadPoolTest, RunsEveryTask) {
+  ThreadPool pool(4);
+  std::atomic<int> count{0};
+  std::vector<std::function<void()>> tasks;
+  for (int i = 0; i < 100; ++i) {
+    tasks.push_back([&count] { count.fetch_add(1); });
+  }
+  pool.RunAll(std::move(tasks));
+  EXPECT_EQ(count.load(), 100);
+}
+
+TEST(ThreadPoolTest, RunAllBlocksUntilDone) {
+  ThreadPool pool(2);
+  std::atomic<int> done{0};
+  std::vector<std::function<void()>> tasks;
+  for (int i = 0; i < 8; ++i) {
+    tasks.push_back([&done] {
+      std::this_thread::sleep_for(std::chrono::milliseconds(5));
+      done.fetch_add(1);
+    });
+  }
+  pool.RunAll(std::move(tasks));
+  // If RunAll returned early, some increments would still be pending.
+  EXPECT_EQ(done.load(), 8);
+}
+
+TEST(ThreadPoolTest, ZeroWorkersClampsToOne) {
+  ThreadPool pool(0);
+  EXPECT_EQ(pool.workers(), 1u);
+  std::atomic<int> count{0};
+  std::vector<std::function<void()>> tasks;
+  tasks.push_back([&count] { count.fetch_add(1); });
+  pool.RunAll(std::move(tasks));
+  EXPECT_EQ(count.load(), 1);
+}
+
+TEST(ThreadPoolTest, TasksSpreadAcrossThreads) {
+  ThreadPool pool(4);
+  std::mutex mu;
+  std::set<std::thread::id> seen;
+  std::vector<std::function<void()>> tasks;
+  for (int i = 0; i < 64; ++i) {
+    tasks.push_back([&] {
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+      std::lock_guard<std::mutex> lock(mu);
+      seen.insert(std::this_thread::get_id());
+    });
+  }
+  pool.RunAll(std::move(tasks));
+  // With 64 sleeping tasks on 4 workers, more than one worker must have
+  // participated (exact count is scheduling-dependent).
+  EXPECT_GT(seen.size(), 1u);
+}
+
+TEST(ThreadPoolTest, ConsecutiveBatches) {
+  ThreadPool pool(3);
+  std::atomic<int> count{0};
+  for (int round = 0; round < 5; ++round) {
+    std::vector<std::function<void()>> tasks;
+    for (int i = 0; i < 10; ++i) {
+      tasks.push_back([&count] { count.fetch_add(1); });
+    }
+    pool.RunAll(std::move(tasks));
+  }
+  EXPECT_EQ(count.load(), 50);
+}
+
+TEST(ThreadPoolTest, EmptyBatchReturnsImmediately) {
+  ThreadPool pool(2);
+  pool.RunAll({});  // must not hang
+}
+
+}  // namespace
+}  // namespace tcob
