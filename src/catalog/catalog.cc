@@ -1,9 +1,9 @@
 #include "catalog/catalog.h"
 
-#include <cstdio>
 #include <set>
 
 #include "common/coding.h"
+#include "storage/io_env.h"
 
 namespace tcob {
 
@@ -359,34 +359,27 @@ Result<Catalog> Catalog::Deserialize(Slice input) {
   return cat;
 }
 
+Status Catalog::SaveToFile(IoEnv* env, const std::string& path) const {
+  return WriteFileAtomic(env, path, Serialize());
+}
+
 Status Catalog::SaveToFile(const std::string& path) const {
-  std::string bytes = Serialize();
-  std::string tmp = path + ".tmp";
-  FILE* f = fopen(tmp.c_str(), "wb");
-  if (!f) return Status::IOError("open " + tmp);
-  size_t written = fwrite(bytes.data(), 1, bytes.size(), f);
-  if (written != bytes.size()) {
-    fclose(f);
-    return Status::IOError("short write to " + tmp);
+  return SaveToFile(IoEnv::Default(), path);
+}
+
+Result<Catalog> Catalog::LoadFromFile(IoEnv* env, const std::string& path) {
+  Result<std::string> bytes = ReadFileToString(env, path);
+  if (!bytes.ok()) {
+    if (bytes.status().IsNotFound()) {
+      return Status::NotFound("catalog file " + path);
+    }
+    return bytes.status();
   }
-  if (fflush(f) != 0 || fclose(f) != 0) {
-    return Status::IOError("flush/close " + tmp);
-  }
-  if (rename(tmp.c_str(), path.c_str()) != 0) {
-    return Status::IOError("rename " + tmp + " -> " + path);
-  }
-  return Status::OK();
+  return Deserialize(Slice(bytes.value()));
 }
 
 Result<Catalog> Catalog::LoadFromFile(const std::string& path) {
-  FILE* f = fopen(path.c_str(), "rb");
-  if (!f) return Status::NotFound("catalog file " + path);
-  std::string bytes;
-  char buf[4096];
-  size_t n;
-  while ((n = fread(buf, 1, sizeof(buf), f)) > 0) bytes.append(buf, n);
-  fclose(f);
-  return Deserialize(Slice(bytes));
+  return LoadFromFile(IoEnv::Default(), path);
 }
 
 }  // namespace tcob

@@ -12,6 +12,8 @@
 
 namespace tcob {
 
+class IoEnv;
+
 /// The schema registry of a database: atom types, link types, molecule
 /// types, plus the atom-surrogate sequence.
 ///
@@ -83,9 +85,13 @@ class Catalog {
   /// Rebuilds a catalog from Serialize() output.
   static Result<Catalog> Deserialize(Slice input);
 
-  /// Atomic save to `path` (write temp + rename).
+  /// Crash-atomic, durable save to `path` through `env` (write temp +
+  /// fsync + rename + directory fsync).
+  Status SaveToFile(IoEnv* env, const std::string& path) const;
+  /// Convenience overload using the default POSIX environment.
   Status SaveToFile(const std::string& path) const;
   /// Loads from `path`; NotFound if the file does not exist.
+  static Result<Catalog> LoadFromFile(IoEnv* env, const std::string& path);
   static Result<Catalog> LoadFromFile(const std::string& path);
 
  private:

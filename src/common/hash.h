@@ -23,6 +23,10 @@ inline uint32_t Checksum32(const void* data, size_t len) {
   return static_cast<uint32_t>(h ^ (h >> 32));
 }
 
+/// CRC-32C (Castagnoli), table-driven software implementation; used for
+/// the per-page checksum footers. `seed` chains incremental updates.
+uint32_t Crc32c(const void* data, size_t len, uint32_t seed = 0);
+
 }  // namespace tcob
 
 #endif  // TCOB_COMMON_HASH_H_

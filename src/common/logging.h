@@ -8,7 +8,16 @@
 
 namespace tcob {
 
-enum class LogLevel : int { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3 };
+/// kSilent is a filter-only level (never passed to TCOB_LOG): setting it
+/// as the minimum drops every message, which fault-injection tests use
+/// to mute the expected error spam of thousands of induced crashes.
+enum class LogLevel : int {
+  kDebug = 0,
+  kInfo = 1,
+  kWarn = 2,
+  kError = 3,
+  kSilent = 4,
+};
 
 /// Process-wide minimum level; messages below it are dropped.
 void SetLogLevel(LogLevel level);

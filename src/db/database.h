@@ -16,6 +16,7 @@
 #include "query/result_set.h"
 #include "storage/buffer_pool.h"
 #include "storage/disk_manager.h"
+#include "storage/io_env.h"
 #include "tstore/store_factory.h"
 #include "wal/log_record.h"
 #include "wal/wal.h"
@@ -37,6 +38,33 @@ struct DatabaseOptions {
   /// execution, byte-identical to the pre-parallel code path. Writes are
   /// single-threaded regardless.
   size_t parallelism = 0;
+  /// Physical I/O environment. nullptr = the process-wide POSIX
+  /// environment; tests substitute a FaultInjectingIoEnv. Not owned; must
+  /// outlive the Database.
+  IoEnv* env = nullptr;
+};
+
+/// What Open's WAL replay observed (introspection for crash tests and
+/// operators diagnosing a recovery).
+struct RecoveryStats {
+  /// Operations replayed from the WAL into the stores.
+  uint64_t replayed_ops = 0;
+  /// Operations skipped because the checkpoint already covered them
+  /// (op_seq below the persisted base) — the idempotence path.
+  uint64_t skipped_ops = 0;
+  /// op_seq watermark loaded from the meta file (first op not covered by
+  /// the last checkpoint).
+  uint64_t checkpoint_base_seq = 1;
+  /// Bytes dropped from the WAL tail (torn final record after a crash).
+  uint64_t wal_dropped_tail_bytes = 0;
+  /// True when the dropped tail failed its CRC (vs merely truncated).
+  bool wal_tail_was_corrupt = false;
+  /// Pages physically re-applied from a committed checkpoint journal
+  /// (a crash hit the checkpoint's in-place apply phase).
+  uint64_t journal_pages_applied = 0;
+  /// Uncommitted page-journal bytes discarded (writebacks that never
+  /// reached a checkpoint commit, or a tail torn by the crash).
+  uint64_t journal_discarded_bytes = 0;
 };
 
 /// The public face of the temporal complex-object database.
@@ -157,6 +185,27 @@ class Database {
   /// Flushes dirty pages (without truncating the WAL).
   Status Flush();
 
+  /// Exhaustive offline-style integrity check, cheapest first: raw
+  /// checksum scan of every page of every file, then per-type store
+  /// structure (interval well-formedness, timelines, B+-trees,
+  /// index-to-heap resolution), link adjacency mirroring, and attribute
+  /// index structure. Read-only; returns Corruption naming the first
+  /// violation (file and page for checksum failures).
+  Status VerifyIntegrity();
+
+  /// Not-OK once a write to stable storage has failed: the process can
+  /// no longer tell what is durable, so every subsequent mutation
+  /// (DML, DDL, checkpoint) is refused with this status while reads
+  /// continue. Recovery path: discard this instance and re-Open.
+  const Status& health() const { return fail_stop_; }
+
+  /// What WAL replay did when this instance was opened.
+  const RecoveryStats& recovery_stats() const { return recovery_stats_; }
+
+  /// Sequence number of the last logical operation applied (0 = none
+  /// yet). Crash tests use it as the oracle's prefix length.
+  uint64_t applied_op_seq() const { return next_op_seq_ - 1; }
+
   // ---- introspection (benchmarks, tests) ----
 
   const Catalog& catalog() const { return catalog_; }
@@ -203,11 +252,28 @@ class Database {
   /// Applies one logical operation to the stores (DML path and replay).
   Status ApplyOp(const WalOp& op);
 
-  /// Appends `op` to the WAL (syncing if configured), then applies it.
-  Status LogAndApply(const WalOp& op);
+  /// Stamps the next op_seq onto `op`, appends it to the WAL (syncing if
+  /// configured), then applies it. A WAL failure poisons the database.
+  Status LogAndApply(WalOp op);
 
-  Status SaveClock() const;
-  Status LoadClock();
+  /// Refuses mutations once poisoned (fail-stop after an I/O failure).
+  Status CheckWritable() const { return fail_stop_; }
+
+  /// Records the first stable-storage failure; later mutations see it.
+  void Poison(const Status& cause);
+
+  /// Meta file (clock.tcob): NOW and the checkpoint op_seq watermark,
+  /// CRC-protected and replaced atomically.
+  /// The meta file image: clock, op_seq watermark, CRC. Written to
+  /// clock.tcob by SaveMeta and embedded in the page journal's commit
+  /// record so recovery can reinstall the watermark that belongs to the
+  /// journaled pages.
+  std::string EncodeMeta() const;
+  Status SaveMeta() const;
+  Status LoadMeta();
+
+  /// Persists the catalog atomically; poisons the database on failure.
+  Status SaveCatalog();
 
   /// Coerces a literal to the attribute's declared type (int -> double /
   /// timestamp / id promotions; NULL re-typing).
@@ -220,7 +286,10 @@ class Database {
 
   std::string dir_;
   DatabaseOptions options_;
+  IoEnv* env_ = nullptr;  // options_.env or IoEnv::Default(); not owned
   Catalog catalog_;
+  /// Declared before disk_: the manager holds a raw pointer into it.
+  std::unique_ptr<PageJournal> journal_;
   std::unique_ptr<DiskManager> disk_;
   std::unique_ptr<BufferPool> pool_;
   std::unique_ptr<TemporalAtomStore> store_;
@@ -232,6 +301,18 @@ class Database {
   std::unique_ptr<ThreadPool> query_pool_;
   Timestamp now_ = 1;
   uint64_t next_txn_id_ = 1;
+  /// Sequence number the next logical operation will carry. Persisted
+  /// into the meta file by Checkpoint; replay skips operations below the
+  /// persisted base, making recovery idempotent under re-crash.
+  uint64_t next_op_seq_ = 1;
+  /// OK until a stable-storage write fails; then the first failure,
+  /// forever (this instance is read-only from that point).
+  Status fail_stop_ = Status::OK();
+  RecoveryStats recovery_stats_;
+  /// Set once Init (including recovery) succeeds. A Database whose open
+  /// failed must not write anything on destruction — the on-disk state
+  /// it saw is untrusted.
+  bool initialized_ = false;
 };
 
 }  // namespace tcob

@@ -108,7 +108,8 @@ Status ImportDump(Database* db, const std::string& path) {
   Slice catalog_bytes;
   TCOB_RETURN_NOT_OK(GetLengthPrefixed(&in, &catalog_bytes));
   TCOB_ASSIGN_OR_RETURN(db->catalog_, Catalog::Deserialize(catalog_bytes));
-  TCOB_RETURN_NOT_OK(db->catalog_.SaveToFile(db->dir_ + "/catalog.tcob"));
+  TCOB_RETURN_NOT_OK(
+      db->catalog_.SaveToFile(db->env_, db->dir_ + "/catalog.tcob"));
   Timestamp clock;
   TCOB_RETURN_NOT_OK(GetVarsint64(&in, &clock));
 

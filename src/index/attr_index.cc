@@ -191,6 +191,18 @@ Result<uint64_t> AttrIndexManager::VacuumBefore(Timestamp cutoff) {
   return removed;
 }
 
+Status AttrIndexManager::VerifyStructure() const {
+  for (const AttrIndexDef* def : catalog_->AttrIndexes()) {
+    TCOB_ASSIGN_OR_RETURN(BTree * tree, TreeOf(def->id));
+    Status s = tree->VerifyStructure();
+    if (!s.ok()) {
+      return Status::Corruption("attribute index " + def->name + ": " +
+                                s.message());
+    }
+  }
+  return Status::OK();
+}
+
 Result<uint64_t> AttrIndexManager::TotalPages() const {
   std::lock_guard<std::mutex> lock(trees_mu_);
   uint64_t pages = 0;

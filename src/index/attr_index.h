@@ -72,6 +72,9 @@ class AttrIndexManager {
   /// or before `cutoff`, across all indexes. Returns entries removed.
   Result<uint64_t> VacuumBefore(Timestamp cutoff);
 
+  /// B+-tree structural check of every attribute index in the catalog.
+  Status VerifyStructure() const;
+
  private:
   Result<BTree*> TreeOf(IndexId id) const;
 

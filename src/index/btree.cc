@@ -11,7 +11,7 @@ namespace tcob {
 namespace {
 
 constexpr uint32_t kNodeHeader = 12;
-constexpr uint32_t kNodeCapacity = kPageSize - kNodeHeader;
+constexpr uint32_t kNodeCapacity = kPageDataSize - kNodeHeader;
 constexpr uint32_t kBTreeMagic = 0x54424954;  // "TBIT"
 
 // Meta page field offsets.
@@ -396,6 +396,81 @@ Result<uint32_t> BTree::Height() const {
     page = node.children[0];
     ++height;
   }
+}
+
+Status BTree::VerifyRec(PageNo page, uint32_t depth, const std::string* lower,
+                        const std::string* upper, VerifyState* vs) const {
+  if (depth > 64) {
+    return Status::Corruption("btree deeper than 64 levels (cycle?)");
+  }
+  TCOB_ASSIGN_OR_RETURN(Node node, ReadNode(page));
+  std::string where = "btree node " + std::to_string(page);
+  for (size_t i = 0; i < node.keys.size(); ++i) {
+    if (i > 0 && node.keys[i] <= node.keys[i - 1]) {
+      return Status::Corruption(where + ": keys out of order at " +
+                                std::to_string(i));
+    }
+    if (lower != nullptr && node.keys[i] < *lower) {
+      return Status::Corruption(where + ": key below subtree lower bound");
+    }
+    if (upper != nullptr && node.keys[i] >= *upper) {
+      return Status::Corruption(where + ": key above subtree upper bound");
+    }
+  }
+  if (node.is_leaf) {
+    if (!node.children.empty() ||
+        node.values.size() != node.keys.size()) {
+      return Status::Corruption(where + ": malformed leaf");
+    }
+    if (vs->leaf_depth == 0) {
+      vs->leaf_depth = depth;
+    } else if (vs->leaf_depth != depth) {
+      return Status::Corruption(where + ": leaf at depth " +
+                                std::to_string(depth) + ", expected " +
+                                std::to_string(vs->leaf_depth));
+    }
+    vs->entries += node.keys.size();
+    vs->leaves.push_back(page);
+    return Status::OK();
+  }
+  if (node.children.size() != node.keys.size() + 1 || !node.values.empty()) {
+    return Status::Corruption(where + ": internal node has " +
+                              std::to_string(node.children.size()) +
+                              " children for " +
+                              std::to_string(node.keys.size()) + " keys");
+  }
+  for (size_t i = 0; i < node.children.size(); ++i) {
+    // keys[i] is the lowest key under children[i + 1].
+    const std::string* child_lower = i == 0 ? lower : &node.keys[i - 1];
+    const std::string* child_upper =
+        i < node.keys.size() ? &node.keys[i] : upper;
+    TCOB_RETURN_NOT_OK(
+        VerifyRec(node.children[i], depth + 1, child_lower, child_upper, vs));
+  }
+  return Status::OK();
+}
+
+Status BTree::VerifyStructure() const {
+  std::shared_lock<std::shared_mutex> lock(latch_);
+  VerifyState vs;
+  TCOB_RETURN_NOT_OK(VerifyRec(root_, 1, nullptr, nullptr, &vs));
+  if (vs.entries != entry_count_) {
+    return Status::Corruption(
+        "btree entry count mismatch: meta says " +
+        std::to_string(entry_count_) + ", leaves hold " +
+        std::to_string(vs.entries));
+  }
+  // The leaf chain must link the leaves exactly in key order.
+  for (size_t i = 0; i < vs.leaves.size(); ++i) {
+    TCOB_ASSIGN_OR_RETURN(Node leaf, ReadNode(vs.leaves[i]));
+    PageNo expected_next =
+        i + 1 < vs.leaves.size() ? vs.leaves[i + 1] : kInvalidPageNo;
+    if (leaf.next_leaf != expected_next) {
+      return Status::Corruption("btree leaf chain broken at page " +
+                                std::to_string(vs.leaves[i]));
+    }
+  }
+  return Status::OK();
 }
 
 }  // namespace tcob

@@ -71,6 +71,12 @@ class BTree {
   /// Tree height (1 == root is a leaf).
   Result<uint32_t> Height() const;
 
+  /// Exhaustive structural check: uniform leaf depth, strictly sorted
+  /// keys respecting every separator bound, internal child counts, the
+  /// left-to-right leaf chain, and the persisted entry count. Read-only;
+  /// returns Corruption describing the first violation.
+  Status VerifyStructure() const;
+
   FileId file_id() const { return file_; }
 
  private:
@@ -113,6 +119,18 @@ class BTree {
   Status ScanLocked(
       const Slice& lower, const Slice& upper,
       const std::function<Result<bool>(const Slice&, uint64_t)>& fn) const;
+
+  /// Accumulated observations of a VerifyStructure walk.
+  struct VerifyState {
+    uint32_t leaf_depth = 0;      // depth of the first leaf seen (0 = none)
+    uint64_t entries = 0;
+    std::vector<PageNo> leaves;   // in key order
+  };
+
+  /// Recursive check of the subtree at `page`; every key must fall in
+  /// [lower, upper) when the respective bound is present.
+  Status VerifyRec(PageNo page, uint32_t depth, const std::string* lower,
+                   const std::string* upper, VerifyState* vs) const;
 
   BufferPool* pool_;
   FileId file_;

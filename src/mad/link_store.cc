@@ -1,6 +1,7 @@
 #include "mad/link_store.h"
 
 #include <algorithm>
+#include <tuple>
 
 #include "common/coding.h"
 
@@ -201,6 +202,50 @@ Result<uint64_t> LinkStore::TotalPages() const {
     pages += stats.total_pages;
   }
   return pages;
+}
+
+Status LinkStore::VerifyIntegrity(const LinkTypeDef& link) const {
+  TCOB_ASSIGN_OR_RETURN(LinkState* state, StateOf(link.id));
+  // (from, to, begin, end) -> fwd occurrences minus rev occurrences; the
+  // two adjacency directions must describe the same connection multiset.
+  std::map<std::tuple<AtomId, AtomId, Timestamp, Timestamp>, int64_t> balance;
+  auto check_side = [&](const std::unordered_map<AtomId,
+                                                 std::vector<LinkEntry>>& side,
+                        bool forward) -> Status {
+    for (const auto& [atom, entries] : side) {
+      for (const LinkEntry& e : entries) {
+        const AtomId from = forward ? atom : e.other;
+        const AtomId to = forward ? e.other : atom;
+        if (e.valid.empty()) {
+          return Status::Corruption(
+              "link type " + link.name + ": empty interval on connection " +
+              std::to_string(from) + " -> " + std::to_string(to));
+        }
+        Result<std::string> rec = state->heap->Get(e.rid);
+        if (!rec.ok()) {
+          return Status::Corruption(
+              "link type " + link.name + ": connection " +
+              std::to_string(from) + " -> " + std::to_string(to) +
+              " references unreadable record: " + rec.status().message());
+        }
+        balance[{from, to, e.valid.begin, e.valid.end}] += forward ? 1 : -1;
+      }
+    }
+    return Status::OK();
+  };
+  TCOB_RETURN_NOT_OK(check_side(state->fwd, true));
+  TCOB_RETURN_NOT_OK(check_side(state->rev, false));
+  for (const auto& [key, count] : balance) {
+    if (count != 0) {
+      return Status::Corruption(
+          "link type " + link.name + ": connection " +
+          std::to_string(std::get<0>(key)) + " -> " +
+          std::to_string(std::get<1>(key)) +
+          " missing from the " + (count > 0 ? "reverse" : "forward") +
+          " adjacency index");
+    }
+  }
+  return Status::OK();
 }
 
 }  // namespace tcob

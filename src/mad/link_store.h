@@ -73,6 +73,12 @@ class LinkStore {
 
   Status Flush() { return pool_->FlushAll(); }
 
+  /// Structural self-check: every interval well-formed, every adjacency
+  /// entry's record readable from the heap, and the forward and reverse
+  /// adjacency maps exact mirrors of each other. Read-only; returns
+  /// Corruption describing the first violation.
+  Status VerifyIntegrity(const LinkTypeDef& link) const;
+
  private:
   struct LinkState {
     std::unique_ptr<HeapFile> heap;

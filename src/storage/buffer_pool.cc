@@ -63,6 +63,12 @@ Result<Page*> BufferPool::FetchPage(FileId file, PageNo page_no) {
     if (frame == nullptr) continue;
     misses_.fetch_add(1, std::memory_order_relaxed);
     Status read = disk_->ReadPage(file, page_no, frame->data);
+    if (read.ok() && !PageChecksumOk(frame->data)) {
+      read = Status::Corruption(
+          "page checksum mismatch in " +
+          disk_->FileName(file).ValueOr("file#" + std::to_string(file)) +
+          " page " + std::to_string(page_no));
+    }
     if (!read.ok()) {
       std::lock_guard<std::mutex> arena(arena_mu_);
       free_frames_.push_back(frame);
@@ -113,7 +119,7 @@ Status BufferPool::FlushPage(FileId file, PageNo page_no) {
   if (it == shard.table.end()) return Status::OK();
   Page* page = it->second;
   if (page->dirty) {
-    TCOB_RETURN_NOT_OK(disk_->WritePage(file, page_no, page->data));
+    TCOB_RETURN_NOT_OK(WriteBack(page));
     page->dirty = false;
   }
   return Status::OK();
@@ -125,13 +131,17 @@ Status BufferPool::FlushAll() {
     for (auto& [key, page] : shard->table) {
       (void)key;
       if (page->dirty) {
-        TCOB_RETURN_NOT_OK(
-            disk_->WritePage(page->file_id, page->page_no, page->data));
+        TCOB_RETURN_NOT_OK(WriteBack(page));
         page->dirty = false;
       }
     }
   }
   return Status::OK();
+}
+
+Status BufferPool::WriteBack(Page* page) {
+  StampPageChecksum(page->data);
+  return disk_->WritePage(page->file_id, page->page_no, page->data);
 }
 
 Status BufferPool::Reset() {
@@ -143,8 +153,7 @@ Status BufferPool::Reset() {
         return Status::Internal("BufferPool::Reset with pinned pages");
       }
       if (page->dirty) {
-        TCOB_RETURN_NOT_OK(
-            disk_->WritePage(page->file_id, page->page_no, page->data));
+        TCOB_RETURN_NOT_OK(WriteBack(page));
         page->dirty = false;
       }
       std::lock_guard<std::mutex> arena(arena_mu_);
@@ -194,8 +203,7 @@ Result<Page*> BufferPool::EvictFrom(Shard& shard) {
     Page* victim = *it;
     if (victim->pin_count > 0) continue;
     if (victim->dirty) {
-      TCOB_RETURN_NOT_OK(
-          disk_->WritePage(victim->file_id, victim->page_no, victim->data));
+      TCOB_RETURN_NOT_OK(WriteBack(victim));
       dirty_writebacks_.fetch_add(1, std::memory_order_relaxed);
     }
     shard.table.erase(Key(victim->file_id, victim->page_no));

@@ -55,7 +55,9 @@ class BufferPool {
   BufferPool& operator=(const BufferPool&) = delete;
 
   /// Returns the frame for (file, page_no), pinned. Reads from disk on
-  /// miss; may evict an unpinned LRU frame (writing it back if dirty).
+  /// miss, verifying the page's checksum footer (mismatch surfaces as
+  /// Status::Corruption naming the file and page); may evict an unpinned
+  /// LRU frame (writing it back if dirty).
   Result<Page*> FetchPage(FileId file, PageNo page_no);
 
   /// Allocates a fresh page in `file` and returns its pinned, zeroed frame.
@@ -99,6 +101,11 @@ class BufferPool {
     // shard count is a power of two, so the mask selects uniformly.
     return *shards_[((key * 0x9E3779B97F4A7C15ull) >> 32) & shard_mask_];
   }
+
+  /// Stamps the checksum footer into the frame and writes it to disk.
+  /// Every page leaving the pool goes through here, so all on-disk pages
+  /// carry a valid footer.
+  Status WriteBack(Page* page);
 
   /// Pops a frame from the shared arena (free list or fresh allocation),
   /// or nullptr when the pool is at capacity.

@@ -1,62 +1,33 @@
 #include "storage/disk_manager.h"
 
-#include <fcntl.h>
-#include <sys/stat.h>
-#include <sys/types.h>
-#include <unistd.h>
-
-#include <cerrno>
 #include <cstring>
 #include <memory>
 #include <mutex>
 
 namespace tcob {
 
-namespace {
-
-Status Errno(const std::string& op, const std::string& path) {
-  return Status::IOError(op + " " + path + ": " + strerror(errno));
+Result<std::unique_ptr<DiskManager>> DiskManager::Open(const std::string& dir,
+                                                       IoEnv* env,
+                                                       PageJournal* journal) {
+  TCOB_RETURN_NOT_OK(env->CreateDir(dir));
+  return std::unique_ptr<DiskManager>(new DiskManager(dir, env, journal));
 }
 
-}  // namespace
-
-Result<std::unique_ptr<DiskManager>> DiskManager::Open(
-    const std::string& dir) {
-  struct stat st;
-  if (stat(dir.c_str(), &st) != 0) {
-    if (mkdir(dir.c_str(), 0755) != 0) {
-      return Errno("mkdir", dir);
-    }
-  } else if (!S_ISDIR(st.st_mode)) {
-    return Status::InvalidArgument(dir + " exists and is not a directory");
-  }
-  return std::unique_ptr<DiskManager>(new DiskManager(dir));
-}
-
-DiskManager::~DiskManager() {
-  for (OpenFileState& f : files_) {
-    if (f.fd >= 0) close(f.fd);
-  }
-}
+DiskManager::~DiskManager() = default;
 
 Result<FileId> DiskManager::OpenFile(const std::string& name) {
   std::unique_lock<std::shared_mutex> lock(files_mu_);
   for (size_t i = 0; i < files_.size(); ++i) {
-    if (files_[i].path == name) return static_cast<FileId>(i);
+    if (files_[i].name == name) return static_cast<FileId>(i);
   }
   std::string path = dir_ + "/" + name;
-  int fd = open(path.c_str(), O_RDWR | O_CREAT, 0644);
-  if (fd < 0) return Errno("open", path);
-  off_t size = lseek(fd, 0, SEEK_END);
-  if (size < 0) {
-    close(fd);
-    return Errno("lseek", path);
-  }
+  TCOB_ASSIGN_OR_RETURN(std::unique_ptr<IoFile> file, env_->OpenFile(path));
+  TCOB_ASSIGN_OR_RETURN(uint64_t size, file->Size());
   OpenFileState state;
-  state.path = name;
-  state.fd = fd;
+  state.name = name;
+  state.file = std::move(file);
   state.num_pages = static_cast<PageNo>(size / kPageSize);
-  files_.push_back(state);
+  files_.push_back(std::move(state));
   return static_cast<FileId>(files_.size() - 1);
 }
 
@@ -65,12 +36,30 @@ Status DiskManager::ReadPage(FileId file, PageNo page_no, char* buf) {
   if (file >= files_.size()) return Status::InvalidArgument("bad file id");
   const OpenFileState& f = files_[file];
   if (page_no >= f.num_pages) {
-    return Status::OutOfRange("read past end of " + f.path + ": page " +
+    return Status::OutOfRange("read past end of " + f.name + ": page " +
                               std::to_string(page_no));
   }
-  ssize_t n = pread(f.fd, buf, kPageSize,
-                    static_cast<off_t>(page_no) * kPageSize);
-  if (n != static_cast<ssize_t>(kPageSize)) return Errno("pread", f.path);
+  if (journal_ != nullptr) {
+    // The journal holds the freshest image of any page written since the
+    // last checkpoint; the data file lags until the journal is applied.
+    TCOB_ASSIGN_OR_RETURN(bool journaled,
+                          journal_->Lookup(f.name, page_no, buf));
+    if (journaled) {
+      reads_.fetch_add(1, std::memory_order_relaxed);
+      return Status::OK();
+    }
+  }
+  TCOB_ASSIGN_OR_RETURN(
+      size_t n,
+      f.file->ReadAt(static_cast<uint64_t>(page_no) * kPageSize, buf,
+                     kPageSize));
+  if (n != kPageSize) {
+    // The file ends mid-page: a torn extension that never completed.
+    return Status::Corruption("short page read from " + f.name + " page " +
+                              std::to_string(page_no) + ": got " +
+                              std::to_string(n) + " of " +
+                              std::to_string(kPageSize) + " bytes");
+  }
   reads_.fetch_add(1, std::memory_order_relaxed);
   return Status::OK();
 }
@@ -80,11 +69,14 @@ Status DiskManager::WritePage(FileId file, PageNo page_no, const char* buf) {
   if (file >= files_.size()) return Status::InvalidArgument("bad file id");
   const OpenFileState& f = files_[file];
   if (page_no >= f.num_pages) {
-    return Status::OutOfRange("write past end of " + f.path);
+    return Status::OutOfRange("write past end of " + f.name);
   }
-  ssize_t n = pwrite(f.fd, buf, kPageSize,
-                     static_cast<off_t>(page_no) * kPageSize);
-  if (n != static_cast<ssize_t>(kPageSize)) return Errno("pwrite", f.path);
+  if (journal_ != nullptr) {
+    TCOB_RETURN_NOT_OK(journal_->Append(f.name, page_no, buf));
+  } else {
+    TCOB_RETURN_NOT_OK(f.file->WriteAt(
+        static_cast<uint64_t>(page_no) * kPageSize, Slice(buf, kPageSize)));
+  }
   writes_.fetch_add(1, std::memory_order_relaxed);
   return Status::OK();
 }
@@ -96,9 +88,17 @@ Result<PageNo> DiskManager::AllocatePage(FileId file) {
   PageNo page_no = f.num_pages;
   char zeros[kPageSize];
   memset(zeros, 0, sizeof(zeros));
-  ssize_t n = pwrite(f.fd, zeros, kPageSize,
-                     static_cast<off_t>(page_no) * kPageSize);
-  if (n != static_cast<ssize_t>(kPageSize)) return Errno("extend", f.path);
+  // Stamp the footer so a freshly extended page passes verification even
+  // if it is fetched before its first real writeback.
+  StampPageChecksum(zeros);
+  if (journal_ != nullptr) {
+    // Journaled too: num_pages runs ahead of the data file's size until
+    // the checkpoint applies the extension in place.
+    TCOB_RETURN_NOT_OK(journal_->Append(f.name, page_no, zeros));
+  } else {
+    TCOB_RETURN_NOT_OK(f.file->WriteAt(
+        static_cast<uint64_t>(page_no) * kPageSize, Slice(zeros, kPageSize)));
+  }
   ++f.num_pages;
   allocations_.fetch_add(1, std::memory_order_relaxed);
   return page_no;
@@ -113,18 +113,35 @@ Result<PageNo> DiskManager::NumPages(FileId file) {
 Status DiskManager::SyncAll() {
   std::shared_lock<std::shared_mutex> lock(files_mu_);
   for (const OpenFileState& f : files_) {
-    if (f.fd >= 0 && fsync(f.fd) != 0) return Errno("fsync", f.path);
+    TCOB_RETURN_NOT_OK(f.file->Sync());
   }
   return Status::OK();
 }
+
+Status DiskManager::SyncDir() { return env_->SyncDir(dir_); }
 
 Status DiskManager::Truncate(FileId file) {
   std::unique_lock<std::shared_mutex> lock(files_mu_);
   if (file >= files_.size()) return Status::InvalidArgument("bad file id");
   OpenFileState& f = files_[file];
-  if (ftruncate(f.fd, 0) != 0) return Errno("ftruncate", f.path);
+  if (journal_ != nullptr) journal_->DropFile(f.name);
+  TCOB_RETURN_NOT_OK(f.file->Truncate(0));
   f.num_pages = 0;
   return Status::OK();
+}
+
+Result<std::string> DiskManager::FileName(FileId file) const {
+  std::shared_lock<std::shared_mutex> lock(files_mu_);
+  if (file >= files_.size()) return Status::InvalidArgument("bad file id");
+  return files_[file].name;
+}
+
+std::vector<std::string> DiskManager::FileNames() const {
+  std::shared_lock<std::shared_mutex> lock(files_mu_);
+  std::vector<std::string> names;
+  names.reserve(files_.size());
+  for (const OpenFileState& f : files_) names.push_back(f.name);
+  return names;
 }
 
 }  // namespace tcob

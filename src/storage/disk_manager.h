@@ -10,7 +10,9 @@
 
 #include "common/result.h"
 #include "common/status.h"
+#include "storage/io_env.h"
 #include "storage/page.h"
+#include "storage/page_journal.h"
 
 namespace tcob {
 
@@ -24,15 +26,34 @@ struct DiskStats {
 /// Owns the database's files and performs page-granular physical I/O.
 ///
 /// Each file is a flat array of kPageSize pages addressed by PageNo.
-/// All I/O goes through here so that benchmarks can observe exact read /
-/// write counts. Reads are thread-safe (positional pread under a shared
-/// lock on the file table); operations that change file metadata —
-/// OpenFile, AllocatePage, Truncate — take the exclusive lock and are
-/// driven by the single-threaded write path.
+/// All I/O goes through the IoEnv passed at Open — the POSIX filesystem
+/// in production, a FaultInjectingIoEnv in fault tests — so benchmarks
+/// can observe exact read/write counts and tests can inject failures.
+/// Reads are thread-safe (positional ReadAt under a shared lock on the
+/// file table); operations that change file metadata — OpenFile,
+/// AllocatePage, Truncate — take the exclusive lock and are driven by
+/// the single-threaded write path.
+///
+/// DiskManager moves whole raw pages; it neither stamps nor verifies
+/// the per-page checksum footer — that is the BufferPool's job, so a
+/// direct ReadPage (e.g. VerifyIntegrity's scan) sees the bytes as-is.
 class DiskManager {
  public:
-  /// Creates a manager rooted at directory `dir` (created if missing).
-  static Result<std::unique_ptr<DiskManager>> Open(const std::string& dir);
+  /// Creates a manager rooted at directory `dir` (created if missing),
+  /// performing I/O through `env`. With a non-null `journal`, page
+  /// writes and allocations are redirected into it (reads consult it
+  /// first) so the data files only change in place when the journal is
+  /// applied at a checkpoint — see PageJournal. The journal is not
+  /// owned and must already be recovered (Open + ApplyCommitted +
+  /// Reset) before any file is opened through this manager.
+  static Result<std::unique_ptr<DiskManager>> Open(const std::string& dir,
+                                                   IoEnv* env,
+                                                   PageJournal* journal =
+                                                       nullptr);
+  /// Convenience overload using the default POSIX environment.
+  static Result<std::unique_ptr<DiskManager>> Open(const std::string& dir) {
+    return Open(dir, IoEnv::Default());
+  }
 
   ~DiskManager();
 
@@ -48,7 +69,8 @@ class DiskManager {
   /// Writes `buf` (kPageSize bytes) to page `page_no` of `file`.
   Status WritePage(FileId file, PageNo page_no, const char* buf);
 
-  /// Extends `file` by one zeroed page and returns its number.
+  /// Extends `file` by one zeroed page (with a valid checksum footer,
+  /// so an unwritten page still verifies) and returns its number.
   Result<PageNo> AllocatePage(FileId file);
 
   /// Number of pages currently in `file`.
@@ -57,8 +79,17 @@ class DiskManager {
   /// fsyncs every open file.
   Status SyncAll();
 
+  /// fsyncs the root directory's entries (new files survive power cut).
+  Status SyncDir();
+
   /// Truncates `file` to zero pages (used by WAL checkpointing).
   Status Truncate(FileId file);
+
+  /// Name (relative to the root directory) of an open file.
+  Result<std::string> FileName(FileId file) const;
+
+  /// Names of every open file, indexed by FileId.
+  std::vector<std::string> FileNames() const;
 
   DiskStats stats() const {
     DiskStats s;
@@ -74,19 +105,23 @@ class DiskManager {
   }
 
   const std::string& dir() const { return dir_; }
+  IoEnv* env() const { return env_; }
 
  private:
-  explicit DiskManager(std::string dir) : dir_(std::move(dir)) {}
+  DiskManager(std::string dir, IoEnv* env, PageJournal* journal)
+      : dir_(std::move(dir)), env_(env), journal_(journal) {}
 
   struct OpenFileState {
-    std::string path;
-    int fd = -1;
+    std::string name;
+    std::unique_ptr<IoFile> file;
     PageNo num_pages = 0;
   };
 
   std::string dir_;
+  IoEnv* env_;
+  PageJournal* journal_ = nullptr;  // not owned; null = direct I/O
   // Guards files_ (growth on OpenFile, num_pages on Allocate/Truncate);
-  // page reads hold it shared around the positional pread.
+  // page reads hold it shared around the positional ReadAt.
   mutable std::shared_mutex files_mu_;
   std::vector<OpenFileState> files_;
   std::atomic<uint64_t> reads_{0};

@@ -1,0 +1,317 @@
+#include "storage/fault_env.h"
+
+#include <algorithm>
+#include <cstring>
+
+namespace tcob {
+
+namespace {
+
+std::string ParentDir(const std::string& path) {
+  size_t slash = path.find_last_of('/');
+  if (slash == std::string::npos) return ".";
+  if (slash == 0) return "/";
+  return path.substr(0, slash);
+}
+
+Status Eio(const std::string& op, const std::string& path) {
+  return Status::IOError("injected EIO: " + op + " " + path);
+}
+
+Status CutError(const std::string& op, const std::string& path) {
+  return Status::IOError("power cut: " + op + " " + path);
+}
+
+}  // namespace
+
+/// A handle onto an inode of a FaultInjectingIoEnv. Keeps the inode
+/// alive even if the name is renamed or removed, like a POSIX fd.
+class FaultIoFile final : public IoFile {
+ public:
+  FaultIoFile(FaultInjectingIoEnv* env, std::string path,
+              FaultInjectingIoEnv::InodePtr inode)
+      : env_(env), path_(std::move(path)), inode_(std::move(inode)) {}
+
+  Result<size_t> ReadAt(uint64_t off, char* buf, size_t n) override {
+    std::lock_guard<std::mutex> lock(env_->mu_);
+    if (env_->cut_fired_) return CutError("pread", path_);
+    ++env_->reads_;
+    if (env_->fail_read_at_ != 0 && env_->reads_ == env_->fail_read_at_) {
+      env_->fail_read_at_ = 0;
+      return Eio("pread", path_);
+    }
+    const std::string& data = inode_->current;
+    if (off >= data.size()) return static_cast<size_t>(0);
+    size_t avail = std::min<uint64_t>(n, data.size() - off);
+    std::memcpy(buf, data.data() + off, avail);
+    return avail;
+  }
+
+  Status WriteAt(uint64_t off, const Slice& data) override {
+    std::lock_guard<std::mutex> lock(env_->mu_);
+    if (env_->cut_fired_) return CutError("pwrite", path_);
+    ++env_->writes_;
+    ++env_->events_;
+    if (env_->fail_write_at_ != 0 &&
+        env_->writes_ == env_->fail_write_at_) {
+      env_->fail_write_at_ = 0;
+      return Eio("pwrite", path_);
+    }
+    if (env_->tear_write_at_ != 0 &&
+        env_->writes_ == env_->tear_write_at_) {
+      size_t keep = env_->tear_keep_sectors_;
+      env_->tear_write_at_ = 0;
+      Apply(off, data.data(),
+            std::min(data.size(), keep * FaultInjectingIoEnv::kSectorSize));
+      return Eio("pwrite (torn)", path_);
+    }
+    if (env_->cut_after_events_ != 0 &&
+        env_->events_ == env_->cut_after_events_ &&
+        env_->cut_mode_ == CutMode::kKeepAllTearLast) {
+      // The cut lands mid-write: a deterministic prefix of the sectors
+      // reaches the disk, the rest is lost.
+      size_t total_sectors =
+          (data.size() + FaultInjectingIoEnv::kSectorSize - 1) /
+          FaultInjectingIoEnv::kSectorSize;
+      size_t keep_sectors =
+          total_sectors == 0 ? 0 : env_->events_ % total_sectors;
+      Apply(off, data.data(),
+            std::min(data.size(),
+                     keep_sectors * FaultInjectingIoEnv::kSectorSize));
+      env_->FireCutLocked();
+      return CutError("pwrite (torn)", path_);
+    }
+    Apply(off, data.data(), data.size());
+    if (env_->cut_after_events_ != 0 &&
+        env_->events_ == env_->cut_after_events_) {
+      env_->FireCutLocked();
+    }
+    return Status::OK();
+  }
+
+  Status Sync() override {
+    std::lock_guard<std::mutex> lock(env_->mu_);
+    if (env_->cut_fired_) return CutError("fsync", path_);
+    ++env_->syncs_;
+    ++env_->events_;
+    if (env_->fail_sync_at_ != 0 && env_->syncs_ == env_->fail_sync_at_) {
+      env_->fail_sync_at_ = 0;
+      return Eio("fsync", path_);
+    }
+    inode_->durable = inode_->current;
+    // fsync of a file also persists its directory entry (ext4
+    // behaviour), but only while the live name still maps to this inode.
+    auto it = env_->current_ns_.find(path_);
+    if (it != env_->current_ns_.end() && it->second == inode_) {
+      env_->durable_ns_[path_] = inode_;
+    }
+    if (env_->cut_after_events_ != 0 &&
+        env_->events_ == env_->cut_after_events_) {
+      env_->FireCutLocked();
+    }
+    return Status::OK();
+  }
+
+  Status Truncate(uint64_t size) override {
+    std::lock_guard<std::mutex> lock(env_->mu_);
+    if (env_->cut_fired_) return CutError("ftruncate", path_);
+    ++env_->events_;
+    inode_->current.resize(size, '\0');
+    if (env_->cut_after_events_ != 0 &&
+        env_->events_ == env_->cut_after_events_) {
+      env_->FireCutLocked();
+    }
+    return Status::OK();
+  }
+
+  Result<uint64_t> Size() const override {
+    std::lock_guard<std::mutex> lock(env_->mu_);
+    if (env_->cut_fired_) return CutError("fstat", path_);
+    return static_cast<uint64_t>(inode_->current.size());
+  }
+
+ private:
+  /// Applies `n` bytes at `off` to the inode's live image, zero-filling
+  /// any gap (sparse write past EOF).
+  void Apply(uint64_t off, const char* data, size_t n) {
+    std::string& cur = inode_->current;
+    if (off + n > cur.size()) cur.resize(off + n, '\0');
+    std::memcpy(cur.data() + off, data, n);
+  }
+
+  FaultInjectingIoEnv* env_;
+  std::string path_;
+  FaultInjectingIoEnv::InodePtr inode_;
+};
+
+Result<std::unique_ptr<IoFile>> FaultInjectingIoEnv::OpenFile(
+    const std::string& path) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (cut_fired_) return CutError("open", path);
+  InodePtr inode;
+  auto it = current_ns_.find(path);
+  if (it != current_ns_.end()) {
+    inode = it->second;
+  } else {
+    inode = std::make_shared<Inode>();
+    current_ns_[path] = inode;
+  }
+  return std::unique_ptr<IoFile>(new FaultIoFile(this, path, inode));
+}
+
+Status FaultInjectingIoEnv::CreateDir(const std::string& path) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (cut_fired_) return CutError("mkdir", path);
+  // Directory creation durability is not modelled; the sweep always
+  // creates its directories before faults are armed.
+  dirs_.insert(path);
+  return Status::OK();
+}
+
+Result<bool> FaultInjectingIoEnv::FileExists(const std::string& path) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (cut_fired_) return CutError("stat", path);
+  return current_ns_.count(path) > 0 || dirs_.count(path) > 0;
+}
+
+Status FaultInjectingIoEnv::RenameFile(const std::string& from,
+                                       const std::string& to) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (cut_fired_) return CutError("rename", from);
+  auto it = current_ns_.find(from);
+  if (it == current_ns_.end()) {
+    return Status::IOError("rename " + from + ": no such file");
+  }
+  current_ns_[to] = it->second;
+  current_ns_.erase(it);
+  return Status::OK();
+}
+
+Status FaultInjectingIoEnv::RemoveFile(const std::string& path) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (cut_fired_) return CutError("unlink", path);
+  current_ns_.erase(path);
+  return Status::OK();
+}
+
+Status FaultInjectingIoEnv::SyncDir(const std::string& path) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (cut_fired_) return CutError("fsync(dir)", path);
+  ++syncs_;
+  ++events_;
+  if (fail_sync_at_ != 0 && syncs_ == fail_sync_at_) {
+    fail_sync_at_ = 0;
+    return Eio("fsync(dir)", path);
+  }
+  // Make the directory's live names durable. File *contents* stay at
+  // whatever their last Sync captured.
+  for (auto it = durable_ns_.begin(); it != durable_ns_.end();) {
+    if (ParentDir(it->first) == path && current_ns_.count(it->first) == 0) {
+      it = durable_ns_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  for (const auto& [name, inode] : current_ns_) {
+    if (ParentDir(name) == path) durable_ns_[name] = inode;
+  }
+  if (cut_after_events_ != 0 && events_ == cut_after_events_) {
+    FireCutLocked();
+  }
+  return Status::OK();
+}
+
+Result<std::vector<std::string>> FaultInjectingIoEnv::ListDir(
+    const std::string& path) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (cut_fired_) return CutError("readdir", path);
+  std::vector<std::string> names;
+  for (const auto& [name, inode] : current_ns_) {
+    (void)inode;
+    if (ParentDir(name) == path) {
+      names.push_back(name.substr(path.size() + 1));
+    }
+  }
+  return names;  // map order is already sorted
+}
+
+void FaultInjectingIoEnv::FailReadAt(uint64_t nth) {
+  std::lock_guard<std::mutex> lock(mu_);
+  fail_read_at_ = nth;
+}
+
+void FaultInjectingIoEnv::FailWriteAt(uint64_t nth) {
+  std::lock_guard<std::mutex> lock(mu_);
+  fail_write_at_ = nth;
+}
+
+void FaultInjectingIoEnv::FailSyncAt(uint64_t nth) {
+  std::lock_guard<std::mutex> lock(mu_);
+  fail_sync_at_ = nth;
+}
+
+void FaultInjectingIoEnv::TearWriteAt(uint64_t nth, size_t keep_sectors) {
+  std::lock_guard<std::mutex> lock(mu_);
+  tear_write_at_ = nth;
+  tear_keep_sectors_ = keep_sectors;
+}
+
+void FaultInjectingIoEnv::PowerCutAfterEvents(uint64_t nth, CutMode mode) {
+  std::lock_guard<std::mutex> lock(mu_);
+  cut_after_events_ = nth;
+  cut_mode_ = mode;
+}
+
+void FaultInjectingIoEnv::ClearFaults() {
+  std::lock_guard<std::mutex> lock(mu_);
+  fail_read_at_ = 0;
+  fail_write_at_ = 0;
+  fail_sync_at_ = 0;
+  tear_write_at_ = 0;
+  cut_after_events_ = 0;
+}
+
+void FaultInjectingIoEnv::Revive() {
+  std::lock_guard<std::mutex> lock(mu_);
+  cut_fired_ = false;
+}
+
+void FaultInjectingIoEnv::FireCutLocked() {
+  cut_fired_ = true;
+  cut_after_events_ = 0;
+  if (cut_mode_ == CutMode::kDropUnsynced) {
+    for (auto& [name, inode] : durable_ns_) {
+      inode->current = inode->durable;
+    }
+    current_ns_ = durable_ns_;
+  }
+  // kKeepAllTearLast: the live image (including the torn prefix already
+  // applied) is exactly what survives.
+}
+
+bool FaultInjectingIoEnv::cut_fired() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return cut_fired_;
+}
+
+uint64_t FaultInjectingIoEnv::events() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return events_;
+}
+
+uint64_t FaultInjectingIoEnv::reads() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return reads_;
+}
+
+uint64_t FaultInjectingIoEnv::writes() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return writes_;
+}
+
+uint64_t FaultInjectingIoEnv::syncs() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return syncs_;
+}
+
+}  // namespace tcob

@@ -1,0 +1,127 @@
+#ifndef TCOB_STORAGE_FAULT_ENV_H_
+#define TCOB_STORAGE_FAULT_ENV_H_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <set>
+#include <string>
+
+#include "storage/io_env.h"
+
+namespace tcob {
+
+/// What survives a simulated power cut.
+enum class CutMode {
+  /// Only bytes made durable by Sync/SyncDir survive; everything written
+  /// since the last sync of each file is dropped, and namespace changes
+  /// (create/rename/remove) revert to the last SyncDir. This is the
+  /// pessimistic POSIX model.
+  kDropUnsynced,
+  /// Every completed write survives (a well-behaved disk cache), but the
+  /// write the cut lands on is torn at 512-byte sector granularity: only
+  /// a prefix of its sectors reach the platter.
+  kKeepAllTearLast,
+};
+
+/// An in-memory IoEnv that injects failures deterministically. Tests use
+/// it to fail the Nth read/write/sync with EIO, tear a specific write at
+/// sector granularity, and simulate a power cut after the Nth I/O event.
+///
+/// Durability model: each file is an inode with a `current` byte string
+/// (what reads observe) and a `durable` byte string (what survives a
+/// power cut). WriteAt/Truncate touch only `current`; Sync copies
+/// `current` to `durable` and also makes the file's directory entry
+/// durable (matching ext4's fsync behaviour); SyncDir makes the names in
+/// a directory durable without touching file contents. Rename and remove
+/// affect the live namespace immediately but the durable namespace only
+/// at the next SyncDir.
+///
+/// After a power cut fires, every I/O call returns IOError until
+/// Revive() — the test must destroy the "crashed" database instance
+/// first, so its destructor's best-effort flushes cannot leak post-crash
+/// bytes into the surviving image, then Revive() and reopen.
+///
+/// Events (counted for PowerCutAfterEvents) are writes, truncates,
+/// syncs, and directory syncs. Reads are counted separately and are
+/// never cut points.
+class FaultInjectingIoEnv final : public IoEnv {
+ public:
+  static constexpr size_t kSectorSize = 512;
+
+  FaultInjectingIoEnv() = default;
+
+  // --- IoEnv interface ------------------------------------------------
+  Result<std::unique_ptr<IoFile>> OpenFile(const std::string& path) override;
+  Status CreateDir(const std::string& path) override;
+  Result<bool> FileExists(const std::string& path) override;
+  Status RenameFile(const std::string& from, const std::string& to) override;
+  Status RemoveFile(const std::string& path) override;
+  Status SyncDir(const std::string& path) override;
+  Result<std::vector<std::string>> ListDir(const std::string& path) override;
+
+  // --- Fault programming (counts are 1-based and absolute) -------------
+  /// Fails the nth ReadAt since construction with IOError, once.
+  void FailReadAt(uint64_t nth);
+  /// Fails the nth WriteAt with IOError before any bytes are applied.
+  void FailWriteAt(uint64_t nth);
+  /// Fails the nth Sync/SyncDir with IOError; nothing becomes durable.
+  void FailSyncAt(uint64_t nth);
+  /// Tears the nth WriteAt: only its first `keep_sectors` 512-byte
+  /// sectors are applied, then IOError.
+  void TearWriteAt(uint64_t nth, size_t keep_sectors);
+  /// Simulates a power cut at the nth I/O event (write/truncate/sync).
+  /// In kDropUnsynced the event completes and then the cut fires; in
+  /// kKeepAllTearLast a write event is torn mid-flight.
+  void PowerCutAfterEvents(uint64_t nth, CutMode mode);
+  /// Clears all programmed (not-yet-fired) faults.
+  void ClearFaults();
+  /// Clears the power-cut state: I/O works again against the surviving
+  /// bytes. Counters keep running.
+  void Revive();
+
+  // --- Introspection ---------------------------------------------------
+  bool cut_fired() const;
+  uint64_t events() const;
+  uint64_t reads() const;
+  uint64_t writes() const;
+  uint64_t syncs() const;
+
+ private:
+  friend class FaultIoFile;
+
+  struct Inode {
+    std::string current;
+    std::string durable;
+  };
+  using InodePtr = std::shared_ptr<Inode>;
+
+  /// Applies the power cut under mu_. In kDropUnsynced mode every inode
+  /// reverts to its durable image and the namespace reverts to the
+  /// durable namespace.
+  void FireCutLocked();
+
+  mutable std::mutex mu_;
+  std::map<std::string, InodePtr> current_ns_;
+  std::map<std::string, InodePtr> durable_ns_;
+  std::set<std::string> dirs_;
+
+  uint64_t reads_ = 0;
+  uint64_t writes_ = 0;
+  uint64_t syncs_ = 0;
+  uint64_t events_ = 0;
+
+  uint64_t fail_read_at_ = 0;
+  uint64_t fail_write_at_ = 0;
+  uint64_t fail_sync_at_ = 0;
+  uint64_t tear_write_at_ = 0;
+  size_t tear_keep_sectors_ = 0;
+  uint64_t cut_after_events_ = 0;
+  CutMode cut_mode_ = CutMode::kDropUnsynced;
+  bool cut_fired_ = false;
+};
+
+}  // namespace tcob
+
+#endif  // TCOB_STORAGE_FAULT_ENV_H_

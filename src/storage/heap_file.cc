@@ -17,7 +17,7 @@ constexpr char kKindOverflowStub = 1;
 
 // Overflow page: [type:1][pad:1][len:2][next:4][payload...].
 constexpr uint32_t kOverflowHeader = 8;
-constexpr uint32_t kOverflowCapacity = kPageSize - kOverflowHeader;
+constexpr uint32_t kOverflowCapacity = kPageDataSize - kOverflowHeader;
 
 // Meta page field offsets.
 constexpr uint32_t kMetaMagicOff = 8;

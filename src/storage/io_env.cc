@@ -1,0 +1,205 @@
+#include "storage/io_env.h"
+
+#include <dirent.h>
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <cstring>
+
+namespace tcob {
+
+namespace {
+
+std::string ErrnoMessage(const std::string& op, const std::string& path,
+                         int err) {
+  return op + " " + path + ": " + std::strerror(err);
+}
+
+/// Parent directory of `path` ("." when there is no slash).
+std::string DirName(const std::string& path) {
+  size_t slash = path.find_last_of('/');
+  if (slash == std::string::npos) return ".";
+  if (slash == 0) return "/";
+  return path.substr(0, slash);
+}
+
+class PosixIoFile final : public IoFile {
+ public:
+  PosixIoFile(std::string path, int fd) : path_(std::move(path)), fd_(fd) {}
+
+  ~PosixIoFile() override {
+    if (fd_ >= 0) ::close(fd_);
+  }
+
+  Result<size_t> ReadAt(uint64_t off, char* buf, size_t n) override {
+    size_t done = 0;
+    while (done < n) {
+      ssize_t r = ::pread(fd_, buf + done, n - done,
+                          static_cast<off_t>(off + done));
+      if (r < 0) {
+        if (errno == EINTR) continue;
+        return Status::IOError(ErrnoMessage("pread", path_, errno));
+      }
+      if (r == 0) break;  // end of file
+      done += static_cast<size_t>(r);
+    }
+    return done;
+  }
+
+  Status WriteAt(uint64_t off, const Slice& data) override {
+    size_t done = 0;
+    while (done < data.size()) {
+      ssize_t r = ::pwrite(fd_, data.data() + done, data.size() - done,
+                           static_cast<off_t>(off + done));
+      if (r < 0) {
+        if (errno == EINTR) continue;
+        return Status::IOError(ErrnoMessage("pwrite", path_, errno));
+      }
+      done += static_cast<size_t>(r);
+    }
+    return Status::OK();
+  }
+
+  Status Sync() override {
+    if (::fdatasync(fd_) != 0) {
+      return Status::IOError(ErrnoMessage("fdatasync", path_, errno));
+    }
+    return Status::OK();
+  }
+
+  Status Truncate(uint64_t size) override {
+    if (::ftruncate(fd_, static_cast<off_t>(size)) != 0) {
+      return Status::IOError(ErrnoMessage("ftruncate", path_, errno));
+    }
+    return Status::OK();
+  }
+
+  Result<uint64_t> Size() const override {
+    struct stat st;
+    if (::fstat(fd_, &st) != 0) {
+      return Status::IOError(ErrnoMessage("fstat", path_, errno));
+    }
+    return static_cast<uint64_t>(st.st_size);
+  }
+
+ private:
+  std::string path_;
+  int fd_;
+};
+
+class PosixIoEnv final : public IoEnv {
+ public:
+  Result<std::unique_ptr<IoFile>> OpenFile(const std::string& path) override {
+    int fd = ::open(path.c_str(), O_RDWR | O_CREAT, 0644);
+    if (fd < 0) {
+      return Status::IOError(ErrnoMessage("open", path, errno));
+    }
+    return std::unique_ptr<IoFile>(new PosixIoFile(path, fd));
+  }
+
+  Status CreateDir(const std::string& path) override {
+    if (::mkdir(path.c_str(), 0755) != 0 && errno != EEXIST) {
+      return Status::IOError(ErrnoMessage("mkdir", path, errno));
+    }
+    return Status::OK();
+  }
+
+  Result<bool> FileExists(const std::string& path) override {
+    struct stat st;
+    if (::stat(path.c_str(), &st) == 0) return true;
+    if (errno == ENOENT) return false;
+    return Status::IOError(ErrnoMessage("stat", path, errno));
+  }
+
+  Status RenameFile(const std::string& from, const std::string& to) override {
+    if (::rename(from.c_str(), to.c_str()) != 0) {
+      return Status::IOError(ErrnoMessage("rename", from + " -> " + to,
+                                          errno));
+    }
+    return Status::OK();
+  }
+
+  Status RemoveFile(const std::string& path) override {
+    if (::unlink(path.c_str()) != 0 && errno != ENOENT) {
+      return Status::IOError(ErrnoMessage("unlink", path, errno));
+    }
+    return Status::OK();
+  }
+
+  Status SyncDir(const std::string& path) override {
+    int fd = ::open(path.c_str(), O_RDONLY | O_DIRECTORY);
+    if (fd < 0) {
+      return Status::IOError(ErrnoMessage("open(dir)", path, errno));
+    }
+    Status st;
+    if (::fsync(fd) != 0) {
+      st = Status::IOError(ErrnoMessage("fsync(dir)", path, errno));
+    }
+    ::close(fd);
+    return st;
+  }
+
+  Result<std::vector<std::string>> ListDir(const std::string& path) override {
+    DIR* dir = ::opendir(path.c_str());
+    if (dir == nullptr) {
+      return Status::IOError(ErrnoMessage("opendir", path, errno));
+    }
+    std::vector<std::string> names;
+    errno = 0;
+    while (struct dirent* entry = ::readdir(dir)) {
+      const std::string name = entry->d_name;
+      if (name == "." || name == "..") continue;
+      struct stat st;
+      if (::stat((path + "/" + name).c_str(), &st) == 0 &&
+          S_ISREG(st.st_mode)) {
+        names.push_back(name);
+      }
+      errno = 0;
+    }
+    const int err = errno;
+    ::closedir(dir);
+    if (err != 0) {
+      return Status::IOError(ErrnoMessage("readdir", path, err));
+    }
+    std::sort(names.begin(), names.end());
+    return names;
+  }
+};
+
+}  // namespace
+
+IoEnv* IoEnv::Default() {
+  static PosixIoEnv env;
+  return &env;
+}
+
+Result<std::string> ReadFileToString(IoEnv* env, const std::string& path) {
+  TCOB_ASSIGN_OR_RETURN(bool exists, env->FileExists(path));
+  if (!exists) return Status::NotFound("no such file: " + path);
+  TCOB_ASSIGN_OR_RETURN(std::unique_ptr<IoFile> file, env->OpenFile(path));
+  TCOB_ASSIGN_OR_RETURN(uint64_t size, file->Size());
+  std::string out(size, '\0');
+  TCOB_ASSIGN_OR_RETURN(size_t n, file->ReadAt(0, out.data(), out.size()));
+  out.resize(n);
+  return out;
+}
+
+Status WriteFileAtomic(IoEnv* env, const std::string& path,
+                       const Slice& data) {
+  const std::string tmp = path + ".tmp";
+  {
+    TCOB_ASSIGN_OR_RETURN(std::unique_ptr<IoFile> file, env->OpenFile(tmp));
+    // The tmp file may survive from an earlier failed attempt; clear it so
+    // stale tail bytes cannot outlive this write.
+    TCOB_RETURN_NOT_OK(file->Truncate(0));
+    TCOB_RETURN_NOT_OK(file->WriteAt(0, data));
+    TCOB_RETURN_NOT_OK(file->Sync());
+  }
+  TCOB_RETURN_NOT_OK(env->RenameFile(tmp, path));
+  return env->SyncDir(DirName(path));
+}
+
+}  // namespace tcob

@@ -1,0 +1,91 @@
+#ifndef TCOB_STORAGE_IO_ENV_H_
+#define TCOB_STORAGE_IO_ENV_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "common/slice.h"
+
+namespace tcob {
+
+/// A random-access file handle obtained from an IoEnv.
+///
+/// All offsets are absolute; there is no cursor. Implementations must
+/// make ReadAt/WriteAt safe to call concurrently from multiple readers
+/// (TCOB's write path is single-threaded, its read path is not).
+class IoFile {
+ public:
+  virtual ~IoFile() = default;
+
+  /// Reads up to `n` bytes at `off` into `buf`. Returns the number of
+  /// bytes read, which is less than `n` only at end-of-file. Retries
+  /// EINTR and short transfers internally.
+  virtual Result<size_t> ReadAt(uint64_t off, char* buf, size_t n) = 0;
+
+  /// Writes all of `data` at `off` (extending the file as needed), or
+  /// fails. Retries EINTR and short transfers internally; a hard error
+  /// may leave a partial write behind (the caller's recovery story —
+  /// checksums, WAL framing — must tolerate that).
+  virtual Status WriteAt(uint64_t off, const Slice& data) = 0;
+
+  /// Durably persists the file's current content.
+  virtual Status Sync() = 0;
+
+  /// Truncates (or extends with zeros) to exactly `size` bytes.
+  virtual Status Truncate(uint64_t size) = 0;
+
+  virtual Result<uint64_t> Size() const = 0;
+};
+
+/// The physical I/O environment: every byte TCOB reads or writes goes
+/// through one of these. The default is the POSIX filesystem; tests
+/// substitute a FaultInjectingIoEnv to simulate EIO, torn writes, and
+/// power cuts deterministically.
+class IoEnv {
+ public:
+  virtual ~IoEnv() = default;
+
+  /// Opens `path` read-write, creating it when absent.
+  virtual Result<std::unique_ptr<IoFile>> OpenFile(const std::string& path) = 0;
+
+  /// Creates directory `path`; OK when it already exists as a directory.
+  virtual Status CreateDir(const std::string& path) = 0;
+
+  virtual Result<bool> FileExists(const std::string& path) = 0;
+
+  /// Atomically replaces `to` with `from` (rename(2) semantics). The
+  /// rename itself is only durable after SyncDir of the parent.
+  virtual Status RenameFile(const std::string& from,
+                            const std::string& to) = 0;
+
+  virtual Status RemoveFile(const std::string& path) = 0;
+
+  /// Durably persists the directory entries of `path` (fsync of the
+  /// directory fd): required after create/rename/remove for the name
+  /// change itself to survive a power cut.
+  virtual Status SyncDir(const std::string& path) = 0;
+
+  /// Names (not paths) of the regular files in directory `path`, sorted.
+  virtual Result<std::vector<std::string>> ListDir(
+      const std::string& path) = 0;
+
+  /// The process-wide POSIX environment.
+  static IoEnv* Default();
+};
+
+/// Reads the whole of `path` into a string; NotFound when absent.
+Result<std::string> ReadFileToString(IoEnv* env, const std::string& path);
+
+/// Crash-atomically replaces `path` with `data`: writes `path`.tmp,
+/// fsyncs it, renames over `path`, and fsyncs the parent directory.
+/// After a power cut the file holds either the old or the new content,
+/// never a mixture.
+Status WriteFileAtomic(IoEnv* env, const std::string& path,
+                       const Slice& data);
+
+}  // namespace tcob
+
+#endif  // TCOB_STORAGE_IO_ENV_H_

@@ -1,0 +1,20 @@
+#include "storage/page.h"
+
+#include <cstring>
+
+#include "common/hash.h"
+
+namespace tcob {
+
+void StampPageChecksum(char* buf) {
+  uint32_t crc = Crc32c(buf, kPageDataSize);
+  std::memcpy(buf + kPageDataSize, &crc, kPageChecksumSize);
+}
+
+bool PageChecksumOk(const char* buf) {
+  uint32_t stored;
+  std::memcpy(&stored, buf + kPageDataSize, kPageChecksumSize);
+  return stored == Crc32c(buf, kPageDataSize);
+}
+
+}  // namespace tcob

@@ -8,6 +8,14 @@ namespace tcob {
 /// Size of every on-disk page in bytes.
 inline constexpr uint32_t kPageSize = 4096;
 
+/// The last 4 bytes of every page hold a little-endian CRC-32C of the
+/// preceding kPageDataSize bytes. The buffer pool stamps the footer on
+/// every writeback and verifies it on every miss read; page formats
+/// (slotted pages, B+-tree nodes, overflow chains, file metadata) may
+/// only use the first kPageDataSize bytes.
+inline constexpr uint32_t kPageChecksumSize = 4;
+inline constexpr uint32_t kPageDataSize = kPageSize - kPageChecksumSize;
+
 /// Page number within a single file.
 using PageNo = uint32_t;
 inline constexpr PageNo kInvalidPageNo = 0xFFFFFFFFu;
@@ -53,6 +61,12 @@ inline bool operator==(const Rid& a, const Rid& b) {
   return a.page_no == b.page_no && a.slot == b.slot;
 }
 inline bool operator!=(const Rid& a, const Rid& b) { return !(a == b); }
+
+/// Computes and stores the CRC-32C footer over buf[0, kPageDataSize).
+void StampPageChecksum(char* buf);
+
+/// True when the stored footer matches the page contents.
+bool PageChecksumOk(const char* buf);
 
 }  // namespace tcob
 

@@ -1,0 +1,174 @@
+#include "storage/page_journal.h"
+
+#include <cstring>
+#include <mutex>
+#include <vector>
+
+#include "common/coding.h"
+#include "common/hash.h"
+
+namespace tcob {
+
+namespace {
+/// Page record layout after the type byte.
+constexpr uint64_t kPageHeader = 1 + 4;        // type, name_len
+constexpr uint64_t kCommitHeader = 1 + 4;      // type, blob_len
+constexpr uint32_t kMaxNameLen = 4096;         // sanity bound for the scan
+constexpr uint32_t kMaxBlobLen = 1 << 20;      // sanity bound for the scan
+}  // namespace
+
+PageJournal::PageJournal(IoEnv* env, std::string dir)
+    : env_(env), dir_(std::move(dir)), path_(dir_ + "/pages.journal") {}
+
+Result<JournalRecovery> PageJournal::Open() {
+  std::unique_lock<std::shared_mutex> lock(mu_);
+  TCOB_ASSIGN_OR_RETURN(file_, env_->OpenFile(path_));
+  TCOB_ASSIGN_OR_RETURN(uint64_t size, file_->Size());
+  std::string bytes(size, '\0');
+  if (size > 0) {
+    TCOB_ASSIGN_OR_RETURN(size_t n, file_->ReadAt(0, bytes.data(), size));
+    bytes.resize(n);
+  }
+
+  JournalRecovery rec;
+  Index staged;
+  Index committed;
+  uint64_t pos = 0;
+  uint64_t committed_end = 0;
+  while (pos < bytes.size()) {
+    const char* p = bytes.data() + pos;
+    const uint64_t remaining = bytes.size() - pos;
+    const uint8_t type = static_cast<uint8_t>(p[0]);
+    if (type == kPageRecord) {
+      if (remaining < kPageHeader) break;
+      const uint32_t name_len = DecodeFixed32(p + 1);
+      const uint64_t body = kPageHeader + name_len + 4 + kPageSize;
+      if (name_len == 0 || name_len > kMaxNameLen || remaining < body + 4) {
+        break;  // torn tail
+      }
+      if (DecodeFixed32(p + body) != Crc32c(p, body)) break;
+      std::string name(p + kPageHeader, name_len);
+      const PageNo page_no = DecodeFixed32(p + kPageHeader + name_len);
+      staged[{std::move(name), page_no}] = pos + kPageHeader + name_len + 4;
+      pos += body + 4;
+    } else if (type == kCommitRecord) {
+      if (remaining < kCommitHeader) break;
+      const uint32_t blob_len = DecodeFixed32(p + 1);
+      const uint64_t body = kCommitHeader + blob_len;
+      if (blob_len > kMaxBlobLen || remaining < body + 4) break;
+      if (DecodeFixed32(p + body) != Crc32c(p, body)) break;
+      rec.committed = true;
+      rec.meta_blob.assign(p + kCommitHeader, blob_len);
+      committed = staged;
+      pos += body + 4;
+      committed_end = pos;
+    } else {
+      break;  // unknown type: torn or corrupt tail
+    }
+  }
+  rec.discarded_bytes = bytes.size() - committed_end;
+  rec.committed_pages = committed.size();
+  index_ = std::move(committed);
+  size_ = bytes.size();
+  return rec;
+}
+
+Status PageJournal::Append(const std::string& file_name, PageNo page_no,
+                           const char* data) {
+  std::unique_lock<std::shared_mutex> lock(mu_);
+  std::string record;
+  record.reserve(kPageHeader + file_name.size() + 4 + kPageSize + 4);
+  record.push_back(static_cast<char>(kPageRecord));
+  PutFixed32(&record, static_cast<uint32_t>(file_name.size()));
+  record.append(file_name);
+  PutFixed32(&record, page_no);
+  record.append(data, kPageSize);
+  PutFixed32(&record, Crc32c(record.data(), record.size()));
+  TCOB_RETURN_NOT_OK(file_->WriteAt(size_, Slice(record)));
+  index_[{file_name, page_no}] =
+      size_ + kPageHeader + file_name.size() + 4;
+  size_ += record.size();
+  return Status::OK();
+}
+
+Result<bool> PageJournal::Lookup(const std::string& file_name, PageNo page_no,
+                                 char* out) const {
+  std::shared_lock<std::shared_mutex> lock(mu_);
+  auto it = index_.find({file_name, page_no});
+  if (it == index_.end()) return false;
+  TCOB_ASSIGN_OR_RETURN(size_t n, file_->ReadAt(it->second, out, kPageSize));
+  if (n != kPageSize) {
+    return Status::Corruption("short journal read for " + file_name +
+                              " page " + std::to_string(page_no));
+  }
+  return true;
+}
+
+Status PageJournal::Commit(const Slice& meta_blob) {
+  std::unique_lock<std::shared_mutex> lock(mu_);
+  std::string record;
+  record.reserve(kCommitHeader + meta_blob.size() + 4);
+  record.push_back(static_cast<char>(kCommitRecord));
+  PutFixed32(&record, static_cast<uint32_t>(meta_blob.size()));
+  record.append(meta_blob.data(), meta_blob.size());
+  PutFixed32(&record, Crc32c(record.data(), record.size()));
+  TCOB_RETURN_NOT_OK(file_->WriteAt(size_, Slice(record)));
+  size_ += record.size();
+  return file_->Sync();
+}
+
+Status PageJournal::ApplyCommitted() {
+  std::unique_lock<std::shared_mutex> lock(mu_);
+  // Sorted iteration (by name, then page number) writes each file's
+  // pages in ascending order, so extensions never leave holes.
+  std::map<std::string, std::unique_ptr<IoFile>> files;
+  std::vector<char> image(kPageSize);
+  for (const auto& [key, offset] : index_) {
+    const std::string& name = key.first;
+    const PageNo page_no = key.second;
+    auto it = files.find(name);
+    if (it == files.end()) {
+      TCOB_ASSIGN_OR_RETURN(std::unique_ptr<IoFile> f,
+                            env_->OpenFile(dir_ + "/" + name));
+      it = files.emplace(name, std::move(f)).first;
+    }
+    TCOB_ASSIGN_OR_RETURN(size_t n,
+                          file_->ReadAt(offset, image.data(), kPageSize));
+    if (n != kPageSize) {
+      return Status::Corruption("short journal read for " + name + " page " +
+                                std::to_string(page_no));
+    }
+    TCOB_RETURN_NOT_OK(
+        it->second->WriteAt(static_cast<uint64_t>(page_no) * kPageSize,
+                            Slice(image.data(), kPageSize)));
+  }
+  for (auto& [name, f] : files) {
+    (void)name;
+    TCOB_RETURN_NOT_OK(f->Sync());
+  }
+  return env_->SyncDir(dir_);
+}
+
+Status PageJournal::Reset() {
+  std::unique_lock<std::shared_mutex> lock(mu_);
+  TCOB_RETURN_NOT_OK(file_->Truncate(0));
+  TCOB_RETURN_NOT_OK(file_->Sync());
+  size_ = 0;
+  index_.clear();
+  return Status::OK();
+}
+
+void PageJournal::DropFile(const std::string& file_name) {
+  std::unique_lock<std::shared_mutex> lock(mu_);
+  auto it = index_.lower_bound({file_name, 0});
+  while (it != index_.end() && it->first.first == file_name) {
+    it = index_.erase(it);
+  }
+}
+
+bool PageJournal::empty() const {
+  std::shared_lock<std::shared_mutex> lock(mu_);
+  return size_ == 0;
+}
+
+}  // namespace tcob

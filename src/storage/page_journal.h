@@ -1,0 +1,119 @@
+#ifndef TCOB_STORAGE_PAGE_JOURNAL_H_
+#define TCOB_STORAGE_PAGE_JOURNAL_H_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <shared_mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/result.h"
+#include "storage/io_env.h"
+#include "storage/page.h"
+
+namespace tcob {
+
+/// What scanning an existing journal found at open.
+struct JournalRecovery {
+  /// A complete commit record was found: the journaled pages are a
+  /// durable checkpoint image that must be (re)applied in place.
+  bool committed = false;
+  /// Opaque payload of the last commit record (the database's meta
+  /// image, reinstalled by the caller after ApplyCommitted).
+  std::string meta_blob;
+  /// Distinct pages staged for apply by the committed prefix.
+  uint64_t committed_pages = 0;
+  /// Bytes after the last commit record (uncommitted writebacks, or a
+  /// tail torn by a crash) that will be discarded by Reset.
+  uint64_t discarded_bytes = 0;
+};
+
+/// Physical redo journal that makes page durability atomic with the
+/// checkpoint watermark.
+///
+/// TCOB's WAL is logical, and logical redo is not idempotent: replaying
+/// an operation over pages that already contain its effect corrupts the
+/// store. The journal closes that hole by never letting a page reach its
+/// data file in place during normal operation. Every writeback (buffer
+/// pool eviction, checkpoint flush, page allocation) is appended here
+/// instead; reads consult the journal first. At checkpoint the database
+/// appends a commit record carrying its meta image and syncs the journal
+/// — that single sync is the atomic point — then applies the journaled
+/// pages to the data files, syncs them, saves the meta, and resets the
+/// journal. After any crash the data files therefore hold EXACTLY the
+/// state of the last committed checkpoint (plus a committed journal
+/// still pending apply, which is physical and thus idempotent to
+/// reapply), so WAL replay from the watermark never double-applies.
+///
+/// Record framing (all fixed-width fields little-endian, each record
+/// ending in a CRC32C of its preceding bytes):
+///   page:   [u8 kPageRecord][u32 name_len][name][u32 page_no]
+///           [kPageSize image][u32 crc]
+///   commit: [u8 kCommitRecord][u32 blob_len][blob][u32 crc]
+/// A torn or corrupt record ends the scan; everything from it onward is
+/// discarded (it was not yet durable, by construction).
+///
+/// Thread safety: Lookup may run concurrently with itself and with the
+/// single-threaded write path (Append/Commit/ApplyCommitted/Reset).
+class PageJournal {
+ public:
+  PageJournal(IoEnv* env, std::string dir);
+
+  /// Opens (creating if absent) `dir`/pages.journal and scans it.
+  /// Nothing is written; the caller inspects the result, calls
+  /// ApplyCommitted if `committed`, reinstalls the meta blob, and then
+  /// calls Reset to discard the journal before normal operation.
+  Result<JournalRecovery> Open();
+
+  /// Appends the page image (kPageSize bytes) for (`file_name`,
+  /// `page_no`). Not durable until Commit.
+  Status Append(const std::string& file_name, PageNo page_no,
+                const char* data);
+
+  /// Copies the latest journaled image of (`file_name`, `page_no`) into
+  /// `out` (kPageSize bytes). Returns false when the page has no
+  /// journaled image.
+  Result<bool> Lookup(const std::string& file_name, PageNo page_no,
+                      char* out) const;
+
+  /// Appends a commit record carrying `meta_blob` and syncs the journal.
+  /// This is the checkpoint's atomic point: after it returns, the staged
+  /// pages and the new watermark survive any crash together.
+  Status Commit(const Slice& meta_blob);
+
+  /// Writes every staged page image to its data file in place (latest
+  /// image per page), syncs the touched files and the directory.
+  /// Physical and therefore idempotent: safe to re-run after a crash.
+  Status ApplyCommitted();
+
+  /// Truncates the journal to empty, durably, and clears the index.
+  Status Reset();
+
+  /// Forgets journaled images of `file_name` (the caller truncated the
+  /// underlying file).
+  void DropFile(const std::string& file_name);
+
+  bool empty() const;
+
+ private:
+  static constexpr uint8_t kPageRecord = 1;
+  static constexpr uint8_t kCommitRecord = 2;
+
+  /// Offset of the raw page image inside the journal file.
+  using Index = std::map<std::pair<std::string, PageNo>, uint64_t>;
+
+  IoEnv* env_;
+  std::string dir_;
+  std::string path_;
+
+  mutable std::shared_mutex mu_;
+  std::unique_ptr<IoFile> file_;
+  uint64_t size_ = 0;  // append offset
+  Index index_;
+};
+
+}  // namespace tcob
+
+#endif  // TCOB_STORAGE_PAGE_JOURNAL_H_

@@ -11,7 +11,7 @@ void SlottedPage::Init(char* data, PageType type) {
   memset(data, 0, kPageSize);
   data[0] = static_cast<char>(type);
   SlottedPage page(data);
-  page.set_free_ptr(static_cast<uint16_t>(kPageSize));
+  page.set_free_ptr(static_cast<uint16_t>(kPageDataSize));
   page.set_slot_count(0);
   page.set_live_count(0);
   page.set_next_page(kInvalidPageNo);
@@ -71,7 +71,7 @@ uint32_t SlottedPage::FreeSpaceAfterCompaction() const {
     }
   }
   uint32_t dir_end = kHeaderSize + n * kSlotSize;
-  uint32_t gap = kPageSize - dir_end - used;
+  uint32_t gap = kPageDataSize - dir_end - used;
   if (has_vacant) return gap;
   return gap >= kSlotSize ? gap - kSlotSize : 0;
 }
@@ -90,7 +90,7 @@ void SlottedPage::Compact() {
     if (off == 0) continue;
     live.push_back({s, len, std::string(data_ + off, len)});
   }
-  uint16_t cursor = static_cast<uint16_t>(kPageSize);
+  uint16_t cursor = static_cast<uint16_t>(kPageDataSize);
   for (const LiveRec& rec : live) {
     cursor = static_cast<uint16_t>(cursor - rec.len);
     memcpy(data_ + cursor, rec.bytes.data(), rec.len);

@@ -33,9 +33,10 @@ class SlottedPage {
  public:
   static constexpr uint32_t kHeaderSize = 12;
   static constexpr uint32_t kSlotSize = 4;
-  /// Largest record Insert can ever accept (empty page, one slot).
+  /// Largest record Insert can ever accept (empty page, one slot). The
+  /// record area ends at kPageDataSize; the checksum footer is reserved.
   static constexpr uint32_t kMaxRecordSize =
-      kPageSize - kHeaderSize - kSlotSize;
+      kPageDataSize - kHeaderSize - kSlotSize;
 
   explicit SlottedPage(char* data) : data_(data) {}
 

@@ -67,6 +67,9 @@ Result<std::vector<AtomVersion>> IntegratedStore::LoadCluster(
   PutComparableU64(&key, id);
   Result<uint64_t> packed = state->index->Get(key);
   if (!packed.ok()) {
+    // Only a clean miss means "no such atom"; I/O and corruption errors
+    // must surface as themselves, never as a wrong NotFound answer.
+    if (!packed.status().IsNotFound()) return packed.status();
     return Status::NotFound("atom " + std::to_string(id));
   }
   Rid rid = Rid::Unpack(packed.value());
@@ -283,6 +286,21 @@ Result<uint64_t> IntegratedStore::VacuumBefore(const AtomTypeDef& type,
     }
   }
   return removed;
+}
+
+Status IntegratedStore::VerifyStructure(const AtomTypeDef& type) const {
+  TCOB_ASSIGN_OR_RETURN(TypeState* state, StateOf(type.id));
+  TCOB_RETURN_NOT_OK(state->index->VerifyStructure());
+  return state->index->Scan(
+      Slice(), Slice(), [&](const Slice&, uint64_t v) -> Result<bool> {
+        Result<std::string> rec = state->heap->Get(Rid::Unpack(v));
+        if (!rec.ok()) {
+          return Status::Corruption("cluster index of type " + type.name +
+                                    " references unreadable record: " +
+                                    rec.status().message());
+        }
+        return true;
+      });
 }
 
 }  // namespace tcob

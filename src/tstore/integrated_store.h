@@ -44,6 +44,10 @@ class IntegratedStore : public TemporalAtomStore {
   Result<uint64_t> VacuumBefore(const AtomTypeDef& type,
                                 Timestamp cutoff) override;
 
+  /// B+-tree invariants of the index, plus every index entry must
+  /// resolve to a readable heap record.
+  Status VerifyStructure(const AtomTypeDef& type) const override;
+
  protected:
   Result<std::optional<AtomVersion>> DoGetAsOf(const AtomTypeDef& type,
                                                AtomId id,

@@ -105,7 +105,12 @@ Result<SeparatedStore::CurrentRecord> SeparatedStore::LoadCurrent(
   std::string key;
   PutComparableU64(&key, id);
   Result<uint64_t> packed = state->current_index->Get(key);
-  if (!packed.ok()) return Status::NotFound("atom " + std::to_string(id));
+  if (!packed.ok()) {
+    // Only a clean miss means "no such atom"; I/O and corruption errors
+    // must surface as themselves, never as a wrong NotFound answer.
+    if (!packed.status().IsNotFound()) return packed.status();
+    return Status::NotFound("atom " + std::to_string(id));
+  }
   Rid rid = Rid::Unpack(packed.value());
   if (rid_out) *rid_out = rid;
   TCOB_ASSIGN_OR_RETURN(std::string rec, state->current->Get(rid));
@@ -509,6 +514,35 @@ Result<uint64_t> SeparatedStore::VacuumBefore(const AtomTypeDef& type,
     TCOB_RETURN_NOT_OK(StoreCurrent(type, id, rid, rec));
   }
   return removed;
+}
+
+Status SeparatedStore::VerifyStructure(const AtomTypeDef& type) const {
+  TCOB_ASSIGN_OR_RETURN(TypeState* state, StateOf(type.id));
+  TCOB_RETURN_NOT_OK(state->current_index->VerifyStructure());
+  TCOB_RETURN_NOT_OK(state->current_index->Scan(
+      Slice(), Slice(), [&](const Slice&, uint64_t v) -> Result<bool> {
+        Result<std::string> rec = state->current->Get(Rid::Unpack(v));
+        if (!rec.ok()) {
+          return Status::Corruption("current index of type " + type.name +
+                                    " references unreadable record: " +
+                                    rec.status().message());
+        }
+        return true;
+      }));
+  if (state->version_index != nullptr) {
+    TCOB_RETURN_NOT_OK(state->version_index->VerifyStructure());
+    TCOB_RETURN_NOT_OK(state->version_index->Scan(
+        Slice(), Slice(), [&](const Slice&, uint64_t v) -> Result<bool> {
+          Result<std::string> rec = state->history->Get(Rid::Unpack(v));
+          if (!rec.ok()) {
+            return Status::Corruption("version index of type " + type.name +
+                                      " references unreadable record: " +
+                                      rec.status().message());
+          }
+          return true;
+        }));
+  }
+  return Status::OK();
 }
 
 }  // namespace tcob

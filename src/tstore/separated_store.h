@@ -48,6 +48,10 @@ class SeparatedStore : public TemporalAtomStore {
   Result<uint64_t> VacuumBefore(const AtomTypeDef& type,
                                 Timestamp cutoff) override;
 
+  /// B+-tree invariants of both indexes, plus every index entry must
+  /// resolve to a readable heap record.
+  Status VerifyStructure(const AtomTypeDef& type) const override;
+
   /// Cumulative count of history-chain records visited (benchmark probe
   /// for Fig. 6 / Fig. 10).
   uint64_t chain_hops() const {

@@ -304,4 +304,19 @@ Result<uint64_t> SnapshotStore::VacuumBefore(const AtomTypeDef& type,
   return static_cast<uint64_t>(victims.size());
 }
 
+Status SnapshotStore::VerifyStructure(const AtomTypeDef& type) const {
+  TCOB_ASSIGN_OR_RETURN(TypeState* state, StateOf(type.id));
+  TCOB_RETURN_NOT_OK(state->index->VerifyStructure());
+  return state->index->Scan(
+      Slice(), Slice(), [&](const Slice&, uint64_t v) -> Result<bool> {
+        Result<std::string> rec = state->heap->Get(Rid::Unpack(v));
+        if (!rec.ok()) {
+          return Status::Corruption("version index of type " + type.name +
+                                    " references unreadable record: " +
+                                    rec.status().message());
+        }
+        return true;
+      });
+}
+
 }  // namespace tcob

@@ -1,6 +1,7 @@
 #include "tstore/temporal_store.h"
 
 #include <algorithm>
+#include <map>
 
 #include "common/coding.h"
 #include "record/record_codec.h"
@@ -46,6 +47,31 @@ Result<AtomVersion> DecodeAtomVersion(const std::vector<AttrType>& schema,
   TCOB_RETURN_NOT_OK(GetVarsint64(input, &v.valid.end));
   TCOB_ASSIGN_OR_RETURN(v.attrs, DecodeValues(schema, input));
   return v;
+}
+
+Status TemporalAtomStore::VerifyIntegrity(const AtomTypeDef& type) const {
+  std::map<AtomId, std::vector<AtomVersion>> by_atom;
+  TCOB_RETURN_NOT_OK(DoScanVersions(
+      type, Interval::All(), [&](const AtomVersion& v) -> Result<bool> {
+        by_atom[v.id].push_back(v);
+        return true;
+      }));
+  for (auto& [id, versions] : by_atom) {
+    for (const AtomVersion& v : versions) {
+      if (v.valid.empty()) {
+        return Status::Corruption(
+            "atom " + std::to_string(id) + " of type " + type.name +
+            ": empty version interval " + v.valid.ToString());
+      }
+    }
+    Result<VersionTimeline> timeline = TimelineOf(versions);
+    if (!timeline.ok()) {
+      return Status::Corruption("atom " + std::to_string(id) + " of type " +
+                                type.name + ": " +
+                                timeline.status().message());
+    }
+  }
+  return VerifyStructure(type);
 }
 
 Result<VersionTimeline> TimelineOf(const std::vector<AtomVersion>& versions) {

@@ -156,6 +156,20 @@ class TemporalAtomStore {
 
   virtual Result<StoreSpaceStats> SpaceStats() const = 0;
 
+  /// Structural self-check of the physical state backing `type`: every
+  /// version interval must be well-formed (begin < end) and each atom's
+  /// versions must form a non-overlapping timeline; then the strategy's
+  /// VerifyStructure validates its B+-trees and record plumbing.
+  /// Read-only; returns Corruption describing the first violation.
+  Status VerifyIntegrity(const AtomTypeDef& type) const;
+
+  /// Strategy-specific structural checks behind VerifyIntegrity (B+-tree
+  /// invariants, index-to-heap resolution). Default: nothing to check.
+  virtual Status VerifyStructure(const AtomTypeDef& type) const {
+    (void)type;
+    return Status::OK();
+  }
+
   /// Flushes all store state through the buffer pool to disk.
   virtual Status Flush() = 0;
 

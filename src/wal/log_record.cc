@@ -29,6 +29,7 @@ Status WalOp::Encode(const std::vector<AttrType>& schema,
                      std::string* dst) const {
   dst->push_back(static_cast<char>(type));
   PutVarint64(dst, txn_id);
+  PutVarint64(dst, op_seq);
   switch (type) {
     case WalOpType::kInsertAtom:
     case WalOpType::kUpdateAtom:
@@ -65,6 +66,7 @@ Result<WalOp> WalOp::Decode(
   op.type = static_cast<WalOpType>(input[0]);
   input.RemovePrefix(1);
   TCOB_RETURN_NOT_OK(GetVarint64(&input, &op.txn_id));
+  TCOB_RETURN_NOT_OK(GetVarint64(&input, &op.op_seq));
   switch (op.type) {
     case WalOpType::kInsertAtom:
     case WalOpType::kUpdateAtom: {

@@ -33,6 +33,12 @@ enum class WalOpType : uint8_t {
 struct WalOp {
   WalOpType type = WalOpType::kCommit;
   uint64_t txn_id = 0;
+  /// Database-wide monotonic sequence number (LSN analogue). A
+  /// checkpoint persists the next sequence into the meta file; replay
+  /// skips records below it, making recovery idempotent even when a
+  /// crash lands between the checkpoint's page flush and the WAL
+  /// truncation — or during a re-crash inside recovery itself.
+  uint64_t op_seq = 0;
 
   // Atom operations.
   AtomId atom_id = kInvalidAtomId;

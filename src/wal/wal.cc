@@ -1,9 +1,5 @@
 #include "wal/wal.h"
 
-#include <fcntl.h>
-#include <unistd.h>
-
-#include <cerrno>
 #include <cstring>
 #include <vector>
 
@@ -14,88 +10,100 @@ namespace tcob {
 
 namespace {
 
-Status Errno(const std::string& op, const std::string& path) {
-  return Status::IOError(op + " " + path + ": " + strerror(errno));
-}
-
 constexpr uint32_t kFrameHeader = 8;  // len + crc
 constexpr uint32_t kMaxFrame = 64u << 20;
 
 }  // namespace
 
 Result<std::unique_ptr<WriteAheadLog>> WriteAheadLog::Open(
-    const std::string& path) {
+    const std::string& path, IoEnv* env) {
   std::unique_ptr<WriteAheadLog> wal(new WriteAheadLog(path));
-  wal->fd_ = open(path.c_str(), O_RDWR | O_CREAT | O_APPEND, 0644);
-  if (wal->fd_ < 0) return Errno("open", path);
+  TCOB_ASSIGN_OR_RETURN(wal->file_, env->OpenFile(path));
+  TCOB_ASSIGN_OR_RETURN(wal->write_pos_, wal->file_->Size());
   return wal;
 }
 
-WriteAheadLog::~WriteAheadLog() {
-  if (fd_ >= 0) close(fd_);
-}
+WriteAheadLog::~WriteAheadLog() = default;
 
 Status WriteAheadLog::Append(const Slice& payload) {
+  TCOB_RETURN_NOT_OK(health_);
   std::string frame;
   frame.reserve(kFrameHeader + payload.size());
   PutFixed32(&frame, static_cast<uint32_t>(payload.size()));
   PutFixed32(&frame, Checksum32(payload.data(), payload.size()));
   frame.append(payload.data(), payload.size());
-  ssize_t n = write(fd_, frame.data(), frame.size());
-  if (n != static_cast<ssize_t>(frame.size())) return Errno("write", path_);
+  Status st = file_->WriteAt(write_pos_, frame);
+  if (!st.ok()) {
+    health_ = st;
+    return st;
+  }
+  write_pos_ += frame.size();
   ++appended_;
   return Status::OK();
 }
 
 Status WriteAheadLog::Sync() {
-  if (fdatasync(fd_) != 0) return Errno("fdatasync", path_);
-  return Status::OK();
+  TCOB_RETURN_NOT_OK(health_);
+  Status st = file_->Sync();
+  if (!st.ok()) health_ = st;
+  return st;
 }
 
 Status WriteAheadLog::ReadAll(
-    const std::function<Result<bool>(const Slice&)>& fn) const {
-  off_t size = lseek(fd_, 0, SEEK_END);
-  if (size < 0) return Errno("lseek", path_);
-  off_t pos = 0;
+    const std::function<Result<bool>(const Slice&)>& fn,
+    WalReadStats* stats) const {
+  WalReadStats local;
+  bool stopped_early = false;
+  TCOB_ASSIGN_OR_RETURN(uint64_t size, file_->Size());
+  uint64_t pos = 0;
   std::vector<char> buf;
-  while (pos + static_cast<off_t>(kFrameHeader) <= size) {
+  while (pos + kFrameHeader <= size) {
     char header[kFrameHeader];
-    if (pread(fd_, header, kFrameHeader, pos) !=
-        static_cast<ssize_t>(kFrameHeader)) {
-      return Errno("pread header", path_);
-    }
+    TCOB_ASSIGN_OR_RETURN(size_t hn, file_->ReadAt(pos, header, kFrameHeader));
+    if (hn != kFrameHeader) break;  // torn tail
     uint32_t len = DecodeFixed32(header);
     uint32_t crc = DecodeFixed32(header + 4);
-    if (len > kMaxFrame ||
-        pos + static_cast<off_t>(kFrameHeader) + len > size) {
-      break;  // torn tail
+    if (len > kMaxFrame || pos + kFrameHeader + len > size) {
+      break;  // torn tail: frame extends past the end of the file
     }
     buf.resize(len);
-    if (len > 0 &&
-        pread(fd_, buf.data(), len, pos + kFrameHeader) !=
-            static_cast<ssize_t>(len)) {
-      return Errno("pread payload", path_);
+    if (len > 0) {
+      TCOB_ASSIGN_OR_RETURN(size_t pn,
+                            file_->ReadAt(pos + kFrameHeader, buf.data(), len));
+      if (pn != len) break;  // torn tail
     }
     if (Checksum32(buf.data(), len) != crc) {
-      break;  // corrupt tail
+      local.tail_was_corrupt = true;
+      break;
     }
+    local.bytes_replayed = pos + kFrameHeader + len;
+    ++local.records;
     TCOB_ASSIGN_OR_RETURN(bool keep_going, fn(Slice(buf.data(), len)));
-    if (!keep_going) return Status::OK();
     pos += kFrameHeader + len;
+    if (!keep_going) {
+      stopped_early = true;
+      break;
+    }
   }
+  // An early stop by fn leaves intact records unread; only count bytes
+  // the framing itself rejected.
+  local.dropped_tail_bytes = stopped_early ? 0 : size - local.bytes_replayed;
+  if (stats != nullptr) *stats = local;
   return Status::OK();
 }
 
 Status WriteAheadLog::Truncate() {
-  if (ftruncate(fd_, 0) != 0) return Errno("ftruncate", path_);
-  if (lseek(fd_, 0, SEEK_SET) < 0) return Errno("lseek", path_);
+  TCOB_RETURN_NOT_OK(health_);
+  Status st = file_->Truncate(0);
+  if (st.ok()) st = file_->Sync();
+  if (!st.ok()) {
+    health_ = st;
+    return st;
+  }
+  write_pos_ = 0;
   return Status::OK();
 }
 
-Result<uint64_t> WriteAheadLog::SizeBytes() const {
-  off_t size = lseek(fd_, 0, SEEK_END);
-  if (size < 0) return Errno("lseek", path_);
-  return static_cast<uint64_t>(size);
-}
+Result<uint64_t> WriteAheadLog::SizeBytes() const { return file_->Size(); }
 
 }  // namespace tcob

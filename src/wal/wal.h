@@ -8,8 +8,21 @@
 
 #include "common/result.h"
 #include "common/slice.h"
+#include "storage/io_env.h"
 
 namespace tcob {
+
+/// What a full ReadAll scan observed; surfaced as recovery stats so a
+/// crash artifact (torn or corrupt tail) is reported, never silently
+/// swallowed.
+struct WalReadStats {
+  uint64_t records = 0;            // intact records delivered to fn
+  uint64_t bytes_replayed = 0;     // bytes of intact frames
+  uint64_t dropped_tail_bytes = 0; // bytes discarded after the last
+                                   // intact frame (0 on a clean log)
+  bool tail_was_corrupt = false;   // dropped tail failed its CRC (vs.
+                                   // merely being cut short)
+};
 
 /// Append-only write-ahead log with checksummed framing.
 ///
@@ -17,10 +30,20 @@ namespace tcob {
 /// the first torn or corrupt frame (a crash mid-append loses only the
 /// unfinished tail). Payload interpretation is the caller's business
 /// (TCOB stores encoded WalOps).
+///
+/// Fail-stop: the first failed Append, Sync, or Truncate poisons the log
+/// — all later mutations return the original error without touching the
+/// file. An fsync failure means the kernel may have dropped dirty pages
+/// we can never re-sync, so retrying would silently un-durable committed
+/// data; the owning Database escalates the poison to read-only mode.
 class WriteAheadLog {
  public:
-  /// Opens (creating if absent) the log at `path`.
-  static Result<std::unique_ptr<WriteAheadLog>> Open(const std::string& path);
+  /// Opens (creating if absent) the log at `path`, doing I/O via `env`.
+  static Result<std::unique_ptr<WriteAheadLog>> Open(const std::string& path,
+                                                     IoEnv* env);
+  static Result<std::unique_ptr<WriteAheadLog>> Open(const std::string& path) {
+    return Open(path, IoEnv::Default());
+  }
 
   ~WriteAheadLog();
 
@@ -31,15 +54,17 @@ class WriteAheadLog {
   /// durability).
   Status Append(const Slice& payload);
 
-  /// fdatasyncs the log.
+  /// Durably persists all appended records.
   Status Sync();
 
   /// Replays every intact record from the beginning, in order.
   /// fn returns false to stop early. A torn tail terminates the scan
-  /// silently (that is the expected crash artifact).
-  Status ReadAll(const std::function<Result<bool>(const Slice&)>& fn) const;
+  /// and is reported through `stats` (which may be null).
+  Status ReadAll(const std::function<Result<bool>(const Slice&)>& fn,
+                 WalReadStats* stats = nullptr) const;
 
-  /// Discards all content (after a checkpoint made it redundant).
+  /// Discards all content (after a checkpoint made it redundant) and
+  /// syncs the truncation.
   Status Truncate();
 
   /// Bytes currently in the log.
@@ -48,12 +73,17 @@ class WriteAheadLog {
   /// Number of Append calls since open.
   uint64_t appended_records() const { return appended_; }
 
+  /// OK while the log is healthy; the poisoning error afterwards.
+  const Status& health() const { return health_; }
+
  private:
   explicit WriteAheadLog(std::string path) : path_(std::move(path)) {}
 
   std::string path_;
-  int fd_ = -1;
+  std::unique_ptr<IoFile> file_;
+  uint64_t write_pos_ = 0;
   uint64_t appended_ = 0;
+  Status health_;
 };
 
 }  // namespace tcob

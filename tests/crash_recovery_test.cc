@@ -10,10 +10,12 @@
 
 #include <set>
 
+#include "common/logging.h"
 #include "common/random.h"
 #include "common/temp_dir.h"
 #include "db/database.h"
 #include "query/parser.h"
+#include "storage/fault_env.h"
 
 namespace tcob {
 namespace {
@@ -163,6 +165,102 @@ TEST_P(CrashRecoveryTest, RepeatedCrashesConverge) {
   ASSERT_EQ(r.value().RowCount(), 1u);
   EXPECT_EQ(r.value().rows[0][1].AsString(), "late");
   EXPECT_NE(extra, kInvalidAtomId);
+}
+
+TEST_P(CrashRecoveryTest, RecrashImmediatelyAfterRecoveryIsIdempotent) {
+  // Control: same workload, clean shutdown.
+  {
+    auto control = Database::Open(dir_.path() + "/control", Options()).value();
+    ApplyWorkload(control.get(), 80);
+  }
+  auto control = Database::Open(dir_.path() + "/control", Options()).value();
+  std::multiset<std::string> expected = Snapshot(control.get());
+  ASSERT_FALSE(expected.empty());
+
+  {
+    auto v1 = Database::Open(dir_.path() + "/crash", Options());
+    ASSERT_TRUE(v1.ok());
+    ApplyWorkload(v1.value().release(), 80);
+  }
+  // First recovery replays the WAL tail... and then crashes again before
+  // checkpointing anything. The watermark must not have advanced, so the
+  // second recovery sees the exact same work.
+  uint64_t first_replayed = 0;
+  {
+    auto v2 = Database::Open(dir_.path() + "/crash", Options());
+    ASSERT_TRUE(v2.ok()) << v2.status().ToString();
+    first_replayed = v2.value()->recovery_stats().replayed_ops;
+    (void)v2.value().release();
+  }
+  ASSERT_GT(first_replayed, 0u);
+  auto v3 = Database::Open(dir_.path() + "/crash", Options());
+  ASSERT_TRUE(v3.ok()) << v3.status().ToString();
+  EXPECT_EQ(v3.value()->recovery_stats().replayed_ops, first_replayed);
+  EXPECT_TRUE(v3.value()->VerifyIntegrity().ok());
+  EXPECT_EQ(Snapshot(v3.value().get()), expected);
+}
+
+TEST_P(CrashRecoveryTest, PowerCutDuringCheckpointNeverLosesAckedOps) {
+  // Every statement below is acknowledged under sync_wal, so no matter
+  // where inside Checkpoint the power fails, recovery must reproduce all
+  // of them: either the old image plus a full WAL replay (cut before the
+  // journal commit) or the new image (cut on or after it).
+  struct LogSilencer {
+    LogLevel saved = GetLogLevel();
+    LogSilencer() { SetLogLevel(LogLevel::kSilent); }
+    ~LogSilencer() { SetLogLevel(saved); }
+  } silence;
+
+  const std::string path = dir_.path() + "/db";
+  auto options = [this](FaultInjectingIoEnv* env) {
+    DatabaseOptions o = Options();
+    o.env = env;
+    o.sync_wal = true;
+    o.parallelism = 1;
+    return o;
+  };
+
+  // Dry run: the expected final state and the checkpoint's event span.
+  uint64_t events_before = 0;
+  uint64_t span = 0;
+  std::multiset<std::string> expected;
+  {
+    FaultInjectingIoEnv env;
+    auto db = Database::Open(path, options(&env)).value();
+    ApplyWorkload(db.get(), 16);
+    events_before = env.events();
+    ASSERT_TRUE(db->Checkpoint().ok());
+    span = env.events() - events_before;
+    expected = Snapshot(db.get());
+  }
+  ASSERT_GT(span, 5u);
+  ASSERT_FALSE(expected.empty());
+
+  bool saw_journal_apply = false;
+  for (uint64_t k = 1; k <= span; ++k) {
+    SCOPED_TRACE("power cut at checkpoint event +" + std::to_string(k));
+    FaultInjectingIoEnv env;
+    auto victim = Database::Open(path, options(&env));
+    ASSERT_TRUE(victim.ok());
+    Database* leaked = victim.value().release();
+    ApplyWorkload(leaked, 16);
+    ASSERT_EQ(env.events(), events_before) << "workload is nondeterministic";
+    env.PowerCutAfterEvents(events_before + k, CutMode::kDropUnsynced);
+    (void)leaked->Checkpoint();  // fails at the cut, or completes right on it
+    ASSERT_TRUE(env.cut_fired());
+    env.Revive();
+
+    auto recovered = Database::Open(path, options(&env));
+    ASSERT_TRUE(recovered.ok()) << recovered.status().ToString();
+    saw_journal_apply |=
+        recovered.value()->recovery_stats().journal_pages_applied > 0;
+    EXPECT_TRUE(recovered.value()->VerifyIntegrity().ok());
+    EXPECT_EQ(Snapshot(recovered.value().get()), expected);
+  }
+  // A cut between the journal's commit record and the in-place apply
+  // leaves a committed journal behind; some reopen above must have
+  // finished that checkpoint from it.
+  EXPECT_TRUE(saw_journal_apply);
 }
 
 INSTANTIATE_TEST_SUITE_P(AllStrategies, CrashRecoveryTest,

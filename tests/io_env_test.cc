@@ -1,0 +1,261 @@
+// IoEnv contract tests: the POSIX implementation against a real
+// directory, and the fault-injecting implementation's failure semantics
+// (one-shot EIO, torn writes, power cuts in both modes, durability of
+// renames), which every crash test in the suite builds on.
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "common/temp_dir.h"
+#include "storage/fault_env.h"
+#include "storage/io_env.h"
+
+namespace tcob {
+namespace {
+
+std::string ReadAll(IoEnv* env, const std::string& path) {
+  auto r = ReadFileToString(env, path);
+  EXPECT_TRUE(r.ok()) << path << ": " << r.status().ToString();
+  return r.ok() ? r.value() : std::string();
+}
+
+// ---- POSIX environment ----
+
+TEST(PosixIoEnvTest, WriteReadRoundTrip) {
+  TempDir dir;
+  IoEnv* env = IoEnv::Default();
+  const std::string path = dir.path() + "/file";
+  auto file = env->OpenFile(path).value();
+  ASSERT_TRUE(file->WriteAt(0, "hello world").ok());
+  EXPECT_EQ(file->Size().value(), 11u);
+
+  char buf[32];
+  auto n = file->ReadAt(6, buf, sizeof(buf));
+  ASSERT_TRUE(n.ok());
+  // Short read only at end-of-file.
+  EXPECT_EQ(n.value(), 5u);
+  EXPECT_EQ(std::string(buf, 5), "world");
+
+  // Writes beyond the end extend the file (zero gap).
+  ASSERT_TRUE(file->WriteAt(16, "x").ok());
+  EXPECT_EQ(file->Size().value(), 17u);
+  ASSERT_TRUE(file->Truncate(4).ok());
+  EXPECT_EQ(file->Size().value(), 4u);
+  ASSERT_TRUE(file->Sync().ok());
+}
+
+TEST(PosixIoEnvTest, NamespaceOperations) {
+  TempDir dir;
+  IoEnv* env = IoEnv::Default();
+  const std::string sub = dir.path() + "/sub";
+  ASSERT_TRUE(env->CreateDir(sub).ok());
+  ASSERT_TRUE(env->CreateDir(sub).ok());  // idempotent
+
+  const std::string a = sub + "/a";
+  const std::string b = sub + "/b";
+  EXPECT_FALSE(env->FileExists(a).value());
+  { auto f = env->OpenFile(a).value(); ASSERT_TRUE(f->WriteAt(0, "1").ok()); }
+  EXPECT_TRUE(env->FileExists(a).value());
+  ASSERT_TRUE(env->RenameFile(a, b).ok());
+  EXPECT_FALSE(env->FileExists(a).value());
+  EXPECT_TRUE(env->FileExists(b).value());
+  ASSERT_TRUE(env->SyncDir(sub).ok());
+  ASSERT_TRUE(env->RemoveFile(b).ok());
+  ASSERT_TRUE(env->RemoveFile(b).ok());  // missing is OK
+  EXPECT_FALSE(env->FileExists(b).value());
+}
+
+TEST(PosixIoEnvTest, WriteFileAtomicReplacesContent) {
+  TempDir dir;
+  IoEnv* env = IoEnv::Default();
+  const std::string path = dir.path() + "/blob";
+  EXPECT_TRUE(ReadFileToString(env, path).status().IsNotFound());
+  ASSERT_TRUE(WriteFileAtomic(env, path, "first version, long").ok());
+  EXPECT_EQ(ReadAll(env, path), "first version, long");
+  // A shorter replacement must not leave a stale tail.
+  ASSERT_TRUE(WriteFileAtomic(env, path, "second").ok());
+  EXPECT_EQ(ReadAll(env, path), "second");
+}
+
+// ---- fault-injecting environment ----
+
+TEST(FaultEnvTest, BehavesLikeAFilesystemWithoutFaults) {
+  FaultInjectingIoEnv env;
+  ASSERT_TRUE(env.CreateDir("/db").ok());
+  auto file = env.OpenFile("/db/f").value();
+  ASSERT_TRUE(file->WriteAt(0, "abcdef").ok());
+  ASSERT_TRUE(file->WriteAt(8, "zz").ok());  // gap is zero-filled
+  EXPECT_EQ(file->Size().value(), 10u);
+  char buf[16];
+  auto n = file->ReadAt(0, buf, sizeof(buf));
+  ASSERT_TRUE(n.ok());
+  ASSERT_EQ(n.value(), 10u);
+  EXPECT_EQ(std::string(buf, 10), std::string("abcdef\0\0zz", 10));
+  EXPECT_TRUE(env.FileExists("/db/f").value());
+  EXPECT_EQ(env.writes(), 2u);
+  EXPECT_EQ(env.reads(), 1u);
+}
+
+TEST(FaultEnvTest, FailsTheNthOperationOnce) {
+  FaultInjectingIoEnv env;
+  auto file = env.OpenFile("/f").value();
+  env.FailWriteAt(2);
+  ASSERT_TRUE(file->WriteAt(0, "aa").ok());
+  Status failed = file->WriteAt(2, "bb");
+  EXPECT_TRUE(failed.IsIOError()) << failed.ToString();
+  // One-shot: the write after the injected failure succeeds, and the
+  // failed write left no bytes behind.
+  ASSERT_TRUE(file->WriteAt(2, "cc").ok());
+  EXPECT_EQ(file->Size().value(), 4u);
+
+  env.FailReadAt(1);
+  char buf[4];
+  EXPECT_TRUE(file->ReadAt(0, buf, 4).status().IsIOError());
+  EXPECT_TRUE(file->ReadAt(0, buf, 4).ok());
+
+  env.FailSyncAt(1);
+  EXPECT_TRUE(file->Sync().IsIOError());
+  EXPECT_TRUE(file->Sync().ok());
+}
+
+TEST(FaultEnvTest, TornWriteKeepsSectorPrefix) {
+  FaultInjectingIoEnv env;
+  auto file = env.OpenFile("/f").value();
+  const std::string block(3 * FaultInjectingIoEnv::kSectorSize, 'A');
+  env.TearWriteAt(1, 1);  // keep one sector of the three
+  Status torn = file->WriteAt(0, block);
+  EXPECT_TRUE(torn.IsIOError()) << torn.ToString();
+  EXPECT_EQ(file->Size().value(), FaultInjectingIoEnv::kSectorSize);
+  char buf[FaultInjectingIoEnv::kSectorSize];
+  ASSERT_EQ(file->ReadAt(0, buf, sizeof(buf)).value(), sizeof(buf));
+  EXPECT_EQ(buf[0], 'A');
+  EXPECT_EQ(buf[sizeof(buf) - 1], 'A');
+}
+
+TEST(FaultEnvTest, PowerCutDropsUnsyncedBytes) {
+  FaultInjectingIoEnv env;
+  auto file = env.OpenFile("/f").value();
+  ASSERT_TRUE(file->WriteAt(0, "durable").ok());
+  ASSERT_TRUE(file->Sync().ok());
+  // Cut after the next write completes (drop mode): the write itself
+  // reports success — the bytes reached the disk cache — but they are
+  // lost with the cut.
+  env.PowerCutAfterEvents(env.events() + 1, CutMode::kDropUnsynced);
+  EXPECT_TRUE(file->WriteAt(7, " and gone").ok());
+  EXPECT_TRUE(env.cut_fired());
+
+  // Until Revive, everything fails.
+  char buf[16];
+  EXPECT_TRUE(file->ReadAt(0, buf, 16).status().IsIOError());
+  EXPECT_TRUE(env.OpenFile("/f").status().IsIOError());
+
+  env.Revive();
+  auto reopened = env.OpenFile("/f").value();
+  EXPECT_EQ(reopened->Size().value(), 7u);
+  ASSERT_EQ(reopened->ReadAt(0, buf, 16).value(), 7u);
+  EXPECT_EQ(std::string(buf, 7), "durable");
+}
+
+TEST(FaultEnvTest, PowerCutKeepAllTearsTheLastWrite) {
+  FaultInjectingIoEnv env;
+  auto file = env.OpenFile("/f").value();
+  // Never synced — but in keep-all mode completed writes survive.
+  ASSERT_TRUE(file->WriteAt(0, "kept").ok());
+  const std::string block(2 * FaultInjectingIoEnv::kSectorSize, 'B');
+  env.PowerCutAfterEvents(env.events() + 1, CutMode::kKeepAllTearLast);
+  EXPECT_TRUE(file->WriteAt(4, block).IsIOError());
+  env.Revive();
+  auto reopened = env.OpenFile("/f").value();
+  uint64_t size = reopened->Size().value();
+  // The first write survived in full; the cut write is torn to some
+  // prefix of whole sectors (possibly none).
+  EXPECT_GE(size, 4u);
+  EXPECT_LT(size, 4u + block.size());
+  EXPECT_EQ((size - 4) % FaultInjectingIoEnv::kSectorSize, 0u);
+  char buf[4];
+  ASSERT_EQ(reopened->ReadAt(0, buf, 4).value(), 4u);
+  EXPECT_EQ(std::string(buf, 4), "kept");
+}
+
+TEST(FaultEnvTest, UnsyncedFileCreationVanishesAtCut) {
+  FaultInjectingIoEnv env;
+  {
+    auto f = env.OpenFile("/new").value();
+    ASSERT_TRUE(f->WriteAt(0, "x").ok());
+    // No Sync, no SyncDir: neither the bytes nor the name are durable.
+  }
+  env.PowerCutAfterEvents(env.events() + 1, CutMode::kDropUnsynced);
+  auto g = env.OpenFile("/other").value();
+  EXPECT_TRUE(g->WriteAt(0, "y").ok());  // the cut event itself completes
+  EXPECT_TRUE(env.cut_fired());
+  env.Revive();
+  EXPECT_FALSE(env.FileExists("/new").value());
+}
+
+TEST(FaultEnvTest, FsyncMakesTheFileNameDurableToo) {
+  FaultInjectingIoEnv env;
+  auto f = env.OpenFile("/new").value();
+  ASSERT_TRUE(f->WriteAt(0, "x").ok());
+  ASSERT_TRUE(f->Sync().ok());  // fsync persists content AND the name
+  env.PowerCutAfterEvents(env.events() + 1, CutMode::kDropUnsynced);
+  EXPECT_TRUE(f->WriteAt(1, "y").ok());  // the cut event itself completes
+  EXPECT_TRUE(env.cut_fired());
+  env.Revive();
+  EXPECT_TRUE(env.FileExists("/new").value());
+  EXPECT_EQ(ReadAll(&env, "/new"), "x");
+}
+
+TEST(FaultEnvTest, RenameNeedsSyncDirToSurviveACut) {
+  FaultInjectingIoEnv env;
+  ASSERT_TRUE(env.CreateDir("/d").ok());
+  {
+    auto f = env.OpenFile("/d/a").value();
+    ASSERT_TRUE(f->WriteAt(0, "payload").ok());
+    ASSERT_TRUE(f->Sync().ok());
+  }
+  ASSERT_TRUE(env.RenameFile("/d/a", "/d/b").ok());
+  EXPECT_TRUE(env.FileExists("/d/b").value());
+  // Cut before SyncDir: the rename reverts.
+  env.PowerCutAfterEvents(env.events() + 1, CutMode::kDropUnsynced);
+  { auto f = env.OpenFile("/scratch").value(); (void)f->WriteAt(0, "z"); }
+  env.Revive();
+  EXPECT_TRUE(env.FileExists("/d/a").value());
+  EXPECT_FALSE(env.FileExists("/d/b").value());
+
+  // Same dance with SyncDir: the rename sticks.
+  ASSERT_TRUE(env.RenameFile("/d/a", "/d/b").ok());
+  ASSERT_TRUE(env.SyncDir("/d").ok());
+  env.PowerCutAfterEvents(env.events() + 1, CutMode::kDropUnsynced);
+  { auto f = env.OpenFile("/scratch2").value(); (void)f->WriteAt(0, "z"); }
+  env.Revive();
+  EXPECT_FALSE(env.FileExists("/d/a").value());
+  EXPECT_TRUE(env.FileExists("/d/b").value());
+  EXPECT_EQ(ReadAll(&env, "/d/b"), "payload");
+}
+
+TEST(FaultEnvTest, WriteFileAtomicSurvivesCutsAtEveryEvent) {
+  // Whatever event the power cut lands on, the file must afterwards hold
+  // either the old or the new content in full — that is WriteFileAtomic's
+  // whole contract.
+  for (uint64_t cut_at = 1;; ++cut_at) {
+    FaultInjectingIoEnv env;
+    ASSERT_TRUE(env.CreateDir("/d").ok());
+    ASSERT_TRUE(WriteFileAtomic(&env, "/d/meta", "OLD-CONTENT").ok());
+    const uint64_t base = env.events();
+    env.PowerCutAfterEvents(base + cut_at, CutMode::kDropUnsynced);
+    Status replaced = WriteFileAtomic(&env, "/d/meta", "NEW!");
+    if (replaced.ok() && !env.cut_fired()) {
+      // The replacement ran out of events before the cut point: the loop
+      // has covered every cut point.
+      break;
+    }
+    env.Revive();
+    std::string after = ReadAll(&env, "/d/meta");
+    EXPECT_TRUE(after == "OLD-CONTENT" || after == "NEW!")
+        << "cut at +" << cut_at << " left: '" << after << "'";
+  }
+}
+
+}  // namespace
+}  // namespace tcob

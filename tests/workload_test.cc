@@ -78,9 +78,11 @@ TEST(DiskManagerTest, FileLifecycle) {
   char read_buf[kPageSize] = {0};
   ASSERT_TRUE(dm->ReadPage(f, 1, read_buf).ok());
   EXPECT_EQ(memcmp(buf, read_buf, kPageSize), 0);
-  // Fresh pages are zeroed.
+  // Fresh pages are zeroed in the data area, with a valid checksum
+  // footer so an unwritten page still verifies.
   ASSERT_TRUE(dm->ReadPage(f, 0, read_buf).ok());
-  for (size_t i = 0; i < kPageSize; ++i) ASSERT_EQ(read_buf[i], 0);
+  for (size_t i = 0; i < kPageDataSize; ++i) ASSERT_EQ(read_buf[i], 0);
+  EXPECT_TRUE(PageChecksumOk(read_buf));
 
   EXPECT_TRUE(dm->ReadPage(f, 99, read_buf).IsOutOfRange());
   EXPECT_TRUE(dm->WritePage(f, 99, buf).IsOutOfRange());
