@@ -60,8 +60,10 @@ void BM_MqlQuery(benchmark::State& state) {
   config.versions_per_atom = 16;
   BenchDb* bench_db = GetCompanyDb(strategy, config);
   Database* db = bench_db->db.get();
-  // "The past": the middle of the recorded history.
-  Timestamp past = RoundTime(config, config.versions_per_atom / 2);
+  // "The past": the middle of the recorded history (of the database as
+  // built — smoke mode clamps the requested config).
+  const CompanyConfig& built = bench_db->config;
+  Timestamp past = RoundTime(built, built.versions_per_atom / 2);
   std::string mql = Instantiate(q.mql, past);
 
   size_t rows = 0;

@@ -8,6 +8,7 @@
 //   .checkpoint  flush everything and truncate the WAL
 //   .now [t]     show or set the valid-time clock
 //   .strategy    show the storage strategy
+//   .metrics     dump the metrics registry (Prometheus text format)
 //   .quit        exit
 //
 // The database persists: restart the shell with the same directory and
@@ -40,6 +41,7 @@ constexpr char kHelp[] = R"(MQL cheat sheet
   SELECT COUNT(*), AVG(Emp.salary) FROM DeptMol GROUP BY ROOT VALID AT NOW;
   CREATE INDEX idx_salary ON Emp (salary);
   EXPLAIN SELECT ALL FROM DeptMol WHERE Emp.salary = 5 VALID AT 9;
+  EXPLAIN ANALYZE SELECT ALL FROM DeptMol HISTORY;  -- run + trace
   VACUUM BEFORE 100;
   SHOW CATALOG;
   SHOW STATS;
@@ -61,6 +63,8 @@ bool HandleMeta(Database* db, const std::string& line) {
     printf("now = %s\n", TimestampToString(db->Now()).c_str());
   } else if (line == ".strategy") {
     printf("%s\n", StorageStrategyName(db->options().strategy));
+  } else if (line == ".metrics") {
+    fputs(db->MetricsSnapshot().ToText().c_str(), stdout);
   } else {
     printf("unknown meta command; try .help\n");
   }

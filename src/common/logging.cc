@@ -2,11 +2,19 @@
 
 #include <atomic>
 #include <cstring>
+#include <ctime>
+#include <mutex>
 
 namespace tcob {
 
 namespace {
 std::atomic<int> g_min_level{static_cast<int>(LogLevel::kWarn)};
+
+// The sink is swapped rarely (tests) but read on every log line; a
+// mutex both guards the pointer and serializes sink invocations so
+// test sinks can append to a plain vector.
+std::mutex g_sink_mu;
+LogSink g_sink;
 
 const char* LevelName(LogLevel level) {
   switch (level) {
@@ -18,6 +26,8 @@ const char* LevelName(LogLevel level) {
       return "WARN";
     case LogLevel::kError:
       return "ERROR";
+    case LogLevel::kSilent:
+      break;
   }
   return "?";
 }
@@ -25,6 +35,24 @@ const char* LevelName(LogLevel level) {
 const char* Basename(const char* path) {
   const char* slash = strrchr(path, '/');
   return slash ? slash + 1 : path;
+}
+
+// Small dense thread ids (t1, t2, ...) instead of opaque pthread
+// handles: stable within a process run and short enough to scan by eye.
+int ThreadId() {
+  static std::atomic<int> next{0};
+  thread_local int id = ++next;
+  return id;
+}
+
+// ISO-8601 UTC with millisecond precision, e.g. 2026-08-07T12:34:56.789Z.
+void FormatTimestamp(char* buf, size_t n) {
+  timespec ts;
+  clock_gettime(CLOCK_REALTIME, &ts);
+  tm tm_utc;
+  gmtime_r(&ts.tv_sec, &tm_utc);
+  size_t len = strftime(buf, n, "%Y-%m-%dT%H:%M:%S", &tm_utc);
+  snprintf(buf + len, n - len, ".%03ldZ", ts.tv_nsec / 1000000);
 }
 }  // namespace
 
@@ -36,14 +64,38 @@ LogLevel GetLogLevel() {
   return static_cast<LogLevel>(g_min_level.load(std::memory_order_relaxed));
 }
 
+void SetLogSink(LogSink sink) {
+  std::lock_guard<std::mutex> lock(g_sink_mu);
+  g_sink = std::move(sink);
+}
+
 void LogMessage(LogLevel level, const char* file, int line,
                 const std::string& msg) {
   if (static_cast<int>(level) <
       g_min_level.load(std::memory_order_relaxed)) {
     return;
   }
-  fprintf(stderr, "[%s %s:%d] %s\n", LevelName(level), Basename(file), line,
-          msg.c_str());
+  char ts[40];
+  FormatTimestamp(ts, sizeof(ts));
+  char prefix[160];
+  snprintf(prefix, sizeof(prefix), "[%s %s t%d %s:%d] ", ts, LevelName(level),
+           ThreadId(), Basename(file), line);
+
+  std::string formatted;
+  formatted.reserve(strlen(prefix) + msg.size() + 1);
+  formatted += prefix;
+  formatted += msg;
+  formatted += '\n';
+
+  // Single fwrite of the fully assembled line: POSIX stdio streams are
+  // internally locked per call, so concurrent threads cannot interleave
+  // within a line. The sink, when installed, replaces stderr entirely.
+  std::lock_guard<std::mutex> lock(g_sink_mu);
+  if (g_sink) {
+    g_sink(LogEntry{level, file, line, msg}, formatted);
+    return;
+  }
+  fwrite(formatted.data(), 1, formatted.size(), stderr);
 }
 
 }  // namespace tcob

@@ -3,6 +3,7 @@
 
 #include <cstdio>
 #include <cstdlib>
+#include <functional>
 #include <sstream>
 #include <string>
 
@@ -23,7 +24,24 @@ enum class LogLevel : int {
 void SetLogLevel(LogLevel level);
 LogLevel GetLogLevel();
 
-/// Writes one formatted line to stderr if `level` passes the filter.
+/// One log event, pre-formatting. `formatted` in the sink callback is
+/// the exact line the stderr path would emit (including trailing '\n').
+struct LogEntry {
+  LogLevel level;
+  const char* file;  // full path as given by __FILE__
+  int line;
+  std::string message;
+};
+
+/// Redirects log output. While a sink is installed, stderr is bypassed
+/// and every line that passes the level filter is handed to the sink
+/// (serialized under an internal mutex, so sinks need no locking of
+/// their own). Pass nullptr to restore stderr output.
+using LogSink = std::function<void(const LogEntry&, const std::string& formatted)>;
+void SetLogSink(LogSink sink);
+
+/// Writes one formatted line — "[<ISO-8601 UTC> LEVEL t<tid> file:line] msg" —
+/// with a single fwrite so concurrent threads never interleave output.
 void LogMessage(LogLevel level, const char* file, int line,
                 const std::string& msg);
 

@@ -1,0 +1,190 @@
+#include "common/metrics.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <sstream>
+
+#include "common/logging.h"
+
+namespace tcob {
+
+Histogram::Histogram(std::vector<uint64_t> bounds) : bounds_(std::move(bounds)) {
+  TCOB_CHECK(!bounds_.empty());
+  for (size_t i = 1; i < bounds_.size(); ++i) {
+    TCOB_CHECK(bounds_[i - 1] < bounds_[i]);
+  }
+  buckets_ = std::make_unique<std::atomic<uint64_t>[]>(bounds_.size() + 1);
+  for (size_t i = 0; i <= bounds_.size(); ++i) {
+    buckets_[i].store(0, std::memory_order_relaxed);
+  }
+}
+
+std::vector<uint64_t> Histogram::LatencyBucketsUs() {
+  // 1-2-5 decades from 1us to 10s; queries past 10s fall into +inf.
+  return {1,      2,      5,      10,      20,      50,      100,     200,
+          500,    1000,   2000,   5000,    10000,   20000,   50000,   100000,
+          200000, 500000, 1000000, 2000000, 5000000, 10000000};
+}
+
+void Histogram::Observe(uint64_t v) {
+  auto it = std::lower_bound(bounds_.begin(), bounds_.end(), v);
+  size_t idx = static_cast<size_t>(it - bounds_.begin());  // +inf if past end
+  buckets_[idx].fetch_add(1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  sum_.fetch_add(v, std::memory_order_relaxed);
+}
+
+HistogramSnapshot Histogram::Snapshot() const {
+  HistogramSnapshot s;
+  s.bounds = bounds_;
+  s.counts.resize(bounds_.size() + 1);
+  for (size_t i = 0; i <= bounds_.size(); ++i) {
+    s.counts[i] = buckets_[i].load(std::memory_order_relaxed);
+  }
+  s.count = count_.load(std::memory_order_relaxed);
+  s.sum = sum_.load(std::memory_order_relaxed);
+  return s;
+}
+
+void Histogram::Reset() {
+  for (size_t i = 0; i <= bounds_.size(); ++i) {
+    buckets_[i].store(0, std::memory_order_relaxed);
+  }
+  count_.store(0, std::memory_order_relaxed);
+  sum_.store(0, std::memory_order_relaxed);
+}
+
+void MetricsRegistry::RegisterCounter(const std::string& name,
+                                      const Counter* c) {
+  std::lock_guard<std::mutex> lock(mu_);
+  counters_[name] = c;
+}
+
+void MetricsRegistry::RegisterCounterFn(const std::string& name,
+                                        std::function<uint64_t()> fn) {
+  std::lock_guard<std::mutex> lock(mu_);
+  counter_fns_[name] = std::move(fn);
+}
+
+void MetricsRegistry::RegisterGauge(const std::string& name, const Gauge* g) {
+  std::lock_guard<std::mutex> lock(mu_);
+  gauges_[name] = g;
+}
+
+void MetricsRegistry::RegisterGaugeFn(const std::string& name,
+                                      std::function<int64_t()> fn) {
+  std::lock_guard<std::mutex> lock(mu_);
+  gauge_fns_[name] = std::move(fn);
+}
+
+void MetricsRegistry::RegisterHistogram(const std::string& name,
+                                        const Histogram* h) {
+  std::lock_guard<std::mutex> lock(mu_);
+  histograms_[name] = h;
+}
+
+MetricsSnapshot MetricsRegistry::Snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  MetricsSnapshot s;
+  for (const auto& [name, c] : counters_) s.counters[name] = c->value();
+  for (const auto& [name, fn] : counter_fns_) s.counters[name] = fn();
+  for (const auto& [name, g] : gauges_) s.gauges[name] = g->value();
+  for (const auto& [name, fn] : gauge_fns_) s.gauges[name] = fn();
+  for (const auto& [name, h] : histograms_) s.histograms[name] = h->Snapshot();
+  return s;
+}
+
+std::string MetricsSnapshot::ToText() const {
+  std::ostringstream os;
+  for (const auto& [name, v] : counters) {
+    os << "# TYPE " << name << " counter\n" << name << " " << v << "\n";
+  }
+  for (const auto& [name, v] : gauges) {
+    os << "# TYPE " << name << " gauge\n" << name << " " << v << "\n";
+  }
+  for (const auto& [name, h] : histograms) {
+    os << "# TYPE " << name << " histogram\n";
+    uint64_t cum = 0;
+    for (size_t i = 0; i < h.bounds.size(); ++i) {
+      cum += h.counts[i];
+      os << name << "_bucket{le=\"" << h.bounds[i] << "\"} " << cum << "\n";
+    }
+    cum += h.counts.back();
+    os << name << "_bucket{le=\"+Inf\"} " << cum << "\n";
+    os << name << "_sum " << h.sum << "\n";
+    os << name << "_count " << h.count << "\n";
+  }
+  return os.str();
+}
+
+std::string MetricsSnapshot::ToJson() const {
+  std::ostringstream os;
+  os << "{\"counters\":{";
+  bool first = true;
+  for (const auto& [name, v] : counters) {
+    if (!first) os << ",";
+    first = false;
+    os << "\"" << JsonEscape(name) << "\":" << v;
+  }
+  os << "},\"gauges\":{";
+  first = true;
+  for (const auto& [name, v] : gauges) {
+    if (!first) os << ",";
+    first = false;
+    os << "\"" << JsonEscape(name) << "\":" << v;
+  }
+  os << "},\"histograms\":{";
+  first = true;
+  for (const auto& [name, h] : histograms) {
+    if (!first) os << ",";
+    first = false;
+    os << "\"" << JsonEscape(name) << "\":{\"bounds\":[";
+    for (size_t i = 0; i < h.bounds.size(); ++i) {
+      if (i) os << ",";
+      os << h.bounds[i];
+    }
+    os << "],\"counts\":[";
+    for (size_t i = 0; i < h.counts.size(); ++i) {
+      if (i) os << ",";
+      os << h.counts[i];
+    }
+    os << "],\"count\":" << h.count << ",\"sum\":" << h.sum << "}";
+  }
+  os << "}}";
+  return os.str();
+}
+
+std::string JsonEscape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 8);
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+}  // namespace tcob

@@ -83,8 +83,46 @@ Status Database::Init() {
   recovery_stats_.journal_pages_applied =
       jrec.committed ? jrec.committed_pages : 0;
   recovery_stats_.journal_discarded_bytes = jrec.discarded_bytes;
+  RegisterMetrics();
   initialized_ = true;
   return Status::OK();
+}
+
+void Database::RegisterMetrics() {
+  store_->RegisterMetrics(&metrics_);
+  pool_->RegisterMetrics(&metrics_);
+  disk_->RegisterMetrics(&metrics_);
+  wal_->RegisterMetrics(&metrics_);
+  metrics_.RegisterCounter("tcob_statements_total", &statements_total_);
+  metrics_.RegisterCounter("tcob_queries_total", &queries_total_);
+  metrics_.RegisterCounter("tcob_slow_queries_total", &slow_queries_total_);
+  metrics_.RegisterCounter("tcob_checkpoints_total", &checkpoints_total_);
+  metrics_.RegisterCounter("tcob_vcache_atom_hits_total",
+                           &vcache_atom_hits_total_);
+  metrics_.RegisterCounter("tcob_vcache_atom_misses_total",
+                           &vcache_atom_misses_total_);
+  metrics_.RegisterCounter("tcob_vcache_link_hits_total",
+                           &vcache_link_hits_total_);
+  metrics_.RegisterCounter("tcob_vcache_link_misses_total",
+                           &vcache_link_misses_total_);
+  metrics_.RegisterCounter("tcob_vcache_versions_pinned_total",
+                           &vcache_versions_pinned_total_);
+  metrics_.RegisterHistogram("tcob_query_latency_us", &query_latency_us_);
+  metrics_.RegisterGaugeFn("tcob_clock_now", [this]() {
+    return static_cast<int64_t>(now_);
+  });
+  metrics_.RegisterGaugeFn("tcob_recovery_replayed_ops", [this]() {
+    return static_cast<int64_t>(recovery_stats_.replayed_ops);
+  });
+  metrics_.RegisterGaugeFn("tcob_recovery_skipped_ops", [this]() {
+    return static_cast<int64_t>(recovery_stats_.skipped_ops);
+  });
+  metrics_.RegisterGaugeFn("tcob_recovery_journal_pages_applied", [this]() {
+    return static_cast<int64_t>(recovery_stats_.journal_pages_applied);
+  });
+  metrics_.RegisterGaugeFn("tcob_recovery_wal_dropped_tail_bytes", [this]() {
+    return static_cast<int64_t>(recovery_stats_.wal_dropped_tail_bytes);
+  });
 }
 
 Status Database::Recover() {
@@ -512,8 +550,10 @@ Status Database::Disconnect(const std::string& link_name, AtomId from_id,
 // ---- queries ----
 
 Result<ResultSet> Database::Execute(const std::string& mql) {
+  StopwatchUs parse_timer;
   TCOB_ASSIGN_OR_RETURN(Statement stmt, Parser::Parse(mql));
-  return ExecuteStatement(stmt);
+  double parse_us = parse_timer.ElapsedUs();
+  return ExecuteStatementImpl(stmt, &mql, parse_us);
 }
 
 Result<std::vector<ResultSet>> Database::ExecuteScript(
@@ -530,16 +570,89 @@ Result<std::vector<ResultSet>> Database::ExecuteScript(
 }
 
 Result<ResultSet> Database::ExecuteStatement(const Statement& stmt) {
+  return ExecuteStatementImpl(stmt, nullptr, 0.0);
+}
+
+Result<ResultSet> Database::Explain(const std::string& select_mql,
+                                    bool analyze) {
+  StopwatchUs parse_timer;
+  TCOB_ASSIGN_OR_RETURN(Statement stmt, Parser::Parse(select_mql));
+  double parse_us = parse_timer.ElapsedUs();
+  if (SelectStmt* select = std::get_if<SelectStmt>(&stmt)) {
+    ExplainStmt explain;
+    explain.select = std::move(*select);
+    explain.analyze = analyze;
+    return ExecuteStatementImpl(Statement(std::move(explain)), &select_mql,
+                                parse_us);
+  }
+  if (std::holds_alternative<ExplainStmt>(stmt)) {
+    return ExecuteStatementImpl(stmt, &select_mql, parse_us);
+  }
+  return Status::InvalidArgument("Explain expects a SELECT statement");
+}
+
+Result<ResultSet> Database::ExecuteSelect(const SelectStmt& stmt,
+                                          const std::string* text,
+                                          double parse_us) {
+  StopwatchUs total_timer;
+  QueryStats trace;
+  if (text != nullptr) trace.statement = *text;
+  trace.strategy = StorageStrategyName(options_.strategy);
+  trace.parse_us = parse_us;
+  // Attribute storage work by counter deltas: the counters are exact
+  // (relaxed atomics under the fan-out), and this execution path is
+  // single-threaded per database, so the delta is this query's work.
+  StoreAccessStats store_before = store_->access_stats();
+  BufferPoolStats pool_before = pool_->stats();
+  Materializer mat(&catalog_, store_.get(), links_.get(), query_pool_.get());
+  SelectExecutor exec(&catalog_, &mat, now_, attr_indexes_.get());
+  exec.set_trace(&trace);
+  Result<ResultSet> out = exec.Execute(stmt);
+  trace.store = store_->access_stats();
+  trace.store -= store_before;
+  trace.pool = pool_->stats();
+  trace.pool -= pool_before;
+  trace.total_us = parse_us + total_timer.ElapsedUs();
+
+  queries_total_.Increment();
+  query_latency_us_.Observe(static_cast<uint64_t>(trace.total_us));
+  vcache_atom_hits_total_.Add(trace.cache.atom_hits);
+  vcache_atom_misses_total_.Add(trace.cache.atom_misses);
+  vcache_link_hits_total_.Add(trace.cache.link_hits);
+  vcache_link_misses_total_.Add(trace.cache.link_misses);
+  vcache_versions_pinned_total_.Add(trace.cache.versions_pinned);
+  const uint64_t threshold = options_.slow_query_threshold_micros;
+  if (threshold > 0 && trace.total_us >= static_cast<double>(threshold)) {
+    slow_queries_total_.Increment();
+    TCOB_LOG(kWarn) << "slow query (" << trace.total_us << "us >= "
+                    << threshold << "us): "
+                    << (trace.statement.empty() ? "<ast>" : trace.statement)
+                    << " | plan: " << trace.plan << " | rows: " << trace.rows
+                    << " | store accesses: " << trace.store.Total();
+  }
+  last_query_stats_ = std::move(trace);
+  return out;
+}
+
+Result<ResultSet> Database::ExecuteStatementImpl(const Statement& stmt,
+                                                 const std::string* text,
+                                                 double parse_us) {
+  statements_total_.Increment();
   using R = Result<ResultSet>;
   return std::visit(
       [&](const auto& s) -> R {
         using T = std::decay_t<decltype(s)>;
         ResultSet out;
         if constexpr (std::is_same_v<T, SelectStmt>) {
-          Materializer mat(&catalog_, store_.get(), links_.get(), query_pool_.get());
-          SelectExecutor exec(&catalog_, &mat, now_, attr_indexes_.get());
-          return exec.Execute(s);
+          return ExecuteSelect(s, text, parse_us);
         } else if constexpr (std::is_same_v<T, ExplainStmt>) {
+          if (s.analyze) {
+            // Execute the query under the trace, then return the trace
+            // (not the rows) — the EXPLAIN ANALYZE contract.
+            TCOB_RETURN_NOT_OK(ExecuteSelect(s.select, text, parse_us)
+                                   .status());
+            return last_query_stats_.ToResultSet();
+          }
           Materializer mat(&catalog_, store_.get(), links_.get(), query_pool_.get());
           SelectExecutor exec(&catalog_, &mat, now_, attr_indexes_.get());
           return exec.Explain(s.select);
@@ -746,7 +859,11 @@ Status Database::Checkpoint() {
     TCOB_RETURN_NOT_OK(journal_->Reset());
     return wal_->Truncate();
   }();
-  if (!s.ok()) Poison(s);
+  if (!s.ok()) {
+    Poison(s);
+  } else {
+    checkpoints_total_.Increment();
+  }
   return s;
 }
 

@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "catalog/catalog.h"
+#include "common/metrics.h"
 #include "common/result.h"
 #include "common/thread_pool.h"
 #include "db/transaction.h"
@@ -13,6 +14,7 @@
 #include "mad/link_store.h"
 #include "mad/materializer.h"
 #include "query/ast.h"
+#include "query/query_stats.h"
 #include "query/result_set.h"
 #include "storage/buffer_pool.h"
 #include "storage/disk_manager.h"
@@ -42,6 +44,9 @@ struct DatabaseOptions {
   /// environment; tests substitute a FaultInjectingIoEnv. Not owned; must
   /// outlive the Database.
   IoEnv* env = nullptr;
+  /// SELECTs whose total wall time reaches this many microseconds are
+  /// logged at kWarn with their trace summary. 0 disables the log.
+  uint64_t slow_query_threshold_micros = 0;
 };
 
 /// What Open's WAL replay observed (introspection for crash tests and
@@ -167,6 +172,31 @@ class Database {
   /// Executes a pre-parsed statement.
   Result<ResultSet> ExecuteStatement(const Statement& stmt);
 
+  // ---- observability ----
+
+  /// Explains `select_mql` (a SELECT, or an already EXPLAIN-wrapped
+  /// statement). With `analyze` the query executes and the result is the
+  /// full trace (per-operator wall time, store accesses, version-cache
+  /// and buffer-pool hit rates, per-worker fan-out timings); without it,
+  /// only the static plan is reported.
+  Result<ResultSet> Explain(const std::string& select_mql,
+                            bool analyze = true);
+
+  /// The trace of the most recently executed SELECT (EXPLAIN ANALYZE's
+  /// source of truth; also filled by plain SELECTs).
+  const QueryStats& last_query_stats() const { return last_query_stats_; }
+
+  /// Point-in-time copy of every registered metric of this database:
+  /// store/pool/disk/WAL counters, query counters and latency histogram,
+  /// version-cache totals, recovery gauges. Render with ToText()
+  /// (Prometheus exposition style) or ToJson().
+  tcob::MetricsSnapshot MetricsSnapshot() const {
+    return metrics_.Snapshot();
+  }
+
+  /// The registry itself (tests register probes; exporters snapshot).
+  const MetricsRegistry& metrics() const { return metrics_; }
+
   // ---- maintenance ----
 
   /// Temporal vacuuming: physically removes every atom version, link
@@ -249,6 +279,21 @@ class Database {
   Status Init();
   Status Recover();
 
+  /// Wires every component's counters into metrics_ (end of Init).
+  void RegisterMetrics();
+
+  /// ExecuteStatement with query-text context: `text` (may be null) and
+  /// `parse_us` flow into the SELECT trace.
+  Result<ResultSet> ExecuteStatementImpl(const Statement& stmt,
+                                         const std::string* text,
+                                         double parse_us);
+
+  /// Traced SELECT execution: runs the executor with a QueryStats trace,
+  /// attributes store/pool counter deltas, updates the query metrics and
+  /// the slow-query log, and leaves the trace in last_query_stats_.
+  Result<ResultSet> ExecuteSelect(const SelectStmt& stmt,
+                                  const std::string* text, double parse_us);
+
   /// Applies one logical operation to the stores (DML path and replay).
   Status ApplyOp(const WalOp& op);
 
@@ -287,6 +332,21 @@ class Database {
   std::string dir_;
   DatabaseOptions options_;
   IoEnv* env_ = nullptr;  // options_.env or IoEnv::Default(); not owned
+  /// Declared before the components so it outlives none of its
+  /// registrants' updates; holds non-owning pointers into them and into
+  /// the counters below (all destroyed together with this Database).
+  MetricsRegistry metrics_;
+  Counter statements_total_;
+  Counter queries_total_;
+  Counter slow_queries_total_;
+  Counter checkpoints_total_;
+  Counter vcache_atom_hits_total_;
+  Counter vcache_atom_misses_total_;
+  Counter vcache_link_hits_total_;
+  Counter vcache_link_misses_total_;
+  Counter vcache_versions_pinned_total_;
+  Histogram query_latency_us_{Histogram::LatencyBucketsUs()};
+  QueryStats last_query_stats_;
   Catalog catalog_;
   /// Declared before disk_: the manager holds a raw pointer into it.
   std::unique_ptr<PageJournal> journal_;

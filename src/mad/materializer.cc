@@ -4,6 +4,8 @@
 #include <optional>
 #include <set>
 
+#include "common/metrics.h"
+
 namespace tcob {
 
 Result<const AtomTypeDef*> Materializer::AtomTypeOf(TypeId id) const {
@@ -109,6 +111,7 @@ Status Materializer::AllMoleculesAsOf(
     const std::function<Result<bool>(Molecule)>& fn) const {
   TCOB_ASSIGN_OR_RETURN(const AtomTypeDef* root_type,
                         AtomTypeOf(type.root_type));
+  last_worker_us_.clear();
   if (pool_ != nullptr && pool_->workers() > 1) {
     // Collect the qualifying roots first (in scan order — the order the
     // serial path would emit), then fan the materialization out.
@@ -159,6 +162,7 @@ Status Materializer::AllMoleculesAsOf(
 Status Materializer::MoleculesAsOf(
     const MoleculeTypeDef& type, const std::vector<AtomId>& roots,
     Timestamp t, const std::function<Result<bool>(Molecule)>& fn) const {
+  last_worker_us_.clear();
   if (UseParallel(roots.size())) {
     return ParallelMoleculesAsOf(type, roots, t, /*skip_not_found=*/true, fn);
   }
@@ -199,15 +203,18 @@ Status Materializer::ParallelMoleculesAsOf(
     caches.push_back(NewCache(Interval::At(t)));
   }
   std::vector<std::optional<Result<Molecule>>> slots(n);
+  last_worker_us_.assign(workers, 0.0);
   std::vector<std::function<void()>> tasks;
   tasks.reserve(workers);
   for (size_t w = 0; w < workers; ++w) {
     const size_t begin = n * w / workers;
     const size_t end = n * (w + 1) / workers;
     tasks.push_back([&, w, begin, end] {
+      StopwatchUs timer;
       for (size_t i = begin; i < end; ++i) {
         slots[i] = MaterializeAsOfImpl(type, roots[i], t, &caches[w]);
       }
+      last_worker_us_[w] = timer.ElapsedUs();
     });
   }
   pool_->RunAll(std::move(tasks));
@@ -546,6 +553,7 @@ Status Materializer::AllHistories(
     const std::function<Result<bool>(MoleculeHistory)>& fn) const {
   TCOB_ASSIGN_OR_RETURN(const AtomTypeDef* root_type,
                         AtomTypeOf(type.root_type));
+  last_worker_us_.clear();
   std::set<AtomId> roots;
   TCOB_RETURN_NOT_OK(store_->ScanVersions(
       *root_type, window, [&](const AtomVersion& v) -> Result<bool> {
@@ -563,15 +571,18 @@ Status Materializer::AllHistories(
     caches.reserve(workers);
     for (size_t w = 0; w < workers; ++w) caches.push_back(NewCache(window));
     std::vector<std::optional<Result<MoleculeHistory>>> slots(n);
+    last_worker_us_.assign(workers, 0.0);
     std::vector<std::function<void()>> tasks;
     tasks.reserve(workers);
     for (size_t w = 0; w < workers; ++w) {
       const size_t begin = n * w / workers;
       const size_t end = n * (w + 1) / workers;
       tasks.push_back([&, w, begin, end] {
+        StopwatchUs timer;
         for (size_t i = begin; i < end; ++i) {
           slots[i] = HistorySweep(type, root_list[i], window, &caches[w]);
         }
+        last_worker_us_[w] = timer.ElapsedUs();
       });
     }
     pool_->RunAll(std::move(tasks));

@@ -118,6 +118,13 @@ class Materializer {
     cache_stats_ += s;
   }
 
+  /// Wall time (microseconds) each worker spent in the most recent
+  /// fan-out of an all-roots operator; empty when it ran serially.
+  /// EXPLAIN ANALYZE reports these as the per-worker span breakdown.
+  const std::vector<double>& last_worker_micros() const {
+    return last_worker_us_;
+  }
+
  private:
   /// Atom-type lookup for every type reachable by `type`'s edges.
   Result<const AtomTypeDef*> AtomTypeOf(TypeId id) const;
@@ -166,6 +173,9 @@ class Materializer {
   const LinkStore* links_;
   ThreadPool* pool_;
   mutable VersionCacheStats cache_stats_;
+  // Each parallel task writes only its own slot, so no synchronization
+  // is needed beyond the pool's RunAll join.
+  mutable std::vector<double> last_worker_us_;
 };
 
 }  // namespace tcob

@@ -21,6 +21,7 @@ Result<const VersionCache::AtomEntry*> VersionCache::Pin(
   } else {
     entry.found = true;
     entry.versions = std::move(versions).value();
+    stats_.versions_pinned += entry.versions.size();
     TCOB_ASSIGN_OR_RETURN(entry.timeline, TimelineOf(entry.versions));
   }
   auto [pos, inserted] = atoms_.emplace(key, std::move(entry));
@@ -50,6 +51,7 @@ VersionCache::Neighbors(const LinkTypeDef& link, AtomId atom, bool forward) {
   ++stats_.link_misses;
   TCOB_ASSIGN_OR_RETURN(auto partners,
                         links_->NeighborsIn(link, atom, forward, window_));
+  stats_.link_instances_pinned += partners.size();
   auto [pos, inserted] = neighbors_.emplace(key, std::move(partners));
   (void)inserted;
   return &pos->second;

@@ -20,6 +20,8 @@ struct VersionCacheStats {
   uint64_t atom_misses = 0;
   uint64_t link_hits = 0;
   uint64_t link_misses = 0;
+  uint64_t versions_pinned = 0;        // atom versions decoded into entries
+  uint64_t link_instances_pinned = 0;  // (partner, validity) pairs pinned
 
   double AtomHitRate() const {
     uint64_t probes = atom_hits + atom_misses;
@@ -35,6 +37,8 @@ struct VersionCacheStats {
     atom_misses += o.atom_misses;
     link_hits += o.link_hits;
     link_misses += o.link_misses;
+    versions_pinned += o.versions_pinned;
+    link_instances_pinned += o.link_instances_pinned;
     return *this;
   }
 };

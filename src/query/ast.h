@@ -217,8 +217,11 @@ struct CreateIndexStmt {
 };
 
 /// EXPLAIN SELECT ...: reports the chosen access path without executing.
+/// EXPLAIN ANALYZE SELECT ...: executes the query and reports the full
+/// trace (per-operator timings, store/cache/pool work) instead of rows.
 struct ExplainStmt {
   SelectStmt select;
+  bool analyze = false;
 };
 
 struct ShowCatalogStmt {};

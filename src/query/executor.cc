@@ -300,7 +300,10 @@ Status ApplyOrderBy(const SelectStmt& stmt, ResultSet* out) {
 }  // namespace
 
 Result<ResultSet> SelectExecutor::Execute(const SelectStmt& stmt) const {
+  StopwatchUs exec_timer;
+  StopwatchUs plan_timer;
   TCOB_ASSIGN_OR_RETURN(MoleculeTypeDef resolved, ResolveMoleculeType(stmt));
+  if (trace_ != nullptr) trace_->plan_us += plan_timer.ElapsedUs();
   const MoleculeTypeDef* mol_type = &resolved;
   const bool aggregate = !stmt.aggregates.empty();
   const bool select_all = stmt.select_all && !aggregate;
@@ -337,9 +340,63 @@ Result<ResultSet> SelectExecutor::Execute(const SelectStmt& stmt) const {
     }
   }
 
+  // Traced wrapper around EmitMolecule: accumulates emit_us and the
+  // molecule/state/atom work counters. `state_valid` null = as-of row
+  // shape, non-null = one constant state of a history.
+  auto emit = [&](const Molecule& mol,
+                  const Interval* state_valid) -> Status {
+    if (trace_ == nullptr) {
+      return EmitMolecule(stmt, select_all, projection, mol, state_valid,
+                          &out);
+    }
+    if (state_valid == nullptr) {
+      ++trace_->molecules;
+    } else {
+      ++trace_->states;
+    }
+    trace_->atoms_visited += mol.atoms.size();
+    StopwatchUs emit_timer;
+    Status st = EmitMolecule(stmt, select_all, projection, mol, state_valid,
+                             &out);
+    trace_->emit_us += emit_timer.ElapsedUs();
+    return st;
+  };
+  // Shared tail: aggregation fold, ordering, and the trace summary.
+  auto finish = [&]() -> Result<ResultSet> {
+    if (aggregate) {
+      StopwatchUs agg_timer;
+      TCOB_ASSIGN_OR_RETURN(out, FoldAggregates(stmt, projection, windowed,
+                                                out));
+      if (trace_ != nullptr) trace_->aggregate_us += agg_timer.ElapsedUs();
+    }
+    StopwatchUs sort_timer;
+    TCOB_RETURN_NOT_OK(ApplyOrderBy(stmt, &out));
+    if (trace_ != nullptr) {
+      trace_->sort_us += sort_timer.ElapsedUs();
+      trace_->rows = out.rows.size();
+      trace_->execute_us = exec_timer.ElapsedUs();
+      trace_->temporal_mode = stmt.mode == TemporalMode::kAsOf
+                                  ? "as-of"
+                                  : (stmt.mode == TemporalMode::kWindow
+                                         ? "window"
+                                         : "history");
+      trace_->cache = materializer_->cache_stats();
+      trace_->worker_us = materializer_->last_worker_micros();
+      trace_->parallelism =
+          trace_->worker_us.empty() ? 1 : trace_->worker_us.size();
+    }
+    return out;
+  };
+
   if (stmt.mode == TemporalMode::kAsOf) {
     Timestamp t = stmt.at_now ? now_ : stmt.at;
+    StopwatchUs asof_plan_timer;
     RootAccessPath path = PlanRootAccess(stmt, *catalog_, *mol_type);
+    if (trace_ != nullptr) {
+      trace_->plan_us += asof_plan_timer.ElapsedUs();
+      trace_->plan = path.description;
+    }
+    StopwatchUs mat_timer;
     if (path.use_index && indexes_ != nullptr) {
       TCOB_ASSIGN_OR_RETURN(const AttrIndexDef* index,
                             catalog_->GetAttrIndex(path.index));
@@ -351,25 +408,23 @@ Result<ResultSet> SelectExecutor::Execute(const SelectStmt& stmt) const {
       // root should be valid, but stay defensive.
       TCOB_RETURN_NOT_OK(materializer_->MoleculesAsOf(
           *mol_type, roots, t, [&](Molecule mol) -> Result<bool> {
-            TCOB_RETURN_NOT_OK(EmitMolecule(stmt, select_all, projection,
-                                            mol, nullptr, &out));
+            TCOB_RETURN_NOT_OK(emit(mol, nullptr));
             return true;
           }));
       out.message = path.description;
     } else {
       TCOB_RETURN_NOT_OK(materializer_->AllMoleculesAsOf(
           *mol_type, t, [&](Molecule mol) -> Result<bool> {
-            TCOB_RETURN_NOT_OK(EmitMolecule(stmt, select_all, projection,
-                                            mol, nullptr, &out));
+            TCOB_RETURN_NOT_OK(emit(mol, nullptr));
             return true;
           }));
     }
-    if (aggregate) {
-      TCOB_ASSIGN_OR_RETURN(out, FoldAggregates(stmt, projection, windowed,
-                                                out));
+    if (trace_ != nullptr) {
+      // Emit ran inside the materializer's streaming loop: subtract it
+      // out so the two spans partition the loop's wall time.
+      trace_->materialize_us += mat_timer.ElapsedUs() - trace_->emit_us;
     }
-    TCOB_RETURN_NOT_OK(ApplyOrderBy(stmt, &out));
-    return out;
+    return finish();
   }
 
   Interval window = stmt.mode == TemporalMode::kHistory
@@ -381,22 +436,24 @@ Result<ResultSet> SelectExecutor::Execute(const SelectStmt& stmt) const {
   if (window.empty()) {
     return Status::InvalidArgument("empty query window");
   }
+  if (trace_ != nullptr && trace_->plan.empty()) {
+    trace_->plan = "seq scan of root versions, incremental history sweep";
+  }
+  StopwatchUs mat_timer;
   TCOB_RETURN_NOT_OK(materializer_->AllHistories(
       *mol_type, window, [&](MoleculeHistory history) -> Result<bool> {
+        if (trace_ != nullptr) ++trace_->molecules;
         for (const MoleculeState& state : history.states) {
           Interval clipped = state.valid.Intersect(window);
           if (clipped.empty()) continue;
-          TCOB_RETURN_NOT_OK(EmitMolecule(stmt, select_all, projection,
-                                          state.molecule, &clipped, &out));
+          TCOB_RETURN_NOT_OK(emit(state.molecule, &clipped));
         }
         return true;
       }));
-  if (aggregate) {
-    TCOB_ASSIGN_OR_RETURN(out,
-                          FoldAggregates(stmt, projection, windowed, out));
+  if (trace_ != nullptr) {
+    trace_->materialize_us += mat_timer.ElapsedUs() - trace_->emit_us;
   }
-  TCOB_RETURN_NOT_OK(ApplyOrderBy(stmt, &out));
-  return out;
+  return finish();
 }
 
 }  // namespace tcob

@@ -6,6 +6,7 @@
 #include "index/attr_index.h"
 #include "mad/materializer.h"
 #include "query/ast.h"
+#include "query/query_stats.h"
 #include "query/result_set.h"
 
 namespace tcob {
@@ -41,6 +42,14 @@ class SelectExecutor {
   /// executing.
   Result<ResultSet> Explain(const SelectStmt& stmt) const;
 
+  /// Attaches a trace that Execute fills with per-operator timings and
+  /// work counters (EXPLAIN ANALYZE). The trace's cache stats report the
+  /// materializer's accumulated numbers, so callers wanting per-query
+  /// attribution pass a freshly constructed (or reset) materializer.
+  /// Null (the default) disables tracing; the fast path then pays only a
+  /// pointer test per span.
+  void set_trace(QueryStats* trace) { trace_ = trace; }
+
  private:
   /// Emits the rows of one molecule state into `out`. `select_all` and
   /// `projection` are the *effective* row shape (aggregate queries run
@@ -75,6 +84,7 @@ class SelectExecutor {
   const Materializer* materializer_;
   Timestamp now_;
   const AttrIndexManager* indexes_;
+  QueryStats* trace_ = nullptr;
 };
 
 }  // namespace tcob

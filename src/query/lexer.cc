@@ -94,6 +94,7 @@ const std::map<std::string, TokenType>& Keywords() {
       {"INDEX", TokenType::kIndex},
       {"ON", TokenType::kOn},
       {"EXPLAIN", TokenType::kExplain},
+      {"ANALYZE", TokenType::kAnalyze},
       {"VACUUM", TokenType::kVacuum},
       {"COUNT", TokenType::kCount},
       {"SUM", TokenType::kSum},

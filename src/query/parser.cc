@@ -124,11 +124,14 @@ Result<Statement> Parser::ParseStatement() {
     }
     case TokenType::kExplain: {
       Advance();
+      ExplainStmt explain;
+      explain.analyze = Match(TokenType::kAnalyze);
       if (!Peek().Is(TokenType::kSelect)) {
-        return ErrorHere("EXPLAIN supports SELECT statements only");
+        return ErrorHere(explain.analyze
+                             ? "EXPLAIN ANALYZE supports SELECT statements only"
+                             : "EXPLAIN supports SELECT statements only");
       }
       TCOB_ASSIGN_OR_RETURN(Statement inner, ParseSelect());
-      ExplainStmt explain;
       explain.select = std::move(std::get<SelectStmt>(inner));
       return Statement(std::move(explain));
     }

@@ -1,0 +1,67 @@
+#ifndef TCOB_QUERY_QUERY_STATS_H_
+#define TCOB_QUERY_QUERY_STATS_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "mad/version_cache.h"
+#include "query/result_set.h"
+#include "storage/buffer_pool.h"
+#include "tstore/temporal_store.h"
+
+namespace tcob {
+
+/// The execution trace of one SELECT: per-operator wall time plus the
+/// storage work it caused, attributed by counter deltas. Filled by the
+/// Database around a traced execution and rendered by EXPLAIN ANALYZE.
+///
+/// Span model (nested, all wall-clock microseconds):
+///   total_us
+///   ├── parse_us        lexing + parsing the statement text
+///   └── execute_us      SelectExecutor::Execute
+///       ├── plan_us         type resolution + root access planning
+///       ├── materialize_us  molecule/history construction (store side)
+///       ├── emit_us         row production from materialized states
+///       ├── aggregate_us    FoldAggregates
+///       └── sort_us         ApplyOrderBy
+struct QueryStats {
+  std::string statement;      // original MQL text (empty for AST entry)
+  std::string plan;           // root access path description
+  std::string temporal_mode;  // "as-of" | "window" | "history"
+  std::string strategy;       // storage strategy name
+  uint64_t parallelism = 1;   // fan-out workers used (1 = serial)
+
+  double parse_us = 0;
+  double plan_us = 0;
+  double materialize_us = 0;
+  double emit_us = 0;
+  double aggregate_us = 0;
+  double sort_us = 0;
+  double execute_us = 0;
+  double total_us = 0;
+
+  uint64_t molecules = 0;      // molecules materialized (as-of) or swept
+  uint64_t states = 0;         // constant states visited (windowed modes)
+  uint64_t rows = 0;           // result rows produced
+  uint64_t atoms_visited = 0;  // atom instances across all emitted states
+
+  /// Store round-trips this query caused (counter delta).
+  StoreAccessStats store;
+  /// Version-cache behavior of this query's caches (exact, query-scoped).
+  VersionCacheStats cache;
+  /// Page traffic this query caused (counter delta).
+  BufferPoolStats pool;
+  /// Wall time each fan-out worker spent materializing (empty = serial).
+  std::vector<double> worker_us;
+
+  uint64_t versions_scanned() const { return cache.versions_pinned; }
+
+  /// Renders the trace as SECTION / METRIC / VALUE rows (the shape
+  /// EXPLAIN ANALYZE returns).
+  ResultSet ToResultSet() const;
+};
+
+}  // namespace tcob
+
+#endif  // TCOB_QUERY_QUERY_STATS_H_

@@ -70,6 +70,7 @@ enum class TokenType {
   kIndex,
   kOn,
   kExplain,
+  kAnalyze,
   kVacuum,
   kCount,
   kSum,

@@ -44,14 +44,14 @@ BufferPool::~BufferPool() {
 }
 
 Result<Page*> BufferPool::FetchPage(FileId file, PageNo page_no) {
-  fetches_.fetch_add(1, std::memory_order_relaxed);
+  fetches_.Increment();
   const uint64_t key = Key(file, page_no);
   Shard& shard = ShardOf(key);
   std::unique_lock<std::mutex> lock(shard.mu);
   while (true) {
     auto it = shard.table.find(key);
     if (it != shard.table.end()) {
-      hits_.fetch_add(1, std::memory_order_relaxed);
+      hits_.Increment();
       Page* page = it->second;
       ++page->pin_count;
       TouchLru(shard, page);
@@ -61,7 +61,7 @@ Result<Page*> BufferPool::FetchPage(FileId file, PageNo page_no) {
     // AcquireFrame dropped the latch to steal: another thread may have
     // brought the page in meanwhile, so re-run the table lookup.
     if (frame == nullptr) continue;
-    misses_.fetch_add(1, std::memory_order_relaxed);
+    misses_.Increment();
     Status read = disk_->ReadPage(file, page_no, frame->data);
     if (read.ok() && !PageChecksumOk(frame->data)) {
       read = Status::Corruption(
@@ -168,20 +168,32 @@ Status BufferPool::Reset() {
 
 BufferPoolStats BufferPool::stats() const {
   BufferPoolStats s;
-  s.fetches = fetches_.load(std::memory_order_relaxed);
-  s.hits = hits_.load(std::memory_order_relaxed);
-  s.misses = misses_.load(std::memory_order_relaxed);
-  s.evictions = evictions_.load(std::memory_order_relaxed);
-  s.dirty_writebacks = dirty_writebacks_.load(std::memory_order_relaxed);
+  s.fetches = fetches_.value();
+  s.hits = hits_.value();
+  s.misses = misses_.value();
+  s.evictions = evictions_.value();
+  s.dirty_writebacks = dirty_writebacks_.value();
   return s;
 }
 
 void BufferPool::ResetStats() {
-  fetches_.store(0, std::memory_order_relaxed);
-  hits_.store(0, std::memory_order_relaxed);
-  misses_.store(0, std::memory_order_relaxed);
-  evictions_.store(0, std::memory_order_relaxed);
-  dirty_writebacks_.store(0, std::memory_order_relaxed);
+  fetches_.Reset();
+  hits_.Reset();
+  misses_.Reset();
+  evictions_.Reset();
+  dirty_writebacks_.Reset();
+}
+
+void BufferPool::RegisterMetrics(MetricsRegistry* registry) const {
+  registry->RegisterCounter("tcob_pool_fetches_total", &fetches_);
+  registry->RegisterCounter("tcob_pool_hits_total", &hits_);
+  registry->RegisterCounter("tcob_pool_misses_total", &misses_);
+  registry->RegisterCounter("tcob_pool_evictions_total", &evictions_);
+  registry->RegisterCounter("tcob_pool_dirty_writebacks_total",
+                            &dirty_writebacks_);
+  registry->RegisterGaugeFn("tcob_pool_capacity_pages", [this]() {
+    return static_cast<int64_t>(capacity_);
+  });
 }
 
 Page* BufferPool::TryAcquireArenaFrame() {
@@ -204,12 +216,12 @@ Result<Page*> BufferPool::EvictFrom(Shard& shard) {
     if (victim->pin_count > 0) continue;
     if (victim->dirty) {
       TCOB_RETURN_NOT_OK(WriteBack(victim));
-      dirty_writebacks_.fetch_add(1, std::memory_order_relaxed);
+      dirty_writebacks_.Increment();
     }
     shard.table.erase(Key(victim->file_id, victim->page_no));
     shard.lru.erase(shard.lru_pos[victim]);
     shard.lru_pos.erase(victim);
-    evictions_.fetch_add(1, std::memory_order_relaxed);
+    evictions_.Increment();
     return victim;
   }
   return nullptr;

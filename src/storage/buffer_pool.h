@@ -9,6 +9,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "common/metrics.h"
 #include "common/result.h"
 #include "storage/disk_manager.h"
 #include "storage/page.h"
@@ -25,6 +26,17 @@ struct BufferPoolStats {
 
   double HitRate() const {
     return fetches ? static_cast<double>(hits) / fetches : 0.0;
+  }
+
+  /// Delta between two snapshots of the same monotonic counters
+  /// (EXPLAIN ANALYZE attributes per-query page traffic this way).
+  BufferPoolStats& operator-=(const BufferPoolStats& o) {
+    fetches -= o.fetches;
+    hits -= o.hits;
+    misses -= o.misses;
+    evictions -= o.evictions;
+    dirty_writebacks -= o.dirty_writebacks;
+    return *this;
   }
 };
 
@@ -81,6 +93,9 @@ class BufferPool {
   void ResetStats();
   DiskManager* disk() const { return disk_; }
 
+  /// Publishes the pool counters into `registry` under tcob_pool_*.
+  void RegisterMetrics(MetricsRegistry* registry) const;
+
  private:
   static uint64_t Key(FileId file, PageNo page_no) {
     return (static_cast<uint64_t>(file) << 32) | page_no;
@@ -136,11 +151,13 @@ class BufferPool {
   std::vector<std::unique_ptr<Page>> frames_;
   std::vector<Page*> free_frames_;
 
-  std::atomic<uint64_t> fetches_{0};
-  std::atomic<uint64_t> hits_{0};
-  std::atomic<uint64_t> misses_{0};
-  std::atomic<uint64_t> evictions_{0};
-  std::atomic<uint64_t> dirty_writebacks_{0};
+  // Relaxed-atomic Counters (see common/metrics.h): exact under the
+  // concurrent read path, lock-free on the fetch hot path.
+  Counter fetches_;
+  Counter hits_;
+  Counter misses_;
+  Counter evictions_;
+  Counter dirty_writebacks_;
 };
 
 /// RAII pin guard: unpins on scope exit.

@@ -45,7 +45,7 @@ Status DiskManager::ReadPage(FileId file, PageNo page_no, char* buf) {
     TCOB_ASSIGN_OR_RETURN(bool journaled,
                           journal_->Lookup(f.name, page_no, buf));
     if (journaled) {
-      reads_.fetch_add(1, std::memory_order_relaxed);
+      reads_.Increment();
       return Status::OK();
     }
   }
@@ -60,7 +60,7 @@ Status DiskManager::ReadPage(FileId file, PageNo page_no, char* buf) {
                               std::to_string(n) + " of " +
                               std::to_string(kPageSize) + " bytes");
   }
-  reads_.fetch_add(1, std::memory_order_relaxed);
+  reads_.Increment();
   return Status::OK();
 }
 
@@ -77,7 +77,7 @@ Status DiskManager::WritePage(FileId file, PageNo page_no, const char* buf) {
     TCOB_RETURN_NOT_OK(f.file->WriteAt(
         static_cast<uint64_t>(page_no) * kPageSize, Slice(buf, kPageSize)));
   }
-  writes_.fetch_add(1, std::memory_order_relaxed);
+  writes_.Increment();
   return Status::OK();
 }
 
@@ -100,7 +100,7 @@ Result<PageNo> DiskManager::AllocatePage(FileId file) {
         static_cast<uint64_t>(page_no) * kPageSize, Slice(zeros, kPageSize)));
   }
   ++f.num_pages;
-  allocations_.fetch_add(1, std::memory_order_relaxed);
+  allocations_.Increment();
   return page_no;
 }
 

@@ -8,6 +8,7 @@
 #include <string>
 #include <vector>
 
+#include "common/metrics.h"
 #include "common/result.h"
 #include "common/status.h"
 #include "storage/io_env.h"
@@ -93,15 +94,22 @@ class DiskManager {
 
   DiskStats stats() const {
     DiskStats s;
-    s.reads = reads_.load(std::memory_order_relaxed);
-    s.writes = writes_.load(std::memory_order_relaxed);
-    s.allocations = allocations_.load(std::memory_order_relaxed);
+    s.reads = reads_.value();
+    s.writes = writes_.value();
+    s.allocations = allocations_.value();
     return s;
   }
   void ResetStats() {
-    reads_.store(0, std::memory_order_relaxed);
-    writes_.store(0, std::memory_order_relaxed);
-    allocations_.store(0, std::memory_order_relaxed);
+    reads_.Reset();
+    writes_.Reset();
+    allocations_.Reset();
+  }
+
+  /// Publishes the I/O counters into `registry` under tcob_disk_*.
+  void RegisterMetrics(MetricsRegistry* registry) const {
+    registry->RegisterCounter("tcob_disk_reads_total", &reads_);
+    registry->RegisterCounter("tcob_disk_writes_total", &writes_);
+    registry->RegisterCounter("tcob_disk_allocations_total", &allocations_);
   }
 
   const std::string& dir() const { return dir_; }
@@ -124,9 +132,9 @@ class DiskManager {
   // page reads hold it shared around the positional ReadAt.
   mutable std::shared_mutex files_mu_;
   std::vector<OpenFileState> files_;
-  std::atomic<uint64_t> reads_{0};
-  std::atomic<uint64_t> writes_{0};
-  std::atomic<uint64_t> allocations_{0};
+  Counter reads_;
+  Counter writes_;
+  Counter allocations_;
 };
 
 }  // namespace tcob

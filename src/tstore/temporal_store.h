@@ -9,6 +9,7 @@
 #include <vector>
 
 #include "catalog/schema.h"
+#include "common/metrics.h"
 #include "common/result.h"
 #include "common/slice.h"
 #include "record/value.h"
@@ -73,6 +74,16 @@ struct StoreAccessStats {
   uint64_t Total() const {
     return get_as_of + get_versions + scan_as_of + scan_versions;
   }
+
+  /// Delta between two snapshots of the same monotonic counters
+  /// (EXPLAIN ANALYZE attributes per-query accesses this way).
+  StoreAccessStats& operator-=(const StoreAccessStats& o) {
+    get_as_of -= o.get_as_of;
+    get_versions -= o.get_versions;
+    scan_as_of -= o.scan_as_of;
+    scan_versions -= o.scan_versions;
+    return *this;
+  }
 };
 
 /// Storage-strategy-independent interface over versioned atoms.
@@ -108,7 +119,7 @@ class TemporalAtomStore {
   /// not exist then. NotFound only if the atom was never inserted.
   Result<std::optional<AtomVersion>> GetAsOf(const AtomTypeDef& type,
                                              AtomId id, Timestamp t) const {
-    get_as_of_.fetch_add(1, std::memory_order_relaxed);
+    get_as_of_.Increment();
     return DoGetAsOf(type, id, t);
   }
 
@@ -116,21 +127,21 @@ class TemporalAtomStore {
   Result<std::vector<AtomVersion>> GetVersions(const AtomTypeDef& type,
                                                AtomId id,
                                                const Interval& window) const {
-    get_versions_.fetch_add(1, std::memory_order_relaxed);
+    get_versions_.Increment();
     return DoGetVersions(type, id, window);
   }
 
   /// Streams the version of *every* atom of `type` valid at `t`.
   Status ScanAsOf(const AtomTypeDef& type, Timestamp t,
                   const VersionCallback& fn) const {
-    scan_as_of_.fetch_add(1, std::memory_order_relaxed);
+    scan_as_of_.Increment();
     return DoScanAsOf(type, t, fn);
   }
 
   /// Streams every version of every atom of `type` overlapping `window`.
   Status ScanVersions(const AtomTypeDef& type, const Interval& window,
                       const VersionCallback& fn) const {
-    scan_versions_.fetch_add(1, std::memory_order_relaxed);
+    scan_versions_.Increment();
     return DoScanVersions(type, window, fn);
   }
 
@@ -141,17 +152,26 @@ class TemporalAtomStore {
   /// phases against a const store — safely even while readers run.
   StoreAccessStats access_stats() const {
     StoreAccessStats s;
-    s.get_as_of = get_as_of_.load(std::memory_order_relaxed);
-    s.get_versions = get_versions_.load(std::memory_order_relaxed);
-    s.scan_as_of = scan_as_of_.load(std::memory_order_relaxed);
-    s.scan_versions = scan_versions_.load(std::memory_order_relaxed);
+    s.get_as_of = get_as_of_.value();
+    s.get_versions = get_versions_.value();
+    s.scan_as_of = scan_as_of_.value();
+    s.scan_versions = scan_versions_.value();
     return s;
   }
   void ResetAccessStats() const {
-    get_as_of_.store(0, std::memory_order_relaxed);
-    get_versions_.store(0, std::memory_order_relaxed);
-    scan_as_of_.store(0, std::memory_order_relaxed);
-    scan_versions_.store(0, std::memory_order_relaxed);
+    get_as_of_.Reset();
+    get_versions_.Reset();
+    scan_as_of_.Reset();
+    scan_versions_.Reset();
+  }
+
+  /// Publishes the access counters into `registry` under tcob_store_*.
+  void RegisterMetrics(MetricsRegistry* registry) const {
+    registry->RegisterCounter("tcob_store_get_as_of_total", &get_as_of_);
+    registry->RegisterCounter("tcob_store_get_versions_total", &get_versions_);
+    registry->RegisterCounter("tcob_store_scan_as_of_total", &scan_as_of_);
+    registry->RegisterCounter("tcob_store_scan_versions_total",
+                              &scan_versions_);
   }
 
   virtual Result<StoreSpaceStats> SpaceStats() const = 0;
@@ -195,10 +215,12 @@ class TemporalAtomStore {
                                 const VersionCallback& fn) const = 0;
 
  private:
-  mutable std::atomic<uint64_t> get_as_of_{0};
-  mutable std::atomic<uint64_t> get_versions_{0};
-  mutable std::atomic<uint64_t> scan_as_of_{0};
-  mutable std::atomic<uint64_t> scan_versions_{0};
+  // Relaxed-atomic Counters (see common/metrics.h): concurrent fan-out
+  // readers bump them lock-free and totals stay exact.
+  mutable Counter get_as_of_;
+  mutable Counter get_versions_;
+  mutable Counter scan_as_of_;
+  mutable Counter scan_versions_;
 };
 
 // ---- shared record codecs ----

@@ -38,7 +38,8 @@ Status WriteAheadLog::Append(const Slice& payload) {
     return st;
   }
   write_pos_ += frame.size();
-  ++appended_;
+  appended_.Increment();
+  appended_bytes_.Add(frame.size());
   return Status::OK();
 }
 
@@ -46,6 +47,7 @@ Status WriteAheadLog::Sync() {
   TCOB_RETURN_NOT_OK(health_);
   Status st = file_->Sync();
   if (!st.ok()) health_ = st;
+  if (st.ok()) syncs_.Increment();
   return st;
 }
 
@@ -101,6 +103,7 @@ Status WriteAheadLog::Truncate() {
     return st;
   }
   write_pos_ = 0;
+  truncates_.Increment();
   return Status::OK();
 }
 

@@ -6,6 +6,7 @@
 #include <memory>
 #include <string>
 
+#include "common/metrics.h"
 #include "common/result.h"
 #include "common/slice.h"
 #include "storage/io_env.h"
@@ -71,10 +72,23 @@ class WriteAheadLog {
   Result<uint64_t> SizeBytes() const;
 
   /// Number of Append calls since open.
-  uint64_t appended_records() const { return appended_; }
+  uint64_t appended_records() const { return appended_.value(); }
 
   /// OK while the log is healthy; the poisoning error afterwards.
   const Status& health() const { return health_; }
+
+  /// Publishes the log counters into `registry` under tcob_wal_*.
+  void RegisterMetrics(MetricsRegistry* registry) const {
+    registry->RegisterCounter("tcob_wal_appends_total", &appended_);
+    registry->RegisterCounter("tcob_wal_appended_bytes_total",
+                              &appended_bytes_);
+    registry->RegisterCounter("tcob_wal_syncs_total", &syncs_);
+    registry->RegisterCounter("tcob_wal_truncates_total", &truncates_);
+    registry->RegisterCounterFn("tcob_wal_size_bytes", [this]() {
+      auto r = SizeBytes();
+      return r.ok() ? r.value() : 0;
+    });
+  }
 
  private:
   explicit WriteAheadLog(std::string path) : path_(std::move(path)) {}
@@ -82,7 +96,10 @@ class WriteAheadLog {
   std::string path_;
   std::unique_ptr<IoFile> file_;
   uint64_t write_pos_ = 0;
-  uint64_t appended_ = 0;
+  Counter appended_;
+  Counter appended_bytes_;
+  Counter syncs_;
+  Counter truncates_;
   Status health_;
 };
 

@@ -1,0 +1,255 @@
+// EXPLAIN ANALYZE and per-query tracing: the trace ResultSet is
+// well-formed for every storage strategy (serial and parallel), the
+// result-level totals agree between parallelism 1 and >1, and the
+// per-query trace reconciles with Database::MetricsSnapshot() deltas.
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/logging.h"
+#include "common/temp_dir.h"
+#include "db/database.h"
+#include "workload/company.h"
+
+namespace tcob {
+namespace {
+
+std::unique_ptr<Database> OpenCompanyDb(const std::string& dir,
+                                        StorageStrategy strategy,
+                                        size_t parallelism) {
+  DatabaseOptions options;
+  options.strategy = strategy;
+  options.parallelism = parallelism;
+  auto db = Database::Open(dir, options).value();
+  CompanyConfig config;
+  config.depts = 4;
+  config.emps_per_dept = 3;
+  config.projs_per_emp = 2;
+  config.versions_per_atom = 4;
+  auto handles = BuildCompany(db.get(), config);
+  EXPECT_TRUE(handles.ok()) << handles.status().ToString();
+  return db;
+}
+
+/// Indexes an EXPLAIN ANALYZE result as (section, metric) -> value.
+std::map<std::pair<std::string, std::string>, Value> IndexTrace(
+    const ResultSet& rs) {
+  std::map<std::pair<std::string, std::string>, Value> out;
+  for (const auto& row : rs.rows) {
+    out.emplace(std::make_pair(row[0].AsString(), row[1].AsString()), row[2]);
+  }
+  return out;
+}
+
+class ExplainTest : public ::testing::TestWithParam<StorageStrategy> {};
+
+TEST_P(ExplainTest, AnalyzeIsWellFormedSerialAndParallel) {
+  TempDir dir;
+  for (size_t parallelism : {size_t{1}, size_t{3}}) {
+    auto db = OpenCompanyDb(dir.path() + "/p" + std::to_string(parallelism),
+                            GetParam(), parallelism);
+    auto r = db->Execute(
+        "EXPLAIN ANALYZE SELECT ALL FROM DeptMol ORDER BY ROOT HISTORY");
+    ASSERT_TRUE(r.ok()) << r.status().ToString();
+    const ResultSet& rs = r.value();
+    ASSERT_EQ(rs.columns,
+              (std::vector<std::string>{"SECTION", "METRIC", "VALUE"}));
+    auto trace = IndexTrace(rs);
+
+    EXPECT_EQ(trace.at({"query", "strategy"}).AsString(),
+              StorageStrategyName(GetParam()));
+    EXPECT_EQ(trace.at({"query", "temporal_mode"}).AsString(), "history");
+    EXPECT_FALSE(trace.at({"query", "plan"}).AsString().empty());
+    EXPECT_GE(trace.at({"query", "parallelism"}).AsInt(), 1);
+
+    // Timing spans are present and sane.
+    EXPECT_GT(trace.at({"timing", "total_us"}).AsDouble(), 0.0);
+    EXPECT_GE(trace.at({"timing", "materialize_us"}).AsDouble(), 0.0);
+    EXPECT_LE(trace.at({"timing", "execute_us"}).AsDouble(),
+              trace.at({"timing", "total_us"}).AsDouble());
+
+    // Result totals: 4 departments, multiple versions each.
+    EXPECT_EQ(trace.at({"result", "molecules"}).AsInt(), 4);
+    EXPECT_GT(trace.at({"result", "states"}).AsInt(), 0);
+    EXPECT_GT(trace.at({"result", "rows"}).AsInt(), 0);
+    EXPECT_GT(trace.at({"result", "atoms_visited"}).AsInt(), 0);
+
+    // Storage work happened and the rates are rates.
+    EXPECT_GT(trace.at({"store", "total_accesses"}).AsInt(), 0);
+    double vc_rate = trace.at({"version_cache", "hit_rate"}).AsDouble();
+    EXPECT_GE(vc_rate, 0.0);
+    EXPECT_LE(vc_rate, 1.0);
+    double bp_rate = trace.at({"buffer_pool", "hit_rate"}).AsDouble();
+    EXPECT_GE(bp_rate, 0.0);
+    EXPECT_LE(bp_rate, 1.0);
+
+    // Parallel runs report per-worker timings; serial runs do not.
+    size_t worker_rows = 0;
+    for (const auto& [key, value] : trace) {
+      if (key.first == "workers") ++worker_rows;
+    }
+    if (parallelism > 1) {
+      EXPECT_GT(worker_rows, 1u);
+      EXPECT_EQ(trace.at({"query", "parallelism"}).AsInt(),
+                static_cast<int64_t>(worker_rows));
+    } else {
+      EXPECT_EQ(worker_rows, 0u);
+    }
+  }
+}
+
+TEST_P(ExplainTest, PlainExplainStillReturnsStaticPlan) {
+  TempDir dir;
+  auto db = OpenCompanyDb(dir.path() + "/db", GetParam(), 1);
+  auto r = db->Execute("EXPLAIN SELECT ALL FROM DeptMol VALID AT NOW");
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  // The static EXPLAIN output is a plan description, not a trace table.
+  EXPECT_NE(r.value().columns,
+            (std::vector<std::string>{"SECTION", "METRIC", "VALUE"}));
+}
+
+TEST_P(ExplainTest, ExplainApiWrapsSelect) {
+  TempDir dir;
+  auto db = OpenCompanyDb(dir.path() + "/db", GetParam(), 1);
+  auto traced = db->Explain("SELECT ALL FROM DeptMol VALID AT NOW");
+  ASSERT_TRUE(traced.ok()) << traced.status().ToString();
+  auto trace = IndexTrace(traced.value());
+  EXPECT_EQ(trace.at({"query", "temporal_mode"}).AsString(), "as-of");
+  EXPECT_GT(trace.at({"result", "rows"}).AsInt(), 0);
+
+  auto untraced = db->Explain("SELECT ALL FROM DeptMol VALID AT NOW",
+                              /*analyze=*/false);
+  ASSERT_TRUE(untraced.ok()) << untraced.status().ToString();
+
+  auto bad = db->Explain("INSERT ATOM Dept (name = 'x') VALID IN [1, 2)");
+  EXPECT_FALSE(bad.ok());
+}
+
+TEST_P(ExplainTest, SerialAndParallelResultTotalsAgree) {
+  const std::vector<std::string> statements = {
+      "SELECT ALL FROM DeptMol ORDER BY ROOT VALID AT NOW",
+      "SELECT ALL FROM DeptMol ORDER BY ROOT VALID IN [10, 40)",
+      "SELECT ALL FROM DeptMol ORDER BY ROOT HISTORY",
+  };
+  TempDir dir;
+  auto serial = OpenCompanyDb(dir.path() + "/serial", GetParam(), 1);
+  auto parallel = OpenCompanyDb(dir.path() + "/parallel", GetParam(), 3);
+  for (const std::string& mql : statements) {
+    ASSERT_TRUE(serial->Execute(mql).ok()) << mql;
+    QueryStats s = serial->last_query_stats();
+    ASSERT_TRUE(parallel->Execute(mql).ok()) << mql;
+    QueryStats p = parallel->last_query_stats();
+    // Store-access and cache counts legitimately differ (per-worker
+    // private caches re-pin shared atoms); the *results* must not.
+    EXPECT_EQ(s.molecules, p.molecules) << mql;
+    EXPECT_EQ(s.states, p.states) << mql;
+    EXPECT_EQ(s.rows, p.rows) << mql;
+    EXPECT_EQ(s.atoms_visited, p.atoms_visited) << mql;
+  }
+}
+
+TEST_P(ExplainTest, TraceReconcilesWithMetricsSnapshot) {
+  TempDir dir;
+  auto db = OpenCompanyDb(dir.path() + "/db", GetParam(), 1);
+  MetricsSnapshot before = db->MetricsSnapshot();
+  ASSERT_TRUE(
+      db->Execute("SELECT ALL FROM DeptMol ORDER BY ROOT VALID AT NOW").ok());
+  MetricsSnapshot after = db->MetricsSnapshot();
+  const QueryStats& trace = db->last_query_stats();
+
+  auto delta = [&](const char* name) {
+    return after.CounterOr(name, 0) - before.CounterOr(name, 0);
+  };
+  EXPECT_EQ(delta("tcob_queries_total"), 1u);
+  EXPECT_EQ(delta("tcob_store_get_as_of_total"), trace.store.get_as_of);
+  EXPECT_EQ(delta("tcob_store_get_versions_total"), trace.store.get_versions);
+  EXPECT_EQ(delta("tcob_store_scan_as_of_total"), trace.store.scan_as_of);
+  EXPECT_EQ(delta("tcob_store_scan_versions_total"),
+            trace.store.scan_versions);
+  EXPECT_EQ(delta("tcob_pool_fetches_total"), trace.pool.fetches);
+  EXPECT_EQ(delta("tcob_pool_hits_total"), trace.pool.hits);
+  EXPECT_EQ(delta("tcob_pool_misses_total"), trace.pool.misses);
+  EXPECT_EQ(delta("tcob_vcache_atom_hits_total"), trace.cache.atom_hits);
+  EXPECT_EQ(delta("tcob_vcache_atom_misses_total"), trace.cache.atom_misses);
+  EXPECT_EQ(delta("tcob_vcache_versions_pinned_total"),
+            trace.cache.versions_pinned);
+  ASSERT_EQ(after.histograms.count("tcob_query_latency_us"), 1u);
+  EXPECT_EQ(after.histograms.at("tcob_query_latency_us").count -
+                before.histograms.at("tcob_query_latency_us").count,
+            1u);
+  EXPECT_GT(trace.store.Total(), 0u);
+}
+
+TEST_P(ExplainTest, RepeatedParallelQueriesGiveIdenticalCounterDeltas) {
+  // The fan-out workers bump the shared store/pool counters
+  // concurrently; the partitioning is deterministic, so two identical
+  // runs must produce byte-identical deltas (exactness under
+  // concurrency — covered by the TSan CI job).
+  TempDir dir;
+  auto db = OpenCompanyDb(dir.path() + "/db", GetParam(), 4);
+  const std::string mql = "SELECT ALL FROM DeptMol ORDER BY ROOT HISTORY";
+  auto run = [&]() {
+    MetricsSnapshot before = db->MetricsSnapshot();
+    EXPECT_TRUE(db->Execute(mql).ok());
+    MetricsSnapshot after = db->MetricsSnapshot();
+    std::map<std::string, uint64_t> deltas;
+    for (const auto& [name, value] : after.counters) {
+      deltas[name] = value - before.CounterOr(name, 0);
+    }
+    deltas.erase("tcob_wal_size_bytes");  // gauge-like, not query work
+    return deltas;
+  };
+  auto first = run();
+  auto second = run();
+  EXPECT_EQ(first, second);
+  EXPECT_GT(first.at("tcob_store_get_versions_total") +
+                first.at("tcob_store_scan_versions_total") +
+                first.at("tcob_store_get_as_of_total") +
+                first.at("tcob_store_scan_as_of_total"),
+            0u);
+}
+
+TEST(SlowQueryLogTest, ThresholdTriggersWarnLog) {
+  std::vector<std::string> lines;
+  SetLogSink([&lines](const LogEntry& entry, const std::string& formatted) {
+    if (entry.level == LogLevel::kWarn) lines.push_back(formatted);
+  });
+  {
+    TempDir dir;
+    DatabaseOptions options;
+    options.slow_query_threshold_micros = 1;  // everything is "slow"
+    auto db = Database::Open(dir.path() + "/db", options).value();
+    CompanyConfig config;
+    config.depts = 2;
+    config.emps_per_dept = 2;
+    config.projs_per_emp = 1;
+    config.versions_per_atom = 2;
+    ASSERT_TRUE(BuildCompany(db.get(), config).ok());
+    ASSERT_TRUE(db->Execute("SELECT ALL FROM DeptMol VALID AT NOW").ok());
+    EXPECT_GE(db->MetricsSnapshot().CounterOr("tcob_slow_queries_total", 0),
+              1u);
+  }
+  SetLogSink(nullptr);
+  bool found = false;
+  for (const std::string& line : lines) {
+    if (line.find("slow query") != std::string::npos) found = true;
+  }
+  EXPECT_TRUE(found);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllStrategies, ExplainTest,
+                         ::testing::Values(StorageStrategy::kSnapshot,
+                                           StorageStrategy::kIntegrated,
+                                           StorageStrategy::kSeparated),
+                         [](const auto& info) {
+                           return std::string(
+                               StorageStrategyName(info.param));
+                         });
+
+}  // namespace
+}  // namespace tcob

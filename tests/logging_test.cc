@@ -1,0 +1,156 @@
+// Logging hardening: pluggable sink, structured LogEntry, the
+// ISO-8601 + thread-id line prefix, and level filtering.
+
+#include <gtest/gtest.h>
+
+#include <cctype>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/logging.h"
+
+namespace tcob {
+namespace {
+
+/// Installs a capturing sink for the lifetime of the test scope.
+class SinkCapture {
+ public:
+  SinkCapture() {
+    SetLogSink([this](const LogEntry& entry, const std::string& formatted) {
+      std::lock_guard<std::mutex> lock(mu_);
+      entries_.push_back(entry);
+      lines_.push_back(formatted);
+    });
+  }
+  ~SinkCapture() { SetLogSink(nullptr); }
+
+  std::vector<LogEntry> entries() {
+    std::lock_guard<std::mutex> lock(mu_);
+    return entries_;
+  }
+  std::vector<std::string> lines() {
+    std::lock_guard<std::mutex> lock(mu_);
+    return lines_;
+  }
+
+ private:
+  std::mutex mu_;
+  std::vector<LogEntry> entries_;
+  std::vector<std::string> lines_;
+};
+
+bool MatchesPrefixFormat(const std::string& line) {
+  // [2026-08-07T12:34:56.789Z WARN t3 logging_test.cc:NN] msg\n
+  if (line.empty() || line.front() != '[') return false;
+  if (line.size() < 25 || line.back() != '\n') return false;
+  // ISO-8601 UTC timestamp: YYYY-MM-DDTHH:MM:SS.mmmZ
+  const std::string ts = line.substr(1, 24);
+  for (size_t i = 0; i < ts.size(); ++i) {
+    char c = ts[i];
+    switch (i) {
+      case 4:
+      case 7:
+        if (c != '-') return false;
+        break;
+      case 10:
+        if (c != 'T') return false;
+        break;
+      case 13:
+      case 16:
+        if (c != ':') return false;
+        break;
+      case 19:
+        if (c != '.') return false;
+        break;
+      case 23:
+        if (c != 'Z') return false;
+        break;
+      default:
+        if (!isdigit(static_cast<unsigned char>(c))) return false;
+    }
+  }
+  // " LEVEL t<digits> file:line] "
+  size_t tpos = line.find(" t", 26);
+  if (tpos == std::string::npos) return false;
+  if (!isdigit(static_cast<unsigned char>(line[tpos + 2]))) return false;
+  size_t bracket = line.find("] ", tpos);
+  if (bracket == std::string::npos) return false;
+  size_t colon = line.rfind(':', bracket);
+  return colon != std::string::npos && colon < bracket;
+}
+
+TEST(LoggingTest, SinkReceivesEntryAndFormattedLine) {
+  SinkCapture capture;
+  TCOB_LOG(kWarn) << "hello " << 42;
+  auto entries = capture.entries();
+  ASSERT_EQ(entries.size(), 1u);
+  EXPECT_EQ(entries[0].level, LogLevel::kWarn);
+  EXPECT_EQ(entries[0].message, "hello 42");
+  EXPECT_NE(std::string(entries[0].file).find("logging_test"),
+            std::string::npos);
+  EXPECT_GT(entries[0].line, 0);
+
+  auto lines = capture.lines();
+  ASSERT_EQ(lines.size(), 1u);
+  EXPECT_TRUE(MatchesPrefixFormat(lines[0])) << lines[0];
+  EXPECT_NE(lines[0].find(" WARN "), std::string::npos);
+  EXPECT_NE(lines[0].find("logging_test.cc:"), std::string::npos);
+  EXPECT_NE(lines[0].find("] hello 42\n"), std::string::npos);
+}
+
+TEST(LoggingTest, LevelFilterSuppressesBelowMinimum) {
+  SinkCapture capture;
+  LogLevel saved = GetLogLevel();
+  SetLogLevel(LogLevel::kError);
+  TCOB_LOG(kWarn) << "filtered";
+  TCOB_LOG(kError) << "kept";
+  SetLogLevel(saved);
+  auto entries = capture.entries();
+  ASSERT_EQ(entries.size(), 1u);
+  EXPECT_EQ(entries[0].message, "kept");
+  EXPECT_EQ(entries[0].level, LogLevel::kError);
+}
+
+TEST(LoggingTest, ConcurrentLoggingKeepsLinesIntact) {
+  SinkCapture capture;
+  constexpr int kThreads = 4;
+  constexpr int kPerThread = 200;
+  std::vector<std::thread> workers;
+  for (int t = 0; t < kThreads; ++t) {
+    workers.emplace_back([t] {
+      for (int i = 0; i < kPerThread; ++i) {
+        TCOB_LOG(kWarn) << "thread " << t << " line " << i;
+      }
+    });
+  }
+  for (auto& w : workers) w.join();
+  auto lines = capture.lines();
+  ASSERT_EQ(lines.size(), static_cast<size_t>(kThreads) * kPerThread);
+  for (const std::string& line : lines) {
+    EXPECT_TRUE(MatchesPrefixFormat(line)) << line;
+    // One complete message per sink call — no interleaving.
+    EXPECT_EQ(line.find('\n'), line.size() - 1);
+    EXPECT_NE(line.find("thread "), std::string::npos);
+  }
+}
+
+TEST(LoggingTest, DistinctThreadsGetDistinctIds) {
+  SinkCapture capture;
+  std::thread a([] { TCOB_LOG(kWarn) << "a"; });
+  a.join();
+  std::thread b([] { TCOB_LOG(kWarn) << "b"; });
+  b.join();
+  auto lines = capture.lines();
+  ASSERT_EQ(lines.size(), 2u);
+  auto tid = [](const std::string& line) {
+    size_t tpos = line.find(" t", 26);
+    size_t end = line.find(' ', tpos + 1);
+    return line.substr(tpos + 2, end - tpos - 2);
+  };
+  EXPECT_NE(tid(lines[0]), tid(lines[1]));
+}
+
+}  // namespace
+}  // namespace tcob

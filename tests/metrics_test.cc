@@ -1,0 +1,187 @@
+// MetricsRegistry semantics: counter/gauge/histogram behavior, bucket
+// edge cases (Prometheus "le" means v <= bound), snapshot isolation,
+// exact totals under concurrent updates, and the two render formats.
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <thread>
+#include <vector>
+
+#include "common/metrics.h"
+
+namespace tcob {
+namespace {
+
+TEST(CounterTest, AddAndReset) {
+  Counter c;
+  EXPECT_EQ(c.value(), 0u);
+  c.Increment();
+  c.Add(41);
+  EXPECT_EQ(c.value(), 42u);
+  c.Reset();
+  EXPECT_EQ(c.value(), 0u);
+}
+
+TEST(CounterTest, ConcurrentAddsAreExact) {
+  Counter c;
+  constexpr int kThreads = 4;
+  constexpr int kPerThread = 10000;
+  std::vector<std::thread> workers;
+  for (int t = 0; t < kThreads; ++t) {
+    workers.emplace_back([&c] {
+      for (int i = 0; i < kPerThread; ++i) c.Increment();
+    });
+  }
+  for (auto& w : workers) w.join();
+  EXPECT_EQ(c.value(), static_cast<uint64_t>(kThreads) * kPerThread);
+}
+
+TEST(GaugeTest, SetAndAdd) {
+  Gauge g;
+  g.Set(10);
+  g.Add(-3);
+  EXPECT_EQ(g.value(), 7);
+  g.Set(-5);
+  EXPECT_EQ(g.value(), -5);
+}
+
+TEST(HistogramTest, BucketEdges) {
+  // Buckets: (..1], (1..5], (5..10], (10..inf)
+  Histogram h({1, 5, 10});
+  ASSERT_EQ(h.bucket_count(), 4u);
+  h.Observe(0);
+  h.Observe(1);   // le="1" — exactly on the bound lands in that bucket
+  h.Observe(2);
+  h.Observe(5);   // le="5"
+  h.Observe(6);
+  h.Observe(10);  // le="10"
+  h.Observe(11);  // +Inf
+  HistogramSnapshot snap = h.Snapshot();
+  ASSERT_EQ(snap.counts.size(), 4u);
+  EXPECT_EQ(snap.counts[0], 2u);  // 0, 1
+  EXPECT_EQ(snap.counts[1], 2u);  // 2, 5
+  EXPECT_EQ(snap.counts[2], 2u);  // 6, 10
+  EXPECT_EQ(snap.counts[3], 1u);  // 11
+  EXPECT_EQ(snap.count, 7u);
+  EXPECT_EQ(snap.sum, 0u + 1 + 2 + 5 + 6 + 10 + 11);
+  EXPECT_DOUBLE_EQ(snap.Mean(), 35.0 / 7.0);
+}
+
+TEST(HistogramTest, ConcurrentObservesAreExact) {
+  Histogram h(Histogram::LatencyBucketsUs());
+  constexpr int kThreads = 4;
+  constexpr int kPerThread = 5000;
+  std::vector<std::thread> workers;
+  for (int t = 0; t < kThreads; ++t) {
+    workers.emplace_back([&h, t] {
+      for (int i = 0; i < kPerThread; ++i) {
+        h.Observe(static_cast<uint64_t>(t) * 100 + 1);
+      }
+    });
+  }
+  for (auto& w : workers) w.join();
+  EXPECT_EQ(h.count(), static_cast<uint64_t>(kThreads) * kPerThread);
+}
+
+TEST(MetricsRegistryTest, SnapshotIsolation) {
+  MetricsRegistry registry;
+  Counter c;
+  Gauge g;
+  Histogram h({10, 100});
+  registry.RegisterCounter("test_counter", &c);
+  registry.RegisterGauge("test_gauge", &g);
+  registry.RegisterHistogram("test_hist", &h);
+
+  c.Add(3);
+  g.Set(-7);
+  h.Observe(50);
+  MetricsSnapshot before = registry.Snapshot();
+
+  // Later updates must not leak into the already-taken snapshot.
+  c.Add(100);
+  g.Set(99);
+  h.Observe(5);
+
+  EXPECT_EQ(before.CounterOr("test_counter", 0), 3u);
+  EXPECT_EQ(before.GaugeOr("test_gauge", 0), -7);
+  ASSERT_EQ(before.histograms.count("test_hist"), 1u);
+  EXPECT_EQ(before.histograms.at("test_hist").count, 1u);
+
+  MetricsSnapshot after = registry.Snapshot();
+  EXPECT_EQ(after.CounterOr("test_counter", 0), 103u);
+  EXPECT_EQ(after.GaugeOr("test_gauge", 0), 99);
+  EXPECT_EQ(after.histograms.at("test_hist").count, 2u);
+}
+
+TEST(MetricsRegistryTest, CallbackMetrics) {
+  MetricsRegistry registry;
+  uint64_t calls = 0;
+  registry.RegisterCounterFn("fn_counter", [&calls] { return ++calls; });
+  int64_t level = 12;
+  registry.RegisterGaugeFn("fn_gauge", [&level] { return level; });
+  EXPECT_EQ(registry.Snapshot().CounterOr("fn_counter", 0), 1u);
+  level = -4;
+  MetricsSnapshot snap = registry.Snapshot();
+  EXPECT_EQ(snap.CounterOr("fn_counter", 0), 2u);
+  EXPECT_EQ(snap.GaugeOr("fn_gauge", 0), -4);
+}
+
+TEST(MetricsSnapshotTest, TextRendering) {
+  MetricsRegistry registry;
+  Counter c;
+  c.Add(5);
+  Histogram h({1, 10});
+  h.Observe(1);
+  h.Observe(7);
+  registry.RegisterCounter("tcob_test_total", &c);
+  registry.RegisterHistogram("tcob_test_us", &h);
+  std::string text = registry.Snapshot().ToText();
+  EXPECT_NE(text.find("# TYPE tcob_test_total counter"), std::string::npos);
+  EXPECT_NE(text.find("tcob_test_total 5"), std::string::npos);
+  EXPECT_NE(text.find("tcob_test_us_bucket{le=\"1\"} 1"), std::string::npos);
+  // Cumulative: the le="10" bucket includes the le="1" observation.
+  EXPECT_NE(text.find("tcob_test_us_bucket{le=\"10\"} 2"), std::string::npos);
+  EXPECT_NE(text.find("tcob_test_us_bucket{le=\"+Inf\"} 2"),
+            std::string::npos);
+  EXPECT_NE(text.find("tcob_test_us_sum 8"), std::string::npos);
+  EXPECT_NE(text.find("tcob_test_us_count 2"), std::string::npos);
+}
+
+TEST(MetricsSnapshotTest, JsonRendering) {
+  MetricsRegistry registry;
+  Counter c;
+  c.Add(9);
+  Gauge g;
+  g.Set(-2);
+  registry.RegisterCounter("a_total", &c);
+  registry.RegisterGauge("b_gauge", &g);
+  std::string json = registry.Snapshot().ToJson();
+  EXPECT_NE(json.find("\"a_total\":9"), std::string::npos);
+  EXPECT_NE(json.find("\"b_gauge\":-2"), std::string::npos);
+  EXPECT_NE(json.find("\"counters\""), std::string::npos);
+  EXPECT_NE(json.find("\"gauges\""), std::string::npos);
+  EXPECT_NE(json.find("\"histograms\""), std::string::npos);
+}
+
+TEST(JsonEscapeTest, ControlAndQuote) {
+  EXPECT_EQ(JsonEscape("plain"), "plain");
+  EXPECT_EQ(JsonEscape("a\"b"), "a\\\"b");
+  EXPECT_EQ(JsonEscape("a\\b"), "a\\\\b");
+  EXPECT_EQ(JsonEscape("a\nb\tc"), "a\\nb\\tc");
+  EXPECT_EQ(JsonEscape(std::string("x\x01y", 3)), "x\\u0001y");
+}
+
+TEST(HistogramTest, ResetClearsBucketsAndSum) {
+  Histogram h({1, 2});
+  h.Observe(1);
+  h.Observe(100);
+  h.Reset();
+  HistogramSnapshot snap = h.Snapshot();
+  EXPECT_EQ(snap.count, 0u);
+  EXPECT_EQ(snap.sum, 0u);
+  for (uint64_t bucket : snap.counts) EXPECT_EQ(bucket, 0u);
+}
+
+}  // namespace
+}  // namespace tcob

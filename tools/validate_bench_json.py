@@ -1,0 +1,110 @@
+#!/usr/bin/env python3
+"""Validate bench JSON artifacts against bench/bench_schema.json.
+
+Dependency-free validator for the JSON Schema (draft-07) subset the
+bench schema actually uses: type, required, properties,
+additionalProperties (bool or schema), items, minItems, minimum, enum.
+
+Usage: validate_bench_json.py SCHEMA ARTIFACT [ARTIFACT...]
+Exits non-zero (listing every violation) if any artifact is invalid.
+"""
+
+import json
+import sys
+
+_TYPES = {
+    "object": dict,
+    "array": list,
+    "string": str,
+    "boolean": bool,
+    "null": type(None),
+}
+
+
+def _type_ok(value, expected):
+    if expected == "integer":
+        return isinstance(value, int) and not isinstance(value, bool)
+    if expected == "number":
+        return (isinstance(value, (int, float))
+                and not isinstance(value, bool))
+    return isinstance(value, _TYPES[expected])
+
+
+def validate(value, schema, path="$"):
+    """Returns a list of human-readable violation strings."""
+    errors = []
+
+    expected = schema.get("type")
+    if expected is not None:
+        allowed = expected if isinstance(expected, list) else [expected]
+        if not any(_type_ok(value, t) for t in allowed):
+            errors.append("%s: expected type %s, got %s" %
+                          (path, "/".join(allowed), type(value).__name__))
+            return errors  # structural checks below would be nonsense
+
+    if "enum" in schema and value not in schema["enum"]:
+        errors.append("%s: value %r not in enum %r" %
+                      (path, value, schema["enum"]))
+
+    if "minimum" in schema and isinstance(value, (int, float)) \
+            and not isinstance(value, bool):
+        if value < schema["minimum"]:
+            errors.append("%s: value %r below minimum %r" %
+                          (path, value, schema["minimum"]))
+
+    if isinstance(value, dict):
+        for key in schema.get("required", []):
+            if key not in value:
+                errors.append("%s: missing required property %r" % (path, key))
+        props = schema.get("properties", {})
+        extra = schema.get("additionalProperties", True)
+        for key, sub in value.items():
+            sub_path = "%s.%s" % (path, key)
+            if key in props:
+                errors.extend(validate(sub, props[key], sub_path))
+            elif extra is False:
+                errors.append("%s: unexpected property %r" % (path, key))
+            elif isinstance(extra, dict):
+                errors.extend(validate(sub, extra, sub_path))
+
+    if isinstance(value, list):
+        if "minItems" in schema and len(value) < schema["minItems"]:
+            errors.append("%s: %d items, expected at least %d" %
+                          (path, len(value), schema["minItems"]))
+        items = schema.get("items")
+        if isinstance(items, dict):
+            for i, sub in enumerate(value):
+                errors.extend(validate(sub, items, "%s[%d]" % (path, i)))
+
+    return errors
+
+
+def main(argv):
+    if len(argv) < 3:
+        print(__doc__.strip(), file=sys.stderr)
+        return 2
+    with open(argv[1], encoding="utf-8") as f:
+        schema = json.load(f)
+    failed = False
+    for artifact in argv[2:]:
+        try:
+            with open(artifact, encoding="utf-8") as f:
+                value = json.load(f)
+        except (OSError, json.JSONDecodeError) as e:
+            print("%s: unreadable: %s" % (artifact, e))
+            failed = True
+            continue
+        errors = validate(value, schema)
+        if errors:
+            failed = True
+            print("%s: INVALID" % artifact)
+            for err in errors:
+                print("  " + err)
+        else:
+            runs = len(value.get("benchmarks", []))
+            print("%s: ok (%d runs)" % (artifact, runs))
+    return 1 if failed else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))
