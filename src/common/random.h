@@ -63,6 +63,15 @@ class Random {
     return n ? v % n : 0;
   }
 
+  /// An independent child stream seeded from this one. Deterministic:
+  /// forking consumes exactly one draw, and the child's sequence is
+  /// decorrelated from the parent's by the SplitMix seeding. This is
+  /// the only sanctioned way to hand a seed to another thread or
+  /// component — never std::random_device or wall-clock seeding, which
+  /// would break seed-reproducible workloads (enforced by the sim
+  /// harness's bit-reproducibility check).
+  Random Fork() { return Random(Next()); }
+
  private:
   static uint64_t SplitMix(uint64_t* state) {
     uint64_t z = (*state += 0x9e3779b97f4a7c15ull);

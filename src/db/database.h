@@ -229,6 +229,19 @@ class Database {
   /// continue. Recovery path: discard this instance and re-Open.
   const Status& health() const { return fail_stop_; }
 
+  /// True once the instance entered fail-stop mode. Mutations after
+  /// poisoning keep returning the *original* failure (wrapped by
+  /// health()), never a generic error — callers can surface the root
+  /// cause without having tracked the first failing call themselves.
+  bool IsPoisoned() const { return !fail_stop_.ok(); }
+
+  /// The canonical logical image of the database as dump-format bytes:
+  /// catalog, clock, every atom version sorted by (atom id, begin) and
+  /// every link interval sorted by (from, to, begin). Identical logical
+  /// content yields identical bytes under any storage strategy and any
+  /// physical layout history (ExportDump writes exactly these bytes).
+  Result<std::string> Dump();
+
   /// What WAL replay did when this instance was opened.
   const RecoveryStats& recovery_stats() const { return recovery_stats_; }
 

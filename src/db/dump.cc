@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cstdio>
 #include <map>
+#include <tuple>
 
 #include "common/coding.h"
 #include "db/database.h"
@@ -43,52 +44,75 @@ Result<std::string> ReadAll(const std::string& path) {
 
 }  // namespace
 
-Status ExportDump(Database* db, const std::string& path) {
+Result<std::string> Database::Dump() {
   std::string out;
   PutFixed32(&out, kDumpMagic);
   PutFixed32(&out, kDumpVersion);
-  PutLengthPrefixed(&out, db->catalog_.Serialize());
-  PutVarsint64(&out, db->now_);
+  PutLengthPrefixed(&out, catalog_.Serialize());
+  PutVarsint64(&out, now_);
 
-  // Atom versions, grouped by type.
-  std::vector<const AtomTypeDef*> types = db->catalog_.AtomTypes();
+  // Atom versions, grouped by type. Store scan order is a physical
+  // artifact (heap order, cluster order, ...), so records are sorted by
+  // (atom id, valid begin) before encoding: the same logical content
+  // dumps to the same bytes under every storage strategy.
+  std::vector<const AtomTypeDef*> types = catalog_.AtomTypes();
   PutVarint32(&out, static_cast<uint32_t>(types.size()));
   for (const AtomTypeDef* type : types) {
     PutVarint32(&out, type->id);
     std::vector<AttrType> schema = type->AttrTypes();
-    std::string versions;
-    uint64_t count = 0;
-    TCOB_RETURN_NOT_OK(db->store_->ScanVersions(
+    std::vector<AtomVersion> collected;
+    TCOB_RETURN_NOT_OK(store_->ScanVersions(
         *type, Interval::All(), [&](const AtomVersion& v) -> Result<bool> {
-          TCOB_RETURN_NOT_OK(EncodeAtomVersion(schema, v, &versions));
-          ++count;
+          collected.push_back(v);
           return true;
         }));
-    PutVarint64(&out, count);
-    out += versions;
+    std::sort(collected.begin(), collected.end(),
+              [](const AtomVersion& a, const AtomVersion& b) {
+                if (a.id != b.id) return a.id < b.id;
+                return a.valid.begin < b.valid.begin;
+              });
+    PutVarint64(&out, collected.size());
+    for (const AtomVersion& v : collected) {
+      TCOB_RETURN_NOT_OK(EncodeAtomVersion(schema, v, &out));
+    }
   }
 
-  // Link intervals, grouped by link type.
-  std::vector<const LinkTypeDef*> links = db->catalog_.LinkTypes();
+  // Link intervals, grouped by link type, sorted by (from, to, begin).
+  std::vector<const LinkTypeDef*> links = catalog_.LinkTypes();
   PutVarint32(&out, static_cast<uint32_t>(links.size()));
   for (const LinkTypeDef* link : links) {
     PutVarint32(&out, link->id);
-    std::string records;
-    uint64_t count = 0;
-    TCOB_RETURN_NOT_OK(db->links_->ForEachLink(
+    std::vector<std::tuple<AtomId, AtomId, Interval>> collected;
+    TCOB_RETURN_NOT_OK(links_->ForEachLink(
         *link,
         [&](AtomId from, AtomId to, const Interval& valid) -> Result<bool> {
-          PutVarint64(&records, from);
-          PutVarint64(&records, to);
-          PutVarsint64(&records, valid.begin);
-          PutVarsint64(&records, valid.end);
-          ++count;
+          collected.emplace_back(from, to, valid);
           return true;
         }));
-    PutVarint64(&out, count);
-    out += records;
+    std::sort(collected.begin(), collected.end(),
+              [](const auto& a, const auto& b) {
+                if (std::get<0>(a) != std::get<0>(b)) {
+                  return std::get<0>(a) < std::get<0>(b);
+                }
+                if (std::get<1>(a) != std::get<1>(b)) {
+                  return std::get<1>(a) < std::get<1>(b);
+                }
+                return std::get<2>(a) < std::get<2>(b);
+              });
+    PutVarint64(&out, collected.size());
+    for (const auto& [from, to, valid] : collected) {
+      PutVarint64(&out, from);
+      PutVarint64(&out, to);
+      PutVarsint64(&out, valid.begin);
+      PutVarsint64(&out, valid.end);
+    }
   }
-  return WriteAll(path, out);
+  return out;
+}
+
+Status ExportDump(Database* db, const std::string& path) {
+  TCOB_ASSIGN_OR_RETURN(std::string bytes, db->Dump());
+  return WriteAll(path, bytes);
 }
 
 Status ImportDump(Database* db, const std::string& path) {

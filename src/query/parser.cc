@@ -486,7 +486,16 @@ Result<Statement> Parser::ParseConnect(bool connect) {
 
 // ---- expressions ----
 
-Result<ExprPtr> Parser::ParseExpr() { return ParseOr(); }
+Result<ExprPtr> Parser::ParseExpr() {
+  if (expr_depth_ >= kMaxExprDepth) {
+    return ErrorHere("expression nested deeper than " +
+                     std::to_string(kMaxExprDepth) + " levels");
+  }
+  ++expr_depth_;
+  Result<ExprPtr> out = ParseOr();
+  --expr_depth_;
+  return out;
+}
 
 Result<ExprPtr> Parser::ParseOr() {
   TCOB_ASSIGN_OR_RETURN(ExprPtr left, ParseAnd());
@@ -512,7 +521,16 @@ Result<ExprPtr> Parser::ParseAnd() {
 
 Result<ExprPtr> Parser::ParseNot() {
   if (Match(TokenType::kNot)) {
-    TCOB_ASSIGN_OR_RETURN(ExprPtr operand, ParseNot());
+    // NOT chains recurse without passing through ParseExpr; count them
+    // against the same depth budget.
+    if (expr_depth_ >= kMaxExprDepth) {
+      return ErrorHere("expression nested deeper than " +
+                       std::to_string(kMaxExprDepth) + " levels");
+    }
+    ++expr_depth_;
+    Result<ExprPtr> operand_or = ParseNot();
+    --expr_depth_;
+    TCOB_ASSIGN_OR_RETURN(ExprPtr operand, std::move(operand_or));
     auto expr = std::make_unique<Expr>();
     expr->node = UnaryExpr{UnaryOp::kNot, std::move(operand)};
     return expr;

@@ -58,6 +58,12 @@ class Parser {
 
   std::vector<Token> tokens_;
   size_t pos_ = 0;
+  /// Current expression-nesting depth. Parenthesised expressions and NOT
+  /// chains recurse one stack frame per level; the cap turns adversarial
+  /// inputs (fuzzers, deep machine-generated WHERE clauses) into a parse
+  /// error instead of stack exhaustion.
+  size_t expr_depth_ = 0;
+  static constexpr size_t kMaxExprDepth = 200;
 };
 
 }  // namespace tcob

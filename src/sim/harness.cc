@@ -1,0 +1,657 @@
+#include "sim/harness.h"
+
+#include <algorithm>
+#include <map>
+#include <memory>
+#include <optional>
+#include <sstream>
+
+#include "common/hash.h"
+#include "db/database.h"
+#include "storage/fault_env.h"
+#include "tstore/temporal_store.h"
+
+namespace tcob::sim {
+
+namespace {
+
+/// One database under test: a real Database over its own in-memory
+/// fault-injecting environment, plus the lock-step reference model and
+/// the sim-id -> db-id translation (they diverge once a power cut loses
+/// an insert: the catalog re-uses the lost id, the sim stream does not).
+struct Instance {
+  std::string name;
+  StorageStrategy strategy = StorageStrategy::kSeparated;
+  size_t parallelism = 1;
+  std::string dir = "simdb";
+
+  FaultInjectingIoEnv env;
+  std::unique_ptr<Database> db;
+  SimModel model;
+  std::map<AtomId, AtomId> id_map;  // sim id -> this instance's db id
+
+  /// Logical ops this instance acked; invariant: == db->applied_op_seq().
+  uint64_t acked = 0;
+  bool cut_armed = false;
+  CutMode cut_mode = CutMode::kDropUnsynced;
+  /// A cut interrupted a vacuum: removed-count comparisons are off from
+  /// here on (the database may have vacuumed rows the model still holds).
+  bool vacuum_uncertain = false;
+  bool retired = false;
+
+  uint64_t cuts_fired = 0;
+  uint64_t skipped_ops = 0;
+  uint64_t queries_run = 0;
+  uint64_t queries_compared = 0;
+  uint64_t dump_hash = 0;
+
+  Instance(const SimSchema* schema, ModelBug bug) : model(schema, bug) {}
+};
+
+DatabaseOptions MakeOptions(Instance* inst) {
+  DatabaseOptions opts;
+  opts.strategy = inst->strategy;
+  // Tiny pools force mid-run evictions and writebacks — more I/O events,
+  // more distinct crash points. Parallel readers need a few more pages.
+  opts.buffer_pool_pages = inst->parallelism == 1 ? 16 : 32;
+  opts.sync_wal = true;  // an ack must mean durable
+  opts.parallelism = inst->parallelism;
+  opts.env = &inst->env;
+  return opts;
+}
+
+AtomId Translate(const Instance& inst, AtomId sim_id) {
+  auto it = inst.id_map.find(sim_id);
+  if (it != inst.id_map.end()) return it->second;
+  return sim_id >= kSimDanglingBase ? sim_id : kSimDanglingBase + sim_id;
+}
+
+std::vector<std::pair<std::string, Value>> NamedAssignments(
+    const SimSchema& schema, const SimOp& op) {
+  const SimAtomTypeDef& def = schema.atom_types[op.type_pos];
+  std::vector<std::pair<std::string, Value>> out;
+  for (const auto& [pos, value] : op.set) {
+    out.emplace_back(def.attrs[pos].name, value);
+  }
+  return out;
+}
+
+/// Mirrors an acked (or recovered-as-durable) op into the instance
+/// model. Ids in `op` are sim ids; translation happens here.
+void ApplyToModel(Instance* inst, const SimOp& op) {
+  switch (op.kind) {
+    case SimOpKind::kInsert: {
+      AtomId id = inst->model.InsertAtom(op.type_pos, op.set, op.at);
+      inst->id_map[op.atom] = id;
+      break;
+    }
+    case SimOpKind::kUpdate:
+    case SimOpKind::kBadUpdate:
+      inst->model.UpdateAtom(op.type_pos, Translate(*inst, op.atom), op.set,
+                             op.at);
+      break;
+    case SimOpKind::kDelete:
+      inst->model.DeleteAtom(op.type_pos, Translate(*inst, op.atom), op.at);
+      break;
+    case SimOpKind::kConnect:
+      inst->model.Connect(op.link_pos, Translate(*inst, op.from),
+                          Translate(*inst, op.to), op.at);
+      break;
+    case SimOpKind::kDisconnect:
+      inst->model.Disconnect(op.link_pos, Translate(*inst, op.from),
+                             Translate(*inst, op.to), op.at);
+      break;
+    default: break;
+  }
+}
+
+Status SetupInstance(Instance* inst, const SimSchema& schema) {
+  TCOB_ASSIGN_OR_RETURN(inst->db,
+                        Database::Open(inst->dir, MakeOptions(inst)));
+  for (const SimAtomTypeDef& t : schema.atom_types) {
+    std::vector<AttributeDef> attrs;
+    for (const SimAttrDef& a : t.attrs) attrs.push_back({a.name, a.type});
+    TCOB_RETURN_NOT_OK(
+        inst->db->CreateAtomType(t.name, std::move(attrs)).status());
+  }
+  for (const SimLinkTypeDef& l : schema.link_types) {
+    TCOB_RETURN_NOT_OK(inst->db
+                           ->CreateLinkType(l.name,
+                                            schema.atom_types[l.from_pos].name,
+                                            schema.atom_types[l.to_pos].name)
+                           .status());
+  }
+  for (const SimMoleculeTypeDef& m : schema.molecule_types) {
+    std::vector<std::pair<std::string, bool>> edges;
+    for (const auto& [link_pos, forward] : m.edges) {
+      edges.emplace_back(schema.link_types[link_pos].name, forward);
+    }
+    TCOB_RETURN_NOT_OK(
+        inst->db
+            ->CreateMoleculeType(m.name, schema.atom_types[m.root_pos].name,
+                                 edges)
+            .status());
+  }
+  for (const SimIndexDef& ix : schema.indexes) {
+    TCOB_RETURN_NOT_OK(
+        inst->db
+            ->CreateAttrIndex(
+                ix.name, schema.atom_types[ix.type_pos].name,
+                schema.atom_types[ix.type_pos].attrs[ix.attr_pos].name)
+            .status());
+  }
+  return inst->db->Checkpoint();
+}
+
+std::string RenderRowsDiff(const std::multiset<std::string>& expected,
+                           const std::multiset<std::string>& actual) {
+  std::string out;
+  size_t shown = 0;
+  std::multiset<std::string> only_model = expected, only_db = actual;
+  for (const std::string& r : actual) {
+    auto it = only_model.find(r);
+    if (it != only_model.end()) only_model.erase(it);
+  }
+  for (const std::string& r : expected) {
+    auto it = only_db.find(r);
+    if (it != only_db.end()) only_db.erase(it);
+  }
+  for (const std::string& r : only_model) {
+    if (++shown > 8) { out += "\n    ..."; break; }
+    out += "\n    model-only: " + r;
+  }
+  shown = 0;
+  for (const std::string& r : only_db) {
+    if (++shown > 8) { out += "\n    ..."; break; }
+    out += "\n    db-only:    " + r;
+  }
+  return out;
+}
+
+/// Destroys the crashed database instance, revives the environment and
+/// reopens, reconciling the possibly-in-flight op (`pending`, may be
+/// null): sync_wal means every acked op is durable, so the recovered
+/// prefix must be exactly `acked` or `acked + 1` logical ops.
+std::optional<std::string> HandleCrash(Instance* inst,
+                                       const SimOp* pending) {
+  ++inst->cuts_fired;
+  CutMode mode = inst->cut_mode;
+  inst->cut_armed = false;
+  // Destroy the victim BEFORE Revive: its destructor's I/O all fails
+  // against the dead environment and writes nothing.
+  inst->db.reset();
+  inst->env.ClearFaults();
+  inst->env.Revive();
+  Result<std::unique_ptr<Database>> reopened =
+      Database::Open(inst->dir, MakeOptions(inst));
+  if (!reopened.ok()) {
+    if (mode == CutMode::kKeepAllTearLast) {
+      // A torn write can leave a detectably corrupt image; refusing to
+      // open it is correct behaviour. Retire the instance.
+      inst->retired = true;
+      return std::nullopt;
+    }
+    return "reopen after kDropUnsynced cut failed: " +
+           reopened.status().ToString();
+  }
+  inst->db = std::move(reopened.value());
+  Status integrity = inst->db->VerifyIntegrity();
+  if (!integrity.ok()) {
+    if (mode == CutMode::kKeepAllTearLast) {
+      inst->retired = true;
+      inst->db.reset();
+      return std::nullopt;
+    }
+    return "integrity check failed after kDropUnsynced cut: " +
+           integrity.ToString();
+  }
+  uint64_t recovered = inst->db->applied_op_seq();
+  if (recovered == inst->acked) {
+    return std::nullopt;  // in-flight op (if any) did not survive
+  }
+  if (pending != nullptr && recovered == inst->acked + 1) {
+    ApplyToModel(inst, *pending);  // in-flight op turned out durable
+    ++inst->acked;
+    return std::nullopt;
+  }
+  return "recovered op count " + std::to_string(recovered) +
+         " outside [acked=" + std::to_string(inst->acked) +
+         ", acked+pending] after cut";
+}
+
+/// Routes a failed database call: if the armed power cut fired, run
+/// crash recovery (with `pending` as the possibly-durable op), otherwise
+/// report the status as a divergence.
+std::optional<std::string> FailOrCrash(Instance* inst, const Status& s,
+                                       const SimOp* pending,
+                                       const char* what) {
+  if (inst->env.cut_fired()) return HandleCrash(inst, pending);
+  return std::string(what) + ": " + s.ToString();
+}
+
+std::optional<std::string> ExecQuery(Instance* inst, const SimSchema& schema,
+                                     const SimOp& op,
+                                     const RunOptions& options) {
+  ++inst->queries_run;
+  SimModel::QueryExpectation expect = inst->model.ExpectedRows(op);
+  std::string mql = QueryToMql(schema, op);
+  Result<ResultSet> r = inst->db->Execute(mql);
+
+  if (expect.expect_error) {
+    const char* want =
+        expect.error_is_not_found ? "NotFound" : "InvalidArgument";
+    if (r.ok()) {
+      return "query `" + mql + "` expected " + want + ", got " +
+             std::to_string(r.value().rows.size()) + " row(s)";
+    }
+    bool matched = expect.error_is_not_found ? r.status().IsNotFound()
+                                             : r.status().IsInvalidArgument();
+    if (matched) return std::nullopt;
+    std::string what = std::string("query (expected ") + want + ")";
+    return FailOrCrash(inst, r.status(), nullptr, what.c_str());
+  }
+  if (expect.skip_compare) {
+    // Below the uncertain-vacuum horizon both the rows and even the
+    // error outcome depend on whether an interrupted vacuum committed:
+    // execute for coverage but accept any result. A fired cut still
+    // needs crash recovery.
+    if (!r.ok() && inst->env.cut_fired()) return HandleCrash(inst, nullptr);
+    return std::nullopt;
+  }
+  if (!r.ok()) return FailOrCrash(inst, r.status(), nullptr, "query");
+  const ResultSet& rs = r.value();
+
+  if (rs.columns != expect.columns) {
+    std::string got, want;
+    for (const std::string& c : rs.columns) got += c + ",";
+    for (const std::string& c : expect.columns) want += c + ",";
+    return "query `" + mql + "` column mismatch: db [" + got + "] model [" +
+           want + "]";
+  }
+
+  {
+    Result<std::multiset<std::string>> canon =
+        inst->model.CanonicalizeDb(op, rs);
+    if (!canon.ok()) {
+      return "query `" + mql +
+             "` result not canonicalizable: " + canon.status().ToString();
+    }
+    if (canon.value() != expect.rows) {
+      return "query `" + mql + "` row divergence:" +
+             RenderRowsDiff(expect.rows, canon.value());
+    }
+    ++inst->queries_compared;
+  }
+
+  if (options.check_metrics) {
+    const QueryStats& qs = inst->db->last_query_stats();
+    if (qs.rows != rs.rows.size()) {
+      return "trace rows counter " + std::to_string(qs.rows) +
+             " != result rows " + std::to_string(rs.rows.size());
+    }
+    const char* want_mode =
+        op.qkind == SimQueryKind::kAllHistory ? "history"
+        : (op.qkind == SimQueryKind::kAllWindow ||
+           op.qkind == SimQueryKind::kProjWindow)
+            ? "window"
+            : "as-of";
+    if (qs.temporal_mode != want_mode) {
+      return "trace temporal_mode `" + qs.temporal_mode + "` != `" +
+             want_mode + "`";
+    }
+    if (qs.strategy != StorageStrategyName(inst->strategy)) {
+      return "trace strategy `" + qs.strategy + "` != instance strategy";
+    }
+    // Span sanity: direct timers are non-negative and the execute span
+    // nests inside total. (materialize_us is a derived difference and
+    // may jitter slightly negative; it is not checked.)
+    if (qs.parse_us < 0 || qs.plan_us < 0 || qs.execute_us < 0 ||
+        qs.total_us < 0) {
+      return "negative span in query trace";
+    }
+    if (qs.execute_us > qs.total_us + 500.0) {
+      return "execute span exceeds total span beyond timer slack";
+    }
+  }
+  return std::nullopt;
+}
+
+std::optional<std::string> ExecOp(Instance* inst, const SimSchema& schema,
+                                  const SimOp& op,
+                                  const RunOptions& options) {
+  switch (op.kind) {
+    case SimOpKind::kInsert: {
+      Result<AtomId> r = inst->db->InsertAtom(
+          schema.atom_types[op.type_pos].name, NamedAssignments(schema, op),
+          op.at);
+      if (!r.ok()) return FailOrCrash(inst, r.status(), &op, "insert");
+      AtomId model_next = inst->model.next_id();
+      if (r.value() != model_next) {
+        return "insert allocated id " + std::to_string(r.value()) +
+               ", model expected " + std::to_string(model_next);
+      }
+      ApplyToModel(inst, op);
+      ++inst->acked;
+      break;
+    }
+    case SimOpKind::kUpdate:
+    case SimOpKind::kBadUpdate: {
+      AtomId target = Translate(*inst, op.atom);
+      bool valid = inst->model.CanUpdate(op.type_pos, target, op.at);
+      Status s = inst->db->UpdateAtom(schema.atom_types[op.type_pos].name,
+                                      target, NamedAssignments(schema, op),
+                                      op.at);
+      if (valid) {
+        if (!s.ok()) return FailOrCrash(inst, s, &op, "update");
+        ApplyToModel(inst, op);
+        ++inst->acked;
+      } else {
+        if (s.ok()) {
+          return "update of invalid target #" + std::to_string(target) +
+                 " unexpectedly succeeded";
+        }
+        // NotFound when the typed store holds no versions for the id,
+        // InvalidArgument when versions exist but none is current.
+        if (!s.IsInvalidArgument() && !s.IsNotFound()) {
+          return FailOrCrash(
+              inst, s, nullptr,
+              "invalid update (expected InvalidArgument or NotFound)");
+        }
+      }
+      break;
+    }
+    case SimOpKind::kDelete: {
+      AtomId target = Translate(*inst, op.atom);
+      // Deletes are log-then-apply (no prevalidation): issuing an
+      // invalid one would poison the instance, so skip it instead.
+      if (!inst->model.CanDelete(op.type_pos, target, op.at)) {
+        ++inst->skipped_ops;
+        break;
+      }
+      Status s = inst->db->DeleteAtom(schema.atom_types[op.type_pos].name,
+                                      target, op.at);
+      if (!s.ok()) return FailOrCrash(inst, s, &op, "delete");
+      ApplyToModel(inst, op);
+      ++inst->acked;
+      break;
+    }
+    case SimOpKind::kConnect:
+    case SimOpKind::kDisconnect: {
+      AtomId from = Translate(*inst, op.from);
+      AtomId to = Translate(*inst, op.to);
+      bool connect = op.kind == SimOpKind::kConnect;
+      bool valid = connect
+                       ? inst->model.CanConnect(op.link_pos, from, to)
+                       : inst->model.CanDisconnect(op.link_pos, from, to);
+      if (!valid) {  // log-then-apply, same reasoning as delete
+        ++inst->skipped_ops;
+        break;
+      }
+      const std::string& link = schema.link_types[op.link_pos].name;
+      Status s = connect ? inst->db->Connect(link, from, to, op.at)
+                         : inst->db->Disconnect(link, from, to, op.at);
+      if (!s.ok()) {
+        return FailOrCrash(inst, s, &op, connect ? "connect" : "disconnect");
+      }
+      ApplyToModel(inst, op);
+      ++inst->acked;
+      break;
+    }
+    case SimOpKind::kCheckpoint: {
+      Status s = inst->db->Checkpoint();
+      if (!s.ok()) return FailOrCrash(inst, s, nullptr, "checkpoint");
+      break;
+    }
+    case SimOpKind::kReopen: {
+      inst->db.reset();
+      Result<std::unique_ptr<Database>> r =
+          Database::Open(inst->dir, MakeOptions(inst));
+      if (!r.ok()) {
+        if (inst->env.cut_fired()) return HandleCrash(inst, nullptr);
+        return "clean reopen failed: " + r.status().ToString();
+      }
+      inst->db = std::move(r.value());
+      if (inst->db->applied_op_seq() != inst->acked) {
+        return "clean reopen recovered " +
+               std::to_string(inst->db->applied_op_seq()) + " ops, acked " +
+               std::to_string(inst->acked);
+      }
+      break;
+    }
+    case SimOpKind::kPowerCut: {
+      if (inst->parallelism != 1) {
+        // Parallel readers evict dirty pages at schedule-dependent
+        // times; an event-indexed cut there would be nondeterministic.
+        ++inst->skipped_ops;
+        break;
+      }
+      inst->env.PowerCutAfterEvents(inst->env.events() + op.cut_after_events,
+                                    op.cut_mode);
+      inst->cut_armed = true;
+      inst->cut_mode = op.cut_mode;
+      break;
+    }
+    case SimOpKind::kVacuum: {
+      Result<uint64_t> r = inst->db->VacuumBefore(op.at);
+      if (!r.ok()) {
+        if (inst->env.cut_fired()) {
+          // The vacuum may or may not have committed; mask comparisons
+          // below the cutoff from here on.
+          inst->model.NoteUncertainVacuum(op.at);
+          inst->vacuum_uncertain = true;
+          return HandleCrash(inst, nullptr);
+        }
+        return "vacuum: " + r.status().ToString();
+      }
+      uint64_t expected = inst->model.VacuumBefore(op.at);
+      if (!inst->vacuum_uncertain && r.value() != expected) {
+        return "vacuum removed " + std::to_string(r.value()) +
+               " atom versions, model expected " + std::to_string(expected);
+      }
+      break;
+    }
+    case SimOpKind::kVerify: {
+      Status s = inst->db->VerifyIntegrity();
+      if (!s.ok()) return FailOrCrash(inst, s, nullptr, "verify-integrity");
+      break;
+    }
+    case SimOpKind::kQuery:
+      return ExecQuery(inst, schema, op, options);
+  }
+  // Cheap standing invariant: ack accounting must match the WAL's.
+  if (inst->db != nullptr &&
+      inst->db->applied_op_seq() != inst->acked) {
+    return "op-seq accounting drifted: db " +
+           std::to_string(inst->db->applied_op_seq()) + " vs harness " +
+           std::to_string(inst->acked);
+  }
+  return std::nullopt;
+}
+
+std::string EscapeJson(const std::string& s) {
+  std::string out;
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+std::string ToHex(uint64_t v) {
+  char buf[20];
+  std::snprintf(buf, sizeof(buf), "%016llx",
+                static_cast<unsigned long long>(v));
+  return buf;
+}
+
+}  // namespace
+
+RunResult RunWorkload(const SimWorkload& w, const RunOptions& options) {
+  RunResult result;
+  std::vector<std::unique_ptr<Instance>> instances;
+  const StorageStrategy kStrategies[] = {StorageStrategy::kSnapshot,
+                                         StorageStrategy::kIntegrated,
+                                         StorageStrategy::kSeparated};
+  for (StorageStrategy strategy : kStrategies) {
+    for (size_t parallelism : {size_t{1}, size_t{4}}) {
+      if (options.single_instance &&
+          (strategy != StorageStrategy::kSeparated || parallelism != 1)) {
+        continue;
+      }
+      auto inst = std::make_unique<Instance>(&w.schema, options.bug);
+      inst->strategy = strategy;
+      inst->parallelism = parallelism;
+      inst->name = std::string(StorageStrategyName(strategy)) + "/p" +
+                   std::to_string(parallelism);
+      instances.push_back(std::move(inst));
+    }
+  }
+
+  auto fail = [&](Instance* inst, size_t op_idx, std::string why) {
+    result.ok = false;
+    result.failing_op = op_idx;
+    result.failing_instance = inst != nullptr ? inst->name : "";
+    std::string at = op_idx < w.ops.size()
+                         ? " at op [" + std::to_string(op_idx) + "] " +
+                               OpToString(w.schema, w.ops[op_idx])
+                         : "";
+    result.divergence = (inst != nullptr ? inst->name + at + ": " : "") +
+                        std::move(why);
+  };
+
+  for (auto& inst : instances) {
+    Status s = SetupInstance(inst.get(), w.schema);
+    if (!s.ok()) {
+      fail(inst.get(), static_cast<size_t>(-1),
+           "instance setup failed: " + s.ToString());
+      break;
+    }
+  }
+
+  if (result.ok) {
+    for (size_t i = 0; i < w.ops.size() && result.ok; ++i) {
+      for (auto& inst : instances) {
+        if (inst->retired) continue;
+        std::optional<std::string> div =
+            ExecOp(inst.get(), w.schema, w.ops[i], options);
+        if (div.has_value()) {
+          fail(inst.get(), i, std::move(div.value()));
+          break;
+        }
+      }
+    }
+  }
+
+  // End-of-run: integrity, canonical dumps, cross-instance comparison.
+  if (result.ok) {
+    std::string reference_dump;
+    std::string reference_name;
+    for (auto& inst : instances) {
+      if (inst->retired) continue;
+      if (inst->env.cut_fired()) {
+        // A cut fired inside an op that still returned OK (e.g. a
+        // background eviction writeback): the environment is dead and
+        // the instance is poisoned. Run one last crash-recovery cycle
+        // before judging final state. Every completed op was acked, so
+        // there is no pending op to reconcile.
+        std::optional<std::string> div = HandleCrash(inst.get(), nullptr);
+        if (div.has_value()) {
+          fail(inst.get(), w.ops.size(), std::move(div.value()));
+          break;
+        }
+        if (inst->retired) continue;
+      } else {
+        inst->env.ClearFaults();  // an armed-but-unfired cut must not
+        inst->cut_armed = false;  // trigger during the final read pass
+      }
+      Status s = inst->db->VerifyIntegrity();
+      if (!s.ok()) {
+        fail(inst.get(), w.ops.size(),
+             "final integrity check failed: " + s.ToString());
+        break;
+      }
+      Result<std::string> dump = inst->db->Dump();
+      if (!dump.ok()) {
+        fail(inst.get(), w.ops.size(),
+             "final dump failed: " + dump.status().ToString());
+        break;
+      }
+      inst->dump_hash = Fnv1a64(dump.value().data(), dump.value().size());
+      // Instances that never lost an op executed identical streams, so
+      // their canonical dumps must be byte-identical across strategies
+      // and parallelism.
+      if (inst->cuts_fired == 0) {
+        if (reference_dump.empty() && reference_name.empty()) {
+          reference_dump = dump.value();
+          reference_name = inst->name;
+        } else if (dump.value() != reference_dump) {
+          fail(inst.get(), w.ops.size(),
+               "canonical dump differs from " + reference_name +
+                   " (hash " + ToHex(inst->dump_hash) + " vs " +
+                   ToHex(Fnv1a64(reference_dump.data(),
+                                 reference_dump.size())) +
+                   ")");
+          break;
+        }
+      }
+    }
+  }
+
+  for (auto& inst : instances) {
+    InstanceReport report;
+    report.name = inst->name;
+    report.strategy = StorageStrategyName(inst->strategy);
+    report.parallelism = inst->parallelism;
+    report.acked_dml = inst->acked;
+    report.cuts_fired = inst->cuts_fired;
+    report.skipped_ops = inst->skipped_ops;
+    report.queries_run = inst->queries_run;
+    report.queries_compared = inst->queries_compared;
+    report.retired = inst->retired;
+    report.dump_hash = inst->dump_hash;
+    result.instances.push_back(std::move(report));
+  }
+
+  // Deterministic run summary: functions of the seed only. No wall
+  // clock, no raw I/O counters (reads depend on cache luck), no
+  // pointers — two runs of one seed must emit identical bytes.
+  std::ostringstream json;
+  json << "{\"seed\":" << w.seed << ",\"ops\":" << w.ops.size()
+       << ",\"ok\":" << (result.ok ? "true" : "false") << ",\"divergence\":\""
+       << EscapeJson(result.divergence) << "\",\"instances\":[";
+  for (size_t i = 0; i < result.instances.size(); ++i) {
+    const InstanceReport& r = result.instances[i];
+    if (i) json << ",";
+    json << "{\"name\":\"" << r.name << "\",\"strategy\":\"" << r.strategy
+         << "\",\"parallelism\":" << r.parallelism
+         << ",\"acked_dml\":" << r.acked_dml
+         << ",\"cuts_fired\":" << r.cuts_fired
+         << ",\"skipped_ops\":" << r.skipped_ops
+         << ",\"queries_run\":" << r.queries_run
+         << ",\"queries_compared\":" << r.queries_compared
+         << ",\"retired\":" << (r.retired ? "true" : "false")
+         << ",\"dump_hash\":\"" << ToHex(r.dump_hash) << "\"}";
+  }
+  json << "]}";
+  result.summary_json = json.str();
+  return result;
+}
+
+RunResult RunSeed(uint64_t seed, const GenOptions& gen,
+                  const RunOptions& options) {
+  return RunWorkload(GenerateWorkload(seed, gen), options);
+}
+
+}  // namespace tcob::sim

@@ -1,0 +1,65 @@
+#include "sim/shrink.h"
+
+#include <algorithm>
+
+namespace tcob::sim {
+
+namespace {
+
+SimWorkload MakeCandidate(const SimWorkload& base, std::vector<SimOp> ops) {
+  SimWorkload c;
+  c.seed = base.seed;
+  c.schema = base.schema;
+  CanonicalizeAtomIds(&ops);
+  c.ops = std::move(ops);
+  return c;
+}
+
+}  // namespace
+
+ShrinkResult ShrinkWorkload(const SimWorkload& w, const RunOptions& options,
+                            size_t max_runs) {
+  ShrinkResult out;
+  out.workload = MakeCandidate(w, w.ops);
+  out.failure = RunWorkload(out.workload, options);
+  ++out.harness_runs;
+  if (out.failure.ok) return out;  // nothing to shrink
+  out.input_failed = true;
+
+  std::vector<SimOp> current = out.workload.ops;
+  size_t granularity = 2;
+  while (current.size() >= 2 && out.harness_runs < max_runs) {
+    size_t chunk = std::max<size_t>(1, current.size() / granularity);
+    bool removed_any = false;
+    for (size_t start = 0; start < current.size() && out.harness_runs < max_runs;) {
+      size_t end = std::min(start + chunk, current.size());
+      std::vector<SimOp> candidate;
+      candidate.reserve(current.size() - (end - start));
+      candidate.insert(candidate.end(), current.begin(),
+                       current.begin() + start);
+      candidate.insert(candidate.end(), current.begin() + end,
+                       current.end());
+      SimWorkload cw = MakeCandidate(w, std::move(candidate));
+      RunResult rr = RunWorkload(cw, options);
+      ++out.harness_runs;
+      if (!rr.ok) {
+        current = std::move(cw.ops);  // chunk was irrelevant: drop it
+        out.failure = std::move(rr);
+        removed_any = true;
+        // `start` now points at the next chunk already.
+      } else {
+        start = end;
+      }
+    }
+    if (removed_any) {
+      granularity = std::max<size_t>(2, granularity - 1);
+    } else {
+      if (chunk == 1) break;  // 1-minimal: no single op removable
+      granularity = std::min(current.size(), granularity * 2);
+    }
+  }
+  out.workload = MakeCandidate(w, std::move(current));
+  return out;
+}
+
+}  // namespace tcob::sim

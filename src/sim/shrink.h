@@ -1,0 +1,38 @@
+#ifndef TCOB_SIM_SHRINK_H_
+#define TCOB_SIM_SHRINK_H_
+
+#include <cstddef>
+
+#include "sim/harness.h"
+#include "sim/workload.h"
+
+namespace tcob::sim {
+
+struct ShrinkResult {
+  /// The minimized workload (same seed and schema, reduced op stream
+  /// with canonicalized atom ids). If the input did not fail, this is
+  /// the input unchanged.
+  SimWorkload workload;
+  /// The divergence the minimized workload still reproduces.
+  RunResult failure;
+  size_t harness_runs = 0;
+  bool input_failed = false;
+};
+
+/// Delta-debugging (ddmin) over the op stream: repeatedly removes chunks
+/// while RunWorkload(candidate, options) keeps failing, then re-tries at
+/// finer granularity down to single ops. After every removal the atom
+/// ids are re-canonicalized so surviving inserts keep allocating the ids
+/// the ops claim; references to removed inserts become deliberately
+/// dangling (the harness treats them as never-existed, which is exactly
+/// what the database does).
+///
+/// `options` is typically {.single_instance = true} — the shrinker needs
+/// the failure to reproduce, not the full matrix — but any options work
+/// as long as the input fails under them.
+ShrinkResult ShrinkWorkload(const SimWorkload& w, const RunOptions& options,
+                            size_t max_runs = 2000);
+
+}  // namespace tcob::sim
+
+#endif  // TCOB_SIM_SHRINK_H_

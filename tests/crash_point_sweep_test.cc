@@ -189,7 +189,10 @@ class CrashPointSweepTest : public ::testing::TestWithParam<StorageStrategy> {
   /// reopen. Returns the reopened database (null if open failed, which
   /// the caller judges by mode) plus the ack accounting.
   struct CutOutcome {
-    Result<std::unique_ptr<Database>> reopened = Status::OK();
+    // Placeholder error until CutAt assigns the real reopen result;
+    // Result refuses construction from an OK status.
+    Result<std::unique_ptr<Database>> reopened =
+        Status::Internal("not reopened yet");
     size_t acked = 0;
     bool aborted = false;
   };

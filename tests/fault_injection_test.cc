@@ -234,6 +234,41 @@ TEST_P(FaultInjectionTest, CorruptWalTailIsDetectedDroppedAndReported) {
             1u);
 }
 
+TEST_P(FaultInjectionTest, IsPoisonedReportsAndPreservesOriginalError) {
+  FaultInjectingIoEnv env;
+  auto db = Populate(&env);
+  ASSERT_NE(db, nullptr);
+  EXPECT_FALSE(db->IsPoisoned());
+
+  env.FailSyncAt(env.syncs() + 1);
+  auto first = db->Execute("UPDATE ATOM Emp 2 SET salary=99 VALID FROM 20");
+  ASSERT_FALSE(first.ok());
+  EXPECT_TRUE(db->IsPoisoned());
+  const Status original = db->health();
+  ASSERT_FALSE(original.ok());
+  EXPECT_TRUE(original.IsIOError()) << original.ToString();
+
+  // Every later mutation — DML, DDL, checkpoint, vacuum — must come
+  // back with the *original* failure, not a fresh or generic error,
+  // even though the injected fault itself was one-shot.
+  auto dml = db->Execute("UPDATE ATOM Emp 2 SET salary=1 VALID FROM 21");
+  ASSERT_FALSE(dml.ok());
+  EXPECT_EQ(dml.status(), original) << dml.status().ToString();
+  auto ddl = db->CreateAtomType("Late", {{"a", AttrType::kInt}});
+  ASSERT_FALSE(ddl.ok());
+  EXPECT_EQ(ddl.status(), original) << ddl.status().ToString();
+  Status ckpt = db->Checkpoint();
+  ASSERT_FALSE(ckpt.ok());
+  EXPECT_EQ(ckpt, original) << ckpt.ToString();
+  auto vac = db->VacuumBefore(5);
+  ASSERT_FALSE(vac.ok());
+  EXPECT_EQ(vac.status(), original) << vac.status().ToString();
+
+  // Reads stay available and IsPoisoned stays sticky.
+  EXPECT_EQ(Rows(db.get(), "SELECT Emp.name FROM DeptMol VALID AT 15"), 1u);
+  EXPECT_TRUE(db->IsPoisoned());
+}
+
 INSTANTIATE_TEST_SUITE_P(AllStrategies, FaultInjectionTest,
                          ::testing::Values(StorageStrategy::kSnapshot,
                                            StorageStrategy::kIntegrated,
