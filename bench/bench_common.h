@@ -13,6 +13,10 @@
 #include <string>
 #include <vector>
 
+#if defined(__unix__) || defined(__APPLE__)
+#include <sys/resource.h>
+#endif
+
 #include "common/metrics.h"
 #include "common/temp_dir.h"
 #include "db/database.h"
@@ -161,6 +165,24 @@ inline Timestamp RoundTime(const CompanyConfig& config, uint32_t round) {
 
 // ---- machine-readable run artifact ----
 
+/// Process peak resident set size in bytes (0 where unavailable).
+/// Monotone over the process lifetime: a record's value is the high-water
+/// mark up to the moment its run finished, so ordering matters when two
+/// benchmarks in one binary are compared on memory.
+inline double CurrentPeakRssBytes() {
+#if defined(__unix__) || defined(__APPLE__)
+  struct rusage usage;
+  if (getrusage(RUSAGE_SELF, &usage) != 0) return 0;
+#if defined(__APPLE__)
+  return static_cast<double>(usage.ru_maxrss);  // bytes on macOS
+#else
+  return static_cast<double>(usage.ru_maxrss) * 1024.0;  // KiB on Linux
+#endif
+#else
+  return 0;
+#endif
+}
+
 /// One per-iteration benchmark run, as captured by CollectingReporter.
 struct BenchRunRecord {
   std::string name;
@@ -168,6 +190,11 @@ struct BenchRunRecord {
   int64_t iterations = 0;
   double real_ns_per_iter = 0;
   double cpu_ns_per_iter = 0;
+  /// Process peak RSS when the run finished (schema v2).
+  double peak_rss_bytes = 0;
+  /// Statement-start-to-first-row latency, hoisted from the benchmark's
+  /// "first_row_micros" counter when it reports one; negative = absent.
+  double first_row_micros = -1;
   std::map<std::string, double> counters;
 };
 
@@ -186,9 +213,12 @@ class CollectingReporter : public ::benchmark::ConsoleReporter {
           run.iterations > 0 ? static_cast<double>(run.iterations) : 1.0;
       rec.real_ns_per_iter = run.real_accumulated_time * 1e9 / iters;
       rec.cpu_ns_per_iter = run.cpu_accumulated_time * 1e9 / iters;
+      rec.peak_rss_bytes = CurrentPeakRssBytes();
       for (const auto& [cname, counter] : run.counters) {
         rec.counters[cname] = counter.value;
       }
+      auto frm = rec.counters.find("first_row_micros");
+      if (frm != rec.counters.end()) rec.first_row_micros = frm->second;
       records_.push_back(std::move(rec));
     }
     ConsoleReporter::ReportRuns(reports);
@@ -226,7 +256,7 @@ inline bool WriteBenchJson(const std::string& path, const std::string& bench,
                            const std::vector<BenchRunRecord>& records) {
   std::string out;
   out += "{\n";
-  out += "  \"schema_version\": 1,\n";
+  out += "  \"schema_version\": 2,\n";
   out += "  \"bench\": \"" + JsonEscape(bench) + "\",\n";
   out += "  \"threads\": " + std::to_string(BenchThreads()) + ",\n";
   out += std::string("  \"smoke\": ") + (BenchSmoke() ? "true" : "false") +
@@ -246,6 +276,12 @@ inline bool WriteBenchJson(const std::string& path, const std::string& bench,
            ",\n";
     out += "      \"cpu_ns_per_iter\": " + JsonNumber(rec.cpu_ns_per_iter) +
            ",\n";
+    out += "      \"peak_rss_bytes\": " + JsonNumber(rec.peak_rss_bytes) +
+           ",\n";
+    if (rec.first_row_micros >= 0) {
+      out += "      \"first_row_micros\": " +
+             JsonNumber(rec.first_row_micros) + ",\n";
+    }
     out += "      \"counters\": {";
     bool cfirst = true;
     for (const auto& [cname, value] : rec.counters) {

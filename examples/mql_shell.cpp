@@ -9,7 +9,12 @@
 //   .now [t]     show or set the valid-time clock
 //   .strategy    show the storage strategy
 //   .metrics     dump the metrics registry (Prometheus text format)
+//   .timing      toggle per-statement timing (first row vs total)
 //   .quit        exit
+//
+// SELECT results stream: rows print as the engine produces them (a
+// cursor pulls 64 rows at a time), so the first rows of a huge history
+// scan appear immediately.
 //
 // The database persists: restart the shell with the same directory and
 // your schema and history are still there (WAL recovery included).
@@ -51,9 +56,12 @@ BEGIN(...), END(...), interval literals [a, b), NOW.
 Aggregates: COUNT(*) COUNT/SUM/AVG/MIN/MAX(Type.attr), GROUP BY ROOT.
 )";
 
-bool HandleMeta(Database* db, const std::string& line) {
+bool HandleMeta(Database* db, const std::string& line, bool* timing) {
   if (line == ".help") {
     fputs(kHelp, stdout);
+  } else if (line == ".timing") {
+    *timing = !*timing;
+    printf("timing %s\n", *timing ? "on" : "off");
   } else if (line == ".checkpoint") {
     Status s = db->Checkpoint();
     printf("%s\n", s.ok() ? "checkpointed" : s.ToString().c_str());
@@ -69,6 +77,59 @@ bool HandleMeta(Database* db, const std::string& line) {
     printf("unknown meta command; try .help\n");
   }
   return true;
+}
+
+void PrintRow(const std::vector<Value>& row) {
+  for (size_t i = 0; i < row.size(); ++i) {
+    fputs(i == 0 ? "" : " | ", stdout);
+    fputs(row[i].ToString().c_str(), stdout);
+  }
+  fputc('\n', stdout);
+}
+
+/// Runs one statement through the cursor API, printing rows as they
+/// stream in instead of waiting for the whole result.
+void RunStatement(Database* db, const std::string& mql, bool timing) {
+  auto opened = db->Query(mql);
+  if (!opened.ok()) {
+    printf("error: %s\n", opened.status().ToString().c_str());
+    return;
+  }
+  Cursor* cursor = opened.value().get();
+  const bool tabular = !cursor->columns().empty();
+  if (tabular) {
+    std::string header;
+    for (size_t i = 0; i < cursor->columns().size(); ++i) {
+      header += (i == 0 ? "" : " | ") + cursor->columns()[i];
+    }
+    printf("%s\n%s\n", header.c_str(),
+           std::string(header.size(), '-').c_str());
+    fflush(stdout);
+  }
+  size_t total = 0;
+  std::vector<std::vector<Value>> batch;
+  for (;;) {
+    auto pulled = cursor->NextBatch(64, &batch);
+    if (!pulled.ok()) {
+      printf("error: %s\n", pulled.status().ToString().c_str());
+      break;
+    }
+    for (const std::vector<Value>& row : batch) PrintRow(row);
+    fflush(stdout);
+    total += pulled.value();
+    if (pulled.value() < 64) break;
+  }
+  if (tabular) printf("(%zu rows)\n", total);
+  if (!cursor->message().empty()) printf("%s\n", cursor->message().c_str());
+  cursor->Close();
+  if (timing && tabular) {
+    const QueryStats& stats = db->last_query_stats();
+    printf("first row %.1f us | total %.1f us | %llu rows streamed | "
+           "peak buffered %llu rows\n",
+           stats.first_row_us, stats.total_us,
+           static_cast<unsigned long long>(stats.rows_streamed),
+           static_cast<unsigned long long>(stats.peak_buffered_rows));
+  }
 }
 
 }  // namespace
@@ -87,6 +148,7 @@ int main(int argc, char** argv) {
          dir.c_str(), StorageStrategyName(db->options().strategy));
 
   std::string buffer;
+  bool timing = false;
   char line[4096];
   for (;;) {
     fputs(buffer.empty() ? "mql> " : "...> ", stdout);
@@ -104,7 +166,7 @@ int main(int argc, char** argv) {
       std::string trimmed = text.substr(start);
       if (trimmed == ".quit" || trimmed == ".exit") break;
       if (!trimmed.empty() && trimmed[0] == '.') {
-        HandleMeta(db.get(), trimmed);
+        HandleMeta(db.get(), trimmed, &timing);
         continue;
       }
     }
@@ -114,13 +176,8 @@ int main(int argc, char** argv) {
       buffer += ' ';
       continue;  // statement continues on the next line
     }
-    auto result = db->Execute(buffer);
+    RunStatement(db.get(), buffer, timing);
     buffer.clear();
-    if (!result.ok()) {
-      printf("error: %s\n", result.status().ToString().c_str());
-      continue;
-    }
-    printf("%s\n", result.value().ToString().c_str());
   }
   printf("bye\n");
   return 0;

@@ -37,15 +37,32 @@ void ThreadPool::WorkerLoop() {
 }
 
 void ThreadPool::RunAll(std::vector<std::function<void()>> tasks) {
-  if (tasks.empty()) return;
-  Batch batch;
-  std::unique_lock<std::mutex> lock(mu_);
-  batch.remaining = tasks.size();
+  BatchHandle handle = Submit(std::move(tasks));
+  Wait(handle);
+}
+
+ThreadPool::BatchHandle ThreadPool::Submit(
+    std::vector<std::function<void()>> tasks) {
+  BatchHandle handle;
+  if (tasks.empty()) return handle;
+  handle.batch_ = std::make_unique<Batch>();
+  handle.batch_->remaining = tasks.size();
+  std::lock_guard<std::mutex> lock(mu_);
   for (std::function<void()>& task : tasks) {
-    queue_.emplace(std::move(task), &batch);
+    queue_.emplace(std::move(task), handle.batch_.get());
   }
   work_cv_.notify_all();
-  done_cv_.wait(lock, [&batch] { return batch.remaining == 0; });
+  return handle;
+}
+
+void ThreadPool::Wait(BatchHandle& handle) {
+  if (handle.batch_ == nullptr) return;
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    done_cv_.wait(lock,
+                  [&handle] { return handle.batch_->remaining == 0; });
+  }
+  handle.batch_.reset();
 }
 
 }  // namespace tcob

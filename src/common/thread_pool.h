@@ -4,6 +4,7 @@
 #include <condition_variable>
 #include <cstddef>
 #include <functional>
+#include <memory>
 #include <mutex>
 #include <queue>
 #include <thread>
@@ -14,10 +15,12 @@ namespace tcob {
 /// Fixed-size pool of worker threads for intra-query read parallelism.
 ///
 /// Deliberately minimal — no work stealing, no futures: a coordinator
-/// hands over a closed batch of tasks with RunAll() and blocks until all
-/// of them have finished. Tasks must not throw and must confine their
-/// writes to disjoint state (the materializer gives every task its own
-/// version cache and its own output slots).
+/// hands over a closed batch of tasks and blocks until all of them have
+/// finished (RunAll), or splits the hand-over into Submit + Wait when it
+/// wants to consume the tasks' output while they run (the streaming
+/// fan-out). Tasks must not throw and must confine their writes to
+/// disjoint state (the materializer gives every task its own version
+/// cache and its own output channel).
 class ThreadPool {
  public:
   /// Spawns `workers` threads (at least 1).
@@ -34,6 +37,17 @@ class ThreadPool {
   /// but tasks of different batches share the worker threads.
   void RunAll(std::vector<std::function<void()>> tasks);
 
+  /// Handle of one in-flight batch; must be Wait()ed before destruction.
+  class BatchHandle;
+
+  /// Enqueues the tasks and returns immediately — the coordinator can
+  /// drain the tasks' output channels while they run. Pair every Submit
+  /// with exactly one Wait.
+  BatchHandle Submit(std::vector<std::function<void()>> tasks);
+
+  /// Blocks until every task of the batch has completed.
+  void Wait(BatchHandle& handle);
+
  private:
   void WorkerLoop();
 
@@ -41,6 +55,23 @@ class ThreadPool {
   struct Batch {
     size_t remaining = 0;
   };
+
+ public:
+  class BatchHandle {
+   public:
+    BatchHandle() = default;
+    BatchHandle(BatchHandle&&) = default;
+    BatchHandle& operator=(BatchHandle&&) = default;
+
+   private:
+    friend class ThreadPool;
+    /// Heap-allocated so the handle can outlive the Submit call's frame;
+    /// freed by Wait (workers never touch it after remaining hits 0
+    /// while holding the pool mutex).
+    std::unique_ptr<Batch> batch_;
+  };
+
+ private:
 
   std::vector<std::thread> threads_;
   std::mutex mu_;

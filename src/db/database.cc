@@ -2,11 +2,13 @@
 
 #include <algorithm>
 #include <cstring>
+#include <optional>
 #include <thread>
 
 #include "common/coding.h"
 #include "common/hash.h"
 #include "common/logging.h"
+#include "query/cursor.h"
 #include "query/executor.h"
 #include "query/planner.h"
 #include "query/parser.h"
@@ -591,28 +593,125 @@ Result<ResultSet> Database::Explain(const std::string& select_mql,
   return Status::InvalidArgument("Explain expects a SELECT statement");
 }
 
+/// Everything one SELECT cursor's execution needs alive until it is
+/// finalized: the statement copy, the trace, the counter baselines, and
+/// the materializer/executor pair the producer thread runs against.
+struct Database::SelectCursorContext {
+  SelectStmt stmt;
+  QueryStats trace;
+  /// Started at open; total_us and first_row_us are offsets from it.
+  StopwatchUs total_timer;
+  StoreAccessStats store_before;
+  BufferPoolStats pool_before;
+  std::optional<Materializer> mat;
+  std::optional<SelectExecutor> exec;
+  SelectPlan plan;
+};
+
+Result<std::unique_ptr<Cursor>> Database::Query(const std::string& mql) {
+  StopwatchUs parse_timer;
+  TCOB_ASSIGN_OR_RETURN(Statement stmt, Parser::Parse(mql));
+  double parse_us = parse_timer.ElapsedUs();
+  if (const SelectStmt* select = std::get_if<SelectStmt>(&stmt)) {
+    statements_total_.Increment();
+    return NewSelectCursor(*select, &mql, parse_us);
+  }
+  // Non-SELECT statements execute eagerly; the cursor carries the
+  // finished result (DML messages, EXPLAIN tables, SHOW output).
+  TCOB_ASSIGN_OR_RETURN(ResultSet out,
+                        ExecuteStatementImpl(stmt, &mql, parse_us));
+  return std::unique_ptr<Cursor>(new MaterializedCursor(std::move(out)));
+}
+
 Result<ResultSet> Database::ExecuteSelect(const SelectStmt& stmt,
                                           const std::string* text,
                                           double parse_us) {
-  StopwatchUs total_timer;
-  QueryStats trace;
-  if (text != nullptr) trace.statement = *text;
-  trace.strategy = StorageStrategyName(options_.strategy);
-  trace.parse_us = parse_us;
+  TCOB_ASSIGN_OR_RETURN(std::unique_ptr<Cursor> cursor,
+                        NewSelectCursor(stmt, text, parse_us));
+  ResultSet out;
+  out.columns = cursor->columns();
+  std::vector<Value> row;
+  while (true) {
+    Result<bool> more = cursor->Next(&row);
+    if (!more.ok()) {
+      cursor->Close();
+      return more.status();
+    }
+    if (!more.value()) break;
+    out.rows.push_back(std::move(row));
+  }
+  out.message = cursor->message();
+  cursor->Close();
+  return out;
+}
+
+Result<std::unique_ptr<Cursor>> Database::NewSelectCursor(
+    const SelectStmt& stmt, const std::string* text, double parse_us) {
+  auto ctx = std::make_shared<SelectCursorContext>();
+  // The cursor may outlive the caller's statement (Query returns before
+  // the rows are pulled), so the context owns a deep copy.
+  ctx->stmt = CloneSelect(stmt);
+  if (text != nullptr) ctx->trace.statement = *text;
+  ctx->trace.strategy = StorageStrategyName(options_.strategy);
+  ctx->trace.parse_us = parse_us;
   // Attribute storage work by counter deltas: the counters are exact
-  // (relaxed atomics under the fan-out), and this execution path is
-  // single-threaded per database, so the delta is this query's work.
-  StoreAccessStats store_before = store_->access_stats();
-  BufferPoolStats pool_before = pool_->stats();
-  Materializer mat(&catalog_, store_.get(), links_.get(), query_pool_.get());
-  SelectExecutor exec(&catalog_, &mat, now_, attr_indexes_.get());
-  exec.set_trace(&trace);
-  Result<ResultSet> out = exec.Execute(stmt);
+  // (relaxed atomics under the fan-out), and statement execution is
+  // single-threaded per database, so the open->finalize delta is this
+  // query's work.
+  ctx->store_before = store_->access_stats();
+  ctx->pool_before = pool_->stats();
+  ctx->mat.emplace(&catalog_, store_.get(), links_.get(), query_pool_.get());
+  ctx->exec.emplace(&catalog_, &*ctx->mat, now_, attr_indexes_.get());
+  ctx->exec->set_trace(&ctx->trace);
+
+  if (!SelectExecutor::CanStream(ctx->stmt)) {
+    // Pipeline breakers (aggregates, ORDER BY) need every row before
+    // the first output row: execute materialized and wrap the result.
+    Result<ResultSet> out = ctx->exec->Execute(ctx->stmt);
+    ctx->trace.rows_streamed = ctx->trace.rows;
+    ctx->trace.peak_buffered_rows = ctx->trace.rows;
+    ctx->trace.first_row_us = parse_us + ctx->total_timer.ElapsedUs();
+    FinalizeSelectTrace(ctx.get());
+    TCOB_RETURN_NOT_OK(out.status());
+    return std::unique_ptr<Cursor>(
+        new MaterializedCursor(std::move(out).value()));
+  }
+
+  Result<SelectPlan> plan = ctx->exec->Plan(ctx->stmt);
+  if (!plan.ok()) {
+    FinalizeSelectTrace(ctx.get());
+    return plan.status();
+  }
+  ctx->plan = std::move(plan).value();
+  // The producer thread owns a share of the context; the finalize hook
+  // runs back on this thread (Next/Close after the producer joined).
+  auto producer = [ctx](RowSink* sink) -> Status {
+    return ctx->exec->ExecuteStreaming(ctx->stmt, ctx->plan, sink);
+  };
+  auto on_first_row = [ctx] {
+    ctx->trace.first_row_us =
+        ctx->trace.parse_us + ctx->total_timer.ElapsedUs();
+  };
+  auto finalize = [this, ctx](const Status& status,
+                              const StreamingCursorStats& stats) {
+    (void)status;  // sticky in the cursor; the trace is kept either way
+    ctx->trace.rows = stats.rows_streamed;
+    ctx->trace.rows_streamed = stats.rows_streamed;
+    ctx->trace.peak_buffered_rows = stats.peak_buffered_rows;
+    FinalizeSelectTrace(ctx.get());
+  };
+  return std::unique_ptr<Cursor>(new StreamingCursor(
+      ctx->plan.columns, ctx->plan.message, std::move(producer),
+      std::move(finalize), std::move(on_first_row)));
+}
+
+void Database::FinalizeSelectTrace(SelectCursorContext* ctx) {
+  QueryStats& trace = ctx->trace;
   trace.store = store_->access_stats();
-  trace.store -= store_before;
+  trace.store -= ctx->store_before;
   trace.pool = pool_->stats();
-  trace.pool -= pool_before;
-  trace.total_us = parse_us + total_timer.ElapsedUs();
+  trace.pool -= ctx->pool_before;
+  trace.total_us = trace.parse_us + ctx->total_timer.ElapsedUs();
 
   queries_total_.Increment();
   query_latency_us_.Observe(static_cast<uint64_t>(trace.total_us));
@@ -630,8 +729,7 @@ Result<ResultSet> Database::ExecuteSelect(const SelectStmt& stmt,
                     << " | plan: " << trace.plan << " | rows: " << trace.rows
                     << " | store accesses: " << trace.store.Total();
   }
-  last_query_stats_ = std::move(trace);
-  return out;
+  last_query_stats_ = trace;
 }
 
 Result<ResultSet> Database::ExecuteStatementImpl(const Statement& stmt,

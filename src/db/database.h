@@ -14,6 +14,7 @@
 #include "mad/link_store.h"
 #include "mad/materializer.h"
 #include "query/ast.h"
+#include "query/cursor.h"
 #include "query/query_stats.h"
 #include "query/result_set.h"
 #include "storage/buffer_pool.h"
@@ -163,7 +164,22 @@ class Database {
   // ---- queries ----
 
   /// Parses and executes one MQL statement.
+  ///
+  /// Implemented as Query() drained to completion, so its results are
+  /// byte-identical to pulling the cursor yourself — this is just the
+  /// convenient materialized surface.
   Result<ResultSet> Execute(const std::string& mql);
+
+  /// Parses one MQL statement and opens a pull cursor over its result
+  /// (see cursor.h for the lifecycle contract). SELECTs without
+  /// aggregates/ORDER BY stream: a producer thread runs the executor
+  /// against a bounded queue, so the first row is available while the
+  /// rest are still being made and buffered memory stays flat no matter
+  /// the result size. Pipeline breakers and non-SELECT statements
+  /// execute eagerly and return a cursor over the finished result.
+  /// Drain or Close the cursor before the next statement on this
+  /// Database, and before destroying it.
+  Result<std::unique_ptr<Cursor>> Query(const std::string& mql);
 
   /// Parses and executes a ';'-separated MQL script, stopping at the
   /// first error; returns one ResultSet per executed statement.
@@ -301,11 +317,28 @@ class Database {
                                          const std::string* text,
                                          double parse_us);
 
-  /// Traced SELECT execution: runs the executor with a QueryStats trace,
-  /// attributes store/pool counter deltas, updates the query metrics and
-  /// the slow-query log, and leaves the trace in last_query_stats_.
+  /// Traced SELECT execution: opens a cursor via NewSelectCursor and
+  /// drains it — the materialized surface over the streaming engine.
   Result<ResultSet> ExecuteSelect(const SelectStmt& stmt,
                                   const std::string* text, double parse_us);
+
+  /// Execution state of one SELECT cursor (the executor, its trace, the
+  /// counter baselines); lives until the cursor is finalized.
+  struct SelectCursorContext;
+
+  /// Opens a cursor over a SELECT: the streaming executor behind a
+  /// producer thread when the statement can stream, a cursor over the
+  /// eagerly-executed result otherwise. Either way the query trace is
+  /// finalized (counter deltas, metrics, slow-query log,
+  /// last_query_stats_) exactly once, when the cursor finishes.
+  Result<std::unique_ptr<Cursor>> NewSelectCursor(const SelectStmt& stmt,
+                                                  const std::string* text,
+                                                  double parse_us);
+
+  /// Stamps the open->now counter deltas and total time into the trace,
+  /// updates the query metrics and slow-query log, and publishes the
+  /// trace as last_query_stats_.
+  void FinalizeSelectTrace(SelectCursorContext* ctx);
 
   /// Applies one logical operation to the stores (DML path and replay).
   Status ApplyOp(const WalOp& op);

@@ -1,12 +1,95 @@
 #include "mad/materializer.h"
 
 #include <algorithm>
+#include <atomic>
+#include <memory>
 #include <optional>
 #include <set>
 
+#include "common/bounded_queue.h"
 #include "common/metrics.h"
 
 namespace tcob {
+
+namespace {
+
+/// Streaming fan-out scaffold shared by the as-of and history operators.
+/// `materialize(item, worker)` builds one item on the worker's private
+/// cache; `deliver` consumes results on the calling thread in item order
+/// — the same splice the barrier version produced, so output stays
+/// byte-identical to serial execution. Workers run ahead of the consumer
+/// only as far as their bounded channel allows (backpressure bounds
+/// buffered results at workers x capacity, independent of `n`), and the
+/// consumer overlaps with them instead of waiting for a join.
+///
+/// Error protocol: a worker stops its own partition at its first real
+/// error (a deterministic position), the other workers complete their
+/// partitions in full, and the first error in item order is returned —
+/// the same report the serial loop gives, with run-to-run deterministic
+/// work counters. A `deliver` that returns false aborts the workers and
+/// drains their in-flight tail.
+template <typename R>
+Status StreamFanOut(
+    ThreadPool* pool, size_t n, size_t workers, bool skip_not_found,
+    std::vector<double>* worker_us,
+    const std::function<Result<R>(size_t item, size_t worker)>& materialize,
+    const std::function<Result<bool>(R)>& deliver) {
+  constexpr size_t kChannelCapacity = 16;
+  std::vector<std::unique_ptr<BoundedQueue<Result<R>>>> channels;
+  channels.reserve(workers);
+  for (size_t w = 0; w < workers; ++w) {
+    channels.push_back(
+        std::make_unique<BoundedQueue<Result<R>>>(kChannelCapacity));
+  }
+  std::atomic<bool> abort{false};
+  std::vector<std::function<void()>> tasks;
+  tasks.reserve(workers);
+  for (size_t w = 0; w < workers; ++w) {
+    const size_t begin = n * w / workers;
+    const size_t end = n * (w + 1) / workers;
+    tasks.push_back([&, w, begin, end] {
+      StopwatchUs timer;
+      for (size_t i = begin; i < end; ++i) {
+        if (abort.load(std::memory_order_acquire)) break;
+        Result<R> r = materialize(i, w);
+        const bool hard_error =
+            !r.ok() && !(skip_not_found && r.status().IsNotFound());
+        if (!channels[w]->Push(std::move(r))) break;  // consumer left
+        if (hard_error) break;  // later items cannot be the first error
+      }
+      channels[w]->CloseProducer();
+      (*worker_us)[w] = timer.ElapsedUs();
+    });
+  }
+  ThreadPool::BatchHandle batch = pool->Submit(std::move(tasks));
+
+  Status first_error = Status::OK();
+  bool stopped = false;
+  for (size_t w = 0; w < workers; ++w) {
+    while (std::optional<Result<R>> item = channels[w]->Pop()) {
+      if (!first_error.ok() || stopped) continue;  // draining only
+      if (!item->ok()) {
+        if (skip_not_found && item->status().IsNotFound()) continue;
+        first_error = item->status();  // first in item order
+        continue;
+      }
+      Result<bool> keep_going = deliver(std::move(*item).value());
+      if (!keep_going.ok()) {
+        first_error = keep_going.status();
+        continue;
+      }
+      if (!keep_going.value() && !stopped) {
+        stopped = true;
+        abort.store(true, std::memory_order_release);
+        for (auto& channel : channels) channel->CloseConsumer();
+      }
+    }
+  }
+  pool->Wait(batch);
+  return first_error;
+}
+
+}  // namespace
 
 Result<const AtomTypeDef*> Materializer::AtomTypeOf(TypeId id) const {
   return catalog_->GetAtomType(id);
@@ -202,35 +285,16 @@ Status Materializer::ParallelMoleculesAsOf(
   for (size_t w = 0; w < workers; ++w) {
     caches.push_back(NewCache(Interval::At(t)));
   }
-  std::vector<std::optional<Result<Molecule>>> slots(n);
   last_worker_us_.assign(workers, 0.0);
-  std::vector<std::function<void()>> tasks;
-  tasks.reserve(workers);
-  for (size_t w = 0; w < workers; ++w) {
-    const size_t begin = n * w / workers;
-    const size_t end = n * (w + 1) / workers;
-    tasks.push_back([&, w, begin, end] {
-      StopwatchUs timer;
-      for (size_t i = begin; i < end; ++i) {
-        slots[i] = MaterializeAsOfImpl(type, roots[i], t, &caches[w]);
-      }
-      last_worker_us_[w] = timer.ElapsedUs();
-    });
-  }
-  pool_->RunAll(std::move(tasks));
+  // `fn` runs on this thread only, overlapping with the workers.
+  Status out = StreamFanOut<Molecule>(
+      pool_, n, workers, skip_not_found, &last_worker_us_,
+      [&](size_t i, size_t w) {
+        return MaterializeAsOfImpl(type, roots[i], t, &caches[w]);
+      },
+      fn);
   for (VersionCache& cache : caches) cache_stats_ += cache.stats();
-  // Splice in root order; `fn` runs on this thread only. The first error
-  // in root order is reported, exactly as the serial loop would.
-  for (size_t i = 0; i < n; ++i) {
-    Result<Molecule>& mol = *slots[i];
-    if (!mol.ok()) {
-      if (skip_not_found && mol.status().IsNotFound()) continue;
-      return mol.status();
-    }
-    TCOB_ASSIGN_OR_RETURN(bool keep_going, fn(std::move(mol).value()));
-    if (!keep_going) break;
-  }
-  return Status::OK();
+  return out;
 }
 
 Result<Materializer::ReachableSet> Materializer::DiscoverReachable(
@@ -563,38 +627,27 @@ Status Materializer::AllHistories(
   if (UseParallel(roots.size())) {
     // Fan the sweeps out: contiguous batches of roots (in sorted order —
     // the order the serial loop visits them), a private cache per
-    // worker, results spliced back in root order.
+    // worker, results streamed back in root order.
     const std::vector<AtomId> root_list(roots.begin(), roots.end());
     const size_t n = root_list.size();
     const size_t workers = std::min(pool_->workers(), n);
     std::vector<VersionCache> caches;
     caches.reserve(workers);
     for (size_t w = 0; w < workers; ++w) caches.push_back(NewCache(window));
-    std::vector<std::optional<Result<MoleculeHistory>>> slots(n);
     last_worker_us_.assign(workers, 0.0);
-    std::vector<std::function<void()>> tasks;
-    tasks.reserve(workers);
-    for (size_t w = 0; w < workers; ++w) {
-      const size_t begin = n * w / workers;
-      const size_t end = n * (w + 1) / workers;
-      tasks.push_back([&, w, begin, end] {
-        StopwatchUs timer;
-        for (size_t i = begin; i < end; ++i) {
-          slots[i] = HistorySweep(type, root_list[i], window, &caches[w]);
-        }
-        last_worker_us_[w] = timer.ElapsedUs();
-      });
-    }
-    pool_->RunAll(std::move(tasks));
+    Status out = StreamFanOut<MoleculeHistory>(
+        pool_, n, workers, /*skip_not_found=*/false, &last_worker_us_,
+        [&](size_t i, size_t w) {
+          return HistorySweep(type, root_list[i], window, &caches[w]);
+        },
+        [&](MoleculeHistory h) -> Result<bool> {
+          // A root alive in the window but never materializable (its
+          // states all gaps) is silent, like the serial loop.
+          if (h.states.empty()) return true;
+          return fn(std::move(h));
+        });
     for (VersionCache& cache : caches) cache_stats_ += cache.stats();
-    for (size_t i = 0; i < n; ++i) {
-      Result<MoleculeHistory>& h = *slots[i];
-      if (!h.ok()) return h.status();
-      if (h.value().states.empty()) continue;
-      TCOB_ASSIGN_OR_RETURN(bool keep_going, fn(std::move(h).value()));
-      if (!keep_going) break;
-    }
-    return Status::OK();
+    return out;
   }
   // One cache across every history: molecules sharing sub-objects pin
   // each atom once for the whole statement.

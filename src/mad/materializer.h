@@ -32,9 +32,13 @@ namespace tcob {
 /// With a ThreadPool, the all-roots operators fan materialization out
 /// across workers: qualifying roots are partitioned into contiguous
 /// batches, each worker builds its batch against a private query-scoped
-/// cache (read-only store access is thread-safe), and the results are
-/// spliced back in root order — output and error behavior are identical
-/// to the serial path. Without a pool the original serial code runs.
+/// cache (read-only store access is thread-safe) and streams its results
+/// through a bounded channel, and the consumer splices the channels in
+/// root order — output and error behavior are identical to the serial
+/// path, while the consumer overlaps with the workers instead of waiting
+/// for a barrier join (buffered results stay bounded by workers x
+/// channel capacity, independent of the root count). Without a pool the
+/// original serial code runs.
 class Materializer {
  public:
   Materializer(const Catalog* catalog, const TemporalAtomStore* store,
@@ -154,10 +158,11 @@ class Materializer {
                                        VersionCache* cache) const;
 
   /// Fan-out shared by the as-of operators: materializes `roots` across
-  /// the pool's workers (each with a private cache) and splices the
-  /// results back in root order, invoking `fn` serially. NotFound roots
-  /// are skipped when `skip_not_found`, propagated otherwise — matching
-  /// the respective serial loops.
+  /// the pool's workers (each with a private cache, each streaming into
+  /// a bounded channel) and splices the channels back in root order,
+  /// invoking `fn` serially while the workers keep producing. NotFound
+  /// roots are skipped when `skip_not_found`, propagated otherwise —
+  /// matching the respective serial loops.
   Status ParallelMoleculesAsOf(
       const MoleculeTypeDef& type, const std::vector<AtomId>& roots,
       Timestamp t, bool skip_not_found,
@@ -174,7 +179,7 @@ class Materializer {
   ThreadPool* pool_;
   mutable VersionCacheStats cache_stats_;
   // Each parallel task writes only its own slot, so no synchronization
-  // is needed beyond the pool's RunAll join.
+  // is needed beyond the pool's batch-completion join.
   mutable std::vector<double> last_worker_us_;
 };
 

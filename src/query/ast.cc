@@ -1,0 +1,58 @@
+#include "query/ast.h"
+
+#include <type_traits>
+#include <utility>
+
+namespace tcob {
+
+ExprPtr CloneExpr(const Expr* expr) {
+  if (expr == nullptr) return nullptr;
+  auto out = std::make_unique<Expr>();
+  out->node = std::visit(
+      [](const auto& node) -> decltype(Expr::node) {
+        using T = std::decay_t<decltype(node)>;
+        if constexpr (std::is_same_v<T, BoundaryExpr>) {
+          BoundaryExpr copy;
+          copy.is_begin = node.is_begin;
+          copy.operand = CloneExpr(node.operand.get());
+          return copy;
+        } else if constexpr (std::is_same_v<T, BinaryExpr>) {
+          BinaryExpr copy;
+          copy.op = node.op;
+          copy.left = CloneExpr(node.left.get());
+          copy.right = CloneExpr(node.right.get());
+          return copy;
+        } else if constexpr (std::is_same_v<T, UnaryExpr>) {
+          UnaryExpr copy;
+          copy.op = node.op;
+          copy.operand = CloneExpr(node.operand.get());
+          return copy;
+        } else {
+          return node;  // leaf nodes are plain values
+        }
+      },
+      expr->node);
+  return out;
+}
+
+SelectStmt CloneSelect(const SelectStmt& stmt) {
+  SelectStmt out;
+  out.select_all = stmt.select_all;
+  out.projection = stmt.projection;
+  out.inline_root = stmt.inline_root;
+  out.inline_edges = stmt.inline_edges;
+  out.aggregates = stmt.aggregates;
+  out.group_by_root = stmt.group_by_root;
+  out.molecule_type = stmt.molecule_type;
+  out.where = CloneExpr(stmt.where.get());
+  out.order_by = stmt.order_by;
+  out.order_desc = stmt.order_desc;
+  out.mode = stmt.mode;
+  out.at_now = stmt.at_now;
+  out.at = stmt.at;
+  out.window = stmt.window;
+  out.window_end_now = stmt.window_end_now;
+  return out;
+}
+
+}  // namespace tcob

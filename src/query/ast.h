@@ -154,6 +154,11 @@ struct SelectStmt {
   bool window_end_now = false;
 };
 
+/// Deep copies for the move-only statement (ExprPtr makes SelectStmt
+/// non-copyable); used when a cursor must own the statement it runs.
+ExprPtr CloneExpr(const Expr* expr);
+SelectStmt CloneSelect(const SelectStmt& stmt);
+
 struct CreateAtomTypeStmt {
   std::string name;
   std::vector<std::pair<std::string, AttrType>> attributes;

@@ -1,0 +1,139 @@
+#include "query/cursor.h"
+
+#include <optional>
+#include <utility>
+
+namespace tcob {
+
+Result<size_t> Cursor::NextBatch(size_t max_rows,
+                                 std::vector<std::vector<Value>>* rows) {
+  rows->clear();
+  std::vector<Value> row;
+  while (rows->size() < max_rows) {
+    TCOB_ASSIGN_OR_RETURN(bool more, Next(&row));
+    if (!more) break;
+    rows->push_back(std::move(row));
+  }
+  return rows->size();
+}
+
+Result<bool> MaterializedCursor::Next(std::vector<Value>* row) {
+  if (next_ >= result_.rows.size()) return false;
+  *row = std::move(result_.rows[next_++]);
+  return true;
+}
+
+void MaterializedCursor::Close() {
+  result_.rows.clear();
+  next_ = 0;
+}
+
+/// Batches streamed rows into queue items weighted by their row count,
+/// so the queue's capacity (and peak) is counted in rows.
+class StreamingCursor::QueueSink : public RowSink {
+ public:
+  QueueSink(BoundedQueue<RowBatch>* queue, size_t batch_rows)
+      : queue_(queue), batch_rows_(batch_rows == 0 ? 1 : batch_rows) {}
+
+  Result<bool> Push(std::vector<Value> row) override {
+    batch_.push_back(std::move(row));
+    if (batch_.size() < batch_rows_) return true;
+    return Flush();
+  }
+
+  /// Hands the partial batch to the queue; false once the consumer left.
+  bool Flush() {
+    if (batch_.empty()) return true;
+    const size_t weight = batch_.size();
+    bool accepted = queue_->Push(std::move(batch_), weight);
+    batch_ = RowBatch();
+    return accepted;
+  }
+
+ private:
+  BoundedQueue<RowBatch>* queue_;
+  const size_t batch_rows_;
+  RowBatch batch_;
+};
+
+StreamingCursor::StreamingCursor(std::vector<std::string> columns,
+                                 std::string message, ProducerFn producer,
+                                 FinalizeFn finalize,
+                                 std::function<void()> on_first_row,
+                                 Options options)
+    : columns_(std::move(columns)),
+      message_(std::move(message)),
+      options_(options),
+      queue_(options_.queue_capacity_rows, /*producers=*/1),
+      finalize_(std::move(finalize)),
+      on_first_row_(std::move(on_first_row)) {
+  producer_thread_ = std::thread([this, producer = std::move(producer)] {
+    QueueSink sink(&queue_, options_.batch_rows);
+    Status status = producer(&sink);
+    if (status.ok()) sink.Flush();  // the tail partial batch
+    queue_.CloseProducer(std::move(status));
+  });
+}
+
+StreamingCursor::StreamingCursor(std::vector<std::string> columns,
+                                 std::string message, ProducerFn producer,
+                                 FinalizeFn finalize,
+                                 std::function<void()> on_first_row)
+    : StreamingCursor(std::move(columns), std::move(message),
+                      std::move(producer), std::move(finalize),
+                      std::move(on_first_row), Options()) {}
+
+StreamingCursor::~StreamingCursor() { Close(); }
+
+Result<bool> StreamingCursor::Next(std::vector<Value>* row) {
+  if (end_) {
+    if (!final_status_.ok()) return final_status_;
+    return false;
+  }
+  if (buffer_next_ >= buffer_.size()) {
+    buffer_.clear();
+    buffer_next_ = 0;
+    std::optional<RowBatch> batch = queue_.Pop();
+    if (!batch.has_value()) {
+      // End of stream: the producer has closed — join it and settle the
+      // final status before reporting.
+      end_ = true;
+      Finish();
+      if (!final_status_.ok()) return final_status_;
+      return false;
+    }
+    buffer_ = std::move(*batch);
+  }
+  *row = std::move(buffer_[buffer_next_++]);
+  ++rows_delivered_;
+  if (!saw_first_row_) {
+    saw_first_row_ = true;
+    if (on_first_row_) on_first_row_();
+  }
+  return true;
+}
+
+void StreamingCursor::Close() {
+  if (closed_) return;
+  closed_ = true;
+  if (!end_) {
+    // Abandoning mid-stream: unblock the producer, whose next Push
+    // returns false and stops the query cleanly.
+    queue_.CloseConsumer();
+    end_ = true;
+  }
+  Finish();
+}
+
+void StreamingCursor::Finish() {
+  if (producer_thread_.joinable()) producer_thread_.join();
+  if (finalized_) return;
+  finalized_ = true;
+  final_status_ = queue_.producer_status();
+  StreamingCursorStats stats;
+  stats.rows_streamed = rows_delivered_;
+  stats.peak_buffered_rows = queue_.peak_weight();
+  if (finalize_) finalize_(final_status_, stats);
+}
+
+}  // namespace tcob

@@ -17,11 +17,11 @@ Result<std::string> SelectExecutor::RenderAttrs(const AtomVersion& v) const {
   return out;
 }
 
-Status SelectExecutor::EmitMolecule(const SelectStmt& stmt, bool select_all,
-                                    const std::vector<AttrRef>& projection,
-                                    const Molecule& molecule,
-                                    const Interval* state_valid,
-                                    ResultSet* out) const {
+Result<bool> SelectExecutor::EmitMolecule(const SelectStmt& stmt,
+                                          const SelectPlan& plan,
+                                          const Molecule& molecule,
+                                          const Interval* state_valid,
+                                          RowSink* sink) const {
   ExprEvaluator eval(catalog_, now_);
 
   auto push_state_columns = [&](std::vector<Value>* row) {
@@ -31,10 +31,10 @@ Status SelectExecutor::EmitMolecule(const SelectStmt& stmt, bool select_all,
     }
   };
 
-  if (select_all) {
+  if (plan.select_all) {
     if (stmt.where != nullptr) {
       TCOB_ASSIGN_OR_RETURN(bool ok, eval.Satisfies(*stmt.where, molecule));
-      if (!ok) return Status::OK();
+      if (!ok) return true;
     }
     for (const auto& [id, version] : molecule.atoms) {
       TCOB_ASSIGN_OR_RETURN(const AtomTypeDef* def,
@@ -46,14 +46,15 @@ Status SelectExecutor::EmitMolecule(const SelectStmt& stmt, bool select_all,
       row.push_back(Value::String(def->name));
       TCOB_ASSIGN_OR_RETURN(std::string attrs, RenderAttrs(version));
       row.push_back(Value::String(std::move(attrs)));
-      out->rows.push_back(std::move(row));
+      TCOB_ASSIGN_OR_RETURN(bool more, sink->Push(std::move(row)));
+      if (!more) return false;
     }
-    return Status::OK();
+    return true;
   }
 
   // Projection: enumerate bindings over projected + predicate types.
   std::set<std::string> binding_types;
-  for (const AttrRef& ref : projection) {
+  for (const AttrRef& ref : plan.projection) {
     binding_types.insert(ref.type_name);
   }
   if (stmt.where != nullptr) {
@@ -74,7 +75,7 @@ Status SelectExecutor::EmitMolecule(const SelectStmt& stmt, bool select_all,
     row.push_back(Value::Id(molecule.root));
     push_state_columns(&row);
     std::vector<std::string> fingerprint;
-    for (const AttrRef& ref : projection) {
+    for (const AttrRef& ref : plan.projection) {
       auto it = binding.atoms.find(ref.type_name);
       if (it == binding.atoms.end()) {
         return Status::Internal("projection type unbound: " + ref.type_name);
@@ -89,9 +90,10 @@ Status SelectExecutor::EmitMolecule(const SelectStmt& stmt, bool select_all,
       fingerprint.push_back(std::to_string(it->second->id));
     }
     if (!seen.insert(fingerprint).second) continue;
-    out->rows.push_back(std::move(row));
+    TCOB_ASSIGN_OR_RETURN(bool more, sink->Push(std::move(row)));
+    if (!more) return false;
   }
-  return Status::OK();
+  return true;
 }
 
 namespace {
@@ -297,57 +299,89 @@ Status ApplyOrderBy(const SelectStmt& stmt, ResultSet* out) {
   return sort_error;
 }
 
+/// Collects streamed rows into a ResultSet — the materialized surface.
+class CollectingSink : public RowSink {
+ public:
+  explicit CollectingSink(ResultSet* out) : out_(out) {}
+  Result<bool> Push(std::vector<Value> row) override {
+    out_->rows.push_back(std::move(row));
+    return true;
+  }
+
+ private:
+  ResultSet* out_;
+};
+
 }  // namespace
 
-Result<ResultSet> SelectExecutor::Execute(const SelectStmt& stmt) const {
-  StopwatchUs exec_timer;
+Result<SelectPlan> SelectExecutor::Plan(const SelectStmt& stmt) const {
   StopwatchUs plan_timer;
-  TCOB_ASSIGN_OR_RETURN(MoleculeTypeDef resolved, ResolveMoleculeType(stmt));
-  if (trace_ != nullptr) trace_->plan_us += plan_timer.ElapsedUs();
-  const MoleculeTypeDef* mol_type = &resolved;
-  const bool aggregate = !stmt.aggregates.empty();
-  const bool select_all = stmt.select_all && !aggregate;
-  // Effective projection: the explicit list, or the distinct attributes
-  // referenced by aggregates (their hidden projection).
-  std::vector<AttrRef> projection = stmt.projection;
-  if (aggregate) {
-    projection.clear();
+  SelectPlan plan;
+  TCOB_ASSIGN_OR_RETURN(plan.resolved, ResolveMoleculeType(stmt));
+  plan.aggregate = !stmt.aggregates.empty();
+  plan.select_all = stmt.select_all && !plan.aggregate;
+  plan.windowed = stmt.mode != TemporalMode::kAsOf;
+  plan.projection = stmt.projection;
+  if (plan.aggregate) {
+    plan.projection.clear();
     for (const AggSpec& agg : stmt.aggregates) {
       if (agg.star) continue;
       bool dup = false;
-      for (const AttrRef& ref : projection) {
+      for (const AttrRef& ref : plan.projection) {
         dup = dup || (ref.type_name == agg.ref.type_name &&
                       ref.attr_name == agg.ref.attr_name);
       }
-      if (!dup) projection.push_back(agg.ref);
+      if (!dup) plan.projection.push_back(agg.ref);
     }
   }
 
-  ResultSet out;
-  const bool windowed = stmt.mode != TemporalMode::kAsOf;
-  out.columns.push_back("ROOT");
-  if (windowed) {
-    out.columns.push_back("VALID_FROM");
-    out.columns.push_back("VALID_TO");
+  plan.columns.push_back("ROOT");
+  if (plan.windowed) {
+    plan.columns.push_back("VALID_FROM");
+    plan.columns.push_back("VALID_TO");
   }
-  if (select_all) {
-    out.columns.push_back("ATOM");
-    out.columns.push_back("TYPE");
-    out.columns.push_back("ATTRS");
+  if (plan.select_all) {
+    plan.columns.push_back("ATOM");
+    plan.columns.push_back("TYPE");
+    plan.columns.push_back("ATTRS");
   } else {
-    for (const AttrRef& ref : projection) {
-      out.columns.push_back(ref.ToString());
+    for (const AttrRef& ref : plan.projection) {
+      plan.columns.push_back(ref.ToString());
     }
   }
 
+  if (stmt.mode == TemporalMode::kAsOf) {
+    plan.path = PlanRootAccess(stmt, *catalog_, plan.resolved);
+    if (plan.path.use_index && indexes_ != nullptr) {
+      plan.message = plan.path.description;
+    }
+    if (trace_ != nullptr) trace_->plan = plan.path.description;
+  } else {
+    plan.window = stmt.mode == TemporalMode::kHistory ? Interval::All()
+                                                      : stmt.window;
+    if (stmt.mode == TemporalMode::kWindow && stmt.window_end_now) {
+      plan.window.end = now_;
+    }
+    if (plan.window.empty()) {
+      return Status::InvalidArgument("empty query window");
+    }
+    if (trace_ != nullptr && trace_->plan.empty()) {
+      trace_->plan = "seq scan of root versions, incremental history sweep";
+    }
+  }
+  if (trace_ != nullptr) trace_->plan_us += plan_timer.ElapsedUs();
+  return plan;
+}
+
+Status SelectExecutor::Run(const SelectStmt& stmt, const SelectPlan& plan,
+                           RowSink* sink) const {
   // Traced wrapper around EmitMolecule: accumulates emit_us and the
   // molecule/state/atom work counters. `state_valid` null = as-of row
   // shape, non-null = one constant state of a history.
   auto emit = [&](const Molecule& mol,
-                  const Interval* state_valid) -> Status {
+                  const Interval* state_valid) -> Result<bool> {
     if (trace_ == nullptr) {
-      return EmitMolecule(stmt, select_all, projection, mol, state_valid,
-                          &out);
+      return EmitMolecule(stmt, plan, mol, state_valid, sink);
     }
     if (state_valid == nullptr) {
       ++trace_->molecules;
@@ -356,104 +390,111 @@ Result<ResultSet> SelectExecutor::Execute(const SelectStmt& stmt) const {
     }
     trace_->atoms_visited += mol.atoms.size();
     StopwatchUs emit_timer;
-    Status st = EmitMolecule(stmt, select_all, projection, mol, state_valid,
-                             &out);
+    Result<bool> more = EmitMolecule(stmt, plan, mol, state_valid, sink);
     trace_->emit_us += emit_timer.ElapsedUs();
-    return st;
-  };
-  // Shared tail: aggregation fold, ordering, and the trace summary.
-  auto finish = [&]() -> Result<ResultSet> {
-    if (aggregate) {
-      StopwatchUs agg_timer;
-      TCOB_ASSIGN_OR_RETURN(out, FoldAggregates(stmt, projection, windowed,
-                                                out));
-      if (trace_ != nullptr) trace_->aggregate_us += agg_timer.ElapsedUs();
-    }
-    StopwatchUs sort_timer;
-    TCOB_RETURN_NOT_OK(ApplyOrderBy(stmt, &out));
-    if (trace_ != nullptr) {
-      trace_->sort_us += sort_timer.ElapsedUs();
-      trace_->rows = out.rows.size();
-      trace_->execute_us = exec_timer.ElapsedUs();
-      trace_->temporal_mode = stmt.mode == TemporalMode::kAsOf
-                                  ? "as-of"
-                                  : (stmt.mode == TemporalMode::kWindow
-                                         ? "window"
-                                         : "history");
-      trace_->cache = materializer_->cache_stats();
-      trace_->worker_us = materializer_->last_worker_micros();
-      trace_->parallelism =
-          trace_->worker_us.empty() ? 1 : trace_->worker_us.size();
-    }
-    return out;
+    return more;
   };
 
   if (stmt.mode == TemporalMode::kAsOf) {
     Timestamp t = stmt.at_now ? now_ : stmt.at;
-    StopwatchUs asof_plan_timer;
-    RootAccessPath path = PlanRootAccess(stmt, *catalog_, *mol_type);
-    if (trace_ != nullptr) {
-      trace_->plan_us += asof_plan_timer.ElapsedUs();
-      trace_->plan = path.description;
-    }
     StopwatchUs mat_timer;
-    if (path.use_index && indexes_ != nullptr) {
+    if (plan.path.use_index && indexes_ != nullptr) {
       TCOB_ASSIGN_OR_RETURN(const AttrIndexDef* index,
-                            catalog_->GetAttrIndex(path.index));
+                            catalog_->GetAttrIndex(plan.path.index));
       TCOB_ASSIGN_OR_RETURN(std::vector<AtomId> roots,
-                            indexes_->LookupAsOf(*index, path.range, t));
+                            indexes_->LookupAsOf(*index, plan.path.range, t));
       // MoleculesAsOf routes the roots through a query-scoped cache (and
       // the thread pool, when the materializer has one); roots not valid
       // at t are skipped — the index is version-grained, so a listed
       // root should be valid, but stay defensive.
       TCOB_RETURN_NOT_OK(materializer_->MoleculesAsOf(
-          *mol_type, roots, t, [&](Molecule mol) -> Result<bool> {
-            TCOB_RETURN_NOT_OK(emit(mol, nullptr));
-            return true;
-          }));
-      out.message = path.description;
+          plan.resolved, roots, t,
+          [&](Molecule mol) -> Result<bool> { return emit(mol, nullptr); }));
     } else {
       TCOB_RETURN_NOT_OK(materializer_->AllMoleculesAsOf(
-          *mol_type, t, [&](Molecule mol) -> Result<bool> {
-            TCOB_RETURN_NOT_OK(emit(mol, nullptr));
-            return true;
-          }));
+          plan.resolved, t,
+          [&](Molecule mol) -> Result<bool> { return emit(mol, nullptr); }));
     }
     if (trace_ != nullptr) {
       // Emit ran inside the materializer's streaming loop: subtract it
       // out so the two spans partition the loop's wall time.
       trace_->materialize_us += mat_timer.ElapsedUs() - trace_->emit_us;
     }
-    return finish();
+    return Status::OK();
   }
 
-  Interval window = stmt.mode == TemporalMode::kHistory
-                        ? Interval::All()
-                        : stmt.window;
-  if (stmt.mode == TemporalMode::kWindow && stmt.window_end_now) {
-    window.end = now_;
-  }
-  if (window.empty()) {
-    return Status::InvalidArgument("empty query window");
-  }
-  if (trace_ != nullptr && trace_->plan.empty()) {
-    trace_->plan = "seq scan of root versions, incremental history sweep";
-  }
   StopwatchUs mat_timer;
   TCOB_RETURN_NOT_OK(materializer_->AllHistories(
-      *mol_type, window, [&](MoleculeHistory history) -> Result<bool> {
+      plan.resolved, plan.window,
+      [&](MoleculeHistory history) -> Result<bool> {
         if (trace_ != nullptr) ++trace_->molecules;
         for (const MoleculeState& state : history.states) {
-          Interval clipped = state.valid.Intersect(window);
+          Interval clipped = state.valid.Intersect(plan.window);
           if (clipped.empty()) continue;
-          TCOB_RETURN_NOT_OK(emit(state.molecule, &clipped));
+          TCOB_ASSIGN_OR_RETURN(bool more, emit(state.molecule, &clipped));
+          if (!more) return false;
         }
         return true;
       }));
   if (trace_ != nullptr) {
     trace_->materialize_us += mat_timer.ElapsedUs() - trace_->emit_us;
   }
-  return finish();
+  return Status::OK();
+}
+
+Result<ResultSet> SelectExecutor::Execute(const SelectStmt& stmt) const {
+  StopwatchUs exec_timer;
+  TCOB_ASSIGN_OR_RETURN(SelectPlan plan, Plan(stmt));
+  ResultSet out;
+  out.columns = plan.columns;
+  out.message = plan.message;
+  CollectingSink sink(&out);
+  TCOB_RETURN_NOT_OK(Run(stmt, plan, &sink));
+
+  if (plan.aggregate) {
+    StopwatchUs agg_timer;
+    TCOB_ASSIGN_OR_RETURN(
+        out, FoldAggregates(stmt, plan.projection, plan.windowed, out));
+    if (trace_ != nullptr) trace_->aggregate_us += agg_timer.ElapsedUs();
+  }
+  StopwatchUs sort_timer;
+  TCOB_RETURN_NOT_OK(ApplyOrderBy(stmt, &out));
+  if (trace_ != nullptr) {
+    trace_->sort_us += sort_timer.ElapsedUs();
+    trace_->rows = out.rows.size();
+    trace_->execute_us = exec_timer.ElapsedUs();
+    trace_->temporal_mode = stmt.mode == TemporalMode::kAsOf
+                                ? "as-of"
+                                : (stmt.mode == TemporalMode::kWindow
+                                       ? "window"
+                                       : "history");
+    trace_->cache = materializer_->cache_stats();
+    trace_->worker_us = materializer_->last_worker_micros();
+    trace_->parallelism =
+        trace_->worker_us.empty() ? 1 : trace_->worker_us.size();
+  }
+  return out;
+}
+
+Status SelectExecutor::ExecuteStreaming(const SelectStmt& stmt,
+                                        const SelectPlan& plan,
+                                        RowSink* sink) const {
+  StopwatchUs exec_timer;
+  Status st = Run(stmt, plan, sink);
+  if (trace_ != nullptr) {
+    // Plan() ran earlier (at cursor open); execute_us spans both halves.
+    trace_->execute_us = trace_->plan_us + exec_timer.ElapsedUs();
+    trace_->temporal_mode = stmt.mode == TemporalMode::kAsOf
+                                ? "as-of"
+                                : (stmt.mode == TemporalMode::kWindow
+                                       ? "window"
+                                       : "history");
+    trace_->cache = materializer_->cache_stats();
+    trace_->worker_us = materializer_->last_worker_micros();
+    trace_->parallelism =
+        trace_->worker_us.empty() ? 1 : trace_->worker_us.size();
+  }
+  return st;
 }
 
 }  // namespace tcob

@@ -1,15 +1,52 @@
 #ifndef TCOB_QUERY_EXECUTOR_H_
 #define TCOB_QUERY_EXECUTOR_H_
 
+#include <string>
+#include <vector>
+
 #include "catalog/catalog.h"
 #include "common/result.h"
 #include "index/attr_index.h"
 #include "mad/materializer.h"
 #include "query/ast.h"
+#include "query/planner.h"
 #include "query/query_stats.h"
 #include "query/result_set.h"
 
 namespace tcob {
+
+/// Destination of streamed result rows. The executor produces rows one
+/// at a time into a sink; the materialized path collects them into a
+/// ResultSet, the cursor path hands them to a bounded queue.
+class RowSink {
+ public:
+  virtual ~RowSink() = default;
+  /// Accepts one row. Returning false stops the query cleanly (the
+  /// consumer has seen enough — a closed cursor); it is not an error.
+  virtual Result<bool> Push(std::vector<Value> row) = 0;
+};
+
+/// Everything about a SELECT that is resolvable before the first row:
+/// the molecule type, temporal window, root access path, and the result
+/// column shape. Computed once by SelectExecutor::Plan so a streaming
+/// caller can expose the columns while the rows are still being made.
+struct SelectPlan {
+  MoleculeTypeDef resolved;
+  /// Root access (as-of statements only; windowed modes always scan).
+  RootAccessPath path;
+  /// The effective query window (windowed modes; validated non-empty).
+  Interval window;
+  bool select_all = false;
+  bool aggregate = false;
+  bool windowed = false;
+  /// Effective projection: the explicit list, or the distinct attributes
+  /// referenced by aggregates (their hidden projection).
+  std::vector<AttrRef> projection;
+  /// Columns of the streamed rows (pre-aggregation shape).
+  std::vector<std::string> columns;
+  /// ResultSet message (the index-path note, when one is used).
+  std::string message;
+};
 
 /// Executes SELECT statements against the molecule engine.
 ///
@@ -26,6 +63,12 @@ namespace tcob {
 ///  * `VALID IN [a,b)` / `HISTORY` enumerate each molecule's maximal
 ///    constant states overlapping the window; the WHERE predicate is
 ///    evaluated per state.
+///
+/// Two execution surfaces share one pipeline: Execute materializes the
+/// full ResultSet (and is the only path for aggregates and ORDER BY,
+/// which must see every row), while Plan + ExecuteStreaming push rows
+/// into a RowSink as they are produced — the cursor path, whose rows are
+/// byte-identical to Execute's for every streamable statement.
 class SelectExecutor {
  public:
   /// `indexes` may be null (no secondary-index access paths then).
@@ -38,26 +81,48 @@ class SelectExecutor {
 
   Result<ResultSet> Execute(const SelectStmt& stmt) const;
 
+  /// True when the statement's rows can be streamed in production order:
+  /// no aggregates and no ORDER BY (both are pipeline breakers that need
+  /// the whole row set before the first output row).
+  static bool CanStream(const SelectStmt& stmt) {
+    return stmt.aggregates.empty() && stmt.order_by.empty();
+  }
+
+  /// Resolves types, plans root access and fixes the column shape —
+  /// everything that can fail or be reported before rows flow.
+  Result<SelectPlan> Plan(const SelectStmt& stmt) const;
+
+  /// Streams the rows of a streamable statement (CanStream) into `sink`,
+  /// in exactly the order Execute would return them. A sink that returns
+  /// false stops execution early with OK status.
+  Status ExecuteStreaming(const SelectStmt& stmt, const SelectPlan& plan,
+                          RowSink* sink) const;
+
   /// EXPLAIN: reports the access path and temporal mode without
   /// executing.
   Result<ResultSet> Explain(const SelectStmt& stmt) const;
 
-  /// Attaches a trace that Execute fills with per-operator timings and
+  /// Attaches a trace that execution fills with per-operator timings and
   /// work counters (EXPLAIN ANALYZE). The trace's cache stats report the
   /// materializer's accumulated numbers, so callers wanting per-query
   /// attribution pass a freshly constructed (or reset) materializer.
   /// Null (the default) disables tracing; the fast path then pays only a
-  /// pointer test per span.
+  /// pointer test per span. A streaming execution writes the trace from
+  /// the producing thread; readers must synchronize with its completion.
   void set_trace(QueryStats* trace) { trace_ = trace; }
 
  private:
-  /// Emits the rows of one molecule state into `out`. `select_all` and
-  /// `projection` are the *effective* row shape (aggregate queries run
-  /// with their referenced attributes as a hidden projection).
-  Status EmitMolecule(const SelectStmt& stmt, bool select_all,
-                      const std::vector<AttrRef>& projection,
-                      const Molecule& molecule, const Interval* state_valid,
-                      ResultSet* out) const;
+  /// Shared pipeline of both surfaces: drives the materializer operators
+  /// and emits rows into `sink`. Fills the trace's plan/materialize/emit
+  /// spans and work counters.
+  Status Run(const SelectStmt& stmt, const SelectPlan& plan,
+             RowSink* sink) const;
+
+  /// Emits the rows of one molecule state into `sink`; false = the sink
+  /// has stopped the query.
+  Result<bool> EmitMolecule(const SelectStmt& stmt, const SelectPlan& plan,
+                            const Molecule& molecule,
+                            const Interval* state_valid, RowSink* sink) const;
 
   /// Folds the hidden-projection rows of an aggregate query into the
   /// single result row.

@@ -53,6 +53,10 @@ ResultSet QueryStats::ToResultSet() const {
   num("result", "rows", rows);
   num("result", "atoms_visited", atoms_visited);
 
+  us("streaming", "first_row_us", first_row_us);
+  num("streaming", "rows_streamed", rows_streamed);
+  num("streaming", "peak_buffered_rows", peak_buffered_rows);
+
   num("store", "get_as_of", store.get_as_of);
   num("store", "get_versions", store.get_versions);
   num("store", "scan_as_of", store.scan_as_of);

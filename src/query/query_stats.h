@@ -19,12 +19,14 @@ namespace tcob {
 /// Span model (nested, all wall-clock microseconds):
 ///   total_us
 ///   ├── parse_us        lexing + parsing the statement text
-///   └── execute_us      SelectExecutor::Execute
+///   └── execute_us      the executor pipeline (both surfaces)
 ///       ├── plan_us         type resolution + root access planning
 ///       ├── materialize_us  molecule/history construction (store side)
 ///       ├── emit_us         row production from materialized states
 ///       ├── aggregate_us    FoldAggregates
 ///       └── sort_us         ApplyOrderBy
+/// first_row_us is a marker inside total_us: statement start to the
+/// first row reaching the consumer (cursor pull or Execute return).
 struct QueryStats {
   std::string statement;      // original MQL text (empty for AST entry)
   std::string plan;           // root access path description
@@ -40,11 +42,19 @@ struct QueryStats {
   double sort_us = 0;
   double execute_us = 0;
   double total_us = 0;
+  /// Statement start to first row available to the consumer. On the
+  /// streaming path this is flat in the result size; the materialized
+  /// path (aggregates, ORDER BY) pays the whole execution first.
+  double first_row_us = 0;
 
   uint64_t molecules = 0;      // molecules materialized (as-of) or swept
   uint64_t states = 0;         // constant states visited (windowed modes)
   uint64_t rows = 0;           // result rows produced
   uint64_t atoms_visited = 0;  // atom instances across all emitted states
+  uint64_t rows_streamed = 0;  // rows handed to the consumer
+  /// High-water mark of rows buffered between producer and consumer
+  /// (streaming: the cursor queue's peak; materialized: the full result).
+  uint64_t peak_buffered_rows = 0;
 
   /// Store round-trips this query caused (counter delta).
   StoreAccessStats store;

@@ -229,6 +229,85 @@ std::optional<std::string> FailOrCrash(Instance* inst, const Status& s,
   return std::string(what) + ": " + s.ToString();
 }
 
+/// Re-runs a successfully compared query through Database::Query and
+/// requires the cursor to stream exactly the materialized result: same
+/// columns, same rows in the same order, same message. Batch size
+/// rotates (1 / 7 / everything) so both the per-row and the bulk pull
+/// paths get exercised. On parallel instances — where power cuts never
+/// arm, so extra nondeterministic I/O cannot perturb a cut schedule —
+/// every fifth compared query additionally opens a second cursor, reads
+/// one row, and Closes it mid-stream to exercise early abandonment.
+std::optional<std::string> CursorCrossCheck(Instance* inst,
+                                            const std::string& mql,
+                                            const ResultSet& base) {
+  Result<std::unique_ptr<Cursor>> opened = inst->db->Query(mql);
+  if (!opened.ok()) {
+    if (inst->env.cut_fired()) return HandleCrash(inst, nullptr);
+    return "cursor open failed where materialized query succeeded: " +
+           opened.status().ToString();
+  }
+  std::unique_ptr<Cursor> cursor = std::move(opened.value());
+  if (cursor->columns() != base.columns) {
+    return "cursor columns diverge from materialized result for `" + mql +
+           "`";
+  }
+  size_t batch_rows = 1;
+  switch (inst->queries_run % 3) {
+    case 0: batch_rows = 1; break;
+    case 1: batch_rows = 7; break;
+    default: batch_rows = base.rows.size() + 1; break;
+  }
+  std::vector<std::vector<Value>> rows;
+  std::vector<std::vector<Value>> batch;
+  Status drain = Status::OK();
+  for (;;) {
+    Result<size_t> pulled = cursor->NextBatch(batch_rows, &batch);
+    if (!pulled.ok()) {
+      drain = pulled.status();
+      break;
+    }
+    for (std::vector<Value>& row : batch) rows.push_back(std::move(row));
+    if (pulled.value() < batch_rows) break;
+  }
+  std::string message = cursor->message();
+  cursor->Close();
+  cursor.reset();  // destroy before any crash handling
+  if (!drain.ok()) {
+    if (inst->env.cut_fired()) return HandleCrash(inst, nullptr);
+    return "cursor drain failed where materialized query succeeded: " +
+           drain.ToString();
+  }
+  if (rows.size() != base.rows.size()) {
+    return "cursor streamed " + std::to_string(rows.size()) +
+           " row(s), materialized result has " +
+           std::to_string(base.rows.size()) + " for `" + mql + "`";
+  }
+  for (size_t i = 0; i < rows.size(); ++i) {
+    if (rows[i] != base.rows[i]) {
+      return "cursor row [" + std::to_string(i) +
+             "] diverges from materialized result for `" + mql + "`";
+    }
+  }
+  if (message != base.message) {
+    return "cursor message diverges from materialized result for `" + mql +
+           "`";
+  }
+  if (inst->parallelism != 1 && base.rows.size() >= 2 &&
+      inst->queries_run % 5 == 0) {
+    Result<std::unique_ptr<Cursor>> second = inst->db->Query(mql);
+    if (!second.ok()) {
+      return "early-close cursor open failed: " + second.status().ToString();
+    }
+    std::vector<Value> row;
+    Result<bool> first = second.value()->Next(&row);
+    if (!first.ok()) {
+      return "early-close first pull failed: " + first.status().ToString();
+    }
+    second.value()->Close();
+  }
+  return std::nullopt;
+}
+
 std::optional<std::string> ExecQuery(Instance* inst, const SimSchema& schema,
                                      const SimOp& op,
                                      const RunOptions& options) {
@@ -312,6 +391,11 @@ std::optional<std::string> ExecQuery(Instance* inst, const SimSchema& schema,
     if (qs.execute_us > qs.total_us + 500.0) {
       return "execute span exceeds total span beyond timer slack";
     }
+  }
+  // Last: the cursor re-run overwrites last_query_stats, so the metrics
+  // checks above must already have read the materialized run's trace.
+  if (options.check_cursors) {
+    return CursorCrossCheck(inst, mql, rs);
   }
   return std::nullopt;
 }

@@ -20,6 +20,11 @@ struct RunOptions {
   bool single_instance = false;
   /// Cross-check QueryStats invariants after every query.
   bool check_metrics = true;
+  /// Re-run every compared query through the streaming cursor API and
+  /// require the drained rows to match the materialized result exactly
+  /// (rotating batch sizes; occasional early Close on parallel
+  /// instances, where power cuts never arm).
+  bool check_cursors = true;
 };
 
 struct InstanceReport {

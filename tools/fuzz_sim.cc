@@ -38,6 +38,7 @@ struct Args {
   bool cuts = true;
   bool vacuum = true;
   bool shrink = true;
+  bool cursor_check = true;
   bool plant_bug = false;
   std::string artifact_dir;
 };
@@ -52,8 +53,8 @@ int Usage() {
   std::fprintf(
       stderr,
       "usage: fuzz_sim [--seed=N | --seeds=A:B] [--ops=N] [--no_cuts]\n"
-      "                [--no_vacuum] [--no_shrink] [--plant_bug]\n"
-      "                [--artifact_dir=DIR]\n");
+      "                [--no_vacuum] [--no_shrink] [--no_cursor_check]\n"
+      "                [--plant_bug] [--artifact_dir=DIR]\n");
   return 2;
 }
 
@@ -82,6 +83,8 @@ bool ParseArgs(int argc, char** argv, Args* args) {
       args->vacuum = false;
     } else if (std::strcmp(a, "--no_shrink") == 0) {
       args->shrink = false;
+    } else if (std::strcmp(a, "--no_cursor_check") == 0) {
+      args->cursor_check = false;
     } else if (std::strcmp(a, "--plant_bug") == 0) {
       args->plant_bug = true;
     } else if (std::strncmp(a, "--artifact_dir=", 15) == 0) {
@@ -109,7 +112,8 @@ void WriteArtifact(const Args& args, const tcob::sim::ShrinkResult& shrunk) {
                      std::to_string(shrunk.workload.seed) +
                      " --ops=" + std::to_string(args.ops) +
                      (args.cuts ? "" : " --no_cuts") +
-                     (args.vacuum ? "" : " --no_vacuum") + "\n";
+                     (args.vacuum ? "" : " --no_vacuum") +
+                     (args.cursor_check ? "" : " --no_cursor_check") + "\n";
   std::fwrite(body.data(), 1, body.size(), f);
   std::fclose(f);
   std::fprintf(stderr, "fuzz_sim: artifact written to %s\n", path.c_str());
@@ -129,6 +133,7 @@ int main(int argc, char** argv) {
   tcob::sim::RunOptions run;
   run.bug = args.plant_bug ? tcob::sim::ModelBug::kIgnoreDeletes
                            : tcob::sim::ModelBug::kNone;
+  run.check_cursors = args.cursor_check;
 
   uint64_t failures = 0;
   for (uint64_t seed = args.seed_begin; seed < args.seed_end; ++seed) {

@@ -5,8 +5,14 @@ Dependency-free validator for the JSON Schema (draft-07) subset the
 bench schema actually uses: type, required, properties,
 additionalProperties (bool or schema), items, minItems, minimum, enum.
 
-Usage: validate_bench_json.py SCHEMA ARTIFACT [ARTIFACT...]
+Usage: validate_bench_json.py SCHEMA ARTIFACT [ARTIFACT...] \
+           [--require-nonzero=FIELD[,FIELD...]]
 Exits non-zero (listing every violation) if any artifact is invalid.
+
+--require-nonzero: each named field must appear with a value > 0 in at
+least one benchmark record of every artifact — as a record-level field
+or inside "counters". Used by CI smoke runs to assert that new
+instrumentation (e.g. first_row_micros, peak_rss_bytes) actually fires.
 """
 
 import json
@@ -79,14 +85,41 @@ def validate(value, schema, path="$"):
     return errors
 
 
+def _nonzero_violations(value, fields):
+    """Fields (record-level or counter) that are never > 0 in any record."""
+    missing = []
+    records = value.get("benchmarks", [])
+    for field in fields:
+        found = False
+        for rec in records:
+            v = rec.get(field)
+            if v is None:
+                v = rec.get("counters", {}).get(field)
+            if isinstance(v, (int, float)) and not isinstance(v, bool) \
+                    and v > 0:
+                found = True
+                break
+        if not found:
+            missing.append(field)
+    return missing
+
+
 def main(argv):
-    if len(argv) < 3:
+    require_nonzero = []
+    positional = [argv[0]] if argv else []
+    for arg in argv[1:]:
+        if arg.startswith("--require-nonzero="):
+            spec = arg.split("=", 1)[1]
+            require_nonzero.extend(f for f in spec.split(",") if f)
+        else:
+            positional.append(arg)
+    if len(positional) < 3:
         print(__doc__.strip(), file=sys.stderr)
         return 2
-    with open(argv[1], encoding="utf-8") as f:
+    with open(positional[1], encoding="utf-8") as f:
         schema = json.load(f)
     failed = False
-    for artifact in argv[2:]:
+    for artifact in positional[2:]:
         try:
             with open(artifact, encoding="utf-8") as f:
                 value = json.load(f)
@@ -95,6 +128,9 @@ def main(argv):
             failed = True
             continue
         errors = validate(value, schema)
+        for field in _nonzero_violations(value, require_nonzero):
+            errors.append(
+                "$: field %r is not > 0 in any benchmark record" % field)
         if errors:
             failed = True
             print("%s: INVALID" % artifact)
