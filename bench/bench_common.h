@@ -104,7 +104,8 @@ struct BenchDb {
 /// Cache key for one configuration.
 inline std::string ConfigKey(StorageStrategy strategy,
                              const CompanyConfig& config, bool version_index,
-                             size_t pool_pages) {
+                             size_t pool_pages,
+                             const TieringOptions& tiering = {}) {
   return std::string(StorageStrategyName(strategy)) + "/" +
          std::to_string(config.depts) + "x" +
          std::to_string(config.emps_per_dept) + "x" +
@@ -112,7 +113,8 @@ inline std::string ConfigKey(StorageStrategy strategy,
          std::to_string(config.versions_per_atom) + "/idx" +
          std::to_string(version_index) + "/pool" +
          std::to_string(pool_pages) + "/t" +
-         std::to_string(BenchThreads());
+         std::to_string(BenchThreads()) +
+         (tiering.enabled ? "/tier" + std::to_string(tiering.cold_age) : "");
 }
 
 /// Builds (or returns the cached) company database for a configuration.
@@ -122,7 +124,8 @@ inline std::string ConfigKey(StorageStrategy strategy,
 inline BenchDb* GetCompanyDb(StorageStrategy strategy,
                              const CompanyConfig& requested,
                              bool version_index = true,
-                             size_t pool_pages = 1024) {
+                             size_t pool_pages = 1024,
+                             const TieringOptions& tiering = {}) {
   static std::map<std::string, std::unique_ptr<BenchDb>>* cache =
       new std::map<std::string, std::unique_ptr<BenchDb>>();
   CompanyConfig config = requested;
@@ -132,7 +135,8 @@ inline BenchDb* GetCompanyDb(StorageStrategy strategy,
     config.projs_per_emp = std::min<size_t>(config.projs_per_emp, 2);
     config.versions_per_atom = std::min<uint32_t>(config.versions_per_atom, 4);
   }
-  std::string key = ConfigKey(strategy, config, version_index, pool_pages);
+  std::string key =
+      ConfigKey(strategy, config, version_index, pool_pages, tiering);
   auto it = cache->find(key);
   if (it != cache->end()) return it->second.get();
 
@@ -143,6 +147,7 @@ inline BenchDb* GetCompanyDb(StorageStrategy strategy,
   options.buffer_pool_pages = pool_pages;
   options.store.separated_version_index = version_index;
   options.parallelism = BenchThreads();
+  options.tiering = tiering;
   auto db = Database::Open(bench_db->dir->path() + "/db", options);
   BenchCheck(db.status(), "open database");
   bench_db->db = std::move(db).value();

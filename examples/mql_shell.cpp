@@ -1,16 +1,21 @@
 // Interactive MQL shell over a TCOB database.
 //
 // Usage:
-//   mql_shell [db-directory]          (default: ./tcob-shell-db)
+//   mql_shell [db-directory] [--tiered[=AGE]]   (default: ./tcob-shell-db)
+//
+// --tiered enables cold-history tiering (versions older than AGE time
+// units, default 64, migrate to compressed segments on .tier_migrate).
 //
 // Type MQL statements terminated by ';'. Meta commands:
-//   .help        show a cheat sheet
-//   .checkpoint  flush everything and truncate the WAL
-//   .now [t]     show or set the valid-time clock
-//   .strategy    show the storage strategy
-//   .metrics     dump the metrics registry (Prometheus text format)
-//   .timing      toggle per-statement timing (first row vs total)
-//   .quit        exit
+//   .help         show a cheat sheet
+//   .checkpoint   flush everything and truncate the WAL
+//   .now [t]      show or set the valid-time clock
+//   .strategy     show the storage strategy
+//   .metrics      dump the metrics registry (Prometheus text format)
+//   .tiering      cold-tier report: segments, fences, cold/hot bytes
+//   .tier_migrate migrate cold-eligible history into segments
+//   .timing       toggle per-statement timing (first row vs total)
+//   .quit         exit
 //
 // SELECT results stream: rows print as the engine produces them (a
 // cursor pulls 64 rows at a time), so the first rows of a huge history
@@ -50,11 +55,59 @@ constexpr char kHelp[] = R"(MQL cheat sheet
   VACUUM BEFORE 100;
   SHOW CATALOG;
   SHOW STATS;
+Meta: .help .checkpoint .now [t] .strategy .metrics .tiering
+      .tier_migrate .timing .quit
 Attribute types: BOOL INT DOUBLE STRING TIMESTAMP ID
 Temporal predicates: OVERLAPS CONTAINS BEFORE MEETS DURING, VALID(Type),
 BEGIN(...), END(...), interval literals [a, b), NOW.
 Aggregates: COUNT(*) COUNT/SUM/AVG/MIN/MAX(Type.attr), GROUP BY ROOT.
 )";
+
+/// .tiering report: per atom type, every cold segment with its time
+/// fence and atom range, then the cold/hot on-disk byte split.
+void PrintTiering(Database* db) {
+  if (db->cold_tier() == nullptr) {
+    printf("tiering disabled — start the shell with --tiered\n");
+    return;
+  }
+  uint64_t cold_bytes = 0, cold_segments = 0, cold_versions = 0;
+  for (const AtomTypeDef* type : db->catalog().AtomTypes()) {
+    auto segments = db->cold_tier()->Segments(*type);
+    if (!segments.ok()) {
+      printf("error: %s\n", segments.status().ToString().c_str());
+      return;
+    }
+    if (segments->empty()) continue;
+    printf("%s:\n", type->name.c_str());
+    for (const auto& seg : *segments) {
+      printf("  segment fence=%s atoms=[%llu..%llu] (%u atoms) "
+             "versions=%llu bytes=%llu\n",
+             seg.fence.ToString().c_str(),
+             static_cast<unsigned long long>(seg.min_atom),
+             static_cast<unsigned long long>(seg.max_atom), seg.atom_count,
+             static_cast<unsigned long long>(seg.version_count),
+             static_cast<unsigned long long>(seg.bytes));
+      ++cold_segments;
+      cold_versions += seg.version_count;
+      cold_bytes += seg.bytes;
+    }
+  }
+  auto space = db->store()->SpaceStats();
+  if (!space.ok()) {
+    printf("error: %s\n", space.status().ToString().c_str());
+    return;
+  }
+  uint64_t hot_bytes =
+      (space->heap_pages + space->index_pages) * uint64_t{kPageSize};
+  printf("cold: %llu segment(s), %llu version(s), %llu bytes\n",
+         static_cast<unsigned long long>(cold_segments),
+         static_cast<unsigned long long>(cold_versions),
+         static_cast<unsigned long long>(cold_bytes));
+  printf("hot:  %llu bytes (%llu pages)\n",
+         static_cast<unsigned long long>(hot_bytes),
+         static_cast<unsigned long long>(space->heap_pages +
+                                         space->index_pages));
+}
 
 bool HandleMeta(Database* db, const std::string& line, bool* timing) {
   if (line == ".help") {
@@ -73,6 +126,20 @@ bool HandleMeta(Database* db, const std::string& line, bool* timing) {
     printf("%s\n", StorageStrategyName(db->options().strategy));
   } else if (line == ".metrics") {
     fputs(db->MetricsSnapshot().ToText().c_str(), stdout);
+  } else if (line == ".tiering") {
+    PrintTiering(db);
+  } else if (line == ".tier_migrate") {
+    if (db->cold_tier() == nullptr) {
+      printf("tiering disabled — start the shell with --tiered\n");
+    } else {
+      auto migrated = db->TierMigrate();
+      if (!migrated.ok()) {
+        printf("error: %s\n", migrated.status().ToString().c_str());
+      } else {
+        printf("migrated %llu version(s) to cold segments\n",
+               static_cast<unsigned long long>(migrated.value()));
+      }
+    }
   } else {
     printf("unknown meta command; try .help\n");
   }
@@ -135,8 +202,19 @@ void RunStatement(Database* db, const std::string& mql, bool timing) {
 }  // namespace
 
 int main(int argc, char** argv) {
-  std::string dir = argc > 1 ? argv[1] : "./tcob-shell-db";
-  auto opened = Database::Open(dir, {});
+  std::string dir = "./tcob-shell-db";
+  DatabaseOptions options;
+  for (int i = 1; i < argc; ++i) {
+    if (strncmp(argv[i], "--tiered", 8) == 0) {
+      options.tiering.enabled = true;
+      if (argv[i][8] == '=') {
+        options.tiering.cold_age = strtoll(argv[i] + 9, nullptr, 10);
+      }
+    } else {
+      dir = argv[i];
+    }
+  }
+  auto opened = Database::Open(dir, options);
   if (!opened.ok()) {
     fprintf(stderr, "cannot open %s: %s\n", dir.c_str(),
             opened.status().ToString().c_str());

@@ -77,6 +77,13 @@ Status Database::Init() {
                              std::string(StorageStrategyName(
                                  options_.strategy)),
                              options_.store);
+  if (options_.tiering.enabled) {
+    // Attached before recovery: WAL replay of retroactive DML consults
+    // the cold tier's idempotence markers.
+    cold_tier_ = std::make_unique<ColdTier>(
+        pool_.get(), std::string(StorageStrategyName(options_.strategy)));
+    store_->AttachColdTier(cold_tier_.get());
+  }
   links_ = std::make_unique<LinkStore>(pool_.get(), "links");
   attr_indexes_ = std::make_unique<AttrIndexManager>(pool_.get(), &catalog_);
   TCOB_ASSIGN_OR_RETURN(wal_, WriteAheadLog::Open(dir_ + "/wal.log", env_));
@@ -92,6 +99,7 @@ Status Database::Init() {
 
 void Database::RegisterMetrics() {
   store_->RegisterMetrics(&metrics_);
+  if (cold_tier_ != nullptr) cold_tier_->RegisterMetrics(&metrics_);
   pool_->RegisterMetrics(&metrics_);
   disk_->RegisterMetrics(&metrics_);
   wal_->RegisterMetrics(&metrics_);
@@ -602,6 +610,7 @@ struct Database::SelectCursorContext {
   /// Started at open; total_us and first_row_us are offsets from it.
   StopwatchUs total_timer;
   StoreAccessStats store_before;
+  ColdTierAccessStats tiering_before;
   BufferPoolStats pool_before;
   std::optional<Materializer> mat;
   std::optional<SelectExecutor> exec;
@@ -659,6 +668,7 @@ Result<std::unique_ptr<Cursor>> Database::NewSelectCursor(
   // single-threaded per database, so the open->finalize delta is this
   // query's work.
   ctx->store_before = store_->access_stats();
+  ctx->tiering_before = store_->cold_access_stats();
   ctx->pool_before = pool_->stats();
   ctx->mat.emplace(&catalog_, store_.get(), links_.get(), query_pool_.get());
   ctx->exec.emplace(&catalog_, &*ctx->mat, now_, attr_indexes_.get());
@@ -709,6 +719,8 @@ void Database::FinalizeSelectTrace(SelectCursorContext* ctx) {
   QueryStats& trace = ctx->trace;
   trace.store = store_->access_stats();
   trace.store -= ctx->store_before;
+  trace.tiering = store_->cold_access_stats();
+  trace.tiering -= ctx->tiering_before;
   trace.pool = pool_->stats();
   trace.pool -= ctx->pool_before;
   trace.total_us = trace.parse_us + ctx->total_timer.ElapsedUs();
@@ -845,6 +857,21 @@ Result<ResultSet> Database::ExecuteStatementImpl(const Statement& stmt,
           add("disk_writes", static_cast<int64_t>(disk.writes));
           TCOB_ASSIGN_OR_RETURN(uint64_t wal_bytes, wal_->SizeBytes());
           add("wal_bytes", static_cast<int64_t>(wal_bytes));
+          if (cold_tier_ != nullptr) {
+            ColdSpaceStats cold;
+            for (const AtomTypeDef* t : catalog_.AtomTypes()) {
+              TCOB_ASSIGN_OR_RETURN(ColdSpaceStats cs,
+                                    cold_tier_->SpaceStats(*t));
+              cold.segments += cs.segments;
+              cold.versions += cs.versions;
+              cold.blob_bytes += cs.blob_bytes;
+              cold.total_pages += cs.total_pages;
+            }
+            add("cold_segments", static_cast<int64_t>(cold.segments));
+            add("cold_versions", static_cast<int64_t>(cold.versions));
+            add("cold_blob_bytes", static_cast<int64_t>(cold.blob_bytes));
+            add("cold_pages", static_cast<int64_t>(cold.total_pages));
+          }
           return out;
         } else if constexpr (std::is_same_v<T, VacuumStmt>) {
           TCOB_ASSIGN_OR_RETURN(uint64_t removed, VacuumBefore(s.before));
@@ -914,6 +941,14 @@ Result<uint64_t> Database::VacuumBefore(Timestamp cutoff) {
   for (const AtomTypeDef* type : catalog_.AtomTypes()) {
     TCOB_ASSIGN_OR_RETURN(uint64_t n, store_->VacuumBefore(*type, cutoff));
     removed += n;
+    if (cold_tier_ != nullptr) {
+      // Cold versions are strictly older than hot ones, so if the hot
+      // vacuum emptied an atom its cold history predates the cutoff too
+      // — the cross-tier timeline invariants survive any cutoff.
+      TCOB_ASSIGN_OR_RETURN(uint64_t c,
+                            cold_tier_->VacuumBefore(*type, cutoff));
+      removed += c;
+    }
   }
   for (const LinkTypeDef* link : catalog_.LinkTypes()) {
     TCOB_RETURN_NOT_OK(links_->VacuumBefore(*link, cutoff).status());
@@ -921,6 +956,41 @@ Result<uint64_t> Database::VacuumBefore(Timestamp cutoff) {
   TCOB_RETURN_NOT_OK(attr_indexes_->VacuumBefore(cutoff).status());
   TCOB_RETURN_NOT_OK(Checkpoint());
   return removed;
+}
+
+Result<uint64_t> Database::TierMigrate() {
+  TCOB_RETURN_NOT_OK(CheckWritable());
+  if (cold_tier_ == nullptr) return static_cast<uint64_t>(0);
+  // Same checkpoint discipline as VacuumBefore: the migration is a
+  // physical reorganization, not a logged operation. The WAL is empty
+  // while it runs, and its effects become durable only at the trailing
+  // checkpoint's journal-commit point — a crash anywhere in between
+  // recovers to the pre-migration image.
+  TCOB_RETURN_NOT_OK(Checkpoint());
+  const Timestamp cutoff = now_ > options_.tiering.cold_age
+                               ? now_ - options_.tiering.cold_age
+                               : kMinTimestamp;
+  uint64_t migrated = 0;
+  for (const AtomTypeDef* type : catalog_.AtomTypes()) {
+    TCOB_ASSIGN_OR_RETURN(auto eligible,
+                          store_->CollectMigratable(*type, cutoff));
+    if (eligible.empty()) continue;
+    TCOB_ASSIGN_OR_RETURN(
+        uint64_t written,
+        cold_tier_->Migrate(*type, eligible, query_pool_.get(),
+                            options_.tiering.segment_target_bytes));
+    TCOB_ASSIGN_OR_RETURN(uint64_t released,
+                          store_->ReleaseMigrated(*type, cutoff));
+    if (written != released) {
+      return Status::Corruption(
+          "tier migration of type " + type->name + " wrote " +
+          std::to_string(written) + " version(s) but released " +
+          std::to_string(released));
+    }
+    migrated += released;
+  }
+  TCOB_RETURN_NOT_OK(Checkpoint());
+  return migrated;
 }
 
 // ---- durability ----

@@ -20,11 +20,28 @@
 #include "storage/buffer_pool.h"
 #include "storage/disk_manager.h"
 #include "storage/io_env.h"
+#include "tstore/cold_tier.h"
 #include "tstore/store_factory.h"
 #include "wal/log_record.h"
 #include "wal/wal.h"
 
 namespace tcob {
+
+/// Cold-history tiering (see tstore/cold_tier.h). Off by default; when
+/// enabled, TierMigrate() moves atom versions whose validity ended more
+/// than `cold_age` chronons before NOW out of the hot store into
+/// delta-compressed immutable segments. Reads stay transparent (hot and
+/// cold merge in timeline order) and every atom keeps at least one hot
+/// version, so DML semantics are unchanged.
+struct TieringOptions {
+  bool enabled = false;
+  /// Migration watermark: versions ending at or before NOW - cold_age
+  /// are eligible.
+  Timestamp cold_age = 64;
+  /// Target input size of one segment (full-record bytes before delta
+  /// compression). 0 = the ColdTier default.
+  uint64_t segment_target_bytes = 32 * 1024;
+};
 
 /// Open-time configuration of a TCOB database.
 struct DatabaseOptions {
@@ -48,6 +65,8 @@ struct DatabaseOptions {
   /// SELECTs whose total wall time reaches this many microseconds are
   /// logged at kWarn with their trace summary. 0 disables the log.
   uint64_t slow_query_threshold_micros = 0;
+  /// Cold-history tiering knobs (off by default).
+  TieringOptions tiering;
 };
 
 /// What Open's WAL replay observed (introspection for crash tests and
@@ -223,6 +242,15 @@ class Database {
   /// vacuumed state. Returns the number of atom versions removed.
   Result<uint64_t> VacuumBefore(Timestamp cutoff);
 
+  /// Cold-history migration: moves every atom version whose validity
+  /// ended at or before NOW - tiering.cold_age into the cold tier's
+  /// delta-compressed segments and releases it from the hot store.
+  /// No-op (returns 0) when tiering is disabled. Wrapped in checkpoints
+  /// like VacuumBefore — the WAL never references a half-migrated store,
+  /// and a crash mid-migration recovers to the pre-migration checkpoint.
+  /// Returns the number of versions migrated.
+  Result<uint64_t> TierMigrate();
+
   // ---- durability ----
 
   /// Flushes all state and truncates the WAL.
@@ -270,6 +298,9 @@ class Database {
   const Catalog& catalog() const { return catalog_; }
   TemporalAtomStore* store() { return store_.get(); }
   const TemporalAtomStore* store() const { return store_.get(); }
+  /// The cold tier, or nullptr when tiering is disabled.
+  ColdTier* cold_tier() { return cold_tier_.get(); }
+  const ColdTier* cold_tier() const { return cold_tier_.get(); }
   LinkStore* links() { return links_.get(); }
   BufferPool* pool() { return pool_.get(); }
   DiskManager* disk() { return disk_.get(); }
@@ -399,6 +430,10 @@ class Database {
   std::unique_ptr<DiskManager> disk_;
   std::unique_ptr<BufferPool> pool_;
   std::unique_ptr<TemporalAtomStore> store_;
+  /// Cold-history tier; non-null iff options_.tiering.enabled. Attached
+  /// to store_, so declared after it (destroyed first; the store never
+  /// dereferences it during destruction).
+  std::unique_ptr<ColdTier> cold_tier_;
   std::unique_ptr<LinkStore> links_;
   std::unique_ptr<AttrIndexManager> attr_indexes_;
   std::unique_ptr<WriteAheadLog> wal_;

@@ -63,6 +63,10 @@ ResultSet QueryStats::ToResultSet() const {
   num("store", "scan_versions", store.scan_versions);
   num("store", "total_accesses", store.Total());
 
+  num("tiering", "segments_pruned", tiering.segments_pruned);
+  num("tiering", "segments_scanned", tiering.segments_scanned);
+  num("tiering", "cold_versions", tiering.cold_versions);
+
   num("version_cache", "atom_hits", cache.atom_hits);
   num("version_cache", "atom_misses", cache.atom_misses);
   num("version_cache", "link_hits", cache.link_hits);

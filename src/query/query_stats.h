@@ -58,6 +58,9 @@ struct QueryStats {
 
   /// Store round-trips this query caused (counter delta).
   StoreAccessStats store;
+  /// Cold-tier work this query caused (counter delta; all zero when
+  /// tiering is off).
+  ColdTierAccessStats tiering;
   /// Version-cache behavior of this query's caches (exact, query-scoped).
   VersionCacheStats cache;
   /// Page traffic this query caused (counter delta).

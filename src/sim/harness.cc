@@ -23,6 +23,7 @@ struct Instance {
   std::string name;
   StorageStrategy strategy = StorageStrategy::kSeparated;
   size_t parallelism = 1;
+  TieringOptions tiering;
   std::string dir = "simdb";
 
   FaultInjectingIoEnv env;
@@ -57,6 +58,7 @@ DatabaseOptions MakeOptions(Instance* inst) {
   opts.sync_wal = true;  // an ack must mean durable
   opts.parallelism = inst->parallelism;
   opts.env = &inst->env;
+  opts.tiering = inst->tiering;
   return opts;
 }
 
@@ -534,6 +536,19 @@ std::optional<std::string> ExecOp(Instance* inst, const SimSchema& schema,
       }
       break;
     }
+    case SimOpKind::kTierMigrate: {
+      // Logically invisible: no model mirror, no count compare — every
+      // later query, verify and dump cross-check must be unaffected. A
+      // cut inside the migration recovers to the pre-migration
+      // checkpoint (same discipline as vacuum, minus the uncertainty:
+      // migration never removes logical content).
+      Result<uint64_t> r = inst->db->TierMigrate();
+      if (!r.ok()) {
+        if (inst->env.cut_fired()) return HandleCrash(inst, nullptr);
+        return "tier-migrate: " + r.status().ToString();
+      }
+      break;
+    }
     case SimOpKind::kVerify: {
       Status s = inst->db->VerifyIntegrity();
       if (!s.ok()) return FailOrCrash(inst, s, nullptr, "verify-integrity");
@@ -597,6 +612,9 @@ RunResult RunWorkload(const SimWorkload& w, const RunOptions& options) {
       auto inst = std::make_unique<Instance>(&w.schema, options.bug);
       inst->strategy = strategy;
       inst->parallelism = parallelism;
+      inst->tiering.enabled = w.tiering_enabled;
+      inst->tiering.cold_age = w.tiering_cold_age;
+      inst->tiering.segment_target_bytes = w.tiering_segment_bytes;
       inst->name = std::string(StorageStrategyName(strategy)) + "/p" +
                    std::to_string(parallelism);
       instances.push_back(std::move(inst));

@@ -205,6 +205,11 @@ SimWorkload GenerateWorkload(uint64_t seed, const GenOptions& options) {
   SimWorkload w;
   w.seed = seed;
   w.schema = GenerateSchema(&rng);
+  // Draw the tiering knobs unconditionally so a --no_tiering run sees
+  // the exact same schema and op stream (only roll==98 ops differ).
+  w.tiering_enabled = options.enable_tiering;
+  w.tiering_cold_age = static_cast<Timestamp>(rng.UniformRange(8, 32));
+  w.tiering_segment_bytes = 1024 * (1 + rng.Uniform(4));
 
   // A shadow model keeps generated ops mostly-valid (alive targets, open
   // links) without talking to a real database.
@@ -343,6 +348,11 @@ SimWorkload GenerateWorkload(uint64_t seed, const GenOptions& options) {
       } else {
         GenerateQuery(&rng, w.schema, now, &op);
       }
+    } else if (roll == 98) {
+      // Tiering is logically invisible, so the model stays untouched —
+      // every later query and dump compare still uses the same oracle.
+      op.kind = options.enable_tiering ? SimOpKind::kTierMigrate
+                                       : SimOpKind::kVerify;
     } else {
       op.kind = SimOpKind::kVerify;
     }
@@ -443,6 +453,7 @@ std::string OpToString(const SimSchema& schema, const SimOp& op) {
              (op.cut_mode == CutMode::kDropUnsynced ? "drop-unsynced"
                                                     : "keep-all-tear-last");
     case SimOpKind::kVacuum: return "vacuum before " + std::to_string(op.at);
+    case SimOpKind::kTierMigrate: return "tier-migrate";
     case SimOpKind::kVerify: return "verify-integrity";
     case SimOpKind::kQuery: return "query: " + QueryToMql(schema, op);
   }

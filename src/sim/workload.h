@@ -72,6 +72,7 @@ enum class SimOpKind {
   kReopen,
   kPowerCut,
   kVacuum,
+  kTierMigrate,  // cold-history migration (logically invisible)
   kVerify,
   kQuery,
 };
@@ -129,6 +130,12 @@ struct SimOp {
 struct SimWorkload {
   uint64_t seed = 0;
   SimSchema schema;
+  /// Cold-history tiering configuration of the instance under test
+  /// (seed-derived knobs; `tiering_enabled` mirrors the GenOptions gate).
+  /// The oracle never sees it — tiering must be logically invisible.
+  bool tiering_enabled = false;
+  Timestamp tiering_cold_age = 16;
+  uint64_t tiering_segment_bytes = 2048;
   std::vector<SimOp> ops;
 };
 
@@ -141,6 +148,7 @@ struct GenOptions {
   size_t num_ops = 300;
   bool enable_cuts = true;
   bool enable_vacuum = true;
+  bool enable_tiering = true;
 };
 
 /// Deterministically expands one 64-bit seed into a schema + op stream.

@@ -106,6 +106,10 @@ Status IntegratedStore::Insert(const AtomTypeDef& type, AtomId id,
     for (const AtomVersion& v : versions) {
       if (v.valid.begin == from) return Status::OK();
     }
+    if (has_cold() && from < versions.front().valid.begin) {
+      TCOB_ASSIGN_OR_RETURN(ColdMarkers cold, ColdMarkersAt(type, id, from));
+      if (cold.begins_at) return Status::OK();
+    }
     const AtomVersion& last = versions.back();
     if (last.valid.open_ended()) {
       return Status::AlreadyExists("atom " + std::to_string(id) +
@@ -140,6 +144,10 @@ Status IntegratedStore::Update(const AtomTypeDef& type, AtomId id,
   for (const AtomVersion& v : versions) {
     if (v.valid.begin == from && v.version_no > 1) return Status::OK();
   }
+  if (has_cold() && from < versions.front().valid.begin) {
+    TCOB_ASSIGN_OR_RETURN(ColdMarkers cold, ColdMarkersAt(type, id, from));
+    if (cold.begins_update_at) return Status::OK();
+  }
   if (!current.valid.open_ended()) {
     return Status::InvalidArgument("update of a dead atom");
   }
@@ -168,6 +176,13 @@ Status IntegratedStore::Delete(const AtomTypeDef& type, AtomId id,
     if (v.valid.end == from) ends_at_from = true;
     if (v.valid.begin == from) begins_at_from = true;
   }
+  // Cold versions may carry the marker (a cold version can end exactly
+  // where the oldest hot one begins — the migration boundary).
+  if (has_cold() && from <= versions.front().valid.begin) {
+    TCOB_ASSIGN_OR_RETURN(ColdMarkers cold, ColdMarkersAt(type, id, from));
+    ends_at_from = ends_at_from || cold.ends_at;
+    begins_at_from = begins_at_from || cold.begins_at;
+  }
   if (ends_at_from && !begins_at_from) return Status::OK();
   if (!current.valid.open_ended()) {
     return Status::InvalidArgument("delete of a dead atom");
@@ -186,6 +201,16 @@ Result<std::optional<AtomVersion>> IntegratedStore::DoGetAsOf(
   for (const AtomVersion& v : versions) {
     if (v.valid.Contains(t)) return std::optional<AtomVersion>(v);
   }
+  // Probe the cold tier only when t precedes every hot version (cold
+  // versions are strictly older than the cluster's oldest entry).
+  if (has_cold() && !versions.empty() &&
+      t < versions.front().valid.begin) {
+    TCOB_ASSIGN_OR_RETURN(std::vector<AtomVersion> cold,
+                          ColdVersions(type, id, Interval::At(t)));
+    for (AtomVersion& v : cold) {
+      if (v.valid.Contains(t)) return std::optional<AtomVersion>(std::move(v));
+    }
+  }
   return std::optional<AtomVersion>();
 }
 
@@ -194,6 +219,10 @@ Result<std::vector<AtomVersion>> IntegratedStore::DoGetVersions(
   TCOB_ASSIGN_OR_RETURN(std::vector<AtomVersion> versions,
                         LoadCluster(type, id, nullptr));
   std::vector<AtomVersion> out;
+  if (has_cold() && !versions.empty() &&
+      window.begin < versions.front().valid.begin) {
+    TCOB_ASSIGN_OR_RETURN(out, ColdVersions(type, id, window));
+  }
   for (AtomVersion& v : versions) {
     if (v.valid.Overlaps(window)) out.push_back(std::move(v));
   }
@@ -210,11 +239,27 @@ Status IntegratedStore::DoScanVersions(const AtomTypeDef& type,
                                      const VersionCallback& fn) const {
   TCOB_ASSIGN_OR_RETURN(TypeState * state, StateOf(type.id));
   std::vector<AttrType> schema = type.AttrTypes();
-  return state->heap->Scan(
-      [&](const Rid& rid, const Slice& rec) -> Result<bool> {
-        (void)rid;
+  // Scan clusters in index order (ascending atom id) rather than heap
+  // order, which is not stable under migration; each atom's cold
+  // versions (strictly older) are emitted before its hot cluster.
+  std::map<AtomId, std::vector<AtomVersion>> cold;
+  TCOB_RETURN_NOT_OK(ColdCollectAll(type, window, &cold));
+  return state->index->Scan(
+      Slice(), Slice(), [&](const Slice& key, uint64_t packed) -> Result<bool> {
+        (void)key;
+        TCOB_ASSIGN_OR_RETURN(std::string rec,
+                              state->heap->Get(Rid::Unpack(packed)));
         TCOB_ASSIGN_OR_RETURN(std::vector<AtomVersion> versions,
-                              DecodeCluster(schema, rec));
+                              DecodeCluster(schema, Slice(rec)));
+        if (!versions.empty()) {
+          auto it = cold.find(versions.front().id);
+          if (it != cold.end()) {
+            for (AtomVersion& v : it->second) {
+              TCOB_ASSIGN_OR_RETURN(bool keep_going, fn(v));
+              if (!keep_going) return false;
+            }
+          }
+        }
         for (const AtomVersion& v : versions) {
           if (!v.valid.Overlaps(window)) continue;
           TCOB_ASSIGN_OR_RETURN(bool keep_going, fn(v));
@@ -286,6 +331,36 @@ Result<uint64_t> IntegratedStore::VacuumBefore(const AtomTypeDef& type,
     }
   }
   return removed;
+}
+
+Result<uint64_t> IntegratedStore::ReleaseMigrated(const AtomTypeDef& type,
+                                                  Timestamp cutoff) {
+  TCOB_ASSIGN_OR_RETURN(TypeState * state, StateOf(type.id));
+  std::vector<AtomId> atoms;
+  {
+    TCOB_RETURN_NOT_OK(state->heap->Scan(
+        [&](const Rid&, const Slice& rec) -> Result<bool> {
+          Slice in(rec);
+          uint64_t id;
+          TCOB_RETURN_NOT_OK(GetVarint64(&in, &id));
+          atoms.push_back(id);
+          return true;
+        }));
+  }
+  uint64_t released = 0;
+  for (AtomId id : atoms) {
+    Rid rid;
+    TCOB_ASSIGN_OR_RETURN(std::vector<AtomVersion> versions,
+                          LoadCluster(type, id, &rid));
+    size_t n = MigratablePrefix(versions, cutoff);
+    if (n == 0) continue;
+    released += n;
+    // The anchor rule guarantees a non-empty remainder, so the cluster
+    // (and its index entry) always survives.
+    std::vector<AtomVersion> kept(versions.begin() + n, versions.end());
+    TCOB_RETURN_NOT_OK(StoreCluster(type, id, rid, kept));
+  }
+  return released;
 }
 
 Status IntegratedStore::VerifyStructure(const AtomTypeDef& type) const {

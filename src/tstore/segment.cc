@@ -1,0 +1,303 @@
+#include "tstore/segment.h"
+
+#include <algorithm>
+
+#include "common/coding.h"
+#include "common/hash.h"
+#include "record/record_codec.h"
+
+namespace tcob {
+
+namespace {
+
+constexpr uint32_t kSegmentMagic = 0x54435331;  // "TCS1"
+constexpr size_t kFooterSize = 4;               // CRC-32C
+
+size_t BitmapBytes(size_t n_attrs) { return (n_attrs + 7) / 8; }
+
+}  // namespace
+
+Status SegmentBuilder::AddAtom(AtomId id, std::vector<AtomVersion> versions) {
+  if (id == kInvalidAtomId) {
+    return Status::InvalidArgument("segment: invalid atom id");
+  }
+  if (!atoms_.empty() && id <= atoms_.back().id) {
+    return Status::InvalidArgument("segment: atoms must be added in "
+                                   "ascending id order");
+  }
+  if (versions.empty()) {
+    return Status::InvalidArgument("segment: atom with no versions");
+  }
+  for (size_t i = 0; i < versions.size(); ++i) {
+    const AtomVersion& v = versions[i];
+    if (v.valid.empty() || v.valid.open_ended()) {
+      return Status::InvalidArgument(
+          "segment: version interval must be closed and non-empty, got " +
+          v.valid.ToString());
+    }
+    if (v.attrs.size() != schema_.size()) {
+      return Status::InvalidArgument("segment: attribute count mismatch");
+    }
+    if (i > 0) {
+      if (v.valid.begin < versions[i - 1].valid.end) {
+        return Status::InvalidArgument("segment: versions overlap or are "
+                                       "out of order");
+      }
+      if (v.version_no <= versions[i - 1].version_no) {
+        return Status::InvalidArgument("segment: version numbers must "
+                                       "increase along the chain");
+      }
+    }
+  }
+  version_count_ += versions.size();
+  atoms_.push_back(PendingAtom{id, std::move(versions)});
+  return Status::OK();
+}
+
+Result<std::string> SegmentBuilder::Finish() {
+  if (atoms_.empty()) {
+    return Status::InvalidArgument("segment: empty segment");
+  }
+  Interval fence = atoms_.front().versions.front().valid;
+  for (const PendingAtom& a : atoms_) {
+    fence.begin = std::min(fence.begin, a.versions.front().valid.begin);
+    fence.end = std::max(fence.end, a.versions.back().valid.end);
+  }
+
+  // Payload first: the directory needs every atom's offset.
+  std::string payload;
+  std::vector<uint64_t> offsets;
+  offsets.reserve(atoms_.size());
+  for (const PendingAtom& a : atoms_) {
+    offsets.push_back(payload.size());
+    const AtomVersion* prev = nullptr;
+    for (const AtomVersion& v : a.versions) {
+      if (prev == nullptr) {
+        PutVarint32(&payload, v.version_no);
+        PutVarint64(&payload,
+                    static_cast<uint64_t>(v.valid.begin - fence.begin));
+        PutVarint64(&payload,
+                    static_cast<uint64_t>(v.valid.end - v.valid.begin));
+        TCOB_RETURN_NOT_OK(EncodeValues(schema_, v.attrs, &payload));
+      } else {
+        PutVarint32(&payload, v.version_no - prev->version_no);
+        PutVarint64(&payload,
+                    static_cast<uint64_t>(v.valid.begin - prev->valid.end));
+        PutVarint64(&payload,
+                    static_cast<uint64_t>(v.valid.end - v.valid.begin));
+        std::string bitmap(BitmapBytes(schema_.size()), '\0');
+        std::vector<AttrType> changed_schema;
+        std::vector<Value> changed_values;
+        for (size_t i = 0; i < schema_.size(); ++i) {
+          if (!v.attrs[i].Equals(prev->attrs[i])) {
+            bitmap[i / 8] |= static_cast<char>(1u << (i % 8));
+            changed_schema.push_back(schema_[i]);
+            changed_values.push_back(v.attrs[i]);
+          }
+        }
+        payload.append(bitmap);
+        TCOB_RETURN_NOT_OK(
+            EncodeValues(changed_schema, changed_values, &payload));
+      }
+      prev = &v;
+    }
+  }
+
+  std::string out;
+  PutFixed32(&out, kSegmentMagic);
+  PutVarint32(&out, type_);
+  PutVarsint64(&out, fence.begin);
+  PutVarsint64(&out, fence.end);
+  PutVarint32(&out, static_cast<uint32_t>(atoms_.size()));
+  AtomId prev_id = 0;
+  for (size_t i = 0; i < atoms_.size(); ++i) {
+    const PendingAtom& a = atoms_[i];
+    PutVarint64(&out, a.id - prev_id);
+    prev_id = a.id;
+    PutVarint32(&out, static_cast<uint32_t>(a.versions.size()));
+    PutVarint64(&out, offsets[i]);
+    PutVarint64(&out, static_cast<uint64_t>(a.versions.front().valid.begin -
+                                            fence.begin));
+    PutVarint64(&out, static_cast<uint64_t>(fence.end -
+                                            a.versions.back().valid.end));
+  }
+  PutVarint64(&out, payload.size());
+  out.append(payload);
+  PutFixed32(&out, Crc32c(out.data(), out.size()));
+  atoms_.clear();
+  version_count_ = 0;
+  return out;
+}
+
+Result<SegmentReader> SegmentReader::Open(std::string bytes,
+                                          std::vector<AttrType> schema) {
+  SegmentReader r;
+  r.bytes_ = std::move(bytes);
+  r.schema_ = std::move(schema);
+  if (r.bytes_.size() < kFooterSize + 4) {
+    return Status::Corruption("segment: truncated (no footer)");
+  }
+  size_t body_len = r.bytes_.size() - kFooterSize;
+  Slice footer(r.bytes_.data() + body_len, kFooterSize);
+  uint32_t stored_crc;
+  TCOB_RETURN_NOT_OK(GetFixed32(&footer, &stored_crc));
+  if (stored_crc != Crc32c(r.bytes_.data(), body_len)) {
+    return Status::Corruption("segment: checksum mismatch");
+  }
+
+  Slice in(r.bytes_.data(), body_len);
+  uint32_t magic;
+  TCOB_RETURN_NOT_OK(GetFixed32(&in, &magic));
+  if (magic != kSegmentMagic) {
+    return Status::Corruption("segment: bad magic");
+  }
+  uint32_t type_raw;
+  TCOB_RETURN_NOT_OK(GetVarint32(&in, &type_raw));
+  r.type_ = type_raw;
+  TCOB_RETURN_NOT_OK(GetVarsint64(&in, &r.fence_.begin));
+  TCOB_RETURN_NOT_OK(GetVarsint64(&in, &r.fence_.end));
+  if (r.fence_.empty()) {
+    return Status::Corruption("segment: empty fence interval");
+  }
+  uint64_t fence_span =
+      static_cast<uint64_t>(r.fence_.end) - static_cast<uint64_t>(r.fence_.begin);
+  uint32_t atom_count;
+  TCOB_RETURN_NOT_OK(GetVarint32(&in, &atom_count));
+  if (atom_count == 0) {
+    return Status::Corruption("segment: zero atoms");
+  }
+  r.dir_.reserve(atom_count);
+  AtomId prev_id = 0;
+  uint64_t prev_offset = 0;
+  for (uint32_t i = 0; i < atom_count; ++i) {
+    SegmentAtomEntry e;
+    uint64_t id_delta;
+    TCOB_RETURN_NOT_OK(GetVarint64(&in, &id_delta));
+    if (id_delta == 0) {
+      return Status::Corruption("segment: non-ascending atom ids");
+    }
+    e.id = prev_id + id_delta;
+    prev_id = e.id;
+    TCOB_RETURN_NOT_OK(GetVarint32(&in, &e.version_count));
+    if (e.version_count == 0) {
+      return Status::Corruption("segment: atom with zero versions");
+    }
+    TCOB_RETURN_NOT_OK(GetVarint64(&in, &e.payload_offset));
+    if (i == 0 ? e.payload_offset != 0 : e.payload_offset <= prev_offset) {
+      return Status::Corruption("segment: non-ascending payload offsets");
+    }
+    prev_offset = e.payload_offset;
+    uint64_t begin_delta, end_delta;
+    TCOB_RETURN_NOT_OK(GetVarint64(&in, &begin_delta));
+    TCOB_RETURN_NOT_OK(GetVarint64(&in, &end_delta));
+    if (begin_delta > fence_span || end_delta > fence_span) {
+      return Status::Corruption("segment: atom extent outside fence");
+    }
+    e.extent.begin = r.fence_.begin + static_cast<Timestamp>(begin_delta);
+    e.extent.end = r.fence_.end - static_cast<Timestamp>(end_delta);
+    if (e.extent.empty()) {
+      return Status::Corruption("segment: empty atom extent");
+    }
+    r.version_count_ += e.version_count;
+    r.dir_.push_back(e);
+  }
+  TCOB_RETURN_NOT_OK(GetVarint64(&in, &r.payload_len_));
+  if (in.size() != r.payload_len_) {
+    return Status::Corruption("segment: payload length mismatch");
+  }
+  for (const SegmentAtomEntry& e : r.dir_) {
+    if (e.payload_offset >= r.payload_len_) {
+      return Status::Corruption("segment: payload offset out of range");
+    }
+  }
+  r.payload_begin_ = body_len - static_cast<size_t>(r.payload_len_);
+  return r;
+}
+
+Result<std::vector<AtomVersion>> SegmentReader::AtomVersions(
+    size_t dir_index) const {
+  if (dir_index >= dir_.size()) {
+    return Status::InvalidArgument("segment: directory index out of range");
+  }
+  const SegmentAtomEntry& e = dir_[dir_index];
+  uint64_t chain_end = dir_index + 1 < dir_.size()
+                           ? dir_[dir_index + 1].payload_offset
+                           : payload_len_;
+  Slice chain(bytes_.data() + payload_begin_ + e.payload_offset,
+              static_cast<size_t>(chain_end - e.payload_offset));
+  std::vector<AtomVersion> out;
+  out.reserve(e.version_count);
+  for (uint32_t i = 0; i < e.version_count; ++i) {
+    AtomVersion v;
+    v.id = e.id;
+    v.type = type_;
+    if (i == 0) {
+      TCOB_RETURN_NOT_OK(GetVarint32(&chain, &v.version_no));
+      uint64_t begin_delta, len;
+      TCOB_RETURN_NOT_OK(GetVarint64(&chain, &begin_delta));
+      TCOB_RETURN_NOT_OK(GetVarint64(&chain, &len));
+      uint64_t fence_span = static_cast<uint64_t>(fence_.end) -
+                            static_cast<uint64_t>(fence_.begin);
+      if (begin_delta > fence_span || len == 0 ||
+          len > fence_span - begin_delta) {
+        return Status::Corruption("segment: version outside fence");
+      }
+      v.valid.begin = fence_.begin + static_cast<Timestamp>(begin_delta);
+      v.valid.end = v.valid.begin + static_cast<Timestamp>(len);
+      TCOB_ASSIGN_OR_RETURN(v.attrs, DecodeValues(schema_, &chain));
+    } else {
+      const AtomVersion& prev = out.back();
+      uint32_t vno_delta;
+      TCOB_RETURN_NOT_OK(GetVarint32(&chain, &vno_delta));
+      if (vno_delta == 0) {
+        return Status::Corruption("segment: non-increasing version number");
+      }
+      v.version_no = prev.version_no + vno_delta;
+      uint64_t gap, len;
+      TCOB_RETURN_NOT_OK(GetVarint64(&chain, &gap));
+      TCOB_RETURN_NOT_OK(GetVarint64(&chain, &len));
+      uint64_t room = static_cast<uint64_t>(fence_.end) -
+                      static_cast<uint64_t>(prev.valid.end);
+      if (gap > room || len == 0 || len > room - gap) {
+        return Status::Corruption("segment: version outside fence");
+      }
+      v.valid.begin = prev.valid.end + static_cast<Timestamp>(gap);
+      v.valid.end = v.valid.begin + static_cast<Timestamp>(len);
+      size_t nbytes = BitmapBytes(schema_.size());
+      if (chain.size() < nbytes) {
+        return Status::Corruption("segment: truncated change bitmap");
+      }
+      const char* bitmap = chain.data();
+      chain.RemovePrefix(nbytes);
+      std::vector<AttrType> changed_schema;
+      std::vector<size_t> changed_pos;
+      for (size_t a = 0; a < schema_.size(); ++a) {
+        if (bitmap[a / 8] & (1u << (a % 8))) {
+          changed_schema.push_back(schema_[a]);
+          changed_pos.push_back(a);
+        }
+      }
+      TCOB_ASSIGN_OR_RETURN(std::vector<Value> changed,
+                            DecodeValues(changed_schema, &chain));
+      v.attrs = prev.attrs;
+      for (size_t a = 0; a < changed_pos.size(); ++a) {
+        v.attrs[changed_pos[a]] = std::move(changed[a]);
+      }
+    }
+    out.push_back(std::move(v));
+  }
+  if (!chain.empty()) {
+    return Status::Corruption("segment: trailing bytes in atom chain");
+  }
+  return out;
+}
+
+Result<std::vector<AtomVersion>> SegmentReader::VersionsOf(AtomId id) const {
+  auto it = std::lower_bound(
+      dir_.begin(), dir_.end(), id,
+      [](const SegmentAtomEntry& e, AtomId target) { return e.id < target; });
+  if (it == dir_.end() || it->id != id) return std::vector<AtomVersion>{};
+  return AtomVersions(static_cast<size_t>(it - dir_.begin()));
+}
+
+}  // namespace tcob

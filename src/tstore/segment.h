@@ -1,0 +1,126 @@
+#ifndef TCOB_TSTORE_SEGMENT_H_
+#define TCOB_TSTORE_SEGMENT_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "common/slice.h"
+#include "tstore/temporal_store.h"
+
+namespace tcob {
+
+/// Immutable cold-history segment codec.
+///
+/// A segment packs the closed (fully historical) versions of a batch of
+/// atoms of one type into a single delta-compressed byte string, stored
+/// as one heap record of the cold tier. Layout:
+///
+///   [magic "TCS1"] [type_id] [fence.begin] [fence.end] [atom_count]
+///   directory, ascending atom id:
+///     [id delta] [version_count] [payload offset]
+///     [extent.begin - fence.begin] [fence.end - extent.end]
+///   [payload length] [payload] [CRC-32C footer over everything above]
+///
+/// Payload, per atom (version chains ascending by begin, contiguous in
+/// directory order):
+///   first version:  [vno] [begin - fence.begin] [end - begin] [attrs]
+///   later versions: [vno delta] [begin - prev.end] [end - begin]
+///                   [changed-attr bitmap] [changed attrs only]
+///
+/// The fence interval covers every version in the segment, so AS OF /
+/// HISTORY queries prune a whole segment with one interval test; the
+/// per-atom directory extents prune single atoms without touching the
+/// payload. Timestamps are frame-of-reference encoded against the fence
+/// begin (first version) or the previous version's end (gap encoding),
+/// and an unchanged attribute costs one bitmap bit instead of a full
+/// value. Every version stored here is closed — open-ended (live)
+/// versions never migrate — so all deltas are non-negative varints.
+///
+/// The reader verifies the CRC before trusting a single field, and every
+/// decode step is bounds-checked: truncated or bit-flipped input yields
+/// Status::Corruption, never undefined behaviour.
+
+/// One directory row of a decoded segment.
+struct SegmentAtomEntry {
+  AtomId id = kInvalidAtomId;
+  uint32_t version_count = 0;
+  uint64_t payload_offset = 0;  // into the payload blob
+  Interval extent;              // [first begin, last end) of this atom
+};
+
+/// Accumulates atom histories and encodes them into one segment blob.
+class SegmentBuilder {
+ public:
+  SegmentBuilder(TypeId type, std::vector<AttrType> schema)
+      : type_(type), schema_(std::move(schema)) {}
+
+  /// Adds the closed versions of one atom (ascending begin, no overlap,
+  /// no open-ended interval). Atoms must arrive in ascending id order.
+  Status AddAtom(AtomId id, std::vector<AtomVersion> versions);
+
+  bool empty() const { return atoms_.empty(); }
+  size_t atom_count() const { return atoms_.size(); }
+  uint64_t version_count() const { return version_count_; }
+
+  /// Encodes directory + payload + CRC footer. The builder is spent
+  /// afterwards.
+  Result<std::string> Finish();
+
+ private:
+  struct PendingAtom {
+    AtomId id;
+    std::vector<AtomVersion> versions;
+  };
+
+  TypeId type_;
+  std::vector<AttrType> schema_;
+  std::vector<PendingAtom> atoms_;
+  uint64_t version_count_ = 0;
+};
+
+/// Read-side view over one segment blob (owns the bytes). Open parses
+/// and validates header + directory; atom payloads decode on demand.
+class SegmentReader {
+ public:
+  static Result<SegmentReader> Open(std::string bytes,
+                                    std::vector<AttrType> schema);
+
+  TypeId type() const { return type_; }
+  const Interval& fence() const { return fence_; }
+  const std::vector<SegmentAtomEntry>& directory() const { return dir_; }
+  AtomId min_atom() const { return dir_.empty() ? kInvalidAtomId : dir_.front().id; }
+  AtomId max_atom() const { return dir_.empty() ? kInvalidAtomId : dir_.back().id; }
+  uint64_t version_count() const { return version_count_; }
+  size_t byte_size() const { return bytes_.size(); }
+
+  bool MightContain(AtomId id) const {
+    return !dir_.empty() && id >= dir_.front().id && id <= dir_.back().id;
+  }
+
+  /// Decodes every version of directory entry `dir_index`, in begin
+  /// order. Validates that the chain consumes exactly its payload span.
+  Result<std::vector<AtomVersion>> AtomVersions(size_t dir_index) const;
+
+  /// Decodes the versions of atom `id` (binary search over the
+  /// directory); empty vector when the atom is not in this segment.
+  Result<std::vector<AtomVersion>> VersionsOf(AtomId id) const;
+
+ private:
+  SegmentReader() = default;
+
+  std::string bytes_;
+  std::vector<AttrType> schema_;
+  TypeId type_ = kInvalidTypeId;
+  Interval fence_;
+  std::vector<SegmentAtomEntry> dir_;
+  uint64_t version_count_ = 0;
+  size_t payload_begin_ = 0;  // offset of the payload blob in bytes_
+  uint64_t payload_len_ = 0;
+};
+
+}  // namespace tcob
+
+#endif  // TCOB_TSTORE_SEGMENT_H_

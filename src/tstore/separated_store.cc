@@ -156,7 +156,7 @@ Status SeparatedStore::Insert(const AtomTypeDef& type, AtomId id,
     // Idempotent replay: a version starting at `from` means this insert
     // was already applied.
     TCOB_ASSIGN_OR_RETURN(ReplayMarkers markers,
-                          ScanMarkers(type, rec, from));
+                          ScanMarkers(type, id, rec, from));
     if (markers.begins_at) return Status::OK();
     if (rec.has_live) {
       return Status::AlreadyExists("atom " + std::to_string(id) +
@@ -190,7 +190,8 @@ Status SeparatedStore::Update(const AtomTypeDef& type, AtomId id,
   TCOB_ASSIGN_OR_RETURN(CurrentRecord rec, LoadCurrent(type, id, &rid));
   // Idempotent replay: a successor version starting at `from` already
   // exists (version 1 can only come from Insert, so exclude a live v1).
-  TCOB_ASSIGN_OR_RETURN(ReplayMarkers markers, ScanMarkers(type, rec, from));
+  TCOB_ASSIGN_OR_RETURN(ReplayMarkers markers,
+                        ScanMarkers(type, id, rec, from));
   if (markers.begins_at &&
       !(rec.has_live && rec.live.valid.begin == from &&
         rec.live.version_no == 1 && rec.chain_len == 0)) {
@@ -225,7 +226,8 @@ Status SeparatedStore::Delete(const AtomTypeDef& type, AtomId id,
   TCOB_ASSIGN_OR_RETURN(CurrentRecord rec, LoadCurrent(type, id, &rid));
   // Idempotent replay: a version ending at `from` with no successor
   // starting there means this delete was already applied.
-  TCOB_ASSIGN_OR_RETURN(ReplayMarkers markers, ScanMarkers(type, rec, from));
+  TCOB_ASSIGN_OR_RETURN(ReplayMarkers markers,
+                        ScanMarkers(type, id, rec, from));
   if (markers.ends_at && !markers.begins_at) return Status::OK();
   if (!rec.has_live) {
     return Status::InvalidArgument("delete of a dead atom");
@@ -250,18 +252,34 @@ Result<std::optional<AtomVersion>> SeparatedStore::FindPast(
     Timestamp t) const {
   TCOB_ASSIGN_OR_RETURN(TypeState * state, StateOf(type.id));
   std::vector<AttrType> schema = type.AttrTypes();
+  // Probes the cold tier once the hot store proved no version of `id`
+  // begins at or before `t`. Cold versions are strictly older than every
+  // hot one, so a hot-proven gap (a version ending at or before `t` with
+  // no successor containing it) is never probed.
+  auto find_cold = [&]() -> Result<std::optional<AtomVersion>> {
+    if (has_cold()) {
+      TCOB_ASSIGN_OR_RETURN(std::vector<AtomVersion> cold,
+                            ColdVersions(type, id, Interval::At(t)));
+      for (AtomVersion& v : cold) {
+        if (v.valid.Contains(t)) {
+          return std::optional<AtomVersion>(std::move(v));
+        }
+      }
+    }
+    return std::optional<AtomVersion>();
+  };
   if (state->version_index) {
     Result<std::pair<std::string, uint64_t>> floor =
         state->version_index->Floor(VersionKey(id, t));
     if (!floor.ok()) {
-      if (floor.status().IsNotFound()) return std::optional<AtomVersion>();
+      if (floor.status().IsNotFound()) return find_cold();
       return floor.status();
     }
     // The floor entry must belong to the same atom.
     std::string prefix;
     PutComparableU64(&prefix, id);
     if (!Slice(floor.value().first).starts_with(prefix)) {
-      return std::optional<AtomVersion>();
+      return find_cold();
     }
     TCOB_ASSIGN_OR_RETURN(std::string rec,
                           state->history->Get(Rid::Unpack(floor->second)));
@@ -286,32 +304,44 @@ Result<std::optional<AtomVersion>> SeparatedStore::FindPast(
     }
     rid = decoded.second;
   }
-  return std::optional<AtomVersion>();
+  return find_cold();
 }
 
 Result<std::vector<AtomVersion>> SeparatedStore::CollectPast(
-    const AtomTypeDef& type, const CurrentRecord& cur,
-    const Interval& window) const {
+    const AtomTypeDef& type, const CurrentRecord& cur, const Interval& window,
+    Timestamp* proved_floor) const {
   TCOB_ASSIGN_OR_RETURN(TypeState * state, StateOf(type.id));
   std::vector<AttrType> schema = type.AttrTypes();
+  // Oldest begin the walk reaches; the live version counts as hot
+  // knowledge when the chain is empty (all closed versions may have
+  // migrated to the cold tier while the atom stays live).
+  Timestamp proved = cur.has_live ? cur.live.valid.begin : kForever;
   std::vector<AtomVersion> newest_first;
   Rid rid = cur.chain_head;
   while (rid.valid()) {
     TCOB_ASSIGN_OR_RETURN(std::string rec, state->history->Get(rid));
     ++chain_hops_;
     TCOB_ASSIGN_OR_RETURN(auto decoded, DecodeHistory(schema, Slice(rec)));
-    if (decoded.first.valid.end <= window.begin) break;  // older than window
+    if (decoded.first.valid.end <= window.begin) {
+      // A hot version already older than the window: every cold version
+      // is older still, so nothing below can overlap it.
+      proved = kMinTimestamp;
+      break;
+    }
+    proved = decoded.first.valid.begin;
     if (decoded.first.valid.Overlaps(window)) {
       newest_first.push_back(std::move(decoded.first));
     }
     rid = decoded.second;
   }
+  if (proved_floor) *proved_floor = proved;
   std::reverse(newest_first.begin(), newest_first.end());
   return newest_first;
 }
 
 Result<SeparatedStore::ReplayMarkers> SeparatedStore::ScanMarkers(
-    const AtomTypeDef& type, const CurrentRecord& cur, Timestamp at) const {
+    const AtomTypeDef& type, AtomId id, const CurrentRecord& cur,
+    Timestamp at) const {
   ReplayMarkers markers;
   if (cur.has_live && cur.live.valid.begin == at) markers.begins_at = true;
   TCOB_ASSIGN_OR_RETURN(TypeState * state, StateOf(type.id));
@@ -323,6 +353,14 @@ Result<SeparatedStore::ReplayMarkers> SeparatedStore::ScanMarkers(
     if (decoded.first.valid.begin == at) markers.begins_at = true;
     if (decoded.first.valid.end == at) markers.ends_at = true;
     rid = decoded.second;
+  }
+  // The markers must cover the full history: a cold version may end
+  // exactly where a hot one begins (the migration boundary), and a
+  // replayed mutation may predate everything still hot.
+  if (has_cold()) {
+    TCOB_ASSIGN_OR_RETURN(ColdMarkers cold, ColdMarkersAt(type, id, at));
+    markers.begins_at = markers.begins_at || cold.begins_at;
+    markers.ends_at = markers.ends_at || cold.ends_at;
   }
   return markers;
 }
@@ -345,8 +383,14 @@ Result<std::optional<AtomVersion>> SeparatedStore::DoGetAsOf(
 Result<std::vector<AtomVersion>> SeparatedStore::DoGetVersions(
     const AtomTypeDef& type, AtomId id, const Interval& window) const {
   TCOB_ASSIGN_OR_RETURN(CurrentRecord rec, LoadCurrent(type, id, nullptr));
-  TCOB_ASSIGN_OR_RETURN(std::vector<AtomVersion> out,
-                        CollectPast(type, rec, window));
+  Timestamp proved = kForever;
+  TCOB_ASSIGN_OR_RETURN(std::vector<AtomVersion> past,
+                        CollectPast(type, rec, window, &proved));
+  std::vector<AtomVersion> out;
+  if (has_cold() && window.begin < proved) {
+    TCOB_ASSIGN_OR_RETURN(out, ColdVersions(type, id, window));
+  }
+  for (AtomVersion& v : past) out.push_back(std::move(v));
   if (rec.has_live && rec.live.valid.Overlaps(window)) {
     out.push_back(rec.live);
   }
@@ -357,20 +401,24 @@ Status SeparatedStore::DoScanAsOf(const AtomTypeDef& type, Timestamp t,
                                 const VersionCallback& fn) const {
   TCOB_ASSIGN_OR_RETURN(TypeState * state, StateOf(type.id));
   std::vector<AttrType> schema = type.AttrTypes();
-  return state->current->Scan(
-      [&](const Rid& rid, const Slice& raw) -> Result<bool> {
-        (void)rid;
+  // Scan in current-index order — ascending atom id — instead of
+  // physical heap order. Heap order is not stable under migration
+  // (freed slots get reused), so the canonical order keeps scan output
+  // identical with and without a cold tier.
+  return state->current_index->Scan(
+      Slice(), Slice(), [&](const Slice& key, uint64_t packed) -> Result<bool> {
+        (void)key;
+        TCOB_ASSIGN_OR_RETURN(std::string raw,
+                              state->current->Get(Rid::Unpack(packed)));
         Slice peek(raw);
         if (peek.empty()) return Status::Corruption("empty current record");
         // Decode enough to learn the atom id.
-        bool has_live = peek[0] != 0;
         peek.RemovePrefix(1);
         uint64_t id;
         TCOB_RETURN_NOT_OK(GetVarint64(&peek, &id));
-        (void)has_live;
         TCOB_ASSIGN_OR_RETURN(
             CurrentRecord rec,
-            DecodeCurrent(schema, id, type.id, raw));
+            DecodeCurrent(schema, id, type.id, Slice(raw)));
         if (rec.has_live && rec.live.valid.Contains(t)) {
           return fn(rec.live);
         }
@@ -389,16 +437,31 @@ Status SeparatedStore::DoScanVersions(const AtomTypeDef& type,
                                     const VersionCallback& fn) const {
   TCOB_ASSIGN_OR_RETURN(TypeState * state, StateOf(type.id));
   std::vector<AttrType> schema = type.AttrTypes();
-  return state->current->Scan(
-      [&](const Rid& rid, const Slice& raw) -> Result<bool> {
-        (void)rid;
+  // Canonical scan order: ascending atom id via the current index, each
+  // atom's cold versions first (they are strictly the oldest), then its
+  // hot chain, then the live version. Identical with and without a cold
+  // tier — physical heap order is not stable under migration.
+  std::map<AtomId, std::vector<AtomVersion>> cold;
+  TCOB_RETURN_NOT_OK(ColdCollectAll(type, window, &cold));
+  return state->current_index->Scan(
+      Slice(), Slice(), [&](const Slice& key, uint64_t packed) -> Result<bool> {
+        (void)key;
+        TCOB_ASSIGN_OR_RETURN(std::string raw,
+                              state->current->Get(Rid::Unpack(packed)));
         Slice peek(raw);
         if (peek.empty()) return Status::Corruption("empty current record");
         peek.RemovePrefix(1);
         uint64_t id;
         TCOB_RETURN_NOT_OK(GetVarint64(&peek, &id));
         TCOB_ASSIGN_OR_RETURN(CurrentRecord rec,
-                              DecodeCurrent(schema, id, type.id, raw));
+                              DecodeCurrent(schema, id, type.id, Slice(raw)));
+        auto it = cold.find(id);
+        if (it != cold.end()) {
+          for (const AtomVersion& v : it->second) {
+            TCOB_ASSIGN_OR_RETURN(bool keep_going, fn(v));
+            if (!keep_going) return false;
+          }
+        }
         TCOB_ASSIGN_OR_RETURN(std::vector<AtomVersion> past,
                               CollectPast(type, rec, window));
         for (const AtomVersion& v : past) {
@@ -511,6 +574,76 @@ Result<uint64_t> SeparatedStore::VacuumBefore(const AtomTypeDef& type,
       TCOB_RETURN_NOT_OK(state->current_index->Delete(key));
       continue;
     }
+    TCOB_RETURN_NOT_OK(StoreCurrent(type, id, rid, rec));
+  }
+  return removed;
+}
+
+Result<uint64_t> SeparatedStore::ReleaseMigrated(const AtomTypeDef& type,
+                                                 Timestamp cutoff) {
+  TCOB_ASSIGN_OR_RETURN(TypeState * state, StateOf(type.id));
+  std::vector<AttrType> schema = type.AttrTypes();
+  // Snapshot the current-store entries first (we mutate while iterating
+  // otherwise).
+  std::vector<std::pair<Rid, AtomId>> atoms;
+  TCOB_RETURN_NOT_OK(state->current->Scan(
+      [&](const Rid& rid, const Slice& raw) -> Result<bool> {
+        Slice peek(raw);
+        if (peek.empty()) return Status::Corruption("empty current record");
+        peek.RemovePrefix(1);
+        uint64_t id;
+        TCOB_RETURN_NOT_OK(GetVarint64(&peek, &id));
+        atoms.emplace_back(rid, id);
+        return true;
+      }));
+
+  uint64_t removed = 0;
+  for (const auto& [rid, id] : atoms) {
+    TCOB_ASSIGN_OR_RETURN(std::string raw, state->current->Get(rid));
+    TCOB_ASSIGN_OR_RETURN(CurrentRecord rec,
+                          DecodeCurrent(schema, id, type.id, Slice(raw)));
+    // Materialize the chain newest-to-oldest.
+    std::vector<std::pair<Rid, AtomVersion>> chain;
+    Rid r = rec.chain_head;
+    while (r.valid()) {
+      TCOB_ASSIGN_OR_RETURN(std::string hrec, state->history->Get(r));
+      TCOB_ASSIGN_OR_RETURN(auto decoded, DecodeHistory(schema, Slice(hrec)));
+      chain.emplace_back(r, std::move(decoded.first));
+      r = decoded.second;
+    }
+    // The shared migration predicate wants the versions sorted by begin:
+    // the reversed chain followed by the live version.
+    std::vector<AtomVersion> versions;
+    versions.reserve(chain.size() + 1);
+    for (size_t i = chain.size(); i-- > 0;) versions.push_back(chain[i].second);
+    if (rec.has_live) versions.push_back(rec.live);
+    size_t migrate = MigratablePrefix(versions, cutoff);
+    if (migrate == 0) continue;
+    // The oldest `migrate` versions are the last ones of the newest-first
+    // chain; remove them (records + version-index entries).
+    size_t cut = chain.size() - migrate;
+    for (size_t i = cut; i < chain.size(); ++i) {
+      TCOB_RETURN_NOT_OK(state->history->Delete(chain[i].first));
+      if (state->version_index) {
+        TCOB_RETURN_NOT_OK(state->version_index->Delete(
+            VersionKey(id, chain[i].second.valid.begin)));
+      }
+      ++removed;
+    }
+    // Rebuild the kept prefix oldest-first so the chain pointers are
+    // fresh (same scheme as VacuumBefore).
+    for (size_t i = 0; i < cut; ++i) {
+      TCOB_RETURN_NOT_OK(state->history->Delete(chain[i].first));
+    }
+    Rid prev;  // invalid
+    for (size_t i = cut; i-- > 0;) {
+      TCOB_ASSIGN_OR_RETURN(prev, AppendHistory(type, chain[i].second, prev));
+    }
+    rec.chain_head = prev;
+    rec.chain_len = static_cast<uint32_t>(cut);
+    // Unlike VacuumBefore there is no "forget entirely" case: the anchor
+    // rule keeps the newest closed version (or the live one) hot, so the
+    // current record always survives migration.
     TCOB_RETURN_NOT_OK(StoreCurrent(type, id, rid, rec));
   }
   return removed;

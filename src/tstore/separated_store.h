@@ -47,6 +47,8 @@ class SeparatedStore : public TemporalAtomStore {
   Status Flush() override;
   Result<uint64_t> VacuumBefore(const AtomTypeDef& type,
                                 Timestamp cutoff) override;
+  Result<uint64_t> ReleaseMigrated(const AtomTypeDef& type,
+                                   Timestamp cutoff) override;
 
   /// B+-tree invariants of both indexes, plus every index entry must
   /// resolve to a readable heap record.
@@ -122,17 +124,23 @@ class SeparatedStore : public TemporalAtomStore {
                                               Timestamp t) const;
 
   /// Collects closed versions of `id` overlapping `window`, oldest first.
-  Result<std::vector<AtomVersion>> CollectPast(const AtomTypeDef& type,
-                                               const CurrentRecord& cur,
-                                               const Interval& window) const;
+  /// When `proved_floor` is non-null it receives the oldest begin the hot
+  /// walk proved knowledge of: callers probe the cold tier only when
+  /// window.begin precedes it (kMinTimestamp when the walk stopped at a
+  /// version already older than the window — hot covers everything the
+  /// cold tier could add).
+  Result<std::vector<AtomVersion>> CollectPast(
+      const AtomTypeDef& type, const CurrentRecord& cur,
+      const Interval& window, Timestamp* proved_floor = nullptr) const;
 
-  /// WAL-replay detection: does any version (live or closed) begin/end
-  /// exactly at `at`? Walks the chain.
+  /// WAL-replay detection: does any version (live, closed, or cold)
+  /// begin/end exactly at `at`? Walks the chain, then merges the cold
+  /// tier's markers so replay against migrated history still idempotes.
   struct ReplayMarkers {
     bool begins_at = false;
     bool ends_at = false;
   };
-  Result<ReplayMarkers> ScanMarkers(const AtomTypeDef& type,
+  Result<ReplayMarkers> ScanMarkers(const AtomTypeDef& type, AtomId id,
                                     const CurrentRecord& cur,
                                     Timestamp at) const;
 

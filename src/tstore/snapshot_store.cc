@@ -92,6 +92,8 @@ Status SnapshotStore::Insert(const AtomTypeDef& type, AtomId id,
       for (const AtomVersion& v : all) {
         if (v.valid.begin == from) return Status::OK();
       }
+      TCOB_ASSIGN_OR_RETURN(ColdMarkers cold, ColdMarkersAt(type, id, from));
+      if (cold.begins_at) return Status::OK();
       return newest->valid.open_ended()
                  ? Status::AlreadyExists("atom " + std::to_string(id) +
                                          " already live")
@@ -137,6 +139,8 @@ Status SnapshotStore::Update(const AtomTypeDef& type, AtomId id,
     for (const AtomVersion& v : all) {
       if (v.valid.begin == from && v.version_no > 1) return Status::OK();
     }
+    TCOB_ASSIGN_OR_RETURN(ColdMarkers cold, ColdMarkersAt(type, id, from));
+    if (cold.begins_update_at) return Status::OK();
     return Status::InvalidArgument("retroactive update not supported");
   }
   if (!newest->valid.open_ended()) {
@@ -190,6 +194,11 @@ Status SnapshotStore::Delete(const AtomTypeDef& type, AtomId id,
       if (v.valid.end == from) ends_at = true;
       if (v.valid.begin == from) begins_at = true;
     }
+    // The markers must cover the full history: a cold version may end
+    // exactly where a hot one begins (the migration boundary).
+    TCOB_ASSIGN_OR_RETURN(ColdMarkers cold, ColdMarkersAt(type, id, from));
+    ends_at = ends_at || cold.ends_at;
+    begins_at = begins_at || cold.begins_at;
     if (ends_at && !begins_at) return Status::OK();
     return Status::InvalidArgument("delete before the current version began");
   }
@@ -214,10 +223,22 @@ Result<std::optional<AtomVersion>> SnapshotStore::DoGetAsOf(
   TCOB_ASSIGN_OR_RETURN(std::vector<AtomVersion> versions,
                         AllVersions(type, id));
   if (versions.empty()) {
+    // Anchor rule: an atom with cold history always keeps a hot
+    // version, so "no hot versions" still means "never inserted".
     return Status::NotFound("atom " + std::to_string(id));
   }
   for (const AtomVersion& v : versions) {
     if (v.valid.Contains(t)) return std::optional<AtomVersion>(v);
+  }
+  // Cold versions are strictly older than every hot one: probe the
+  // cold tier only when t precedes all hot knowledge, never to fill a
+  // gap the hot chain already proves.
+  if (has_cold() && t < versions.front().valid.begin) {
+    TCOB_ASSIGN_OR_RETURN(std::vector<AtomVersion> cold,
+                          ColdVersions(type, id, Interval::At(t)));
+    for (AtomVersion& v : cold) {
+      if (v.valid.Contains(t)) return std::optional<AtomVersion>(std::move(v));
+    }
   }
   return std::optional<AtomVersion>();
 }
@@ -230,6 +251,9 @@ Result<std::vector<AtomVersion>> SnapshotStore::DoGetVersions(
     return Status::NotFound("atom " + std::to_string(id));
   }
   std::vector<AtomVersion> out;
+  if (has_cold() && window.begin < versions.front().valid.begin) {
+    TCOB_ASSIGN_OR_RETURN(out, ColdVersions(type, id, window));
+  }
   for (AtomVersion& v : versions) {
     if (v.valid.Overlaps(window)) out.push_back(std::move(v));
   }
@@ -246,11 +270,35 @@ Status SnapshotStore::DoScanVersions(const AtomTypeDef& type,
                                    const VersionCallback& fn) const {
   TCOB_ASSIGN_OR_RETURN(TypeState * state, StateOf(type.id));
   std::vector<AttrType> schema = type.AttrTypes();
-  return state->heap->Scan(
-      [&](const Rid& rid, const Slice& rec) -> Result<bool> {
-        (void)rid;
+  // Scan in version-index order — ascending (atom id, version_no), i.e.
+  // ascending (id, begin) — instead of physical heap order. Heap order
+  // is not stable under migration (freed slots get reused), so the
+  // canonical order keeps scan output identical with and without a cold
+  // tier; cold versions merge in front of each atom's hot chain.
+  std::map<AtomId, std::vector<AtomVersion>> cold;
+  TCOB_RETURN_NOT_OK(ColdCollectAll(type, window, &cold));
+  AtomId current = kInvalidAtomId;
+  auto emit_cold = [&](AtomId id) -> Result<bool> {
+    auto it = cold.find(id);
+    if (it == cold.end()) return true;
+    for (AtomVersion& v : it->second) {
+      TCOB_ASSIGN_OR_RETURN(bool more, fn(v));
+      if (!more) return false;
+    }
+    return true;
+  };
+  return state->index->Scan(
+      Slice(), Slice(), [&](const Slice& key, uint64_t packed) -> Result<bool> {
+        (void)key;
+        TCOB_ASSIGN_OR_RETURN(std::string rec,
+                              state->heap->Get(Rid::Unpack(packed)));
         Slice in(rec);
         TCOB_ASSIGN_OR_RETURN(AtomVersion v, DecodeAtomVersion(schema, &in));
+        if (v.id != current) {
+          current = v.id;
+          TCOB_ASSIGN_OR_RETURN(bool more, emit_cold(v.id));
+          if (!more) return false;
+        }
         if (!v.valid.Overlaps(window)) return true;
         return fn(v);
       });
@@ -302,6 +350,43 @@ Result<uint64_t> SnapshotStore::VacuumBefore(const AtomTypeDef& type,
         state->index->Delete(VersionKey(victim.id, victim.version_no)));
   }
   return static_cast<uint64_t>(victims.size());
+}
+
+Result<uint64_t> SnapshotStore::ReleaseMigrated(const AtomTypeDef& type,
+                                                Timestamp cutoff) {
+  TCOB_ASSIGN_OR_RETURN(TypeState * state, StateOf(type.id));
+  std::vector<AttrType> schema = type.AttrTypes();
+  struct Located {
+    Rid rid;
+    AtomVersion v;
+  };
+  std::map<AtomId, std::vector<Located>> by_atom;
+  TCOB_RETURN_NOT_OK(state->heap->Scan(
+      [&](const Rid& rid, const Slice& rec) -> Result<bool> {
+        Slice in(rec);
+        TCOB_ASSIGN_OR_RETURN(AtomVersion v, DecodeAtomVersion(schema, &in));
+        by_atom[v.id].push_back({rid, std::move(v)});
+        return true;
+      }));
+  uint64_t released = 0;
+  for (auto& [id, chain] : by_atom) {
+    (void)id;
+    std::sort(chain.begin(), chain.end(),
+              [](const Located& a, const Located& b) {
+                return a.v.valid.begin < b.v.valid.begin;
+              });
+    std::vector<AtomVersion> versions;
+    versions.reserve(chain.size());
+    for (const Located& l : chain) versions.push_back(l.v);
+    size_t n = MigratablePrefix(versions, cutoff);
+    for (size_t i = 0; i < n; ++i) {
+      TCOB_RETURN_NOT_OK(state->heap->Delete(chain[i].rid));
+      TCOB_RETURN_NOT_OK(state->index->Delete(
+          VersionKey(chain[i].v.id, chain[i].v.version_no)));
+      ++released;
+    }
+  }
+  return released;
 }
 
 Status SnapshotStore::VerifyStructure(const AtomTypeDef& type) const {

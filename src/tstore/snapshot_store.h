@@ -42,6 +42,8 @@ class SnapshotStore : public TemporalAtomStore {
   Status Flush() override;
   Result<uint64_t> VacuumBefore(const AtomTypeDef& type,
                                 Timestamp cutoff) override;
+  Result<uint64_t> ReleaseMigrated(const AtomTypeDef& type,
+                                   Timestamp cutoff) override;
 
   /// B+-tree invariants of the index, plus every index entry must
   /// resolve to a readable heap record.

@@ -5,6 +5,7 @@
 
 #include "common/coding.h"
 #include "record/record_codec.h"
+#include "tstore/cold_tier.h"
 
 namespace tcob {
 
@@ -49,6 +50,87 @@ Result<AtomVersion> DecodeAtomVersion(const std::vector<AttrType>& schema,
   return v;
 }
 
+ColdTierAccessStats TemporalAtomStore::cold_access_stats() const {
+  return cold_ ? cold_->access_stats() : ColdTierAccessStats{};
+}
+
+size_t TemporalAtomStore::MigratablePrefix(
+    const std::vector<AtomVersion>& versions, Timestamp cutoff) {
+  size_t n = 0;
+  while (n < versions.size() && !versions[n].valid.open_ended() &&
+         versions[n].valid.end <= cutoff) {
+    ++n;
+  }
+  // Anchor rule: a fully-historical atom keeps its newest version hot.
+  if (n == versions.size() && n > 0) --n;
+  return n;
+}
+
+Result<std::map<AtomId, std::vector<AtomVersion>>>
+TemporalAtomStore::CollectMigratable(const AtomTypeDef& type,
+                                     Timestamp cutoff) const {
+  std::map<AtomId, std::vector<AtomVersion>> by_atom;
+  TCOB_RETURN_NOT_OK(DoScanVersions(
+      type, Interval::All(), [&](const AtomVersion& v) -> Result<bool> {
+        by_atom[v.id].push_back(v);
+        return true;
+      }));
+  // DoScanVersions merges the tiers; already-cold versions must not
+  // migrate again. They are strictly the oldest prefix of each merged
+  // timeline, so dropping the first |cold| entries leaves hot only.
+  std::map<AtomId, std::vector<AtomVersion>> cold_atoms;
+  TCOB_RETURN_NOT_OK(ColdCollectAll(type, Interval::All(), &cold_atoms));
+  std::map<AtomId, std::vector<AtomVersion>> out;
+  for (auto& [id, versions] : by_atom) {
+    std::sort(versions.begin(), versions.end(),
+              [](const AtomVersion& a, const AtomVersion& b) {
+                return a.valid.begin < b.valid.begin;
+              });
+    auto cold_it = cold_atoms.find(id);
+    if (cold_it != cold_atoms.end()) {
+      if (versions.size() < cold_it->second.size()) {
+        return Status::Corruption("atom " + std::to_string(id) +
+                                  " of type " + type.name +
+                                  ": fewer versions than its cold tier");
+      }
+      versions.erase(versions.begin(),
+                     versions.begin() +
+                         static_cast<ptrdiff_t>(cold_it->second.size()));
+    }
+    size_t n = MigratablePrefix(versions, cutoff);
+    if (n == 0) continue;
+    versions.resize(n);
+    out.emplace(id, std::move(versions));
+  }
+  return out;
+}
+
+Result<std::vector<AtomVersion>> TemporalAtomStore::ColdVersions(
+    const AtomTypeDef& type, AtomId id, const Interval& window) const {
+  if (!cold_) return std::vector<AtomVersion>{};
+  return cold_->VersionsOf(type, id, window);
+}
+
+Result<ColdMarkers> TemporalAtomStore::ColdMarkersAt(const AtomTypeDef& type,
+                                                     AtomId id,
+                                                     Timestamp t) const {
+  if (!cold_) return ColdMarkers{};
+  return cold_->MarkersAt(type, id, t);
+}
+
+Result<bool> TemporalAtomStore::ColdMightHave(const AtomTypeDef& type,
+                                              AtomId id) const {
+  if (!cold_) return false;
+  return cold_->MightHave(type, id);
+}
+
+Status TemporalAtomStore::ColdCollectAll(
+    const AtomTypeDef& type, const Interval& window,
+    std::map<AtomId, std::vector<AtomVersion>>* out) const {
+  if (!cold_) return Status::OK();
+  return cold_->CollectAll(type, window, out);
+}
+
 Status TemporalAtomStore::VerifyIntegrity(const AtomTypeDef& type) const {
   std::map<AtomId, std::vector<AtomVersion>> by_atom;
   TCOB_RETURN_NOT_OK(DoScanVersions(
@@ -56,6 +138,24 @@ Status TemporalAtomStore::VerifyIntegrity(const AtomTypeDef& type) const {
         by_atom[v.id].push_back(v);
         return true;
       }));
+  if (cold_ != nullptr) {
+    TCOB_RETURN_NOT_OK(cold_->VerifyIntegrity(type));
+    // DoScanVersions above already merged the tiers, so cross-tier
+    // overlap — e.g. a version that migrated but was never released
+    // from the hot store — appears twice and TimelineOf below catches
+    // it. What remains to check is the anchor rule: every atom with
+    // cold history must keep at least one hot (or live) version.
+    std::map<AtomId, std::vector<AtomVersion>> cold_atoms;
+    TCOB_RETURN_NOT_OK(cold_->CollectAll(type, Interval::All(), &cold_atoms));
+    for (auto& [id, versions] : cold_atoms) {
+      auto it = by_atom.find(id);
+      if (it == by_atom.end() || it->second.size() <= versions.size()) {
+        return Status::Corruption("atom " + std::to_string(id) + " of type " +
+                                  type.name +
+                                  ": cold versions without a hot anchor");
+      }
+    }
+  }
   for (auto& [id, versions] : by_atom) {
     for (const AtomVersion& v : versions) {
       if (v.valid.empty()) {

@@ -3,6 +3,7 @@
 
 #include <atomic>
 #include <functional>
+#include <map>
 #include <memory>
 #include <optional>
 #include <string>
@@ -84,6 +85,34 @@ struct StoreAccessStats {
     scan_versions -= o.scan_versions;
     return *this;
   }
+};
+
+class ColdTier;
+
+/// Read-access accounting of the cold-history tier (monotonic counters;
+/// deltas feed the EXPLAIN ANALYZE tiering span). Zero when no cold
+/// tier is attached.
+struct ColdTierAccessStats {
+  uint64_t segments_pruned = 0;   // skipped via fence / atom-range test
+  uint64_t segments_scanned = 0;  // payload actually decoded
+  uint64_t cold_versions = 0;     // versions materialized from segments
+
+  ColdTierAccessStats& operator-=(const ColdTierAccessStats& o) {
+    segments_pruned -= o.segments_pruned;
+    segments_scanned -= o.segments_scanned;
+    cold_versions -= o.cold_versions;
+    return *this;
+  }
+};
+
+/// Whether an atom begins or ends a cold version exactly at one instant
+/// (replay-idempotence checks for retroactive DML consult this, so DML
+/// against old timestamps reports the same status with and without
+/// tiering).
+struct ColdMarkers {
+  bool begins_at = false;         // some cold version begins at t
+  bool begins_update_at = false;  // ... with version_no > 1 (an update)
+  bool ends_at = false;           // some cold version ends at t
 };
 
 /// Storage-strategy-independent interface over versioned atoms.
@@ -201,6 +230,56 @@ class TemporalAtomStore {
   virtual Result<uint64_t> VacuumBefore(const AtomTypeDef& type,
                                         Timestamp cutoff) = 0;
 
+  // ---- cold-history tiering ----
+
+  /// Attaches the cold tier. Afterwards every public read transparently
+  /// merges hot store + cold segments in timeline order; mutations and
+  /// NotFound semantics are unaffected (the anchor rule below keeps at
+  /// least one version of every atom hot).
+  void AttachColdTier(ColdTier* cold) { cold_ = cold; }
+  ColdTier* cold_tier() const { return cold_; }
+
+  /// Snapshot of the attached tier's read counters (zeros when none).
+  ColdTierAccessStats cold_access_stats() const;
+
+  /// Versions eligible for migration at `cutoff`, grouped per atom in
+  /// ascending begin order: every version with valid.end <= cutoff,
+  /// except that an atom whose versions would *all* migrate keeps its
+  /// newest one hot (the anchor rule — hot stores never forget an atom,
+  /// so id allocation, version numbering and NotFound semantics are
+  /// identical with and without tiering). Reads only hot state.
+  Result<std::map<AtomId, std::vector<AtomVersion>>> CollectMigratable(
+      const AtomTypeDef& type, Timestamp cutoff) const;
+
+  /// Physically removes exactly the versions CollectMigratable(cutoff)
+  /// reported — called after they were durably written to the cold
+  /// tier. Returns the number of versions removed.
+  virtual Result<uint64_t> ReleaseMigrated(const AtomTypeDef& type,
+                                           Timestamp cutoff) = 0;
+
+ protected:
+  /// Shared migration predicate: number of leading versions of a
+  /// begin-sorted, non-overlapping chain that migrate at `cutoff`
+  /// (closed versions form a prefix; the anchor rule holds one back
+  /// when the whole chain is old). CollectMigratable and every
+  /// ReleaseMigrated implementation use this, so the two sides always
+  /// agree exactly.
+  static size_t MigratablePrefix(const std::vector<AtomVersion>& versions,
+                                 Timestamp cutoff);
+
+  // Cold-tier read helpers for the strategy implementations; all are
+  // no-ops (empty / false) when no tier is attached. Implemented in the
+  // .cc against the full ColdTier type.
+  bool has_cold() const { return cold_ != nullptr; }
+  Result<std::vector<AtomVersion>> ColdVersions(const AtomTypeDef& type,
+                                                AtomId id,
+                                                const Interval& window) const;
+  Result<ColdMarkers> ColdMarkersAt(const AtomTypeDef& type, AtomId id,
+                                    Timestamp t) const;
+  Result<bool> ColdMightHave(const AtomTypeDef& type, AtomId id) const;
+  Status ColdCollectAll(const AtomTypeDef& type, const Interval& window,
+                        std::map<AtomId, std::vector<AtomVersion>>* out) const;
+
  protected:
   /// Strategy-specific read paths behind the counting wrappers above.
   virtual Result<std::optional<AtomVersion>> DoGetAsOf(const AtomTypeDef& type,
@@ -215,6 +294,8 @@ class TemporalAtomStore {
                                 const VersionCallback& fn) const = 0;
 
  private:
+  ColdTier* cold_ = nullptr;
+
   // Relaxed-atomic Counters (see common/metrics.h): concurrent fan-out
   // readers bump them lock-free and totals stay exact.
   mutable Counter get_as_of_;

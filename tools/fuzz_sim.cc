@@ -37,6 +37,7 @@ struct Args {
   size_t ops = 300;
   bool cuts = true;
   bool vacuum = true;
+  bool tiering = true;
   bool shrink = true;
   bool cursor_check = true;
   bool plant_bug = false;
@@ -53,8 +54,9 @@ int Usage() {
   std::fprintf(
       stderr,
       "usage: fuzz_sim [--seed=N | --seeds=A:B] [--ops=N] [--no_cuts]\n"
-      "                [--no_vacuum] [--no_shrink] [--no_cursor_check]\n"
-      "                [--plant_bug] [--artifact_dir=DIR]\n");
+      "                [--no_vacuum] [--no_tiering] [--no_shrink]\n"
+      "                [--no_cursor_check] [--plant_bug]\n"
+      "                [--artifact_dir=DIR]\n");
   return 2;
 }
 
@@ -81,6 +83,8 @@ bool ParseArgs(int argc, char** argv, Args* args) {
       args->cuts = false;
     } else if (std::strcmp(a, "--no_vacuum") == 0) {
       args->vacuum = false;
+    } else if (std::strcmp(a, "--no_tiering") == 0) {
+      args->tiering = false;
     } else if (std::strcmp(a, "--no_shrink") == 0) {
       args->shrink = false;
     } else if (std::strcmp(a, "--no_cursor_check") == 0) {
@@ -113,6 +117,7 @@ void WriteArtifact(const Args& args, const tcob::sim::ShrinkResult& shrunk) {
                      " --ops=" + std::to_string(args.ops) +
                      (args.cuts ? "" : " --no_cuts") +
                      (args.vacuum ? "" : " --no_vacuum") +
+                     (args.tiering ? "" : " --no_tiering") +
                      (args.cursor_check ? "" : " --no_cursor_check") + "\n";
   std::fwrite(body.data(), 1, body.size(), f);
   std::fclose(f);
@@ -129,6 +134,7 @@ int main(int argc, char** argv) {
   gen.num_ops = args.ops;
   gen.enable_cuts = args.cuts;
   gen.enable_vacuum = args.vacuum;
+  gen.enable_tiering = args.tiering;
 
   tcob::sim::RunOptions run;
   run.bug = args.plant_bug ? tcob::sim::ModelBug::kIgnoreDeletes
