@@ -1,10 +1,13 @@
 // Interactive MQL shell over a TCOB database.
 //
 // Usage:
-//   mql_shell [db-directory] [--tiered[=AGE]]   (default: ./tcob-shell-db)
+//   mql_shell [db-directory] [--tiered[=AGE]] [--readonly]
+//   (default directory: ./tcob-shell-db)
 //
 // --tiered enables cold-history tiering (versions older than AGE time
 // units, default 64, migrate to compressed segments on .tier_migrate).
+// --readonly opens the database read-only: every mutation is refused
+// and nothing in the directory is touched.
 //
 // Type MQL statements terminated by ';'. Meta commands:
 //   .help         show a cheat sheet
@@ -15,6 +18,9 @@
 //   .tiering      cold-tier report: segments, fences, cold/hot bytes
 //   .tier_migrate migrate cold-eligible history into segments
 //   .timing       toggle per-statement timing (first row vs total)
+//   .timeout [ms] show or set the per-query deadline (0 disables)
+//   .health       show the degradation state and its cause
+//   .recover      try to return a read-only database to full service
 //   .quit         exit
 //
 // SELECT results stream: rows print as the engine produces them (a
@@ -56,7 +62,7 @@ constexpr char kHelp[] = R"(MQL cheat sheet
   SHOW CATALOG;
   SHOW STATS;
 Meta: .help .checkpoint .now [t] .strategy .metrics .tiering
-      .tier_migrate .timing .quit
+      .tier_migrate .timing .timeout [ms] .health .recover .quit
 Attribute types: BOOL INT DOUBLE STRING TIMESTAMP ID
 Temporal predicates: OVERLAPS CONTAINS BEFORE MEETS DURING, VALID(Type),
 BEGIN(...), END(...), interval literals [a, b), NOW.
@@ -126,6 +132,31 @@ bool HandleMeta(Database* db, const std::string& line, bool* timing) {
     printf("%s\n", StorageStrategyName(db->options().strategy));
   } else if (line == ".metrics") {
     fputs(db->MetricsSnapshot().ToText().c_str(), stdout);
+  } else if (line.rfind(".timeout", 0) == 0) {
+    std::string arg = line.size() > 8 ? line.substr(9) : "";
+    if (!arg.empty()) {
+      uint64_t ms = strtoull(arg.c_str(), nullptr, 10);
+      db->set_default_query_deadline(ms * 1000);
+    }
+    uint64_t micros = db->options().default_query_deadline_micros;
+    if (micros == 0) {
+      printf("timeout off\n");
+    } else {
+      printf("timeout = %llu ms\n",
+             static_cast<unsigned long long>(micros / 1000));
+    }
+  } else if (line == ".health") {
+    printf("health: %s\n", HealthStateName(db->health_state()));
+    if (!db->health().ok()) {
+      printf("cause: %s\n", db->health().ToString().c_str());
+    }
+  } else if (line == ".recover") {
+    Status s = db->TryRecover();
+    if (s.ok()) {
+      printf("health: %s\n", HealthStateName(db->health_state()));
+    } else {
+      printf("recovery failed: %s\n", s.ToString().c_str());
+    }
   } else if (line == ".tiering") {
     PrintTiering(db);
   } else if (line == ".tier_migrate") {
@@ -210,6 +241,8 @@ int main(int argc, char** argv) {
       if (argv[i][8] == '=') {
         options.tiering.cold_age = strtoll(argv[i] + 9, nullptr, 10);
       }
+    } else if (strcmp(argv[i], "--readonly") == 0) {
+      options.read_only = true;
     } else {
       dir = argv[i];
     }
@@ -221,9 +254,10 @@ int main(int argc, char** argv) {
     return 1;
   }
   std::unique_ptr<Database> db = std::move(opened).value();
-  printf("tcob shell — database at %s (strategy: %s). "
+  printf("tcob shell — database at %s (strategy: %s%s). "
          ".help for help, .quit to exit.\n",
-         dir.c_str(), StorageStrategyName(db->options().strategy));
+         dir.c_str(), StorageStrategyName(db->options().strategy),
+         db->options().read_only ? ", read-only" : "");
 
   std::string buffer;
   bool timing = false;

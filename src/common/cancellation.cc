@@ -1,0 +1,10 @@
+#include "common/cancellation.h"
+
+namespace tcob {
+
+Status QueryContext::DeadlineStatus() const {
+  return Status::DeadlineExceeded("query deadline exceeded (" +
+                                  std::to_string(timeout_micros_) + "us)");
+}
+
+}  // namespace tcob

@@ -1,0 +1,95 @@
+#include "common/resource_budget.h"
+
+#include <chrono>
+
+namespace tcob {
+
+Status AdmissionController::Acquire(const QueryContext* ctx,
+                                    uint64_t timeout_micros) {
+  if (max_inflight_ == 0) {
+    admitted_.fetch_add(1, std::memory_order_relaxed);
+    return Status::OK();
+  }
+  std::unique_lock<std::mutex> lock(mu_);
+  if (inflight_ < max_inflight_) {
+    ++inflight_;
+    admitted_.fetch_add(1, std::memory_order_relaxed);
+    return Status::OK();
+  }
+
+  // The wait is bounded twice over: by the admission timeout and by the
+  // query's own deadline (whichever is sooner), and a cancel wakes it
+  // via the periodic re-check below.
+  auto wait_deadline = std::chrono::steady_clock::now() +
+                       std::chrono::microseconds(timeout_micros);
+  if (ctx != nullptr && ctx->has_deadline() &&
+      ctx->deadline() < wait_deadline) {
+    wait_deadline = ctx->deadline();
+  }
+
+  ++waiting_;
+  if (waiting_ > peak_waiting_) peak_waiting_ = waiting_;
+  Status out = Status::OK();
+  for (;;) {
+    if (ctx != nullptr) {
+      Status s = ctx->Check();
+      if (!s.ok()) {
+        out = s;
+        break;
+      }
+    }
+    if (inflight_ < max_inflight_) {
+      ++inflight_;
+      break;
+    }
+    // Re-check the cancel token at least every 10ms even if no slot
+    // frees — Cancel() does not signal this condition variable.
+    auto next_check = std::chrono::steady_clock::now() +
+                      std::chrono::milliseconds(10);
+    auto until = next_check < wait_deadline ? next_check : wait_deadline;
+    if (slot_free_.wait_until(lock, until) == std::cv_status::timeout &&
+        std::chrono::steady_clock::now() >= wait_deadline) {
+      if (inflight_ < max_inflight_) {
+        ++inflight_;
+        break;
+      }
+      out = Status::DeadlineExceeded(
+          "admission wait exceeded " + std::to_string(timeout_micros) +
+          "us (" + std::to_string(max_inflight_) + " queries in flight)");
+      break;
+    }
+  }
+  --waiting_;
+  if (out.ok()) {
+    admitted_.fetch_add(1, std::memory_order_relaxed);
+  } else {
+    rejected_.fetch_add(1, std::memory_order_relaxed);
+  }
+  return out;
+}
+
+void AdmissionController::Release() {
+  if (max_inflight_ == 0) return;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (inflight_ > 0) --inflight_;
+  }
+  slot_free_.notify_one();
+}
+
+size_t AdmissionController::inflight() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return inflight_;
+}
+
+size_t AdmissionController::queue_depth() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return waiting_;
+}
+
+size_t AdmissionController::peak_queue_depth() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return peak_waiting_;
+}
+
+}  // namespace tcob

@@ -28,6 +28,10 @@ const char* StatusCodeToString(StatusCode code) {
       return "ParseError";
     case StatusCode::kTypeError:
       return "TypeError";
+    case StatusCode::kDeadlineExceeded:
+      return "DeadlineExceeded";
+    case StatusCode::kCancelled:
+      return "Cancelled";
   }
   return "Unknown";
 }

@@ -20,6 +20,8 @@ enum class StatusCode : int {
   kResourceExhausted = 9,
   kParseError = 10,
   kTypeError = 11,
+  kDeadlineExceeded = 12,
+  kCancelled = 13,
 };
 
 /// Returns a human-readable name for `code` ("OK", "NotFound", ...).
@@ -70,6 +72,12 @@ class Status {
   static Status TypeError(std::string msg) {
     return Status(StatusCode::kTypeError, std::move(msg));
   }
+  static Status DeadlineExceeded(std::string msg) {
+    return Status(StatusCode::kDeadlineExceeded, std::move(msg));
+  }
+  static Status Cancelled(std::string msg) {
+    return Status(StatusCode::kCancelled, std::move(msg));
+  }
 
   bool ok() const { return code_ == StatusCode::kOk; }
   StatusCode code() const { return code_; }
@@ -85,6 +93,10 @@ class Status {
   bool IsParseError() const { return code_ == StatusCode::kParseError; }
   bool IsTypeError() const { return code_ == StatusCode::kTypeError; }
   bool IsOutOfRange() const { return code_ == StatusCode::kOutOfRange; }
+  bool IsDeadlineExceeded() const {
+    return code_ == StatusCode::kDeadlineExceeded;
+  }
+  bool IsCancelled() const { return code_ == StatusCode::kCancelled; }
 
   /// "OK" or "<CodeName>: <message>".
   std::string ToString() const;

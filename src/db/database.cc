@@ -16,6 +16,18 @@
 
 namespace tcob {
 
+const char* HealthStateName(HealthState s) {
+  switch (s) {
+    case HealthState::kHealthy:
+      return "healthy";
+    case HealthState::kReadOnly:
+      return "read-only";
+    case HealthState::kFailed:
+      return "failed";
+  }
+  return "unknown";
+}
+
 Result<std::unique_ptr<Database>> Database::Open(
     const std::string& dir, const DatabaseOptions& options) {
   std::unique_ptr<Database> db(new Database(dir, options));
@@ -27,6 +39,10 @@ Database::~Database() {
   if (!initialized_) {
     // Open failed partway; the directory's contents are untrusted and
     // must not be overwritten by a best-effort flush.
+    return;
+  }
+  if (options_.read_only) {
+    // A read-only open promises to leave the directory untouched.
     return;
   }
   if (!fail_stop_.ok()) {
@@ -46,6 +62,12 @@ Database::~Database() {
 
 Status Database::Init() {
   env_ = options_.env != nullptr ? options_.env : IoEnv::Default();
+  if (options_.io_retry.enabled()) {
+    // Every component below sees the retrying decorator; transient read
+    // failures are absorbed (bounded backoff) instead of surfacing.
+    retry_env_ = std::make_unique<RetryingIoEnv>(env_, options_.io_retry);
+    env_ = retry_env_.get();
+  }
   TCOB_RETURN_NOT_OK(env_->CreateDir(dir_));
   // Page-journal recovery runs before anything reads a data page: a
   // committed journal is a checkpoint whose in-place apply was cut
@@ -82,6 +104,7 @@ Status Database::Init() {
     // the cold tier's idempotence markers.
     cold_tier_ = std::make_unique<ColdTier>(
         pool_.get(), std::string(StorageStrategyName(options_.strategy)));
+    cold_tier_->set_memory_budget(&memory_budget_);
     store_->AttachColdTier(cold_tier_.get());
   }
   links_ = std::make_unique<LinkStore>(pool_.get(), "links");
@@ -117,9 +140,48 @@ void Database::RegisterMetrics() {
                            &vcache_link_misses_total_);
   metrics_.RegisterCounter("tcob_vcache_versions_pinned_total",
                            &vcache_versions_pinned_total_);
+  metrics_.RegisterCounter("tcob_query_cancelled_total",
+                           &query_cancelled_total_);
+  metrics_.RegisterCounter("tcob_query_deadline_exceeded_total",
+                           &query_deadline_exceeded_total_);
   metrics_.RegisterHistogram("tcob_query_latency_us", &query_latency_us_);
   metrics_.RegisterGaugeFn("tcob_clock_now", [this]() {
     return static_cast<int64_t>(now_);
+  });
+  metrics_.RegisterGaugeFn("tcob_health_state", [this]() {
+    return static_cast<int64_t>(health_state_);
+  });
+  metrics_.RegisterGaugeFn("tcob_memory_budget_cap_bytes", [this]() {
+    return static_cast<int64_t>(memory_budget_.cap());
+  });
+  metrics_.RegisterGaugeFn("tcob_memory_charged_bytes", [this]() {
+    return static_cast<int64_t>(memory_budget_.charged());
+  });
+  metrics_.RegisterGaugeFn("tcob_memory_peak_bytes", [this]() {
+    return static_cast<int64_t>(memory_budget_.peak());
+  });
+  metrics_.RegisterGaugeFn("tcob_memory_budget_rejections_total", [this]() {
+    return static_cast<int64_t>(memory_budget_.rejected());
+  });
+  metrics_.RegisterGaugeFn("tcob_admission_inflight", [this]() {
+    return static_cast<int64_t>(admission_.inflight());
+  });
+  metrics_.RegisterGaugeFn("tcob_admission_queue_depth", [this]() {
+    return static_cast<int64_t>(admission_.queue_depth());
+  });
+  metrics_.RegisterGaugeFn("tcob_admission_peak_queue_depth", [this]() {
+    return static_cast<int64_t>(admission_.peak_queue_depth());
+  });
+  metrics_.RegisterGaugeFn("tcob_admission_admitted_total", [this]() {
+    return static_cast<int64_t>(admission_.admitted());
+  });
+  metrics_.RegisterGaugeFn("tcob_admission_rejected_total", [this]() {
+    return static_cast<int64_t>(admission_.rejected());
+  });
+  metrics_.RegisterGaugeFn("tcob_io_retries_total", [this]() {
+    return retry_env_ != nullptr
+               ? static_cast<int64_t>(retry_env_->retries())
+               : 0;
   });
   metrics_.RegisterGaugeFn("tcob_recovery_replayed_ops", [this]() {
     return static_cast<int64_t>(recovery_stats_.replayed_ops);
@@ -259,7 +321,20 @@ void Database::Poison(const Status& cause) {
   fail_stop_ = Status::IOError(
       "database is read-only after a stable-storage failure: " +
       cause.ToString());
+  health_state_ = HealthState::kReadOnly;
   TCOB_LOG(kError) << "entering fail-stop mode: " << cause.ToString();
+}
+
+void Database::FailHard(const Status& cause) {
+  // kFailed trumps kReadOnly: even if a storage failure was recorded
+  // first, a diverged in-memory image is the stronger condition.
+  if (health_state_ != HealthState::kFailed) {
+    fail_stop_ = Status::IOError(
+        "database failed (in-memory state diverged from the log): " +
+        cause.ToString());
+    health_state_ = HealthState::kFailed;
+    TCOB_LOG(kError) << "entering failed mode: " << cause.ToString();
+  }
 }
 
 Status Database::LogAndApply(WalOp op) {
@@ -284,7 +359,16 @@ Status Database::LogAndApply(WalOp op) {
   }
   ++next_op_seq_;
   Status applied = ApplyOp(op);
-  if (applied.ok()) ObserveTimestamp(op.valid_from);
+  if (applied.ok()) {
+    ObserveTimestamp(op.valid_from);
+  } else if (applied.IsIOError() || applied.IsCorruption()) {
+    // The record is durably logged but the stores refused it for an
+    // environmental reason: a replay would reapply it, so the in-memory
+    // image no longer matches what recovery will build. Validation
+    // errors (NotFound etc.) are deterministic — replay fails the same
+    // way — and stay user-visible without degrading the instance.
+    FailHard(applied);
+  }
   return applied;
 }
 
@@ -335,8 +419,13 @@ Status Database::CommitOps(uint64_t txn_id, const std::vector<WalOp>& ops) {
   for (const WalOp& op : stamped) {
     Status applied = ApplyOp(op);
     if (!applied.ok()) {
-      return Status::Internal("transaction apply failed after logging: " +
-                              applied.ToString());
+      Status wrapped =
+          Status::Internal("transaction apply failed after logging: " +
+                           applied.ToString());
+      // The commit record is durable but the image is now partial; no
+      // further access can be trusted.
+      FailHard(wrapped);
+      return wrapped;
     }
     ObserveTimestamp(op.valid_from);
   }
@@ -612,6 +701,17 @@ struct Database::SelectCursorContext {
   StoreAccessStats store_before;
   ColdTierAccessStats tiering_before;
   BufferPoolStats pool_before;
+  /// Cancellation scope of this query (deadline armed from options);
+  /// shared with the cursor so Cancel() reaches the producer.
+  std::shared_ptr<QueryContext> qctx;
+  /// Per-query memory accounting against the database budget
+  /// (immovable, so emplaced once the context exists).
+  std::optional<BudgetLease> lease;
+  /// True while this query holds an admission slot (released exactly
+  /// once, in FinalizeSelectTrace).
+  bool admitted = false;
+  /// The stream's final status, for the disposition stamp.
+  Status final_status = Status::OK();
   std::optional<Materializer> mat;
   std::optional<SelectExecutor> exec;
   SelectPlan plan;
@@ -656,6 +756,7 @@ Result<ResultSet> Database::ExecuteSelect(const SelectStmt& stmt,
 
 Result<std::unique_ptr<Cursor>> Database::NewSelectCursor(
     const SelectStmt& stmt, const std::string* text, double parse_us) {
+  TCOB_RETURN_NOT_OK(CheckReadable());
   auto ctx = std::make_shared<SelectCursorContext>();
   // The cursor may outlive the caller's statement (Query returns before
   // the rows are pulled), so the context owns a deep copy.
@@ -670,14 +771,31 @@ Result<std::unique_ptr<Cursor>> Database::NewSelectCursor(
   ctx->store_before = store_->access_stats();
   ctx->tiering_before = store_->cold_access_stats();
   ctx->pool_before = pool_->stats();
+  ctx->qctx = QueryContext::WithDeadline(options_.default_query_deadline_micros);
+  ctx->lease.emplace(&memory_budget_);
+  if (admission_.max_inflight() > 0) {
+    StopwatchUs wait_timer;
+    Status slot =
+        admission_.Acquire(ctx->qctx.get(), options_.admission_timeout_micros);
+    ctx->trace.admission_wait_us = wait_timer.ElapsedUs();
+    if (!slot.ok()) {
+      ctx->final_status = slot;
+      FinalizeSelectTrace(ctx.get());
+      return slot;
+    }
+    ctx->admitted = true;
+  }
   ctx->mat.emplace(&catalog_, store_.get(), links_.get(), query_pool_.get());
+  ctx->mat->set_governance(ctx->qctx.get(), &*ctx->lease);
   ctx->exec.emplace(&catalog_, &*ctx->mat, now_, attr_indexes_.get());
   ctx->exec->set_trace(&ctx->trace);
+  ctx->exec->set_context(ctx->qctx.get());
 
   if (!SelectExecutor::CanStream(ctx->stmt)) {
     // Pipeline breakers (aggregates, ORDER BY) need every row before
     // the first output row: execute materialized and wrap the result.
     Result<ResultSet> out = ctx->exec->Execute(ctx->stmt);
+    ctx->final_status = out.status();
     ctx->trace.rows_streamed = ctx->trace.rows;
     ctx->trace.peak_buffered_rows = ctx->trace.rows;
     ctx->trace.first_row_us = parse_us + ctx->total_timer.ElapsedUs();
@@ -689,6 +807,7 @@ Result<std::unique_ptr<Cursor>> Database::NewSelectCursor(
 
   Result<SelectPlan> plan = ctx->exec->Plan(ctx->stmt);
   if (!plan.ok()) {
+    ctx->final_status = plan.status();
     FinalizeSelectTrace(ctx.get());
     return plan.status();
   }
@@ -704,15 +823,18 @@ Result<std::unique_ptr<Cursor>> Database::NewSelectCursor(
   };
   auto finalize = [this, ctx](const Status& status,
                               const StreamingCursorStats& stats) {
-    (void)status;  // sticky in the cursor; the trace is kept either way
+    ctx->final_status = status;  // sticky in the cursor; kept for the trace
     ctx->trace.rows = stats.rows_streamed;
     ctx->trace.rows_streamed = stats.rows_streamed;
     ctx->trace.peak_buffered_rows = stats.peak_buffered_rows;
     FinalizeSelectTrace(ctx.get());
   };
+  StreamingCursor::Options copts;
+  copts.context = ctx->qctx;
+  copts.lease = &*ctx->lease;
   return std::unique_ptr<Cursor>(new StreamingCursor(
       ctx->plan.columns, ctx->plan.message, std::move(producer),
-      std::move(finalize), std::move(on_first_row)));
+      std::move(finalize), std::move(on_first_row), copts));
 }
 
 void Database::FinalizeSelectTrace(SelectCursorContext* ctx) {
@@ -724,6 +846,25 @@ void Database::FinalizeSelectTrace(SelectCursorContext* ctx) {
   trace.pool = pool_->stats();
   trace.pool -= ctx->pool_before;
   trace.total_us = trace.parse_us + ctx->total_timer.ElapsedUs();
+  if (ctx->lease.has_value()) {
+    trace.peak_memory_bytes = ctx->lease->peak();
+    trace.memory_overflow_bytes = ctx->lease->overflow();
+  }
+  const Status& outcome = ctx->final_status;
+  if (outcome.IsCancelled() ||
+      (outcome.ok() && ctx->qctx != nullptr && ctx->qctx->cancelled())) {
+    trace.disposition = "cancelled";
+    query_cancelled_total_.Increment();
+  } else if (outcome.IsDeadlineExceeded()) {
+    trace.disposition = "deadline-exceeded";
+    query_deadline_exceeded_total_.Increment();
+  } else if (!outcome.ok()) {
+    trace.disposition = "error";
+  }
+  if (ctx->admitted) {
+    admission_.Release();
+    ctx->admitted = false;
+  }
 
   queries_total_.Increment();
   query_latency_us_.Observe(static_cast<uint64_t>(trace.total_us));
@@ -739,7 +880,9 @@ void Database::FinalizeSelectTrace(SelectCursorContext* ctx) {
                     << threshold << "us): "
                     << (trace.statement.empty() ? "<ast>" : trace.statement)
                     << " | plan: " << trace.plan << " | rows: " << trace.rows
-                    << " | store accesses: " << trace.store.Total();
+                    << " | store accesses: " << trace.store.Total()
+                    << " | disposition: " << trace.disposition
+                    << " | peak mem: " << trace.peak_memory_bytes << "B";
   }
   last_query_stats_ = trace;
 }
@@ -747,6 +890,7 @@ void Database::FinalizeSelectTrace(SelectCursorContext* ctx) {
 Result<ResultSet> Database::ExecuteStatementImpl(const Statement& stmt,
                                                  const std::string* text,
                                                  double parse_us) {
+  TCOB_RETURN_NOT_OK(CheckReadable());
   statements_total_.Increment();
   using R = Result<ResultSet>;
   return std::visit(
@@ -1039,6 +1183,61 @@ Status Database::Flush() {
   TCOB_RETURN_NOT_OK(CheckWritable());
   TCOB_RETURN_NOT_OK(pool_->FlushAll());
   return SaveCatalog();
+}
+
+Status Database::TryRecover() {
+  if (health_state_ == HealthState::kHealthy) return Status::OK();
+  if (health_state_ == HealthState::kFailed) {
+    return Status::IOError(
+        "cannot recover a failed database instance in place; re-open it "
+        "(original failure: " + fail_stop_.ToString() + ")");
+  }
+  // Probe the environment with a real durable write before trusting it
+  // again: a failure here is evidence the outage persists, and the
+  // instance stays read-only with its original cause intact.
+  const std::string probe_path = dir_ + "/.recover_probe.tmp";
+  Status probed = [&]() -> Status {
+    TCOB_ASSIGN_OR_RETURN(std::unique_ptr<IoFile> f,
+                          env_->OpenFile(probe_path));
+    TCOB_RETURN_NOT_OK(f->WriteAt(0, Slice("tcob recover probe")));
+    TCOB_RETURN_NOT_OK(f->Sync());
+    f.reset();
+    return env_->RemoveFile(probe_path);
+  }();
+  if (!probed.ok()) {
+    TCOB_LOG(kWarn) << "recovery probe failed, staying read-only: "
+                    << probed.ToString();
+    return probed;
+  }
+  const Status original = fail_stop_;
+  // A failed fsync latches the log for good: the kernel may have
+  // dropped dirty pages the old descriptor can never re-sync, so no
+  // retry through it is trustworthy. Recovery needs a fresh handle;
+  // the checkpoint below rebuilds durability from the applied
+  // in-memory state and truncates the stale tail, so no byte of the
+  // old log is trusted across the swap.
+  if (!wal_->health().ok()) {
+    Result<std::unique_ptr<WriteAheadLog>> reopened =
+        WriteAheadLog::Open(dir_ + "/wal.log", env_);
+    if (!reopened.ok()) {
+      TCOB_LOG(kWarn) << "recovery WAL reopen failed, staying read-only: "
+                      << reopened.status().ToString();
+      return reopened.status();
+    }
+    wal_ = std::move(reopened.value());
+    wal_->RegisterMetrics(&metrics_);
+  }
+  fail_stop_ = Status::OK();
+  health_state_ = HealthState::kHealthy;
+  // Re-establish a durable baseline. The WAL tail may hold a record the
+  // original failure tore (its op was never applied in memory); the
+  // checkpoint makes everything applied durable and truncates that tail
+  // away. A failure here re-poisons with the new cause.
+  Status checkpointed = Checkpoint();
+  if (!checkpointed.ok()) return checkpointed;
+  TCOB_LOG(kInfo) << "recovered to full service (was: "
+                  << original.ToString() << ")";
+  return Status::OK();
 }
 
 namespace {

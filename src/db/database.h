@@ -6,7 +6,9 @@
 #include <vector>
 
 #include "catalog/catalog.h"
+#include "common/cancellation.h"
 #include "common/metrics.h"
+#include "common/resource_budget.h"
 #include "common/result.h"
 #include "common/thread_pool.h"
 #include "db/transaction.h"
@@ -20,6 +22,7 @@
 #include "storage/buffer_pool.h"
 #include "storage/disk_manager.h"
 #include "storage/io_env.h"
+#include "storage/retry_env.h"
 #include "tstore/cold_tier.h"
 #include "tstore/store_factory.h"
 #include "wal/log_record.h"
@@ -67,7 +70,49 @@ struct DatabaseOptions {
   uint64_t slow_query_threshold_micros = 0;
   /// Cold-history tiering knobs (off by default).
   TieringOptions tiering;
+  /// Every SELECT gets a deadline this many microseconds after it opens;
+  /// a query past it aborts cooperatively with DeadlineExceeded.
+  /// 0 disables the default deadline (per-cursor Cancel still works).
+  uint64_t default_query_deadline_micros = 0;
+  /// Global cap on governed query memory (version-cache pins + buffered
+  /// cursor batches), bytes. Past the cap queries shed their caches and
+  /// proceed uncharged rather than fail; the *charged* total never
+  /// exceeds the cap. 0 = unlimited (accounting still runs).
+  uint64_t memory_budget_bytes = 0;
+  /// Admission gate: at most this many SELECTs in flight at once; later
+  /// arrivals wait up to admission_timeout_micros (bounded also by their
+  /// own deadline) and are refused with DeadlineExceeded. 0 = no gate.
+  size_t max_inflight_queries = 0;
+  /// How long an arriving query may wait at the admission gate.
+  uint64_t admission_timeout_micros = 100000;
+  /// Open logically read-only: every user mutation (DML, DDL, vacuum,
+  /// tier migration) is refused with InvalidArgument, and the close-time
+  /// checkpoint is skipped. WAL replay at open still runs (in memory),
+  /// so the view matches what a writable open would serve.
+  bool read_only = false;
+  /// Bounded retry of transiently-failing reads (off by default: the
+  /// fault-injection suites rely on single-shot faults actually failing
+  /// unless a test opts in).
+  IoRetryPolicy io_retry;
 };
+
+/// Degradation ladder of a Database instance (see Database::health()).
+enum class HealthState {
+  /// Full service.
+  kHealthy,
+  /// A stable-storage write failed: mutations are refused with the
+  /// preserved original cause, reads keep serving the last durable
+  /// state. TryRecover() can restore write service.
+  kReadOnly,
+  /// The in-memory image itself is suspect (an apply failed after its
+  /// WAL record was durably logged): all access is refused; the only
+  /// recovery is to discard the instance and re-Open.
+  kFailed,
+};
+
+/// Lowercase name of a health state ("healthy" / "read-only" /
+/// "failed").
+const char* HealthStateName(HealthState s);
 
 /// What Open's WAL replay observed (introspection for crash tests and
 /// operators diagnosing a recovery).
@@ -270,7 +315,8 @@ class Database {
   /// Not-OK once a write to stable storage has failed: the process can
   /// no longer tell what is durable, so every subsequent mutation
   /// (DML, DDL, checkpoint) is refused with this status while reads
-  /// continue. Recovery path: discard this instance and re-Open.
+  /// continue (the kReadOnly rung of the health ladder). Recovery paths:
+  /// TryRecover() in place, or discard this instance and re-Open.
   const Status& health() const { return fail_stop_; }
 
   /// True once the instance entered fail-stop mode. Mutations after
@@ -278,6 +324,31 @@ class Database {
   /// health()), never a generic error — callers can surface the root
   /// cause without having tracked the first failing call themselves.
   bool IsPoisoned() const { return !fail_stop_.ok(); }
+
+  /// Where this instance sits on the degradation ladder.
+  HealthState health_state() const { return health_state_; }
+
+  /// Attempts to climb back from kReadOnly to kHealthy: re-probes the
+  /// I/O environment with a real write+sync+remove, and on success
+  /// clears the fail-stop status and checkpoints (discarding any torn
+  /// WAL tail the original failure left behind). Returns the probe (or
+  /// checkpoint) failure and stays read-only if the environment is still
+  /// refusing writes; refuses outright from kFailed (the in-memory image
+  /// is untrusted — re-Open is the only way back). No-op when healthy.
+  Status TryRecover();
+
+  /// Adjusts the default SELECT deadline at runtime (the shell's
+  /// `.timeout`). 0 disables it; queries already running are unaffected.
+  void set_default_query_deadline(uint64_t micros) {
+    options_.default_query_deadline_micros = micros;
+  }
+
+  /// The global query-memory budget (version-cache pins + buffered
+  /// cursor batches charge against it).
+  const ResourceBudget& memory_budget() const { return memory_budget_; }
+
+  /// The admission gate (queue-depth / in-flight introspection).
+  const AdmissionController& admission() const { return admission_; }
 
   /// The canonical logical image of the database as dump-format bytes:
   /// catalog, clock, every atom version sorted by (atom id, begin) and
@@ -378,11 +449,30 @@ class Database {
   /// configured), then applies it. A WAL failure poisons the database.
   Status LogAndApply(WalOp op);
 
-  /// Refuses mutations once poisoned (fail-stop after an I/O failure).
-  Status CheckWritable() const { return fail_stop_; }
+  /// Refuses mutations when the open is read-only or the instance has
+  /// degraded (fail-stop after an I/O failure).
+  Status CheckWritable() const {
+    if (options_.read_only) {
+      return Status::InvalidArgument("database opened in read-only mode");
+    }
+    return fail_stop_;
+  }
 
-  /// Records the first stable-storage failure; later mutations see it.
+  /// Refuses even reads once the instance reached kFailed (the
+  /// in-memory image is untrusted past a post-log apply failure).
+  Status CheckReadable() const {
+    if (health_state_ == HealthState::kFailed) return fail_stop_;
+    return Status::OK();
+  }
+
+  /// Records the first stable-storage failure and degrades to kReadOnly;
+  /// later mutations see it, reads keep serving.
   void Poison(const Status& cause);
+
+  /// Hard failure: the in-memory image diverged from the log (an apply
+  /// failed after its record was durably appended). Degrades to kFailed;
+  /// every access is refused from here and TryRecover cannot help.
+  void FailHard(const Status& cause);
 
   /// Meta file (clock.tcob): NOW and the checkpoint op_seq watermark,
   /// CRC-protected and replaced atomically.
@@ -409,6 +499,9 @@ class Database {
   std::string dir_;
   DatabaseOptions options_;
   IoEnv* env_ = nullptr;  // options_.env or IoEnv::Default(); not owned
+  /// Wraps the base environment when options_.io_retry is enabled; env_
+  /// then points at it.
+  std::unique_ptr<RetryingIoEnv> retry_env_;
   /// Declared before the components so it outlives none of its
   /// registrants' updates; holds non-owning pointers into them and into
   /// the counters below (all destroyed together with this Database).
@@ -422,7 +515,13 @@ class Database {
   Counter vcache_link_hits_total_;
   Counter vcache_link_misses_total_;
   Counter vcache_versions_pinned_total_;
+  Counter query_cancelled_total_;
+  Counter query_deadline_exceeded_total_;
   Histogram query_latency_us_{Histogram::LatencyBucketsUs()};
+  /// Global query-memory budget; cap from options_ (0 = unlimited).
+  ResourceBudget memory_budget_{options_.memory_budget_bytes};
+  /// Admission gate; disabled when options_.max_inflight_queries == 0.
+  AdmissionController admission_{options_.max_inflight_queries};
   QueryStats last_query_stats_;
   Catalog catalog_;
   /// Declared before disk_: the manager holds a raw pointer into it.
@@ -446,9 +545,11 @@ class Database {
   /// into the meta file by Checkpoint; replay skips operations below the
   /// persisted base, making recovery idempotent under re-crash.
   uint64_t next_op_seq_ = 1;
-  /// OK until a stable-storage write fails; then the first failure,
-  /// forever (this instance is read-only from that point).
+  /// OK until a stable-storage write fails; then the first failure —
+  /// held until TryRecover clears it (kReadOnly) or forever (kFailed).
   Status fail_stop_ = Status::OK();
+  /// Where this instance sits on the degradation ladder.
+  HealthState health_state_ = HealthState::kHealthy;
   RecoveryStats recovery_stats_;
   /// Set once Init (including recovery) succeeds. A Database whose open
   /// failed must not write anything on destruction — the on-disk state

@@ -202,6 +202,10 @@ Status Materializer::AllMoleculesAsOf(
     TCOB_RETURN_NOT_OK(store_->ScanAsOf(
         *root_type, t, [&](const AtomVersion& root) -> Result<bool> {
           roots.push_back(root.id);
+          if (ctx_ != nullptr && (roots.size() & 63) == 0) {
+            Status governed = ctx_->Check();
+            if (!governed.ok()) return governed;
+          }
           return true;
         }));
     if (roots.size() > 1) {
@@ -234,6 +238,12 @@ Status Materializer::AllMoleculesAsOf(
   VersionCache cache = NewCache(Interval::At(t));
   Status out = store_->ScanAsOf(
       *root_type, t, [&](const AtomVersion& root) -> Result<bool> {
+        Status governed = CheckContext();
+        if (!governed.ok()) return governed;
+        if (lease_ != nullptr && lease_->TakePressure()) {
+          cache_stats_ += cache.stats();
+          cache = NewCache(Interval::At(t));
+        }
         TCOB_ASSIGN_OR_RETURN(
             Molecule mol, MaterializeAsOfImpl(type, root.id, t, &cache));
         return fn(std::move(mol));
@@ -254,6 +264,13 @@ Status Materializer::MoleculesAsOf(
   VersionCache cache = NewCache(Interval::At(t));
   Status out = Status::OK();
   for (AtomId root : roots) {
+    out = CheckContext();
+    if (!out.ok()) break;
+    if (lease_ != nullptr && lease_->TakePressure()) {
+      // Budget pressure: drop the pinned cache and continue fresh.
+      cache_stats_ += cache.stats();
+      cache = NewCache(Interval::At(t));
+    }
     Result<Molecule> mol = MaterializeAsOfImpl(type, root, t, &cache);
     if (!mol.ok()) {
       // Candidate lists may over-approximate (index false positives).
@@ -285,15 +302,25 @@ Status Materializer::ParallelMoleculesAsOf(
   for (size_t w = 0; w < workers; ++w) {
     caches.push_back(NewCache(Interval::At(t)));
   }
+  // Stats of caches a worker dropped under budget pressure; each worker
+  // writes only its own slot.
+  std::vector<VersionCacheStats> dropped_stats(workers);
   last_worker_us_.assign(workers, 0.0);
   // `fn` runs on this thread only, overlapping with the workers.
   Status out = StreamFanOut<Molecule>(
       pool_, n, workers, skip_not_found, &last_worker_us_,
-      [&](size_t i, size_t w) {
+      [&](size_t i, size_t w) -> Result<Molecule> {
+        Status governed = CheckContext();
+        if (!governed.ok()) return governed;
+        if (lease_ != nullptr && lease_->TakePressure()) {
+          dropped_stats[w] += caches[w].stats();
+          caches[w] = NewCache(Interval::At(t));
+        }
         return MaterializeAsOfImpl(type, roots[i], t, &caches[w]);
       },
       fn);
   for (VersionCache& cache : caches) cache_stats_ += cache.stats();
+  for (const VersionCacheStats& s : dropped_stats) cache_stats_ += s;
   return out;
 }
 
@@ -619,9 +646,14 @@ Status Materializer::AllHistories(
                         AtomTypeOf(type.root_type));
   last_worker_us_.clear();
   std::set<AtomId> roots;
+  size_t scanned = 0;
   TCOB_RETURN_NOT_OK(store_->ScanVersions(
       *root_type, window, [&](const AtomVersion& v) -> Result<bool> {
         roots.insert(v.id);
+        if (ctx_ != nullptr && (++scanned & 63) == 0) {
+          Status governed = ctx_->Check();
+          if (!governed.ok()) return governed;
+        }
         return true;
       }));
   if (UseParallel(roots.size())) {
@@ -634,10 +666,19 @@ Status Materializer::AllHistories(
     std::vector<VersionCache> caches;
     caches.reserve(workers);
     for (size_t w = 0; w < workers; ++w) caches.push_back(NewCache(window));
+    std::vector<VersionCacheStats> dropped_stats(workers);
     last_worker_us_.assign(workers, 0.0);
     Status out = StreamFanOut<MoleculeHistory>(
         pool_, n, workers, /*skip_not_found=*/false, &last_worker_us_,
-        [&](size_t i, size_t w) {
+        [&](size_t i, size_t w) -> Result<MoleculeHistory> {
+          Status governed = CheckContext();
+          if (!governed.ok()) return governed;
+          if (lease_ != nullptr && lease_->TakePressure()) {
+            // HistorySweep holds raw pins only within one call, so the
+            // cache may only be dropped here, between roots.
+            dropped_stats[w] += caches[w].stats();
+            caches[w] = NewCache(window);
+          }
           return HistorySweep(type, root_list[i], window, &caches[w]);
         },
         [&](MoleculeHistory h) -> Result<bool> {
@@ -647,6 +688,7 @@ Status Materializer::AllHistories(
           return fn(std::move(h));
         });
     for (VersionCache& cache : caches) cache_stats_ += cache.stats();
+    for (const VersionCacheStats& s : dropped_stats) cache_stats_ += s;
     return out;
   }
   // One cache across every history: molecules sharing sub-objects pin
@@ -654,6 +696,14 @@ Status Materializer::AllHistories(
   VersionCache cache = NewCache(window);
   Status out = Status::OK();
   for (AtomId root : roots) {
+    out = CheckContext();
+    if (!out.ok()) break;
+    if (lease_ != nullptr && lease_->TakePressure()) {
+      // Safe only between sweeps: HistorySweep pins raw entry pointers
+      // for the duration of one root.
+      cache_stats_ += cache.stats();
+      cache = NewCache(window);
+    }
     Result<MoleculeHistory> h = HistorySweep(type, root, window, &cache);
     if (!h.ok()) {
       out = h.status();

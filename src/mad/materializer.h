@@ -5,6 +5,8 @@
 #include <vector>
 
 #include "catalog/catalog.h"
+#include "common/cancellation.h"
+#include "common/resource_budget.h"
 #include "common/thread_pool.h"
 #include "mad/link_store.h"
 #include "mad/molecule.h"
@@ -45,11 +47,27 @@ class Materializer {
                const LinkStore* links, ThreadPool* pool = nullptr)
       : catalog_(catalog), store_(store), links_(links), pool_(pool) {}
 
-  /// A cache bound to this materializer's stores, for callers that span
-  /// one query over several operator invocations (e.g. the executor's
-  /// per-root index path).
+  /// Attaches the query's cancellation token and memory lease (either
+  /// may be null). A Materializer is constructed per statement, so these
+  /// are query-scoped: every operator checks `ctx` at its batch
+  /// boundaries (per root in the all-roots loops, per item in fan-out
+  /// workers, every few dozen root-scan callbacks — plus per cache miss
+  /// inside VersionCache, which covers cold-segment decodes), and every
+  /// cache it creates charges its pins to `lease`. When the lease
+  /// reports budget pressure, the all-roots operators drop their pinned
+  /// cache between roots and continue with a fresh one.
+  void set_governance(const QueryContext* ctx, BudgetLease* lease) {
+    ctx_ = ctx;
+    lease_ = lease;
+  }
+
+  /// A cache bound to this materializer's stores (and its governance
+  /// scope), for callers that span one query over several operator
+  /// invocations (e.g. the executor's per-root index path).
   VersionCache NewCache(const Interval& window = Interval::All()) const {
-    return VersionCache(store_, links_, window);
+    VersionCache cache(store_, links_, window);
+    cache.set_governance(ctx_, lease_);
+    return cache;
   }
 
   /// The molecule rooted at `root` as of instant `t`. NotFound if the
@@ -173,10 +191,17 @@ class Materializer {
     return pool_ != nullptr && pool_->workers() > 1 && n > 1;
   }
 
+  /// OK while the query may keep running (always OK with no context).
+  Status CheckContext() const {
+    return ctx_ != nullptr ? ctx_->Check() : Status::OK();
+  }
+
   const Catalog* catalog_;
   const TemporalAtomStore* store_;
   const LinkStore* links_;
   ThreadPool* pool_;
+  const QueryContext* ctx_ = nullptr;
+  BudgetLease* lease_ = nullptr;
   mutable VersionCacheStats cache_stats_;
   // Each parallel task writes only its own slot, so no synchronization
   // is needed beyond the pool's batch-completion join.

@@ -2,6 +2,77 @@
 
 namespace tcob {
 
+namespace {
+
+/// Rough in-memory footprint of a pinned atom entry. String payloads are
+/// deliberately ignored: the estimate only has to track pinning volume
+/// well enough for the budget to bound it, not to match malloc exactly.
+uint64_t EstimateAtomEntryBytes(const VersionCache::AtomEntry& e) {
+  uint64_t bytes = sizeof(VersionCache::AtomEntry);
+  for (const AtomVersion& v : e.versions) {
+    bytes += sizeof(AtomVersion) + v.attrs.size() * sizeof(Value);
+  }
+  return bytes;
+}
+
+uint64_t EstimateLinkEntryBytes(size_t partners) {
+  return 64 + partners * sizeof(std::pair<AtomId, Interval>);
+}
+
+}  // namespace
+
+VersionCache::VersionCache(VersionCache&& o) noexcept
+    : store_(o.store_),
+      links_(o.links_),
+      window_(o.window_),
+      atoms_(std::move(o.atoms_)),
+      neighbors_(std::move(o.neighbors_)),
+      stats_(o.stats_),
+      ctx_(o.ctx_),
+      lease_(o.lease_),
+      charged_bytes_(o.charged_bytes_),
+      overflow_bytes_(o.overflow_bytes_) {
+  o.lease_ = nullptr;
+  o.charged_bytes_ = 0;
+  o.overflow_bytes_ = 0;
+}
+
+VersionCache& VersionCache::operator=(VersionCache&& o) noexcept {
+  if (this != &o) {
+    ReleaseBudget();
+    store_ = o.store_;
+    links_ = o.links_;
+    window_ = o.window_;
+    atoms_ = std::move(o.atoms_);
+    neighbors_ = std::move(o.neighbors_);
+    stats_ = o.stats_;
+    ctx_ = o.ctx_;
+    lease_ = o.lease_;
+    charged_bytes_ = o.charged_bytes_;
+    overflow_bytes_ = o.overflow_bytes_;
+    o.lease_ = nullptr;
+    o.charged_bytes_ = 0;
+    o.overflow_bytes_ = 0;
+  }
+  return *this;
+}
+
+void VersionCache::ChargeBudget(uint64_t bytes) {
+  if (lease_ == nullptr) return;
+  if (lease_->Charge(bytes)) {
+    charged_bytes_ += bytes;
+  } else {
+    overflow_bytes_ += bytes;
+  }
+}
+
+void VersionCache::ReleaseBudget() {
+  if (lease_ == nullptr) return;
+  lease_->Release(charged_bytes_, overflow_bytes_);
+  charged_bytes_ = 0;
+  overflow_bytes_ = 0;
+}
+
 Result<const VersionCache::AtomEntry*> VersionCache::Pin(
     const AtomTypeDef& type, AtomId id) {
   AtomKey key(type.id, id);
@@ -9,6 +80,10 @@ Result<const VersionCache::AtomEntry*> VersionCache::Pin(
   if (it != atoms_.end()) {
     ++stats_.atom_hits;
     return &it->second;
+  }
+  if (ctx_ != nullptr) {
+    Status governed = ctx_->Check();
+    if (!governed.ok()) return governed;
   }
   ++stats_.atom_misses;
   AtomEntry entry;
@@ -26,6 +101,7 @@ Result<const VersionCache::AtomEntry*> VersionCache::Pin(
   }
   auto [pos, inserted] = atoms_.emplace(key, std::move(entry));
   (void)inserted;
+  ChargeBudget(EstimateAtomEntryBytes(pos->second));
   return &pos->second;
 }
 
@@ -48,12 +124,17 @@ VersionCache::Neighbors(const LinkTypeDef& link, AtomId atom, bool forward) {
     ++stats_.link_hits;
     return &it->second;
   }
+  if (ctx_ != nullptr) {
+    Status governed = ctx_->Check();
+    if (!governed.ok()) return governed;
+  }
   ++stats_.link_misses;
   TCOB_ASSIGN_OR_RETURN(auto partners,
                         links_->NeighborsIn(link, atom, forward, window_));
   stats_.link_instances_pinned += partners.size();
   auto [pos, inserted] = neighbors_.emplace(key, std::move(partners));
   (void)inserted;
+  ChargeBudget(EstimateLinkEntryBytes(pos->second.size()));
   return &pos->second;
 }
 

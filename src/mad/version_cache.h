@@ -6,6 +6,8 @@
 #include <utility>
 #include <vector>
 
+#include "common/cancellation.h"
+#include "common/resource_budget.h"
 #include "mad/link_store.h"
 #include "tstore/temporal_store.h"
 
@@ -74,7 +76,26 @@ class VersionCache {
                const Interval& window = Interval::All())
       : store_(store), links_(links), window_(window) {}
 
+  VersionCache(const VersionCache&) = delete;
+  VersionCache& operator=(const VersionCache&) = delete;
+  VersionCache(VersionCache&& o) noexcept;
+  VersionCache& operator=(VersionCache&& o) noexcept;
+  ~VersionCache() { ReleaseBudget(); }
+
   const Interval& window() const { return window_; }
+
+  /// Attaches the query's cancellation token and memory lease. Every
+  /// cache miss (a store round-trip, possibly a cold-segment decode)
+  /// first checks `ctx`, and the pinned entry's estimated footprint is
+  /// charged to `lease` — released again when the cache dies. Either
+  /// may be null.
+  void set_governance(const QueryContext* ctx, BudgetLease* lease) {
+    ctx_ = ctx;
+    lease_ = lease;
+  }
+
+  /// Estimated bytes of everything currently pinned (charged + refused).
+  uint64_t pinned_bytes() const { return charged_bytes_ + overflow_bytes_; }
 
   /// The pinned entry of `id`, fetching it from the store on first touch
   /// (one GetVersions round-trip, never more).
@@ -103,12 +124,21 @@ class VersionCache {
   using AtomKey = std::pair<TypeId, AtomId>;
   using LinkKey = std::tuple<LinkTypeId, AtomId, bool>;
 
+  /// Charges `bytes` to the lease (if any), tracking what stuck vs. what
+  /// the global budget refused so ReleaseBudget can undo both exactly.
+  void ChargeBudget(uint64_t bytes);
+  void ReleaseBudget();
+
   const TemporalAtomStore* store_;
   const LinkStore* links_;
   Interval window_;
   std::map<AtomKey, AtomEntry> atoms_;
   std::map<LinkKey, std::vector<std::pair<AtomId, Interval>>> neighbors_;
   VersionCacheStats stats_;
+  const QueryContext* ctx_ = nullptr;
+  BudgetLease* lease_ = nullptr;
+  uint64_t charged_bytes_ = 0;
+  uint64_t overflow_bytes_ = 0;
 };
 
 }  // namespace tcob

@@ -28,12 +28,30 @@ void MaterializedCursor::Close() {
   next_ = 0;
 }
 
+namespace {
+
+/// Rough heap footprint of a batch of rows, for budget accounting. Like
+/// the version-cache estimate, string payloads are ignored: tracking the
+/// buffered volume is what matters, not malloc-exact bytes.
+uint64_t EstimateBatchBytes(const std::vector<std::vector<Value>>& rows) {
+  uint64_t bytes = 0;
+  for (const std::vector<Value>& row : rows) {
+    bytes += 32 + row.size() * sizeof(Value);
+  }
+  return bytes;
+}
+
+}  // namespace
+
 /// Batches streamed rows into queue items weighted by their row count,
 /// so the queue's capacity (and peak) is counted in rows.
 class StreamingCursor::QueueSink : public RowSink {
  public:
-  QueueSink(BoundedQueue<RowBatch>* queue, size_t batch_rows)
-      : queue_(queue), batch_rows_(batch_rows == 0 ? 1 : batch_rows) {}
+  QueueSink(BoundedQueue<QueueItem>* queue, size_t batch_rows,
+            BudgetLease* lease)
+      : queue_(queue),
+        batch_rows_(batch_rows == 0 ? 1 : batch_rows),
+        lease_(lease) {}
 
   Result<bool> Push(std::vector<Value> row) override {
     batch_.push_back(std::move(row));
@@ -44,15 +62,26 @@ class StreamingCursor::QueueSink : public RowSink {
   /// Hands the partial batch to the queue; false once the consumer left.
   bool Flush() {
     if (batch_.empty()) return true;
+    QueueItem item;
+    item.bytes = EstimateBatchBytes(batch_);
+    if (lease_ != nullptr) item.charged = lease_->Charge(item.bytes);
     const size_t weight = batch_.size();
-    bool accepted = queue_->Push(std::move(batch_), weight);
+    const uint64_t bytes = item.bytes;
+    const bool charged = item.charged;
+    item.rows = std::move(batch_);
     batch_ = RowBatch();
+    bool accepted = queue_->Push(std::move(item), weight);
+    if (!accepted && lease_ != nullptr) {
+      // Consumer left: the queue dropped the item, undo its charge.
+      lease_->Release(charged ? bytes : 0, charged ? 0 : bytes);
+    }
     return accepted;
   }
 
  private:
-  BoundedQueue<RowBatch>* queue_;
+  BoundedQueue<QueueItem>* queue_;
   const size_t batch_rows_;
+  BudgetLease* lease_;
   RowBatch batch_;
 };
 
@@ -68,7 +97,7 @@ StreamingCursor::StreamingCursor(std::vector<std::string> columns,
       finalize_(std::move(finalize)),
       on_first_row_(std::move(on_first_row)) {
   producer_thread_ = std::thread([this, producer = std::move(producer)] {
-    QueueSink sink(&queue_, options_.batch_rows);
+    QueueSink sink(&queue_, options_.batch_rows, options_.lease);
     Status status = producer(&sink);
     if (status.ok()) sink.Flush();  // the tail partial batch
     queue_.CloseProducer(std::move(status));
@@ -86,14 +115,26 @@ StreamingCursor::StreamingCursor(std::vector<std::string> columns,
 StreamingCursor::~StreamingCursor() { Close(); }
 
 Result<bool> StreamingCursor::Next(std::vector<Value>* row) {
+  if (cancelled_.load(std::memory_order_acquire) && !end_) {
+    // Cancel() already closed the consumer side, so the producer exits
+    // at its next push or context check; join it and report.
+    end_ = true;
+    ReleaseBuffer();
+    Finish();
+    if (final_status_.ok()) {
+      final_status_ = Status::Cancelled("query cancelled");
+    }
+    return final_status_;
+  }
   if (end_) {
     if (!final_status_.ok()) return final_status_;
     return false;
   }
   if (buffer_next_ >= buffer_.size()) {
     buffer_.clear();
+    ReleaseBuffer();
     buffer_next_ = 0;
-    std::optional<RowBatch> batch = queue_.Pop();
+    std::optional<QueueItem> batch = queue_.Pop();
     if (!batch.has_value()) {
       // End of stream: the producer has closed — join it and settle the
       // final status before reporting.
@@ -102,7 +143,9 @@ Result<bool> StreamingCursor::Next(std::vector<Value>* row) {
       if (!final_status_.ok()) return final_status_;
       return false;
     }
-    buffer_ = std::move(*batch);
+    buffer_ = std::move(batch->rows);
+    buffer_bytes_ = batch->bytes;
+    buffer_charged_ = batch->charged;
   }
   *row = std::move(buffer_[buffer_next_++]);
   ++rows_delivered_;
@@ -122,7 +165,16 @@ void StreamingCursor::Close() {
     queue_.CloseConsumer();
     end_ = true;
   }
+  ReleaseBuffer();
   Finish();
+}
+
+void StreamingCursor::Cancel() {
+  cancelled_.store(true, std::memory_order_release);
+  if (options_.context != nullptr) options_.context->Cancel();
+  // Unblocks a producer stalled on backpressure; its next Push returns
+  // false. The consumer is woken by the producer's CloseProducer.
+  queue_.CloseConsumer();
 }
 
 void StreamingCursor::Finish() {
@@ -134,6 +186,18 @@ void StreamingCursor::Finish() {
   stats.rows_streamed = rows_delivered_;
   stats.peak_buffered_rows = queue_.peak_weight();
   if (finalize_) finalize_(final_status_, stats);
+}
+
+void StreamingCursor::ReleaseBuffer() {
+  // Batches still queued (abandon path) are not individually released —
+  // the lease's destructor returns everything it still holds.
+  if (buffer_bytes_ == 0) return;
+  if (options_.lease != nullptr) {
+    options_.lease->Release(buffer_charged_ ? buffer_bytes_ : 0,
+                            buffer_charged_ ? 0 : buffer_bytes_);
+  }
+  buffer_bytes_ = 0;
+  buffer_charged_ = false;
 }
 
 }  // namespace tcob

@@ -1,12 +1,16 @@
 #ifndef TCOB_QUERY_CURSOR_H_
 #define TCOB_QUERY_CURSOR_H_
 
+#include <atomic>
 #include <functional>
+#include <memory>
 #include <string>
 #include <thread>
 #include <vector>
 
 #include "common/bounded_queue.h"
+#include "common/cancellation.h"
+#include "common/resource_budget.h"
 #include "common/result.h"
 #include "query/executor.h"
 #include "query/result_set.h"
@@ -49,6 +53,13 @@ class Cursor {
   /// Releases the stream (stopping production if still running).
   /// Idempotent; also run by the destructor.
   virtual void Close() = 0;
+
+  /// Requests cancellation of the query behind this cursor. Unlike every
+  /// other cursor call, Cancel is safe from any thread — it is how a
+  /// second thread aborts a pull loop in progress: the next Next/
+  /// NextBatch returns Status::Cancelled in bounded time. A no-op for
+  /// cursors over already-materialized results.
+  virtual void Cancel() {}
 
   /// Non-row payload (DML outcome, the index-path note).
   virtual const std::string& message() const = 0;
@@ -98,6 +109,12 @@ class StreamingCursor : public Cursor {
     size_t queue_capacity_rows = 1024;
     /// Rows per queue item; amortizes queue synchronization.
     size_t batch_rows = 64;
+    /// The query's cancellation scope; Cancel() forwards into it so the
+    /// producer's executor unwinds too. May be null.
+    std::shared_ptr<QueryContext> context;
+    /// Memory lease to charge buffered batches against (must outlive the
+    /// cursor). May be null.
+    BudgetLease* lease = nullptr;
   };
 
   /// Runs the query, pushing every result row into the sink; returning
@@ -129,29 +146,47 @@ class StreamingCursor : public Cursor {
   const std::string& message() const override { return message_; }
   Result<bool> Next(std::vector<Value>* row) override;
   void Close() override;
+  /// Thread-safe: cancels the context (unwinding the producer at its
+  /// next batch boundary) and closes the consumer side of the queue
+  /// (unblocking a producer stalled on backpressure). The next pull
+  /// returns Status::Cancelled.
+  void Cancel() override;
 
  private:
   class QueueSink;
   using RowBatch = std::vector<std::vector<Value>>;
+  /// One queue entry: a row batch plus its budget accounting, carried
+  /// alongside so the consumer can release exactly what the producer
+  /// charged (the queue is FIFO, so they pair up naturally).
+  struct QueueItem {
+    RowBatch rows;
+    uint64_t bytes = 0;
+    bool charged = false;
+  };
 
   /// Joins the producer and runs the finalize hook (once).
   void Finish();
+  /// Returns the served buffer's bytes to the lease.
+  void ReleaseBuffer();
 
   const std::vector<std::string> columns_;
   const std::string message_;
   const Options options_;
-  BoundedQueue<RowBatch> queue_;
+  BoundedQueue<QueueItem> queue_;
   std::thread producer_thread_;
   FinalizeFn finalize_;
   std::function<void()> on_first_row_;
 
   RowBatch buffer_;  // popped batch currently being served
+  uint64_t buffer_bytes_ = 0;
+  bool buffer_charged_ = false;
   size_t buffer_next_ = 0;
   uint64_t rows_delivered_ = 0;
   bool saw_first_row_ = false;
   bool end_ = false;       // no more rows will be served
   bool closed_ = false;    // Close() ran
   bool finalized_ = false;
+  std::atomic<bool> cancelled_{false};
   Status final_status_ = Status::OK();  // sticky stream error
 };
 

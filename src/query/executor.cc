@@ -380,6 +380,10 @@ Status SelectExecutor::Run(const SelectStmt& stmt, const SelectPlan& plan,
   // shape, non-null = one constant state of a history.
   auto emit = [&](const Molecule& mol,
                   const Interval* state_valid) -> Result<bool> {
+    if (ctx_ != nullptr) {
+      Status governed = ctx_->Check();
+      if (!governed.ok()) return governed;
+    }
     if (trace_ == nullptr) {
       return EmitMolecule(stmt, plan, mol, state_valid, sink);
     }

@@ -111,6 +111,12 @@ class SelectExecutor {
   /// the producing thread; readers must synchronize with its completion.
   void set_trace(QueryStats* trace) { trace_ = trace; }
 
+  /// Attaches the query's cancellation scope: the row pipeline checks it
+  /// per emitted molecule/state and unwinds with its status. Null (the
+  /// default) disables the checks. The materializer has its own
+  /// governance hook (set separately) for the loops below this layer.
+  void set_context(const QueryContext* ctx) { ctx_ = ctx; }
+
  private:
   /// Shared pipeline of both surfaces: drives the materializer operators
   /// and emits rows into `sink`. Fills the trace's plan/materialize/emit
@@ -150,6 +156,7 @@ class SelectExecutor {
   Timestamp now_;
   const AttrIndexManager* indexes_;
   QueryStats* trace_ = nullptr;
+  const QueryContext* ctx_ = nullptr;
 };
 
 }  // namespace tcob

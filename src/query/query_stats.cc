@@ -38,6 +38,7 @@ ResultSet QueryStats::ToResultSet() const {
   text("query", "temporal_mode", temporal_mode);
   text("query", "strategy", strategy);
   num("query", "parallelism", parallelism);
+  text("query", "disposition", disposition);
 
   us("timing", "parse_us", parse_us);
   us("timing", "plan_us", plan_us);
@@ -80,6 +81,10 @@ ResultSet QueryStats::ToResultSet() const {
   num("buffer_pool", "misses", pool.misses);
   num("buffer_pool", "evictions", pool.evictions);
   rate("buffer_pool", "hit_rate", pool.HitRate());
+
+  num("governance", "peak_memory_bytes", peak_memory_bytes);
+  num("governance", "memory_overflow_bytes", memory_overflow_bytes);
+  us("governance", "admission_wait_us", admission_wait_us);
 
   for (size_t w = 0; w < worker_us.size(); ++w) {
     us("workers", ("worker_" + std::to_string(w) + "_us").c_str(),

@@ -33,6 +33,9 @@ struct QueryStats {
   std::string temporal_mode;  // "as-of" | "window" | "history"
   std::string strategy;       // storage strategy name
   uint64_t parallelism = 1;   // fan-out workers used (1 = serial)
+  /// How the query ended: "ok" | "cancelled" | "deadline-exceeded" |
+  /// "error".
+  std::string disposition = "ok";
 
   double parse_us = 0;
   double plan_us = 0;
@@ -67,6 +70,14 @@ struct QueryStats {
   BufferPoolStats pool;
   /// Wall time each fan-out worker spent materializing (empty = serial).
   std::vector<double> worker_us;
+
+  /// Peak bytes this query had charged against the memory budget at any
+  /// one time (version-cache pins + buffered cursor batches).
+  uint64_t peak_memory_bytes = 0;
+  /// Bytes the global budget refused this query (0 = never over cap).
+  uint64_t memory_overflow_bytes = 0;
+  /// Wall time spent waiting at the admission gate before execution.
+  double admission_wait_us = 0;
 
   uint64_t versions_scanned() const { return cache.versions_pinned; }
 

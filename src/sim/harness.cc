@@ -5,6 +5,7 @@
 #include <memory>
 #include <optional>
 #include <sstream>
+#include <thread>
 
 #include "common/hash.h"
 #include "db/database.h"
@@ -24,6 +25,9 @@ struct Instance {
   StorageStrategy strategy = StorageStrategy::kSeparated;
   size_t parallelism = 1;
   TieringOptions tiering;
+  /// Mirrors SimWorkload::transient_io_enabled: the instance opens with
+  /// a read-retry policy armed, so injected transient EIOs are absorbed.
+  bool transient_io = false;
   std::string dir = "simdb";
 
   FaultInjectingIoEnv env;
@@ -44,6 +48,7 @@ struct Instance {
   uint64_t skipped_ops = 0;
   uint64_t queries_run = 0;
   uint64_t queries_compared = 0;
+  uint64_t queries_governed = 0;
   uint64_t dump_hash = 0;
 
   Instance(const SimSchema* schema, ModelBug bug) : model(schema, bug) {}
@@ -59,6 +64,13 @@ DatabaseOptions MakeOptions(Instance* inst) {
   opts.parallelism = inst->parallelism;
   opts.env = &inst->env;
   opts.tiering = inst->tiering;
+  if (inst->transient_io) {
+    // Up to 3 retries per read: the generator injects at most 2
+    // consecutive transient failures, so governed reads always succeed.
+    opts.io_retry.max_attempts = 4;
+    opts.io_retry.base_backoff_micros = 1;  // sim time is precious
+    opts.io_retry.max_backoff_micros = 16;
+  }
   return opts;
 }
 
@@ -310,10 +322,80 @@ std::optional<std::string> CursorCrossCheck(Instance* inst,
   return std::nullopt;
 }
 
+/// Runs a governed query (deadline and/or cancel armed) through the
+/// cursor surface. Whether it completes, aborts mid-stream, or aborts
+/// before the first row is a wall-clock race, so the result is never
+/// compared; the oracle only requires a *legal status class* — OK, the
+/// governance statuses, or the statuses the query could legally return
+/// ungoverned — and the standing invariants (op-seq accounting, later
+/// queries) prove the abort unwound cleanly.
+std::optional<std::string> ExecGovernedQuery(Instance* inst,
+                                             const SimSchema& schema,
+                                             const SimOp& op) {
+  ++inst->queries_governed;
+  std::string mql = QueryToMql(schema, op);
+  auto legal = [](const Status& s) {
+    return s.ok() || s.IsDeadlineExceeded() || s.IsCancelled() ||
+           s.IsNotFound() || s.IsInvalidArgument();
+  };
+  if (op.deadline_micros > 0) {
+    inst->db->set_default_query_deadline(op.deadline_micros);
+  }
+  Result<std::unique_ptr<Cursor>> opened = inst->db->Query(mql);
+  if (op.deadline_micros > 0) inst->db->set_default_query_deadline(0);
+  if (!opened.ok()) {
+    if (legal(opened.status())) return std::nullopt;
+    return "governed query `" + mql +
+           "` open returned illegal status: " + opened.status().ToString();
+  }
+  std::unique_ptr<Cursor> cursor = std::move(opened.value());
+  std::thread canceller;
+  if (op.cancel) {
+    // Cancel is documented safe from any thread, concurrently with the
+    // drain below — this is the raciest legal use of the API.
+    Cursor* raw = cursor.get();
+    canceller = std::thread([raw]() { raw->Cancel(); });
+  }
+  std::vector<std::vector<Value>> batch;
+  Status drain = Status::OK();
+  for (;;) {
+    Result<size_t> pulled = cursor->NextBatch(16, &batch);
+    if (!pulled.ok()) {
+      drain = pulled.status();
+      break;
+    }
+    if (pulled.value() < 16) break;
+  }
+  if (canceller.joinable()) canceller.join();
+  cursor->Close();
+  cursor.reset();
+  if (!legal(drain)) {
+    return "governed query `" + mql +
+           "` drain returned illegal status: " + drain.ToString();
+  }
+  return std::nullopt;
+}
+
 std::optional<std::string> ExecQuery(Instance* inst, const SimSchema& schema,
                                      const SimOp& op,
                                      const RunOptions& options) {
   ++inst->queries_run;
+  // Transient-EIO disk mode: fail the next N reads with an injected
+  // transient EIO the instance's retry policy absorbs. Deterministic (N
+  // injected failures cost exactly N extra read events), so it is safe
+  // on every instance, armed cuts included.
+  if (op.transient_read_failures > 0 && inst->transient_io) {
+    inst->env.FailTransientReads(op.transient_read_failures);
+  }
+  // Deadline/cancel governance runs only on parallel instances, where
+  // power cuts never arm: a wall-clock abort point changes which pages
+  // the buffer pool holds, hence future read-event counts, hence where
+  // an event-indexed cut would fire — nondeterministic crash points on
+  // p1. On p4 the perturbation is harmless (dumps compare logical
+  // content, not cache state).
+  if (inst->parallelism != 1 && (op.deadline_micros > 0 || op.cancel)) {
+    return ExecGovernedQuery(inst, schema, op);
+  }
   SimModel::QueryExpectation expect = inst->model.ExpectedRows(op);
   std::string mql = QueryToMql(schema, op);
   Result<ResultSet> r = inst->db->Execute(mql);
@@ -615,6 +697,7 @@ RunResult RunWorkload(const SimWorkload& w, const RunOptions& options) {
       inst->tiering.enabled = w.tiering_enabled;
       inst->tiering.cold_age = w.tiering_cold_age;
       inst->tiering.segment_target_bytes = w.tiering_segment_bytes;
+      inst->transient_io = w.transient_io_enabled;
       inst->name = std::string(StorageStrategyName(strategy)) + "/p" +
                    std::to_string(parallelism);
       instances.push_back(std::move(inst));
@@ -721,6 +804,7 @@ RunResult RunWorkload(const SimWorkload& w, const RunOptions& options) {
     report.skipped_ops = inst->skipped_ops;
     report.queries_run = inst->queries_run;
     report.queries_compared = inst->queries_compared;
+    report.queries_governed = inst->queries_governed;
     report.retired = inst->retired;
     report.dump_hash = inst->dump_hash;
     result.instances.push_back(std::move(report));
@@ -743,6 +827,7 @@ RunResult RunWorkload(const SimWorkload& w, const RunOptions& options) {
          << ",\"skipped_ops\":" << r.skipped_ops
          << ",\"queries_run\":" << r.queries_run
          << ",\"queries_compared\":" << r.queries_compared
+         << ",\"queries_governed\":" << r.queries_governed
          << ",\"retired\":" << (r.retired ? "true" : "false")
          << ",\"dump_hash\":\"" << ToHex(r.dump_hash) << "\"}";
   }

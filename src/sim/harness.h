@@ -36,6 +36,11 @@ struct InstanceReport {
   uint64_t skipped_ops = 0;
   uint64_t queries_run = 0;
   uint64_t queries_compared = 0;
+  /// Queries that ran with a deadline or a cancel-from-a-second-thread
+  /// armed. Their outcome is wall-clock racy (complete vs. abort), so
+  /// they are never result-compared — the oracle only requires a legal
+  /// status class. The *count* is a pure function of the seed.
+  uint64_t queries_governed = 0;
   /// kKeepAllTearLast can leave a detectably corrupt image; such an
   /// instance is retired (correct behaviour, not a divergence).
   bool retired = false;

@@ -119,8 +119,23 @@ AtomId PickAlive(Random* rng, const SimModel& model) {
 }
 
 void GenerateQuery(Random* rng, const SimSchema& schema, Timestamp now,
-                   SimOp* op) {
+                   const GenOptions& options, SimOp* op) {
   op->kind = SimOpKind::kQuery;
+  // Governance knobs are drawn unconditionally so an ablated run
+  // (--no_cancel / --no_transient_io) sees the exact same schema and op
+  // stream; the gates only decide whether the drawn values take effect.
+  const bool deadline_roll = rng->Bernoulli(0.125);
+  const uint64_t deadline_us = 1 + rng->Uniform(500);
+  const bool cancel_roll = rng->Bernoulli(0.08);
+  const bool transient_roll = rng->Bernoulli(0.15);
+  const uint32_t transient_n = 1 + static_cast<uint32_t>(rng->Uniform(2));
+  if (options.enable_cancel) {
+    if (deadline_roll) op->deadline_micros = deadline_us;
+    op->cancel = cancel_roll;
+  }
+  if (options.enable_transient_io && transient_roll) {
+    op->transient_read_failures = transient_n;
+  }
   op->mol_pos = static_cast<uint32_t>(rng->Uniform(schema.molecule_types.size()));
   switch (rng->Uniform(10)) {
     case 0:
@@ -210,6 +225,7 @@ SimWorkload GenerateWorkload(uint64_t seed, const GenOptions& options) {
   w.tiering_enabled = options.enable_tiering;
   w.tiering_cold_age = static_cast<Timestamp>(rng.UniformRange(8, 32));
   w.tiering_segment_bytes = 1024 * (1 + rng.Uniform(4));
+  w.transient_io_enabled = options.enable_transient_io;
 
   // A shadow model keeps generated ops mostly-valid (alive targets, open
   // links) without talking to a real database.
@@ -326,7 +342,7 @@ SimWorkload GenerateWorkload(uint64_t seed, const GenOptions& options) {
       op.set.emplace_back(0, RandomValue(&rng, def.attrs[0].type));
       op.at = now;
     } else if (roll < 85) {  // query
-      GenerateQuery(&rng, w.schema, now, &op);
+      GenerateQuery(&rng, w.schema, now, options, &op);
     } else if (roll < 89) {
       op.kind = SimOpKind::kCheckpoint;
     } else if (roll < 92) {
@@ -338,7 +354,7 @@ SimWorkload GenerateWorkload(uint64_t seed, const GenOptions& options) {
         op.cut_mode = rng.Bernoulli(0.5) ? CutMode::kDropUnsynced
                                          : CutMode::kKeepAllTearLast;
       } else {
-        GenerateQuery(&rng, w.schema, now, &op);
+        GenerateQuery(&rng, w.schema, now, options, &op);
       }
     } else if (roll < 98) {
       if (options.enable_vacuum) {
@@ -346,7 +362,7 @@ SimWorkload GenerateWorkload(uint64_t seed, const GenOptions& options) {
         op.at = 1 + static_cast<Timestamp>(rng.Skewed(now));
         model.VacuumBefore(op.at);
       } else {
-        GenerateQuery(&rng, w.schema, now, &op);
+        GenerateQuery(&rng, w.schema, now, options, &op);
       }
     } else if (roll == 98) {
       // Tiering is logically invisible, so the model stays untouched —
@@ -455,7 +471,18 @@ std::string OpToString(const SimSchema& schema, const SimOp& op) {
     case SimOpKind::kVacuum: return "vacuum before " + std::to_string(op.at);
     case SimOpKind::kTierMigrate: return "tier-migrate";
     case SimOpKind::kVerify: return "verify-integrity";
-    case SimOpKind::kQuery: return "query: " + QueryToMql(schema, op);
+    case SimOpKind::kQuery: {
+      std::string q = "query: " + QueryToMql(schema, op);
+      if (op.deadline_micros > 0) {
+        q += " [deadline=" + std::to_string(op.deadline_micros) + "us]";
+      }
+      if (op.cancel) q += " [cancel]";
+      if (op.transient_read_failures > 0) {
+        q += " [transient-eio=" + std::to_string(op.transient_read_failures) +
+             "]";
+      }
+      return q;
+    }
   }
   return "?";
 }

@@ -125,6 +125,17 @@ struct SimOp {
   int64_t where_lit = 0;
   /// Projection refs as (type_pos, attr_pos).
   std::vector<std::pair<uint32_t, uint32_t>> proj;
+
+  // query governance (kQuery only; all off by default)
+  /// Arm this deadline (microseconds) on the query. The harness treats a
+  /// DeadlineExceeded result as legal and skips result comparison — a
+  /// wall-clock race is not a divergence.
+  uint64_t deadline_micros = 0;
+  /// Cancel the query's cursor from a second thread mid-drain.
+  bool cancel = false;
+  /// Arm this many transient read failures (injected EIO the retry
+  /// policy absorbs) just before the query runs.
+  uint32_t transient_read_failures = 0;
 };
 
 struct SimWorkload {
@@ -136,6 +147,9 @@ struct SimWorkload {
   bool tiering_enabled = false;
   Timestamp tiering_cold_age = 16;
   uint64_t tiering_segment_bytes = 2048;
+  /// Mirrors GenOptions::enable_transient_io: instances under a workload
+  /// with this set open with a read-retry policy armed.
+  bool transient_io_enabled = false;
   std::vector<SimOp> ops;
 };
 
@@ -149,6 +163,12 @@ struct GenOptions {
   bool enable_cuts = true;
   bool enable_vacuum = true;
   bool enable_tiering = true;
+  /// Governed queries: random deadlines on ~1 in 8 queries, a
+  /// cancel-from-a-second-thread on ~1 in 12.
+  bool enable_cancel = true;
+  /// Transient-EIO disk mode: some queries run with a couple of injected
+  /// transient read failures that the instances' retry policy absorbs.
+  bool enable_transient_io = true;
 };
 
 /// Deterministically expands one 64-bit seed into a schema + op stream.

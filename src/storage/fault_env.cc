@@ -40,6 +40,10 @@ class FaultIoFile final : public IoFile {
       env_->fail_read_at_ = 0;
       return Eio("pread", path_);
     }
+    if (env_->transient_read_failures_ > 0) {
+      --env_->transient_read_failures_;
+      return Status::IOError("injected transient EIO: pread " + path_);
+    }
     const std::string& data = inode_->current;
     if (off >= data.size()) return static_cast<size_t>(0);
     size_t avail = std::min<uint64_t>(n, data.size() - off);
@@ -240,6 +244,11 @@ void FaultInjectingIoEnv::FailReadAt(uint64_t nth) {
   fail_read_at_ = nth;
 }
 
+void FaultInjectingIoEnv::FailTransientReads(uint64_t count) {
+  std::lock_guard<std::mutex> lock(mu_);
+  transient_read_failures_ = count;
+}
+
 void FaultInjectingIoEnv::FailWriteAt(uint64_t nth) {
   std::lock_guard<std::mutex> lock(mu_);
   fail_write_at_ = nth;
@@ -265,6 +274,7 @@ void FaultInjectingIoEnv::PowerCutAfterEvents(uint64_t nth, CutMode mode) {
 void FaultInjectingIoEnv::ClearFaults() {
   std::lock_guard<std::mutex> lock(mu_);
   fail_read_at_ = 0;
+  transient_read_failures_ = 0;
   fail_write_at_ = 0;
   fail_sync_at_ = 0;
   tear_write_at_ = 0;

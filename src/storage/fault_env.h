@@ -64,6 +64,10 @@ class FaultInjectingIoEnv final : public IoEnv {
   // --- Fault programming (counts are 1-based and absolute) -------------
   /// Fails the nth ReadAt since construction with IOError, once.
   void FailReadAt(uint64_t nth);
+  /// Fails the next `count` ReadAt calls with a *transient*-classified
+  /// IOError ("injected transient EIO ..."), which RetryingIoEnv retries.
+  /// Counts down as the failures fire; additive with FailReadAt.
+  void FailTransientReads(uint64_t count);
   /// Fails the nth WriteAt with IOError before any bytes are applied.
   void FailWriteAt(uint64_t nth);
   /// Fails the nth Sync/SyncDir with IOError; nothing becomes durable.
@@ -113,6 +117,7 @@ class FaultInjectingIoEnv final : public IoEnv {
   uint64_t events_ = 0;
 
   uint64_t fail_read_at_ = 0;
+  uint64_t transient_read_failures_ = 0;
   uint64_t fail_write_at_ = 0;
   uint64_t fail_sync_at_ = 0;
   uint64_t tear_write_at_ = 0;

@@ -1,0 +1,145 @@
+#include "storage/retry_env.h"
+
+#include <chrono>
+#include <thread>
+
+namespace tcob {
+
+namespace {
+
+bool Contains(const std::string& haystack, const char* needle) {
+  return haystack.find(needle) != std::string::npos;
+}
+
+}  // namespace
+
+bool IsTransientIoError(const Status& s) {
+  if (!s.IsIOError()) return false;
+  const std::string& msg = s.message();
+  // strerror() spellings of the retryable errno classes, plus the
+  // explicit marker the fault injector uses.
+  return Contains(msg, "transient") ||
+         Contains(msg, "Resource temporarily unavailable") ||  // EAGAIN
+         Contains(msg, "Device or resource busy") ||           // EBUSY
+         Contains(msg, "Connection timed out") ||              // ETIMEDOUT
+         Contains(msg, "No buffer space available") ||         // ENOBUFS
+         Contains(msg, "Interrupted system call");             // EINTR
+}
+
+void RetryingIoEnv::BackOff(uint32_t attempt) {
+  retries_.fetch_add(1, std::memory_order_relaxed);
+  uint64_t backoff = policy_.base_backoff_micros;
+  for (uint32_t i = 1; i < attempt && backoff < policy_.max_backoff_micros;
+       ++i) {
+    backoff *= 2;
+  }
+  if (backoff > policy_.max_backoff_micros) {
+    backoff = policy_.max_backoff_micros;
+  }
+  // +-25% jitter from a shared LCG, so concurrent retriers spread out.
+  uint64_t r = jitter_state_.fetch_add(0x2545f4914f6cdd1dull,
+                                       std::memory_order_relaxed);
+  r ^= r >> 33;
+  uint64_t jitter = backoff / 2 == 0 ? 0 : r % (backoff / 2);
+  uint64_t sleep_us = backoff - backoff / 4 + jitter;
+  std::this_thread::sleep_for(std::chrono::microseconds(sleep_us));
+}
+
+/// A file handle whose read-side calls retry through the env's policy.
+class RetryingIoFile final : public IoFile {
+ public:
+  RetryingIoFile(RetryingIoEnv* env, std::unique_ptr<IoFile> base)
+      : env_(env), base_(std::move(base)) {}
+
+  Result<size_t> ReadAt(uint64_t off, char* buf, size_t n) override {
+    Result<size_t> r = base_->ReadAt(off, buf, n);
+    for (uint32_t attempt = 1;
+         !r.ok() && attempt < env_->policy_.max_attempts &&
+         IsTransientIoError(r.status());
+         ++attempt) {
+      env_->BackOff(attempt);
+      r = base_->ReadAt(off, buf, n);
+    }
+    return r;
+  }
+
+  Status WriteAt(uint64_t off, const Slice& data) override {
+    return base_->WriteAt(off, data);
+  }
+
+  Status Sync() override { return base_->Sync(); }
+
+  Status Truncate(uint64_t size) override { return base_->Truncate(size); }
+
+  Result<uint64_t> Size() const override {
+    Result<uint64_t> r = base_->Size();
+    for (uint32_t attempt = 1;
+         !r.ok() && attempt < env_->policy_.max_attempts &&
+         IsTransientIoError(r.status());
+         ++attempt) {
+      env_->BackOff(attempt);
+      r = base_->Size();
+    }
+    return r;
+  }
+
+ private:
+  RetryingIoEnv* env_;
+  std::unique_ptr<IoFile> base_;
+};
+
+Result<std::unique_ptr<IoFile>> RetryingIoEnv::OpenFile(
+    const std::string& path) {
+  Result<std::unique_ptr<IoFile>> r = base_->OpenFile(path);
+  for (uint32_t attempt = 1; !r.ok() && attempt < policy_.max_attempts &&
+                             IsTransientIoError(r.status());
+       ++attempt) {
+    BackOff(attempt);
+    r = base_->OpenFile(path);
+  }
+  if (!r.ok()) return r.status();
+  return std::unique_ptr<IoFile>(
+      new RetryingIoFile(this, std::move(r).value()));
+}
+
+Status RetryingIoEnv::CreateDir(const std::string& path) {
+  return base_->CreateDir(path);
+}
+
+Result<bool> RetryingIoEnv::FileExists(const std::string& path) {
+  Result<bool> r = base_->FileExists(path);
+  for (uint32_t attempt = 1; !r.ok() && attempt < policy_.max_attempts &&
+                             IsTransientIoError(r.status());
+       ++attempt) {
+    BackOff(attempt);
+    r = base_->FileExists(path);
+  }
+  return r;
+}
+
+Status RetryingIoEnv::RenameFile(const std::string& from,
+                                 const std::string& to) {
+  return base_->RenameFile(from, to);
+}
+
+Status RetryingIoEnv::RemoveFile(const std::string& path) {
+  return base_->RemoveFile(path);
+}
+
+Status RetryingIoEnv::SyncDir(const std::string& path) {
+  return base_->SyncDir(path);
+}
+
+Result<std::vector<std::string>> RetryingIoEnv::ListDir(
+    const std::string& path) {
+  Result<std::vector<std::string>> r = base_->ListDir(path);
+  for (uint32_t attempt = 1; !r.ok() && attempt < policy_.max_attempts &&
+                             IsTransientIoError(r.status());
+       ++attempt) {
+    BackOff(attempt);
+    r = base_->ListDir(path);
+  }
+  return r;
+}
+
+}  // namespace tcob

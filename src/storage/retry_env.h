@@ -1,0 +1,78 @@
+#ifndef TCOB_STORAGE_RETRY_ENV_H_
+#define TCOB_STORAGE_RETRY_ENV_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "storage/io_env.h"
+
+namespace tcob {
+
+/// Bounded-retry policy for transient read failures.
+struct IoRetryPolicy {
+  /// Total attempts per operation (1 = retry disabled).
+  uint32_t max_attempts = 1;
+  /// Backoff before the first retry; doubles per attempt (plus jitter).
+  uint64_t base_backoff_micros = 100;
+  /// Backoff ceiling.
+  uint64_t max_backoff_micros = 10000;
+
+  bool enabled() const { return max_attempts > 1; }
+};
+
+/// True when `s` looks like a *transient* I/O failure worth retrying:
+/// an IOError whose message names a temporary condition (EAGAIN /
+/// EWOULDBLOCK / EBUSY / ETIMEDOUT / ENOBUFS / "transient"). Permanent
+/// failures — plain EIO, checksum Corruption, power-cut errors, missing
+/// files — are never retried.
+bool IsTransientIoError(const Status& s);
+
+/// Decorator over an IoEnv that retries transiently-failing *read* paths
+/// (ReadAt, Size, OpenFile, FileExists, ListDir) with bounded
+/// exponential backoff + deterministic jitter, counting every retry.
+///
+/// Mutating paths (WriteAt, Sync, Truncate, rename, remove, SyncDir)
+/// pass through untouched: a retried write that half-applied the first
+/// time could double-apply, and the durability layer above (WAL framing,
+/// page checksums, fail-stop) already owns those failures.
+class RetryingIoEnv final : public IoEnv {
+ public:
+  RetryingIoEnv(IoEnv* base, IoRetryPolicy policy)
+      : base_(base), policy_(policy) {}
+
+  Result<std::unique_ptr<IoFile>> OpenFile(const std::string& path) override;
+  Status CreateDir(const std::string& path) override;
+  Result<bool> FileExists(const std::string& path) override;
+  Status RenameFile(const std::string& from, const std::string& to) override;
+  Status RemoveFile(const std::string& path) override;
+  Status SyncDir(const std::string& path) override;
+  Result<std::vector<std::string>> ListDir(const std::string& path) override;
+
+  /// Total retries performed (not attempts: a first try that succeeds
+  /// counts zero). Exposed as tcob_io_retries_total.
+  uint64_t retries() const {
+    return retries_.load(std::memory_order_relaxed);
+  }
+
+  const IoRetryPolicy& policy() const { return policy_; }
+  IoEnv* base() const { return base_; }
+
+ private:
+  friend class RetryingIoFile;
+
+  /// Sleeps for the attempt's backoff (exponential + jitter) and counts
+  /// the retry. `attempt` is the number of failures so far (>= 1).
+  void BackOff(uint32_t attempt);
+
+  IoEnv* base_;
+  const IoRetryPolicy policy_;
+  std::atomic<uint64_t> retries_{0};
+  /// Cheap deterministic jitter source (LCG); collisions are harmless.
+  std::atomic<uint64_t> jitter_state_{0x9e3779b97f4a7c15ull};
+};
+
+}  // namespace tcob
+
+#endif  // TCOB_STORAGE_RETRY_ENV_H_

@@ -8,6 +8,34 @@
 
 namespace tcob {
 
+namespace {
+
+/// Transient budget charge for one segment's decode buffer, released
+/// when the decode scope ends. A refusal (over cap) only registers
+/// pressure — the read proceeds regardless; the cap governs caches and
+/// buffers, never correctness.
+class ScopedDecodeCharge {
+ public:
+  ScopedDecodeCharge(ResourceBudget* budget, uint64_t bytes)
+      : budget_(budget),
+        bytes_(bytes),
+        charged_(budget != nullptr && budget->TryCharge(bytes)) {}
+
+  ScopedDecodeCharge(const ScopedDecodeCharge&) = delete;
+  ScopedDecodeCharge& operator=(const ScopedDecodeCharge&) = delete;
+
+  ~ScopedDecodeCharge() {
+    if (charged_) budget_->Release(bytes_);
+  }
+
+ private:
+  ResourceBudget* budget_;
+  uint64_t bytes_;
+  bool charged_;
+};
+
+}  // namespace
+
 Result<ColdTier::TypeState*> ColdTier::EnsureState(const AtomTypeDef& type,
                                                    bool create) const {
   std::lock_guard<std::mutex> lock(mu_);
@@ -159,6 +187,7 @@ Result<std::vector<AtomVersion>> ColdTier::VersionsOf(
       continue;
     }
     segments_scanned_.Increment();
+    ScopedDecodeCharge decode_charge(memory_budget_, si.bytes);
     TCOB_ASSIGN_OR_RETURN(std::string blob, state->heap->Get(si.rid));
     TCOB_ASSIGN_OR_RETURN(SegmentReader reader,
                           SegmentReader::Open(std::move(blob),
@@ -192,6 +221,7 @@ Status ColdTier::CollectAll(
       continue;
     }
     segments_scanned_.Increment();
+    ScopedDecodeCharge decode_charge(memory_budget_, si.bytes);
     TCOB_ASSIGN_OR_RETURN(std::string blob, state->heap->Get(si.rid));
     TCOB_ASSIGN_OR_RETURN(SegmentReader reader,
                           SegmentReader::Open(std::move(blob),
@@ -230,6 +260,7 @@ Result<ColdMarkers> ColdTier::MarkersAt(const AtomTypeDef& type, AtomId id,
       continue;
     }
     segments_scanned_.Increment();
+    ScopedDecodeCharge decode_charge(memory_budget_, si.bytes);
     TCOB_ASSIGN_OR_RETURN(std::string blob, state->heap->Get(si.rid));
     TCOB_ASSIGN_OR_RETURN(SegmentReader reader,
                           SegmentReader::Open(std::move(blob),

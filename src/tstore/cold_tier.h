@@ -9,6 +9,7 @@
 #include <vector>
 
 #include "common/metrics.h"
+#include "common/resource_budget.h"
 #include "common/result.h"
 #include "common/thread_pool.h"
 #include "storage/heap_file.h"
@@ -131,6 +132,11 @@ class ColdTier {
     return s;
   }
 
+  /// Charges segment decode buffers against `budget` (may be null) for
+  /// the duration of each decode. A refused charge never fails a read —
+  /// it only counts as budget pressure.
+  void set_memory_budget(ResourceBudget* budget) { memory_budget_ = budget; }
+
   /// Publishes the tier counters into `registry` under tcob_cold_*.
   void RegisterMetrics(MetricsRegistry* registry) const {
     registry->RegisterCounter("tcob_cold_segments_pruned_total",
@@ -168,6 +174,7 @@ class ColdTier {
 
   BufferPool* pool_;
   std::string prefix_;
+  ResourceBudget* memory_budget_ = nullptr;
 
   // Lazy catalog; guarded by mu_ for load/registration. Loaded states
   // are only mutated by the single-threaded write path (migrate,

@@ -9,6 +9,7 @@
 
 #include <memory>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "common/temp_dir.h"
@@ -137,6 +138,45 @@ TEST_P(CursorTest, DestructionWithoutCloseAlsoCleansUp) {
     ASSERT_TRUE(cursor.value()->Next(&row).ok());
     // Cursor destroyed here without an explicit Close.
   }
+  auto again = db->Execute("SELECT ALL FROM DeptMol VALID AT NOW");
+  EXPECT_TRUE(again.ok()) << again.status().ToString();
+}
+
+TEST_P(CursorTest, DatabaseTeardownRightAfterAbandonJoinsProducer) {
+  // Regression: abandoning a mid-stream cursor and destroying the
+  // Database immediately afterwards must join the producer thread
+  // before the engine it reads from is torn down. Under TSan/ASan a
+  // leaked producer racing teardown fails this test.
+  TempDir dir;
+  for (size_t parallelism : {size_t{1}, size_t{4}}) {
+    auto db = OpenCompanyDb(dir.path() + "/p" + std::to_string(parallelism),
+                            GetParam(), parallelism);
+    auto cursor = db->Query("SELECT ALL FROM DeptMol HISTORY");
+    ASSERT_TRUE(cursor.ok()) << cursor.status().ToString();
+    std::vector<Value> row;
+    ASSERT_TRUE(cursor.value()->Next(&row).ok());
+    cursor.value().reset();  // abandon mid-stream, no Close
+    db.reset();              // immediate teardown
+  }
+}
+
+TEST_P(CursorTest, CancelFromSecondThreadAbortsDrain) {
+  TempDir dir;
+  auto db = OpenCompanyDb(dir.path() + "/db", GetParam(), 4);
+  auto cursor = db->Query("SELECT ALL FROM DeptMol HISTORY");
+  ASSERT_TRUE(cursor.ok()) << cursor.status().ToString();
+  std::vector<Value> row;
+  ASSERT_TRUE(cursor.value()->Next(&row).ok());
+  std::thread canceller([&]() { cursor.value()->Cancel(); });
+  canceller.join();
+  // Cancel is sticky: every later pull reports Cancelled, in bounded
+  // time, regardless of how much of the stream was still pending.
+  std::vector<std::vector<Value>> rest;
+  Status drained = Drain(cursor.value().get(), 16, &rest);
+  ASSERT_FALSE(drained.ok());
+  EXPECT_TRUE(drained.IsCancelled()) << drained.ToString();
+  cursor.value()->Close();
+  // The database remains fully usable.
   auto again = db->Execute("SELECT ALL FROM DeptMol VALID AT NOW");
   EXPECT_TRUE(again.ok()) << again.status().ToString();
 }

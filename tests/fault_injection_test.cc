@@ -269,6 +269,141 @@ TEST_P(FaultInjectionTest, IsPoisonedReportsAndPreservesOriginalError) {
   EXPECT_TRUE(db->IsPoisoned());
 }
 
+/// Renders a materialized result for byte-exact comparison.
+std::string Render(const ResultSet& rs) {
+  std::string out;
+  for (const std::string& c : rs.columns) out += c + "|";
+  out += "\n";
+  for (const auto& row : rs.rows) {
+    for (const Value& v : row) out += v.ToString() + "|";
+    out += "\n";
+  }
+  return out + rs.message;
+}
+
+TEST_P(FaultInjectionTest, DegradedReadOnlyModeServesReadsAndRecovers) {
+  // A durability failure must degrade the database to read-only serving
+  // — not kill it — and the degraded replica must answer a query mix
+  // byte-identically to a healthy replica of the same history.
+  FaultInjectingIoEnv victim_env;
+  FaultInjectingIoEnv replica_env;
+  auto victim = Populate(&victim_env);
+  ASSERT_NE(victim, nullptr);
+  auto replica_opened =
+      Database::Open(dir_.path() + "/replica", Options(&replica_env));
+  ASSERT_TRUE(replica_opened.ok()) << replica_opened.status().ToString();
+  std::unique_ptr<Database> replica = std::move(replica_opened.value());
+  ASSERT_TRUE(replica->ExecuteScript(kSetup).ok());
+
+  ASSERT_EQ(victim->health_state(), HealthState::kHealthy);
+  victim_env.FailSyncAt(victim_env.syncs() + 1);
+  auto failed =
+      victim->Execute("UPDATE ATOM Emp 2 SET salary=99 VALID FROM 20");
+  ASSERT_FALSE(failed.ok());
+  EXPECT_EQ(victim->health_state(), HealthState::kReadOnly);
+  EXPECT_STREQ(HealthStateName(victim->health_state()), "read-only");
+
+  // Writes are refused with the preserved original cause.
+  const Status cause = victim->health();
+  ASSERT_FALSE(cause.ok());
+  auto refused =
+      victim->Execute("UPDATE ATOM Emp 2 SET salary=50 VALID FROM 21");
+  ASSERT_FALSE(refused.ok());
+  EXPECT_EQ(refused.status(), cause) << refused.status().ToString();
+
+  // Nine-query read mix: the degraded victim must match the healthy
+  // replica byte for byte (the failed update was never acked, so both
+  // instances hold the identical logical history).
+  const char* const kBattery[] = {
+      "SELECT ALL FROM DeptMol VALID AT 15",
+      "SELECT Emp.name FROM DeptMol VALID AT 15",
+      "SELECT ALL FROM DeptMol VALID IN [10, 30)",
+      "SELECT Emp.salary FROM DeptMol HISTORY",
+      "SELECT COUNT(*) FROM DeptMol VALID AT 15",
+      "SELECT COUNT(*), AVG(Emp.salary) FROM DeptMol GROUP BY ROOT "
+      "VALID AT 15",
+      "SELECT Emp.name FROM DeptMol WHERE Emp.salary > 5 VALID AT 15",
+      "SELECT Emp.name FROM DeptMol WHERE Emp.salary = 10 VALID AT 15",
+      "SELECT ALL FROM DeptMol HISTORY",
+  };
+  for (const char* q : kBattery) {
+    auto got = victim->Execute(q);
+    auto want = replica->Execute(q);
+    ASSERT_TRUE(got.ok()) << q << ": " << got.status().ToString();
+    ASSERT_TRUE(want.ok()) << q << ": " << want.status().ToString();
+    EXPECT_EQ(Render(got.value()), Render(want.value())) << q;
+  }
+
+  // Recovery probe while the environment is still failing: stays
+  // read-only with the probe's failure reported.
+  victim_env.FailSyncAt(victim_env.syncs() + 1);
+  Status still_broken = victim->TryRecover();
+  ASSERT_FALSE(still_broken.ok());
+  EXPECT_EQ(victim->health_state(), HealthState::kReadOnly);
+
+  // The injected fault was one-shot; the next probe succeeds and write
+  // service resumes.
+  Status recovered = victim->TryRecover();
+  ASSERT_TRUE(recovered.ok()) << recovered.ToString() << " | health: "
+                              << victim->health().ToString();
+  EXPECT_EQ(victim->health_state(), HealthState::kHealthy);
+  EXPECT_TRUE(victim->health().ok());
+  EXPECT_TRUE(
+      victim->Execute("UPDATE ATOM Emp 2 SET salary=60 VALID FROM 30").ok());
+  EXPECT_EQ(Rows(victim.get(),
+                 "SELECT Emp.name FROM DeptMol WHERE Emp.salary = 60 "
+                 "VALID AT 35"),
+            1u);
+}
+
+TEST_P(FaultInjectionTest, ApplyFailureAfterLoggingEntersFailedMode) {
+  // A read error *during apply*, after the record is durably in the WAL,
+  // means the in-memory image no longer matches what recovery will
+  // build: the instance must refuse all service (kFailed) and refuse
+  // in-place recovery; a fresh open of the directory is the way back.
+  FaultInjectingIoEnv env;
+  {
+    auto db = Populate(&env);
+    ASSERT_NE(db, nullptr);
+    // Clean close checkpoints, so the reopen below starts cold.
+  }
+  auto reopened = Database::Open(db_dir(), Options(&env));
+  ASSERT_TRUE(reopened.ok()) << reopened.status().ToString();
+  std::unique_ptr<Database> db = std::move(reopened.value());
+
+  // DELETE is log-then-apply with no preread: the WAL append sees only
+  // writes/syncs, then the apply's first cold-cache heap read fails.
+  env.FailReadAt(env.reads() + 1);
+  auto failed = db->Execute("DELETE ATOM Emp 2 VALID FROM 20");
+  ASSERT_FALSE(failed.ok());
+  ASSERT_EQ(db->health_state(), HealthState::kFailed)
+      << failed.status().ToString();
+  EXPECT_STREQ(HealthStateName(db->health_state()), "failed");
+
+  // kFailed refuses reads and writes with the preserved cause, and
+  // refuses in-place recovery even though the environment works again.
+  auto read = db->Execute("SELECT ALL FROM DeptMol VALID AT 15");
+  EXPECT_FALSE(read.ok());
+  auto write = db->Execute("UPDATE ATOM Emp 2 SET salary=1 VALID FROM 21");
+  EXPECT_FALSE(write.ok());
+  Status recover = db->TryRecover();
+  ASSERT_FALSE(recover.ok());
+  EXPECT_EQ(db->health_state(), HealthState::kFailed);
+  db.reset();
+
+  // A fresh open replays the durable WAL — including the delete whose
+  // apply failed — and serves normally.
+  auto fresh = Database::Open(db_dir(), Options(&env));
+  ASSERT_TRUE(fresh.ok()) << fresh.status().ToString();
+  EXPECT_EQ(fresh.value()->health_state(), HealthState::kHealthy);
+  EXPECT_TRUE(fresh.value()->VerifyIntegrity().ok());
+  // The delete replayed: Emp 2 is gone at t=25.
+  EXPECT_EQ(Rows(fresh.value().get(),
+                 "SELECT Emp.name FROM DeptMol WHERE Emp.salary = 10 "
+                 "VALID AT 25"),
+            0u);
+}
+
 INSTANTIATE_TEST_SUITE_P(AllStrategies, FaultInjectionTest,
                          ::testing::Values(StorageStrategy::kSnapshot,
                                            StorageStrategy::kIntegrated,

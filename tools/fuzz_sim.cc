@@ -2,7 +2,9 @@
 //
 // From each 64-bit seed, generates a random schema + interleaved op
 // stream (DML, link rewires, checkpoints, reopens, power cuts, vacuums)
-// and a random query mix, then executes everything against the real
+// and a random query mix — some queries governed by random deadlines, a
+// cancel from a second thread, or injected transient read EIOs the
+// retry policy absorbs — then executes everything against the real
 // Database (3 storage strategies x parallelism {1,4}) and the in-memory
 // reference model, comparing results, error codes, vacuum counts, id
 // allocation, integrity and trace counters at every step. Divergences
@@ -38,6 +40,8 @@ struct Args {
   bool cuts = true;
   bool vacuum = true;
   bool tiering = true;
+  bool cancel = true;
+  bool transient_io = true;
   bool shrink = true;
   bool cursor_check = true;
   bool plant_bug = false;
@@ -54,7 +58,8 @@ int Usage() {
   std::fprintf(
       stderr,
       "usage: fuzz_sim [--seed=N | --seeds=A:B] [--ops=N] [--no_cuts]\n"
-      "                [--no_vacuum] [--no_tiering] [--no_shrink]\n"
+      "                [--no_vacuum] [--no_tiering] [--no_cancel]\n"
+      "                [--no_transient_io] [--no_shrink]\n"
       "                [--no_cursor_check] [--plant_bug]\n"
       "                [--artifact_dir=DIR]\n");
   return 2;
@@ -85,6 +90,10 @@ bool ParseArgs(int argc, char** argv, Args* args) {
       args->vacuum = false;
     } else if (std::strcmp(a, "--no_tiering") == 0) {
       args->tiering = false;
+    } else if (std::strcmp(a, "--no_cancel") == 0) {
+      args->cancel = false;
+    } else if (std::strcmp(a, "--no_transient_io") == 0) {
+      args->transient_io = false;
     } else if (std::strcmp(a, "--no_shrink") == 0) {
       args->shrink = false;
     } else if (std::strcmp(a, "--no_cursor_check") == 0) {
@@ -118,6 +127,8 @@ void WriteArtifact(const Args& args, const tcob::sim::ShrinkResult& shrunk) {
                      (args.cuts ? "" : " --no_cuts") +
                      (args.vacuum ? "" : " --no_vacuum") +
                      (args.tiering ? "" : " --no_tiering") +
+                     (args.cancel ? "" : " --no_cancel") +
+                     (args.transient_io ? "" : " --no_transient_io") +
                      (args.cursor_check ? "" : " --no_cursor_check") + "\n";
   std::fwrite(body.data(), 1, body.size(), f);
   std::fclose(f);
@@ -135,6 +146,8 @@ int main(int argc, char** argv) {
   gen.enable_cuts = args.cuts;
   gen.enable_vacuum = args.vacuum;
   gen.enable_tiering = args.tiering;
+  gen.enable_cancel = args.cancel;
+  gen.enable_transient_io = args.transient_io;
 
   tcob::sim::RunOptions run;
   run.bug = args.plant_bug ? tcob::sim::ModelBug::kIgnoreDeletes
