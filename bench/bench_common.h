@@ -50,9 +50,24 @@ inline std::string& BenchJsonOutRef() {
   return *path;
 }
 
-/// Strips TCOB-specific flags (--threads N, --smoke, --json_out=PATH)
-/// from argv before google-benchmark sees them; TCOB_THREADS in the
-/// environment supplies the default thread count.
+/// Output path for a flight-recorder dump (--trace_out=PATH). After the
+/// benchmarks finish, the most recently built database's trace ring is
+/// dumped here as Chrome trace_event JSON. Empty = no dump.
+inline std::string& BenchTraceOutRef() {
+  static std::string* path = new std::string();
+  return *path;
+}
+
+/// The database whose trace --trace_out dumps: the last one GetCompanyDb
+/// built with tracing enabled (cached databases outlive BenchMain).
+inline Database*& TraceDumpDbRef() {
+  static Database* db = nullptr;
+  return db;
+}
+
+/// Strips TCOB-specific flags (--threads N, --smoke, --json_out=PATH,
+/// --trace_out=PATH) from argv before google-benchmark sees them;
+/// TCOB_THREADS in the environment supplies the default thread count.
 inline void ParseBenchFlags(int* argc, char** argv) {
   if (const char* env = std::getenv("TCOB_THREADS")) {
     int v = std::atoi(env);
@@ -83,6 +98,10 @@ inline void ParseBenchFlags(int* argc, char** argv) {
       BenchJsonOutRef() = argv[++i];
       continue;
     }
+    if (std::strncmp(arg, "--trace_out=", 12) == 0) {
+      BenchTraceOutRef() = arg + 12;
+      continue;
+    }
     argv[out++] = argv[i];
   }
   *argc = out;
@@ -105,7 +124,8 @@ struct BenchDb {
 inline std::string ConfigKey(StorageStrategy strategy,
                              const CompanyConfig& config, bool version_index,
                              size_t pool_pages,
-                             const TieringOptions& tiering = {}) {
+                             const TieringOptions& tiering = {},
+                             bool trace_enabled = true) {
   return std::string(StorageStrategyName(strategy)) + "/" +
          std::to_string(config.depts) + "x" +
          std::to_string(config.emps_per_dept) + "x" +
@@ -114,7 +134,8 @@ inline std::string ConfigKey(StorageStrategy strategy,
          std::to_string(version_index) + "/pool" +
          std::to_string(pool_pages) + "/t" +
          std::to_string(BenchThreads()) +
-         (tiering.enabled ? "/tier" + std::to_string(tiering.cold_age) : "");
+         (tiering.enabled ? "/tier" + std::to_string(tiering.cold_age) : "") +
+         (trace_enabled ? "" : "/notrace");
 }
 
 /// Builds (or returns the cached) company database for a configuration.
@@ -125,7 +146,8 @@ inline BenchDb* GetCompanyDb(StorageStrategy strategy,
                              const CompanyConfig& requested,
                              bool version_index = true,
                              size_t pool_pages = 1024,
-                             const TieringOptions& tiering = {}) {
+                             const TieringOptions& tiering = {},
+                             bool trace_enabled = true) {
   static std::map<std::string, std::unique_ptr<BenchDb>>* cache =
       new std::map<std::string, std::unique_ptr<BenchDb>>();
   CompanyConfig config = requested;
@@ -135,8 +157,8 @@ inline BenchDb* GetCompanyDb(StorageStrategy strategy,
     config.projs_per_emp = std::min<size_t>(config.projs_per_emp, 2);
     config.versions_per_atom = std::min<uint32_t>(config.versions_per_atom, 4);
   }
-  std::string key =
-      ConfigKey(strategy, config, version_index, pool_pages, tiering);
+  std::string key = ConfigKey(strategy, config, version_index, pool_pages,
+                              tiering, trace_enabled);
   auto it = cache->find(key);
   if (it != cache->end()) return it->second.get();
 
@@ -148,9 +170,11 @@ inline BenchDb* GetCompanyDb(StorageStrategy strategy,
   options.store.separated_version_index = version_index;
   options.parallelism = BenchThreads();
   options.tiering = tiering;
+  options.trace.enabled = trace_enabled;
   auto db = Database::Open(bench_db->dir->path() + "/db", options);
   BenchCheck(db.status(), "open database");
   bench_db->db = std::move(db).value();
+  if (trace_enabled) TraceDumpDbRef() = bench_db->db.get();
   auto handles = BuildCompany(bench_db->db.get(), config);
   BenchCheck(handles.status(), "build company workload");
   bench_db->handles = std::move(handles).value();
@@ -341,6 +365,20 @@ inline int BenchMain(int argc, char** argv) {
   CollectingReporter reporter;
   ::benchmark::RunSpecifiedBenchmarks(&reporter);
   ::benchmark::Shutdown();
+  if (!BenchTraceOutRef().empty()) {
+    if (Database* db = TraceDumpDbRef()) {
+      Status s = db->DumpTraceToFile(BenchTraceOutRef());
+      if (!s.ok()) {
+        std::fprintf(stderr, "trace dump failed: %s\n", s.ToString().c_str());
+        return 1;
+      }
+      std::fprintf(stderr, "wrote %s\n", BenchTraceOutRef().c_str());
+    } else {
+      std::fprintf(stderr,
+                   "--trace_out: no traced database was built by this run\n");
+      return 1;
+    }
+  }
   std::string path = BenchJsonOutRef();
   if (path.empty()) path = "BENCH_" + bench_name + ".json";
   if (!WriteBenchJson(path, bench_name, reporter.records())) return 1;

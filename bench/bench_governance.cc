@@ -166,6 +166,47 @@ BENCHMARK(BM_GovernanceIdleOverhead)
     ->ArgsProduct({{0, 1, 2}, {0, 1}})
     ->Unit(benchmark::kMicrosecond);
 
+// ---- flight-recorder overhead (streaming path) ------------------------
+
+// Trace on/off twins over a cursor-drained current slice: unlike the
+// bench_queries twin (materialized Execute), this one exercises the
+// streaming producer and its span/queue emits. The drop counters ride
+// along so ring overwrite pressure under sustained load is visible in
+// the artifact.
+void BM_TraceOverheadStreaming(benchmark::State& state) {
+  const bool trace_on = state.range(0) == 1;
+  CompanyConfig config;
+  config.depts = 8;
+  config.emps_per_dept = 8;
+  config.versions_per_atom = 16;
+  BenchDb* bench_db =
+      GetCompanyDb(StorageStrategy::kSnapshot, config, /*version_index=*/true,
+                   /*pool_pages=*/1024, /*tiering=*/{}, trace_on);
+  Database* db = bench_db->db.get();
+  uint64_t rows = 0;
+  for (auto _ : state) {
+    auto cursor = db->Query(kCurrentSlice);
+    BenchCheck(cursor.status(), "open traced slice");
+    BenchCheck(DrainAll(cursor.value().get(), 64, &rows), "drain slice");
+    cursor.value()->Close();
+  }
+  benchmark::DoNotOptimize(rows);
+  uint64_t recorded = 0, dropped = 0;
+  for (int i = 0; i < kTraceCategoryCount; ++i) {
+    recorded += db->trace_recorder()->recorded(1u << i);
+    dropped += db->trace_recorder()->dropped(1u << i);
+  }
+  state.counters["trace_events_recorded"] = static_cast<double>(recorded);
+  state.counters["trace_events_dropped"] = static_cast<double>(dropped);
+  state.SetLabel(trace_on ? "trace_on" : "trace_off");
+}
+
+BENCHMARK(BM_TraceOverheadStreaming)
+    ->ArgNames({"trace"})
+    ->Arg(0)
+    ->Arg(1)
+    ->Unit(benchmark::kMicrosecond);
+
 // ---- budgeted full-history sweep --------------------------------------
 
 void BM_BudgetedAllHistories(benchmark::State& state) {

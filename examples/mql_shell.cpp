@@ -19,6 +19,7 @@
 //   .tier_migrate migrate cold-eligible history into segments
 //   .timing       toggle per-statement timing (first row vs total)
 //   .timeout [ms] show or set the per-query deadline (0 disables)
+//   .trace        flight recorder: on/off, or dump Perfetto JSON to FILE
 //   .health       show the degradation state and its cause
 //   .recover      try to return a read-only database to full service
 //   .quit         exit
@@ -62,7 +63,8 @@ constexpr char kHelp[] = R"(MQL cheat sheet
   SHOW CATALOG;
   SHOW STATS;
 Meta: .help .checkpoint .now [t] .strategy .metrics .tiering
-      .tier_migrate .timing .timeout [ms] .health .recover .quit
+      .tier_migrate .timing .timeout [ms] .trace [on|off|dump FILE]
+      .health .recover .quit
 Attribute types: BOOL INT DOUBLE STRING TIMESTAMP ID
 Temporal predicates: OVERLAPS CONTAINS BEFORE MEETS DURING, VALID(Type),
 BEGIN(...), END(...), interval literals [a, b), NOW.
@@ -157,6 +159,30 @@ bool HandleMeta(Database* db, const std::string& line, bool* timing) {
     } else {
       printf("recovery failed: %s\n", s.ToString().c_str());
     }
+  } else if (line.rfind(".trace", 0) == 0) {
+    std::string arg = line.size() > 6 ? line.substr(7) : "";
+    if (arg == "on") {
+      db->trace_recorder()->set_enabled(true);
+    } else if (arg == "off") {
+      db->trace_recorder()->set_enabled(false);
+    } else if (arg.rfind("dump", 0) == 0) {
+      std::string path = arg.size() > 4 ? arg.substr(5) : "";
+      if (path.empty()) path = "trace.json";
+      Status s = db->DumpTraceToFile(path);
+      if (s.ok()) {
+        printf("trace dumped to %s — open in https://ui.perfetto.dev or "
+               "chrome://tracing\n",
+               path.c_str());
+      } else {
+        printf("error: %s\n", s.ToString().c_str());
+      }
+      return true;
+    } else if (!arg.empty()) {
+      printf("usage: .trace [on|off|dump FILE]\n");
+      return true;
+    }
+    printf("trace %s\n",
+           db->trace_recorder()->is_enabled() ? "on" : "off");
   } else if (line == ".tiering") {
     PrintTiering(db);
   } else if (line == ".tier_migrate") {

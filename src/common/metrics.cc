@@ -54,6 +54,28 @@ void Histogram::Reset() {
   sum_.store(0, std::memory_order_relaxed);
 }
 
+double HistogramSnapshot::Quantile(double q) const {
+  if (count == 0) return 0.0;
+  if (q < 0.0) q = 0.0;
+  if (q > 1.0) q = 1.0;
+  const double rank = q * static_cast<double>(count);
+  uint64_t cum = 0;
+  for (size_t i = 0; i < bounds.size(); ++i) {
+    const uint64_t in_bucket = counts[i];
+    if (static_cast<double>(cum + in_bucket) >= rank && in_bucket > 0) {
+      const double lower = i == 0 ? 0.0 : static_cast<double>(bounds[i - 1]);
+      const double upper = static_cast<double>(bounds[i]);
+      const double into = rank - static_cast<double>(cum);
+      return lower +
+             (upper - lower) * (into / static_cast<double>(in_bucket));
+    }
+    cum += in_bucket;
+  }
+  // Target rank lies in the +inf bucket: the honest answer is "above the
+  // largest bound"; clamp there rather than extrapolate.
+  return static_cast<double>(bounds.back());
+}
+
 void MetricsRegistry::RegisterCounter(const std::string& name,
                                       const Counter* c) {
   std::lock_guard<std::mutex> lock(mu_);
@@ -113,6 +135,15 @@ std::string MetricsSnapshot::ToText() const {
     os << name << "_bucket{le=\"+Inf\"} " << cum << "\n";
     os << name << "_sum " << h.sum << "\n";
     os << name << "_count " << h.count << "\n";
+    // Bucket-interpolated estimates (same math as histogram_quantile),
+    // rendered as gauges so plain-text scrapes get latency percentiles
+    // without a PromQL evaluator.
+    os << "# TYPE " << name << "_p50 gauge\n"
+       << name << "_p50 " << h.Quantile(0.50) << "\n";
+    os << "# TYPE " << name << "_p95 gauge\n"
+       << name << "_p95 " << h.Quantile(0.95) << "\n";
+    os << "# TYPE " << name << "_p99 gauge\n"
+       << name << "_p99 " << h.Quantile(0.99) << "\n";
   }
   return os.str();
 }
@@ -148,7 +179,9 @@ std::string MetricsSnapshot::ToJson() const {
       if (i) os << ",";
       os << h.counts[i];
     }
-    os << "],\"count\":" << h.count << ",\"sum\":" << h.sum << "}";
+    os << "],\"count\":" << h.count << ",\"sum\":" << h.sum
+       << ",\"p50\":" << h.Quantile(0.50) << ",\"p95\":" << h.Quantile(0.95)
+       << ",\"p99\":" << h.Quantile(0.99) << "}";
   }
   os << "}}";
   return os.str();

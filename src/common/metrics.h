@@ -61,6 +61,13 @@ struct HistogramSnapshot {
   uint64_t sum = 0;
 
   double Mean() const { return count ? static_cast<double>(sum) / count : 0.0; }
+
+  /// Estimated `q`-quantile (q in [0, 1]) by linear interpolation within
+  /// the bucket holding the target rank — the usual Prometheus
+  /// histogram_quantile estimate, so it is only as sharp as the bucket
+  /// bounds. Observations in the +inf bucket clamp to the last finite
+  /// bound. 0 when the histogram is empty.
+  double Quantile(double q) const;
 };
 
 /// Fixed-bucket histogram with lock-free recording. A value v lands in

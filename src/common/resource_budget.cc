@@ -29,6 +29,8 @@ Status AdmissionController::Acquire(const QueryContext* ctx,
 
   ++waiting_;
   if (waiting_ > peak_waiting_) peak_waiting_ = waiting_;
+  const auto wait_start = std::chrono::steady_clock::now();
+  TraceEmit(trace_, TraceEventType::kAdmissionEnqueue, waiting_);
   Status out = Status::OK();
   for (;;) {
     if (ctx != nullptr) {
@@ -60,10 +62,16 @@ Status AdmissionController::Acquire(const QueryContext* ctx,
     }
   }
   --waiting_;
+  const uint64_t waited_us =
+      static_cast<uint64_t>(std::chrono::duration_cast<std::chrono::microseconds>(
+                                std::chrono::steady_clock::now() - wait_start)
+                                .count());
   if (out.ok()) {
     admitted_.fetch_add(1, std::memory_order_relaxed);
+    TraceEmit(trace_, TraceEventType::kAdmissionGrant, waited_us);
   } else {
     rejected_.fetch_add(1, std::memory_order_relaxed);
+    TraceEmit(trace_, TraceEventType::kAdmissionTimeout, waited_us);
   }
   return out;
 }

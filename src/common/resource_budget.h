@@ -8,6 +8,7 @@
 
 #include "common/cancellation.h"
 #include "common/status.h"
+#include "common/trace_ring.h"
 
 namespace tcob {
 
@@ -39,6 +40,7 @@ class ResourceBudget {
     for (;;) {
       if (cap_ != 0 && cur + bytes > cap_) {
         rejected_.fetch_add(1, std::memory_order_relaxed);
+        TraceEmit(trace_, TraceEventType::kBudgetRefusal, bytes);
         return false;
       }
       if (charged_.compare_exchange_weak(cur, cur + bytes,
@@ -68,11 +70,15 @@ class ResourceBudget {
     return rejected_.load(std::memory_order_relaxed);
   }
 
+  void set_trace(TraceRecorder* trace) { trace_ = trace; }
+  TraceRecorder* trace() const { return trace_; }
+
  private:
   const uint64_t cap_;
   std::atomic<uint64_t> charged_{0};
   std::atomic<uint64_t> peak_{0};
   std::atomic<uint64_t> rejected_{0};
+  TraceRecorder* trace_ = nullptr;
 };
 
 /// Per-query view of a ResourceBudget: tracks what this one query has
@@ -103,6 +109,7 @@ class BudgetLease {
     if (budget_ != nullptr && !budget_->TryCharge(bytes)) {
       overflow_.fetch_add(bytes, std::memory_order_relaxed);
       pressure_.store(true, std::memory_order_release);
+      TraceEmit(budget_->trace(), TraceEventType::kBudgetPressure, bytes);
       return false;
     }
     uint64_t now =
@@ -182,8 +189,11 @@ class AdmissionController {
     return rejected_.load(std::memory_order_relaxed);
   }
 
+  void set_trace(TraceRecorder* trace) { trace_ = trace; }
+
  private:
   const size_t max_inflight_;
+  TraceRecorder* trace_ = nullptr;
   mutable std::mutex mu_;
   std::condition_variable slot_free_;
   size_t inflight_ = 0;

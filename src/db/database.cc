@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cstring>
+#include <map>
 #include <optional>
 #include <thread>
 
@@ -62,10 +63,13 @@ Database::~Database() {
 
 Status Database::Init() {
   env_ = options_.env != nullptr ? options_.env : IoEnv::Default();
+  memory_budget_.set_trace(&trace_rec_);
+  admission_.set_trace(&trace_rec_);
   if (options_.io_retry.enabled()) {
     // Every component below sees the retrying decorator; transient read
     // failures are absorbed (bounded backoff) instead of surfacing.
     retry_env_ = std::make_unique<RetryingIoEnv>(env_, options_.io_retry);
+    retry_env_->set_trace(&trace_rec_);
     env_ = retry_env_.get();
   }
   TCOB_RETURN_NOT_OK(env_->CreateDir(dir_));
@@ -82,6 +86,7 @@ Status Database::Init() {
   TCOB_RETURN_NOT_OK(journal_->Reset());
   TCOB_ASSIGN_OR_RETURN(disk_, DiskManager::Open(dir_, env_, journal_.get()));
   pool_ = std::make_unique<BufferPool>(disk_.get(), options_.buffer_pool_pages);
+  pool_->set_trace(&trace_rec_);
   size_t workers = options_.parallelism;
   if (workers == 0) {
     workers = std::max<size_t>(1, std::thread::hardware_concurrency());
@@ -105,11 +110,13 @@ Status Database::Init() {
     cold_tier_ = std::make_unique<ColdTier>(
         pool_.get(), std::string(StorageStrategyName(options_.strategy)));
     cold_tier_->set_memory_budget(&memory_budget_);
+    cold_tier_->set_trace(&trace_rec_);
     store_->AttachColdTier(cold_tier_.get());
   }
   links_ = std::make_unique<LinkStore>(pool_.get(), "links");
   attr_indexes_ = std::make_unique<AttrIndexManager>(pool_.get(), &catalog_);
   TCOB_ASSIGN_OR_RETURN(wal_, WriteAheadLog::Open(dir_ + "/wal.log", env_));
+  wal_->set_trace(&trace_rec_);
   TCOB_RETURN_NOT_OK(LoadMeta());
   TCOB_RETURN_NOT_OK(Recover());
   recovery_stats_.journal_pages_applied =
@@ -121,6 +128,7 @@ Status Database::Init() {
 }
 
 void Database::RegisterMetrics() {
+  trace_rec_.RegisterMetrics(&metrics_);
   store_->RegisterMetrics(&metrics_);
   if (cold_tier_ != nullptr) cold_tier_->RegisterMetrics(&metrics_);
   pool_->RegisterMetrics(&metrics_);
@@ -316,13 +324,27 @@ Status Database::ApplyOp(const WalOp& op) {
   return Status::Internal("unhandled wal op");
 }
 
+void Database::MaybeDumpTraceOnFailure(const char* label) {
+  if (!options_.trace.dump_on_failure || !trace_rec_.is_enabled()) return;
+  const std::string dir =
+      options_.trace.dump_dir.empty() ? dir_ : options_.trace.dump_dir;
+  const std::string path = dir + "/trace-" + label + "-" +
+                           std::to_string(++trace_dump_seq_) + ".json";
+  if (trace_rec_.DumpToFile(path)) {
+    TCOB_LOG(kWarn) << "flight recorder dumped to " << path;
+  }
+}
+
 void Database::Poison(const Status& cause) {
   if (!fail_stop_.ok()) return;  // keep the first failure
   fail_stop_ = Status::IOError(
       "database is read-only after a stable-storage failure: " +
       cause.ToString());
   health_state_ = HealthState::kReadOnly;
+  trace_rec_.Emit(TraceEventType::kHealthTransition,
+                  static_cast<uint64_t>(HealthState::kReadOnly));
   TCOB_LOG(kError) << "entering fail-stop mode: " << cause.ToString();
+  MaybeDumpTraceOnFailure("read-only");
 }
 
 void Database::FailHard(const Status& cause) {
@@ -333,8 +355,18 @@ void Database::FailHard(const Status& cause) {
         "database failed (in-memory state diverged from the log): " +
         cause.ToString());
     health_state_ = HealthState::kFailed;
+    trace_rec_.Emit(TraceEventType::kHealthTransition,
+                    static_cast<uint64_t>(HealthState::kFailed));
     TCOB_LOG(kError) << "entering failed mode: " << cause.ToString();
+    MaybeDumpTraceOnFailure("failed");
   }
+}
+
+Status Database::DumpTraceToFile(const std::string& path) const {
+  if (!trace_rec_.DumpToFile(path)) {
+    return Status::IOError("cannot write trace dump to " + path);
+  }
+  return Status::OK();
 }
 
 Status Database::LogAndApply(WalOp op) {
@@ -710,6 +742,9 @@ struct Database::SelectCursorContext {
   /// True while this query holds an admission slot (released exactly
   /// once, in FinalizeSelectTrace).
   bool admitted = false;
+  /// Flight-recorder id of this query (stamped into every event the
+  /// query's threads emit).
+  uint64_t query_id = 0;
   /// The stream's final status, for the disposition stamp.
   Status final_status = Status::OK();
   std::optional<Materializer> mat;
@@ -772,6 +807,13 @@ Result<std::unique_ptr<Cursor>> Database::NewSelectCursor(
   ctx->tiering_before = store_->cold_access_stats();
   ctx->pool_before = pool_->stats();
   ctx->qctx = QueryContext::WithDeadline(options_.default_query_deadline_micros);
+  ctx->query_id = next_query_id_.fetch_add(1, std::memory_order_relaxed);
+  ctx->qctx->set_query_id(ctx->query_id);
+  // The open path (admission, planning, and — for pipeline breakers —
+  // the whole execution) runs on this thread under the query's id; the
+  // producer thread and the finalize hook re-establish it themselves.
+  TraceQueryScope qscope(ctx->query_id);
+  trace_rec_.Emit(TraceEventType::kQueryBegin);
   ctx->lease.emplace(&memory_budget_);
   if (admission_.max_inflight() > 0) {
     StopwatchUs wait_timer;
@@ -787,9 +829,11 @@ Result<std::unique_ptr<Cursor>> Database::NewSelectCursor(
   }
   ctx->mat.emplace(&catalog_, store_.get(), links_.get(), query_pool_.get());
   ctx->mat->set_governance(ctx->qctx.get(), &*ctx->lease);
+  ctx->mat->set_trace_recorder(&trace_rec_);
   ctx->exec.emplace(&catalog_, &*ctx->mat, now_, attr_indexes_.get());
   ctx->exec->set_trace(&ctx->trace);
   ctx->exec->set_context(ctx->qctx.get());
+  ctx->exec->set_recorder(&trace_rec_);
 
   if (!SelectExecutor::CanStream(ctx->stmt)) {
     // Pipeline breakers (aggregates, ORDER BY) need every row before
@@ -812,9 +856,11 @@ Result<std::unique_ptr<Cursor>> Database::NewSelectCursor(
     return plan.status();
   }
   ctx->plan = std::move(plan).value();
+  ctx->trace.surface = "streaming";
   // The producer thread owns a share of the context; the finalize hook
   // runs back on this thread (Next/Close after the producer joined).
   auto producer = [ctx](RowSink* sink) -> Status {
+    TraceQueryScope qscope(ctx->query_id);
     return ctx->exec->ExecuteStreaming(ctx->stmt, ctx->plan, sink);
   };
   auto on_first_row = [ctx] {
@@ -838,6 +884,9 @@ Result<std::unique_ptr<Cursor>> Database::NewSelectCursor(
 }
 
 void Database::FinalizeSelectTrace(SelectCursorContext* ctx) {
+  // Finalize may run on the consumer thread long after the open scope
+  // ended; re-adopt the query id so the end-of-life events attribute.
+  TraceQueryScope qscope(ctx->query_id);
   QueryStats& trace = ctx->trace;
   trace.store = store_->access_stats();
   trace.store -= ctx->store_before;
@@ -855,12 +904,16 @@ void Database::FinalizeSelectTrace(SelectCursorContext* ctx) {
       (outcome.ok() && ctx->qctx != nullptr && ctx->qctx->cancelled())) {
     trace.disposition = "cancelled";
     query_cancelled_total_.Increment();
+    trace_rec_.Emit(TraceEventType::kCancelFire);
   } else if (outcome.IsDeadlineExceeded()) {
     trace.disposition = "deadline-exceeded";
     query_deadline_exceeded_total_.Increment();
+    trace_rec_.Emit(TraceEventType::kDeadlineFire);
   } else if (!outcome.ok()) {
     trace.disposition = "error";
   }
+  trace_rec_.Emit(TraceEventType::kQueryEnd,
+                  static_cast<uint64_t>(trace.rows));
   if (ctx->admitted) {
     admission_.Release();
     ctx->admitted = false;
@@ -882,6 +935,7 @@ void Database::FinalizeSelectTrace(SelectCursorContext* ctx) {
                     << " | plan: " << trace.plan << " | rows: " << trace.rows
                     << " | store accesses: " << trace.store.Total()
                     << " | disposition: " << trace.disposition
+                    << " | surface: " << trace.surface
                     << " | peak mem: " << trace.peak_memory_bytes << "B";
   }
   last_query_stats_ = trace;
@@ -1110,21 +1164,44 @@ Result<uint64_t> Database::TierMigrate() {
   // while it runs, and its effects become durable only at the trailing
   // checkpoint's journal-commit point — a crash anywhere in between
   // recovers to the pre-migration image.
-  TCOB_RETURN_NOT_OK(Checkpoint());
+  {
+    TraceScope scope(&trace_rec_, TraceEventType::kTierPhaseBegin,
+                     TraceEventType::kTierPhaseEnd,
+                     static_cast<uint64_t>(TraceTierPhase::kCheckpoint));
+    TCOB_RETURN_NOT_OK(Checkpoint());
+  }
   const Timestamp cutoff = now_ > options_.tiering.cold_age
                                ? now_ - options_.tiering.cold_age
                                : kMinTimestamp;
   uint64_t migrated = 0;
   for (const AtomTypeDef* type : catalog_.AtomTypes()) {
-    TCOB_ASSIGN_OR_RETURN(auto eligible,
-                          store_->CollectMigratable(*type, cutoff));
+    std::map<AtomId, std::vector<AtomVersion>> eligible;
+    {
+      TraceScope scope(&trace_rec_, TraceEventType::kTierPhaseBegin,
+                       TraceEventType::kTierPhaseEnd,
+                       static_cast<uint64_t>(TraceTierPhase::kCollect));
+      TCOB_ASSIGN_OR_RETURN(eligible,
+                            store_->CollectMigratable(*type, cutoff));
+    }
     if (eligible.empty()) continue;
-    TCOB_ASSIGN_OR_RETURN(
-        uint64_t written,
-        cold_tier_->Migrate(*type, eligible, query_pool_.get(),
-                            options_.tiering.segment_target_bytes));
-    TCOB_ASSIGN_OR_RETURN(uint64_t released,
-                          store_->ReleaseMigrated(*type, cutoff));
+    uint64_t written = 0;
+    {
+      TraceScope scope(&trace_rec_, TraceEventType::kTierPhaseBegin,
+                       TraceEventType::kTierPhaseEnd,
+                       static_cast<uint64_t>(TraceTierPhase::kMigrate));
+      TCOB_ASSIGN_OR_RETURN(
+          written,
+          cold_tier_->Migrate(*type, eligible, query_pool_.get(),
+                              options_.tiering.segment_target_bytes));
+    }
+    uint64_t released = 0;
+    {
+      TraceScope scope(&trace_rec_, TraceEventType::kTierPhaseBegin,
+                       TraceEventType::kTierPhaseEnd,
+                       static_cast<uint64_t>(TraceTierPhase::kRelease));
+      TCOB_ASSIGN_OR_RETURN(released,
+                            store_->ReleaseMigrated(*type, cutoff));
+    }
     if (written != released) {
       return Status::Corruption(
           "tier migration of type " + type->name + " wrote " +
@@ -1133,7 +1210,12 @@ Result<uint64_t> Database::TierMigrate() {
     }
     migrated += released;
   }
-  TCOB_RETURN_NOT_OK(Checkpoint());
+  {
+    TraceScope scope(&trace_rec_, TraceEventType::kTierPhaseBegin,
+                     TraceEventType::kTierPhaseEnd,
+                     static_cast<uint64_t>(TraceTierPhase::kCheckpoint));
+    TCOB_RETURN_NOT_OK(Checkpoint());
+  }
   return migrated;
 }
 
@@ -1162,14 +1244,30 @@ Status Database::Checkpoint() {
   //  6. only then may the WAL forget the covered operations. A crash
   //     before this leaves them in the WAL; the watermark makes
   //     replaying them a no-op.
+  auto phase = [this](TraceCheckpointPhase p, const std::function<Status()>& fn) {
+    TraceScope scope(&trace_rec_, TraceEventType::kCheckpointPhaseBegin,
+                     TraceEventType::kCheckpointPhaseEnd,
+                     static_cast<uint64_t>(p));
+    return fn();
+  };
   Status s = [&]() -> Status {
-    TCOB_RETURN_NOT_OK(pool_->FlushAll());
-    TCOB_RETURN_NOT_OK(catalog_.SaveToFile(env_, dir_ + "/catalog.tcob"));
-    TCOB_RETURN_NOT_OK(journal_->Commit(EncodeMeta()));
-    TCOB_RETURN_NOT_OK(journal_->ApplyCommitted());
-    TCOB_RETURN_NOT_OK(SaveMeta());
-    TCOB_RETURN_NOT_OK(journal_->Reset());
-    return wal_->Truncate();
+    TCOB_RETURN_NOT_OK(phase(TraceCheckpointPhase::kFlushPages,
+                             [&] { return pool_->FlushAll(); }));
+    TCOB_RETURN_NOT_OK(phase(TraceCheckpointPhase::kSaveCatalog, [&] {
+      return catalog_.SaveToFile(env_, dir_ + "/catalog.tcob");
+    }));
+    TCOB_RETURN_NOT_OK(phase(TraceCheckpointPhase::kJournalCommit,
+                             [&] { return journal_->Commit(EncodeMeta()); }));
+    TCOB_RETURN_NOT_OK(phase(TraceCheckpointPhase::kJournalApply,
+                             [&] { return journal_->ApplyCommitted(); }));
+    TCOB_RETURN_NOT_OK(
+        phase(TraceCheckpointPhase::kSaveMeta, [&] { return SaveMeta(); }));
+    TCOB_RETURN_NOT_OK(phase(TraceCheckpointPhase::kWalTruncate, [&] {
+      Status truncated = journal_->Reset();
+      if (truncated.ok()) truncated = wal_->Truncate();
+      return truncated;
+    }));
+    return Status::OK();
   }();
   if (!s.ok()) {
     Poison(s);
@@ -1229,6 +1327,8 @@ Status Database::TryRecover() {
   }
   fail_stop_ = Status::OK();
   health_state_ = HealthState::kHealthy;
+  trace_rec_.Emit(TraceEventType::kHealthTransition,
+                  static_cast<uint64_t>(HealthState::kHealthy));
   // Re-establish a durable baseline. The WAL tail may hold a record the
   // original failure tore (its op was never applied in memory); the
   // checkpoint makes everything applied durable and truncates that tail

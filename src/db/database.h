@@ -11,6 +11,7 @@
 #include "common/resource_budget.h"
 #include "common/result.h"
 #include "common/thread_pool.h"
+#include "common/trace_ring.h"
 #include "db/transaction.h"
 #include "index/attr_index.h"
 #include "mad/link_store.h"
@@ -94,6 +95,10 @@ struct DatabaseOptions {
   /// fault-injection suites rely on single-shot faults actually failing
   /// unless a test opts in).
   IoRetryPolicy io_retry;
+  /// Flight recorder (always on by default; see common/trace_ring.h):
+  /// per-thread event rings, category mask, ring size, and automatic
+  /// dumps on health degradation.
+  TraceOptions trace;
 };
 
 /// Degradation ladder of a Database instance (see Database::health()).
@@ -276,6 +281,20 @@ class Database {
 
   /// The registry itself (tests register probes; exporters snapshot).
   const MetricsRegistry& metrics() const { return metrics_; }
+
+  /// Chrome/Perfetto trace_event JSON of the flight recorder's rings —
+  /// the recent cross-subsystem event history (query/span/WAL/
+  /// checkpoint/tier/pool/admission/cancel/budget/health/io events).
+  /// Open the result in https://ui.perfetto.dev or chrome://tracing.
+  std::string DumpTrace() const { return trace_rec_.DumpJson(); }
+
+  /// DumpTrace() to `path` (best-effort stdio write; see
+  /// TraceRecorder::DumpToFile).
+  Status DumpTraceToFile(const std::string& path) const;
+
+  /// The flight recorder (runtime toggles: the shell's `.trace`).
+  TraceRecorder* trace_recorder() { return &trace_rec_; }
+  const TraceRecorder& trace_recorder() const { return trace_rec_; }
 
   // ---- maintenance ----
 
@@ -465,6 +484,12 @@ class Database {
     return Status::OK();
   }
 
+  /// Best-effort automatic flight-recorder dump into the database dir
+  /// (or options_.trace.dump_dir) when the instance degrades; `label`
+  /// names the transition in the file name. Deliberately bypasses the
+  /// IoEnv — it runs exactly when that environment is failing.
+  void MaybeDumpTraceOnFailure(const char* label);
+
   /// Records the first stable-storage failure and degrades to kReadOnly;
   /// later mutations see it, reads keep serving.
   void Poison(const Status& cause);
@@ -506,6 +531,10 @@ class Database {
   /// registrants' updates; holds non-owning pointers into them and into
   /// the counters below (all destroyed together with this Database).
   MetricsRegistry metrics_;
+  /// Flight recorder; declared before every component that holds a
+  /// pointer into it (WAL, pool, cold tier, admission, retry env), so
+  /// events emitted during their destruction still land in a live ring.
+  TraceRecorder trace_rec_{options_.trace};
   Counter statements_total_;
   Counter queries_total_;
   Counter slow_queries_total_;
@@ -541,6 +570,10 @@ class Database {
   std::unique_ptr<ThreadPool> query_pool_;
   Timestamp now_ = 1;
   uint64_t next_txn_id_ = 1;
+  /// Query ids stamped into trace events (per instance, never reused).
+  std::atomic<uint64_t> next_query_id_{1};
+  /// Sequence of automatic failure dumps (unique file names).
+  uint64_t trace_dump_seq_ = 0;
   /// Sequence number the next logical operation will carry. Persisted
   /// into the meta file by Checkpoint; replay skips operations below the
   /// persisted base, making recovery idempotent under re-crash.

@@ -31,7 +31,7 @@ namespace {
 template <typename R>
 Status StreamFanOut(
     ThreadPool* pool, size_t n, size_t workers, bool skip_not_found,
-    std::vector<double>* worker_us,
+    std::vector<double>* worker_us, TraceRecorder* rec, uint64_t query_id,
     const std::function<Result<R>(size_t item, size_t worker)>& materialize,
     const std::function<Result<bool>(R)>& deliver) {
   constexpr size_t kChannelCapacity = 16;
@@ -48,6 +48,11 @@ Status StreamFanOut(
     const size_t begin = n * w / workers;
     const size_t end = n * (w + 1) / workers;
     tasks.push_back([&, w, begin, end] {
+      // Pool threads carry no ambient query id of their own: adopt this
+      // query's for the batch so everything the worker touches below
+      // (version cache, buffer pool, cold tier) attributes to it.
+      TraceQueryScope qscope(query_id);
+      TraceSpanScope span(rec, TraceSpanId::kWorker);
       StopwatchUs timer;
       for (size_t i = begin; i < end; ++i) {
         if (abort.load(std::memory_order_acquire)) break;
@@ -308,7 +313,8 @@ Status Materializer::ParallelMoleculesAsOf(
   last_worker_us_.assign(workers, 0.0);
   // `fn` runs on this thread only, overlapping with the workers.
   Status out = StreamFanOut<Molecule>(
-      pool_, n, workers, skip_not_found, &last_worker_us_,
+      pool_, n, workers, skip_not_found, &last_worker_us_, trace_rec_,
+      ctx_ != nullptr ? ctx_->query_id() : 0,
       [&](size_t i, size_t w) -> Result<Molecule> {
         Status governed = CheckContext();
         if (!governed.ok()) return governed;
@@ -670,6 +676,7 @@ Status Materializer::AllHistories(
     last_worker_us_.assign(workers, 0.0);
     Status out = StreamFanOut<MoleculeHistory>(
         pool_, n, workers, /*skip_not_found=*/false, &last_worker_us_,
+        trace_rec_, ctx_ != nullptr ? ctx_->query_id() : 0,
         [&](size_t i, size_t w) -> Result<MoleculeHistory> {
           Status governed = CheckContext();
           if (!governed.ok()) return governed;

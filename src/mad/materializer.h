@@ -61,6 +61,11 @@ class Materializer {
     lease_ = lease;
   }
 
+  /// Attaches the flight recorder: fan-out workers run under a worker
+  /// span with the query's ambient id, so their deep emissions (pool
+  /// misses, cold decodes) attribute to the query. Null records nothing.
+  void set_trace_recorder(TraceRecorder* rec) { trace_rec_ = rec; }
+
   /// A cache bound to this materializer's stores (and its governance
   /// scope), for callers that span one query over several operator
   /// invocations (e.g. the executor's per-root index path).
@@ -202,6 +207,7 @@ class Materializer {
   ThreadPool* pool_;
   const QueryContext* ctx_ = nullptr;
   BudgetLease* lease_ = nullptr;
+  TraceRecorder* trace_rec_ = nullptr;
   mutable VersionCacheStats cache_stats_;
   // Each parallel task writes only its own slot, so no synchronization
   // is needed beyond the pool's batch-completion join.

@@ -315,6 +315,7 @@ class CollectingSink : public RowSink {
 }  // namespace
 
 Result<SelectPlan> SelectExecutor::Plan(const SelectStmt& stmt) const {
+  TraceSpanScope span(rec_, TraceSpanId::kPlan);
   StopwatchUs plan_timer;
   SelectPlan plan;
   TCOB_ASSIGN_OR_RETURN(plan.resolved, ResolveMoleculeType(stmt));
@@ -453,16 +454,23 @@ Result<ResultSet> SelectExecutor::Execute(const SelectStmt& stmt) const {
   out.columns = plan.columns;
   out.message = plan.message;
   CollectingSink sink(&out);
-  TCOB_RETURN_NOT_OK(Run(stmt, plan, &sink));
+  {
+    TraceSpanScope span(rec_, TraceSpanId::kExecute);
+    TCOB_RETURN_NOT_OK(Run(stmt, plan, &sink));
+  }
 
   if (plan.aggregate) {
+    TraceSpanScope span(rec_, TraceSpanId::kAggregate);
     StopwatchUs agg_timer;
     TCOB_ASSIGN_OR_RETURN(
         out, FoldAggregates(stmt, plan.projection, plan.windowed, out));
     if (trace_ != nullptr) trace_->aggregate_us += agg_timer.ElapsedUs();
   }
   StopwatchUs sort_timer;
-  TCOB_RETURN_NOT_OK(ApplyOrderBy(stmt, &out));
+  if (!stmt.order_by.empty()) {
+    TraceSpanScope span(rec_, TraceSpanId::kSort);
+    TCOB_RETURN_NOT_OK(ApplyOrderBy(stmt, &out));
+  }
   if (trace_ != nullptr) {
     trace_->sort_us += sort_timer.ElapsedUs();
     trace_->rows = out.rows.size();
@@ -483,6 +491,7 @@ Result<ResultSet> SelectExecutor::Execute(const SelectStmt& stmt) const {
 Status SelectExecutor::ExecuteStreaming(const SelectStmt& stmt,
                                         const SelectPlan& plan,
                                         RowSink* sink) const {
+  TraceSpanScope span(rec_, TraceSpanId::kStream);
   StopwatchUs exec_timer;
   Status st = Run(stmt, plan, sink);
   if (trace_ != nullptr) {

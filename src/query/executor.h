@@ -6,6 +6,7 @@
 
 #include "catalog/catalog.h"
 #include "common/result.h"
+#include "common/trace_ring.h"
 #include "index/attr_index.h"
 #include "mad/materializer.h"
 #include "query/ast.h"
@@ -117,6 +118,11 @@ class SelectExecutor {
   /// governance hook (set separately) for the loops below this layer.
   void set_context(const QueryContext* ctx) { ctx_ = ctx; }
 
+  /// Attaches the flight recorder: execution wraps its operator phases
+  /// (plan, execute, aggregate, sort, stream) in trace spans. Null (the
+  /// default) records nothing.
+  void set_recorder(TraceRecorder* rec) { rec_ = rec; }
+
  private:
   /// Shared pipeline of both surfaces: drives the materializer operators
   /// and emits rows into `sink`. Fills the trace's plan/materialize/emit
@@ -157,6 +163,7 @@ class SelectExecutor {
   const AttrIndexManager* indexes_;
   QueryStats* trace_ = nullptr;
   const QueryContext* ctx_ = nullptr;
+  TraceRecorder* rec_ = nullptr;
 };
 
 }  // namespace tcob

@@ -36,6 +36,10 @@ struct QueryStats {
   /// How the query ended: "ok" | "cancelled" | "deadline-exceeded" |
   /// "error".
   std::string disposition = "ok";
+  /// Which execution surface produced the rows: "streaming" when a
+  /// cursor pulled them through the bounded queue, "materialized" when
+  /// the result was built eagerly (pipeline breakers, Execute).
+  std::string surface = "materialized";
 
   double parse_us = 0;
   double plan_us = 0;

@@ -71,6 +71,10 @@ DatabaseOptions MakeOptions(Instance* inst) {
     opts.io_retry.base_backoff_micros = 1;  // sim time is precious
     opts.io_retry.max_backoff_micros = 16;
   }
+  // Instances degrade on purpose (power cuts, poisoned WALs); automatic
+  // host-filesystem dumps would fire constantly. The harness captures
+  // the failing instance's trace into RunResult at divergence instead.
+  opts.trace.dump_on_failure = false;
   return opts;
 }
 
@@ -714,6 +718,9 @@ RunResult RunWorkload(const SimWorkload& w, const RunOptions& options) {
                          : "";
     result.divergence = (inst != nullptr ? inst->name + at + ": " : "") +
                         std::move(why);
+    if (inst != nullptr && inst->db != nullptr) {
+      result.failure_trace_json = inst->db->DumpTrace();
+    }
   };
 
   for (auto& inst : instances) {

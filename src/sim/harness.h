@@ -61,6 +61,11 @@ struct RunResult {
   /// dependent counters — two runs of the same seed must produce
   /// byte-identical summaries.
   std::string summary_json;
+  /// Flight-recorder dump (Perfetto JSON) of the failing instance,
+  /// captured at the moment of divergence; empty when ok. The fuzzer
+  /// writes it next to the shrunk trace artifact. Timestamps are wall
+  /// clock, so unlike summary_json this is not byte-deterministic.
+  std::string failure_trace_json;
 };
 
 /// Executes the workload against every database instance and its

@@ -62,6 +62,7 @@ Result<Page*> BufferPool::FetchPage(FileId file, PageNo page_no) {
     // brought the page in meanwhile, so re-run the table lookup.
     if (frame == nullptr) continue;
     misses_.Increment();
+    TraceEmit(trace_, TraceEventType::kPoolMiss, page_no);
     Status read = disk_->ReadPage(file, page_no, frame->data);
     if (read.ok() && !PageChecksumOk(frame->data)) {
       read = Status::Corruption(
@@ -222,6 +223,7 @@ Result<Page*> BufferPool::EvictFrom(Shard& shard) {
     shard.lru.erase(shard.lru_pos[victim]);
     shard.lru_pos.erase(victim);
     evictions_.Increment();
+    TraceEmit(trace_, TraceEventType::kPoolEvict, victim->page_no);
     return victim;
   }
   return nullptr;
@@ -248,6 +250,7 @@ Result<Page*> BufferPool::AcquireFrame(Shard& shard,
       break;
     }
     if (victim.value() != nullptr) {
+      TraceEmit(trace_, TraceEventType::kPoolSteal, victim.value()->page_no);
       std::lock_guard<std::mutex> arena(arena_mu_);
       free_frames_.push_back(victim.value());
       stole = true;

@@ -11,6 +11,7 @@
 
 #include "common/metrics.h"
 #include "common/result.h"
+#include "common/trace_ring.h"
 #include "storage/disk_manager.h"
 #include "storage/page.h"
 
@@ -96,6 +97,9 @@ class BufferPool {
   /// Publishes the pool counters into `registry` under tcob_pool_*.
   void RegisterMetrics(MetricsRegistry* registry) const;
 
+  /// Attaches the flight recorder (miss/evict/steal events).
+  void set_trace(TraceRecorder* trace) { trace_ = trace; }
+
  private:
   static uint64_t Key(FileId file, PageNo page_no) {
     return (static_cast<uint64_t>(file) << 32) | page_no;
@@ -158,6 +162,7 @@ class BufferPool {
   Counter misses_;
   Counter evictions_;
   Counter dirty_writebacks_;
+  TraceRecorder* trace_ = nullptr;
 };
 
 /// RAII pin guard: unpins on scope exit.

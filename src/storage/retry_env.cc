@@ -28,6 +28,7 @@ bool IsTransientIoError(const Status& s) {
 
 void RetryingIoEnv::BackOff(uint32_t attempt) {
   retries_.fetch_add(1, std::memory_order_relaxed);
+  TraceEmit(trace_, TraceEventType::kIoRetry, attempt);
   uint64_t backoff = policy_.base_backoff_micros;
   for (uint32_t i = 1; i < attempt && backoff < policy_.max_backoff_micros;
        ++i) {

@@ -6,6 +6,7 @@
 #include <memory>
 #include <string>
 
+#include "common/trace_ring.h"
 #include "storage/io_env.h"
 
 namespace tcob {
@@ -59,6 +60,9 @@ class RetryingIoEnv final : public IoEnv {
   const IoRetryPolicy& policy() const { return policy_; }
   IoEnv* base() const { return base_; }
 
+  /// Attaches the flight recorder (io_retry events).
+  void set_trace(TraceRecorder* trace) { trace_ = trace; }
+
  private:
   friend class RetryingIoFile;
 
@@ -69,6 +73,7 @@ class RetryingIoEnv final : public IoEnv {
   IoEnv* base_;
   const IoRetryPolicy policy_;
   std::atomic<uint64_t> retries_{0};
+  TraceRecorder* trace_ = nullptr;
   /// Cheap deterministic jitter source (LCG); collisions are harmless.
   std::atomic<uint64_t> jitter_state_{0x9e3779b97f4a7c15ull};
 };

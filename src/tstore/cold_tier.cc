@@ -170,6 +170,7 @@ Result<uint64_t> ColdTier::Migrate(
     migrated += info.version_count;
     segments_built_.Increment();
     output_bytes_.Add(info.bytes);
+    TraceEmit(trace_, TraceEventType::kTierSegmentBuild, info.version_count);
   }
   versions_migrated_.Add(migrated);
   input_bytes_.Add(total_input);

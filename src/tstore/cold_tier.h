@@ -137,6 +137,9 @@ class ColdTier {
   /// it only counts as budget pressure.
   void set_memory_budget(ResourceBudget* budget) { memory_budget_ = budget; }
 
+  /// Attaches the flight recorder (segment-build events).
+  void set_trace(TraceRecorder* trace) { trace_ = trace; }
+
   /// Publishes the tier counters into `registry` under tcob_cold_*.
   void RegisterMetrics(MetricsRegistry* registry) const {
     registry->RegisterCounter("tcob_cold_segments_pruned_total",
@@ -175,6 +178,7 @@ class ColdTier {
   BufferPool* pool_;
   std::string prefix_;
   ResourceBudget* memory_budget_ = nullptr;
+  TraceRecorder* trace_ = nullptr;
 
   // Lazy catalog; guarded by mu_ for load/registration. Loaded states
   // are only mutated by the single-threaded write path (migrate,

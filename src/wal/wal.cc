@@ -40,14 +40,17 @@ Status WriteAheadLog::Append(const Slice& payload) {
   write_pos_ += frame.size();
   appended_.Increment();
   appended_bytes_.Add(frame.size());
+  TraceEmit(trace_, TraceEventType::kWalAppend, payload.size());
   return Status::OK();
 }
 
 Status WriteAheadLog::Sync() {
   TCOB_RETURN_NOT_OK(health_);
+  TraceEmit(trace_, TraceEventType::kWalFsyncBegin);
   Status st = file_->Sync();
   if (!st.ok()) health_ = st;
   if (st.ok()) syncs_.Increment();
+  TraceEmit(trace_, TraceEventType::kWalFsyncEnd);
   return st;
 }
 

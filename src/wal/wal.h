@@ -8,6 +8,7 @@
 
 #include "common/metrics.h"
 #include "common/result.h"
+#include "common/trace_ring.h"
 #include "common/slice.h"
 #include "storage/io_env.h"
 
@@ -77,6 +78,9 @@ class WriteAheadLog {
   /// OK while the log is healthy; the poisoning error afterwards.
   const Status& health() const { return health_; }
 
+  /// Attaches the flight recorder (append/fsync events).
+  void set_trace(TraceRecorder* trace) { trace_ = trace; }
+
   /// Publishes the log counters into `registry` under tcob_wal_*.
   void RegisterMetrics(MetricsRegistry* registry) const {
     registry->RegisterCounter("tcob_wal_appends_total", &appended_);
@@ -101,6 +105,7 @@ class WriteAheadLog {
   Counter syncs_;
   Counter truncates_;
   Status health_;
+  TraceRecorder* trace_ = nullptr;
 };
 
 }  // namespace tcob

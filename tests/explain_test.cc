@@ -7,6 +7,7 @@
 
 #include <map>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <utility>
 #include <vector>
@@ -212,6 +213,68 @@ TEST_P(ExplainTest, RepeatedParallelQueriesGiveIdenticalCounterDeltas) {
                 first.at("tcob_store_get_as_of_total") +
                 first.at("tcob_store_scan_as_of_total"),
             0u);
+}
+
+TEST(SlowQueryLogTest, StreamingCursorLogsOnceAtFinalize) {
+  // A slowly drained cursor must produce exactly one slow-query line,
+  // emitted at finalize (after the last row), stamped with the
+  // streaming surface — not one line per Next() and nothing at open.
+  std::mutex mu;
+  std::vector<std::string> lines;
+  SetLogSink([&](const LogEntry& entry, const std::string& formatted) {
+    if (entry.level == LogLevel::kWarn) {
+      std::lock_guard<std::mutex> lock(mu);
+      lines.push_back(formatted);
+    }
+  });
+  auto slow_lines = [&] {
+    std::lock_guard<std::mutex> lock(mu);
+    size_t n = 0;
+    for (const std::string& line : lines) {
+      if (line.find("slow query") != std::string::npos) ++n;
+    }
+    return n;
+  };
+  {
+    TempDir dir;
+    DatabaseOptions options;
+    options.slow_query_threshold_micros = 1;  // everything is "slow"
+    auto db = Database::Open(dir.path() + "/db", options).value();
+    CompanyConfig config;
+    config.depts = 2;
+    config.emps_per_dept = 2;
+    config.projs_per_emp = 1;
+    config.versions_per_atom = 2;
+    ASSERT_TRUE(BuildCompany(db.get(), config).ok());
+    auto cursor = db->Query("SELECT ALL FROM DeptMol VALID AT NOW");
+    ASSERT_TRUE(cursor.ok());
+    // Drain one row at a time; nothing may be logged mid-stream.
+    std::vector<Value> row;
+    size_t rows = 0;
+    while (true) {
+      auto more = cursor.value()->Next(&row);
+      ASSERT_TRUE(more.ok());
+      if (!more.value()) break;
+      ++rows;
+      if (rows == 1) {
+        EXPECT_EQ(slow_lines(), 0u);
+      }
+    }
+    EXPECT_GT(rows, 0u);
+    cursor.value()->Close();
+    EXPECT_EQ(slow_lines(), 1u);
+    EXPECT_EQ(db->last_query_stats().surface, "streaming");
+    EXPECT_EQ(db->last_query_stats().disposition, "ok");
+  }
+  SetLogSink(nullptr);
+  bool streaming_stamp = false;
+  for (const std::string& line : lines) {
+    if (line.find("slow query") != std::string::npos &&
+        line.find("surface: streaming") != std::string::npos) {
+      streaming_stamp = true;
+    }
+  }
+  EXPECT_TRUE(streaming_stamp);
 }
 
 TEST(SlowQueryLogTest, ThresholdTriggersWarnLog) {

@@ -13,6 +13,8 @@
 
 #include <gtest/gtest.h>
 
+#include <fstream>
+#include <iterator>
 #include <memory>
 #include <string>
 
@@ -76,6 +78,38 @@ class FaultInjectionTest : public ::testing::TestWithParam<StorageStrategy> {
   TempDir dir_;
   LogLevel saved_level_ = LogLevel::kInfo;
 };
+
+TEST_P(FaultInjectionTest, FailedWalSyncDumpsFlightRecorder) {
+  // Degrading to read-only must leave a flight-recorder dump in
+  // trace.dump_dir: a well-formed Chrome trace_event JSON file whose
+  // ring still holds the WAL/query events leading up to the failure.
+  FaultInjectingIoEnv env;
+  TempDir dump_dir;
+  DatabaseOptions options = Options(&env);
+  options.trace.dump_dir = dump_dir.path();
+  auto db = Database::Open(db_dir(), options);
+  ASSERT_TRUE(db.ok()) << db.status().ToString();
+  ASSERT_TRUE((*db)->ExecuteScript(kSetup).ok());
+
+  env.FailSyncAt(env.syncs() + 1);
+  auto denied =
+      (*db)->Execute("UPDATE ATOM Emp 2 SET salary=99 VALID FROM 20");
+  ASSERT_FALSE(denied.ok());
+  ASSERT_EQ((*db)->health_state(), HealthState::kReadOnly);
+
+  const std::string path = dump_dir.path() + "/trace-read-only-1.json";
+  std::ifstream in(path, std::ios::binary);
+  ASSERT_TRUE(in.good()) << "missing dump " << path;
+  std::string dump((std::istreambuf_iterator<char>(in)),
+                   std::istreambuf_iterator<char>());
+  EXPECT_EQ(dump.rfind("{\"displayTimeUnit\":\"ms\",\"traceEvents\":[", 0),
+            0u);
+  EXPECT_EQ(dump.compare(dump.size() - 2, 2, "]}"), 0);
+  // The events that explain the failure are in the dump: WAL appends
+  // from the setup script and the health transition itself.
+  EXPECT_NE(dump.find("\"name\":\"wal_append\""), std::string::npos);
+  EXPECT_NE(dump.find("\"name\":\"health_transition\""), std::string::npos);
+}
 
 TEST_P(FaultInjectionTest, FailedWalSyncPoisonsFailStop) {
   FaultInjectingIoEnv env;

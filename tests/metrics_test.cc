@@ -148,6 +148,45 @@ TEST(MetricsSnapshotTest, TextRendering) {
   EXPECT_NE(text.find("tcob_test_us_count 2"), std::string::npos);
 }
 
+TEST(HistogramTest, QuantileInterpolatesWithinBucket) {
+  Histogram h({10, 100, 1000});
+  // 100 observations spread 10 into (0,10], 80 into (10,100], 10 into
+  // (100,1000].
+  for (int i = 0; i < 10; ++i) h.Observe(5);
+  for (int i = 0; i < 80; ++i) h.Observe(50);
+  for (int i = 0; i < 10; ++i) h.Observe(500);
+  HistogramSnapshot s = h.Snapshot();
+  // Rank 50 lands 40/80 into the (10,100] bucket: 10 + 90 * 0.5 = 55.
+  EXPECT_DOUBLE_EQ(s.Quantile(0.50), 55.0);
+  // Rank 95 lands 5/10 into the (100,1000] bucket: 100 + 900 * 0.5.
+  EXPECT_DOUBLE_EQ(s.Quantile(0.95), 550.0);
+  // q=1 is the far edge of the last occupied bucket.
+  EXPECT_DOUBLE_EQ(s.Quantile(1.0), 1000.0);
+}
+
+TEST(HistogramTest, QuantileEdgeCases) {
+  Histogram h({10, 100});
+  EXPECT_DOUBLE_EQ(h.Snapshot().Quantile(0.5), 0.0);  // empty
+  h.Observe(5000);                                    // +inf bucket
+  // Everything past the last finite bound clamps there.
+  EXPECT_DOUBLE_EQ(h.Snapshot().Quantile(0.99), 100.0);
+}
+
+TEST(MetricsSnapshotTest, QuantileLinesRendered) {
+  MetricsRegistry registry;
+  Histogram h({10, 100});
+  for (int i = 0; i < 10; ++i) h.Observe(50);
+  registry.RegisterHistogram("tcob_q_us", &h);
+  std::string text = registry.Snapshot().ToText();
+  EXPECT_NE(text.find("tcob_q_us_p50 "), std::string::npos);
+  EXPECT_NE(text.find("tcob_q_us_p95 "), std::string::npos);
+  EXPECT_NE(text.find("tcob_q_us_p99 "), std::string::npos);
+  std::string json = registry.Snapshot().ToJson();
+  EXPECT_NE(json.find("\"p50\":"), std::string::npos);
+  EXPECT_NE(json.find("\"p95\":"), std::string::npos);
+  EXPECT_NE(json.find("\"p99\":"), std::string::npos);
+}
+
 TEST(MetricsSnapshotTest, JsonRendering) {
   MetricsRegistry registry;
   Counter c;

@@ -133,6 +133,26 @@ void WriteArtifact(const Args& args, const tcob::sim::ShrinkResult& shrunk) {
   std::fwrite(body.data(), 1, body.size(), f);
   std::fclose(f);
   std::fprintf(stderr, "fuzz_sim: artifact written to %s\n", path.c_str());
+
+  // The failing instance's flight-recorder dump rides along: open it in
+  // Perfetto / chrome://tracing to see what the engine was doing when
+  // the divergence surfaced.
+  if (!shrunk.failure.failure_trace_json.empty()) {
+    std::string trace_path = args.artifact_dir + "/seed-" +
+                             std::to_string(shrunk.workload.seed) +
+                             "-trace.json";
+    FILE* tf = std::fopen(trace_path.c_str(), "w");
+    if (tf == nullptr) {
+      std::fprintf(stderr, "fuzz_sim: cannot write trace dump %s\n",
+                   trace_path.c_str());
+      return;
+    }
+    std::fwrite(shrunk.failure.failure_trace_json.data(), 1,
+                shrunk.failure.failure_trace_json.size(), tf);
+    std::fclose(tf);
+    std::fprintf(stderr, "fuzz_sim: trace dump written to %s\n",
+                 trace_path.c_str());
+  }
 }
 
 }  // namespace

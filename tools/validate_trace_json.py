@@ -1,0 +1,109 @@
+#!/usr/bin/env python3
+"""Validate a TCOB flight-recorder dump (Chrome trace_event JSON).
+
+Checks, in order:
+  1. The file parses as JSON and is an object with "displayTimeUnit"
+     and a "traceEvents" list.
+  2. Every event is an object carrying the required keys for its phase
+     ("name", "ph", "pid", "tid", and "ts" for non-metadata events).
+  3. Timestamps are non-decreasing in emission order (metadata "M"
+     events are exempt — they carry no ts).
+  4. Duration events balance: within each (pid, tid) lane, every "E"
+     closes the most recent open "B" with the same name (strict LIFO),
+     and no "B" is left open at the end of the stream.
+
+Dependency-free (stdlib json only) so it can run in any CI job.
+Exit status 0 on success, 1 with a message on the first failure.
+
+Usage: validate_trace_json.py FILE [FILE...]
+"""
+
+import json
+import sys
+
+
+class ValidationError(Exception):
+    pass
+
+
+def validate(path):
+    try:
+        with open(path, "r", encoding="utf-8") as f:
+            doc = json.load(f)
+    except (OSError, ValueError) as e:
+        raise ValidationError("cannot parse %s: %s" % (path, e))
+
+    if not isinstance(doc, dict):
+        raise ValidationError("top level must be a JSON object")
+    if "displayTimeUnit" not in doc:
+        raise ValidationError("missing displayTimeUnit")
+    events = doc.get("traceEvents")
+    if not isinstance(events, list):
+        raise ValidationError("traceEvents must be a list")
+
+    last_ts = None
+    stacks = {}  # (pid, tid) -> [name, ...] of open B spans
+    counts = {"B": 0, "E": 0, "i": 0, "M": 0}
+    for idx, ev in enumerate(events):
+        where = "traceEvents[%d]" % idx
+        if not isinstance(ev, dict):
+            raise ValidationError("%s is not an object" % where)
+        for key in ("name", "ph", "pid", "tid"):
+            if key not in ev:
+                raise ValidationError("%s missing %r" % (where, key))
+        ph = ev["ph"]
+        if ph not in ("B", "E", "i", "M"):
+            raise ValidationError("%s has unknown ph %r" % (where, ph))
+        counts[ph] += 1
+        if ph == "M":
+            continue  # metadata: no ts, no ordering constraint
+
+        ts = ev.get("ts")
+        if not isinstance(ts, (int, float)):
+            raise ValidationError("%s missing numeric ts" % where)
+        if last_ts is not None and ts < last_ts:
+            raise ValidationError(
+                "%s ts %s went backwards (previous %s)" % (where, ts, last_ts))
+        last_ts = ts
+
+        lane = (ev["pid"], ev["tid"])
+        if ph == "B":
+            stacks.setdefault(lane, []).append(ev["name"])
+        elif ph == "E":
+            stack = stacks.get(lane)
+            if not stack:
+                raise ValidationError(
+                    "%s closes %r on lane %s with no open span"
+                    % (where, ev["name"], lane))
+            if stack[-1] != ev["name"]:
+                raise ValidationError(
+                    "%s closes %r but lane %s has %r open"
+                    % (where, ev["name"], lane, stack[-1]))
+            stack.pop()
+
+    for lane, stack in stacks.items():
+        if stack:
+            raise ValidationError(
+                "lane %s left spans open at end of stream: %s" % (lane, stack))
+
+    return counts
+
+
+def main(argv):
+    if len(argv) < 2:
+        sys.stderr.write("usage: validate_trace_json.py FILE [FILE...]\n")
+        return 1
+    for path in argv[1:]:
+        try:
+            counts = validate(path)
+        except ValidationError as e:
+            sys.stderr.write("%s: INVALID: %s\n" % (path, e))
+            return 1
+        total = sum(counts.values())
+        print("%s: OK (%d events: %d spans, %d instants, %d metadata)"
+              % (path, total, counts["B"], counts["i"], counts["M"]))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))
