@@ -22,6 +22,9 @@
 //   .trace        flight recorder: on/off, or dump Perfetto JSON to FILE
 //   .health       show the degradation state and its cause
 //   .recover      try to return a read-only database to full service
+//   .begin        open the session transaction (same as BEGIN;)
+//   .commit       commit it (same as COMMIT;) — may report a conflict
+//   .abort        discard it (same as ABORT;)
 //   .quit         exit
 //
 // SELECT results stream: rows print as the engine produces them (a
@@ -62,9 +65,10 @@ constexpr char kHelp[] = R"(MQL cheat sheet
   VACUUM BEFORE 100;
   SHOW CATALOG;
   SHOW STATS;
+  BEGIN; ... COMMIT;  -- snapshot-isolated transaction (or ABORT;)
 Meta: .help .checkpoint .now [t] .strategy .metrics .tiering
       .tier_migrate .timing .timeout [ms] .trace [on|off|dump FILE]
-      .health .recover .quit
+      .health .recover .begin .commit .abort .quit
 Attribute types: BOOL INT DOUBLE STRING TIMESTAMP ID
 Temporal predicates: OVERLAPS CONTAINS BEFORE MEETS DURING, VALID(Type),
 BEGIN(...), END(...), interval literals [a, b), NOW.
@@ -183,6 +187,15 @@ bool HandleMeta(Database* db, const std::string& line, bool* timing) {
     }
     printf("trace %s\n",
            db->trace_recorder()->is_enabled() ? "on" : "off");
+  } else if (line == ".begin") {
+    Status s = db->BeginSession();
+    printf("%s\n", s.ok() ? "transaction started" : s.ToString().c_str());
+  } else if (line == ".commit") {
+    Status s = db->CommitSession();
+    printf("%s\n", s.ok() ? "committed" : s.ToString().c_str());
+  } else if (line == ".abort") {
+    Status s = db->AbortSession();
+    printf("%s\n", s.ok() ? "aborted" : s.ToString().c_str());
   } else if (line == ".tiering") {
     PrintTiering(db);
   } else if (line == ".tier_migrate") {

@@ -1,6 +1,7 @@
 #ifndef TCOB_CATALOG_CATALOG_H_
 #define TCOB_CATALOG_CATALOG_H_
 
+#include <atomic>
 #include <map>
 #include <memory>
 #include <string>
@@ -23,6 +24,21 @@ class IoEnv;
 class Catalog {
  public:
   Catalog() = default;
+
+  // The atom-surrogate sequence is atomic (concurrent transactions
+  // allocate ids lock-free), which forfeits the implicit moves; these
+  // run single-threaded (open/recovery), so plain load/store suffices.
+  Catalog(Catalog&& other) noexcept { *this = std::move(other); }
+  Catalog& operator=(Catalog&& other) noexcept {
+    atom_types_ = std::move(other.atom_types_);
+    link_types_ = std::move(other.link_types_);
+    molecule_types_ = std::move(other.molecule_types_);
+    attr_indexes_ = std::move(other.attr_indexes_);
+    next_type_id_ = other.next_type_id_;
+    next_atom_id_.store(other.next_atom_id_.load(std::memory_order_relaxed),
+                        std::memory_order_relaxed);
+    return *this;
+  }
 
   // ---- DDL ----
 
@@ -69,13 +85,22 @@ class Catalog {
   std::vector<const AttrIndexDef*> AttrIndexesOf(TypeId type) const;
   std::vector<const AttrIndexDef*> AttrIndexes() const;
 
-  /// Next fresh atom surrogate (persisted with the catalog).
-  AtomId NextAtomId() { return next_atom_id_++; }
+  /// Next fresh atom surrogate (persisted with the catalog). Atomic so
+  /// concurrent transactions can buffer inserts without a collision.
+  AtomId NextAtomId() {
+    return next_atom_id_.fetch_add(1, std::memory_order_relaxed);
+  }
   /// Highest surrogate handed out so far (for recovery bookkeeping).
-  AtomId CurrentAtomIdWatermark() const { return next_atom_id_; }
+  AtomId CurrentAtomIdWatermark() const {
+    return next_atom_id_.load(std::memory_order_relaxed);
+  }
   /// Raises the sequence so future ids do not collide (used by recovery).
   void AdvanceAtomIdWatermark(AtomId at_least) {
-    if (at_least > next_atom_id_) next_atom_id_ = at_least;
+    AtomId cur = next_atom_id_.load(std::memory_order_relaxed);
+    while (at_least > cur &&
+           !next_atom_id_.compare_exchange_weak(cur, at_least,
+                                                std::memory_order_relaxed)) {
+    }
   }
 
   // ---- persistence ----
@@ -100,7 +125,7 @@ class Catalog {
   std::map<MoleculeTypeId, MoleculeTypeDef> molecule_types_;
   std::map<IndexId, AttrIndexDef> attr_indexes_;
   uint32_t next_type_id_ = 1;
-  AtomId next_atom_id_ = 1;
+  std::atomic<AtomId> next_atom_id_{1};
 };
 
 }  // namespace tcob

@@ -22,6 +22,8 @@ enum class StatusCode : int {
   kTypeError = 11,
   kDeadlineExceeded = 12,
   kCancelled = 13,
+  kTxnConflict = 14,
+  kFailedPrecondition = 15,
 };
 
 /// Returns a human-readable name for `code` ("OK", "NotFound", ...).
@@ -78,6 +80,12 @@ class Status {
   static Status Cancelled(std::string msg) {
     return Status(StatusCode::kCancelled, std::move(msg));
   }
+  static Status TxnConflict(std::string msg) {
+    return Status(StatusCode::kTxnConflict, std::move(msg));
+  }
+  static Status FailedPrecondition(std::string msg) {
+    return Status(StatusCode::kFailedPrecondition, std::move(msg));
+  }
 
   bool ok() const { return code_ == StatusCode::kOk; }
   StatusCode code() const { return code_; }
@@ -97,6 +105,10 @@ class Status {
     return code_ == StatusCode::kDeadlineExceeded;
   }
   bool IsCancelled() const { return code_ == StatusCode::kCancelled; }
+  bool IsTxnConflict() const { return code_ == StatusCode::kTxnConflict; }
+  bool IsFailedPrecondition() const {
+    return code_ == StatusCode::kFailedPrecondition;
+  }
 
   /// "OK" or "<CodeName>: <message>".
   std::string ToString() const;

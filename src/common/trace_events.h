@@ -21,12 +21,13 @@ enum : uint32_t {
   kTraceCatBudget = 1u << 8,      // memory-budget refusal / pressure
   kTraceCatHealth = 1u << 9,      // health-state transitions
   kTraceCatIo = 1u << 10,         // transient-I/O retries
-  kTraceCatAll = (1u << 11) - 1,
+  kTraceCatTxn = 1u << 11,        // transaction begin/commit/abort
+  kTraceCatAll = (1u << 12) - 1,
 };
 
 /// Number of category bits (the recorder keeps a recorded/dropped
 /// counter pair per category).
-constexpr int kTraceCategoryCount = 11;
+constexpr int kTraceCategoryCount = 12;
 
 /// Lowercase name of one category *bit* ("query", "wal", ...); "?" for
 /// anything that is not exactly one known bit.
@@ -61,6 +62,10 @@ enum class TraceEventType : uint16_t {
   kBudgetPressure,   // instant; arg = refused bytes
   kHealthTransition, // instant; arg = HealthState ordinal
   kIoRetry,          // instant; arg = failed attempts so far
+  kTxnBegin,         // instant; arg = txn id
+  kTxnCommit,        // instant; arg = txn id
+  kTxnAbort,         // instant; arg = txn id
+  kTxnConflict,      // instant; arg = txn id that lost the race
 };
 
 /// Operator spans emitted by the executor and the fan-out workers

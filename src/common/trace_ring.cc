@@ -56,6 +56,7 @@ const char* TraceCategoryName(uint32_t cat_bit) {
     case kTraceCatBudget: return "budget";
     case kTraceCatHealth: return "health";
     case kTraceCatIo: return "io";
+    case kTraceCatTxn: return "txn";
     default: return "?";
   }
 }
@@ -97,6 +98,11 @@ uint32_t TraceEventCategory(TraceEventType t) {
       return kTraceCatHealth;
     case TraceEventType::kIoRetry:
       return kTraceCatIo;
+    case TraceEventType::kTxnBegin:
+    case TraceEventType::kTxnCommit:
+    case TraceEventType::kTxnAbort:
+    case TraceEventType::kTxnConflict:
+      return kTraceCatTxn;
   }
   return kTraceCatQuery;
 }
@@ -189,6 +195,10 @@ const char* TraceEventName(TraceEventType t, uint64_t arg) {
     case TraceEventType::kBudgetPressure: return "budget_pressure";
     case TraceEventType::kHealthTransition: return "health_transition";
     case TraceEventType::kIoRetry: return "io_retry";
+    case TraceEventType::kTxnBegin: return "txn_begin";
+    case TraceEventType::kTxnCommit: return "txn_commit";
+    case TraceEventType::kTxnAbort: return "txn_abort";
+    case TraceEventType::kTxnConflict: return "txn_conflict";
   }
   return "event";
 }

@@ -4,6 +4,7 @@
 #include <cstring>
 #include <map>
 #include <optional>
+#include <set>
 #include <thread>
 
 #include "common/coding.h"
@@ -37,6 +38,15 @@ Result<std::unique_ptr<Database>> Database::Open(
 }
 
 Database::~Database() {
+  // The session transaction dies with the instance (its buffered
+  // operations are discarded); any *external* Transaction still alive
+  // sees the token expire and degrades to FailedPrecondition instead
+  // of dereferencing freed components.
+  if (session_txn_ != nullptr) {
+    session_txn_->Abort();
+    session_txn_.reset();
+  }
+  alive_token_.reset();
   if (!initialized_) {
     // Open failed partway; the directory's contents are untrusted and
     // must not be overwritten by a best-effort flush.
@@ -117,6 +127,8 @@ Status Database::Init() {
   attr_indexes_ = std::make_unique<AttrIndexManager>(pool_.get(), &catalog_);
   TCOB_ASSIGN_OR_RETURN(wal_, WriteAheadLog::Open(dir_ + "/wal.log", env_));
   wal_->set_trace(&trace_rec_);
+  wal_->set_group_commit(options_.group_commit,
+                         options_.group_commit_window_micros);
   TCOB_RETURN_NOT_OK(LoadMeta());
   TCOB_RETURN_NOT_OK(Recover());
   recovery_stats_.journal_pages_applied =
@@ -152,12 +164,21 @@ void Database::RegisterMetrics() {
                            &query_cancelled_total_);
   metrics_.RegisterCounter("tcob_query_deadline_exceeded_total",
                            &query_deadline_exceeded_total_);
+  metrics_.RegisterCounter("tcob_txns_begun_total", &txns_begun_total_);
+  metrics_.RegisterCounter("tcob_txns_committed_total",
+                           &txns_committed_total_);
+  metrics_.RegisterCounter("tcob_txns_aborted_total", &txns_aborted_total_);
+  metrics_.RegisterCounter("tcob_txn_conflicts_total",
+                           &txn_conflicts_total_);
   metrics_.RegisterHistogram("tcob_query_latency_us", &query_latency_us_);
+  metrics_.RegisterGaugeFn("tcob_txns_active", [this]() {
+    return static_cast<int64_t>(txn_manager_.active_txns());
+  });
   metrics_.RegisterGaugeFn("tcob_clock_now", [this]() {
-    return static_cast<int64_t>(now_);
+    return static_cast<int64_t>(Now());
   });
   metrics_.RegisterGaugeFn("tcob_health_state", [this]() {
-    return static_cast<int64_t>(health_state_);
+    return static_cast<int64_t>(health_state());
   });
   metrics_.RegisterGaugeFn("tcob_memory_budget_cap_bytes", [this]() {
     return static_cast<int64_t>(memory_budget_.cap());
@@ -203,6 +224,9 @@ void Database::RegisterMetrics() {
   metrics_.RegisterGaugeFn("tcob_recovery_wal_dropped_tail_bytes", [this]() {
     return static_cast<int64_t>(recovery_stats_.wal_dropped_tail_bytes);
   });
+  metrics_.RegisterGaugeFn("tcob_recovery_discarded_txn_ops", [this]() {
+    return static_cast<int64_t>(recovery_stats_.discarded_txn_ops);
+  });
 }
 
 Status Database::Recover() {
@@ -218,10 +242,34 @@ Status Database::Recover() {
   const uint64_t base = next_op_seq_;
   recovery_stats_ = RecoveryStats{};
   recovery_stats_.checkpoint_base_seq = base;
+  // Pass 1: which transactions actually committed? A transaction's
+  // operations and its commit record are appended in one writer-mutex
+  // critical section, so an uncommitted transaction's operations can
+  // only be the log's final records (the crash hit between the group's
+  // enqueue and its fsync) — but per-transaction atomicity is decided
+  // here by the commit record's presence, not by position.
+  std::set<uint64_t> committed_txns;
+  Status scan = wal_->ReadAll([&](const Slice& payload) -> Result<bool> {
+    TCOB_ASSIGN_OR_RETURN(WalOp op, WalOp::Decode(payload, schema_lookup));
+    if (op.type == WalOpType::kCommit && op.txn_id != 0) {
+      committed_txns.insert(op.txn_id);
+    }
+    return true;
+  });
+  TCOB_RETURN_NOT_OK(scan);
+  // Pass 2: apply. Operations of uncommitted transactions are
+  // discarded wholesale and do not consume sequence numbers (the
+  // watermark must equal what the surviving prefix applied).
   WalReadStats wal_stats;
   Status replay = wal_->ReadAll(
       [&](const Slice& payload) -> Result<bool> {
         TCOB_ASSIGN_OR_RETURN(WalOp op, WalOp::Decode(payload, schema_lookup));
+        if (op.txn_id != 0 && op.type != WalOpType::kCommit &&
+            op.type != WalOpType::kCheckpoint &&
+            committed_txns.count(op.txn_id) == 0) {
+          ++recovery_stats_.discarded_txn_ops;
+          return true;
+        }
         if (op.op_seq + 1 > next_op_seq_) next_op_seq_ = op.op_seq + 1;
         if (op.type == WalOpType::kCommit ||
             op.type == WalOpType::kCheckpoint) {
@@ -238,6 +286,10 @@ Status Database::Recover() {
       },
       &wal_stats);
   TCOB_RETURN_NOT_OK(replay);
+  if (recovery_stats_.discarded_txn_ops > 0) {
+    TCOB_LOG(kWarn) << "discarded " << recovery_stats_.discarded_txn_ops
+                    << " operation(s) of uncommitted transaction(s)";
+  }
   recovery_stats_.wal_dropped_tail_bytes = wal_stats.dropped_tail_bytes;
   recovery_stats_.wal_tail_was_corrupt = wal_stats.tail_was_corrupt;
   if (wal_stats.dropped_tail_bytes > 0) {
@@ -370,6 +422,7 @@ Status Database::DumpTraceToFile(const std::string& path) const {
 }
 
 Status Database::LogAndApply(WalOp op) {
+  std::lock_guard<std::mutex> lk(writer_mu_);
   TCOB_RETURN_NOT_OK(CheckWritable());
   std::vector<AttrType> schema;
   if (op.type == WalOpType::kInsertAtom ||
@@ -382,7 +435,7 @@ Status Database::LogAndApply(WalOp op) {
   std::string payload;
   TCOB_RETURN_NOT_OK(op.Encode(schema, &payload));
   Status logged = wal_->Append(payload);
-  if (logged.ok() && options_.sync_wal) logged = wal_->Sync();
+  if (logged.ok() && options_.sync_wal) logged = wal_->SyncBatch();
   if (!logged.ok()) {
     // The WAL's durable state is unknowable (the record may be torn on
     // disk, a failed fsync may have dropped it); stop writing.
@@ -393,6 +446,10 @@ Status Database::LogAndApply(WalOp op) {
   Status applied = ApplyOp(op);
   if (applied.ok()) {
     ObserveTimestamp(op.valid_from);
+    // The statement is a single-key commit as far as snapshot
+    // validation goes: an open transaction that also wrote this entity
+    // must lose at its own Commit.
+    txn_manager_.CommitAuto(WriteKeyForOp(op));
   } else if (applied.IsIOError() || applied.IsCorruption()) {
     // The record is durably logged but the stores refused it for an
     // environmental reason: a replay would reapply it, so the in-memory
@@ -406,13 +463,59 @@ Status Database::LogAndApply(WalOp op) {
 
 // ---- transactions ----
 
-Transaction Database::Begin() { return Transaction(this, next_txn_id_++); }
+Transaction Database::Begin() {
+  const uint64_t txn_id =
+      next_txn_id_.fetch_add(1, std::memory_order_relaxed);
+  // Snapshot instant: the chronon just before NOW. Every commit
+  // stamped VALID FROM NOW after this point lands at >= NOW, strictly
+  // after the snapshot, so concurrent committers stay invisible.
+  const Timestamp snapshot = Now() - 1;
+  const uint64_t snapshot_seq = txn_manager_.BeginTxn(txn_id);
+  txns_begun_total_.Increment();
+  trace_rec_.Emit(TraceEventType::kTxnBegin, txn_id);
+  return Transaction(this, txn_id, snapshot, snapshot_seq, alive_token_);
+}
 
-Status Database::CommitOps(uint64_t txn_id, const std::vector<WalOp>& ops) {
-  TCOB_RETURN_NOT_OK(CheckWritable());
+void Database::OnTxnAborted(uint64_t txn_id) {
+  txn_manager_.EndTxn(txn_id);
+  txns_aborted_total_.Increment();
+  trace_rec_.Emit(TraceEventType::kTxnAbort, txn_id);
+}
+
+Status Database::CommitOps(uint64_t txn_id, const std::vector<WalOp>& ops,
+                           uint64_t snapshot_seq) {
+  if (ops.empty()) {
+    // A write-free transaction commits trivially: nothing to validate,
+    // nothing to log.
+    txn_manager_.EndTxn(txn_id);
+    txns_committed_total_.Increment();
+    trace_rec_.Emit(TraceEventType::kTxnCommit, txn_id);
+    return Status::OK();
+  }
+  std::vector<TxnWriteKey> keys;
+  keys.reserve(ops.size());
+  for (const WalOp& op : ops) keys.push_back(WriteKeyForOp(op));
+
+  std::unique_lock<std::mutex> lk(writer_mu_);
+  Status writable = CheckWritable();
+  if (!writable.ok()) {
+    txn_manager_.EndTxn(txn_id);
+    return writable;
+  }
+  // First-committer-wins: anyone who committed one of our write keys
+  // after our snapshot wins; we abort and our buffered ops vanish.
+  Status valid = txn_manager_.CheckConflict(snapshot_seq, keys);
+  if (!valid.ok()) {
+    txn_manager_.EndTxn(txn_id);
+    txn_conflicts_total_.Increment();
+    trace_rec_.Emit(TraceEventType::kTxnConflict, txn_id);
+    return valid;
+  }
   // Phase 1: log everything, ending with the commit record. Sequence
   // numbers are consumed per logged record so the watermark matches
-  // what a later replay will see.
+  // what a later replay will see. The whole batch is appended inside
+  // one writer-mutex critical section, so a transaction's records are
+  // contiguous in the log and its commit record directly follows them.
   std::vector<WalOp> stamped = ops;
   for (WalOp& op : stamped) {
     std::vector<AttrType> schema;
@@ -427,6 +530,7 @@ Status Database::CommitOps(uint64_t txn_id, const std::vector<WalOp>& ops) {
     TCOB_RETURN_NOT_OK(op.Encode(schema, &payload));
     Status logged = wal_->Append(payload);
     if (!logged.ok()) {
+      txn_manager_.EndTxn(txn_id);
       Poison(logged);
       return logged;
     }
@@ -439,15 +543,16 @@ Status Database::CommitOps(uint64_t txn_id, const std::vector<WalOp>& ops) {
   std::string payload;
   TCOB_RETURN_NOT_OK(commit.Encode({}, &payload));
   Status logged = wal_->Append(payload);
-  if (logged.ok() && options_.sync_wal) logged = wal_->Sync();
   if (!logged.ok()) {
+    txn_manager_.EndTxn(txn_id);
     Poison(logged);
     return logged;
   }
   ++next_op_seq_;
-  // Phase 2: apply. Validation at buffering time plus single-threaded
-  // execution guarantee success; a failure here is an internal bug (the
-  // WAL already has the operations, so recovery would reapply them).
+  // Phase 2: apply. Validation at buffering time plus the conflict
+  // check guarantee success; a failure here means the in-memory image
+  // diverged from the log (the commit record is already appended, so
+  // recovery would reapply the batch).
   for (const WalOp& op : stamped) {
     Status applied = ApplyOp(op);
     if (!applied.ok()) {
@@ -456,11 +561,62 @@ Status Database::CommitOps(uint64_t txn_id, const std::vector<WalOp>& ops) {
                            applied.ToString());
       // The commit record is durable but the image is now partial; no
       // further access can be trusted.
+      txn_manager_.EndTxn(txn_id);
       FailHard(wrapped);
       return wrapped;
     }
     ObserveTimestamp(op.valid_from);
   }
+  txn_manager_.Commit(txn_id, std::move(keys));
+  txns_committed_total_.Increment();
+  trace_rec_.Emit(TraceEventType::kTxnCommit, txn_id);
+  // Phase 3: durability — *outside* the writer mutex, so concurrent
+  // committers reach SyncBatch together and share one group fsync.
+  // The effects are visible before they are durable (standard early
+  // lock release); the ack below only happens once the group's fsync
+  // covered this commit record. A crash in between recovers to the
+  // unacked transaction being absent or present atomically — never
+  // partial — via the two-pass replay.
+  lk.unlock();
+  if (options_.sync_wal) {
+    Status synced = wal_->SyncBatch();
+    if (!synced.ok()) {
+      std::lock_guard<std::mutex> relk(writer_mu_);
+      Poison(synced);
+      return synced;
+    }
+  }
+  return Status::OK();
+}
+
+Status Database::BeginSession() {
+  {
+    std::lock_guard<std::mutex> lk(writer_mu_);
+    TCOB_RETURN_NOT_OK(CheckWritable());
+  }
+  if (InSessionTxn()) {
+    return Status::InvalidArgument(
+        "a transaction is already open; COMMIT or ABORT it first");
+  }
+  session_txn_.reset(new Transaction(Begin()));
+  return Status::OK();
+}
+
+Status Database::CommitSession() {
+  if (!InSessionTxn()) {
+    return Status::InvalidArgument("no open transaction");
+  }
+  Status committed = session_txn_->Commit();
+  session_txn_.reset();
+  return committed;
+}
+
+Status Database::AbortSession() {
+  if (!InSessionTxn()) {
+    return Status::InvalidArgument("no open transaction");
+  }
+  session_txn_->Abort();
+  session_txn_.reset();
   return Status::OK();
 }
 
@@ -478,6 +634,7 @@ Status Database::SaveCatalog() {
 
 Result<TypeId> Database::CreateAtomType(const std::string& name,
                                         std::vector<AttributeDef> attributes) {
+  std::lock_guard<std::mutex> lk(writer_mu_);
   TCOB_RETURN_NOT_OK(CheckWritable());
   TCOB_ASSIGN_OR_RETURN(TypeId id,
                         catalog_.CreateAtomType(name, std::move(attributes)));
@@ -488,6 +645,7 @@ Result<TypeId> Database::CreateAtomType(const std::string& name,
 Result<LinkTypeId> Database::CreateLinkType(const std::string& name,
                                             const std::string& from_type,
                                             const std::string& to_type) {
+  std::lock_guard<std::mutex> lk(writer_mu_);
   TCOB_RETURN_NOT_OK(CheckWritable());
   TCOB_ASSIGN_OR_RETURN(const AtomTypeDef* from,
                         catalog_.GetAtomTypeByName(from_type));
@@ -502,6 +660,7 @@ Result<LinkTypeId> Database::CreateLinkType(const std::string& name,
 Result<MoleculeTypeId> Database::CreateMoleculeType(
     const std::string& name, const std::string& root_type,
     const std::vector<std::pair<std::string, bool>>& edges) {
+  std::lock_guard<std::mutex> lk(writer_mu_);
   TCOB_RETURN_NOT_OK(CheckWritable());
   TCOB_ASSIGN_OR_RETURN(const AtomTypeDef* root,
                         catalog_.GetAtomTypeByName(root_type));
@@ -521,6 +680,7 @@ Result<MoleculeTypeId> Database::CreateMoleculeType(
 Result<IndexId> Database::CreateAttrIndex(const std::string& name,
                                           const std::string& type_name,
                                           const std::string& attr_name) {
+  std::lock_guard<std::mutex> lk(writer_mu_);
   TCOB_RETURN_NOT_OK(CheckWritable());
   TCOB_ASSIGN_OR_RETURN(const AtomTypeDef* type,
                         catalog_.GetAtomTypeByName(type_name));
@@ -796,6 +956,19 @@ Result<std::unique_ptr<Cursor>> Database::NewSelectCursor(
   // The cursor may outlive the caller's statement (Query returns before
   // the rows are pulled), so the context owns a deep copy.
   ctx->stmt = CloneSelect(stmt);
+  // Inside the session transaction every read is pinned to its
+  // snapshot: NOW resolves to the snapshot instant, and an explicit
+  // VALID AT later than the snapshot is clamped back to it, so the
+  // transaction can never observe a concurrent committer.
+  Timestamp exec_now = Now();
+  if (InSessionTxn()) {
+    const Timestamp snapshot = session_txn_->snapshot();
+    exec_now = snapshot;
+    if (ctx->stmt.mode == TemporalMode::kAsOf && !ctx->stmt.at_now &&
+        ctx->stmt.at > snapshot) {
+      ctx->stmt.at = snapshot;
+    }
+  }
   if (text != nullptr) ctx->trace.statement = *text;
   ctx->trace.strategy = StorageStrategyName(options_.strategy);
   ctx->trace.parse_us = parse_us;
@@ -830,7 +1003,7 @@ Result<std::unique_ptr<Cursor>> Database::NewSelectCursor(
   ctx->mat.emplace(&catalog_, store_.get(), links_.get(), query_pool_.get());
   ctx->mat->set_governance(ctx->qctx.get(), &*ctx->lease);
   ctx->mat->set_trace_recorder(&trace_rec_);
-  ctx->exec.emplace(&catalog_, &*ctx->mat, now_, attr_indexes_.get());
+  ctx->exec.emplace(&catalog_, &*ctx->mat, exec_now, attr_indexes_.get());
   ctx->exec->set_trace(&ctx->trace);
   ctx->exec->set_context(ctx->qctx.get());
   ctx->exec->set_recorder(&trace_rec_);
@@ -962,7 +1135,10 @@ Result<ResultSet> Database::ExecuteStatementImpl(const Statement& stmt,
             return last_query_stats_.ToResultSet();
           }
           Materializer mat(&catalog_, store_.get(), links_.get(), query_pool_.get());
-          SelectExecutor exec(&catalog_, &mat, now_, attr_indexes_.get());
+          const Timestamp explain_now =
+              InSessionTxn() ? session_txn_->snapshot() : Now();
+          SelectExecutor exec(&catalog_, &mat, explain_now,
+                              attr_indexes_.get());
           return exec.Explain(s.select);
         } else if constexpr (std::is_same_v<T, CreateIndexStmt>) {
           TCOB_ASSIGN_OR_RETURN(
@@ -994,7 +1170,18 @@ Result<ResultSet> Database::ExecuteStatementImpl(const Statement& stmt,
                         std::to_string(id) + ")";
           return out;
         } else if constexpr (std::is_same_v<T, InsertStmt>) {
-          Timestamp from = s.from.is_now ? now_ : s.from.at;
+          Timestamp from = s.from.is_now ? Now() : s.from.at;
+          if (InSessionTxn()) {
+            TCOB_ASSIGN_OR_RETURN(
+                AtomId id,
+                session_txn_->InsertAtom(s.type_name, s.assignments, from));
+            out.inserted_id = id;
+            out.message = "buffered insert of atom #" + std::to_string(id) +
+                          " valid from " + TimestampToString(from) +
+                          " (transaction " +
+                          std::to_string(session_txn_->id()) + ")";
+            return out;
+          }
           TCOB_ASSIGN_OR_RETURN(AtomId id,
                                 InsertAtom(s.type_name, s.assignments, from));
           out.inserted_id = id;
@@ -1002,28 +1189,85 @@ Result<ResultSet> Database::ExecuteStatementImpl(const Statement& stmt,
                         " valid from " + TimestampToString(from);
           return out;
         } else if constexpr (std::is_same_v<T, UpdateStmt>) {
-          Timestamp from = s.from.is_now ? now_ : s.from.at;
+          Timestamp from = s.from.is_now ? Now() : s.from.at;
+          if (InSessionTxn()) {
+            TCOB_RETURN_NOT_OK(session_txn_->UpdateAtom(
+                s.type_name, s.atom_id, s.assignments, from));
+            out.message = "buffered update of atom #" +
+                          std::to_string(s.atom_id) + " valid from " +
+                          TimestampToString(from) + " (transaction " +
+                          std::to_string(session_txn_->id()) + ")";
+            return out;
+          }
           TCOB_RETURN_NOT_OK(
               UpdateAtom(s.type_name, s.atom_id, s.assignments, from));
           out.message = "updated atom #" + std::to_string(s.atom_id) +
                         " valid from " + TimestampToString(from);
           return out;
         } else if constexpr (std::is_same_v<T, DeleteStmt>) {
-          Timestamp from = s.from.is_now ? now_ : s.from.at;
+          Timestamp from = s.from.is_now ? Now() : s.from.at;
+          if (InSessionTxn()) {
+            TCOB_RETURN_NOT_OK(
+                session_txn_->DeleteAtom(s.type_name, s.atom_id, from));
+            out.message = "buffered delete of atom #" +
+                          std::to_string(s.atom_id) + " valid from " +
+                          TimestampToString(from) + " (transaction " +
+                          std::to_string(session_txn_->id()) + ")";
+            return out;
+          }
           TCOB_RETURN_NOT_OK(DeleteAtom(s.type_name, s.atom_id, from));
           out.message = "deleted atom #" + std::to_string(s.atom_id) +
                         " valid from " + TimestampToString(from);
           return out;
         } else if constexpr (std::is_same_v<T, ConnectStmt>) {
-          Timestamp at = s.from.is_now ? now_ : s.from.at;
+          Timestamp at = s.from.is_now ? Now() : s.from.at;
+          if (InSessionTxn()) {
+            TCOB_RETURN_NOT_OK(
+                session_txn_->Connect(s.link_name, s.from_id, s.to_id, at));
+            out.message = "buffered connect (transaction " +
+                          std::to_string(session_txn_->id()) + ")";
+            return out;
+          }
           TCOB_RETURN_NOT_OK(Connect(s.link_name, s.from_id, s.to_id, at));
           out.message = "connected";
           return out;
         } else if constexpr (std::is_same_v<T, DisconnectStmt>) {
-          Timestamp at = s.from.is_now ? now_ : s.from.at;
+          Timestamp at = s.from.is_now ? Now() : s.from.at;
+          if (InSessionTxn()) {
+            TCOB_RETURN_NOT_OK(session_txn_->Disconnect(s.link_name,
+                                                        s.from_id, s.to_id,
+                                                        at));
+            out.message = "buffered disconnect (transaction " +
+                          std::to_string(session_txn_->id()) + ")";
+            return out;
+          }
           TCOB_RETURN_NOT_OK(
               Disconnect(s.link_name, s.from_id, s.to_id, at));
           out.message = "disconnected";
+          return out;
+        } else if constexpr (std::is_same_v<T, BeginStmt>) {
+          TCOB_RETURN_NOT_OK(BeginSession());
+          out.message = "transaction " +
+                        std::to_string(session_txn_->id()) + " started";
+          return out;
+        } else if constexpr (std::is_same_v<T, CommitStmt>) {
+          if (!InSessionTxn()) {
+            return Status::InvalidArgument("no open transaction");
+          }
+          const uint64_t txn_id = session_txn_->id();
+          const size_t buffered = session_txn_->pending_ops();
+          TCOB_RETURN_NOT_OK(CommitSession());
+          out.message = "transaction " + std::to_string(txn_id) +
+                        " committed (" + std::to_string(buffered) +
+                        " operation(s))";
+          return out;
+        } else if constexpr (std::is_same_v<T, AbortStmt>) {
+          if (!InSessionTxn()) {
+            return Status::InvalidArgument("no open transaction");
+          }
+          const uint64_t txn_id = session_txn_->id();
+          TCOB_RETURN_NOT_OK(AbortSession());
+          out.message = "transaction " + std::to_string(txn_id) + " aborted";
           return out;
         } else if constexpr (std::is_same_v<T, ShowStatsStmt>) {
           out.columns = {"METRIC", "VALUE"};
@@ -1132,9 +1376,10 @@ Result<ResultSet> Database::ExecuteStatementImpl(const Statement& stmt,
 // ---- maintenance ----
 
 Result<uint64_t> Database::VacuumBefore(Timestamp cutoff) {
+  std::lock_guard<std::mutex> lk(writer_mu_);
   // The WAL may reference pre-cutoff versions (idempotency markers), so
   // flush + truncate it before touching the stores.
-  TCOB_RETURN_NOT_OK(Checkpoint());
+  TCOB_RETURN_NOT_OK(CheckpointLocked());
   uint64_t removed = 0;
   for (const AtomTypeDef* type : catalog_.AtomTypes()) {
     TCOB_ASSIGN_OR_RETURN(uint64_t n, store_->VacuumBefore(*type, cutoff));
@@ -1152,11 +1397,12 @@ Result<uint64_t> Database::VacuumBefore(Timestamp cutoff) {
     TCOB_RETURN_NOT_OK(links_->VacuumBefore(*link, cutoff).status());
   }
   TCOB_RETURN_NOT_OK(attr_indexes_->VacuumBefore(cutoff).status());
-  TCOB_RETURN_NOT_OK(Checkpoint());
+  TCOB_RETURN_NOT_OK(CheckpointLocked());
   return removed;
 }
 
 Result<uint64_t> Database::TierMigrate() {
+  std::lock_guard<std::mutex> lk(writer_mu_);
   TCOB_RETURN_NOT_OK(CheckWritable());
   if (cold_tier_ == nullptr) return static_cast<uint64_t>(0);
   // Same checkpoint discipline as VacuumBefore: the migration is a
@@ -1168,7 +1414,7 @@ Result<uint64_t> Database::TierMigrate() {
     TraceScope scope(&trace_rec_, TraceEventType::kTierPhaseBegin,
                      TraceEventType::kTierPhaseEnd,
                      static_cast<uint64_t>(TraceTierPhase::kCheckpoint));
-    TCOB_RETURN_NOT_OK(Checkpoint());
+    TCOB_RETURN_NOT_OK(CheckpointLocked());
   }
   const Timestamp cutoff = now_ > options_.tiering.cold_age
                                ? now_ - options_.tiering.cold_age
@@ -1214,7 +1460,7 @@ Result<uint64_t> Database::TierMigrate() {
     TraceScope scope(&trace_rec_, TraceEventType::kTierPhaseBegin,
                      TraceEventType::kTierPhaseEnd,
                      static_cast<uint64_t>(TraceTierPhase::kCheckpoint));
-    TCOB_RETURN_NOT_OK(Checkpoint());
+    TCOB_RETURN_NOT_OK(CheckpointLocked());
   }
   return migrated;
 }
@@ -1222,6 +1468,11 @@ Result<uint64_t> Database::TierMigrate() {
 // ---- durability ----
 
 Status Database::Checkpoint() {
+  std::lock_guard<std::mutex> lk(writer_mu_);
+  return CheckpointLocked();
+}
+
+Status Database::CheckpointLocked() {
   TCOB_RETURN_NOT_OK(CheckWritable());
   // Ordering is the crash-safety argument:
   //  1. every dirty page reaches the page journal (checksummed on
@@ -1278,6 +1529,7 @@ Status Database::Checkpoint() {
 }
 
 Status Database::Flush() {
+  std::lock_guard<std::mutex> lk(writer_mu_);
   TCOB_RETURN_NOT_OK(CheckWritable());
   TCOB_RETURN_NOT_OK(pool_->FlushAll());
   return SaveCatalog();

@@ -1,7 +1,9 @@
 #ifndef TCOB_DB_DATABASE_H_
 #define TCOB_DB_DATABASE_H_
 
+#include <atomic>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -13,6 +15,7 @@
 #include "common/thread_pool.h"
 #include "common/trace_ring.h"
 #include "db/transaction.h"
+#include "db/txn_manager.h"
 #include "index/attr_index.h"
 #include "mad/link_store.h"
 #include "mad/materializer.h"
@@ -57,6 +60,15 @@ struct DatabaseOptions {
   StoreOptions store;
   /// fdatasync the WAL after every auto-committed statement.
   bool sync_wal = false;
+  /// Group commit: concurrent committers share one WAL fsync (a leader
+  /// syncs for every committer queued at that moment; see
+  /// WriteAheadLog::SyncBatch). Disable to give every commit its own
+  /// fsync (the benchmark ablation).
+  bool group_commit = true;
+  /// Optional group-commit batching window: a leader waits up to this
+  /// many microseconds for more committers before issuing its fsync.
+  /// 0 relies on natural batching under an in-flight fsync.
+  uint64_t group_commit_window_micros = 0;
   /// Worker threads for the read path (molecule materialization fans out
   /// across them). 0 = one per hardware thread; 1 = fully serial
   /// execution, byte-identical to the pre-parallel code path. Writes are
@@ -130,6 +142,10 @@ struct RecoveryStats {
   /// op_seq watermark loaded from the meta file (first op not covered by
   /// the last checkpoint).
   uint64_t checkpoint_base_seq = 1;
+  /// Operations discarded because their transaction never reached its
+  /// commit record (the crash hit between a group's enqueue and fsync);
+  /// per-transaction atomicity discards them wholesale.
+  uint64_t discarded_txn_ops = 0;
   /// Bytes dropped from the WAL tail (torn final record after a crash).
   uint64_t wal_dropped_tail_bytes = 0;
   /// True when the dropped tail failed its CRC (vs merely truncated).
@@ -189,17 +205,32 @@ class Database {
   /// The database's NOW (a chronon). DML stamped "VALID FROM NOW" uses it
   /// and then advances it by one; explicit stamps pull it forward to
   /// stay monotone.
-  Timestamp Now() const { return now_; }
-  void SetNow(Timestamp t) { now_ = t; }
+  Timestamp Now() const { return now_.load(std::memory_order_acquire); }
+  void SetNow(Timestamp t) { now_.store(t, std::memory_order_release); }
 
   // ---- transactions ----
 
-  /// Starts an explicit transaction (see transaction.h). Only one
-  /// transaction should be open at a time (single-threaded execution
-  /// model); interleaving auto-commit DML with an open transaction is
-  /// allowed but the transaction validated against the state at
-  /// buffering time.
+  /// Starts an explicit snapshot-isolation transaction (see
+  /// transaction.h). Any number may be open concurrently — each reads
+  /// at its own snapshot, buffers its writes, and validates
+  /// first-committer-wins at Commit (the loser of a write-write race
+  /// gets TxnConflict). Commits group their WAL fsyncs.
   Transaction Begin();
+
+  /// The MQL transaction surface (BEGIN; / COMMIT; / ABORT; statements
+  /// and the shell's .begin/.commit/.abort): at most one *session*
+  /// transaction per Database. While it is open, DML statements buffer
+  /// into it and SELECTs pin its snapshot.
+  Status BeginSession();
+  Status CommitSession();
+  Status AbortSession();
+  bool InSessionTxn() const {
+    return session_txn_ != nullptr && session_txn_->active();
+  }
+
+  /// Number of explicit transactions currently open (session or
+  /// programmatic); introspection for tests and the degradation paths.
+  size_t ActiveTxns() const { return txn_manager_.active_txns(); }
 
   // ---- DML (auto-commit: WAL append, then apply) ----
 
@@ -345,7 +376,9 @@ class Database {
   bool IsPoisoned() const { return !fail_stop_.ok(); }
 
   /// Where this instance sits on the degradation ladder.
-  HealthState health_state() const { return health_state_; }
+  HealthState health_state() const {
+    return health_state_.load(std::memory_order_acquire);
+  }
 
   /// Attempts to climb back from kReadOnly to kHealthy: re-probes the
   /// I/O environment with a real write+sync+remove, and on success
@@ -422,12 +455,24 @@ class Database {
   /// Hands out a fresh atom surrogate (used by Transaction buffering).
   AtomId AllocateAtomId() { return catalog_.NextAtomId(); }
 
-  /// Transaction commit path: logs all `ops` plus a commit record (one
-  /// sync when configured), then applies them.
-  Status CommitOps(uint64_t txn_id, const std::vector<WalOp>& ops);
+  /// Transaction commit path: first-committer-wins validation against
+  /// commits sequenced after `snapshot_seq`, then logs all `ops` plus a
+  /// commit record and applies them under the writer mutex. The WAL
+  /// fsync (when configured) happens *outside* the mutex via SyncBatch,
+  /// so concurrent committers share one group fsync.
+  Status CommitOps(uint64_t txn_id, const std::vector<WalOp>& ops,
+                   uint64_t snapshot_seq);
+
+  /// Transaction::Abort's notification: unregisters the transaction
+  /// from conflict tracking and emits the abort trace event.
+  void OnTxnAborted(uint64_t txn_id);
 
   Status Init();
   Status Recover();
+
+  /// Checkpoint body; caller holds writer_mu_ (maintenance paths that
+  /// already hold it call this directly).
+  Status CheckpointLocked();
 
   /// Wires every component's counters into metrics_ (end of Init).
   void RegisterMetrics();
@@ -479,8 +524,13 @@ class Database {
 
   /// Refuses even reads once the instance reached kFailed (the
   /// in-memory image is untrusted past a post-log apply failure).
+  /// fail_stop_ is safe to read here: it is written before the
+  /// release-store of kFailed and never again afterwards.
   Status CheckReadable() const {
-    if (health_state_ == HealthState::kFailed) return fail_stop_;
+    if (health_state_.load(std::memory_order_acquire) ==
+        HealthState::kFailed) {
+      return fail_stop_;
+    }
     return Status::OK();
   }
 
@@ -516,9 +566,12 @@ class Database {
   /// timestamp / id promotions; NULL re-typing).
   static Result<Value> Coerce(const Value& v, AttrType target);
 
-  /// Bumps the clock past `from` so NOW stays monotone.
+  /// Bumps the clock past `from` so NOW stays monotone. Only writers
+  /// (serialized by writer_mu_) store; readers load concurrently.
   void ObserveTimestamp(Timestamp from) {
-    if (from >= now_) now_ = from + 1;
+    if (from >= now_.load(std::memory_order_relaxed)) {
+      now_.store(from + 1, std::memory_order_release);
+    }
   }
 
   std::string dir_;
@@ -546,6 +599,10 @@ class Database {
   Counter vcache_versions_pinned_total_;
   Counter query_cancelled_total_;
   Counter query_deadline_exceeded_total_;
+  Counter txns_begun_total_;
+  Counter txns_committed_total_;
+  Counter txns_aborted_total_;
+  Counter txn_conflicts_total_;
   Histogram query_latency_us_{Histogram::LatencyBucketsUs()};
   /// Global query-memory budget; cap from options_ (0 = unlimited).
   ResourceBudget memory_budget_{options_.memory_budget_bytes};
@@ -568,8 +625,21 @@ class Database {
   /// Query-path worker pool; null when options_.parallelism resolves
   /// to 1 (serial execution).
   std::unique_ptr<ThreadPool> query_pool_;
-  Timestamp now_ = 1;
-  uint64_t next_txn_id_ = 1;
+  /// Serializes every mutation: auto-commit DML, transaction commits
+  /// (validation + append + apply; the fsync escapes it), DDL,
+  /// checkpoints, and maintenance. Reads never take it.
+  mutable std::mutex writer_mu_;
+  /// Commit clock, active-transaction registry, and the pruned
+  /// write-set log behind first-committer-wins validation.
+  TxnManager txn_manager_;
+  /// Liveness token handed to every Transaction as a weak_ptr; reset
+  /// first thing in the destructor, so a Transaction that outlives this
+  /// Database degrades to FailedPrecondition instead of dangling.
+  std::shared_ptr<void> alive_token_ = std::make_shared<int>(0);
+  /// The MQL session transaction (BEGIN;..COMMIT;), when one is open.
+  std::unique_ptr<Transaction> session_txn_;
+  std::atomic<Timestamp> now_{1};
+  std::atomic<uint64_t> next_txn_id_{1};
   /// Query ids stamped into trace events (per instance, never reused).
   std::atomic<uint64_t> next_query_id_{1};
   /// Sequence of automatic failure dumps (unique file names).
@@ -581,8 +651,9 @@ class Database {
   /// OK until a stable-storage write fails; then the first failure —
   /// held until TryRecover clears it (kReadOnly) or forever (kFailed).
   Status fail_stop_ = Status::OK();
-  /// Where this instance sits on the degradation ladder.
-  HealthState health_state_ = HealthState::kHealthy;
+  /// Where this instance sits on the degradation ladder. Atomic so the
+  /// read path can consult it while a committer degrades the instance.
+  std::atomic<HealthState> health_state_{HealthState::kHealthy};
   RecoveryStats recovery_stats_;
   /// Set once Init (including recovery) succeeds. A Database whose open
   /// failed must not write anything on destruction — the on-disk state

@@ -9,7 +9,38 @@ Transaction::~Transaction() {
   if (active_) Abort();
 }
 
+Transaction::Transaction(Transaction&& other) noexcept
+    : db_(other.db_),
+      db_alive_(std::move(other.db_alive_)),
+      txn_id_(other.txn_id_),
+      snapshot_(other.snapshot_),
+      snapshot_seq_(other.snapshot_seq_),
+      active_(other.active_),
+      ops_(std::move(other.ops_)),
+      atoms_(std::move(other.atoms_)),
+      links_(std::move(other.links_)) {
+  // The moved-from shell must not abort (and unregister) the live
+  // transaction from its destructor.
+  other.active_ = false;
+}
+
+Status Transaction::CheckUsable() const {
+  if (!active_) return Status::InvalidArgument("transaction not active");
+  if (db_alive_.expired()) {
+    return Status::FailedPrecondition(
+        "transaction " + std::to_string(txn_id_) +
+        " outlived its database; it can no longer be used");
+  }
+  return Status::OK();
+}
+
 void Transaction::Abort() {
+  if (active_) {
+    // Unregister from the conflict tracker — unless the database is
+    // already gone, in which case the registry died with it.
+    std::shared_ptr<void> alive = db_alive_.lock();
+    if (alive != nullptr) db_->OnTxnAborted(txn_id_);
+  }
   ops_.clear();
   atoms_.clear();
   links_.clear();
@@ -27,13 +58,25 @@ Result<Transaction::AtomOverlay*> Transaction::OverlayFor(
   Result<std::vector<AtomVersion>> versions =
       db_->store()->GetVersions(*type, id, Interval::All());
   if (versions.ok() && !versions.value().empty()) {
-    const AtomVersion& last = versions.value().back();
-    overlay.exists = true;
-    overlay.live = last.valid.open_ended();
-    overlay.live_begin = last.valid.begin;
-    overlay.last_end = last.valid.open_ended() ? kMinTimestamp
-                                               : last.valid.end;
-    overlay.attrs = last.attrs;
+    // Snapshot read: versions beginning after the snapshot were
+    // committed after Begin() and stay invisible; a version closed
+    // after the snapshot is still open as far as this transaction can
+    // see (the closing writer wins the conflict check if we collide).
+    std::vector<AtomVersion>& all = versions.value();
+    const AtomVersion* visible = nullptr;
+    for (const AtomVersion& v : all) {
+      if (v.valid.begin <= snapshot_) visible = &v;
+    }
+    if (visible != nullptr) {
+      const bool live_at_snapshot =
+          visible->valid.open_ended() || visible->valid.end > snapshot_;
+      overlay.exists = true;
+      overlay.live = live_at_snapshot;
+      overlay.live_begin = visible->valid.begin;
+      overlay.last_end = live_at_snapshot ? kMinTimestamp
+                                          : visible->valid.end;
+      overlay.attrs = visible->attrs;
+    }
   } else if (!versions.ok() && !versions.status().IsNotFound()) {
     return versions.status();
   }
@@ -59,7 +102,11 @@ Result<Transaction::LinkOverlay*> Transaction::LinkOverlayFor(
                                             Interval::All()));
   for (const auto& [other, valid] : spans) {
     if (other != to) continue;
-    if (valid.open_ended()) {
+    // Same snapshot rule as atoms: intervals beginning after the
+    // snapshot do not exist yet, and one closed after it is still open
+    // from this transaction's viewpoint.
+    if (valid.begin > snapshot_) continue;
+    if (valid.open_ended() || valid.end > snapshot_) {
       overlay.open = true;
       overlay.open_begin = valid.begin;
     } else if (valid.end > overlay.last_end) {
@@ -75,7 +122,7 @@ Result<AtomId> Transaction::InsertAtom(
     const std::string& type_name,
     const std::vector<std::pair<std::string, Value>>& assignments,
     Timestamp from) {
-  if (!active_) return Status::InvalidArgument("transaction not active");
+  TCOB_RETURN_NOT_OK(CheckUsable());
   TCOB_ASSIGN_OR_RETURN(const AtomTypeDef* type,
                         db_->catalog().GetAtomTypeByName(type_name));
   TCOB_ASSIGN_OR_RETURN(
@@ -105,7 +152,7 @@ Status Transaction::UpdateAtom(
     const std::string& type_name, AtomId id,
     const std::vector<std::pair<std::string, Value>>& assignments,
     Timestamp from) {
-  if (!active_) return Status::InvalidArgument("transaction not active");
+  TCOB_RETURN_NOT_OK(CheckUsable());
   TCOB_ASSIGN_OR_RETURN(const AtomTypeDef* type,
                         db_->catalog().GetAtomTypeByName(type_name));
   TCOB_ASSIGN_OR_RETURN(AtomOverlay * overlay,
@@ -139,7 +186,7 @@ Status Transaction::UpdateAtom(
 
 Status Transaction::DeleteAtom(const std::string& type_name, AtomId id,
                                Timestamp from) {
-  if (!active_) return Status::InvalidArgument("transaction not active");
+  TCOB_RETURN_NOT_OK(CheckUsable());
   TCOB_ASSIGN_OR_RETURN(const AtomTypeDef* type,
                         db_->catalog().GetAtomTypeByName(type_name));
   TCOB_ASSIGN_OR_RETURN(AtomOverlay * overlay,
@@ -169,7 +216,7 @@ Status Transaction::DeleteAtom(const std::string& type_name, AtomId id,
 
 Status Transaction::Connect(const std::string& link_name, AtomId from_id,
                             AtomId to_id, Timestamp at) {
-  if (!active_) return Status::InvalidArgument("transaction not active");
+  TCOB_RETURN_NOT_OK(CheckUsable());
   TCOB_ASSIGN_OR_RETURN(const LinkTypeDef* link,
                         db_->catalog().GetLinkTypeByName(link_name));
   TCOB_ASSIGN_OR_RETURN(
@@ -198,7 +245,7 @@ Status Transaction::Connect(const std::string& link_name, AtomId from_id,
 
 Status Transaction::Disconnect(const std::string& link_name, AtomId from_id,
                                AtomId to_id, Timestamp at) {
-  if (!active_) return Status::InvalidArgument("transaction not active");
+  TCOB_RETURN_NOT_OK(CheckUsable());
   TCOB_ASSIGN_OR_RETURN(const LinkTypeDef* link,
                         db_->catalog().GetLinkTypeByName(link_name));
   TCOB_ASSIGN_OR_RETURN(
@@ -225,8 +272,8 @@ Status Transaction::Disconnect(const std::string& link_name, AtomId from_id,
 }
 
 Status Transaction::Commit() {
-  if (!active_) return Status::InvalidArgument("transaction not active");
-  Status committed = db_->CommitOps(txn_id_, ops_);
+  TCOB_RETURN_NOT_OK(CheckUsable());
+  Status committed = db_->CommitOps(txn_id_, ops_, snapshot_seq_);
   active_ = false;
   ops_.clear();
   atoms_.clear();

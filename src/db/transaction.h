@@ -15,31 +15,46 @@ namespace tcob {
 
 class Database;
 
-/// An explicit multi-statement transaction.
+/// An explicit multi-statement transaction under snapshot isolation.
 ///
-/// Operations are validated eagerly (against the committed state plus
-/// this transaction's own pending effects) and buffered; nothing touches
-/// the stores or the WAL until Commit. Commit appends every operation
-/// plus a commit record to the WAL in one batch (one fsync when
-/// configured) and then applies the operations — which cannot fail,
-/// because validation already held and the Database is single-threaded.
-/// Abort simply discards the buffer.
+/// Begin() captures a snapshot: the valid-time instant just before the
+/// database's NOW and the commit sequence current at that moment.
+/// Operations are validated eagerly against that snapshot (plus this
+/// transaction's own pending effects, via the overlays below) and
+/// buffered; nothing touches the stores or the WAL until Commit.
 ///
-/// Reads through the Database during an open transaction see the
-/// *committed* state only (the buffer is not visible to queries).
+/// Commit runs first-committer-wins validation: if any transaction (or
+/// auto-committed statement) that committed after this snapshot wrote
+/// an atom or link pair this transaction also writes, Commit aborts
+/// with TxnConflict and the other writer's effects stand. Otherwise
+/// every operation plus a commit record is appended to the WAL and
+/// applied; durability is one group fsync shared with concurrent
+/// committers (see WriteAheadLog::SyncBatch). Abort discards the
+/// buffer without a trace.
+///
+/// Reads through the Database during an open transaction see committed
+/// state only; SELECTs routed through the session transaction pin its
+/// snapshot (concurrent commits stay invisible until this transaction
+/// ends). The atom timelines themselves serve as the version chain —
+/// a snapshot read is simply a time-slice at the snapshot instant.
+///
+/// A Transaction may outlive its Database: every operation on it then
+/// fails with FailedPrecondition instead of touching freed memory.
 ///
 /// Usage:
 ///   Transaction txn = db->Begin();
 ///   TCOB_ASSIGN_OR_RETURN(AtomId id, txn.InsertAtom("Emp", {...}, t));
 ///   TCOB_RETURN_NOT_OK(txn.Connect("DeptEmp", dept, id, t));
-///   TCOB_RETURN_NOT_OK(txn.Commit());
+///   TCOB_RETURN_NOT_OK(txn.Commit());  // may return TxnConflict
 class Transaction {
  public:
   ~Transaction();
 
   Transaction(const Transaction&) = delete;
   Transaction& operator=(const Transaction&) = delete;
-  Transaction(Transaction&&) noexcept = default;
+  /// Moves deactivate the source so only one of the pair aborts or
+  /// unregisters on destruction.
+  Transaction(Transaction&& other) noexcept;
 
   /// Buffers an insert; returns the atom id the insert will create.
   Result<AtomId> InsertAtom(
@@ -61,7 +76,10 @@ class Transaction {
   Status Disconnect(const std::string& link_name, AtomId from_id,
                     AtomId to_id, Timestamp at);
 
-  /// Logs and applies the buffered operations atomically.
+  /// Validates against commits since the snapshot (TxnConflict if a
+  /// write-write overlap lost the race), then logs and applies the
+  /// buffered operations atomically. Win or lose, the transaction is
+  /// finished afterwards.
   Status Commit();
 
   /// Discards the buffered operations.
@@ -71,12 +89,28 @@ class Transaction {
   size_t pending_ops() const { return ops_.size(); }
   uint64_t id() const { return txn_id_; }
 
+  /// The valid-time instant this transaction reads at: commits stamped
+  /// after Begin() land strictly later and stay invisible.
+  Timestamp snapshot() const { return snapshot_; }
+
  private:
   friend class Database;
-  Transaction(Database* db, uint64_t txn_id) : db_(db), txn_id_(txn_id) {}
+  Transaction(Database* db, uint64_t txn_id, Timestamp snapshot,
+              uint64_t snapshot_seq, std::weak_ptr<void> db_alive)
+      : db_(db),
+        db_alive_(std::move(db_alive)),
+        txn_id_(txn_id),
+        snapshot_(snapshot),
+        snapshot_seq_(snapshot_seq) {}
+
+  /// Guards every operation: the transaction must still be active and
+  /// the owning Database must still exist (FailedPrecondition after it
+  /// was destroyed — a Transaction never dereferences a dead Database).
+  Status CheckUsable() const;
 
   /// Pending per-atom view: what the atom will look like if this
-  /// transaction commits. Lazily initialized from the committed state.
+  /// transaction commits. Lazily initialized from the committed state
+  /// as of the snapshot.
   struct AtomOverlay {
     bool exists = false;  // has any version (committed or pending)
     bool live = false;
@@ -101,7 +135,13 @@ class Transaction {
                                       AtomId to, Timestamp as_of);
 
   Database* db_;
+  /// Expires when the owning Database is destroyed; checked before
+  /// every dereference of db_.
+  std::weak_ptr<void> db_alive_;
   uint64_t txn_id_;
+  Timestamp snapshot_ = kMinTimestamp;
+  /// Commit sequence the snapshot covers (conflict-window lower bound).
+  uint64_t snapshot_seq_ = 0;
   bool active_ = true;
   std::vector<WalOp> ops_;
   std::map<AtomId, AtomOverlay> atoms_;

@@ -239,11 +239,24 @@ struct VacuumStmt {
   Timestamp before = 0;
 };
 
+/// BEGIN; — opens the session transaction (snapshot isolation). DML
+/// statements buffer into it and SELECTs pin its snapshot until
+/// COMMIT; or ABORT;.
+struct BeginStmt {};
+
+/// COMMIT; — commits the session transaction (may fail with
+/// TxnConflict under first-committer-wins validation).
+struct CommitStmt {};
+
+/// ABORT; — discards the session transaction's buffered operations.
+struct AbortStmt {};
+
 using Statement =
     std::variant<SelectStmt, CreateAtomTypeStmt, CreateLinkStmt,
                  CreateMoleculeTypeStmt, CreateIndexStmt, InsertStmt,
                  UpdateStmt, DeleteStmt, ConnectStmt, DisconnectStmt,
-                 ExplainStmt, ShowCatalogStmt, ShowStatsStmt, VacuumStmt>;
+                 ExplainStmt, ShowCatalogStmt, ShowStatsStmt, VacuumStmt,
+                 BeginStmt, CommitStmt, AbortStmt>;
 
 }  // namespace tcob
 

@@ -108,6 +108,8 @@ const std::map<std::string, TokenType>& Keywords() {
       {"ORDER", TokenType::kOrder},
       {"DESC", TokenType::kDesc},
       {"ASC", TokenType::kAsc},
+      {"COMMIT", TokenType::kCommit},
+      {"ABORT", TokenType::kAbort},
   };
   return *kKeywords;
 }

@@ -122,6 +122,18 @@ Result<Statement> Parser::ParseStatement() {
       stmt.before = Advance().int_value;
       return Statement(stmt);
     }
+    case TokenType::kBegin:
+      // Statement position: BEGIN opens the session transaction (the
+      // keyword also appears as the interval accessor BEGIN(x), which
+      // only occurs inside expressions).
+      Advance();
+      return Statement(BeginStmt{});
+    case TokenType::kCommit:
+      Advance();
+      return Statement(CommitStmt{});
+    case TokenType::kAbort:
+      Advance();
+      return Statement(AbortStmt{});
     case TokenType::kExplain: {
       Advance();
       ExplainStmt explain;

@@ -85,6 +85,8 @@ enum class TokenType {
   kOrder,
   kDesc,
   kAsc,
+  kCommit,
+  kAbort,
   // end of input
   kEof,
 };

@@ -9,12 +9,85 @@
 
 #include "common/hash.h"
 #include "db/database.h"
+#include "db/transaction.h"
+#include "db/txn_manager.h"
 #include "storage/fault_env.h"
 #include "tstore/temporal_store.h"
 
 namespace tcob::sim {
 
 namespace {
+
+/// One committed (or possibly-committed, for crash reconciliation)
+/// logical operation with every id resolved to the instance's actual
+/// database surrogates. The per-instance journal holds these in commit
+/// order; the end-of-run serializability check replays the journal into
+/// a fresh model.
+struct ResolvedOp {
+  SimOpKind kind = SimOpKind::kInsert;
+  uint32_t type_pos = 0;
+  uint32_t link_pos = 0;
+  AtomId atom = 0;  // db id (insert: the id the allocation produced)
+  AtomId from = 0;
+  AtomId to = 0;
+  std::vector<std::pair<uint32_t, Value>> set;
+  Timestamp at = 0;
+  AtomId sim_atom = 0;  // insert: the sim-stream id, for the id map
+  /// kVacuum only: a cut interrupted it — replay masks instead of
+  /// removing (mirrors SimModel::NoteUncertainVacuum).
+  bool vacuum_uncertain = false;
+};
+
+/// An in-flight explicit transaction on one instance.
+struct TxnSlot {
+  bool open = false;
+  std::optional<Transaction> txn;
+  /// Snapshot overlay: a copy of the lock-step model at Begin() with
+  /// this transaction's own buffered effects applied — exactly the
+  /// state the real Transaction's eager validation sees.
+  std::optional<SimModel> overlay;
+  std::map<AtomId, AtomId> pending_ids;  // sim id -> db id (own inserts)
+  std::vector<ResolvedOp> resolved;
+  std::vector<TxnWriteKey> keys;
+  /// The harness commit clock at Begin() — the conflict window's lower
+  /// bound, mirroring TxnManager's snapshot sequence.
+  uint64_t begin_clock = 0;
+};
+
+/// A possibly-durable commit group for crash reconciliation: `seqs` op
+/// sequences (n ops + 1 commit record for a transaction, 1 for an
+/// auto-committed statement). sync_wal means an acked group is durable,
+/// so after a cut the recovered prefix is exactly `acked` or
+/// `acked + seqs` — a commit group is all-or-nothing.
+struct PendingCommit {
+  std::vector<ResolvedOp> ops;
+  uint64_t seqs = 0;
+};
+
+TxnWriteKey AtomKey(AtomId id) {
+  TxnWriteKey k;
+  k.kind = TxnWriteKey::Kind::kAtom;
+  k.a = id;
+  return k;
+}
+
+/// Canonical link key. The real TxnManager keys on the link *type id*;
+/// the harness keys on the link position — an injective rename, so the
+/// conflict predicate is identical.
+TxnWriteKey LinkKey(uint32_t link_pos, AtomId from, AtomId to) {
+  TxnWriteKey k;
+  k.kind = TxnWriteKey::Kind::kLink;
+  k.a = link_pos;
+  k.b = from;
+  k.c = to;
+  return k;
+}
+
+TxnWriteKey KeyFor(const ResolvedOp& rop) {
+  return rop.kind == SimOpKind::kConnect || rop.kind == SimOpKind::kDisconnect
+             ? LinkKey(rop.link_pos, rop.from, rop.to)
+             : AtomKey(rop.atom);
+}
 
 /// One database under test: a real Database over its own in-memory
 /// fault-injecting environment, plus the lock-step reference model and
@@ -51,6 +124,37 @@ struct Instance {
   uint64_t queries_governed = 0;
   uint64_t dump_hash = 0;
 
+  // ---- explicit transactions -----------------------------------------
+  /// Declared after `db`: slots hold live Transaction objects, which
+  /// must be destroyed (auto-abort) before the Database they reference.
+  std::vector<TxnSlot> slots;
+  /// Harness mirror of the TxnManager's commit sequence and retained
+  /// write-sets: every auto-committed statement and every transaction
+  /// commit bumps the clock; write-sets are retained only while a slot
+  /// is open (exactly RecordLocked's rule), so first-committer-wins
+  /// conflicts are predicted, not observed.
+  uint64_t commit_clock = 0;
+  std::vector<std::pair<uint64_t, std::vector<TxnWriteKey>>> commit_log;
+  /// Committed logical ops in commit order, plus vacuum events — the
+  /// serial history the final database state must equal.
+  std::vector<ResolvedOp> journal;
+  /// Atom-surrogate watermark prediction. Buffered inserts burn ids on
+  /// abort/conflict and checkpoints persist the burn-inclusive
+  /// watermark, so the prediction is an interval: normally exact
+  /// (lo == hi), widened only while a cut left the last catalog save
+  /// uncertain.
+  AtomId next_id_lo = 1;
+  AtomId next_id_hi = 1;
+  /// Watermark floor persisted by the last known-successful checkpoint
+  /// (checkpoint / vacuum / tier-migrate all save the catalog).
+  AtomId ckpt_id_lo = 1;
+  AtomId max_committed_id = 0;
+  uint64_t txns_begun = 0;
+  uint64_t txns_committed = 0;
+  uint64_t txns_aborted = 0;
+  uint64_t txns_conflicted = 0;
+  uint64_t serial_checks = 0;
+
   Instance(const SimSchema* schema, ModelBug bug) : model(schema, bug) {}
 };
 
@@ -84,6 +188,115 @@ AtomId Translate(const Instance& inst, AtomId sim_id) {
   return sim_id >= kSimDanglingBase ? sim_id : kSimDanglingBase + sim_id;
 }
 
+/// Like Translate, but a transaction's own (uncommitted) inserts resolve
+/// first: inside the buffering transaction they are visible; everywhere
+/// else they are not mapped, so other slots and the auto path see a
+/// dangling id — matching snapshot isolation exactly.
+AtomId TranslateFor(const Instance& inst, const TxnSlot* slot,
+                    AtomId sim_id) {
+  if (slot != nullptr) {
+    auto it = slot->pending_ids.find(sim_id);
+    if (it != slot->pending_ids.end()) return it->second;
+  }
+  return Translate(inst, sim_id);
+}
+
+/// The open slot a DML op is buffered into, or null for auto-commit.
+/// A slotted op whose slot is not open (a cut or reopen discarded the
+/// transaction, or a shrunk trace dropped the begin) runs auto-commit.
+TxnSlot* OpenSlotFor(Instance* inst, const SimOp& op) {
+  switch (op.kind) {
+    case SimOpKind::kInsert:
+    case SimOpKind::kUpdate:
+    case SimOpKind::kDelete:
+    case SimOpKind::kConnect:
+    case SimOpKind::kDisconnect:
+      break;
+    default:
+      return nullptr;  // kBadUpdate and non-DML ops never buffer
+  }
+  if (op.txn_slot < 0) return nullptr;
+  size_t s = static_cast<size_t>(op.txn_slot);
+  if (s >= inst->slots.size() || !inst->slots[s].open) return nullptr;
+  return &inst->slots[s];
+}
+
+/// Resolves a DML SimOp's ids against the instance (and, if buffered,
+/// the slot's own pending inserts). Insert callers overwrite `atom` with
+/// the id the database actually allocated.
+ResolvedOp ResolveDml(const Instance& inst, const TxnSlot* slot,
+                      const SimOp& op) {
+  ResolvedOp rop;
+  rop.kind = op.kind;
+  rop.type_pos = op.type_pos;
+  rop.link_pos = op.link_pos;
+  rop.set = op.set;
+  rop.at = op.at;
+  rop.sim_atom = op.atom;
+  rop.atom = TranslateFor(inst, slot, op.atom);
+  rop.from = TranslateFor(inst, slot, op.from);
+  rop.to = TranslateFor(inst, slot, op.to);
+  return rop;
+}
+
+/// Bumps the mirrored commit clock and retains the group's write-set —
+/// but only while some transaction is open, exactly like the real
+/// TxnManager's RecordLocked (entries nobody's conflict window can reach
+/// are never kept, so the mirror's predictions match key for key).
+void RecordCommit(Instance* inst, std::vector<TxnWriteKey> keys) {
+  ++inst->commit_clock;
+  bool any_open = false;
+  for (const TxnSlot& s : inst->slots) any_open |= s.open;
+  if (!any_open) {
+    inst->commit_log.clear();
+    return;
+  }
+  std::sort(keys.begin(), keys.end());
+  inst->commit_log.emplace_back(inst->commit_clock, std::move(keys));
+}
+
+/// Mirrors one committed (or recovered-as-durable) resolved op into the
+/// lock-step model and appends it to the serializability journal.
+void ApplyResolved(Instance* inst, const ResolvedOp& rop) {
+  switch (rop.kind) {
+    case SimOpKind::kInsert:
+      inst->model.InsertAtomWithId(rop.atom, rop.type_pos, rop.set, rop.at);
+      inst->id_map[rop.sim_atom] = rop.atom;
+      if (rop.atom > inst->max_committed_id) inst->max_committed_id = rop.atom;
+      break;
+    case SimOpKind::kUpdate:
+    case SimOpKind::kBadUpdate:
+      inst->model.UpdateAtom(rop.type_pos, rop.atom, rop.set, rop.at);
+      break;
+    case SimOpKind::kDelete:
+      inst->model.DeleteAtom(rop.type_pos, rop.atom, rop.at);
+      break;
+    case SimOpKind::kConnect:
+      inst->model.Connect(rop.link_pos, rop.from, rop.to, rop.at);
+      break;
+    case SimOpKind::kDisconnect:
+      inst->model.Disconnect(rop.link_pos, rop.from, rop.to, rop.at);
+      break;
+    default:
+      break;  // kVacuum entries are journal-only
+  }
+  inst->journal.push_back(rop);
+}
+
+/// Discards every open transaction slot (reopen and power-cut paths).
+/// Must run while the Database is still alive: the Transaction
+/// destructor's abort is pure bookkeeping (no I/O), but it unregisters
+/// from the live TxnManager.
+void DiscardSlots(Instance* inst) {
+  for (TxnSlot& s : inst->slots) {
+    if (!s.open) continue;
+    s.txn.reset();
+    s.overlay.reset();
+    s.open = false;
+    ++inst->txns_aborted;
+  }
+}
+
 std::vector<std::pair<std::string, Value>> NamedAssignments(
     const SimSchema& schema, const SimOp& op) {
   const SimAtomTypeDef& def = schema.atom_types[op.type_pos];
@@ -92,35 +305,6 @@ std::vector<std::pair<std::string, Value>> NamedAssignments(
     out.emplace_back(def.attrs[pos].name, value);
   }
   return out;
-}
-
-/// Mirrors an acked (or recovered-as-durable) op into the instance
-/// model. Ids in `op` are sim ids; translation happens here.
-void ApplyToModel(Instance* inst, const SimOp& op) {
-  switch (op.kind) {
-    case SimOpKind::kInsert: {
-      AtomId id = inst->model.InsertAtom(op.type_pos, op.set, op.at);
-      inst->id_map[op.atom] = id;
-      break;
-    }
-    case SimOpKind::kUpdate:
-    case SimOpKind::kBadUpdate:
-      inst->model.UpdateAtom(op.type_pos, Translate(*inst, op.atom), op.set,
-                             op.at);
-      break;
-    case SimOpKind::kDelete:
-      inst->model.DeleteAtom(op.type_pos, Translate(*inst, op.atom), op.at);
-      break;
-    case SimOpKind::kConnect:
-      inst->model.Connect(op.link_pos, Translate(*inst, op.from),
-                          Translate(*inst, op.to), op.at);
-      break;
-    case SimOpKind::kDisconnect:
-      inst->model.Disconnect(op.link_pos, Translate(*inst, op.from),
-                             Translate(*inst, op.to), op.at);
-      break;
-    default: break;
-  }
 }
 
 Status SetupInstance(Instance* inst, const SimSchema& schema) {
@@ -187,14 +371,18 @@ std::string RenderRowsDiff(const std::multiset<std::string>& expected,
 }
 
 /// Destroys the crashed database instance, revives the environment and
-/// reopens, reconciling the possibly-in-flight op (`pending`, may be
-/// null): sync_wal means every acked op is durable, so the recovered
-/// prefix must be exactly `acked` or `acked + 1` logical ops.
+/// reopens, reconciling the possibly-in-flight commit group (`pending`,
+/// may be null): sync_wal means every acked group is durable, so the
+/// recovered prefix must be exactly `acked` or `acked + pending->seqs`
+/// logical op sequences — a commit group is all-or-nothing.
 std::optional<std::string> HandleCrash(Instance* inst,
-                                       const SimOp* pending) {
+                                       const PendingCommit* pending) {
   ++inst->cuts_fired;
   CutMode mode = inst->cut_mode;
   inst->cut_armed = false;
+  // Open transactions die with the process: destroy them while the
+  // Database is still alive (the abort is pure bookkeeping, no I/O).
+  DiscardSlots(inst);
   // Destroy the victim BEFORE Revive: its destructor's I/O all fails
   // against the dead environment and writes nothing.
   inst->db.reset();
@@ -225,23 +413,54 @@ std::optional<std::string> HandleCrash(Instance* inst,
   }
   uint64_t recovered = inst->db->applied_op_seq();
   if (recovered == inst->acked) {
-    return std::nullopt;  // in-flight op (if any) did not survive
+    // The in-flight commit group (if any) did not survive. A lost
+    // multi-op group was a transaction whose slot is already closed, so
+    // DiscardSlots above did not count it.
+    if (pending != nullptr && pending->seqs > 1) ++inst->txns_aborted;
+  } else if (pending != nullptr && pending->seqs > 0 &&
+             recovered == inst->acked + pending->seqs) {
+    // The in-flight commit group turned out durable: all or nothing.
+    std::vector<ResolvedOp> ops = pending->ops;
+    if (pending->seqs == 1 && ops.size() == 1 &&
+        ops[0].kind == SimOpKind::kInsert) {
+      // An auto-committed insert's surrogate was only predicted (the
+      // interval may be wide after an uncertain checkpoint). The insert
+      // is the newest allocation the recovered catalog replayed, so the
+      // watermark sits exactly one past it — read the truth back.
+      AtomId actual = inst->db->catalog().CurrentAtomIdWatermark() - 1;
+      if (inst->model.atoms().count(actual) != 0) {
+        return "recovered insert id " + std::to_string(actual) +
+               " collides with a live atom";
+      }
+      ops[0].atom = actual;
+    }
+    std::vector<TxnWriteKey> keys;
+    keys.reserve(ops.size());
+    for (const ResolvedOp& rop : ops) keys.push_back(KeyFor(rop));
+    RecordCommit(inst, std::move(keys));
+    for (const ResolvedOp& rop : ops) ApplyResolved(inst, rop);
+    inst->acked = recovered;
+    if (pending->seqs > 1) ++inst->txns_committed;
+  } else {
+    return "recovered op count " + std::to_string(recovered) +
+           " outside {acked=" + std::to_string(inst->acked) +
+           ", acked+pending} after cut";
   }
-  if (pending != nullptr && recovered == inst->acked + 1) {
-    ApplyToModel(inst, *pending);  // in-flight op turned out durable
-    ++inst->acked;
-    return std::nullopt;
-  }
-  return "recovered op count " + std::to_string(recovered) +
-         " outside [acked=" + std::to_string(inst->acked) +
-         ", acked+pending] after cut";
+  // Surrogate watermark after recovery: at least the floor the last
+  // known-successful catalog save persisted and past every committed
+  // insert; the upper bound never grows (recovery can only lose burned
+  // allocations, not invent them).
+  AtomId lo = std::max(inst->ckpt_id_lo, inst->max_committed_id + 1);
+  inst->next_id_lo = lo;
+  if (inst->next_id_hi < lo) inst->next_id_hi = lo;
+  return std::nullopt;
 }
 
 /// Routes a failed database call: if the armed power cut fired, run
-/// crash recovery (with `pending` as the possibly-durable op), otherwise
-/// report the status as a divergence.
+/// crash recovery (with `pending` as the possibly-durable commit group),
+/// otherwise report the status as a divergence.
 std::optional<std::string> FailOrCrash(Instance* inst, const Status& s,
-                                       const SimOp* pending,
+                                       const PendingCommit* pending,
                                        const char* what) {
   if (inst->env.cut_fired()) return HandleCrash(inst, pending);
   return std::string(what) + ": " + s.ToString();
@@ -488,38 +707,282 @@ std::optional<std::string> ExecQuery(Instance* inst, const SimSchema& schema,
   return std::nullopt;
 }
 
+/// Buffers one DML op into an open transaction slot. The slot's overlay
+/// model predicts the validation outcome (the real Transaction validates
+/// eagerly against snapshot + own writes); nothing touches the lock-step
+/// model or `acked` until commit. Overlay reads are real I/O, so an
+/// armed cut can fire here — there is no pending commit group yet, so
+/// crash recovery reconciles with pending = null.
+std::optional<std::string> BufferTxnOp(Instance* inst, TxnSlot* slot,
+                                       const SimSchema& schema,
+                                       const SimOp& op) {
+  switch (op.kind) {
+    case SimOpKind::kInsert: {
+      ResolvedOp rop = ResolveDml(*inst, slot, op);
+      AtomId lo = inst->next_id_lo, hi = inst->next_id_hi;
+      Result<AtomId> r = slot->txn->InsertAtom(
+          schema.atom_types[op.type_pos].name, NamedAssignments(schema, op),
+          op.at);
+      // Buffering allocates the surrogate even though nothing commits
+      // yet (and burns it if the transaction aborts or conflicts).
+      ++inst->next_id_lo;
+      ++inst->next_id_hi;
+      if (!r.ok()) {
+        // No store reads happen here, so this cannot be a fired cut.
+        return FailOrCrash(inst, r.status(), nullptr, "txn insert");
+      }
+      AtomId id = r.value();
+      if (id < lo || id > hi) {
+        return "txn insert allocated id " + std::to_string(id) +
+               " outside predicted [" + std::to_string(lo) + ", " +
+               std::to_string(hi) + "]";
+      }
+      if (inst->model.atoms().count(id) != 0) {
+        return "txn insert allocated id " + std::to_string(id) +
+               " colliding with a live atom";
+      }
+      inst->next_id_lo = inst->next_id_hi = id + 1;
+      rop.atom = id;
+      slot->pending_ids[op.atom] = id;
+      slot->overlay->InsertAtomWithId(id, op.type_pos, op.set, op.at);
+      slot->keys.push_back(AtomKey(id));
+      slot->resolved.push_back(std::move(rop));
+      break;
+    }
+    case SimOpKind::kUpdate: {
+      ResolvedOp rop = ResolveDml(*inst, slot, op);
+      bool valid = slot->overlay->CanUpdate(op.type_pos, rop.atom, op.at);
+      Status s = slot->txn->UpdateAtom(schema.atom_types[op.type_pos].name,
+                                       rop.atom, NamedAssignments(schema, op),
+                                       op.at);
+      if (valid) {
+        if (!s.ok()) return FailOrCrash(inst, s, nullptr, "txn update");
+        slot->overlay->UpdateAtom(op.type_pos, rop.atom, op.set, op.at);
+        slot->keys.push_back(AtomKey(rop.atom));
+        slot->resolved.push_back(std::move(rop));
+      } else {
+        if (s.ok()) {
+          return "buffered update of invalid target #" +
+                 std::to_string(rop.atom) + " unexpectedly succeeded";
+        }
+        if (!s.IsInvalidArgument() && !s.IsNotFound()) {
+          return FailOrCrash(
+              inst, s, nullptr,
+              "invalid buffered update (expected InvalidArgument/NotFound)");
+        }
+      }
+      break;
+    }
+    case SimOpKind::kDelete: {
+      ResolvedOp rop = ResolveDml(*inst, slot, op);
+      // Deletes validate eagerly inside a transaction too, but the
+      // harness keeps the auto path's discipline: skip invalid ones.
+      if (!slot->overlay->CanDelete(op.type_pos, rop.atom, op.at)) {
+        ++inst->skipped_ops;
+        break;
+      }
+      Status s = slot->txn->DeleteAtom(schema.atom_types[op.type_pos].name,
+                                       rop.atom, op.at);
+      if (!s.ok()) return FailOrCrash(inst, s, nullptr, "txn delete");
+      slot->overlay->DeleteAtom(op.type_pos, rop.atom, op.at);
+      slot->keys.push_back(AtomKey(rop.atom));
+      slot->resolved.push_back(std::move(rop));
+      break;
+    }
+    case SimOpKind::kConnect:
+    case SimOpKind::kDisconnect: {
+      ResolvedOp rop = ResolveDml(*inst, slot, op);
+      bool connect = op.kind == SimOpKind::kConnect;
+      bool valid =
+          connect ? slot->overlay->CanConnect(op.link_pos, rop.from, rop.to)
+                  : slot->overlay->CanDisconnect(op.link_pos, rop.from,
+                                                 rop.to);
+      if (!valid) {
+        ++inst->skipped_ops;
+        break;
+      }
+      const std::string& link = schema.link_types[op.link_pos].name;
+      Status s = connect
+                     ? slot->txn->Connect(link, rop.from, rop.to, op.at)
+                     : slot->txn->Disconnect(link, rop.from, rop.to, op.at);
+      if (!s.ok()) {
+        return FailOrCrash(inst, s, nullptr,
+                           connect ? "txn connect" : "txn disconnect");
+      }
+      if (connect) {
+        slot->overlay->Connect(op.link_pos, rop.from, rop.to, op.at);
+      } else {
+        slot->overlay->Disconnect(op.link_pos, rop.from, rop.to, op.at);
+      }
+      slot->keys.push_back(LinkKey(op.link_pos, rop.from, rop.to));
+      slot->resolved.push_back(std::move(rop));
+      break;
+    }
+    default:
+      break;  // unreachable: OpenSlotFor only routes the five DML kinds
+  }
+  return std::nullopt;
+}
+
+/// Replays the instance's committed journal (commit order) into a fresh
+/// model and checks it two ways: the replayed state must equal the
+/// lock-step model byte for byte, and a full-history query per molecule
+/// type against the *database* must match the replayed model's oracle.
+/// Together these prove the final database state is explained by some
+/// serial execution of exactly the committed transactions — the
+/// serializability acceptance check.
+std::optional<std::string> SerializabilityCheck(Instance* inst,
+                                                const SimSchema& schema,
+                                                ModelBug bug) {
+  SimModel replay(&schema, bug);
+  for (const ResolvedOp& rop : inst->journal) {
+    switch (rop.kind) {
+      case SimOpKind::kInsert:
+        replay.InsertAtomWithId(rop.atom, rop.type_pos, rop.set, rop.at);
+        break;
+      case SimOpKind::kUpdate:
+      case SimOpKind::kBadUpdate:
+        replay.UpdateAtom(rop.type_pos, rop.atom, rop.set, rop.at);
+        break;
+      case SimOpKind::kDelete:
+        replay.DeleteAtom(rop.type_pos, rop.atom, rop.at);
+        break;
+      case SimOpKind::kConnect:
+        replay.Connect(rop.link_pos, rop.from, rop.to, rop.at);
+        break;
+      case SimOpKind::kDisconnect:
+        replay.Disconnect(rop.link_pos, rop.from, rop.to, rop.at);
+        break;
+      case SimOpKind::kVacuum:
+        if (rop.vacuum_uncertain) {
+          replay.NoteUncertainVacuum(rop.at);
+        } else {
+          replay.VacuumBefore(rop.at);
+        }
+        break;
+      default:
+        break;
+    }
+  }
+  if (replay.StateDigest() != inst->model.StateDigest()) {
+    return std::string(
+        "serial replay of committed transactions diverges from the "
+        "lock-step model");
+  }
+  for (uint32_t m = 0;
+       m < static_cast<uint32_t>(schema.molecule_types.size()); ++m) {
+    SimOp q;
+    q.kind = SimOpKind::kQuery;
+    q.qkind = SimQueryKind::kAllHistory;
+    q.mol_pos = m;
+    ++inst->serial_checks;
+    SimModel::QueryExpectation expect = replay.ExpectedRows(q);
+    std::string mql = QueryToMql(schema, q);
+    Result<ResultSet> r = inst->db->Execute(mql);
+    if (expect.skip_compare) {
+      // An uncertain vacuum raised the horizon above the full-history
+      // window's start: execute for coverage, accept any outcome.
+      continue;
+    }
+    if (expect.expect_error) {
+      bool matched = !r.ok() && (expect.error_is_not_found
+                                     ? r.status().IsNotFound()
+                                     : r.status().IsInvalidArgument());
+      if (!matched) {
+        return "serializability probe `" + mql +
+               "` expected an error the database did not produce";
+      }
+      continue;
+    }
+    if (!r.ok()) {
+      return "serializability probe `" + mql +
+             "` failed: " + r.status().ToString();
+    }
+    if (r.value().columns != expect.columns) {
+      return "serializability probe `" + mql + "` column mismatch";
+    }
+    Result<std::multiset<std::string>> canon =
+        replay.CanonicalizeDb(q, r.value());
+    if (!canon.ok()) {
+      return "serializability probe `" + mql +
+             "` result not canonicalizable: " + canon.status().ToString();
+    }
+    if (canon.value() != expect.rows) {
+      return "serializability probe `" + mql +
+             "` diverges from serial replay:" +
+             RenderRowsDiff(expect.rows, canon.value());
+    }
+  }
+  return std::nullopt;
+}
+
 std::optional<std::string> ExecOp(Instance* inst, const SimSchema& schema,
                                   const SimOp& op,
                                   const RunOptions& options) {
+  if (TxnSlot* slot = OpenSlotFor(inst, op)) {
+    std::optional<std::string> div = BufferTxnOp(inst, slot, schema, op);
+    if (div.has_value()) return div;
+    // Buffered ops advance neither `acked` nor applied_op_seq; the
+    // standing invariant at the bottom still holds and still runs.
+    if (inst->db != nullptr && inst->db->applied_op_seq() != inst->acked) {
+      return "op-seq accounting drifted during buffering: db " +
+             std::to_string(inst->db->applied_op_seq()) + " vs harness " +
+             std::to_string(inst->acked);
+    }
+    return std::nullopt;
+  }
   switch (op.kind) {
     case SimOpKind::kInsert: {
+      ResolvedOp rop = ResolveDml(*inst, nullptr, op);
+      rop.atom = inst->next_id_lo;  // predicted; exact when lo == hi
+      PendingCommit pending;
+      pending.ops.push_back(rop);
+      pending.seqs = 1;
+      AtomId lo = inst->next_id_lo, hi = inst->next_id_hi;
       Result<AtomId> r = inst->db->InsertAtom(
           schema.atom_types[op.type_pos].name, NamedAssignments(schema, op),
           op.at);
-      if (!r.ok()) return FailOrCrash(inst, r.status(), &op, "insert");
-      AtomId model_next = inst->model.next_id();
-      if (r.value() != model_next) {
-        return "insert allocated id " + std::to_string(r.value()) +
-               ", model expected " + std::to_string(model_next);
+      // The call allocated the surrogate whether or not it survived.
+      ++inst->next_id_lo;
+      ++inst->next_id_hi;
+      if (!r.ok()) return FailOrCrash(inst, r.status(), &pending, "insert");
+      AtomId id = r.value();
+      if (id < lo || id > hi) {
+        return "insert allocated id " + std::to_string(id) +
+               " outside predicted [" + std::to_string(lo) + ", " +
+               std::to_string(hi) + "]";
       }
-      ApplyToModel(inst, op);
+      if (inst->model.atoms().count(id) != 0) {
+        return "insert allocated id " + std::to_string(id) +
+               " colliding with a live atom";
+      }
+      inst->next_id_lo = inst->next_id_hi = id + 1;
+      rop.atom = id;
+      RecordCommit(inst, {AtomKey(id)});
+      ApplyResolved(inst, rop);
       ++inst->acked;
       break;
     }
     case SimOpKind::kUpdate:
     case SimOpKind::kBadUpdate: {
-      AtomId target = Translate(*inst, op.atom);
-      bool valid = inst->model.CanUpdate(op.type_pos, target, op.at);
+      ResolvedOp rop = ResolveDml(*inst, nullptr, op);
+      bool valid = inst->model.CanUpdate(op.type_pos, rop.atom, op.at);
       Status s = inst->db->UpdateAtom(schema.atom_types[op.type_pos].name,
-                                      target, NamedAssignments(schema, op),
+                                      rop.atom, NamedAssignments(schema, op),
                                       op.at);
       if (valid) {
-        if (!s.ok()) return FailOrCrash(inst, s, &op, "update");
-        ApplyToModel(inst, op);
+        if (!s.ok()) {
+          PendingCommit pending;
+          pending.ops.push_back(rop);
+          pending.seqs = 1;
+          return FailOrCrash(inst, s, &pending, "update");
+        }
+        RecordCommit(inst, {AtomKey(rop.atom)});
+        ApplyResolved(inst, rop);
         ++inst->acked;
       } else {
         if (s.ok()) {
-          return "update of invalid target #" + std::to_string(target) +
+          return "update of invalid target #" + std::to_string(rop.atom) +
                  " unexpectedly succeeded";
         }
         // NotFound when the typed store holds no versions for the id,
@@ -533,48 +996,64 @@ std::optional<std::string> ExecOp(Instance* inst, const SimSchema& schema,
       break;
     }
     case SimOpKind::kDelete: {
-      AtomId target = Translate(*inst, op.atom);
+      ResolvedOp rop = ResolveDml(*inst, nullptr, op);
       // Deletes are log-then-apply (no prevalidation): issuing an
       // invalid one would poison the instance, so skip it instead.
-      if (!inst->model.CanDelete(op.type_pos, target, op.at)) {
+      if (!inst->model.CanDelete(op.type_pos, rop.atom, op.at)) {
         ++inst->skipped_ops;
         break;
       }
       Status s = inst->db->DeleteAtom(schema.atom_types[op.type_pos].name,
-                                      target, op.at);
-      if (!s.ok()) return FailOrCrash(inst, s, &op, "delete");
-      ApplyToModel(inst, op);
+                                      rop.atom, op.at);
+      if (!s.ok()) {
+        PendingCommit pending;
+        pending.ops.push_back(rop);
+        pending.seqs = 1;
+        return FailOrCrash(inst, s, &pending, "delete");
+      }
+      RecordCommit(inst, {AtomKey(rop.atom)});
+      ApplyResolved(inst, rop);
       ++inst->acked;
       break;
     }
     case SimOpKind::kConnect:
     case SimOpKind::kDisconnect: {
-      AtomId from = Translate(*inst, op.from);
-      AtomId to = Translate(*inst, op.to);
+      ResolvedOp rop = ResolveDml(*inst, nullptr, op);
       bool connect = op.kind == SimOpKind::kConnect;
-      bool valid = connect
-                       ? inst->model.CanConnect(op.link_pos, from, to)
-                       : inst->model.CanDisconnect(op.link_pos, from, to);
+      bool valid =
+          connect ? inst->model.CanConnect(op.link_pos, rop.from, rop.to)
+                  : inst->model.CanDisconnect(op.link_pos, rop.from, rop.to);
       if (!valid) {  // log-then-apply, same reasoning as delete
         ++inst->skipped_ops;
         break;
       }
       const std::string& link = schema.link_types[op.link_pos].name;
-      Status s = connect ? inst->db->Connect(link, from, to, op.at)
-                         : inst->db->Disconnect(link, from, to, op.at);
+      Status s = connect ? inst->db->Connect(link, rop.from, rop.to, op.at)
+                         : inst->db->Disconnect(link, rop.from, rop.to,
+                                                op.at);
       if (!s.ok()) {
-        return FailOrCrash(inst, s, &op, connect ? "connect" : "disconnect");
+        PendingCommit pending;
+        pending.ops.push_back(rop);
+        pending.seqs = 1;
+        return FailOrCrash(inst, s, &pending,
+                           connect ? "connect" : "disconnect");
       }
-      ApplyToModel(inst, op);
+      RecordCommit(inst, {LinkKey(op.link_pos, rop.from, rop.to)});
+      ApplyResolved(inst, rop);
       ++inst->acked;
       break;
     }
     case SimOpKind::kCheckpoint: {
       Status s = inst->db->Checkpoint();
       if (!s.ok()) return FailOrCrash(inst, s, nullptr, "checkpoint");
+      // The catalog save persisted at least the current watermark floor.
+      inst->ckpt_id_lo = inst->next_id_lo;
       break;
     }
     case SimOpKind::kReopen: {
+      // Open transactions do not survive a restart; discard them while
+      // the database is still alive.
+      DiscardSlots(inst);
       inst->db.reset();
       Result<std::unique_ptr<Database>> r =
           Database::Open(inst->dir, MakeOptions(inst));
@@ -587,6 +1066,14 @@ std::optional<std::string> ExecOp(Instance* inst, const SimSchema& schema,
         return "clean reopen recovered " +
                std::to_string(inst->db->applied_op_seq()) + " ops, acked " +
                std::to_string(inst->acked);
+      }
+      // Burned-but-uncheckpointed allocations are forgotten on restart;
+      // the recovered watermark is the checkpoint floor advanced past
+      // every committed insert.
+      {
+        AtomId lo = std::max(inst->ckpt_id_lo, inst->max_committed_id + 1);
+        inst->next_id_lo = lo;
+        if (inst->next_id_hi < lo) inst->next_id_hi = lo;
       }
       break;
     }
@@ -608,9 +1095,15 @@ std::optional<std::string> ExecOp(Instance* inst, const SimSchema& schema,
       if (!r.ok()) {
         if (inst->env.cut_fired()) {
           // The vacuum may or may not have committed; mask comparisons
-          // below the cutoff from here on.
+          // below the cutoff from here on — in the lock-step model and
+          // in the serializability journal alike.
           inst->model.NoteUncertainVacuum(op.at);
           inst->vacuum_uncertain = true;
+          ResolvedOp rop;
+          rop.kind = SimOpKind::kVacuum;
+          rop.at = op.at;
+          rop.vacuum_uncertain = true;
+          inst->journal.push_back(rop);
           return HandleCrash(inst, nullptr);
         }
         return "vacuum: " + r.status().ToString();
@@ -620,6 +1113,14 @@ std::optional<std::string> ExecOp(Instance* inst, const SimSchema& schema,
         return "vacuum removed " + std::to_string(r.value()) +
                " atom versions, model expected " + std::to_string(expected);
       }
+      {
+        ResolvedOp rop;
+        rop.kind = SimOpKind::kVacuum;
+        rop.at = op.at;
+        inst->journal.push_back(rop);
+      }
+      // Vacuum checkpoints on success, persisting the watermark floor.
+      inst->ckpt_id_lo = inst->next_id_lo;
       break;
     }
     case SimOpKind::kTierMigrate: {
@@ -633,6 +1134,98 @@ std::optional<std::string> ExecOp(Instance* inst, const SimSchema& schema,
         if (inst->env.cut_fired()) return HandleCrash(inst, nullptr);
         return "tier-migrate: " + r.status().ToString();
       }
+      // Migration checkpoints on success, persisting the watermark floor.
+      inst->ckpt_id_lo = inst->next_id_lo;
+      break;
+    }
+    case SimOpKind::kTxnBegin: {
+      size_t s = static_cast<size_t>(op.txn_slot);
+      if (inst->slots.size() <= s) inst->slots.resize(s + 1);
+      TxnSlot& slot = inst->slots[s];
+      if (slot.open) {  // defensive: the generator never double-begins
+        ++inst->skipped_ops;
+        break;
+      }
+      slot.txn.emplace(inst->db->Begin());
+      slot.overlay.emplace(inst->model);
+      slot.pending_ids.clear();
+      slot.resolved.clear();
+      slot.keys.clear();
+      slot.begin_clock = inst->commit_clock;
+      slot.open = true;
+      ++inst->txns_begun;
+      break;
+    }
+    case SimOpKind::kTxnAbort: {
+      TxnSlot* slot = nullptr;
+      size_t s = static_cast<size_t>(op.txn_slot);
+      if (s < inst->slots.size() && inst->slots[s].open) {
+        slot = &inst->slots[s];
+      }
+      if (slot == nullptr) {  // a cut/reopen already discarded the slot
+        ++inst->skipped_ops;
+        break;
+      }
+      slot->txn->Abort();  // pure bookkeeping: ids burned, nothing logged
+      slot->txn.reset();
+      slot->overlay.reset();
+      slot->open = false;
+      ++inst->txns_aborted;
+      break;
+    }
+    case SimOpKind::kTxnCommit: {
+      TxnSlot* slot = nullptr;
+      size_t s_idx = static_cast<size_t>(op.txn_slot);
+      if (s_idx < inst->slots.size() && inst->slots[s_idx].open) {
+        slot = &inst->slots[s_idx];
+      }
+      if (slot == nullptr) {  // a cut/reopen already discarded the slot
+        ++inst->skipped_ops;
+        break;
+      }
+      // First-committer-wins prediction: scan the mirrored commit log
+      // newest-first for a write-set intersection inside the conflict
+      // window (seq > begin_clock) — the exact TxnManager predicate.
+      bool conflict = false;
+      for (auto it = inst->commit_log.rbegin();
+           it != inst->commit_log.rend() && !conflict; ++it) {
+        if (it->first <= slot->begin_clock) break;
+        for (const TxnWriteKey& k : slot->keys) {
+          if (std::binary_search(it->second.begin(), it->second.end(), k)) {
+            conflict = true;
+            break;
+          }
+        }
+      }
+      PendingCommit pending;
+      pending.ops = slot->resolved;
+      // A committed transaction of n ops consumes n + 1 op sequences
+      // (n ops + the commit record); an empty commit consumes none.
+      pending.seqs =
+          slot->resolved.empty() ? 0 : slot->resolved.size() + 1;
+      Status s = slot->txn->Commit();
+      slot->txn.reset();
+      slot->overlay.reset();
+      slot->open = false;
+      if (conflict) {
+        ++inst->txns_conflicted;
+        if (!s.IsTxnConflict()) {
+          return "txn commit: predicted first-committer-wins conflict, "
+                 "got " +
+                 (s.ok() ? std::string("OK") : s.ToString());
+        }
+        break;  // loser did no I/O; ids stay burned
+      }
+      if (!s.ok()) return FailOrCrash(inst, s, &pending, "txn commit");
+      if (!pending.ops.empty()) {
+        std::vector<TxnWriteKey> keys;
+        keys.reserve(pending.ops.size());
+        for (const ResolvedOp& rop : pending.ops) keys.push_back(KeyFor(rop));
+        RecordCommit(inst, std::move(keys));
+        for (const ResolvedOp& rop : pending.ops) ApplyResolved(inst, rop);
+      }
+      inst->acked += pending.seqs;
+      ++inst->txns_committed;
       break;
     }
     case SimOpKind::kVerify: {
@@ -798,6 +1391,14 @@ RunResult RunWorkload(const SimWorkload& w, const RunOptions& options) {
           break;
         }
       }
+      // Serializability: the final state must be explained by replaying
+      // exactly the committed transactions in commit order.
+      std::optional<std::string> serial =
+          SerializabilityCheck(inst.get(), w.schema, options.bug);
+      if (serial.has_value()) {
+        fail(inst.get(), w.ops.size(), std::move(serial.value()));
+        break;
+      }
     }
   }
 
@@ -812,6 +1413,11 @@ RunResult RunWorkload(const SimWorkload& w, const RunOptions& options) {
     report.queries_run = inst->queries_run;
     report.queries_compared = inst->queries_compared;
     report.queries_governed = inst->queries_governed;
+    report.txns_begun = inst->txns_begun;
+    report.txns_committed = inst->txns_committed;
+    report.txns_aborted = inst->txns_aborted;
+    report.txns_conflicted = inst->txns_conflicted;
+    report.serial_checks = inst->serial_checks;
     report.retired = inst->retired;
     report.dump_hash = inst->dump_hash;
     result.instances.push_back(std::move(report));
@@ -835,6 +1441,11 @@ RunResult RunWorkload(const SimWorkload& w, const RunOptions& options) {
          << ",\"queries_run\":" << r.queries_run
          << ",\"queries_compared\":" << r.queries_compared
          << ",\"queries_governed\":" << r.queries_governed
+         << ",\"txns_begun\":" << r.txns_begun
+         << ",\"txns_committed\":" << r.txns_committed
+         << ",\"txns_aborted\":" << r.txns_aborted
+         << ",\"txns_conflicted\":" << r.txns_conflicted
+         << ",\"serial_checks\":" << r.serial_checks
          << ",\"retired\":" << (r.retired ? "true" : "false")
          << ",\"dump_hash\":\"" << ToHex(r.dump_hash) << "\"}";
   }

@@ -41,6 +41,19 @@ struct InstanceReport {
   /// they are never result-compared — the oracle only requires a legal
   /// status class. The *count* is a pure function of the seed.
   uint64_t queries_governed = 0;
+  /// Explicit-transaction traffic: begins, commits that stuck, aborts
+  /// (explicit ones plus slots discarded by a reopen or power cut), and
+  /// commits that lost first-committer-wins validation with TxnConflict.
+  /// All are predicted by the harness, so every count is a pure function
+  /// of the seed (per instance: cut schedules differ across instances).
+  uint64_t txns_begun = 0;
+  uint64_t txns_committed = 0;
+  uint64_t txns_aborted = 0;
+  uint64_t txns_conflicted = 0;
+  /// End-of-run serializability probes: per-molecule HISTORY queries
+  /// compared against a fresh model rebuilt by replaying the committed
+  /// transactions in commit order.
+  uint64_t serial_checks = 0;
   /// kKeepAllTearLast can leave a detectably corrupt image; such an
   /// instance is retired (correct behaviour, not a divergence).
   bool retired = false;

@@ -21,6 +21,14 @@ void AppendColumn(std::string* row, const Value& v) {
 AtomId SimModel::InsertAtom(
     uint32_t type_pos, const std::vector<std::pair<uint32_t, Value>>& set,
     Timestamp from) {
+  AtomId id = next_id_;
+  InsertAtomWithId(id, type_pos, set, from);
+  return id;
+}
+
+void SimModel::InsertAtomWithId(
+    AtomId id, uint32_t type_pos,
+    const std::vector<std::pair<uint32_t, Value>>& set, Timestamp from) {
   const SimAtomTypeDef& def = schema_->atom_types[type_pos];
   ModelAtom atom;
   atom.type_pos = type_pos;
@@ -29,9 +37,8 @@ AtomId SimModel::InsertAtom(
   for (const SimAttrDef& a : def.attrs) v.attrs.push_back(Value::Null(a.type));
   for (const auto& [pos, value] : set) v.attrs[pos] = value;
   atom.versions.push_back(std::move(v));
-  AtomId id = next_id_++;
   atoms_[id] = std::move(atom);
-  return id;
+  if (id >= next_id_) next_id_ = id + 1;
 }
 
 bool SimModel::CanUpdate(uint32_t type_pos, AtomId id, Timestamp) const {
@@ -568,6 +575,31 @@ Result<std::multiset<std::string>> SimModel::CanonicalizeDb(
       for (size_t c = 3; c < row.size(); ++c) AppendColumn(&r, row[c]);
       out.insert(std::move(r));
     }
+  }
+  return out;
+}
+
+std::string SimModel::StateDigest() const {
+  std::string out = "horizon=" + std::to_string(horizon_) + "\n";
+  for (const auto& [id, atom] : atoms_) {
+    out += "atom #" + std::to_string(id) + " " +
+           schema_->atom_types[atom.type_pos].name;
+    for (const ModelVersion& v : atom.versions) {
+      out += " [" + std::to_string(v.valid.begin) + "," +
+             std::to_string(v.valid.end) + "){" +
+             RenderAttrs(atom.type_pos, v.attrs) + "}";
+    }
+    out += "\n";
+  }
+  for (const auto& [key, intervals] : links_) {
+    const auto& [link_pos, from, to] = key;
+    out += "link " + schema_->link_types[link_pos].name + " #" +
+           std::to_string(from) + "->#" + std::to_string(to);
+    for (const Interval& iv : intervals) {
+      out += " [" + std::to_string(iv.begin) + "," + std::to_string(iv.end) +
+             ")";
+    }
+    out += "\n";
   }
   return out;
 }

@@ -56,6 +56,15 @@ class SimModel {
                     const std::vector<std::pair<uint32_t, Value>>& set,
                     Timestamp from);
 
+  /// Records version [from, forever) under a caller-chosen id and
+  /// advances the watermark past it. Explicit transactions allocate
+  /// their atom ids at buffering time (and burn them on abort or
+  /// conflict), so the harness mirrors the database's actual surrogate
+  /// instead of predicting it.
+  void InsertAtomWithId(AtomId id, uint32_t type_pos,
+                        const std::vector<std::pair<uint32_t, Value>>& set,
+                        Timestamp from);
+
   /// Would UpdateAtom succeed? False predicts an error: NotFound when
   /// the typed store holds no versions at all for the id (never
   /// inserted, fully vacuumed, or stored under another type) and
@@ -122,6 +131,15 @@ class SimModel {
   bool AliveNow(AtomId id) const;
   std::vector<std::pair<AtomId, AtomId>> OpenLinks(uint32_t link_pos) const;
   Timestamp horizon() const { return horizon_; }
+
+  /// Canonical rendering of the full logical state (every atom version,
+  /// every link interval, the uncertain-vacuum horizon). The
+  /// serializability check replays the committed-transaction journal in
+  /// commit order into a fresh model and requires its digest to equal
+  /// the lock-step model's — any drift in the harness's commit-order
+  /// bookkeeping or the all-or-nothing crash reconciliation shows up as
+  /// a byte difference here.
+  std::string StateDigest() const;
 
  private:
   using LinkKey = std::tuple<uint32_t, AtomId, AtomId>;

@@ -226,6 +226,11 @@ SimWorkload GenerateWorkload(uint64_t seed, const GenOptions& options) {
   w.tiering_cold_age = static_cast<Timestamp>(rng.UniformRange(8, 32));
   w.tiering_segment_bytes = 1024 * (1 + rng.Uniform(4));
   w.transient_io_enabled = options.enable_transient_io;
+  // Transaction knobs are likewise drawn unconditionally; a --no_txns
+  // run generates the identical DML/query stream and only strips the
+  // slot assignments at the end.
+  const uint32_t num_slots = 2 + static_cast<uint32_t>(rng.Uniform(3));
+  std::vector<char> slot_open(num_slots, 0);
 
   // A shadow model keeps generated ops mostly-valid (alive targets, open
   // links) without talking to a real database.
@@ -341,8 +346,32 @@ SimWorkload GenerateWorkload(uint64_t seed, const GenOptions& options) {
       const SimAtomTypeDef& def = w.schema.atom_types[op.type_pos];
       op.set.emplace_back(0, RandomValue(&rng, def.attrs[0].type));
       op.at = now;
-    } else if (roll < 85) {  // query
+    } else if (roll < 79) {  // query
       GenerateQuery(&rng, w.schema, now, options, &op);
+    } else if (roll < 85) {  // transaction control
+      // All randomness is drawn before branching so the stream stays
+      // aligned whether or not a slot was available.
+      const bool want_begin_roll = rng.Uniform(3) == 0;
+      const uint32_t pick = static_cast<uint32_t>(rng.Uniform(num_slots));
+      const bool commit_roll = rng.Bernoulli(0.85);
+      std::vector<uint32_t> open_slots, closed_slots;
+      for (uint32_t s = 0; s < num_slots; ++s) {
+        (slot_open[s] ? open_slots : closed_slots).push_back(s);
+      }
+      bool want_begin = want_begin_roll;
+      if (want_begin && closed_slots.empty()) want_begin = false;
+      if (!want_begin && open_slots.empty()) want_begin = true;
+      if (want_begin) {
+        uint32_t s = closed_slots[pick % closed_slots.size()];
+        op.kind = SimOpKind::kTxnBegin;
+        op.txn_slot = static_cast<int>(s);
+        slot_open[s] = 1;
+      } else {
+        uint32_t s = open_slots[pick % open_slots.size()];
+        op.kind = commit_roll ? SimOpKind::kTxnCommit : SimOpKind::kTxnAbort;
+        op.txn_slot = static_cast<int>(s);
+        slot_open[s] = 0;
+      }
     } else if (roll < 89) {
       op.kind = SimOpKind::kCheckpoint;
     } else if (roll < 92) {
@@ -372,7 +401,38 @@ SimWorkload GenerateWorkload(uint64_t seed, const GenOptions& options) {
     } else {
       op.kind = SimOpKind::kVerify;
     }
+    // Scatter DML across the open transaction slots. The shadow model
+    // already applied the op optimistically (as if the transaction will
+    // commit); aborts and conflicts leave ghost targets behind, which
+    // the harness treats like any other invalid reference (error-path
+    // probes). Bad updates stay auto-commit: they probe the immediate
+    // error surface, not buffering.
+    switch (op.kind) {
+      case SimOpKind::kInsert:
+      case SimOpKind::kUpdate:
+      case SimOpKind::kDelete:
+      case SimOpKind::kConnect:
+      case SimOpKind::kDisconnect: {
+        const bool assign = rng.Bernoulli(0.45);
+        const uint32_t pick = static_cast<uint32_t>(rng.Uniform(num_slots));
+        if (assign && slot_open[pick]) op.txn_slot = static_cast<int>(pick);
+        break;
+      }
+      default: break;
+    }
     w.ops.push_back(std::move(op));
+  }
+  if (!options.enable_txns) {
+    // Ablation: identical stream minus the transactional layer. Control
+    // ops degrade to cheap integrity checks; DML auto-commits.
+    for (SimOp& op : w.ops) {
+      op.txn_slot = -1;
+      if (op.kind == SimOpKind::kTxnBegin ||
+          op.kind == SimOpKind::kTxnCommit ||
+          op.kind == SimOpKind::kTxnAbort) {
+        op.kind = SimOpKind::kVerify;
+      }
+    }
   }
   return w;
 }
@@ -431,6 +491,10 @@ std::string QueryToMql(const SimSchema& schema, const SimOp& op) {
 
 std::string OpToString(const SimSchema& schema, const SimOp& op) {
   auto type_name = [&](uint32_t pos) { return schema.atom_types[pos].name; };
+  auto slot_tag = [&]() {
+    return op.txn_slot >= 0 ? " [txn slot " + std::to_string(op.txn_slot) + "]"
+                            : std::string();
+  };
   auto render_set = [&](uint32_t type_pos) {
     std::string s;
     for (const auto& [pos, value] : op.set) {
@@ -444,23 +508,25 @@ std::string OpToString(const SimSchema& schema, const SimOp& op) {
     case SimOpKind::kInsert:
       return "insert " + type_name(op.type_pos) + " #" +
              std::to_string(op.atom) + " {" + render_set(op.type_pos) +
-             "} @" + std::to_string(op.at);
+             "} @" + std::to_string(op.at) + slot_tag();
     case SimOpKind::kUpdate:
     case SimOpKind::kBadUpdate:
       return std::string(op.kind == SimOpKind::kUpdate ? "update "
                                                        : "bad-update ") +
              type_name(op.type_pos) + " #" + std::to_string(op.atom) + " {" +
-             render_set(op.type_pos) + "} @" + std::to_string(op.at);
+             render_set(op.type_pos) + "} @" + std::to_string(op.at) +
+             slot_tag();
     case SimOpKind::kDelete:
       return "delete " + type_name(op.type_pos) + " #" +
-             std::to_string(op.atom) + " @" + std::to_string(op.at);
+             std::to_string(op.atom) + " @" + std::to_string(op.at) +
+             slot_tag();
     case SimOpKind::kConnect:
     case SimOpKind::kDisconnect:
       return std::string(op.kind == SimOpKind::kConnect ? "connect "
                                                         : "disconnect ") +
              schema.link_types[op.link_pos].name + " #" +
              std::to_string(op.from) + " -> #" + std::to_string(op.to) +
-             " @" + std::to_string(op.at);
+             " @" + std::to_string(op.at) + slot_tag();
     case SimOpKind::kCheckpoint: return "checkpoint";
     case SimOpKind::kReopen: return "reopen";
     case SimOpKind::kPowerCut:
@@ -469,6 +535,9 @@ std::string OpToString(const SimSchema& schema, const SimOp& op) {
              (op.cut_mode == CutMode::kDropUnsynced ? "drop-unsynced"
                                                     : "keep-all-tear-last");
     case SimOpKind::kVacuum: return "vacuum before " + std::to_string(op.at);
+    case SimOpKind::kTxnBegin: return "txn-begin" + slot_tag();
+    case SimOpKind::kTxnCommit: return "txn-commit" + slot_tag();
+    case SimOpKind::kTxnAbort: return "txn-abort" + slot_tag();
     case SimOpKind::kTierMigrate: return "tier-migrate";
     case SimOpKind::kVerify: return "verify-integrity";
     case SimOpKind::kQuery: {

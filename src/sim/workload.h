@@ -75,6 +75,13 @@ enum class SimOpKind {
   kTierMigrate,  // cold-history migration (logically invisible)
   kVerify,
   kQuery,
+  /// Explicit transaction control over one of a small set of slots
+  /// (`txn_slot`). DML ops carrying txn_slot >= 0 are buffered into
+  /// that slot's open transaction instead of auto-committing; kTxnCommit
+  /// runs first-committer-wins validation and group-commits the buffer.
+  kTxnBegin,
+  kTxnCommit,
+  kTxnAbort,
 };
 
 enum class SimQueryKind {
@@ -91,6 +98,13 @@ enum class SimQueryKind {
 /// because the shrinker clones and rewrites traces wholesale.
 struct SimOp {
   SimOpKind kind = SimOpKind::kInsert;
+
+  /// Transaction slot: the slot a kTxnBegin/kTxnCommit/kTxnAbort targets,
+  /// or — on a DML op — the open slot whose transaction buffers the op.
+  /// -1 = auto-commit (the default). The harness treats a slotted DML op
+  /// whose slot is not open (a cut or reopen discarded it) as
+  /// auto-commit, so shrunk traces never dangle.
+  int txn_slot = -1;
 
   // DML (insert / update / bad-update / delete)
   uint32_t type_pos = 0;
@@ -169,6 +183,12 @@ struct GenOptions {
   /// Transient-EIO disk mode: some queries run with a couple of injected
   /// transient read failures that the instances' retry policy absorbs.
   bool enable_transient_io = true;
+  /// Interleaved explicit transactions: ops scattered across 2-4
+  /// concurrent snapshot-isolation transactions with begin/commit/abort
+  /// control ops in the stream. Disabling strips the slot assignments
+  /// and turns the control ops into kVerify — the DML/query stream is
+  /// otherwise bit-identical (ablation: `fuzz_sim --no_txns`).
+  bool enable_txns = true;
 };
 
 /// Deterministically expands one 64-bit seed into a schema + op stream.

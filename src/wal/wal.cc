@@ -1,5 +1,6 @@
 #include "wal/wal.h"
 
+#include <chrono>
 #include <cstring>
 #include <vector>
 
@@ -26,18 +27,21 @@ Result<std::unique_ptr<WriteAheadLog>> WriteAheadLog::Open(
 WriteAheadLog::~WriteAheadLog() = default;
 
 Status WriteAheadLog::Append(const Slice& payload) {
-  TCOB_RETURN_NOT_OK(health_);
   std::string frame;
   frame.reserve(kFrameHeader + payload.size());
   PutFixed32(&frame, static_cast<uint32_t>(payload.size()));
   PutFixed32(&frame, Checksum32(payload.data(), payload.size()));
   frame.append(payload.data(), payload.size());
-  Status st = file_->WriteAt(write_pos_, frame);
-  if (!st.ok()) {
-    health_ = st;
-    return st;
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    TCOB_RETURN_NOT_OK(health_);
+    Status st = file_->WriteAt(write_pos_, frame);
+    if (!st.ok()) {
+      health_ = st;
+      return st;
+    }
+    write_pos_ += frame.size();
   }
-  write_pos_ += frame.size();
   appended_.Increment();
   appended_bytes_.Add(frame.size());
   TraceEmit(trace_, TraceEventType::kWalAppend, payload.size());
@@ -45,6 +49,7 @@ Status WriteAheadLog::Append(const Slice& payload) {
 }
 
 Status WriteAheadLog::Sync() {
+  std::lock_guard<std::mutex> lk(mu_);
   TCOB_RETURN_NOT_OK(health_);
   TraceEmit(trace_, TraceEventType::kWalFsyncBegin);
   Status st = file_->Sync();
@@ -54,9 +59,41 @@ Status WriteAheadLog::Sync() {
   return st;
 }
 
+Status WriteAheadLog::SyncBatch() {
+  std::unique_lock<std::mutex> lk(sync_mu_);
+  if (!group_commit_) {
+    lk.unlock();
+    return Sync();
+  }
+  const uint64_t my_req = ++sync_requests_;
+  while (sync_satisfied_ < my_req && leader_active_) {
+    sync_cv_.wait(lk);
+  }
+  if (sync_satisfied_ >= my_req) return last_batch_status_;
+
+  // Leader: one fsync covers every request registered so far. An
+  // optional window lets late committers join this group instead of
+  // forming the next one.
+  leader_active_ = true;
+  if (batch_window_micros_ > 0) {
+    sync_cv_.wait_for(lk, std::chrono::microseconds(batch_window_micros_));
+  }
+  const uint64_t batch_end = sync_requests_;
+  lk.unlock();
+  Status st = Sync();
+  lk.lock();
+  group_size_.Observe(batch_end - sync_satisfied_);
+  sync_satisfied_ = batch_end;
+  last_batch_status_ = st;
+  leader_active_ = false;
+  sync_cv_.notify_all();
+  return st;
+}
+
 Status WriteAheadLog::ReadAll(
     const std::function<Result<bool>(const Slice&)>& fn,
     WalReadStats* stats) const {
+  std::lock_guard<std::mutex> lk(mu_);
   WalReadStats local;
   bool stopped_early = false;
   TCOB_ASSIGN_OR_RETURN(uint64_t size, file_->Size());
@@ -98,6 +135,7 @@ Status WriteAheadLog::ReadAll(
 }
 
 Status WriteAheadLog::Truncate() {
+  std::lock_guard<std::mutex> lk(mu_);
   TCOB_RETURN_NOT_OK(health_);
   Status st = file_->Truncate(0);
   if (st.ok()) st = file_->Sync();
@@ -110,6 +148,9 @@ Status WriteAheadLog::Truncate() {
   return Status::OK();
 }
 
-Result<uint64_t> WriteAheadLog::SizeBytes() const { return file_->Size(); }
+Result<uint64_t> WriteAheadLog::SizeBytes() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return file_->Size();
+}
 
 }  // namespace tcob

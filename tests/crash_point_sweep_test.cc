@@ -23,6 +23,7 @@
 
 #include <gtest/gtest.h>
 
+#include <map>
 #include <set>
 #include <string>
 #include <vector>
@@ -381,6 +382,183 @@ TEST_P(CrashPointSweepTest, PowerCutAtEveryEventInsideTierMigration) {
     EXPECT_TRUE(verdict.ok()) << verdict.ToString();
     EXPECT_EQ(Snapshot(db), expected)
         << "history lost or duplicated by the interrupted migration";
+  }
+}
+
+// ---- transactional sweep ----
+
+/// A scripted mix of auto-commit statements, multi-statement
+/// transactions (BEGIN; ... COMMIT; through the MQL session API, so the
+/// sweep crosses the same code path a shell user does), and one
+/// mid-script checkpoint. `seqs` is the op_seq budget a fully applied
+/// step consumes (a committed txn of n ops consumes n + 1: its ops plus
+/// the commit record).
+struct TxnStep {
+  std::vector<std::string> stmts;
+  bool txn = false;
+  bool checkpoint = false;
+  uint64_t seqs = 0;
+};
+
+const std::vector<TxnStep>& TxnSteps() {
+  static const std::vector<TxnStep> steps = {
+      {{"INSERT ATOM Dept (name='eng', budget=100) VALID FROM 10"},
+       false, false, 1},
+      {{"INSERT ATOM Emp (name='e0', salary=100) VALID FROM 10",
+        "INSERT ATOM Emp (name='e1', salary=110) VALID FROM 10",
+        "CONNECT DeptEmp FROM 1 TO 2 VALID FROM 11",
+        "CONNECT DeptEmp FROM 1 TO 3 VALID FROM 11"},
+       true, false, 5},
+      {{"UPDATE ATOM Emp 2 SET salary=200 VALID FROM 20"}, false, false, 1},
+      {{"UPDATE ATOM Emp 3 SET salary=210 VALID FROM 21",
+        "INSERT ATOM Emp (name='e2', salary=120) VALID FROM 22",
+        "CONNECT DeptEmp FROM 1 TO 4 VALID FROM 22"},
+       true, false, 4},
+      {{}, false, true, 0},
+      {{"DELETE ATOM Emp 3 VALID FROM 30",
+        "DISCONNECT DeptEmp FROM 1 TO 3 VALID FROM 30"},
+       true, false, 3},
+      {{"UPDATE ATOM Dept 1 SET budget=150 VALID FROM 31"}, false, false, 1},
+  };
+  return steps;
+}
+
+/// op_seq watermark after the first `steps` fully applied steps.
+uint64_t TxnBoundary(size_t steps) {
+  uint64_t seq = 0;
+  for (size_t i = 0; i < steps && i < TxnSteps().size(); ++i) {
+    seq += TxnSteps()[i].seqs;
+  }
+  return seq;
+}
+
+/// Runs the transactional script until the first failure. `*completed`
+/// counts fully acknowledged steps (a txn counts only once COMMIT; was
+/// acknowledged).
+void RunTxnSteps(Database* db, size_t* completed, bool* aborted) {
+  *completed = 0;
+  *aborted = false;
+  for (const TxnStep& step : TxnSteps()) {
+    if (step.checkpoint) {
+      if (!db->Checkpoint().ok()) {
+        *aborted = true;
+        return;
+      }
+    } else if (step.txn) {
+      if (!db->Execute("BEGIN;").ok()) {
+        *aborted = true;
+        return;
+      }
+      for (const std::string& stmt : step.stmts) {
+        if (!db->Execute(stmt).ok()) {
+          *aborted = true;
+          return;
+        }
+      }
+      if (!db->Execute("COMMIT;").ok()) {
+        *aborted = true;
+        return;
+      }
+    } else {
+      if (!db->Execute(step.stmts[0]).ok()) {
+        *aborted = true;
+        return;
+      }
+    }
+    ++*completed;
+  }
+}
+
+TEST_P(CrashPointSweepTest, PowerCutAtEveryEventInsideGroupedTxnCommits) {
+  // Oracle: the logical state at every transaction boundary, keyed by
+  // the op_seq watermark a recovery landing there must report. The
+  // checkpoint step shares its predecessor's watermark (it consumes no
+  // op_seq and must not change the logical state).
+  std::map<uint64_t, std::multiset<std::string>> oracle;
+  uint64_t setup_events = 0, script_events = 0;
+  {
+    // Event-budget run: the exact script RunTxnSteps replays in each
+    // victim, with nothing else interleaved. (Snapshot() below issues
+    // queries that do their own I/O; counting those would schedule cut
+    // points past the last event a victim run ever reaches.)
+    FaultInjectingIoEnv env;
+    auto db = Database::Open("db", Options(&env));
+    ASSERT_TRUE(db.ok()) << db.status().ToString();
+    RunSetup(db->get());
+    setup_events = env.events();
+    size_t completed = 0;
+    bool aborted = false;
+    RunTxnSteps(db->get(), &completed, &aborted);
+    ASSERT_FALSE(aborted);
+    ASSERT_EQ(completed, TxnSteps().size());
+    script_events = env.events() - setup_events;
+  }
+  {
+    // Oracle run: same script against a fresh store, capturing the
+    // logical state at every transaction boundary.
+    FaultInjectingIoEnv env;
+    auto db = Database::Open("db", Options(&env));
+    ASSERT_TRUE(db.ok()) << db.status().ToString();
+    RunSetup(db->get());
+    oracle[0] = Snapshot(db->get());
+    for (size_t i = 0; i < TxnSteps().size(); ++i) {
+      const TxnStep& step = TxnSteps()[i];
+      if (step.checkpoint) {
+        ASSERT_TRUE((*db)->Checkpoint().ok());
+      } else if (step.txn) {
+        ASSERT_TRUE((*db)->Execute("BEGIN;").ok());
+        for (const std::string& stmt : step.stmts) {
+          auto r = (*db)->Execute(stmt);
+          ASSERT_TRUE(r.ok()) << stmt << ": " << r.status().ToString();
+        }
+        ASSERT_TRUE((*db)->Execute("COMMIT;").ok());
+      } else {
+        ASSERT_TRUE((*db)->Execute(step.stmts[0]).ok());
+      }
+      ASSERT_EQ((*db)->applied_op_seq(), TxnBoundary(i + 1))
+          << "step " << i << " consumed an unexpected op_seq budget";
+      oracle[TxnBoundary(i + 1)] = Snapshot(db->get());
+    }
+  }
+  ASSERT_GE(script_events, 20u);
+
+  for (uint64_t k = 1; k <= script_events; ++k) {
+    SCOPED_TRACE("power cut at txn-script event " + std::to_string(k));
+    FaultInjectingIoEnv env;
+    Database* victim = nullptr;
+    {
+      auto db = Database::Open("db", Options(&env));
+      ASSERT_TRUE(db.ok()) << db.status().ToString();
+      victim = db->release();
+    }
+    RunSetup(victim);
+    ASSERT_EQ(env.events(), setup_events) << "setup is not deterministic";
+    env.PowerCutAfterEvents(setup_events + k, CutMode::kDropUnsynced);
+    size_t completed = 0;
+    bool aborted = false;
+    RunTxnSteps(victim, &completed, &aborted);
+    ASSERT_TRUE(env.cut_fired());
+    env.Revive();  // victim deliberately leaked (see CutAt)
+    auto reopened = Database::Open("db", Options(&env));
+    ASSERT_TRUE(reopened.ok()) << reopened.status().ToString();
+    Database* db = reopened->get();
+
+    // Per-transaction atomicity: recovery may land on the boundary
+    // after the last acknowledged step, or one step further (an
+    // in-flight commit whose WAL records all reached durability before
+    // the cut) — never in between. A watermark strictly inside a
+    // transaction's op_seq range would mean a half-applied txn.
+    const uint64_t m = db->applied_op_seq();
+    const uint64_t at_acked = TxnBoundary(completed);
+    const uint64_t next = TxnBoundary(completed + 1);
+    ASSERT_TRUE(m == at_acked || (aborted && m == next))
+        << "recovered watermark " << m << " is not a transaction boundary "
+        << "(acked " << at_acked << ", in-flight end " << next << ")";
+    ASSERT_EQ(oracle.count(m), 1u);
+    Status verdict = db->VerifyIntegrity();
+    EXPECT_TRUE(verdict.ok()) << verdict.ToString();
+    EXPECT_EQ(Snapshot(db), oracle[m])
+        << "state is not the boundary at op_seq " << m;
   }
 }
 

@@ -1,0 +1,484 @@
+// Snapshot-isolation MVCC semantics: snapshot-pinned reads, write-write
+// conflict detection (first-committer-wins), session transactions over
+// MQL, and group-commit fsync batching. The commit-storm test doubles
+// as the TSan target for the whole transaction path.
+
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/temp_dir.h"
+#include "db/database.h"
+#include "db/transaction.h"
+
+namespace tcob {
+namespace {
+
+class MvccTest : public ::testing::TestWithParam<StorageStrategy> {
+ protected:
+  void SetUp() override {
+    DatabaseOptions options;
+    options.strategy = GetParam();
+    auto db = Database::Open(dir_.path() + "/db", options);
+    ASSERT_TRUE(db.ok()) << db.status().ToString();
+    db_ = std::move(db).value();
+    ASSERT_TRUE(db_->CreateAtomType("Dept", {{"name", AttrType::kString},
+                                             {"budget", AttrType::kInt}})
+                    .ok());
+    ASSERT_TRUE(db_->CreateAtomType("Emp", {{"name", AttrType::kString},
+                                            {"salary", AttrType::kInt}})
+                    .ok());
+    ASSERT_TRUE(db_->CreateLinkType("DeptEmp", "Dept", "Emp").ok());
+    ASSERT_TRUE(
+        db_->CreateMoleculeType("DeptMol", "Dept", {{"DeptEmp", true}}).ok());
+  }
+
+  /// One connected Dept -> Emp pair at valid time 10; returns the Emp.
+  AtomId SeedMolecule() {
+    AtomId dept = db_->InsertAtom("Dept",
+                                  {{"name", Value::String("R&D")},
+                                   {"budget", Value::Int(500)}},
+                                  10)
+                      .value();
+    AtomId emp = db_->InsertAtom("Emp",
+                                 {{"name", Value::String("ada")},
+                                  {"salary", Value::Int(100)}},
+                                 10)
+                     .value();
+    EXPECT_TRUE(db_->Connect("DeptEmp", dept, emp, 10).ok());
+    return emp;
+  }
+
+  size_t CountRows(const std::string& mql) {
+    auto r = db_->Execute(mql);
+    EXPECT_TRUE(r.ok()) << r.status().ToString();
+    return r.ok() ? r.value().RowCount() : 0;
+  }
+
+  size_t CountAtomsAt(const std::string& type_name, Timestamp t) {
+    auto type = db_->catalog().GetAtomTypeByName(type_name);
+    EXPECT_TRUE(type.ok());
+    size_t n = 0;
+    Status s = db_->store()->ScanAsOf(
+        *type.value(), t, [&](const AtomVersion&) -> Result<bool> {
+          ++n;
+          return true;
+        });
+    EXPECT_TRUE(s.ok()) << s.ToString();
+    return n;
+  }
+
+  TempDir dir_;
+  std::unique_ptr<Database> db_;
+};
+
+// A session transaction's reads are pinned to its snapshot: a commit
+// that lands after BEGIN is invisible until the session closes.
+TEST_P(MvccTest, SnapshotReadStableAcrossConcurrentCommit) {
+  AtomId emp = SeedMolecule();
+  ASSERT_TRUE(db_->BeginSession().ok());
+  EXPECT_EQ(
+      CountRows("SELECT Emp.salary FROM DeptMol WHERE Emp.salary = 100 "
+                "VALID AT NOW"),
+      1u);
+  // A concurrent writer commits an update from another thread.
+  std::thread writer([&] {
+    Transaction txn = db_->Begin();
+    ASSERT_TRUE(
+        txn.UpdateAtom("Emp", emp, {{"salary", Value::Int(200)}}, db_->Now())
+            .ok());
+    ASSERT_TRUE(txn.Commit().ok());
+  });
+  writer.join();
+  // Same query, same answer: the update happened after our snapshot.
+  EXPECT_EQ(
+      CountRows("SELECT Emp.salary FROM DeptMol WHERE Emp.salary = 100 "
+                "VALID AT NOW"),
+      1u);
+  EXPECT_EQ(
+      CountRows("SELECT Emp.salary FROM DeptMol WHERE Emp.salary = 200 "
+                "VALID AT NOW"),
+      0u);
+  ASSERT_TRUE(db_->CommitSession().ok());
+  // Outside the transaction the committed update is visible.
+  EXPECT_EQ(
+      CountRows("SELECT Emp.salary FROM DeptMol WHERE Emp.salary = 200 "
+                "VALID AT NOW"),
+      1u);
+}
+
+// An explicit VALID AT later than the snapshot clamps back to it: time
+// does not advance inside a transaction, even on request.
+TEST_P(MvccTest, AsOfInsideTxnPinsToSnapshot) {
+  AtomId emp = SeedMolecule();
+  ASSERT_TRUE(db_->BeginSession().ok());
+  {
+    Transaction txn = db_->Begin();
+    ASSERT_TRUE(
+        txn.UpdateAtom("Emp", emp, {{"salary", Value::Int(200)}}, db_->Now())
+            .ok());
+    ASSERT_TRUE(txn.Commit().ok());
+  }
+  // 1000 is far beyond the concurrent update's begin, but inside the
+  // session it is clamped to the snapshot instant.
+  EXPECT_EQ(
+      CountRows("SELECT Emp.salary FROM DeptMol WHERE Emp.salary = 200 "
+                "VALID AT 1000"),
+      0u);
+  EXPECT_EQ(
+      CountRows("SELECT Emp.salary FROM DeptMol WHERE Emp.salary = 100 "
+                "VALID AT 1000"),
+      1u);
+  ASSERT_TRUE(db_->AbortSession().ok());
+  EXPECT_EQ(
+      CountRows("SELECT Emp.salary FROM DeptMol WHERE Emp.salary = 200 "
+                "VALID AT 1000"),
+      1u);
+}
+
+// First-committer-wins: of two overlapping writers, exactly one commits
+// and the other aborts with TxnConflict.
+TEST_P(MvccTest, WriteWriteConflictHasExactlyOneWinner) {
+  AtomId emp = SeedMolecule();
+  Transaction t1 = db_->Begin();
+  Transaction t2 = db_->Begin();
+  ASSERT_TRUE(
+      t1.UpdateAtom("Emp", emp, {{"salary", Value::Int(200)}}, 20).ok());
+  ASSERT_TRUE(
+      t2.UpdateAtom("Emp", emp, {{"salary", Value::Int(300)}}, 20).ok());
+  Status first = t1.Commit();
+  Status second = t2.Commit();
+  EXPECT_TRUE(first.ok()) << first.ToString();
+  EXPECT_TRUE(second.IsTxnConflict()) << second.ToString();
+  EXPECT_EQ(db_->MetricsSnapshot().CounterOr("tcob_txn_conflicts_total", 0), 1u);
+  // The winner's version is the one in history; the loser left nothing.
+  EXPECT_EQ(
+      CountRows("SELECT Emp.salary FROM DeptMol WHERE Emp.salary = 200 "
+                "HISTORY"),
+      1u);
+  EXPECT_EQ(
+      CountRows("SELECT Emp.salary FROM DeptMol WHERE Emp.salary = 300 "
+                "HISTORY"),
+      0u);
+}
+
+// Disjoint write sets do not conflict, in either commit order.
+TEST_P(MvccTest, DisjointWritersBothCommit) {
+  AtomId emp = SeedMolecule();
+  AtomId emp2 = db_->InsertAtom("Emp",
+                                {{"name", Value::String("bob")},
+                                 {"salary", Value::Int(50)}},
+                                10)
+                    .value();
+  Transaction t1 = db_->Begin();
+  Transaction t2 = db_->Begin();
+  ASSERT_TRUE(
+      t1.UpdateAtom("Emp", emp, {{"salary", Value::Int(200)}}, 20).ok());
+  ASSERT_TRUE(
+      t2.UpdateAtom("Emp", emp2, {{"salary", Value::Int(60)}}, 20).ok());
+  EXPECT_TRUE(t1.Commit().ok());
+  EXPECT_TRUE(t2.Commit().ok());
+  EXPECT_EQ(db_->MetricsSnapshot().CounterOr("tcob_txn_conflicts_total", 0), 0u);
+}
+
+// An auto-commit statement is a single-op committed transaction for
+// conflict purposes: an open transaction that wrote the same atom must
+// lose at its own commit.
+TEST_P(MvccTest, AutoCommitStatementWinsAgainstOpenTxn) {
+  AtomId emp = SeedMolecule();
+  Transaction txn = db_->Begin();
+  ASSERT_TRUE(
+      txn.UpdateAtom("Emp", emp, {{"salary", Value::Int(200)}}, 20).ok());
+  ASSERT_TRUE(
+      db_->UpdateAtom("Emp", emp, {{"salary", Value::Int(999)}}, 20).ok());
+  EXPECT_TRUE(txn.Commit().IsTxnConflict());
+}
+
+// Aborting a transaction leaves no trace in the data: the WAL never
+// saw it, no store holds a version from it, and the full history is
+// unchanged — even across a reopen. (The one permitted residue is the
+// burned surrogate id: allocation is not transactional, and a clean
+// shutdown checkpoints the advanced watermark — same model as sequence
+// objects in conventional engines.)
+TEST_P(MvccTest, AbortLeavesNoTraceInDump) {
+  AtomId emp = SeedMolecule();
+  const uint64_t wal_before = db_->wal()->appended_records();
+  {
+    Transaction txn = db_->Begin();
+    ASSERT_TRUE(txn.InsertAtom("Emp",
+                               {{"name", Value::String("ghost")},
+                                {"salary", Value::Int(1)}},
+                               20)
+                    .ok());
+    ASSERT_TRUE(
+        txn.UpdateAtom("Emp", emp, {{"salary", Value::Int(777)}}, 20).ok());
+    txn.Abort();
+  }
+  EXPECT_EQ(db_->wal()->appended_records(), wal_before);
+  EXPECT_EQ(db_->ActiveTxns(), 0u);
+  db_.reset();
+  DatabaseOptions options;
+  options.strategy = GetParam();
+  auto reopened = Database::Open(dir_.path() + "/db", options);
+  ASSERT_TRUE(reopened.ok()) << reopened.status().ToString();
+  db_ = std::move(reopened).value();
+  // The ghost insert never existed at any instant; the buffered update
+  // never became a version (salary history is the single seed value).
+  EXPECT_EQ(CountAtomsAt("Emp", 25), 1u);
+  EXPECT_EQ(CountRows("SELECT Emp.name FROM DeptMol HISTORY"), 1u);
+  EXPECT_EQ(
+      CountRows("SELECT Emp.salary FROM DeptMol WHERE Emp.salary = 777 "
+                "HISTORY"),
+      0u);
+  EXPECT_EQ(
+      CountRows("SELECT Emp.salary FROM DeptMol WHERE Emp.salary = 100 "
+                "HISTORY"),
+      1u);
+}
+
+// A write-free transaction commits without touching the WAL.
+TEST_P(MvccTest, EmptyCommitIsFree) {
+  const uint64_t wal_before = db_->wal()->appended_records();
+  Transaction txn = db_->Begin();
+  ASSERT_TRUE(txn.Commit().ok());
+  EXPECT_EQ(db_->wal()->appended_records(), wal_before);
+  EXPECT_EQ(db_->MetricsSnapshot().CounterOr("tcob_txns_committed_total", 0), 1u);
+}
+
+// The MQL surface: BEGIN; buffers DML, ABORT; discards it, COMMIT;
+// publishes it, and a second BEGIN; inside a transaction is refused.
+TEST_P(MvccTest, SessionTxnOverMql) {
+  SeedMolecule();
+  ASSERT_TRUE(db_->Execute("BEGIN;").ok());
+  EXPECT_TRUE(db_->Execute("BEGIN;").status().IsInvalidArgument());
+  auto buffered = db_->Execute(
+      "INSERT ATOM Emp (name='eve', salary=70) VALID FROM 20;");
+  ASSERT_TRUE(buffered.ok()) << buffered.status().ToString();
+  EXPECT_NE(buffered.value().message.find("buffered"), std::string::npos);
+  // Our own write is not publicly visible yet.
+  EXPECT_EQ(
+      CountRows("SELECT Emp.salary FROM DeptMol WHERE Emp.salary = 70 "
+                "VALID AT 30"),
+      0u);
+  ASSERT_TRUE(db_->Execute("ABORT;").ok());
+  EXPECT_EQ(CountRows("SELECT Emp.name FROM DeptMol HISTORY"), 1u);
+
+  ASSERT_TRUE(db_->Execute("BEGIN;").ok());
+  AtomId dept2;
+  {
+    auto r = db_->Execute(
+        "INSERT ATOM Dept (name='Ops', budget=50) VALID FROM 20;");
+    ASSERT_TRUE(r.ok()) << r.status().ToString();
+    dept2 = r.value().inserted_id;
+  }
+  auto r2 = db_->Execute("INSERT ATOM Emp (name='eve', salary=70) "
+                         "VALID FROM 20;");
+  ASSERT_TRUE(r2.ok());
+  ASSERT_TRUE(db_->Execute("CONNECT DeptEmp FROM " + std::to_string(dept2) +
+                           " TO " + std::to_string(r2.value().inserted_id) +
+                           " VALID FROM 20;")
+                  .ok());
+  ASSERT_TRUE(db_->Execute("COMMIT;").ok());
+  EXPECT_EQ(
+      CountRows("SELECT Emp.salary FROM DeptMol WHERE Emp.salary = 70 "
+                "VALID AT 30"),
+      1u);
+  EXPECT_TRUE(db_->Execute("COMMIT;").status().IsInvalidArgument());
+  EXPECT_TRUE(db_->Execute("ABORT;").status().IsInvalidArgument());
+}
+
+// Commits and aborts survive recovery: replay applies exactly the
+// committed transactions and discards the rest.
+TEST_P(MvccTest, RecoveryHonorsTxnBoundaries) {
+  SeedMolecule();
+  {
+    Transaction committed = db_->Begin();
+    ASSERT_TRUE(committed
+                    .InsertAtom("Emp",
+                                {{"name", Value::String("kept")},
+                                 {"salary", Value::Int(1)}},
+                                20)
+                    .ok());
+    ASSERT_TRUE(committed.Commit().ok());
+    Transaction dropped = db_->Begin();
+    ASSERT_TRUE(dropped
+                    .InsertAtom("Emp",
+                                {{"name", Value::String("lost")},
+                                 {"salary", Value::Int(2)}},
+                                20)
+                    .ok());
+    dropped.Abort();
+  }
+  DatabaseOptions options;
+  options.strategy = GetParam();
+  db_.reset();
+  db_ = Database::Open(dir_.path() + "/db", options).value();
+  // Seed emp + the committed insert; the aborted one never existed.
+  EXPECT_EQ(CountAtomsAt("Emp", 30), 2u);
+}
+
+// Eight threads commit disjoint inserts concurrently; every commit must
+// succeed, every atom must be present exactly once, and the write-set
+// log must drain once the storm ends. This is the TSan workout for
+// Begin/Commit/SyncBatch interleavings.
+TEST_P(MvccTest, ConcurrentDisjointCommitStorm) {
+  constexpr int kThreads = 8;
+  constexpr int kTxnsPerThread = 4;
+  std::vector<std::thread> threads;
+  std::atomic<int> failures{0};
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      for (int i = 0; i < kTxnsPerThread; ++i) {
+        Transaction txn = db_->Begin();
+        auto id = txn.InsertAtom(
+            "Emp",
+            {{"name", Value::String("w" + std::to_string(t) + "_" +
+                                    std::to_string(i))},
+             {"salary", Value::Int(t * 100 + i)}},
+            10);
+        if (!id.ok() || !txn.Commit().ok()) failures.fetch_add(1);
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_EQ(failures.load(), 0);
+  auto snap = db_->MetricsSnapshot();
+  EXPECT_EQ(snap.CounterOr("tcob_txns_committed_total", 0),
+            static_cast<uint64_t>(kThreads * kTxnsPerThread));
+  EXPECT_EQ(snap.CounterOr("tcob_txn_conflicts_total", 0), 0u);
+  EXPECT_EQ(db_->ActiveTxns(), 0u);
+  EXPECT_EQ(CountAtomsAt("Emp", 10),
+            static_cast<size_t>(kThreads * kTxnsPerThread));
+}
+
+INSTANTIATE_TEST_SUITE_P(AllStrategies, MvccTest,
+                         ::testing::Values(StorageStrategy::kSnapshot,
+                                           StorageStrategy::kIntegrated,
+                                           StorageStrategy::kSeparated),
+                         [](const auto& info) {
+                           return StorageStrategyName(info.param);
+                         });
+
+// ---- group commit ----
+
+class GroupCommitTest : public ::testing::Test {
+ protected:
+  void Open(bool group_commit, uint64_t window_micros) {
+    DatabaseOptions options;
+    options.sync_wal = true;
+    options.group_commit = group_commit;
+    options.group_commit_window_micros = window_micros;
+    auto db = Database::Open(dir_.path() + "/db", options);
+    ASSERT_TRUE(db.ok()) << db.status().ToString();
+    db_ = std::move(db).value();
+    ASSERT_TRUE(
+        db_->CreateAtomType("Emp", {{"name", AttrType::kString},
+                                    {"salary", AttrType::kInt}})
+            .ok());
+  }
+
+  /// Two threads, each one single-insert transaction, released together.
+  void RunTwoCommitters() {
+    std::atomic<int> ready{0};
+    std::atomic<int> failures{0};
+    std::vector<std::thread> threads;
+    for (int t = 0; t < 2; ++t) {
+      threads.emplace_back([&, t] {
+        Transaction txn = db_->Begin();
+        auto id = txn.InsertAtom("Emp",
+                                 {{"name", Value::String(t ? "b" : "a")},
+                                  {"salary", Value::Int(t)}},
+                                 10);
+        if (!id.ok()) {
+          failures.fetch_add(1);
+          return;
+        }
+        ready.fetch_add(1);
+        while (ready.load() < 2) std::this_thread::yield();
+        if (!txn.Commit().ok()) failures.fetch_add(1);
+      });
+    }
+    for (auto& th : threads) th.join();
+    EXPECT_EQ(failures.load(), 0);
+  }
+
+  TempDir dir_;
+  std::unique_ptr<Database> db_;
+};
+
+// The acceptance criterion: two threads committing disjoint writes
+// produce exactly ONE WAL fsync for the group. The 200ms batching
+// window guarantees the second committer joins the first one's group
+// before its leader fsyncs.
+TEST_F(GroupCommitTest, TwoCommittersShareOneFsync) {
+  Open(/*group_commit=*/true, /*window_micros=*/200000);
+  const uint64_t syncs_before = db_->wal()->syncs();
+  auto hist_before =
+      db_->MetricsSnapshot().histograms.at("tcob_wal_group_commit_size");
+  RunTwoCommitters();
+  EXPECT_EQ(db_->wal()->syncs() - syncs_before, 1u);
+  auto hist_after =
+      db_->MetricsSnapshot().histograms.at("tcob_wal_group_commit_size");
+  // One group of size 2 was observed.
+  EXPECT_EQ(hist_after.count - hist_before.count, 1u);
+  EXPECT_EQ(hist_after.sum - hist_before.sum, 2u);
+  EXPECT_EQ(db_->MetricsSnapshot().CounterOr("tcob_txns_committed_total", 0), 2u);
+}
+
+// Ablation: with group commit off every committer pays its own fsync.
+TEST_F(GroupCommitTest, DisabledMeansOneFsyncPerCommit) {
+  Open(/*group_commit=*/false, /*window_micros=*/0);
+  const uint64_t syncs_before = db_->wal()->syncs();
+  const uint64_t hist_before =
+      db_->MetricsSnapshot().histograms.at("tcob_wal_group_commit_size").count;
+  RunTwoCommitters();
+  EXPECT_EQ(db_->wal()->syncs() - syncs_before, 2u);
+  // Plain Sync records no group sizes.
+  EXPECT_EQ(
+      db_->MetricsSnapshot().histograms.at("tcob_wal_group_commit_size").count,
+      hist_before);
+}
+
+// Group-committed transactions are durable: reopen after a storm and
+// every committed insert is still there.
+TEST_F(GroupCommitTest, GroupCommittedTxnsSurviveReopen) {
+  Open(/*group_commit=*/true, /*window_micros=*/2000);
+  constexpr int kThreads = 4;
+  std::vector<std::thread> threads;
+  std::atomic<int> failures{0};
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      Transaction txn = db_->Begin();
+      if (!txn.InsertAtom("Emp",
+                          {{"name", Value::String("t" + std::to_string(t))},
+                           {"salary", Value::Int(t)}},
+                          10)
+               .ok() ||
+          !txn.Commit().ok()) {
+        failures.fetch_add(1);
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  ASSERT_EQ(failures.load(), 0);
+  db_.reset();
+  DatabaseOptions options;
+  options.sync_wal = true;
+  auto db = Database::Open(dir_.path() + "/db", options);
+  ASSERT_TRUE(db.ok()) << db.status().ToString();
+  db_ = std::move(db).value();
+  auto emp_type = db_->catalog().GetAtomTypeByName("Emp");
+  ASSERT_TRUE(emp_type.ok());
+  size_t n = 0;
+  Status scanned = db_->store()->ScanAsOf(
+      *emp_type.value(), 10, [&](const AtomVersion&) -> Result<bool> {
+        ++n;
+        return true;
+      });
+  ASSERT_TRUE(scanned.ok()) << scanned.ToString();
+  EXPECT_EQ(n, static_cast<size_t>(kThreads));
+}
+
+}  // namespace
+}  // namespace tcob

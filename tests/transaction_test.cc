@@ -186,6 +186,31 @@ TEST_P(TransactionTest, OpsAfterCommitRejected) {
   EXPECT_TRUE(txn.Commit().IsInvalidArgument());
 }
 
+TEST_P(TransactionTest, TxnOutlivingDatabaseFailsCleanly) {
+  Transaction txn = db_->Begin();
+  ASSERT_TRUE(txn.InsertAtom("Dept",
+                             {{"name", Value::String("X")},
+                              {"budget", Value::Int(1)}},
+                             10)
+                  .ok());
+  // Destroy the database out from under the transaction. Every further
+  // use must fail with FailedPrecondition instead of dereferencing the
+  // dangling Database pointer, and the destructor must not crash.
+  db_.reset();
+  EXPECT_TRUE(txn.InsertAtom("Dept", {{"name", Value::String("Y")}}, 20)
+                  .status()
+                  .IsFailedPrecondition());
+  EXPECT_TRUE(txn.UpdateAtom("Dept", 1, {{"budget", Value::Int(2)}}, 20)
+                  .IsFailedPrecondition());
+  EXPECT_TRUE(txn.DeleteAtom("Dept", 1, 20).IsFailedPrecondition());
+  EXPECT_TRUE(txn.Connect("DeptEmp", 1, 2, 20).IsFailedPrecondition());
+  EXPECT_TRUE(txn.Disconnect("DeptEmp", 1, 2, 20).IsFailedPrecondition());
+  EXPECT_TRUE(txn.Commit().IsFailedPrecondition());
+  // Abort is safe (a no-op against the dead database) and deactivates.
+  txn.Abort();
+  EXPECT_FALSE(txn.active());
+}
+
 INSTANTIATE_TEST_SUITE_P(AllStrategies, TransactionTest,
                          ::testing::Values(StorageStrategy::kSnapshot,
                                            StorageStrategy::kIntegrated,

@@ -42,6 +42,7 @@ struct Args {
   bool tiering = true;
   bool cancel = true;
   bool transient_io = true;
+  bool txns = true;
   bool shrink = true;
   bool cursor_check = true;
   bool plant_bug = false;
@@ -59,7 +60,7 @@ int Usage() {
       stderr,
       "usage: fuzz_sim [--seed=N | --seeds=A:B] [--ops=N] [--no_cuts]\n"
       "                [--no_vacuum] [--no_tiering] [--no_cancel]\n"
-      "                [--no_transient_io] [--no_shrink]\n"
+      "                [--no_transient_io] [--no_txns] [--no_shrink]\n"
       "                [--no_cursor_check] [--plant_bug]\n"
       "                [--artifact_dir=DIR]\n");
   return 2;
@@ -94,6 +95,8 @@ bool ParseArgs(int argc, char** argv, Args* args) {
       args->cancel = false;
     } else if (std::strcmp(a, "--no_transient_io") == 0) {
       args->transient_io = false;
+    } else if (std::strcmp(a, "--no_txns") == 0) {
+      args->txns = false;
     } else if (std::strcmp(a, "--no_shrink") == 0) {
       args->shrink = false;
     } else if (std::strcmp(a, "--no_cursor_check") == 0) {
@@ -129,6 +132,7 @@ void WriteArtifact(const Args& args, const tcob::sim::ShrinkResult& shrunk) {
                      (args.tiering ? "" : " --no_tiering") +
                      (args.cancel ? "" : " --no_cancel") +
                      (args.transient_io ? "" : " --no_transient_io") +
+                     (args.txns ? "" : " --no_txns") +
                      (args.cursor_check ? "" : " --no_cursor_check") + "\n";
   std::fwrite(body.data(), 1, body.size(), f);
   std::fclose(f);
@@ -168,6 +172,7 @@ int main(int argc, char** argv) {
   gen.enable_tiering = args.tiering;
   gen.enable_cancel = args.cancel;
   gen.enable_transient_io = args.transient_io;
+  gen.enable_txns = args.txns;
 
   tcob::sim::RunOptions run;
   run.bug = args.plant_bug ? tcob::sim::ModelBug::kIgnoreDeletes
