@@ -134,6 +134,25 @@ Status Database::Init() {
   recovery_stats_.journal_pages_applied =
       jrec.committed ? jrec.committed_pages : 0;
   recovery_stats_.journal_discarded_bytes = jrec.discarded_bytes;
+  if (!options_.read_only && (recovery_stats_.discarded_txn_ops > 0 ||
+                              recovery_stats_.wal_dropped_tail_bytes > 0)) {
+    // Recovery ignored records that are still physically in the log
+    // (orphaned uncommitted-transaction operations, a torn tail) and
+    // consumed no sequence numbers for them. New appends would land
+    // *after* those remnants while reusing their op_seqs — and a commit
+    // record reusing an orphaned txn id would make the next recovery
+    // replay the orphan as committed. Checkpointing here flushes the
+    // recovered state and truncates the log, so remnants never coexist
+    // with new records. On failure the instance opens degraded
+    // (poisoned read-only by CheckpointLocked): mutations stay refused
+    // until TryRecover's checkpoint succeeds, so the hazard cannot
+    // materialize through the degraded instance either.
+    Status cleaned = Checkpoint();
+    if (!cleaned.ok()) {
+      TCOB_LOG(kError) << "post-recovery WAL cleanup checkpoint failed: "
+                       << cleaned.ToString();
+    }
+  }
   RegisterMetrics();
   initialized_ = true;
   return Status::OK();
@@ -249,14 +268,25 @@ Status Database::Recover() {
   // enqueue and its fsync) — but per-transaction atomicity is decided
   // here by the commit record's presence, not by position.
   std::set<uint64_t> committed_txns;
+  uint64_t max_txn_id = 0;
   Status scan = wal_->ReadAll([&](const Slice& payload) -> Result<bool> {
     TCOB_ASSIGN_OR_RETURN(WalOp op, WalOp::Decode(payload, schema_lookup));
     if (op.type == WalOpType::kCommit && op.txn_id != 0) {
       committed_txns.insert(op.txn_id);
     }
+    if (op.txn_id > max_txn_id) max_txn_id = op.txn_id;
     return true;
   });
   TCOB_RETURN_NOT_OK(scan);
+  // Transaction ids are not durable (the counter restarts at 1 on every
+  // open), but atomicity above is decided by matching a commit record's
+  // txn id against operation records — so a fresh transaction must never
+  // reuse an id still present in the log. Advance past everything seen;
+  // Init additionally truncates the log (via a checkpoint) when orphaned
+  // records were discarded, so they cannot outlive this open at all.
+  if (max_txn_id >= next_txn_id_.load(std::memory_order_relaxed)) {
+    next_txn_id_.store(max_txn_id + 1, std::memory_order_relaxed);
+  }
   // Pass 2: apply. Operations of uncommitted transactions are
   // discarded wholesale and do not consume sequence numbers (the
   // watermark must equal what the surviving prefix applied).
@@ -432,6 +462,13 @@ Status Database::LogAndApply(WalOp op) {
     schema = def->AttrTypes();
   }
   op.op_seq = next_op_seq_;
+  if (op.stamped_now) {
+    // VALID FROM NOW resolves here, under the writer mutex — not at
+    // parse time. A commit that slipped in between would otherwise
+    // leave this stamp at or before a snapshot pinned after it, making
+    // the statement retroactively visible inside that snapshot.
+    op.valid_from = Now();
+  }
   std::string payload;
   TCOB_RETURN_NOT_OK(op.Encode(schema, &payload));
   Status logged = wal_->Append(payload);
@@ -463,14 +500,57 @@ Status Database::LogAndApply(WalOp op) {
 
 // ---- transactions ----
 
+namespace {
+
+/// Commit-time re-stamping may reorder a transaction's writes to one
+/// entity: a VALID FROM NOW operation buffered *before* an explicit
+/// future stamp can overtake it once concurrent commits pushed NOW
+/// past that stamp. The stores would refuse the out-of-order apply —
+/// after the commit record is already durable, poisoning the instance
+/// — so the overlap is caught here and the commit loses as a temporal
+/// conflict instead. The invariant mirrors buffering-time validation:
+/// per entity, strictly increasing begins, except a re-connect may
+/// reuse the instant the previous link interval ended at.
+Status CheckRestampedOrder(const std::vector<WalOp>& ops,
+                           const std::vector<TxnWriteKey>& keys) {
+  std::map<TxnWriteKey, Timestamp> last;
+  for (size_t i = 0; i < ops.size(); ++i) {
+    auto [it, first] = last.try_emplace(keys[i], ops[i].valid_from);
+    if (first) continue;
+    const bool may_touch = ops[i].type == WalOpType::kConnect;
+    if (ops[i].valid_from > it->second ||
+        (may_touch && ops[i].valid_from == it->second)) {
+      it->second = ops[i].valid_from;
+      continue;
+    }
+    return Status::TxnConflict(
+        "concurrent commits advanced NOW past this transaction's "
+        "explicit stamps; re-stamping its VALID FROM NOW operations "
+        "would reorder writes to the same entity — retry the "
+        "transaction");
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
 Transaction Database::Begin() {
   const uint64_t txn_id =
       next_txn_id_.fetch_add(1, std::memory_order_relaxed);
-  // Snapshot instant: the chronon just before NOW. Every commit
-  // stamped VALID FROM NOW after this point lands at >= NOW, strictly
-  // after the snapshot, so concurrent committers stay invisible.
-  const Timestamp snapshot = Now() - 1;
-  const uint64_t snapshot_seq = txn_manager_.BeginTxn(txn_id);
+  Timestamp snapshot = kMinTimestamp;
+  uint64_t snapshot_seq = 0;
+  {
+    // Snapshot instant: the chronon just before NOW. Commits stamp
+    // their VALID FROM NOW operations under writer_mu_ (LogAndApply,
+    // CommitOps), so everything committed after this point lands at
+    // >= NOW, strictly after the snapshot — concurrent committers stay
+    // invisible. Pinning must itself hold writer_mu_: a multi-op
+    // commit advances NOW per applied op, and an unlocked pin could
+    // land mid-batch, seeing its earlier ops but not its later ones.
+    std::lock_guard<std::mutex> lk(writer_mu_);
+    snapshot = Now() - 1;
+    snapshot_seq = txn_manager_.BeginTxn(txn_id);
+  }
   txns_begun_total_.Increment();
   trace_rec_.Emit(TraceEventType::kTxnBegin, txn_id);
   return Transaction(this, txn_id, snapshot, snapshot_seq, alive_token_);
@@ -511,12 +591,37 @@ Status Database::CommitOps(uint64_t txn_id, const std::vector<WalOp>& ops,
     trace_rec_.Emit(TraceEventType::kTxnConflict, txn_id);
     return valid;
   }
+  // The buffered VALID FROM NOW stamps were provisional (the
+  // transaction-local clock at buffering time); left alone, a commit
+  // could land at or before a snapshot pinned *after* buffering and
+  // become retroactively visible inside it. Re-stamp them to the
+  // commit instant, advancing a local clock by the same rule
+  // ObserveTimestamp applies below, so NOW ops land at the commit's
+  // NOW and explicit stamps keep their absolute positions.
+  std::vector<WalOp> stamped = ops;
+  Timestamp commit_clock = Now();
+  bool restamped = false;
+  for (WalOp& op : stamped) {
+    if (op.stamped_now) {
+      op.valid_from = commit_clock;
+      restamped = true;
+    }
+    if (op.valid_from >= commit_clock) commit_clock = op.valid_from + 1;
+  }
+  if (restamped) {
+    Status ordered = CheckRestampedOrder(stamped, keys);
+    if (!ordered.ok()) {
+      txn_manager_.EndTxn(txn_id);
+      txn_conflicts_total_.Increment();
+      trace_rec_.Emit(TraceEventType::kTxnConflict, txn_id);
+      return ordered;
+    }
+  }
   // Phase 1: log everything, ending with the commit record. Sequence
   // numbers are consumed per logged record so the watermark matches
   // what a later replay will see. The whole batch is appended inside
   // one writer-mutex critical section, so a transaction's records are
   // contiguous in the log and its commit record directly follows them.
-  std::vector<WalOp> stamped = ops;
   for (WalOp& op : stamped) {
     std::vector<AttrType> schema;
     if (op.type == WalOpType::kInsertAtom ||
@@ -744,21 +849,22 @@ Result<std::vector<Value>> Database::ResolveAssignmentsFor(
 Result<AtomId> Database::InsertAtom(
     const std::string& type_name,
     const std::vector<std::pair<std::string, Value>>& assignments,
-    Timestamp from) {
+    Timestamp from, bool from_now) {
   TCOB_ASSIGN_OR_RETURN(const AtomTypeDef* type,
                         catalog_.GetAtomTypeByName(type_name));
   TCOB_ASSIGN_OR_RETURN(std::vector<Value> values,
                         ResolveAssignmentsFor(*type, assignments, nullptr));
-  return InsertAtomValues(type_name, std::move(values), from);
+  return InsertAtomValues(type_name, std::move(values), from, from_now);
 }
 
 Result<AtomId> Database::InsertAtomValues(const std::string& type_name,
                                           std::vector<Value> values,
-                                          Timestamp from) {
+                                          Timestamp from, bool from_now) {
   TCOB_ASSIGN_OR_RETURN(const AtomTypeDef* type,
                         catalog_.GetAtomTypeByName(type_name));
   WalOp op;
   op.type = WalOpType::kInsertAtom;
+  op.stamped_now = from_now;
   op.atom_id = catalog_.NextAtomId();
   op.atom_type = type->id;
   op.valid_from = from;
@@ -770,7 +876,7 @@ Result<AtomId> Database::InsertAtomValues(const std::string& type_name,
 Status Database::UpdateAtom(
     const std::string& type_name, AtomId id,
     const std::vector<std::pair<std::string, Value>>& assignments,
-    Timestamp from) {
+    Timestamp from, bool from_now) {
   TCOB_ASSIGN_OR_RETURN(const AtomTypeDef* type,
                         catalog_.GetAtomTypeByName(type_name));
   // Carry unchanged attributes over from the version being replaced.
@@ -784,15 +890,17 @@ Status Database::UpdateAtom(
   TCOB_ASSIGN_OR_RETURN(
       std::vector<Value> values,
       ResolveAssignmentsFor(*type, assignments, &current->attrs));
-  return UpdateAtomValues(type_name, id, std::move(values), from);
+  return UpdateAtomValues(type_name, id, std::move(values), from, from_now);
 }
 
 Status Database::UpdateAtomValues(const std::string& type_name, AtomId id,
-                                  std::vector<Value> values, Timestamp from) {
+                                  std::vector<Value> values, Timestamp from,
+                                  bool from_now) {
   TCOB_ASSIGN_OR_RETURN(const AtomTypeDef* type,
                         catalog_.GetAtomTypeByName(type_name));
   WalOp op;
   op.type = WalOpType::kUpdateAtom;
+  op.stamped_now = from_now;
   op.atom_id = id;
   op.atom_type = type->id;
   op.valid_from = from;
@@ -801,11 +909,12 @@ Status Database::UpdateAtomValues(const std::string& type_name, AtomId id,
 }
 
 Status Database::DeleteAtom(const std::string& type_name, AtomId id,
-                            Timestamp from) {
+                            Timestamp from, bool from_now) {
   TCOB_ASSIGN_OR_RETURN(const AtomTypeDef* type,
                         catalog_.GetAtomTypeByName(type_name));
   WalOp op;
   op.type = WalOpType::kDeleteAtom;
+  op.stamped_now = from_now;
   op.atom_id = id;
   op.atom_type = type->id;
   op.valid_from = from;
@@ -813,11 +922,12 @@ Status Database::DeleteAtom(const std::string& type_name, AtomId id,
 }
 
 Status Database::Connect(const std::string& link_name, AtomId from_id,
-                         AtomId to_id, Timestamp at) {
+                         AtomId to_id, Timestamp at, bool from_now) {
   TCOB_ASSIGN_OR_RETURN(const LinkTypeDef* link,
                         catalog_.GetLinkTypeByName(link_name));
   WalOp op;
   op.type = WalOpType::kConnect;
+  op.stamped_now = from_now;
   op.link_type = link->id;
   op.from_id = from_id;
   op.to_id = to_id;
@@ -826,11 +936,12 @@ Status Database::Connect(const std::string& link_name, AtomId from_id,
 }
 
 Status Database::Disconnect(const std::string& link_name, AtomId from_id,
-                            AtomId to_id, Timestamp at) {
+                            AtomId to_id, Timestamp at, bool from_now) {
   TCOB_ASSIGN_OR_RETURN(const LinkTypeDef* link,
                         catalog_.GetLinkTypeByName(link_name));
   WalOp op;
   op.type = WalOpType::kDisconnect;
+  op.stamped_now = from_now;
   op.link_type = link->id;
   op.from_id = from_id;
   op.to_id = to_id;
@@ -1170,11 +1281,17 @@ Result<ResultSet> Database::ExecuteStatementImpl(const Statement& stmt,
                         std::to_string(id) + ")";
           return out;
         } else if constexpr (std::is_same_v<T, InsertStmt>) {
-          Timestamp from = s.from.is_now ? Now() : s.from.at;
+          // NOW is resolved against the session transaction's pinned
+          // clock for the buffered message; the definitive stamp is
+          // assigned at commit (transaction) or under the writer mutex
+          // (auto-commit) via WalOp::stamped_now.
           if (InSessionTxn()) {
+            Timestamp from =
+                s.from.is_now ? session_txn_->local_now() : s.from.at;
             TCOB_ASSIGN_OR_RETURN(
                 AtomId id,
-                session_txn_->InsertAtom(s.type_name, s.assignments, from));
+                session_txn_->InsertAtom(s.type_name, s.assignments, from,
+                                         s.from.is_now));
             out.inserted_id = id;
             out.message = "buffered insert of atom #" + std::to_string(id) +
                           " valid from " + TimestampToString(from) +
@@ -1182,67 +1299,78 @@ Result<ResultSet> Database::ExecuteStatementImpl(const Statement& stmt,
                           std::to_string(session_txn_->id()) + ")";
             return out;
           }
-          TCOB_ASSIGN_OR_RETURN(AtomId id,
-                                InsertAtom(s.type_name, s.assignments, from));
+          Timestamp from = s.from.is_now ? Now() : s.from.at;
+          TCOB_ASSIGN_OR_RETURN(
+              AtomId id,
+              InsertAtom(s.type_name, s.assignments, from, s.from.is_now));
           out.inserted_id = id;
           out.message = "inserted atom #" + std::to_string(id) +
                         " valid from " + TimestampToString(from);
           return out;
         } else if constexpr (std::is_same_v<T, UpdateStmt>) {
-          Timestamp from = s.from.is_now ? Now() : s.from.at;
           if (InSessionTxn()) {
+            Timestamp from =
+                s.from.is_now ? session_txn_->local_now() : s.from.at;
             TCOB_RETURN_NOT_OK(session_txn_->UpdateAtom(
-                s.type_name, s.atom_id, s.assignments, from));
+                s.type_name, s.atom_id, s.assignments, from, s.from.is_now));
             out.message = "buffered update of atom #" +
                           std::to_string(s.atom_id) + " valid from " +
                           TimestampToString(from) + " (transaction " +
                           std::to_string(session_txn_->id()) + ")";
             return out;
           }
-          TCOB_RETURN_NOT_OK(
-              UpdateAtom(s.type_name, s.atom_id, s.assignments, from));
+          Timestamp from = s.from.is_now ? Now() : s.from.at;
+          TCOB_RETURN_NOT_OK(UpdateAtom(s.type_name, s.atom_id, s.assignments,
+                                        from, s.from.is_now));
           out.message = "updated atom #" + std::to_string(s.atom_id) +
                         " valid from " + TimestampToString(from);
           return out;
         } else if constexpr (std::is_same_v<T, DeleteStmt>) {
-          Timestamp from = s.from.is_now ? Now() : s.from.at;
           if (InSessionTxn()) {
-            TCOB_RETURN_NOT_OK(
-                session_txn_->DeleteAtom(s.type_name, s.atom_id, from));
+            Timestamp from =
+                s.from.is_now ? session_txn_->local_now() : s.from.at;
+            TCOB_RETURN_NOT_OK(session_txn_->DeleteAtom(
+                s.type_name, s.atom_id, from, s.from.is_now));
             out.message = "buffered delete of atom #" +
                           std::to_string(s.atom_id) + " valid from " +
                           TimestampToString(from) + " (transaction " +
                           std::to_string(session_txn_->id()) + ")";
             return out;
           }
-          TCOB_RETURN_NOT_OK(DeleteAtom(s.type_name, s.atom_id, from));
+          Timestamp from = s.from.is_now ? Now() : s.from.at;
+          TCOB_RETURN_NOT_OK(
+              DeleteAtom(s.type_name, s.atom_id, from, s.from.is_now));
           out.message = "deleted atom #" + std::to_string(s.atom_id) +
                         " valid from " + TimestampToString(from);
           return out;
         } else if constexpr (std::is_same_v<T, ConnectStmt>) {
-          Timestamp at = s.from.is_now ? Now() : s.from.at;
           if (InSessionTxn()) {
-            TCOB_RETURN_NOT_OK(
-                session_txn_->Connect(s.link_name, s.from_id, s.to_id, at));
+            Timestamp at =
+                s.from.is_now ? session_txn_->local_now() : s.from.at;
+            TCOB_RETURN_NOT_OK(session_txn_->Connect(
+                s.link_name, s.from_id, s.to_id, at, s.from.is_now));
             out.message = "buffered connect (transaction " +
                           std::to_string(session_txn_->id()) + ")";
             return out;
           }
-          TCOB_RETURN_NOT_OK(Connect(s.link_name, s.from_id, s.to_id, at));
+          Timestamp at = s.from.is_now ? Now() : s.from.at;
+          TCOB_RETURN_NOT_OK(
+              Connect(s.link_name, s.from_id, s.to_id, at, s.from.is_now));
           out.message = "connected";
           return out;
         } else if constexpr (std::is_same_v<T, DisconnectStmt>) {
-          Timestamp at = s.from.is_now ? Now() : s.from.at;
           if (InSessionTxn()) {
-            TCOB_RETURN_NOT_OK(session_txn_->Disconnect(s.link_name,
-                                                        s.from_id, s.to_id,
-                                                        at));
+            Timestamp at =
+                s.from.is_now ? session_txn_->local_now() : s.from.at;
+            TCOB_RETURN_NOT_OK(session_txn_->Disconnect(
+                s.link_name, s.from_id, s.to_id, at, s.from.is_now));
             out.message = "buffered disconnect (transaction " +
                           std::to_string(session_txn_->id()) + ")";
             return out;
           }
+          Timestamp at = s.from.is_now ? Now() : s.from.at;
           TCOB_RETURN_NOT_OK(
-              Disconnect(s.link_name, s.from_id, s.to_id, at));
+              Disconnect(s.link_name, s.from_id, s.to_id, at, s.from.is_now));
           out.message = "disconnected";
           return out;
         } else if constexpr (std::is_same_v<T, BeginStmt>) {

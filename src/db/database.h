@@ -233,33 +233,41 @@ class Database {
   size_t ActiveTxns() const { return txn_manager_.active_txns(); }
 
   // ---- DML (auto-commit: WAL append, then apply) ----
+  //
+  // `from_now` marks a "VALID FROM NOW" stamp: the passed timestamp is
+  // provisional and the operation is re-stamped to the clock's NOW
+  // under the writer mutex when it is logged, so a concurrent commit
+  // can never make it land at or before an already-pinned snapshot.
 
   /// Inserts a new atom; unlisted attributes are NULL. Returns its id.
   Result<AtomId> InsertAtom(
       const std::string& type_name,
       const std::vector<std::pair<std::string, Value>>& assignments,
-      Timestamp from);
+      Timestamp from, bool from_now = false);
 
   /// Positional variant (all attributes, schema order).
   Result<AtomId> InsertAtomValues(const std::string& type_name,
-                                  std::vector<Value> values, Timestamp from);
+                                  std::vector<Value> values, Timestamp from,
+                                  bool from_now = false);
 
   /// Partial update: listed attributes change, the rest carry over.
   Status UpdateAtom(const std::string& type_name, AtomId id,
                     const std::vector<std::pair<std::string, Value>>&
                         assignments,
-                    Timestamp from);
+                    Timestamp from, bool from_now = false);
 
   /// Positional variant (all attributes, schema order).
   Status UpdateAtomValues(const std::string& type_name, AtomId id,
-                          std::vector<Value> values, Timestamp from);
+                          std::vector<Value> values, Timestamp from,
+                          bool from_now = false);
 
-  Status DeleteAtom(const std::string& type_name, AtomId id, Timestamp from);
+  Status DeleteAtom(const std::string& type_name, AtomId id, Timestamp from,
+                    bool from_now = false);
 
   Status Connect(const std::string& link_name, AtomId from_id, AtomId to_id,
-                 Timestamp at);
+                 Timestamp at, bool from_now = false);
   Status Disconnect(const std::string& link_name, AtomId from_id,
-                    AtomId to_id, Timestamp at);
+                    AtomId to_id, Timestamp at, bool from_now = false);
 
   // ---- queries ----
 
@@ -639,6 +647,10 @@ class Database {
   /// The MQL session transaction (BEGIN;..COMMIT;), when one is open.
   std::unique_ptr<Transaction> session_txn_;
   std::atomic<Timestamp> now_{1};
+  /// Transaction ids are not persisted, so Recover() advances this past
+  /// every txn id observed in the WAL: a fresh id may otherwise collide
+  /// with an orphaned transaction's records still physically in the log
+  /// and make a later recovery replay them as committed.
   std::atomic<uint64_t> next_txn_id_{1};
   /// Query ids stamped into trace events (per instance, never reused).
   std::atomic<uint64_t> next_query_id_{1};

@@ -15,6 +15,7 @@ Transaction::Transaction(Transaction&& other) noexcept
       txn_id_(other.txn_id_),
       snapshot_(other.snapshot_),
       snapshot_seq_(other.snapshot_seq_),
+      local_now_(other.local_now_),
       active_(other.active_),
       ops_(std::move(other.ops_)),
       atoms_(std::move(other.atoms_)),
@@ -121,8 +122,9 @@ Result<Transaction::LinkOverlay*> Transaction::LinkOverlayFor(
 Result<AtomId> Transaction::InsertAtom(
     const std::string& type_name,
     const std::vector<std::pair<std::string, Value>>& assignments,
-    Timestamp from) {
+    Timestamp from, bool from_now) {
   TCOB_RETURN_NOT_OK(CheckUsable());
+  if (from_now) from = local_now_;
   TCOB_ASSIGN_OR_RETURN(const AtomTypeDef* type,
                         db_->catalog().GetAtomTypeByName(type_name));
   TCOB_ASSIGN_OR_RETURN(
@@ -140,19 +142,22 @@ Result<AtomId> Transaction::InsertAtom(
   WalOp op;
   op.type = WalOpType::kInsertAtom;
   op.txn_id = txn_id_;
+  op.stamped_now = from_now;
   op.atom_id = id;
   op.atom_type = type->id;
   op.valid_from = from;
   op.attrs = std::move(values);
   ops_.push_back(std::move(op));
+  ObserveLocal(from);
   return id;
 }
 
 Status Transaction::UpdateAtom(
     const std::string& type_name, AtomId id,
     const std::vector<std::pair<std::string, Value>>& assignments,
-    Timestamp from) {
+    Timestamp from, bool from_now) {
   TCOB_RETURN_NOT_OK(CheckUsable());
+  if (from_now) from = local_now_;
   TCOB_ASSIGN_OR_RETURN(const AtomTypeDef* type,
                         db_->catalog().GetAtomTypeByName(type_name));
   TCOB_ASSIGN_OR_RETURN(AtomOverlay * overlay,
@@ -176,17 +181,20 @@ Status Transaction::UpdateAtom(
   WalOp op;
   op.type = WalOpType::kUpdateAtom;
   op.txn_id = txn_id_;
+  op.stamped_now = from_now;
   op.atom_id = id;
   op.atom_type = type->id;
   op.valid_from = from;
   op.attrs = std::move(values);
   ops_.push_back(std::move(op));
+  ObserveLocal(from);
   return Status::OK();
 }
 
 Status Transaction::DeleteAtom(const std::string& type_name, AtomId id,
-                               Timestamp from) {
+                               Timestamp from, bool from_now) {
   TCOB_RETURN_NOT_OK(CheckUsable());
+  if (from_now) from = local_now_;
   TCOB_ASSIGN_OR_RETURN(const AtomTypeDef* type,
                         db_->catalog().GetAtomTypeByName(type_name));
   TCOB_ASSIGN_OR_RETURN(AtomOverlay * overlay,
@@ -207,16 +215,19 @@ Status Transaction::DeleteAtom(const std::string& type_name, AtomId id,
   WalOp op;
   op.type = WalOpType::kDeleteAtom;
   op.txn_id = txn_id_;
+  op.stamped_now = from_now;
   op.atom_id = id;
   op.atom_type = type->id;
   op.valid_from = from;
   ops_.push_back(std::move(op));
+  ObserveLocal(from);
   return Status::OK();
 }
 
 Status Transaction::Connect(const std::string& link_name, AtomId from_id,
-                            AtomId to_id, Timestamp at) {
+                            AtomId to_id, Timestamp at, bool from_now) {
   TCOB_RETURN_NOT_OK(CheckUsable());
+  if (from_now) at = local_now_;
   TCOB_ASSIGN_OR_RETURN(const LinkTypeDef* link,
                         db_->catalog().GetLinkTypeByName(link_name));
   TCOB_ASSIGN_OR_RETURN(
@@ -235,17 +246,20 @@ Status Transaction::Connect(const std::string& link_name, AtomId from_id,
   WalOp op;
   op.type = WalOpType::kConnect;
   op.txn_id = txn_id_;
+  op.stamped_now = from_now;
   op.link_type = link->id;
   op.from_id = from_id;
   op.to_id = to_id;
   op.valid_from = at;
   ops_.push_back(std::move(op));
+  ObserveLocal(at);
   return Status::OK();
 }
 
 Status Transaction::Disconnect(const std::string& link_name, AtomId from_id,
-                               AtomId to_id, Timestamp at) {
+                               AtomId to_id, Timestamp at, bool from_now) {
   TCOB_RETURN_NOT_OK(CheckUsable());
+  if (from_now) at = local_now_;
   TCOB_ASSIGN_OR_RETURN(const LinkTypeDef* link,
                         db_->catalog().GetLinkTypeByName(link_name));
   TCOB_ASSIGN_OR_RETURN(
@@ -263,11 +277,13 @@ Status Transaction::Disconnect(const std::string& link_name, AtomId from_id,
   WalOp op;
   op.type = WalOpType::kDisconnect;
   op.txn_id = txn_id_;
+  op.stamped_now = from_now;
   op.link_type = link->id;
   op.from_id = from_id;
   op.to_id = to_id;
   op.valid_from = at;
   ops_.push_back(std::move(op));
+  ObserveLocal(at);
   return Status::OK();
 }
 

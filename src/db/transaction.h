@@ -22,6 +22,10 @@ class Database;
 /// Operations are validated eagerly against that snapshot (plus this
 /// transaction's own pending effects, via the overlays below) and
 /// buffered; nothing touches the stores or the WAL until Commit.
+/// VALID FROM NOW operations carry a provisional stamp from the
+/// transaction-local clock while buffered and are re-stamped to the
+/// commit instant inside Commit's critical section, so a commit can
+/// never land at or before a snapshot pinned while it was buffering.
 ///
 /// Commit runs first-committer-wins validation: if any transaction (or
 /// auto-committed statement) that committed after this snapshot wrote
@@ -57,24 +61,28 @@ class Transaction {
   Transaction(Transaction&& other) noexcept;
 
   /// Buffers an insert; returns the atom id the insert will create.
+  /// With `from_now`, `from` is ignored: the operation is stamped with
+  /// the transaction-local clock (see local_now()) and re-stamped to
+  /// the commit instant when the transaction commits.
   Result<AtomId> InsertAtom(
       const std::string& type_name,
       const std::vector<std::pair<std::string, Value>>& assignments,
-      Timestamp from);
+      Timestamp from, bool from_now = false);
 
   /// Buffers a partial update (unlisted attributes carry over, seeing
   /// this transaction's own pending updates).
   Status UpdateAtom(const std::string& type_name, AtomId id,
                     const std::vector<std::pair<std::string, Value>>&
                         assignments,
-                    Timestamp from);
+                    Timestamp from, bool from_now = false);
 
-  Status DeleteAtom(const std::string& type_name, AtomId id, Timestamp from);
+  Status DeleteAtom(const std::string& type_name, AtomId id, Timestamp from,
+                    bool from_now = false);
 
   Status Connect(const std::string& link_name, AtomId from_id, AtomId to_id,
-                 Timestamp at);
+                 Timestamp at, bool from_now = false);
   Status Disconnect(const std::string& link_name, AtomId from_id,
-                    AtomId to_id, Timestamp at);
+                    AtomId to_id, Timestamp at, bool from_now = false);
 
   /// Validates against commits since the snapshot (TxnConflict if a
   /// write-write overlap lost the race), then logs and applies the
@@ -93,6 +101,15 @@ class Transaction {
   /// after Begin() land strictly later and stay invisible.
   Timestamp snapshot() const { return snapshot_; }
 
+  /// The transaction-local clock: the instant the next VALID FROM NOW
+  /// operation buffered into this transaction will provisionally get.
+  /// It starts just after the snapshot and advances like the database
+  /// clock (a buffered stamp pulls it past itself), but is *pinned*
+  /// against concurrent committers — the definitive stamps of the
+  /// NOW-relative operations are assigned at Commit, under the writer
+  /// mutex (see Database::CommitOps).
+  Timestamp local_now() const { return local_now_; }
+
  private:
   friend class Database;
   Transaction(Database* db, uint64_t txn_id, Timestamp snapshot,
@@ -101,7 +118,8 @@ class Transaction {
         db_alive_(std::move(db_alive)),
         txn_id_(txn_id),
         snapshot_(snapshot),
-        snapshot_seq_(snapshot_seq) {}
+        snapshot_seq_(snapshot_seq),
+        local_now_(snapshot + 1) {}
 
   /// Guards every operation: the transaction must still be active and
   /// the owning Database must still exist (FailedPrecondition after it
@@ -128,6 +146,12 @@ class Transaction {
     bool initialized_from_store = false;
   };
 
+  /// Pulls the transaction-local clock past a buffered stamp (the
+  /// per-transaction mirror of Database::ObserveTimestamp).
+  void ObserveLocal(Timestamp from) {
+    if (from >= local_now_) local_now_ = from + 1;
+  }
+
   Result<AtomOverlay*> OverlayFor(const std::string& type_name, AtomId id,
                                   Timestamp as_of);
   Result<LinkOverlay*> LinkOverlayFor(const std::string& link_name,
@@ -142,6 +166,8 @@ class Transaction {
   Timestamp snapshot_ = kMinTimestamp;
   /// Commit sequence the snapshot covers (conflict-window lower bound).
   uint64_t snapshot_seq_ = 0;
+  /// Provisional NOW for buffered operations (see local_now()).
+  Timestamp local_now_ = kMinTimestamp;
   bool active_ = true;
   std::vector<WalOp> ops_;
   std::map<AtomId, AtomOverlay> atoms_;

@@ -40,6 +40,13 @@ struct WalOp {
   /// truncation — or during a re-crash inside recovery itself.
   uint64_t op_seq = 0;
 
+  /// Transient (never encoded): this operation's valid_from came from
+  /// "VALID FROM NOW" and is provisional until the op is logged — the
+  /// write path re-stamps it to the clock's NOW *under the writer
+  /// mutex*, so a commit can never land at or before a snapshot that
+  /// was pinned after the statement was parsed or buffered.
+  bool stamped_now = false;
+
   // Atom operations.
   AtomId atom_id = kInvalidAtomId;
   TypeId atom_type = kInvalidTypeId;

@@ -562,6 +562,120 @@ TEST_P(CrashPointSweepTest, PowerCutAtEveryEventInsideGroupedTxnCommits) {
   }
 }
 
+// Regression for orphaned-transaction WAL hygiene. A power cut between
+// a transaction's op records and its commit record leaves orphan ops in
+// the durable log. Recovery discards them — but they must also be
+// *scrubbed* (post-recovery cleanup checkpoint truncates the WAL), or
+// a later run would append fresh records, with recycled txn ids and
+// op_seqs, after the remnants: a second crash would then replay the
+// orphan ops as committed. The sweep cuts at every I/O event inside a
+// BEGIN..COMMIT script, and for every iteration that produced orphans
+// verifies the scrub plus a write-then-recover round trip.
+TEST_P(CrashPointSweepTest, OrphanedTxnRemnantsAreScrubbedAtRecovery) {
+  auto RunTxnScript = [](Database* db, bool* aborted) {
+    *aborted = false;
+    for (const char* stmt :
+         {"BEGIN;",
+          "INSERT ATOM Emp (name='t0', salary=100) VALID FROM 10",
+          "INSERT ATOM Emp (name='t1', salary=110) VALID FROM 10",
+          "COMMIT;"}) {
+      if (!db->Execute(stmt).ok()) {
+        *aborted = true;
+        return;
+      }
+    }
+  };
+  auto CountEmpsAt10 = [](Database* db) {
+    auto type = db->catalog().GetAtomTypeByName("Emp");
+    EXPECT_TRUE(type.ok());
+    size_t n = 0;
+    Status s = db->store()->ScanAsOf(*type.value(), 10,
+                                     [&](const AtomVersion&) -> Result<bool> {
+                                       ++n;
+                                       return true;
+                                     });
+    EXPECT_TRUE(s.ok()) << s.ToString();
+    return n;
+  };
+
+  uint64_t setup_events = 0, script_events = 0;
+  {
+    FaultInjectingIoEnv env;
+    auto db = Database::Open("db", Options(&env));
+    ASSERT_TRUE(db.ok()) << db.status().ToString();
+    RunSetup(db->get());
+    setup_events = env.events();
+    bool aborted = false;
+    RunTxnScript(db->get(), &aborted);
+    ASSERT_FALSE(aborted);
+    script_events = env.events() - setup_events;
+  }
+  ASSERT_GE(script_events, 3u);
+
+  size_t orphan_iterations = 0;
+  for (uint64_t k = 1; k <= script_events; ++k) {
+    SCOPED_TRACE("power cut at txn event " + std::to_string(k));
+    FaultInjectingIoEnv env;
+    Database* victim = nullptr;
+    {
+      auto db = Database::Open("db", Options(&env));
+      ASSERT_TRUE(db.ok()) << db.status().ToString();
+      victim = db->release();
+    }
+    RunSetup(victim);
+    ASSERT_EQ(env.events(), setup_events) << "setup is not deterministic";
+    // Keep everything ever written (tearing only the final write): the
+    // harshest mode for remnants, since nothing conveniently vanishes.
+    env.PowerCutAfterEvents(setup_events + k, CutMode::kKeepAllTearLast);
+    bool aborted = false;
+    RunTxnScript(victim, &aborted);
+    ASSERT_TRUE(env.cut_fired());
+    env.Revive();  // victim deliberately leaked (see CutAt)
+
+    auto reopened = Database::Open("db", Options(&env));
+    ASSERT_TRUE(reopened.ok()) << reopened.status().ToString();
+    Database* db = reopened->get();
+    const RecoveryStats& stats = db->recovery_stats();
+    if (stats.discarded_txn_ops == 0 && stats.wal_dropped_tail_bytes == 0) {
+      continue;  // this cut point left no remnants; nothing to scrub
+    }
+    ++orphan_iterations;
+    // The cleanup checkpoint must have emptied the log: remnants may
+    // not linger beneath records a future run will append.
+    auto wal_size = db->wal()->SizeBytes();
+    ASSERT_TRUE(wal_size.ok()) << wal_size.status().ToString();
+    EXPECT_EQ(wal_size.value(), 0u)
+        << "WAL still holds bytes after discarding "
+        << stats.discarded_txn_ops << " orphan ops";
+    // Round trip through the danger zone: commit a fresh transaction
+    // (its txn id and op_seqs would have collided with the orphan's
+    // under the old scheme), crash again with *no* shutdown checkpoint,
+    // and recover. The once-orphaned ops must not resurrect.
+    const size_t before = CountEmpsAt10(db);
+    bool aborted2 = false;
+    RunTxnScript(db, &aborted2);
+    ASSERT_FALSE(aborted2);
+    const size_t expect_emps = CountEmpsAt10(db);
+    EXPECT_EQ(expect_emps, before + 2);
+    const std::multiset<std::string> expect_snapshot = Snapshot(db);
+    const uint64_t m = db->applied_op_seq();
+    reopened->release();  // leaked: recovery must work from the WAL alone
+
+    auto recovered = Database::Open("db", Options(&env));
+    ASSERT_TRUE(recovered.ok()) << recovered.status().ToString();
+    EXPECT_EQ((*recovered)->applied_op_seq(), m);
+    EXPECT_EQ((*recovered)->recovery_stats().discarded_txn_ops, 0u);
+    EXPECT_EQ(CountEmpsAt10(recovered->get()), expect_emps)
+        << "orphaned inserts resurrected after the re-crash";
+    Status verdict = (*recovered)->VerifyIntegrity();
+    EXPECT_TRUE(verdict.ok()) << verdict.ToString();
+    EXPECT_EQ(Snapshot(recovered->get()), expect_snapshot);
+  }
+  // The sweep is only meaningful if some cut actually stranded a
+  // transaction's ops without its commit record.
+  EXPECT_GE(orphan_iterations, 1u);
+}
+
 INSTANTIATE_TEST_SUITE_P(AllStrategies, CrashPointSweepTest,
                          ::testing::Values(StorageStrategy::kSnapshot,
                                            StorageStrategy::kIntegrated,

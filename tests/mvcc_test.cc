@@ -352,6 +352,98 @@ TEST_P(MvccTest, ConcurrentDisjointCommitStorm) {
             static_cast<size_t>(kThreads * kTxnsPerThread));
 }
 
+// A transaction's VALID FROM NOW writes are stamped at *commit* time,
+// under the writer mutex — never with a clock value captured while
+// buffering. A snapshot pinned after the buffering but before the
+// commit must therefore not see the commit, even when other writers
+// pushed NOW far past the buffered provisional stamp.
+TEST_P(MvccTest, NowCommitStaysInvisibleToPinnedSnapshot) {
+  SeedMolecule();
+  AtomId dept = db_->InsertAtom("Dept",
+                                {{"name", Value::String("Ops")},
+                                 {"budget", Value::Int(900)}},
+                                10)
+                    .value();
+  // W buffers a NOW-relative insert plus connect; their provisional
+  // stamps come from W's transaction-local clock.
+  Transaction w = db_->Begin();
+  auto grace = w.InsertAtom("Emp",
+                            {{"name", Value::String("grace")},
+                             {"salary", Value::Int(300)}},
+                            /*from=*/kMinTimestamp, /*from_now=*/true);
+  ASSERT_TRUE(grace.ok());
+  ASSERT_TRUE(w.Connect("DeptEmp", dept, grace.value(),
+                        /*at=*/kMinTimestamp, /*from_now=*/true)
+                  .ok());
+  // An auto-commit statement advances the database clock well past W's
+  // provisional stamps.
+  ASSERT_TRUE(db_->InsertAtom("Emp",
+                              {{"name", Value::String("evie")},
+                               {"salary", Value::Int(400)}},
+                              db_->Now() + 50)
+                  .ok());
+  // A reader pins its snapshot *now* — before W commits.
+  ASSERT_TRUE(db_->BeginSession().ok());
+  ASSERT_TRUE(w.Commit().ok());
+  // The pinned snapshot must not see W's commit: had the provisional
+  // (buffering-time) stamps been kept, the writes would land *inside*
+  // the pinned snapshot and pop into view retroactively.
+  EXPECT_EQ(CountRows("SELECT Emp.name FROM DeptMol WHERE Emp.salary = 300 "
+                      "VALID AT NOW"),
+            0u);
+  ASSERT_TRUE(db_->AbortSession().ok());
+  // Outside the transaction the commit is visible at the current NOW.
+  EXPECT_EQ(CountRows("SELECT Emp.name FROM DeptMol WHERE Emp.salary = 300 "
+                      "VALID AT NOW"),
+            1u);
+}
+
+// Re-stamping NOW operations at commit can collide with *explicit*
+// stamps buffered after them: if concurrent commits advanced NOW past
+// an explicit stamp, honoring both would reorder the transaction's own
+// writes to one entity. That must surface as a clean, retryable
+// TxnConflict — not a post-durability apply failure that poisons the
+// database.
+TEST_P(MvccTest, NowThenExplicitReorderAbortsCleanly) {
+  SeedMolecule();  // one Dept at t=10
+  // W: NOW-insert a Dept, then explicitly update it at t=50.
+  Transaction w = db_->Begin();
+  auto id = w.InsertAtom("Dept",
+                         {{"name", Value::String("Kay")},
+                          {"budget", Value::Int(1)}},
+                         /*from=*/kMinTimestamp, /*from_now=*/true);
+  ASSERT_TRUE(id.ok());
+  ASSERT_TRUE(
+      w.UpdateAtom("Dept", id.value(), {{"budget", Value::Int(2)}}, 50).ok());
+  // A concurrent auto-commit pushes NOW past 50, so W's NOW-insert
+  // would be re-stamped *after* its own explicit update at 50.
+  ASSERT_TRUE(db_->InsertAtom("Emp",
+                              {{"name", Value::String("lin")},
+                               {"salary", Value::Int(9)}},
+                              100)
+                  .ok());
+  Status commit = w.Commit();
+  EXPECT_TRUE(commit.IsTxnConflict()) << commit.ToString();
+  // The abort happened before anything reached the WAL: the database
+  // stays healthy and the atom never existed.
+  EXPECT_EQ(db_->health_state(), HealthState::kHealthy);
+  EXPECT_EQ(CountAtomsAt("Dept", db_->Now()), 1u);
+  // A retry against a fresh snapshot places both stamps in order (its
+  // local clock starts past the conflicting auto-commit) and succeeds.
+  Transaction retry = db_->Begin();
+  auto rid = retry.InsertAtom("Dept",
+                              {{"name", Value::String("Kay")},
+                               {"budget", Value::Int(1)}},
+                              /*from=*/kMinTimestamp, /*from_now=*/true);
+  ASSERT_TRUE(rid.ok());
+  ASSERT_TRUE(retry
+                  .UpdateAtom("Dept", rid.value(),
+                              {{"budget", Value::Int(2)}}, db_->Now() + 10)
+                  .ok());
+  EXPECT_TRUE(retry.Commit().ok());
+  EXPECT_EQ(CountAtomsAt("Dept", db_->Now()), 2u);
+}
+
 INSTANTIATE_TEST_SUITE_P(AllStrategies, MvccTest,
                          ::testing::Values(StorageStrategy::kSnapshot,
                                            StorageStrategy::kIntegrated,
